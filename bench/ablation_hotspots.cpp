@@ -1,0 +1,45 @@
+// Ablation: how much of the caching win comes from access skew?
+//
+// The paper's workload sends 50% of job start points into 10% of the data
+// space (§2.4). Caching policies profit from that skew; this ablation
+// varies it from uniform to extreme and reports where the out-of-order
+// policy's advantage over the cache-less splitting policy comes from.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ppsched;
+  using namespace ppsched::bench;
+
+  printHeader("Ablation", "Access skew: hot-region probability (10% of the data space)");
+
+  std::printf("%-14s %14s %16s %14s\n", "hot prob", "ooo speedup", "splitting", "ooo hit %");
+  for (const double hotProb : {0.0, 0.25, 0.5, 0.75, 0.9}) {
+    double speedup[2] = {0, 0};
+    double hit = 0.0;
+    const char* policies[2] = {"out_of_order", "splitting"};
+    for (int p = 0; p < 2; ++p) {
+      ExperimentSpec spec;
+      spec.policyName = policies[p];
+      spec.jobsPerHour = 0.9;
+      spec.sim.workload.hotProbability = hotProb;
+      spec.sim.finalize();
+      spec.warmupJobs = jobs(250);
+      spec.measuredJobs = jobs(1000);
+      spec.maxJobsInSystem = 500;
+      const RunResult r = runExperiment(spec);
+      speedup[p] = r.avgSpeedup;
+      if (p == 0) hit = r.cacheHitFraction;
+    }
+    std::printf("%-14.2f %14.2f %16.2f %13.0f%%\n", hotProb, speedup[0], speedup[1],
+                100.0 * hit);
+  }
+
+  std::printf("\nExpected: at uniform access (hot prob 0) the total cluster cache\n"
+              "(1 TB of 2 TB) still gives a hit rate near 50%%; skew raises hit\n"
+              "rates and widens the gap over the cache-less splitting policy —\n"
+              "the paper's hot-region assumption matters, but is not load-bearing\n"
+              "for the policy ordering.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation: shared tertiary-storage bandwidth.
+//
+// The paper gives every node a dedicated 1 MB/s stream from Castor (§2.4).
+// Real tape/disk-array front-ends have a finite aggregate bandwidth; this
+// ablation caps the total across streams and asks whether the paper's
+// conclusions (caching policies win; out-of-order beats FIFO) survive when
+// tertiary storage is a shared bottleneck.
+#include "bench_util.h"
+
+int main() {
+  using namespace ppsched;
+  using namespace ppsched::bench;
+
+  printHeader("Ablation", "Aggregate tertiary bandwidth cap (10 nodes, 1 jobs/hour)");
+
+  std::printf("%-12s %16s %16s %16s %12s\n", "cap (MB/s)", "farm", "cache-oriented",
+              "out-of-order", "ooo hit %");
+  for (const double capMBps : {0.0, 10.0, 5.0, 3.0, 2.0}) {
+    double speedups[3] = {0, 0, 0};
+    double oooHit = 0.0;
+    const char* policies[3] = {"farm", "cache_oriented", "out_of_order"};
+    for (int p = 0; p < 3; ++p) {
+      ExperimentSpec spec;
+      spec.policyName = policies[p];
+      spec.jobsPerHour = 1.0;
+      spec.sim.tertiaryAggregateBytesPerSec = capMBps * 1e6;
+      spec.sim.finalize();
+      spec.warmupJobs = jobs(250);
+      spec.measuredJobs = jobs(1000);
+      spec.maxJobsInSystem = 600;
+      const RunResult r = runExperiment(spec);
+      speedups[p] = r.overloaded ? -1.0 : r.avgSpeedup;
+      if (p == 2) oooHit = r.cacheHitFraction;
+    }
+    auto cell = [](double v) { return v; };
+    if (capMBps == 0.0) {
+      std::printf("%-12s", "unlimited");
+    } else {
+      std::printf("%-12.1f", capMBps);
+    }
+    for (double s : speedups) {
+      if (s < 0) {
+        std::printf(" %16s", "overloaded");
+      } else {
+        std::printf(" %16.2f", cell(s));
+      }
+    }
+    std::printf(" %11.0f%%\n", 100.0 * oooHit);
+  }
+
+  std::printf("\nExpected: the cache-less farm collapses first as the cap tightens\n"
+              "(every byte crosses the bottleneck); caching policies degrade more\n"
+              "gracefully — the paper's ordering is robust to tertiary contention.\n");
+  return 0;
+}

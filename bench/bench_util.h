@@ -1,0 +1,109 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Each bench binary reproduces one figure/table of the paper: it runs the
+// relevant simulations and prints the series the paper plots. Loads are in
+// jobs/hour, waits in hours. Like the paper, curves are cut at the load
+// where the cluster becomes overloaded ("waiting time grows to infinity"):
+// overloaded points print "overloaded" instead of numbers.
+//
+// Environment:
+//   PPSCHED_FAST=1     quarter-size runs (quick smoke of the harness)
+//   PPSCHED_CSV=<dir>  additionally write one CSV per figure into <dir>
+//                      (plot with scripts/plot_figure.gp)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace ppsched::bench {
+
+inline bool fastMode() {
+  const char* v = std::getenv("PPSCHED_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+/// Scale a job count down in fast mode.
+inline std::size_t jobs(std::size_t n) { return fastMode() ? n / 4 : n; }
+
+/// A labelled series: one ExperimentSpec template swept over loads.
+struct Series {
+  std::string label;
+  ExperimentSpec spec;
+};
+
+inline void printHeader(const char* figure, const char* caption) {
+  std::printf("=== %s ===\n%s\n\n", figure, caption);
+}
+
+/// Slug for CSV file names: "Figure 2" -> "figure_2".
+inline std::string slugify(std::string s) {
+  for (char& c : s) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    if (!(c >= 'a' && c <= 'z') && !(c >= '0' && c <= '9')) c = '_';
+  }
+  return s;
+}
+
+/// Run every series over `loads` and print two paper-style tables: average
+/// speedup and average waiting time (hours). `waitExDelay` selects the
+/// Fig 5/6 presentation (period delay subtracted). With PPSCHED_CSV set,
+/// also writes <dir>/<figure slug>.csv with one row per (series, load).
+inline void runAndPrint(const std::vector<Series>& series, const std::vector<double>& loads,
+                        bool waitExDelay = false, const char* figure = nullptr) {
+  std::vector<std::vector<RunResult>> results(series.size());
+  ThreadPool pool;
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const auto points = loadSweep(series[s].spec, loads, &pool);
+    for (const auto& p : points) results[s].push_back(p.result);
+  }
+
+  if (const char* dir = std::getenv("PPSCHED_CSV"); dir != nullptr && figure != nullptr) {
+    const std::string path = std::string(dir) + "/" + slugify(figure) + ".csv";
+    std::ofstream csv(path);
+    csv << "series,load,speedup,wait_h,wait_ex_delay_h,cache_hit,overloaded\n";
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      for (std::size_t i = 0; i < loads.size(); ++i) {
+        const RunResult& r = results[s][i];
+        csv << series[s].label << ',' << loads[i] << ',' << r.avgSpeedup << ','
+            << units::toHours(r.avgWait) << ',' << units::toHours(r.avgWaitExDelay) << ','
+            << r.cacheHitFraction << ',' << (r.overloaded ? 1 : 0) << '\n';
+      }
+    }
+    std::printf("(csv written to %s)\n\n", path.c_str());
+  }
+
+  auto printTable = [&](const char* title, auto value) {
+    std::printf("%s\n%-10s", title, "load");
+    for (const auto& s : series) std::printf(" %14s", s.label.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+      std::printf("%-10.2f", loads[i]);
+      for (std::size_t s = 0; s < series.size(); ++s) {
+        const RunResult& r = results[s][i];
+        if (r.overloaded) {
+          std::printf(" %14s", "overloaded");
+        } else {
+          std::printf(" %14.2f", value(r));
+        }
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  };
+
+  printTable("Average speedup:", [](const RunResult& r) { return r.avgSpeedup; });
+  if (waitExDelay) {
+    printTable("Average waiting time, period delay excluded (hours):",
+               [](const RunResult& r) { return units::toHours(r.avgWaitExDelay); });
+  } else {
+    printTable("Average waiting time (hours):",
+               [](const RunResult& r) { return units::toHours(r.avgWait); });
+  }
+}
+
+}  // namespace ppsched::bench

@@ -1,0 +1,48 @@
+// Figure 2: average speedup and waiting time vs load for the FCFS policies —
+// processing farm, job splitting, and cache-oriented job splitting with
+// 50 / 100 / 200 GB node caches. Loads 0.7 .. 1.3 jobs/hour, 10 nodes.
+//
+// Paper shape to reproduce: splitting beats the farm; the cache-oriented
+// policy's gain grows with cache size (~x3 caching gain at 200 GB); all
+// FCFS policies overload a little beyond ~1.1-1.3 jobs/hour; waiting times
+// drop from days (farm) to hours/minutes with caches.
+#include "bench_util.h"
+
+int main() {
+  using namespace ppsched;
+  using namespace ppsched::bench;
+
+  printHeader("Figure 2", "FCFS policies: farm, job splitting, cache-oriented splitting");
+
+  ExperimentSpec base;
+  base.warmupJobs = jobs(300);
+  base.measuredJobs = jobs(1400);
+  base.maxJobsInSystem = 500;
+
+  std::vector<Series> series;
+  {
+    Series s{"farm", base};
+    s.spec.policyName = "farm";
+    series.push_back(s);
+  }
+  {
+    Series s{"splitting", base};
+    s.spec.policyName = "splitting";
+    series.push_back(s);
+  }
+  for (const std::uint64_t gb : {50ull, 100ull, 200ull}) {
+    Series s{"cache-" + std::to_string(gb) + "GB", base};
+    s.spec.policyName = "cache_oriented";
+    s.spec.sim.cacheBytesPerNode = gb * 1'000'000'000ULL;
+    s.spec.sim.finalize();
+    series.push_back(s);
+  }
+
+  const std::vector<double> loads{0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3};
+  runAndPrint(series, loads, false, "fig2");
+
+  std::printf("Paper reference: farm speedup ~1 and overload beyond ~1.1 jobs/hour;\n"
+              "cache-oriented 200GB reaches the ~x3 caching gain at low load;\n"
+              "larger caches cut waiting times from days to hours (Fig 2).\n");
+  return 0;
+}

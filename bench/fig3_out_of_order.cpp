@@ -1,0 +1,39 @@
+// Figure 3: cache-oriented job splitting vs out-of-order scheduling for
+// 50 / 100 / 200 GB caches, loads 0.8 .. 2.6 jobs/hour.
+//
+// Paper shape to reproduce: same cache and load give a much higher speedup
+// and an order-of-magnitude lower waiting time for out-of-order scheduling;
+// the sustainable load roughly doubles, especially with large caches.
+#include "bench_util.h"
+
+int main() {
+  using namespace ppsched;
+  using namespace ppsched::bench;
+
+  printHeader("Figure 3", "Cache-oriented (FIFO) vs out-of-order scheduling");
+
+  ExperimentSpec base;
+  base.warmupJobs = jobs(300);
+  base.measuredJobs = jobs(1400);
+  base.maxJobsInSystem = 500;
+
+  std::vector<Series> series;
+  for (const char* policy : {"cache_oriented", "out_of_order"}) {
+    for (const std::uint64_t gb : {50ull, 100ull, 200ull}) {
+      const std::string tag = policy == std::string("cache_oriented") ? "fifo" : "ooo";
+      Series s{tag + "-" + std::to_string(gb) + "GB", base};
+      s.spec.policyName = policy;
+      s.spec.sim.cacheBytesPerNode = gb * 1'000'000'000ULL;
+      s.spec.sim.finalize();
+      series.push_back(s);
+    }
+  }
+
+  const std::vector<double> loads{0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.4, 2.6};
+  runAndPrint(series, loads, false, "fig3");
+
+  std::printf("Paper reference: out-of-order sustains ~1.44 (50GB) and ~1.7 (100GB)\n"
+              "jobs/hour and roughly doubles the FIFO cache-based sustainable load;\n"
+              "waiting times are an order of magnitude lower (Fig 3).\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 4: waiting-time distribution for out-of-order scheduling near its
+// maximal sustainable load (100 GB cache at 1.7 jobs/hour, 50 GB at 1.44).
+//
+// Paper shape to reproduce: a bimodal log-log histogram — jobs with cached
+// data overtake (left mass, minutes-to-an-hour), jobs without cached data
+// are overtaken (right tail, up to one-two days); worst case stays within
+// ~2 days thanks to the starvation guard.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ppsched;
+  using namespace ppsched::bench;
+
+  printHeader("Figure 4", "Waiting-time distribution, out-of-order scheduling near max load");
+
+  // The paper probes "near the maximal sustainable load": its out-of-order
+  // maxima (1.7 / 1.44 jobs/hour). Our reproduction sustains somewhat more
+  // (EXPERIMENTS.md), so we also probe near our own maxima — those rows are
+  // the like-for-like comparison with the paper's figure.
+  struct Config {
+    std::uint64_t cacheGb;
+    double load;
+  };
+  for (const Config& c :
+       {Config{100, 1.7}, Config{50, 1.44}, Config{100, 2.05}, Config{50, 1.55}}) {
+    ExperimentSpec spec;
+    spec.policyName = "out_of_order";
+    spec.jobsPerHour = c.load;
+    spec.sim.cacheBytesPerNode = c.cacheGb * 1'000'000'000ULL;
+    spec.sim.finalize();
+    spec.warmupJobs = jobs(300);
+    spec.measuredJobs = jobs(2500);
+    spec.maxJobsInSystem = 600;
+    spec.withHistogram = true;
+
+    const RunResult r = runExperiment(spec);
+    std::printf("cache %lu GB, load %.2f jobs/hour: %zu jobs measured%s\n",
+                static_cast<unsigned long>(c.cacheGb), c.load, r.measuredJobs,
+                r.overloaded ? " [overloaded]" : "");
+    std::printf("  mean %.2f h | median %.2f h | p95 %.2f h | max %.2f h\n",
+                units::toHours(r.avgWait), units::toHours(r.medianWait),
+                units::toHours(r.p95Wait), units::toHours(r.maxWait));
+    std::printf("  %-14s %s\n", "wait >=", "jobs");
+    for (const auto& [lo, count] : r.waitHistogram) {
+      if (count == 0) continue;
+      std::printf("  %10.2f h   %llu\n", units::toHours(lo),
+                  static_cast<unsigned long long>(count));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("Paper reference: two-population distribution; worst case one to two\n"
+              "days depending on cache size, acceptable against the 9 h single-node\n"
+              "job time (Fig 4).\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 7: adaptive delay scheduling (stripe 200 and 5000 events, cache
+// 100 GB) vs out-of-order scheduling. Waiting time here INCLUDES the period
+// delay (unlike Figs 5/6) — the paper plots the delay-included wait for the
+// adaptive policy.
+//
+// Paper shape to reproduce: at low loads the adaptive policy's delay is
+// zero and its speedup matches or slightly beats out-of-order (small
+// stripes parallelize more); it sustains loads out-of-order cannot, paying
+// a modest waiting-time overhead (up to ~1 h) at low loads.
+#include "bench_util.h"
+
+int main() {
+  using namespace ppsched;
+  using namespace ppsched::bench;
+
+  printHeader("Figure 7", "Adaptive delay vs out-of-order (cache 100 GB)");
+
+  ExperimentSpec base;
+  base.warmupJobs = jobs(800);
+  base.measuredJobs = jobs(2600);
+  base.maxJobsInSystem = 3000;
+
+  std::vector<Series> series;
+  for (const std::uint64_t stripe : {200ull, 5000ull}) {
+    Series s{"adaptive-s" + std::to_string(stripe), base};
+    s.spec.policyName = "adaptive";
+    s.spec.policyParams.stripeEvents = stripe;
+    series.push_back(s);
+  }
+  {
+    Series s{"out-of-order", base};
+    s.spec.policyName = "out_of_order";
+    s.spec.maxJobsInSystem = 500;
+    series.push_back(s);
+  }
+
+  const std::vector<double> loads{0.5, 0.8, 1.1, 1.4, 1.7, 2.0, 2.3, 2.6};
+  runAndPrint(series, loads, /*waitExDelay=*/false, "fig7");
+
+  std::printf("Paper reference: adaptive delay sustains loads out-of-order cannot;\n"
+              "at low loads the period delay is zero and speedup is comparable or\n"
+              "slightly better for small stripes (Fig 7).\n");
+  return 0;
+}

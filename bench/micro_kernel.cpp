@@ -1,0 +1,104 @@
+// Micro-benchmarks of the simulator substrate (google-benchmark).
+//
+// These guard the performance envelope that makes the figure benches cheap:
+// interval algebra, LRU cache operations, event-queue throughput, workload
+// generation, and a whole small simulation end to end.
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "storage/interval_set.h"
+#include "storage/lru_cache.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace ppsched;
+
+void BM_IntervalSetInsertErase(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    IntervalSet s;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t b = (i * 7919) % 100'000;
+      s.insert({b, b + 50});
+    }
+    for (std::uint64_t i = 0; i < n / 2; ++i) {
+      const std::uint64_t b = (i * 104'729) % 100'000;
+      s.erase({b, b + 30});
+    }
+    benchmark::DoNotOptimize(s.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n * 3 / 2));
+}
+BENCHMARK(BM_IntervalSetInsertErase)->Arg(100)->Arg(1000)->Arg(10'000);
+
+void BM_IntervalSetOverlapQuery(benchmark::State& state) {
+  IntervalSet s;
+  for (std::uint64_t i = 0; i < 1000; ++i) s.insert({i * 100, i * 100 + 50});
+  std::uint64_t probe = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.overlapSize({probe % 90'000, probe % 90'000 + 5000}));
+    probe += 137;
+  }
+}
+BENCHMARK(BM_IntervalSetOverlapQuery);
+
+void BM_LruCacheChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    LruExtentCache cache(50'000);
+    SimTime t = 0.0;
+    for (int i = 0; i < 500; ++i) {
+      const std::uint64_t b = static_cast<std::uint64_t>((i * 7919) % 200'000);
+      cache.insert({b, b + 400}, t);
+      benchmark::DoNotOptimize(cache.overlapSize({b / 2, b / 2 + 1000}));
+      t += 1.0;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_LruCacheChurn);
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    for (int i = 0; i < 1000; ++i) {
+      q.schedule(static_cast<SimTime>((i * 7919) % 4096), [] {});
+    }
+    while (!q.empty()) q.runNext();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueThroughput);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  WorkloadParams params;
+  params.jobsPerHour = 1.0;
+  WorkloadGenerator gen(params, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.next());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+void BM_EndToEndSimulation(benchmark::State& state) {
+  // One small but complete out-of-order simulation: 120 jobs through the
+  // paper's cluster model.
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    ExperimentSpec spec;
+    spec.policyName = "out_of_order";
+    spec.jobsPerHour = 1.0;
+    spec.warmupJobs = 20;
+    spec.measuredJobs = 100;
+    spec.seed = seed++;
+    benchmark::DoNotOptimize(runExperiment(spec));
+  }
+  state.SetItemsProcessed(state.iterations() * 120);
+  state.SetLabel("jobs");
+}
+BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
+
+}  // namespace

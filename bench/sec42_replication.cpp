@@ -1,0 +1,47 @@
+// §4.2: data replication — the paper's negative result.
+//
+// Out-of-order scheduling with and without inter-node replication must
+// perform the same, and replication must fire on well under 1% of the work:
+// the scheduler already spreads every large segment over many nodes, so an
+// overloaded node holding exclusively useful data is rare.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ppsched;
+  using namespace ppsched::bench;
+
+  printHeader("Section 4.2", "Out-of-order scheduling with vs without data replication");
+
+  const std::vector<double> loads{1.0, 1.3, 1.6};
+  std::printf("%-8s %18s %18s %14s %16s\n", "load", "ooo speedup", "repl speedup",
+              "repl ops", "replicated/evt");
+  for (const double load : loads) {
+    ExperimentSpec base;
+    base.jobsPerHour = load;
+    base.warmupJobs = jobs(300);
+    base.measuredJobs = jobs(1500);
+    base.maxJobsInSystem = 500;
+
+    ExperimentSpec ooo = base;
+    ooo.policyName = "out_of_order";
+    ExperimentSpec repl = base;
+    repl.policyName = "replication";
+    repl.policyParams.replicationThreshold = 3;  // paper: replicate on 3rd access
+
+    const RunResult ro = runExperiment(ooo);
+    const RunResult rr = runExperiment(repl);
+    const double totalEvents =
+        static_cast<double>(rr.tertiaryEvents) /
+        std::max(1e-9, 1.0 - rr.cacheHitFraction - rr.remoteReadFraction);
+    std::printf("%-8.2f %18.2f %18.2f %14llu %15.4f%%\n", load, ro.avgSpeedup, rr.avgSpeedup,
+                static_cast<unsigned long long>(rr.replicationOps),
+                100.0 * static_cast<double>(rr.replicatedEvents) / std::max(1.0, totalEvents));
+  }
+
+  std::printf("\nPaper reference: \"out of order job scheduling with and without data\n"
+              "replication have identical performances\"; replication used in < 1 permille\n"
+              "of job arrivals (Section 4.2).\n");
+  return 0;
+}

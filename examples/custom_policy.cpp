@@ -1,0 +1,120 @@
+// Writing your own scheduling policy.
+//
+// The paper's scheduler "implements a plugin model, enabling new scheduling
+// policies to be easily added" (§2.3). This example adds one from scratch —
+// shortest-job-first with cache-aware placement — entirely outside the
+// library, wraps it in the invariant-checking decorator, and races it
+// against the paper's policies on one trace.
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+
+#include "core/engine.h"
+#include "core/registry.h"
+#include "core/validating_policy.h"
+#include "sched/split_util.h"
+#include "workload/trace.h"
+
+namespace {
+
+using namespace ppsched;
+
+// Shortest-job-first: queued jobs start smallest-first (minimizes mean wait
+// for M/G/1-like queues), each split across all idle nodes along cache
+// boundaries. Deliberately simple — ~70 lines for a complete policy.
+class ShortestJobFirst final : public ISchedulerPolicy {
+ public:
+  std::string name() const override { return "sjf"; }
+
+  void onJobArrival(const Job& job) override {
+    queue_.push_back(job);
+    std::sort(queue_.begin(), queue_.end(),
+              [](const Job& a, const Job& b) { return a.events() < b.events(); });
+    dispatch();
+  }
+
+  void onRunFinished(NodeId, const RunReport&) override { dispatch(); }
+
+ private:
+  void dispatch() {
+    while (!queue_.empty()) {
+      auto idle = host().idleNodes();
+      if (idle.empty()) return;
+      const Job job = queue_.front();
+      queue_.pop_front();
+      // Cache-aware split, one piece per idle node at most.
+      auto pieces = splitByCaches(job, host().cluster(), host().config().minSubjobEvents);
+      while (pieces.size() > idle.size()) {
+        // Too many pieces: merge the two smallest adjacent ones.
+        std::size_t best = 0;
+        for (std::size_t i = 0; i + 1 < pieces.size(); ++i) {
+          if (pieces[i].subjob.events() + pieces[i + 1].subjob.events() <
+              pieces[best].subjob.events() + pieces[best + 1].subjob.events()) {
+            best = i;
+          }
+        }
+        pieces[best].subjob.range.end = pieces[best + 1].subjob.range.end;
+        pieces.erase(pieces.begin() + static_cast<std::ptrdiff_t>(best) + 1);
+      }
+      // Prefer placing cached pieces on their node.
+      std::vector<bool> nodeUsed(idle.size(), false);
+      for (const PlacedSubjob& piece : pieces) {
+        NodeId target = kNoNode;
+        for (std::size_t i = 0; i < idle.size(); ++i) {
+          if (!nodeUsed[i] && idle[i] == piece.cachedOn) {
+            target = idle[i];
+            nodeUsed[i] = true;
+            break;
+          }
+        }
+        if (target == kNoNode) {
+          for (std::size_t i = 0; i < idle.size(); ++i) {
+            if (!nodeUsed[i]) {
+              target = idle[i];
+              nodeUsed[i] = true;
+              break;
+            }
+          }
+        }
+        host().startRun(target, piece.subjob);
+      }
+    }
+  }
+
+  std::deque<Job> queue_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace ppsched;
+
+  SimConfig cfg = SimConfig::paperDefaults();
+  cfg.workload.jobsPerHour = 1.0;
+  cfg.finalize();
+  WorkloadGenerator gen(cfg.workload, 11);
+  const JobTrace trace = JobTrace::record(gen, 400);
+
+  std::printf("%-16s %10s %12s %12s\n", "policy", "speedup", "wait (h)", "p95 (h)");
+  auto report = [&](const char* label, std::unique_ptr<ISchedulerPolicy> policy) {
+    MetricsCollector metrics(cfg.cost, WarmupConfig{80, 0.0});
+    Engine engine(cfg, std::make_unique<TraceSource>(trace), std::move(policy), metrics);
+    engine.run({});
+    const RunResult r = metrics.finalize(engine.now());
+    std::printf("%-16s %10.2f %12.2f %12.2f\n", label, r.avgSpeedup,
+                units::toHours(r.avgWait), units::toHours(r.p95Wait));
+  };
+
+  report("farm", makePolicy("farm"));
+  report("cache_oriented", makePolicy("cache_oriented"));
+  // Develop new policies under the validator: any broken invariant throws.
+  report("sjf (custom)",
+         std::make_unique<ValidatingPolicy>(std::make_unique<ShortestJobFirst>()));
+  report("out_of_order", makePolicy("out_of_order"));
+
+  std::printf("\nSJF needs no library changes: subclass ISchedulerPolicy, use the\n"
+              "host() API, and hand it to any host. (It beats FIFO policies on\n"
+              "mean wait, but the paper's out-of-order policy still wins: knowing\n"
+              "where the data is beats knowing how big the job is.)\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Data challenge: reprocess the full event store.
+//
+// LHC experiments periodically run "data challenges": every event on tape
+// is reprocessed once. Unlike the paper's Poisson analysis mix, the
+// workload is a fixed batch of back-to-back jobs tiling the whole 2 TB
+// store — so the interesting numbers are the makespan and how close each
+// policy gets to the tertiary-bandwidth lower bound (each byte must cross
+// the 1 MB/s-per-node tertiary link at least once).
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/registry.h"
+#include "workload/trace.h"
+
+int main() {
+  using namespace ppsched;
+
+  SimConfig cfg = SimConfig::paperDefaults();
+  cfg.finalize();
+
+  // Tile the data space into 40000-event jobs, all submitted in one burst
+  // (a campaign script queues everything at once).
+  std::vector<Job> jobs;
+  const std::uint64_t jobEvents = 40'000;
+  EventIndex cursor = 0;
+  JobId id = 0;
+  while (cursor < cfg.totalEvents()) {
+    const EventIndex end = std::min<EventIndex>(cursor + jobEvents, cfg.totalEvents());
+    jobs.push_back({id, static_cast<SimTime>(id), {cursor, end}});
+    cursor = end;
+    ++id;
+  }
+
+  // Lower bound: every event crosses a tertiary link once, 10 links, plus
+  // the CPU pass, perfectly overlapped across nodes.
+  const double totalEvents = static_cast<double>(cfg.totalEvents());
+  const double bound =
+      totalEvents * cfg.cost.uncachedSecPerEvent() / cfg.numNodes;
+
+  std::printf("data challenge: %zu jobs covering %.1f TB (%.0f events)\n", jobs.size(),
+              cfg.totalDataBytes / 1e12, totalEvents);
+  std::printf("tertiary-bound makespan: %.1f h\n\n", units::toHours(bound));
+
+  std::printf("%-16s %14s %16s %12s\n", "policy", "makespan (h)", "vs bound", "hit %");
+  for (const char* policy : {"farm", "splitting", "out_of_order", "delayed"}) {
+    PolicyParams params;
+    params.periodDelay = 12 * units::hour;
+    params.stripeEvents = 5000;
+    MetricsCollector metrics(cfg.cost, WarmupConfig{0, 0.0});
+    Engine engine(cfg, std::make_unique<TraceSource>(JobTrace(jobs)),
+                  makePolicy(policy, params), metrics);
+    engine.run({});
+    const RunResult r = metrics.finalize(engine.now());
+    std::printf("%-16s %14.1f %15.2fx %11.0f%%\n", policy, units::toHours(engine.now()),
+                engine.now() / bound, 100.0 * r.cacheHitFraction);
+  }
+
+  std::printf("\nA disjoint tiling leaves nothing to cache (hit %% ~0), so every\n"
+              "policy is pinned to the tertiary bound; the schedulers differ only\n"
+              "in how little they waste on top of it. This is the workload where\n"
+              "the paper's caching machinery cannot help — and correctly doesn't.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// The paper's dual-use claim (§2.3), demonstrated.
+//
+// "The job parallelization and scheduling software may run both on the
+// simulated and on the target system (production environment)."
+//
+// This demo takes one scheduling policy and one set of jobs and executes
+// them twice:
+//   1. on the discrete-event simulator (instant), and
+//   2. on the wall-clock RealtimeHost, where every node is a live executor
+//      thread and 10 simulated minutes pass per wall millisecond.
+// The per-job processing times must agree (up to OS jitter on the realtime
+// side) because both hosts run the *identical* policy code.
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/registry.h"
+#include "runtime/realtime_host.h"
+#include "workload/trace.h"
+
+int main() {
+  using namespace ppsched;
+  using namespace std::chrono_literals;
+
+  SimConfig cfg;
+  cfg.numNodes = 4;
+  cfg.totalDataBytes = 600'000ULL * 500'000;
+  cfg.cacheBytesPerNode = 600'000ULL * 100'000;
+  cfg.workload.hotRegions.clear();
+  cfg.workload.hotProbability = 0.0;
+  cfg.finalize();
+
+  const std::vector<EventRange> segments{
+      {0, 6000}, {100'000, 105'000}, {0, 6000}, {200'000, 203'000}, {100'000, 104'000}};
+
+  // --- Pass 1: discrete-event simulation --------------------------------
+  std::vector<Job> jobs;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    jobs.push_back({static_cast<JobId>(i), static_cast<SimTime>(i), segments[i]});
+  }
+  MetricsCollector simMetrics(cfg.cost, WarmupConfig{0, 0.0});
+  Engine engine(cfg, std::make_unique<TraceSource>(JobTrace(jobs)),
+                makePolicy("out_of_order"), simMetrics);
+  engine.run({});
+
+  // --- Pass 2: wall-clock execution with live node threads --------------
+  MetricsCollector rtMetrics(cfg.cost, WarmupConfig{0, 0.0});
+  RealtimeOptions opt;
+  opt.timeScale = 600'000.0;  // 10 simulated minutes per wall millisecond
+  RealtimeHost host(cfg, makePolicy("out_of_order"), rtMetrics, opt);
+  for (const EventRange& segment : segments) host.submit(segment);
+  const bool drained = host.drain(30'000ms);
+
+  std::printf("same policy (out_of_order), same %zu jobs, two hosts\n\n", segments.size());
+  std::printf("%-5s %-18s %18s %20s\n", "job", "segment", "simulated proc (s)",
+              "wall-clock proc (s)");
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const auto& s = simMetrics.record(static_cast<JobId>(i));
+    const auto& r = rtMetrics.record(static_cast<JobId>(i));
+    std::printf("%-5zu [%llu,%llu)%*s %18.0f %20.0f\n", i,
+                static_cast<unsigned long long>(segments[i].begin),
+                static_cast<unsigned long long>(segments[i].end),
+                (int)(16 - std::to_string(segments[i].end).size() -
+                      std::to_string(segments[i].begin).size()),
+                "", s.processingTime(), r.completed() ? r.processingTime() : -1.0);
+  }
+  std::printf("\nrealtime host drained: %s. The two columns agree up to OS jitter\n"
+              "and tie-breaks that depend on exact event timing — the policy code\n"
+              "driving both hosts is byte-for-byte the same.\n",
+              drained ? "yes" : "NO");
+  return drained ? 0 : 1;
+}

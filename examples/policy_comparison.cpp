@@ -1,0 +1,48 @@
+// Policy bake-off on an identical, replayed job trace.
+//
+// Demonstrates the trace API: synthesize one workload, record it, and
+// replay the exact same job stream through all seven scheduling policies —
+// the apples-to-apples comparison the paper's figures are built on.
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/registry.h"
+#include "workload/trace.h"
+
+int main() {
+  using namespace ppsched;
+
+  SimConfig cfg = SimConfig::paperDefaults();
+  cfg.workload.jobsPerHour = 1.0;
+  cfg.finalize();
+
+  // Record one trace; every policy replays the identical stream.
+  WorkloadGenerator gen(cfg.workload, 7);
+  const JobTrace trace = JobTrace::record(gen, 600);
+  const auto summary = trace.summarize();
+  std::printf("trace: %zu jobs, mean %.0f events, mean interarrival %.0f s (%.2f jobs/h)\n\n",
+              summary.jobs, summary.meanEvents, summary.meanInterarrival,
+              units::hour / summary.meanInterarrival);
+
+  std::printf("%-16s %10s %12s %12s %10s %12s\n", "policy", "speedup", "wait", "p95 wait",
+              "hit %", "makespan");
+  for (const std::string& name : policyNames()) {
+    PolicyParams params;
+    params.periodDelay = 12 * units::hour;  // for "delayed"
+    params.stripeEvents = 1000;
+
+    MetricsCollector metrics(cfg.cost, WarmupConfig{100, 0.0});
+    Engine engine(cfg, std::make_unique<TraceSource>(trace), makePolicy(name, params),
+                  metrics);
+    engine.run({});  // drain the whole trace
+
+    const RunResult r = metrics.finalize(engine.now());
+    std::printf("%-16s %10.2f %10.2f h %10.2f h %9.0f%% %10.1f h\n", name.c_str(),
+                r.avgSpeedup, units::toHours(r.avgWait), units::toHours(r.p95Wait),
+                100.0 * r.cacheHitFraction, units::toHours(engine.now()));
+  }
+
+  std::printf("\nSame jobs, same arrival times — only the scheduling policy differs.\n"
+              "(\"delayed\" runs with a 12 h period; its waits include that delay.)\n");
+  return 0;
+}

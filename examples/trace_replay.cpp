@@ -1,0 +1,129 @@
+// Trace tooling: synthesize, save, load and replay a job trace.
+//
+//   trace_replay gen <file> [jobs] [jobs_per_hour] [seed]   synthesize a trace
+//   trace_replay run <file> [policy]                        replay it
+//   trace_replay info <file>                                summarize it
+//   trace_replay scale <in> <out> <factor>   stretch time by <factor>
+//                                            (factor 0.5 doubles the load)
+//   trace_replay head <in> <out> <n>         keep the first n jobs
+//
+// Traces are CSV (id,arrival_seconds,begin_event,end_event), so real
+// accounting logs can be converted and fed to the simulator.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/engine.h"
+#include "core/registry.h"
+#include "workload/trace.h"
+
+namespace {
+
+using namespace ppsched;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  trace_replay gen <file> [jobs=500] [jobs_per_hour=1.0] [seed=42]\n"
+               "  trace_replay run <file> [policy=out_of_order]\n"
+               "  trace_replay info <file>\n"
+               "  trace_replay scale <in> <out> <factor>\n"
+               "  trace_replay head <in> <out> <n>\n");
+  return 2;
+}
+
+int scale(const std::string& in, const std::string& out, double factor) {
+  if (!(factor > 0.0)) {
+    std::fprintf(stderr, "error: factor must be > 0\n");
+    return 2;
+  }
+  const JobTrace trace = JobTrace::load(in);
+  std::vector<Job> jobs = trace.jobs();
+  for (Job& j : jobs) j.arrival *= factor;
+  JobTrace(std::move(jobs)).save(out);
+  std::printf("scaled %zu arrivals by %.3f (load x%.3f) -> %s\n", trace.size(), factor,
+              1.0 / factor, out.c_str());
+  return 0;
+}
+
+int head(const std::string& in, const std::string& out, std::size_t n) {
+  const JobTrace trace = JobTrace::load(in);
+  std::vector<Job> jobs = trace.jobs();
+  if (jobs.size() > n) jobs.resize(n);
+  const std::size_t kept = jobs.size();
+  JobTrace(std::move(jobs)).save(out);
+  std::printf("kept first %zu of %zu jobs -> %s\n", kept, trace.size(), out.c_str());
+  return 0;
+}
+
+int generate(const std::string& file, std::size_t jobs, double load, std::uint64_t seed) {
+  SimConfig cfg = SimConfig::paperDefaults();
+  cfg.workload.jobsPerHour = load;
+  cfg.finalize();
+  WorkloadGenerator gen(cfg.workload, seed);
+  const JobTrace trace = JobTrace::record(gen, jobs);
+  trace.save(file);
+  std::printf("wrote %zu jobs to %s\n", trace.size(), file.c_str());
+  return 0;
+}
+
+int info(const std::string& file) {
+  const JobTrace trace = JobTrace::load(file);
+  const auto s = trace.summarize();
+  std::printf("%s: %zu jobs\n", file.c_str(), s.jobs);
+  std::printf("  mean job size:      %.0f events (%.1f GB)\n", s.meanEvents,
+              s.meanEvents * 600e3 / 1e9);
+  std::printf("  mean interarrival:  %.0f s (%.2f jobs/hour)\n", s.meanInterarrival,
+              s.meanInterarrival > 0 ? units::hour / s.meanInterarrival : 0.0);
+  std::printf("  trace span:         %.1f h\n", units::toHours(s.span));
+  return 0;
+}
+
+int run(const std::string& file, const std::string& policy) {
+  const JobTrace trace = JobTrace::load(file);
+  SimConfig cfg = SimConfig::paperDefaults();
+  cfg.finalize();
+
+  MetricsCollector metrics(cfg.cost, WarmupConfig{trace.size() / 10, 0.0});
+  Engine engine(cfg, std::make_unique<TraceSource>(trace), makePolicy(policy), metrics);
+  engine.run({});
+
+  const RunResult r = metrics.finalize(engine.now());
+  std::printf("replayed %zu jobs under '%s' on the paper cluster\n", trace.size(),
+              policy.c_str());
+  std::printf("  completed:   %zu (makespan %.1f h)\n", r.completedJobs,
+              units::toHours(r.simulatedTime));
+  std::printf("  speedup:     %.2f\n", r.avgSpeedup);
+  std::printf("  mean wait:   %.2f h (p95 %.2f h)\n", units::toHours(r.avgWait),
+              units::toHours(r.p95Wait));
+  std::printf("  cache hits:  %.0f%%\n", 100.0 * r.cacheHitFraction);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  const std::string file = argv[2];
+  try {
+    if (cmd == "gen") {
+      const std::size_t jobs = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 500;
+      const double load = argc > 4 ? std::strtod(argv[4], nullptr) : 1.0;
+      const std::uint64_t seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 42;
+      return generate(file, jobs, load, seed);
+    }
+    if (cmd == "info") return info(file);
+    if (cmd == "run") return run(file, argc > 3 ? argv[3] : "out_of_order");
+    if (cmd == "scale" && argc > 4) {
+      return scale(file, argv[3], std::strtod(argv[4], nullptr));
+    }
+    if (cmd == "head" && argc > 4) {
+      return head(file, argv[3], std::strtoull(argv[4], nullptr, 10));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,29 @@
+# Plot a figure CSV produced by the benches (PPSCHED_CSV=<dir>).
+#
+#   PPSCHED_CSV=out ./build/bench/fig3_out_of_order
+#   gnuplot -e "csv='out/fig3.csv'" scripts/plot_figure.gp
+#
+# Produces <csv>_speedup.png and <csv>_wait.png with one curve per series —
+# the two panels of the paper's figures. Overloaded points are dropped, as
+# the paper cuts its curves there.
+if (!exists("csv")) csv = "fig2.csv"
+
+set datafile separator ","
+set grid
+set xlabel "Load (jobs/hour)"
+set key outside right
+set terminal pngcairo size 900,540
+
+# Distinct series labels, preserving order of first appearance.
+series = system(sprintf("awk -F, 'NR>1 && !seen[$1]++ {print $1}' %s", csv))
+
+set output csv."_speedup.png"
+set ylabel "Average speedup"
+plot for [s in series] csv \
+  using (strcol(1) eq s && $7 == 0 ? $2 : NaN):3 with linespoints lw 2 title s
+
+set output csv."_wait.png"
+set ylabel "Average waiting time (hours)"
+set logscale y
+plot for [s in series] csv \
+  using (strcol(1) eq s && $7 == 0 ? $2 : NaN):4 with linespoints lw 2 title s

@@ -1,0 +1,25 @@
+# Plot a ppsched_cli CSV sweep with gnuplot.
+#
+#   ./build/tools/ppsched_cli sweep --policy out_of_order \
+#       --loads 0.8,1.0,1.2,1.4,1.6,1.8 --csv > ooo.csv
+#   gnuplot -e "csv='ooo.csv'" scripts/plot_sweep.gp
+#
+# Produces sweep_speedup.png and sweep_wait.png in the working directory
+# (the paper's two standard panels: average speedup and average waiting time
+# against the load).
+if (!exists("csv")) csv = "sweep.csv"
+
+set datafile separator ","
+set key autotitle columnheader
+set grid
+set xlabel "Load (jobs/hour)"
+set terminal pngcairo size 800,500
+
+set output "sweep_speedup.png"
+set ylabel "Average speedup"
+plot csv using 2:3 with linespoints lw 2 title "speedup"
+
+set output "sweep_wait.png"
+set ylabel "Average waiting time (hours)"
+set logscale y
+plot csv using 2:4 with linespoints lw 2 title "wait (h)"

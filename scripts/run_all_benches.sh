@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Run every figure/ablation bench and capture the output.
+#
+#   scripts/run_all_benches.sh [build-dir] [output-file]
+#
+# Set PPSCHED_FAST=1 for quarter-size smoke runs (~1 min instead of ~10).
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-bench_output.txt}"
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: $BUILD_DIR/bench not found; build first (cmake -B build && cmake --build build)" >&2
+  exit 1
+fi
+
+: > "$OUT"
+for b in "$BUILD_DIR"/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "### $(basename "$b")" | tee -a "$OUT"
+  "$b" >> "$OUT" 2>&1
+done
+echo "wrote $OUT"

@@ -1,0 +1,77 @@
+#include "cluster/cluster.h"
+
+#include <stdexcept>
+
+namespace ppsched {
+
+Cluster::Cluster(int numNodes, std::uint64_t cacheCapacityEventsPerNode, int cpusPerNode) {
+  if (numNodes < 1) throw std::invalid_argument("cluster needs at least one node");
+  if (cpusPerNode < 1) throw std::invalid_argument("cpusPerNode must be >= 1");
+  nodes_.reserve(static_cast<std::size_t>(numNodes) * static_cast<std::size_t>(cpusPerNode));
+  NodeId id = 0;
+  for (int machine = 0; machine < numNodes; ++machine) {
+    auto cache = std::make_shared<LruExtentCache>(cacheCapacityEventsPerNode);
+    for (int cpu = 0; cpu < cpusPerNode; ++cpu) {
+      nodes_.emplace_back(id++, cache);
+    }
+  }
+}
+
+Node& Cluster::node(NodeId id) {
+  if (id < 0 || id >= size()) throw std::out_of_range("bad NodeId");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+const Node& Cluster::node(NodeId id) const {
+  if (id < 0 || id >= size()) throw std::out_of_range("bad NodeId");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+IntervalSet Cluster::cachedOn(NodeId id, EventRange r) const {
+  return node(id).cache().cachedIn(r);
+}
+
+std::vector<NodeId> Cluster::nodesCaching(EventRange r) const {
+  std::vector<NodeId> out;
+  for (const Node& n : nodes_) {
+    if (n.cache().cachedIn(r).size() > 0) out.push_back(n.id());
+  }
+  return out;
+}
+
+NodeId Cluster::bestCacheNode(EventRange r) const {
+  NodeId best = kNoNode;
+  std::uint64_t bestAmount = 0;
+  for (const Node& n : nodes_) {
+    const std::uint64_t amount = n.cache().overlapSize(r);
+    if (amount > bestAmount) {
+      bestAmount = amount;
+      best = n.id();
+    }
+  }
+  return best;
+}
+
+IntervalSet Cluster::cachedAnywhere(EventRange r) const {
+  IntervalSet out;
+  for (const Node& n : nodes_) out.insert(n.cache().cachedIn(r));
+  return out;
+}
+
+std::uint64_t Cluster::totalCachedEvents() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    // Count each physical cache once (CPUs of one machine share theirs).
+    bool alias = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (nodes_[i].sharesCacheWith(nodes_[j])) {
+        alias = true;
+        break;
+      }
+    }
+    if (!alias) total += nodes_[i].cache().used();
+  }
+  return total;
+}
+
+}  // namespace ppsched

@@ -1,0 +1,47 @@
+// The simulated cluster: a fixed set of identical nodes (§2.3, Fig 1).
+//
+// The master node of the paper runs only the scheduler, never subjobs; it is
+// represented by the Engine/policy pair rather than by a Node.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/node.h"
+#include "storage/interval_set.h"
+
+namespace ppsched {
+
+class Cluster {
+ public:
+  /// `numNodes` physical machines of `cpusPerNode` logical CPUs each. The
+  /// cluster exposes numNodes*cpusPerNode schedulable NodeIds; CPUs of the
+  /// same machine share one disk cache (paper default: cpusPerNode = 1).
+  Cluster(int numNodes, std::uint64_t cacheCapacityEventsPerNode, int cpusPerNode = 1);
+
+  [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] Node& node(NodeId id);
+  [[nodiscard]] const Node& node(NodeId id) const;
+
+  /// Portion of `r` cached on node `id`.
+  [[nodiscard]] IntervalSet cachedOn(NodeId id, EventRange r) const;
+
+  /// Nodes holding at least one event of `r` in cache, ascending id.
+  [[nodiscard]] std::vector<NodeId> nodesCaching(EventRange r) const;
+
+  /// The node caching the largest part of `r` (ties: lowest id);
+  /// kNoNode when nothing is cached anywhere.
+  [[nodiscard]] NodeId bestCacheNode(EventRange r) const;
+
+  /// Union over all nodes of the cached portions of `r`.
+  [[nodiscard]] IntervalSet cachedAnywhere(EventRange r) const;
+
+  /// Total cached events across all nodes (duplicates counted once per
+  /// node holding them).
+  [[nodiscard]] std::uint64_t totalCachedEvents() const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace ppsched

@@ -1,0 +1,4 @@
+#include "cluster/node.h"
+
+// Node is header-only today; this translation unit anchors the target and
+// keeps a stable home for future node state (e.g. per-node failure models).

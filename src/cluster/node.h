@@ -1,0 +1,45 @@
+// A processing node: one CPU plus a local disk cache.
+//
+// Paper assumptions (§2.4): identical single-CPU nodes, effectively infinite
+// RAM (only one subjob runs per node at a time), a local disk cache of
+// 50/100/200 GB. Run execution state lives in the engine; the node owns the
+// durable part — its cache.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "storage/lru_cache.h"
+
+namespace ppsched {
+
+/// Index of a schedulable CPU within the cluster. With multi-CPU nodes
+/// (SimConfig::cpusPerNode > 1) several consecutive NodeIds share one
+/// physical machine and hence one disk cache.
+using NodeId = int;
+inline constexpr NodeId kNoNode = -1;
+
+class Node {
+ public:
+  /// A node owning its private cache (the paper's single-CPU machine).
+  Node(NodeId id, std::uint64_t cacheCapacityEvents)
+      : id_(id), cache_(std::make_shared<LruExtentCache>(cacheCapacityEvents)) {}
+
+  /// A logical CPU sharing the cache of a physical machine (SMP extension).
+  Node(NodeId id, std::shared_ptr<LruExtentCache> sharedCache)
+      : id_(id), cache_(std::move(sharedCache)) {}
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] LruExtentCache& cache() { return *cache_; }
+  [[nodiscard]] const LruExtentCache& cache() const { return *cache_; }
+  /// True when this logical CPU shares its disk cache with `other`.
+  [[nodiscard]] bool sharesCacheWith(const Node& other) const {
+    return cache_ == other.cache_;
+  }
+
+ private:
+  NodeId id_;
+  std::shared_ptr<LruExtentCache> cache_;
+};
+
+}  // namespace ppsched

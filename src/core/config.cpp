@@ -1,0 +1,41 @@
+#include "core/config.h"
+
+#include <stdexcept>
+
+namespace ppsched {
+
+void SimConfig::finalize() {
+  if (numNodes < 1) throw std::invalid_argument("numNodes must be >= 1");
+  if (cpusPerNode < 1) throw std::invalid_argument("cpusPerNode must be >= 1");
+  if (cost.bytesPerEvent <= 0.0) throw std::invalid_argument("bytesPerEvent must be > 0");
+  if (cost.cpuSecPerEvent < 0.0) throw std::invalid_argument("cpuSecPerEvent must be >= 0");
+  if (cost.diskBytesPerSec <= 0.0 || cost.tertiaryBytesPerSec <= 0.0 ||
+      cost.remoteBytesPerSec <= 0.0) {
+    throw std::invalid_argument("throughputs must be > 0");
+  }
+  if (totalEvents() == 0) throw std::invalid_argument("data space smaller than one event");
+  if (tertiaryAggregateBytesPerSec < 0.0) {
+    throw std::invalid_argument("tertiaryAggregateBytesPerSec must be >= 0");
+  }
+  if (tertiaryLatencySec < 0.0) throw std::invalid_argument("tertiaryLatencySec must be >= 0");
+  if (!nodeSpeedFactors.empty()) {
+    if (nodeSpeedFactors.size() != static_cast<std::size_t>(totalCpus())) {
+      throw std::invalid_argument("nodeSpeedFactors must have one entry per CPU slot");
+    }
+    for (const double f : nodeSpeedFactors) {
+      if (!(f > 0.0)) throw std::invalid_argument("node speed factors must be > 0");
+    }
+  }
+  if (minSubjobEvents == 0) throw std::invalid_argument("minSubjobEvents must be >= 1");
+  if (maxSpanEvents == 0) throw std::invalid_argument("maxSpanEvents must be >= 1");
+  workload.totalEvents = totalEvents();
+  if (workload.minJobEvents < minSubjobEvents) workload.minJobEvents = minSubjobEvents;
+}
+
+SimConfig SimConfig::paperDefaults() {
+  SimConfig cfg;  // members default to the paper's §2.4 values
+  cfg.finalize();
+  return cfg;
+}
+
+}  // namespace ppsched

@@ -1,0 +1,98 @@
+// Simulation configuration: every parameter of §2.4 of the paper, with the
+// paper's values as defaults (see DESIGN.md §2 for the calibration).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+#include "storage/rates.h"
+#include "workload/generator.h"
+
+namespace ppsched {
+
+struct SimConfig {
+  /// Number of processing nodes (the master node is implicit; it runs no
+  /// subjobs). Paper default: 10 (5 and 20 "lead to similar results").
+  int numNodes = 10;
+
+  /// Logical CPUs per node (SMP extension; the paper assumes single-CPU
+  /// machines, §2.4). CPUs of one node share its disk cache; the scheduler
+  /// sees numNodes*cpusPerNode schedulable slots.
+  int cpusPerNode = 1;
+
+  /// Per-event cost model (CPU 0.2 s, disk 10 MB/s, tertiary 1 MB/s, ...).
+  CostModel cost;
+
+  /// Total data space (paper: 2 TB, decimal units).
+  std::uint64_t totalDataBytes = 2'000'000'000'000ULL;
+
+  /// Node disk cache (paper: 50, 100 or 200 GB; default 100 GB).
+  std::uint64_t cacheBytesPerNode = 100'000'000'000ULL;
+
+  /// Optional aggregate bandwidth cap of the tertiary storage system across
+  /// all concurrent streams (bytes/s). 0 disables contention — the paper's
+  /// model gives every node a dedicated 1 MB/s stream (§2.4). When set, a
+  /// tertiary span's rate is min(per-node, aggregate / concurrent streams),
+  /// fixed at span start (see DESIGN.md §6 for the approximation).
+  double tertiaryAggregateBytesPerSec = 0.0;
+
+  /// Fixed latency before a tertiary stream starts delivering (seconds).
+  /// The paper sets this to 0: Castor's disk-array front-end hides tape
+  /// latency (§2.4). Non-zero values model Castor disk-cache misses / tape
+  /// mounts; each tertiary span pays it once.
+  double tertiaryLatencySec = 0.0;
+
+  /// Per-node CPU speed factors (1.0 = the paper's reference CPU). Empty
+  /// means a homogeneous cluster (the paper's assumption, §2.4); otherwise
+  /// the vector must have one entry per node, each > 0. Only CPU time
+  /// scales; disk and network throughputs stay per the cost model.
+  std::vector<double> nodeSpeedFactors;
+
+  /// Workload model. `workload.totalEvents` is overwritten from
+  /// totalDataBytes at validation time so the two cannot diverge.
+  WorkloadParams workload;
+
+  /// Policies never split below this many events (paper: 10).
+  std::uint64_t minSubjobEvents = 10;
+
+  /// Engine granularity: a run re-plans its data source at most every this
+  /// many events. Smaller = more faithful eviction dynamics, slower.
+  std::uint64_t maxSpanEvents = 5000;
+
+  /// Derived quantities ------------------------------------------------
+
+  [[nodiscard]] std::uint64_t totalEvents() const {
+    return totalDataBytes / static_cast<std::uint64_t>(cost.bytesPerEvent);
+  }
+  [[nodiscard]] std::uint64_t cacheEvents() const {
+    return cacheBytesPerNode / static_cast<std::uint64_t>(cost.bytesPerEvent);
+  }
+
+  /// Mean single-job single-node no-cache processing time (paper: 32000 s).
+  [[nodiscard]] double meanSingleNodeTime() const {
+    return cost.uncachedSecPerEvent() * workload.meanJobEvents;
+  }
+
+  /// Total schedulable CPU slots.
+  [[nodiscard]] int totalCpus() const { return numNodes * cpusPerNode; }
+
+  /// Maximal theoretically sustainable load: all CPUs busy, all data read
+  /// from cache (paper: 3.46 jobs/hour).
+  [[nodiscard]] double maxTheoreticalLoadJobsPerHour() const {
+    return totalCpus() * units::hour / (cost.cachedSecPerEvent() * workload.meanJobEvents);
+  }
+
+  /// Maximal load of the cache-less processing farm (paper: ~1.1 jobs/hour).
+  [[nodiscard]] double maxFarmLoadJobsPerHour() const {
+    return totalCpus() * units::hour / meanSingleNodeTime();
+  }
+
+  /// Fill derived fields and check invariants (throws std::invalid_argument).
+  void finalize();
+
+  /// The paper's §2.4 configuration, ready to run.
+  static SimConfig paperDefaults();
+};
+
+}  // namespace ppsched

@@ -1,0 +1,379 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ppsched {
+
+Engine::Engine(const SimConfig& cfg, std::unique_ptr<JobSource> source,
+               std::unique_ptr<ISchedulerPolicy> policy, MetricsCollector& metrics)
+    : cfg_(cfg),
+      source_(std::move(source)),
+      policy_(std::move(policy)),
+      metrics_(metrics),
+      cluster_(cfg.numNodes, cfg.cacheEvents(), cfg.cpusPerNode),
+      runs_(static_cast<std::size_t>(cfg.totalCpus())),
+      remoteAccess_(static_cast<std::size_t>(cfg.totalCpus())) {
+  if (!source_) throw std::invalid_argument("Engine needs a JobSource");
+  if (!policy_) throw std::invalid_argument("Engine needs a policy");
+  policy_->bind(*this);
+}
+
+// --------------------------------------------------------------------------
+// Run loop
+
+void Engine::run(const StopCondition& stop) {
+  stop_ = stop;
+  stopping_ = false;
+  scheduleNextArrival();
+  while (!queue_.empty()) {
+    if (shouldStop()) break;
+    const SimTime next = queue_.nextTime();
+    if (stop_.simTimeLimit > 0.0 && next > stop_.simTimeLimit) {
+      now_ = stop_.simTimeLimit;
+      break;
+    }
+    now_ = next;  // advance the clock before the event's callback runs
+    queue_.runNext();
+  }
+}
+
+bool Engine::shouldStop() {
+  if (stopping_) return true;
+  if (stop_.completedJobs > 0 && metrics_.completedJobs() >= stop_.completedJobs) {
+    stopping_ = true;
+  }
+  if (stop_.maxJobsInSystem > 0 && metrics_.jobsInSystem() > stop_.maxJobsInSystem) {
+    metrics_.markAbortedOverloaded();
+    stopping_ = true;
+  }
+  return stopping_;
+}
+
+void Engine::scheduleNextArrival() {
+  if (arrivalsExhausted_) return;
+  if (stop_.arrivedJobs > 0 && metrics_.arrivedJobs() >= stop_.arrivedJobs) {
+    arrivalsExhausted_ = true;
+    return;
+  }
+  std::optional<Job> next = source_->next();
+  if (!next) {
+    arrivalsExhausted_ = true;
+    return;
+  }
+  if (next->arrival < now_) throw std::logic_error("job source produced a past arrival");
+  const Job job = *next;
+  queue_.schedule(job.arrival, [this, job] { handleArrival(job); });
+}
+
+void Engine::handleArrival(const Job& job) {
+  if (job.id != jobs_.size()) throw std::logic_error("JobIds must be dense and increasing");
+  if (job.range.empty()) throw std::logic_error("job with empty range");
+  JobState js;
+  js.job = job;
+  js.remaining = IntervalSet{job.range};
+  jobs_.push_back(std::move(js));
+  metrics_.onArrival(job, now_);
+  emit(SimEventKind::JobArrival, job.id, kNoNode, job.range);
+  policy_->onJobArrival(job);
+  scheduleNextArrival();
+}
+
+// --------------------------------------------------------------------------
+// State queries
+
+Engine::JobState& Engine::state(JobId id) {
+  if (id >= jobs_.size()) throw std::out_of_range("unknown JobId");
+  return jobs_[id];
+}
+
+const Engine::JobState& Engine::state(JobId id) const {
+  if (id >= jobs_.size()) throw std::out_of_range("unknown JobId");
+  return jobs_[id];
+}
+
+const Job& Engine::job(JobId id) const { return state(id).job; }
+
+const IntervalSet& Engine::remainingOf(JobId id) const { return state(id).remaining; }
+
+bool Engine::jobDone(JobId id) const { return state(id).completed; }
+
+bool Engine::isIdle(NodeId node) const {
+  return !runs_.at(static_cast<std::size_t>(node)).has_value();
+}
+
+std::vector<NodeId> Engine::idleNodes() const {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < numNodes(); ++n) {
+    if (isIdle(n)) out.push_back(n);
+  }
+  return out;
+}
+
+RunningView Engine::running(NodeId node) const {
+  RunningView view;
+  const auto& slot = runs_.at(static_cast<std::size_t>(node));
+  if (!slot) return view;
+  const ActiveRun& r = *slot;
+  view.active = true;
+  view.subjob = r.subjob;
+  view.startedAt = r.runStart;
+  // Progress inside the current span is linear in time after the span's
+  // fixed latency (tertiary access latency, when configured).
+  const double elapsed = std::max(0.0, now_ - r.spanStart - r.spanLatency);
+  const auto inSpan = std::min<std::uint64_t>(
+      r.span.size(),
+      static_cast<std::uint64_t>(std::floor(elapsed / r.spanRate + 1e-9)));
+  view.remaining = {r.span.begin + inSpan, r.subjob.range.end};
+  return view;
+}
+
+// --------------------------------------------------------------------------
+// Run execution
+
+void Engine::startRun(NodeId node, Subjob sj, RunOptions opts) {
+  if (!isIdle(node)) throw std::logic_error("startRun on a busy node");
+  if (sj.empty()) throw std::logic_error("startRun with an empty subjob");
+  JobState& js = state(sj.job);
+  if (!js.remaining.containsRange(sj.range)) {
+    throw std::logic_error("subjob range is not (entirely) remaining work of its job");
+  }
+  if (opts.remoteFrom != kNoNode &&
+      (opts.remoteFrom < 0 || opts.remoteFrom >= numNodes() || opts.remoteFrom == node)) {
+    throw std::logic_error("bad remoteFrom node");
+  }
+  ActiveRun run;
+  run.subjob = sj;
+  run.opts = opts;
+  run.cursor = sj.range.begin;
+  run.runStart = now_;
+  runs_[static_cast<std::size_t>(node)] = std::move(run);
+  metrics_.onFirstStart(sj.job, now_);
+  emit(SimEventKind::RunStart, sj.job, node, sj.range);
+  beginNextSpan(node);
+}
+
+void Engine::beginNextSpan(NodeId node) {
+  ActiveRun& run = *runs_[static_cast<std::size_t>(node)];
+  if (run.cursor >= run.subjob.range.end) {
+    finishRun(node);
+    return;
+  }
+  const EventRange rest{run.cursor, run.subjob.range.end};
+  const EventRange window = rest.prefix(cfg_.maxSpanEvents);
+
+  LruExtentCache& localCache = cluster_.node(node).cache();
+  const bool caching = policy_->usesCaching();
+  LruExtentCache* remoteCache =
+      run.opts.remoteFrom != kNoNode ? &cluster_.node(run.opts.remoteFrom).cache() : nullptr;
+
+  EventRange span;
+  DataSource src = DataSource::Tertiary;
+  run.pinnedLocal = run.pinnedRemote = false;
+
+  if (caching) {
+    const IntervalSet localAvail = localCache.cachedIn(window);
+    const EventRange localRun = localAvail.runAt(run.cursor);
+    if (!localRun.empty()) {
+      span = localRun;
+      src = DataSource::LocalCache;
+    } else if (remoteCache != nullptr) {
+      const EventRange remoteRun = remoteCache->cachedIn(window).runAt(run.cursor);
+      if (!remoteRun.empty()) {
+        span = remoteRun;
+        src = DataSource::RemoteCache;
+      }
+    }
+    if (span.empty()) {
+      // Uncached: read from tertiary storage up to the next event available
+      // in a cache this run can use (local, or the designated remote node).
+      IntervalSet avail = localAvail;
+      if (remoteCache != nullptr) avail.insert(remoteCache->cachedIn(window));
+      EventIndex stopAt = window.end;
+      for (const EventRange& r : avail.intervals()) {
+        if (r.begin > run.cursor) {
+          stopAt = std::min(stopAt, r.begin);
+          break;
+        }
+      }
+      span = {run.cursor, stopAt};
+      src = DataSource::Tertiary;
+    }
+  } else {
+    span = window;
+    src = DataSource::Tertiary;
+  }
+
+  assert(!span.empty() && span.begin == run.cursor && span.end <= window.end);
+  if (src == DataSource::LocalCache) {
+    localCache.pin(span);
+    run.pinnedLocal = true;
+  } else if (src == DataSource::RemoteCache) {
+    remoteCache->pin(span);
+    run.pinnedRemote = true;
+  }
+  run.span = span;
+  run.spanSource = src;
+  run.spanRate = spanRateFor(node, src);
+  run.spanLatency = src == DataSource::Tertiary ? cfg_.tertiaryLatencySec : 0.0;
+  if (src == DataSource::Tertiary) {
+    ++activeTertiaryStreams_;
+    run.countsTertiaryStream = true;
+  }
+  run.spanStart = now_;
+  const double duration =
+      run.spanLatency + static_cast<double>(span.size()) * run.spanRate;
+  run.spanEventId = queue_.schedule(now_ + duration, [this, node] { onSpanComplete(node); });
+}
+
+void Engine::onSpanComplete(NodeId node) {
+  ActiveRun& run = *runs_[static_cast<std::size_t>(node)];
+  applySpanEffects(node, run, run.span);
+  run.cursor = run.span.end;
+  beginNextSpan(node);
+}
+
+double Engine::spanRateFor(NodeId node, DataSource src) const {
+  CostModel cost = cfg_.cost;
+  if (!cfg_.nodeSpeedFactors.empty()) {
+    cost.cpuSecPerEvent /= cfg_.nodeSpeedFactors[static_cast<std::size_t>(node)];
+  }
+  if (src == DataSource::Tertiary && cfg_.tertiaryAggregateBytesPerSec > 0.0) {
+    // Aggregate cap: this span joins activeTertiaryStreams_ existing streams.
+    cost.tertiaryBytesPerSec =
+        std::min(cfg_.cost.tertiaryBytesPerSec,
+                 cfg_.tertiaryAggregateBytesPerSec /
+                     static_cast<double>(activeTertiaryStreams_ + 1));
+  }
+  return cost.secPerEvent(src);
+}
+
+void Engine::applySpanEffects(NodeId node, ActiveRun& run, EventRange done) {
+  LruExtentCache& localCache = cluster_.node(node).cache();
+  if (run.countsTertiaryStream) {
+    --activeTertiaryStreams_;
+    run.countsTertiaryStream = false;
+  }
+  LruExtentCache* remoteCache =
+      run.opts.remoteFrom != kNoNode ? &cluster_.node(run.opts.remoteFrom).cache() : nullptr;
+
+  // Release span pins first so touch/insert below see a consistent state.
+  if (run.pinnedLocal) {
+    localCache.unpin(run.span);
+    run.pinnedLocal = false;
+  }
+  if (run.pinnedRemote) {
+    assert(remoteCache != nullptr);
+    remoteCache->unpin(run.span);
+    run.pinnedRemote = false;
+  }
+
+  run.justCompletedJob = false;
+  if (done.empty()) return;
+  assert(done.begin == run.span.begin && done.end <= run.span.end);
+
+  JobState& js = state(run.subjob.job);
+  assert(js.remaining.containsRange(done));
+  js.remaining.erase(done);
+  metrics_.onEventsProcessed(run.spanSource, done.size(), now_);
+
+  if (policy_->usesCaching()) {
+    switch (run.spanSource) {
+      case DataSource::LocalCache:
+        localCache.touch(done, now_);
+        break;
+      case DataSource::Tertiary:
+        localCache.insert(done, now_);
+        break;
+      case DataSource::RemoteCache: {
+        remoteCache->touch(done, now_);
+        if (run.opts.replicationThreshold > 0) {
+          IntervalCounter& counter = remoteAccess_[static_cast<std::size_t>(run.opts.remoteFrom)];
+          counter.add(done, +1);
+          const IntervalSet hot = counter.rangesAtLeast(done, run.opts.replicationThreshold);
+          for (const EventRange& r : hot.intervals()) {
+            localCache.insert(r, now_);
+            metrics_.onReplication(r.size());
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  if (js.remaining.empty() && !js.completed) {
+    js.completed = true;
+    run.justCompletedJob = true;
+    metrics_.onCompletion(js.job.id, now_);
+    emit(SimEventKind::JobComplete, js.job.id, node);
+  }
+}
+
+void Engine::finishRun(NodeId node) {
+  ActiveRun run = std::move(*runs_[static_cast<std::size_t>(node)]);
+  runs_[static_cast<std::size_t>(node)].reset();
+  emit(SimEventKind::RunEnd, run.subjob.job, node, run.subjob.range);
+  RunReport report;
+  report.subjob = run.subjob;
+  report.jobCompleted = run.justCompletedJob;
+  policy_->onRunFinished(node, report);
+}
+
+Subjob Engine::preempt(NodeId node) {
+  auto& slot = runs_[static_cast<std::size_t>(node)];
+  if (!slot) throw std::logic_error("preempt on an idle node");
+  ActiveRun& run = *slot;
+  queue_.cancel(run.spanEventId);
+  const double elapsed = std::max(0.0, now_ - run.spanStart - run.spanLatency);
+  const auto processed = std::min<std::uint64_t>(
+      run.span.size(),
+      static_cast<std::uint64_t>(std::floor(elapsed / run.spanRate + 1e-9)));
+  applySpanEffects(node, run, EventRange{run.span.begin, run.span.begin + processed});
+  Subjob remainder = run.subjob;
+  remainder.range = {run.span.begin + processed, run.subjob.range.end};
+  emit(SimEventKind::Preempt, run.subjob.job, node,
+       {run.subjob.range.begin, run.span.begin + processed});
+  slot.reset();
+  return remainder;
+}
+
+// --------------------------------------------------------------------------
+// Timers & annotations
+
+TimerId Engine::scheduleTimer(SimTime at) {
+  if (at < now_) throw std::invalid_argument("timer in the past");
+  // The EventId doubles as the TimerId; capture it via a shared slot.
+  auto idSlot = std::make_shared<TimerId>(0);
+  const EventId id = queue_.schedule(at, [this, idSlot] {
+    emit(SimEventKind::TimerFired, kNoJob, kNoNode);
+    policy_->onTimer(*idSlot);
+  });
+  *idSlot = id;
+  return id;
+}
+
+void Engine::emit(SimEventKind kind, JobId job, NodeId node, EventRange range) const {
+  if (sink_ == nullptr) return;
+  SimEvent event;
+  event.time = now_;
+  event.kind = kind;
+  event.job = job;
+  event.node = node;
+  event.range = range;
+  sink_->record(event);
+}
+
+void Engine::cancelTimer(TimerId id) { queue_.cancel(id); }
+
+EventId Engine::at(SimTime when, std::function<void()> action) {
+  if (when < now_) throw std::invalid_argument("action in the past");
+  return queue_.schedule(when, std::move(action));
+}
+
+void Engine::noteSchedulingDelay(JobId id, Duration delay) {
+  metrics_.onSchedulingDelay(id, delay);
+}
+
+}  // namespace ppsched

@@ -1,0 +1,174 @@
+// The simulation engine.
+//
+// Owns ground truth: the clock, the event queue, the cluster (nodes and
+// their disk caches), job progress bookkeeping, and run execution. Policies
+// decide *what* runs *where*; the engine computes how long it takes and what
+// it does to the caches.
+//
+// Runs execute span by span (DESIGN.md §6): before each span (at most
+// SimConfig::maxSpanEvents events) the engine inspects the node's cache and
+// picks the data source for the next contiguous chunk:
+//   - locally cached  -> disk rate, extents touched (LRU refresh), pinned
+//     while the span executes;
+//   - cached on the run's designated remote node -> remote rate; with a
+//     replication threshold t > 0, the remote extent's access counter is
+//     bumped and extents reaching t are copied into the local cache (§4.2);
+//   - otherwise -> tertiary rate, data inserted into the local cache (when
+//     the policy uses caching), evicting LRU extents.
+// Span-wise execution makes preemption exact and mid-run evictions honest.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/config.h"
+#include "core/event_log.h"
+#include "core/metrics.h"
+#include "core/policy.h"
+#include "sim/event_queue.h"
+#include "workload/generator.h"
+
+namespace ppsched {
+
+/// When Engine::run returns.
+struct StopCondition {
+  std::size_t completedJobs = 0;    ///< stop after N completions (0 = off)
+  std::size_t arrivedJobs = 0;      ///< stop injecting after N arrivals (0 = off)
+  SimTime simTimeLimit = 0.0;       ///< stop at this sim time (0 = off)
+  std::size_t maxJobsInSystem = 0;  ///< abort, marking overload (0 = off)
+};
+
+/// The simulation host: implements ISchedulerHost for the discrete-event
+/// simulator (the wall-clock counterpart is runtime/realtime_host.h).
+class Engine final : public ISchedulerHost {
+ public:
+  /// `cfg` must be finalized. The engine takes ownership of source/policy;
+  /// `metrics` must outlive the engine.
+  Engine(const SimConfig& cfg, std::unique_ptr<JobSource> source,
+         std::unique_ptr<ISchedulerPolicy> policy, MetricsCollector& metrics);
+
+  /// Drive the simulation until a stop condition triggers or nothing is
+  /// left to do (source exhausted and all work finished).
+  void run(const StopCondition& stop);
+
+  // --- time & topology (ISchedulerHost) ----------------------------------
+  [[nodiscard]] SimTime now() const override { return now_; }
+  [[nodiscard]] const SimConfig& config() const override { return cfg_; }
+  [[nodiscard]] int numNodes() const override { return cluster_.size(); }
+  [[nodiscard]] Cluster& cluster() override { return cluster_; }
+  [[nodiscard]] const Cluster& cluster() const { return cluster_; }
+  [[nodiscard]] ISchedulerPolicy& policy() { return *policy_; }
+
+  // --- node state (ISchedulerHost) ---------------------------------------
+  [[nodiscard]] bool isIdle(NodeId node) const override;
+  [[nodiscard]] std::vector<NodeId> idleNodes() const override;
+  [[nodiscard]] RunningView running(NodeId node) const override;
+
+  // --- job bookkeeping (ISchedulerHost) ----------------------------------
+  [[nodiscard]] const Job& job(JobId id) const override;
+  /// Events of the job not yet processed anywhere (includes parts currently
+  /// being processed: they leave this set span by span).
+  [[nodiscard]] const IntervalSet& remainingOf(JobId id) const override;
+  [[nodiscard]] bool jobDone(JobId id) const override;
+  [[nodiscard]] std::size_t jobsInSystem() const override { return metrics_.jobsInSystem(); }
+
+  // --- policy actions (ISchedulerHost) -----------------------------------
+  /// Start `sj` on an idle node. The subjob's range must be a subset of the
+  /// job's remaining work (catches double assignments).
+  void startRun(NodeId node, Subjob sj, RunOptions opts = {}) override;
+
+  /// Stop the run on `node` immediately. Partial progress is applied
+  /// (bookkeeping, metrics, caching); the node becomes idle. Returns the
+  /// unprocessed remainder — empty if the run was exactly complete (the
+  /// policy must then not requeue it). Does NOT invoke onRunFinished.
+  Subjob preempt(NodeId node) override;
+
+  /// Fire policy->onTimer(id) at absolute time `at` (>= now).
+  TimerId scheduleTimer(SimTime at) override;
+  void cancelTimer(TimerId id) override;
+
+  /// Schedule an arbitrary callback at absolute time `when` (>= now). Runs
+  /// as a normal simulation event; intended for scripted scenarios and
+  /// failure injection (e.g. flushing a node's cache mid-run).
+  EventId at(SimTime when, std::function<void()> action);
+
+  /// Attribute a scheduling ("period") delay to a job; Fig 5/6 subtract it
+  /// from the reported waiting time.
+  void noteSchedulingDelay(JobId id, Duration delay) override;
+
+  [[nodiscard]] MetricsCollector& metrics() { return metrics_; }
+
+  /// Attach an observer for scheduling events (nullptr detaches). The sink
+  /// must outlive the engine and must not call back into it.
+  void setEventSink(IEventSink* sink) { sink_ = sink; }
+
+ private:
+  struct JobState {
+    Job job;
+    IntervalSet remaining;
+    bool completed = false;
+  };
+
+  struct ActiveRun {
+    Subjob subjob;
+    RunOptions opts;
+    EventIndex cursor = 0;  ///< next unprocessed event
+    SimTime runStart = 0.0;
+    // Current span:
+    EventRange span;
+    DataSource spanSource = DataSource::Tertiary;
+    double spanRate = 0.0;      ///< seconds per event
+    double spanLatency = 0.0;   ///< fixed lead time before the first event
+    SimTime spanStart = 0.0;
+    EventId spanEventId = 0;
+    bool pinnedLocal = false;
+    bool pinnedRemote = false;
+    bool countsTertiaryStream = false;
+    bool justCompletedJob = false;
+  };
+
+  void scheduleNextArrival();
+  void handleArrival(const Job& job);
+  void beginNextSpan(NodeId node);
+  void onSpanComplete(NodeId node);
+  /// Apply progress `done` (a prefix of the current span): bookkeeping,
+  /// metrics, cache effects, unpinning. Sets run.justCompletedJob.
+  void applySpanEffects(NodeId node, ActiveRun& run, EventRange done);
+  void finishRun(NodeId node);
+  [[nodiscard]] bool shouldStop();
+
+  JobState& state(JobId id);
+  [[nodiscard]] const JobState& state(JobId id) const;
+
+  /// Seconds/event for a new span from `src` running on `node`, accounting
+  /// for tertiary bandwidth contention and the node's CPU speed factor.
+  [[nodiscard]] double spanRateFor(NodeId node, DataSource src) const;
+
+  void emit(SimEventKind kind, JobId job, NodeId node, EventRange range = {}) const;
+
+  SimConfig cfg_;
+  std::unique_ptr<JobSource> source_;
+  std::unique_ptr<ISchedulerPolicy> policy_;
+  MetricsCollector& metrics_;
+  Cluster cluster_;
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+
+  std::vector<std::optional<ActiveRun>> runs_;  // one slot per node
+  std::vector<JobState> jobs_;                  // dense by JobId
+  /// Remote-access counters per (serving) node, for replication (§4.2).
+  std::vector<IntervalCounter> remoteAccess_;
+
+  StopCondition stop_;
+  bool stopping_ = false;
+  bool arrivalsExhausted_ = false;
+  /// Concurrent spans currently streaming from tertiary storage (for the
+  /// optional aggregate bandwidth cap).
+  int activeTertiaryStreams_ = 0;
+  IEventSink* sink_ = nullptr;
+};
+
+}  // namespace ppsched

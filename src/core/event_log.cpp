@@ -1,0 +1,72 @@
+#include "core/event_log.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace ppsched {
+
+std::string_view toString(SimEventKind kind) {
+  switch (kind) {
+    case SimEventKind::JobArrival:
+      return "arrival";
+    case SimEventKind::RunStart:
+      return "run_start";
+    case SimEventKind::RunEnd:
+      return "run_end";
+    case SimEventKind::Preempt:
+      return "preempt";
+    case SimEventKind::JobComplete:
+      return "job_complete";
+    case SimEventKind::TimerFired:
+      return "timer";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const SimEvent& e) {
+  os << e.time << ' ' << toString(e.kind);
+  if (e.job != kNoJob) os << " job=" << e.job;
+  if (e.node != kNoNode) os << " node=" << e.node;
+  if (!e.range.empty()) os << ' ' << e.range;
+  return os;
+}
+
+std::vector<SimEvent> EventLog::ofKind(SimEventKind kind) const {
+  std::vector<SimEvent> out;
+  std::copy_if(events_.begin(), events_.end(), std::back_inserter(out),
+               [kind](const SimEvent& e) { return e.kind == kind; });
+  return out;
+}
+
+std::vector<SimEvent> EventLog::ofJob(JobId job) const {
+  std::vector<SimEvent> out;
+  std::copy_if(events_.begin(), events_.end(), std::back_inserter(out),
+               [job](const SimEvent& e) { return e.job == job; });
+  return out;
+}
+
+std::vector<SimEvent> EventLog::onNode(NodeId node) const {
+  std::vector<SimEvent> out;
+  std::copy_if(events_.begin(), events_.end(), std::back_inserter(out),
+               [node](const SimEvent& e) { return e.node == node; });
+  return out;
+}
+
+std::size_t EventLog::count(SimEventKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const SimEvent& e) { return e.kind == kind; }));
+}
+
+void EventLog::writeCsv(std::ostream& os) const {
+  os << "time,kind,job,node,begin,end\n";
+  for (const SimEvent& e : events_) {
+    os << e.time << ',' << toString(e.kind) << ',';
+    if (e.job != kNoJob) os << e.job;
+    os << ',';
+    if (e.node != kNoNode) os << e.node;
+    os << ',' << e.range.begin << ',' << e.range.end << '\n';
+  }
+}
+
+}  // namespace ppsched

@@ -1,0 +1,76 @@
+// Simulation event log: a structured record of every scheduling decision.
+//
+// The engine can emit one SimEvent per state change (arrival, run start,
+// run end, preemption, job completion, timer). Consumers: debugging, the
+// ASCII timeline renderer (core/timeline.h), CSV export for external
+// analysis, and tests asserting decision sequences.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "cluster/node.h"
+#include "sim/time.h"
+#include "workload/job.h"
+
+namespace ppsched {
+
+enum class SimEventKind {
+  JobArrival,
+  RunStart,     ///< a subjob begins executing on a node
+  RunEnd,       ///< a run finished on its own
+  Preempt,      ///< a run was stopped by the policy; range = processed part
+  JobComplete,  ///< last piece of the job finished
+  TimerFired,
+};
+
+/// Printable name of an event kind.
+std::string_view toString(SimEventKind kind);
+
+struct SimEvent {
+  SimTime time = 0.0;
+  SimEventKind kind = SimEventKind::JobArrival;
+  JobId job = kNoJob;
+  NodeId node = kNoNode;
+  /// RunStart: the subjob's range; Preempt: the processed prefix;
+  /// JobArrival: the job's range; otherwise empty.
+  EventRange range;
+};
+
+std::ostream& operator<<(std::ostream& os, const SimEvent& e);
+
+/// Receives engine events. Implementations must not call back into the
+/// engine (they observe, they don't act).
+class IEventSink {
+ public:
+  virtual ~IEventSink() = default;
+  virtual void record(const SimEvent& event) = 0;
+};
+
+/// In-memory event log with query helpers and CSV export.
+class EventLog final : public IEventSink {
+ public:
+  void record(const SimEvent& event) override { events_.push_back(event); }
+
+  [[nodiscard]] const std::vector<SimEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// All events of one kind, in time order.
+  [[nodiscard]] std::vector<SimEvent> ofKind(SimEventKind kind) const;
+  /// All events touching one job, in time order.
+  [[nodiscard]] std::vector<SimEvent> ofJob(JobId job) const;
+  /// All events on one node, in time order.
+  [[nodiscard]] std::vector<SimEvent> onNode(NodeId node) const;
+  [[nodiscard]] std::size_t count(SimEventKind kind) const;
+
+  /// CSV: time,kind,job,node,begin,end
+  void writeCsv(std::ostream& os) const;
+
+ private:
+  std::vector<SimEvent> events_;
+};
+
+}  // namespace ppsched

@@ -1,0 +1,123 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/engine.h"
+#include "sim/random.h"
+
+namespace ppsched {
+
+RunResult runExperiment(const ExperimentSpec& spec) {
+  SimConfig cfg = spec.sim;
+  cfg.workload.jobsPerHour = spec.jobsPerHour;
+  cfg.finalize();
+
+  auto source = std::make_unique<WorkloadGenerator>(cfg.workload, spec.seed);
+  auto policy = makePolicy(spec.policyName, spec.policyParams);
+
+  WarmupConfig warmup;
+  warmup.jobs = spec.warmupJobs;
+  MetricsCollector metrics(cfg.cost, warmup);
+
+  Engine engine(cfg, std::move(source), std::move(policy), metrics);
+
+  if (spec.prewarmCaches && engine.policy().usesCaching()) {
+    // Seed every cache with mean-job-sized segments drawn from the same
+    // start-point distribution as the workload, so the pre-warmed contents
+    // resemble the steady state. Node i uses an independent derived stream.
+    WorkloadParams sampler = cfg.workload;
+    for (NodeId n = 0; n < engine.numNodes(); ++n) {
+      WorkloadGenerator gen(sampler, deriveSeed(spec.seed, 7000 + static_cast<std::uint64_t>(n)));
+      LruExtentCache& cache = engine.cluster().node(n).cache();
+      // Bounded attempts: overlapping draws may stop making progress.
+      for (int attempt = 0; attempt < 256 && cache.freeSpace() > 0; ++attempt) {
+        const std::uint64_t len =
+            std::min<std::uint64_t>(gen.drawJobEvents(), cache.freeSpace());
+        const EventIndex start = gen.drawStartPoint(len);
+        cache.insert({start, start + len}, 0.0);
+      }
+    }
+  }
+
+  StopCondition stop;
+  stop.completedJobs = spec.warmupJobs + spec.measuredJobs;
+  stop.maxJobsInSystem = spec.maxJobsInSystem;
+  // Safety net: several times the expected duration of the whole run.
+  const double expectedHours =
+      static_cast<double>(stop.completedJobs) / std::max(0.01, spec.jobsPerHour);
+  stop.simTimeLimit = 10.0 * expectedHours * units::hour + 30 * units::day;
+  engine.run(stop);
+
+  return metrics.finalize(engine.now(), spec.withHistogram);
+}
+
+std::vector<LoadPoint> loadSweep(const ExperimentSpec& base, std::span<const double> loads,
+                                 ThreadPool* pool) {
+  std::vector<LoadPoint> points(loads.size());
+  auto runPoint = [&](std::size_t i) {
+    ExperimentSpec spec = base;
+    spec.jobsPerHour = loads[i];
+    spec.seed = deriveSeed(base.seed, i);
+    points[i].jobsPerHour = loads[i];
+    points[i].result = runExperiment(spec);
+  };
+  if (pool != nullptr) {
+    pool->parallelFor(loads.size(), runPoint);
+  } else {
+    for (std::size_t i = 0; i < loads.size(); ++i) runPoint(i);
+  }
+  return points;
+}
+
+ReplicatedResult runReplicated(const ExperimentSpec& spec, std::size_t replicas,
+                               ThreadPool* pool) {
+  if (replicas == 0) throw std::invalid_argument("need at least one replica");
+  ReplicatedResult out;
+  out.runs.resize(replicas);
+  auto runOne = [&](std::size_t i) {
+    ExperimentSpec s = spec;
+    s.seed = deriveSeed(spec.seed, 1000 + i);
+    out.runs[i] = runExperiment(s);
+  };
+  if (pool != nullptr) {
+    pool->parallelFor(replicas, runOne);
+  } else {
+    for (std::size_t i = 0; i < replicas; ++i) runOne(i);
+  }
+
+  StreamingStats speedup;
+  StreamingStats waitHours;
+  for (const RunResult& r : out.runs) {
+    speedup.add(r.avgSpeedup);
+    waitHours.add(units::toHours(r.avgWait));
+    if (r.overloaded) ++out.overloadedRuns;
+  }
+  const double sqrtN = std::sqrt(static_cast<double>(replicas));
+  out.meanSpeedup = speedup.mean();
+  out.speedupStdErr = speedup.stddev() / sqrtN;
+  out.meanWaitHours = waitHours.mean();
+  out.waitHoursStdErr = waitHours.stddev() / sqrtN;
+  out.overloaded = 2 * out.overloadedRuns > replicas;
+  return out;
+}
+
+double findMaxSustainableLoad(const ExperimentSpec& base, double lo, double hi,
+                              double tolerance) {
+  if (!(lo > 0.0) || !(hi > lo)) throw std::invalid_argument("need 0 < lo < hi");
+  auto overloadedAt = [&](double load) {
+    ExperimentSpec spec = base;
+    spec.jobsPerHour = load;
+    return runExperiment(spec).overloaded;
+  };
+  if (overloadedAt(lo)) throw std::invalid_argument("lo is already overloaded");
+  if (!overloadedAt(hi)) return hi;  // sustainable across the whole range
+  while (hi - lo > tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    (overloadedAt(mid) ? hi : lo) = mid;
+  }
+  return lo;
+}
+
+}  // namespace ppsched

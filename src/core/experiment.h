@@ -1,0 +1,78 @@
+// Experiment harness: runs whole simulations and parameter sweeps.
+//
+// This is the layer the benches and examples talk to: one call = one
+// steady-state measurement (warm-up excluded, overload detected), matching
+// how the paper produces each point of Figs 2-7.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/metrics.h"
+#include "core/registry.h"
+#include "sim/thread_pool.h"
+
+namespace ppsched {
+
+struct ExperimentSpec {
+  /// Base configuration; `workload.jobsPerHour` is overwritten per run.
+  SimConfig sim = SimConfig::paperDefaults();
+  std::string policyName = "farm";
+  PolicyParams policyParams;
+  double jobsPerHour = 1.0;
+  std::uint64_t seed = 42;
+  /// Steady state: ignore the first `warmupJobs` completions-by-id, measure
+  /// the next `measuredJobs`.
+  std::size_t warmupJobs = 300;
+  std::size_t measuredJobs = 1500;
+  /// Abort (and mark overloaded) when this many jobs pile up in the system.
+  std::size_t maxJobsInSystem = 400;
+  /// Fill RunResult::waitHistogram (Fig 4).
+  bool withHistogram = false;
+  /// Pre-fill every node's disk cache with segments drawn from the
+  /// workload's start-point distribution before the run, shortening the
+  /// cold-start transient the paper excludes from its measurements (§3.4).
+  bool prewarmCaches = false;
+};
+
+/// Run one simulation to completion and aggregate its metrics.
+RunResult runExperiment(const ExperimentSpec& spec);
+
+struct LoadPoint {
+  double jobsPerHour = 0.0;
+  RunResult result;
+};
+
+/// Run one simulation per load value. With `pool`, points run in parallel
+/// (each owns its engine/rng; nothing is shared). Results are in input
+/// order; every point gets an independent derived seed.
+std::vector<LoadPoint> loadSweep(const ExperimentSpec& base, std::span<const double> loads,
+                                 ThreadPool* pool = nullptr);
+
+/// Bisect for the highest load (within `tolerance`, jobs/hour) that is not
+/// overloaded. `lo` must be sustainable and `hi` overloaded (both are
+/// checked; throws std::invalid_argument otherwise).
+double findMaxSustainableLoad(const ExperimentSpec& base, double lo, double hi,
+                              double tolerance = 0.05);
+
+/// Aggregate over independent replications (different derived seeds) of the
+/// same experiment. Standard errors are of the mean across replicas.
+struct ReplicatedResult {
+  std::vector<RunResult> runs;
+  double meanSpeedup = 0.0;
+  double speedupStdErr = 0.0;
+  double meanWaitHours = 0.0;
+  double waitHoursStdErr = 0.0;
+  std::size_t overloadedRuns = 0;
+  /// Majority verdict across replicas.
+  bool overloaded = false;
+};
+
+/// Run `replicas` independent copies of `spec` (seeds derived from
+/// spec.seed) and aggregate. With `pool`, replicas run in parallel.
+ReplicatedResult runReplicated(const ExperimentSpec& spec, std::size_t replicas,
+                               ThreadPool* pool = nullptr);
+
+}  // namespace ppsched

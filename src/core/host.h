@@ -1,0 +1,81 @@
+// The scheduler host interface.
+//
+// §2.3 of the paper: "The job parallelization and scheduling software may
+// run both on the simulated and on the target system (production
+// environment). It implements a plugin model...". This interface is that
+// boundary: policies are written against ISchedulerHost only, and the same
+// policy object can drive
+//   - the discrete-event simulator (core/engine.h), or
+//   - a wall-clock runtime with asynchronous executors
+//     (runtime/realtime_host.h) standing in for a production cluster.
+//
+// The host owns ground truth: time, node/cache state, job progress, run
+// execution. Policies query it and act through it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/config.h"
+#include "sim/time.h"
+#include "workload/job.h"
+
+namespace ppsched {
+
+/// Identifies a policy timer.
+using TimerId = std::uint64_t;
+
+/// Per-run options set by the policy when starting a run.
+struct RunOptions {
+  /// Node whose cache may serve this run's data remotely (replication
+  /// policy); kNoNode disables remote reads.
+  NodeId remoteFrom = kNoNode;
+  /// Replicate a remotely read extent into the local cache once its remote
+  /// access count reaches this value (paper: 3). 0 = never replicate.
+  int replicationThreshold = 0;
+};
+
+/// Snapshot of what a node is doing right now.
+struct RunningView {
+  bool active = false;
+  Subjob subjob;            ///< the subjob as started
+  EventRange remaining;     ///< unprocessed part, quantized to events
+  SimTime startedAt = 0.0;  ///< when the run began on this node
+};
+
+class ISchedulerHost {
+ public:
+  virtual ~ISchedulerHost() = default;
+
+  // --- time & topology --------------------------------------------------
+  [[nodiscard]] virtual SimTime now() const = 0;
+  [[nodiscard]] virtual const SimConfig& config() const = 0;
+  [[nodiscard]] virtual int numNodes() const = 0;
+  /// Node/cache state. On the simulator this is the modelled cluster; a
+  /// production host mirrors the real nodes' disk contents here.
+  [[nodiscard]] virtual Cluster& cluster() = 0;
+
+  // --- node state -------------------------------------------------------
+  [[nodiscard]] virtual bool isIdle(NodeId node) const = 0;
+  [[nodiscard]] virtual std::vector<NodeId> idleNodes() const = 0;
+  [[nodiscard]] virtual RunningView running(NodeId node) const = 0;
+
+  // --- job bookkeeping --------------------------------------------------
+  [[nodiscard]] virtual const Job& job(JobId id) const = 0;
+  [[nodiscard]] virtual const IntervalSet& remainingOf(JobId id) const = 0;
+  [[nodiscard]] virtual bool jobDone(JobId id) const = 0;
+  [[nodiscard]] virtual std::size_t jobsInSystem() const = 0;
+
+  // --- actions ----------------------------------------------------------
+  virtual void startRun(NodeId node, Subjob sj, RunOptions opts = {}) = 0;
+  /// Stop the run on `node`; progress is applied; returns the unprocessed
+  /// remainder (empty if the run was exactly complete).
+  virtual Subjob preempt(NodeId node) = 0;
+  virtual TimerId scheduleTimer(SimTime at) = 0;
+  virtual void cancelTimer(TimerId id) = 0;
+  /// Attribute a scheduling ("period") delay to a job (Fig 5/6 reporting).
+  virtual void noteSchedulingDelay(JobId id, Duration delay) = 0;
+};
+
+}  // namespace ppsched

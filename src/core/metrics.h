@@ -1,0 +1,143 @@
+// Metrics collection: the two variables the paper evaluates everywhere
+// (average speedup and average waiting time, §3.4), plus the waiting-time
+// distribution of Fig 4, cache-hit accounting, and the overload signals used
+// to cut curves "when the cluster becomes overloaded".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/stats.h"
+#include "sim/time.h"
+#include "storage/rates.h"
+#include "workload/job.h"
+
+namespace ppsched {
+
+/// Lifecycle record of one job.
+struct JobRecord {
+  JobId id = kNoJob;
+  SimTime arrival = 0.0;
+  SimTime firstStart = -1.0;  ///< start of processing of its first piece
+  SimTime completion = -1.0;
+  std::uint64_t events = 0;
+  /// Scheduling ("period") delay attributed by the policy; Fig 5/6 subtract
+  /// it from the waiting time, Fig 7 includes it.
+  Duration schedulingDelay = 0.0;
+
+  [[nodiscard]] bool completed() const { return completion >= 0.0; }
+  [[nodiscard]] Duration waitingTime() const { return firstStart - arrival; }
+  [[nodiscard]] Duration processingTime() const { return completion - firstStart; }
+};
+
+/// What to exclude as warm-up: the paper measures steady state only and
+/// ignores the startup period while caches fill (§3.4).
+struct WarmupConfig {
+  std::size_t jobs = 200;   ///< ignore the first N arrived jobs
+  Duration time = 0.0;      ///< additionally ignore jobs arriving before this
+};
+
+/// Aggregated results of one simulation run.
+struct RunResult {
+  std::size_t arrivedJobs = 0;
+  std::size_t completedJobs = 0;
+  std::size_t measuredJobs = 0;
+
+  double avgSpeedup = 0.0;
+  /// Mean processing time (first start -> completion) in seconds; unlike
+  /// speedup it does not depend on the cost-model reference, so it is the
+  /// right basis for comparisons across cost models (e.g. pipelining).
+  double avgProcessing = 0.0;
+  /// Waiting times in seconds; "ExDelay" variants subtract the per-job
+  /// scheduling delay (Fig 5/6 presentation).
+  double avgWait = 0.0;
+  double avgWaitExDelay = 0.0;
+  double medianWait = 0.0;
+  double p95Wait = 0.0;
+  double maxWait = 0.0;
+
+  /// Fraction of processed events whose data came from a local disk cache.
+  double cacheHitFraction = 0.0;
+  /// Fraction read from a remote node's cache (replication policy).
+  double remoteReadFraction = 0.0;
+  std::uint64_t replicatedEvents = 0;
+  std::uint64_t replicationOps = 0;
+  /// Events fetched from tertiary storage (for the "load once per period"
+  /// analysis of §5).
+  std::uint64_t tertiaryEvents = 0;
+  /// Total events processed from any source (conservation checks: equals
+  /// the summed size of all completed jobs plus partial progress).
+  std::uint64_t processedEvents = 0;
+
+  /// Overload signals over the measurement window.
+  double avgJobsInSystem = 0.0;
+  double inSystemSlopePerHour = 0.0;  ///< trend of the in-system count
+  double throughputJobsPerHour = 0.0;
+  bool abortedOverloaded = false;  ///< engine hit the in-system hard cap
+  SimTime simulatedTime = 0.0;
+
+  /// Verdict combining the signals; set by finalize().
+  bool overloaded = false;
+
+  /// Waiting-time histogram (Fig 4), filled only when requested.
+  std::vector<std::pair<double, std::uint64_t>> waitHistogram;  // (bucket lo sec, count)
+};
+
+/// Collects per-job records and event-level counters during a run and
+/// aggregates them at the end. Owned by the experiment layer; written to by
+/// the engine.
+class MetricsCollector {
+ public:
+  MetricsCollector(const CostModel& cost, WarmupConfig warmup);
+
+  // --- engine callbacks -------------------------------------------------
+  void onArrival(const Job& job, SimTime now);
+  void onFirstStart(JobId job, SimTime now);
+  void onCompletion(JobId job, SimTime now);
+  void onSchedulingDelay(JobId job, Duration delay);
+  void onEventsProcessed(DataSource source, std::uint64_t events, SimTime now);
+  void onReplication(std::uint64_t events);
+  void markAbortedOverloaded() { abortedOverloaded_ = true; }
+
+  // --- queries ----------------------------------------------------------
+  [[nodiscard]] std::size_t arrivedJobs() const { return records_.size(); }
+  [[nodiscard]] std::size_t completedJobs() const { return completed_; }
+  [[nodiscard]] std::size_t jobsInSystem() const { return records_.size() - completed_; }
+  [[nodiscard]] const JobRecord& record(JobId job) const;
+
+  /// Aggregate everything; `withHistogram` also fills the Fig 4 histogram.
+  [[nodiscard]] RunResult finalize(SimTime endTime, bool withHistogram = false) const;
+
+ private:
+  [[nodiscard]] bool measured(const JobRecord& r) const;
+  JobRecord& mutableRecord(JobId job);
+
+  CostModel cost_;
+  WarmupConfig warmup_;
+  std::vector<JobRecord> records_;  // indexed by JobId
+  std::size_t completed_ = 0;
+  bool abortedOverloaded_ = false;
+
+  // Event-source accounting, split at the warm-up boundary by job identity
+  // being unavailable at event level; counted globally instead (warm-up bias
+  // is negligible over long runs).
+  std::uint64_t cachedEvents_ = 0;
+  std::uint64_t remoteEvents_ = 0;
+  std::uint64_t tertiaryEvents_ = 0;
+  std::uint64_t replicatedEvents_ = 0;
+  std::uint64_t replicationOps_ = 0;
+
+  // In-system trend over the post-warm-up window.
+  TimeWeightedStat inSystem_;
+  LinearTrend inSystemTrend_;
+  /// (time, in-system count) at each measured arrival/completion; used for
+  /// the robust first-half vs second-half overload comparison.
+  std::vector<std::pair<SimTime, double>> inSystemSamples_;
+  SimTime firstMeasuredArrival_ = -1.0;
+  SimTime lastMeasuredArrival_ = -1.0;
+  std::size_t measuredArrivals_ = 0;
+  std::size_t measuredCompletions_ = 0;
+};
+
+}  // namespace ppsched

@@ -1,0 +1,56 @@
+// Scheduling policy plugin interface.
+//
+// The paper's scheduler "implements a plugin model, enabling new scheduling
+// policies to be easily added" (§2.3). A policy owns all queueing decisions;
+// the host (simulator engine or wall-clock runtime, see core/host.h) owns
+// ground truth and drives the policy through the three callbacks below.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/host.h"
+
+namespace ppsched {
+
+/// Report handed to the policy when a run finishes on its own.
+struct RunReport {
+  /// The subjob as it was started on the node.
+  Subjob subjob;
+  /// True when this run completed the last outstanding piece of its job.
+  bool jobCompleted = false;
+};
+
+class ISchedulerPolicy {
+ public:
+  virtual ~ISchedulerPolicy() = default;
+
+  /// Human-readable policy name (also the registry key).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Whether node disks cache data read from tertiary storage. The farm and
+  /// plain job-splitting policies of §3.1/§3.2 run cache-less.
+  [[nodiscard]] virtual bool usesCaching() const { return true; }
+
+  /// Called once before scheduling starts; `host` outlives the policy.
+  virtual void bind(ISchedulerHost& host) { host_ = &host; }
+
+  /// A new job entered the cluster.
+  virtual void onJobArrival(const Job& job) = 0;
+
+  /// A run finished on `node`; the node is now idle. (Preemptions initiated
+  /// by the policy itself do NOT trigger this callback: preempt() returns
+  /// the remainder synchronously.)
+  virtual void onRunFinished(NodeId node, const RunReport& report) = 0;
+
+  /// A timer scheduled via ISchedulerHost::scheduleTimer fired.
+  virtual void onTimer(TimerId timer) { (void)timer; }
+
+ protected:
+  ISchedulerHost& host() const { return *host_; }
+
+ private:
+  ISchedulerHost* host_ = nullptr;
+};
+
+}  // namespace ppsched

@@ -1,0 +1,51 @@
+#include "core/queueing.h"
+
+#include <stdexcept>
+
+#include "sim/time.h"
+
+namespace ppsched {
+
+double erlangB(int servers, double offeredLoad) {
+  if (servers < 0 || offeredLoad < 0.0) throw std::invalid_argument("bad Erlang-B arguments");
+  // Stable recurrence: B(0) = 1; B(m) = a*B(m-1) / (m + a*B(m-1)).
+  double b = 1.0;
+  for (int m = 1; m <= servers; ++m) {
+    b = offeredLoad * b / (static_cast<double>(m) + offeredLoad * b);
+  }
+  return b;
+}
+
+double erlangC(int servers, double offeredLoad) {
+  if (servers < 1) throw std::invalid_argument("Erlang-C needs >= 1 server");
+  if (offeredLoad >= static_cast<double>(servers)) {
+    throw std::invalid_argument("Erlang-C requires a stable system (a < m)");
+  }
+  const double b = erlangB(servers, offeredLoad);
+  const double rho = offeredLoad / static_cast<double>(servers);
+  return b / (1.0 - rho + rho * b);
+}
+
+double QueueModel::meanWaitMMm() const {
+  if (!stable()) throw std::invalid_argument("unstable queue has no mean wait");
+  const double c = erlangC(servers, offeredLoad());
+  const double mu = 1.0 / meanServiceSec;
+  return c / (static_cast<double>(servers) * mu - arrivalRatePerSec);
+}
+
+double QueueModel::meanWaitApprox() const {
+  const double ca2 = 1.0;  // Poisson arrivals
+  return (ca2 + serviceScv) / 2.0 * meanWaitMMm();
+}
+
+QueueModel farmQueueModel(int servers, double jobsPerHour, double meanServiceSec, int shape) {
+  if (shape < 1) throw std::invalid_argument("Erlang shape must be >= 1");
+  QueueModel q;
+  q.servers = servers;
+  q.arrivalRatePerSec = jobsPerHour / units::hour;
+  q.meanServiceSec = meanServiceSec;
+  q.serviceScv = 1.0 / static_cast<double>(shape);
+  return q;
+}
+
+}  // namespace ppsched

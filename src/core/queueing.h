@@ -1,0 +1,49 @@
+// Analytic queueing models.
+//
+// §3.1 of the paper: the processing farm "can be described ... as a special
+// case of a M/Er/m queuing system" [Kleinrock]. We provide Erlang-B/C and
+// the Allen–Cunneen approximation for M/G/m waiting times; with Erlang-k
+// service (squared coefficient of variation 1/k) this gives the M/Er/m
+// prediction that the farm simulation is validated against in the tests and
+// in bench/sec34_farm_vs_theory.
+#pragma once
+
+namespace ppsched {
+
+/// Erlang-B blocking probability for m servers at offered load a = lambda*E[S].
+double erlangB(int servers, double offeredLoad);
+
+/// Erlang-C probability that an arriving job must wait (M/M/m).
+/// Requires offeredLoad < servers (stable system).
+double erlangC(int servers, double offeredLoad);
+
+/// Analytic multi-server queue description.
+struct QueueModel {
+  int servers = 1;
+  double arrivalRatePerSec = 0.0;   ///< lambda
+  double meanServiceSec = 0.0;      ///< E[S]
+  double serviceScv = 1.0;          ///< squared coefficient of variation of S
+                                    ///< (Erlang-k service: 1/k)
+
+  [[nodiscard]] double offeredLoad() const { return arrivalRatePerSec * meanServiceSec; }
+  [[nodiscard]] double utilization() const { return offeredLoad() / servers; }
+  [[nodiscard]] bool stable() const { return utilization() < 1.0; }
+
+  /// Mean queueing delay of the corresponding M/M/m system (exact).
+  [[nodiscard]] double meanWaitMMm() const;
+
+  /// Allen–Cunneen approximation of the M/G/m mean queueing delay:
+  /// Wq(M/G/m) ~= (Ca^2 + Cs^2)/2 * Wq(M/M/m), with Poisson arrivals
+  /// (Ca^2 = 1).
+  [[nodiscard]] double meanWaitApprox() const;
+
+  /// Largest arrival rate (jobs/sec) the system can sustain.
+  [[nodiscard]] double maxArrivalRatePerSec() const { return servers / meanServiceSec; }
+};
+
+/// Convenience: the M/Er/m model of the paper's processing farm.
+/// `jobsPerHour` arrivals, Erlang-`shape` service with mean
+/// `meanServiceSec`, `servers` nodes.
+QueueModel farmQueueModel(int servers, double jobsPerHour, double meanServiceSec, int shape);
+
+}  // namespace ppsched

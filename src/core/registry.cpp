@@ -1,0 +1,64 @@
+#include "core/registry.h"
+
+#include <stdexcept>
+
+#include "sched/cache_oriented.h"
+#include "sched/delayed.h"
+#include "sched/farm.h"
+#include "sched/mixed.h"
+#include "sched/out_of_order.h"
+#include "sched/replication.h"
+#include "sched/splitting.h"
+
+namespace ppsched {
+
+std::unique_ptr<ISchedulerPolicy> makePolicy(const std::string& name,
+                                             const PolicyParams& params) {
+  if (name == "farm") return std::make_unique<FarmScheduler>();
+  if (name == "splitting") return std::make_unique<SplittingScheduler>();
+  if (name == "cache_oriented") return std::make_unique<CacheOrientedScheduler>();
+  if (name == "out_of_order") {
+    OutOfOrderScheduler::Params p;
+    p.starvationLimit = params.starvationLimit;
+    return std::make_unique<OutOfOrderScheduler>(p);
+  }
+  if (name == "replication") {
+    ReplicationScheduler::Params p;
+    p.base.starvationLimit = params.starvationLimit;
+    p.replicationThreshold = params.replicationThreshold;
+    return std::make_unique<ReplicationScheduler>(p);
+  }
+  if (name == "delayed") {
+    DelayedParams p;
+    p.stripeEvents = params.stripeEvents;
+    p.loadWindow = params.loadWindow;
+    return std::make_unique<DelayedScheduler>(p, std::make_unique<FixedDelay>(params.periodDelay));
+  }
+  if (name == "adaptive") {
+    DelayedParams p;
+    p.stripeEvents = params.stripeEvents;
+    p.loadWindow = params.loadWindow;
+    if (params.adaptiveFeedback) {
+      return std::make_unique<DelayedScheduler>(
+          p, std::make_unique<FeedbackAdaptiveDelay>(), "adaptive");
+    }
+    return makeAdaptiveScheduler(p, params.adaptiveTable);
+  }
+  if (name == "mixed") {
+    MixedScheduler::Params p;
+    p.periodDelay = params.periodDelay;
+    p.stripeEvents = params.stripeEvents;
+    p.starvationLimit = params.starvationLimit;
+    return std::make_unique<MixedScheduler>(p);
+  }
+  throw std::invalid_argument("unknown policy: " + name);
+}
+
+std::vector<std::string> policyNames() {
+  // The paper's policies in order of presentation, then this repository's
+  // implementation of the paper's §7 future work.
+  return {"farm",        "splitting", "cache_oriented", "out_of_order",
+          "replication", "delayed",   "adaptive",       "mixed"};
+}
+
+}  // namespace ppsched

@@ -1,0 +1,42 @@
+// Policy registry: create any of the paper's scheduling policies by name.
+//
+// Names: "farm", "splitting", "cache_oriented", "out_of_order",
+// "replication", "delayed", "adaptive".
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "sched/adaptive.h"
+
+namespace ppsched {
+
+/// Union of all per-policy knobs; each policy reads only its own.
+struct PolicyParams {
+  /// out_of_order / replication: starvation promotion limit (paper: 2 days).
+  Duration starvationLimit = 2 * units::day;
+  /// replication: replicate on the Nth remote access (paper: 3).
+  int replicationThreshold = 3;
+  /// delayed: the fixed period delay (paper: 11 h / 2 days / 1 week).
+  Duration periodDelay = 2 * units::day;
+  /// delayed / adaptive: stripe size in events (paper: 200 to 25000).
+  std::uint64_t stripeEvents = 5000;
+  /// adaptive: load -> delay calibration; empty selects the built-in table.
+  std::vector<AdaptiveLevel> adaptiveTable;
+  /// adaptive: use the online feedback controller instead of the table.
+  bool adaptiveFeedback = false;
+  /// delayed / adaptive: window for the observed-load estimate.
+  Duration loadWindow = 96 * units::hour;
+};
+
+/// Instantiate a policy by name (throws std::invalid_argument for unknown
+/// names).
+std::unique_ptr<ISchedulerPolicy> makePolicy(const std::string& name,
+                                             const PolicyParams& params = {});
+
+/// All registered policy names, in the paper's order of presentation.
+std::vector<std::string> policyNames();
+
+}  // namespace ppsched

@@ -1,0 +1,98 @@
+#include "core/timeline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+
+namespace ppsched {
+
+std::vector<BusyInterval> busyIntervals(const EventLog& log, int numNodes, SimTime endTime) {
+  std::vector<BusyInterval> out;
+  // Open run per node: (job, start time).
+  std::map<NodeId, std::pair<JobId, SimTime>> open;
+  for (const SimEvent& e : log.events()) {
+    switch (e.kind) {
+      case SimEventKind::RunStart: {
+        if (e.node < 0 || e.node >= numNodes) throw std::runtime_error("RunStart on bad node");
+        if (open.contains(e.node)) throw std::runtime_error("RunStart on a busy node");
+        open[e.node] = {e.job, e.time};
+        break;
+      }
+      case SimEventKind::RunEnd:
+      case SimEventKind::Preempt: {
+        auto it = open.find(e.node);
+        if (it == open.end()) throw std::runtime_error("run end on an idle node");
+        out.push_back({e.node, it->second.first, it->second.second, e.time});
+        open.erase(it);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  for (const auto& [node, run] : open) {
+    out.push_back({node, run.first, run.second, endTime});
+  }
+  std::sort(out.begin(), out.end(), [](const BusyInterval& a, const BusyInterval& b) {
+    if (a.node != b.node) return a.node < b.node;
+    return a.begin < b.begin;
+  });
+  return out;
+}
+
+std::string renderTimeline(const EventLog& log, int numNodes, TimelineOptions options) {
+  SimTime end = options.end;
+  if (end <= 0.0) {
+    for (const SimEvent& e : log.events()) end = std::max(end, e.time);
+  }
+  if (end <= options.begin) end = options.begin + 1.0;
+  const int width = std::max(8, options.width);
+  const double bucket = (end - options.begin) / width;
+  const auto intervals = busyIntervals(log, numNodes, end);
+
+  std::string result;
+  if (options.header) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "t = %.0f .. %.0f s, %.0f s/char\n", options.begin, end,
+                  bucket);
+    result += buf;
+  }
+  for (NodeId n = 0; n < numNodes; ++n) {
+    char label[32];
+    std::snprintf(label, sizeof label, "node %-3d |", n);
+    result += label;
+    for (int b = 0; b < width; ++b) {
+      const SimTime lo = options.begin + b * bucket;
+      const SimTime hi = lo + bucket;
+      // Dominant job in this bucket on this node.
+      JobId best = kNoJob;
+      double bestOverlap = 0.0;
+      for (const BusyInterval& iv : intervals) {
+        if (iv.node != n) continue;
+        const double overlap = std::min(iv.end, hi) - std::max(iv.begin, lo);
+        if (overlap > bestOverlap) {
+          bestOverlap = overlap;
+          best = iv.job;
+        }
+      }
+      result += best == kNoJob ? '.' : static_cast<char>('0' + best % 10);
+    }
+    result += "|\n";
+  }
+  return result;
+}
+
+std::vector<double> nodeUtilization(const EventLog& log, int numNodes, SimTime begin,
+                                    SimTime end) {
+  std::vector<double> util(static_cast<std::size_t>(numNodes), 0.0);
+  if (end <= begin) return util;
+  for (const BusyInterval& iv : busyIntervals(log, numNodes, end)) {
+    const double overlap = std::min(iv.end, end) - std::max(iv.begin, begin);
+    if (overlap > 0.0) util[static_cast<std::size_t>(iv.node)] += overlap;
+  }
+  for (double& u : util) u /= (end - begin);
+  return util;
+}
+
+}  // namespace ppsched

@@ -1,0 +1,52 @@
+// ASCII timeline ("Gantt") renderer for schedules.
+//
+// Consumes an EventLog and reconstructs, per node, which job occupied it
+// when (RunStart .. RunEnd/Preempt). renderTimeline() draws one row per
+// node over a time window, one character per bucket:
+//
+//   node 0 |000001111111...2222|
+//   node 1 |00000...11111111...|
+//
+// Digits are job ids modulo 10 (the dominant job in the bucket), '.' is
+// idle. Useful for eyeballing policy behaviour and asserted in tests via
+// busyIntervals().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/event_log.h"
+
+namespace ppsched {
+
+/// One contiguous occupation of a node by a job.
+struct BusyInterval {
+  NodeId node = kNoNode;
+  JobId job = kNoJob;
+  SimTime begin = 0.0;
+  SimTime end = 0.0;
+
+  friend bool operator==(const BusyInterval&, const BusyInterval&) = default;
+};
+
+/// Reconstruct per-node busy intervals from a log. Runs still open at
+/// `endTime` are closed there. Intervals are returned sorted by (node,
+/// begin). Throws std::runtime_error on malformed logs (e.g. RunEnd without
+/// RunStart).
+std::vector<BusyInterval> busyIntervals(const EventLog& log, int numNodes, SimTime endTime);
+
+struct TimelineOptions {
+  SimTime begin = 0.0;
+  SimTime end = 0.0;    ///< 0 = last event time
+  int width = 72;       ///< characters per row
+  bool header = true;   ///< include the time axis line
+};
+
+/// Render the log as one text row per node.
+std::string renderTimeline(const EventLog& log, int numNodes, TimelineOptions options = {});
+
+/// Fraction of [begin, end] each node spent busy, from the log.
+std::vector<double> nodeUtilization(const EventLog& log, int numNodes, SimTime begin,
+                                    SimTime end);
+
+}  // namespace ppsched

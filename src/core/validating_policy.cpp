@@ -1,0 +1,70 @@
+#include "core/validating_policy.h"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace ppsched {
+
+ValidatingPolicy::ValidatingPolicy(std::unique_ptr<ISchedulerPolicy> inner)
+    : inner_(std::move(inner)) {
+  if (!inner_) throw std::invalid_argument("ValidatingPolicy needs an inner policy");
+}
+
+void ValidatingPolicy::bind(ISchedulerHost& host) {
+  ISchedulerPolicy::bind(host);
+  inner_->bind(host);
+}
+
+void ValidatingPolicy::onJobArrival(const Job& job) {
+  inner_->onJobArrival(job);
+  checkInvariants();
+}
+
+void ValidatingPolicy::onRunFinished(NodeId node, const RunReport& report) {
+  inner_->onRunFinished(node, report);
+  checkInvariants();
+}
+
+void ValidatingPolicy::onTimer(TimerId timer) {
+  inner_->onTimer(timer);
+  checkInvariants();
+}
+
+void ValidatingPolicy::checkInvariants() {
+  ++checks_;
+  ISchedulerHost& e = host();
+  auto violation = [&](const std::string& what) {
+    std::ostringstream os;
+    os << "invariant violation at t=" << e.now() << " under " << inner_->name() << ": "
+       << what;
+    throw std::logic_error(os.str());
+  };
+
+  // Cache accounting per node.
+  for (NodeId n = 0; n < e.numNodes(); ++n) {
+    const LruExtentCache& cache = e.cluster().node(n).cache();
+    if (cache.used() > cache.capacity()) violation("cache used > capacity");
+    if (cache.contents().size() != cache.used()) violation("cache contents out of sync");
+  }
+
+  // Running subjobs: ranges disjoint per job, and contained in the job's
+  // remaining set; completed jobs never run.
+  std::map<JobId, IntervalSet> runningByJob;
+  for (NodeId n = 0; n < e.numNodes(); ++n) {
+    const auto view = e.running(n);
+    if (!view.active) continue;
+    const JobId job = view.subjob.job;
+    if (e.jobDone(job)) violation("completed job still running");
+    // The quantized remaining view is a conservative subset of the span.
+    if (!e.remainingOf(job).containsRange(view.remaining)) {
+      violation("running range is not remaining work");
+    }
+    if (runningByJob[job].intersects(view.remaining)) {
+      violation("two nodes process overlapping ranges");
+    }
+    runningByJob[job].insert(view.remaining);
+  }
+}
+
+}  // namespace ppsched

@@ -1,0 +1,48 @@
+// Invariant-checking policy decorator.
+//
+// Wraps any ISchedulerPolicy and, after every callback, verifies global
+// engine/cluster invariants:
+//   - cache accounting: used <= capacity, contents() size == used, on every
+//     node;
+//   - no two nodes process overlapping ranges of the same job;
+//   - every running subjob's range is remaining work of its job;
+//   - completed jobs have no remaining work and are not running anywhere.
+//
+// Violations throw std::logic_error with a description. Used by the
+// property tests to fuzz every policy, and available to downstream policy
+// authors as a development harness:
+//
+//   engine uses makePolicy(...) wrapped via:
+//     std::make_unique<ValidatingPolicy>(makePolicy("my_policy"))
+#pragma once
+
+#include <memory>
+
+#include "core/host.h"
+#include "core/policy.h"
+
+namespace ppsched {
+
+class ValidatingPolicy final : public ISchedulerPolicy {
+ public:
+  explicit ValidatingPolicy(std::unique_ptr<ISchedulerPolicy> inner);
+
+  [[nodiscard]] std::string name() const override { return inner_->name() + "+validate"; }
+  [[nodiscard]] bool usesCaching() const override { return inner_->usesCaching(); }
+
+  void bind(ISchedulerHost& host) override;
+  void onJobArrival(const Job& job) override;
+  void onRunFinished(NodeId node, const RunReport& report) override;
+  void onTimer(TimerId timer) override;
+
+  /// Number of invariant sweeps performed (for tests).
+  [[nodiscard]] std::uint64_t checksPerformed() const { return checks_; }
+
+ private:
+  void checkInvariants();
+
+  std::unique_ptr<ISchedulerPolicy> inner_;
+  std::uint64_t checks_ = 0;
+};
+
+}  // namespace ppsched

@@ -1,0 +1,404 @@
+#include "runtime/realtime_host.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ppsched {
+
+RealtimeHost::RealtimeHost(const SimConfig& cfg, std::unique_ptr<ISchedulerPolicy> policy,
+                           MetricsCollector& metrics, RealtimeOptions options)
+    : cfg_(cfg),
+      policy_(std::move(policy)),
+      metrics_(metrics),
+      cluster_(cfg.numNodes, cfg.cacheEvents(), cfg.cpusPerNode),
+      options_(options),
+      epoch_(Clock::now()),
+      assignments_(static_cast<std::size_t>(cfg.totalCpus())) {
+  if (!policy_) throw std::invalid_argument("RealtimeHost needs a policy");
+  if (options_.timeScale <= 0.0) throw std::invalid_argument("timeScale must be > 0");
+  policy_->bind(*this);
+  slots_.reserve(static_cast<std::size_t>(cfg.totalCpus()));
+  for (NodeId n = 0; n < cfg.totalCpus(); ++n) {
+    slots_.push_back(std::make_unique<ExecutorSlot>());
+  }
+  for (NodeId n = 0; n < cfg.totalCpus(); ++n) {
+    executors_.emplace_back([this, n] { executorLoop(n); });
+  }
+  scheduler_ = std::thread([this] { schedulerLoop(); });
+}
+
+RealtimeHost::~RealtimeHost() {
+  {
+    std::lock_guard guard(lock_);
+    stopping_ = true;
+  }
+  schedulerCv_.notify_all();
+  for (auto& slot : slots_) {
+    std::lock_guard guard(slot->m);
+    slot->cancel = true;
+    slot->cv.notify_all();
+  }
+  scheduler_.join();
+  for (auto& t : executors_) t.join();
+}
+
+SimTime RealtimeHost::now() const {
+  const auto wall = std::chrono::duration<double>(Clock::now() - epoch_).count();
+  return wall * options_.timeScale;
+}
+
+// ---------------------------------------------------------------------------
+// External interface
+
+JobId RealtimeHost::submit(EventRange range) {
+  std::lock_guard guard(lock_);
+  Job job;
+  job.id = static_cast<JobId>(jobs_.size());
+  job.arrival = now();
+  job.range = range;
+  JobState js;
+  js.job = job;
+  js.remaining = IntervalSet{range};
+  jobs_.push_back(std::move(js));
+  metrics_.onArrival(job, job.arrival);
+  post([this, job] { policy_->onJobArrival(job); });
+  return job.id;
+}
+
+bool RealtimeHost::drain(std::chrono::milliseconds wallTimeout) {
+  std::unique_lock guard(lock_);
+  return drainCv_.wait_for(guard, wallTimeout, [this] {
+    return metrics_.completedJobs() == jobs_.size();
+  });
+}
+
+std::size_t RealtimeHost::completedJobs() const {
+  std::lock_guard guard(lock_);
+  return metrics_.completedJobs();
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler thread
+
+void RealtimeHost::post(std::function<void()> fn) {
+  {
+    std::lock_guard guard(lock_);
+    commands_.push_back({std::move(fn)});
+  }
+  schedulerCv_.notify_all();
+}
+
+void RealtimeHost::schedulerLoop() {
+  std::unique_lock guard(lock_);
+  while (!stopping_) {
+    // Fire due timers. Collect ids first: the policy's onTimer may add or
+    // cancel timers, which would invalidate a live iterator.
+    const SimTime t = now();
+    std::vector<TimerId> due;
+    for (const auto& [id, at] : timers_) {
+      if (at <= t) due.push_back(id);
+    }
+    for (const TimerId id : due) {
+      if (timers_.erase(id) > 0) policy_->onTimer(id);
+    }
+    if (!commands_.empty()) {
+      Command cmd = std::move(commands_.front());
+      commands_.pop_front();
+      cmd.fn();
+      continue;
+    }
+    // Sleep until the next timer or the next command.
+    SimTime nextTimer = -1.0;
+    for (const auto& [id, at] : timers_) {
+      if (nextTimer < 0.0 || at < nextTimer) nextTimer = at;
+    }
+    if (nextTimer >= 0.0) {
+      const double wallDelay = std::max(0.0, (nextTimer - now()) / options_.timeScale);
+      schedulerCv_.wait_for(guard, std::chrono::duration<double>(wallDelay), [this] {
+        return stopping_ || !commands_.empty();
+      });
+    } else {
+      schedulerCv_.wait(guard, [this] { return stopping_ || !commands_.empty(); });
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Executors
+
+void RealtimeHost::executorLoop(NodeId node) {
+  ExecutorSlot& slot = *slots_[static_cast<std::size_t>(node)];
+  for (;;) {
+    std::uint64_t generation = 0;
+    double wallSeconds = 0.0;
+    {
+      std::unique_lock guard(slot.m);
+      slot.cv.wait(guard, [&] { return slot.hasWork || slot.cancel; });
+      if (slot.cancel && !slot.hasWork) return;
+      if (!slot.hasWork) continue;
+      generation = slot.generation;
+      wallSeconds = slot.wallSeconds;
+      slot.hasWork = false;
+    }
+    // "Process" the subjob: wait out its scaled cost, abortable by preempt
+    // (generation bump) or shutdown (cancel).
+    {
+      std::unique_lock guard(slot.m);
+      slot.cv.wait_for(guard, std::chrono::duration<double>(wallSeconds),
+                       [&] { return slot.cancel || slot.generation != generation; });
+      if (slot.cancel) return;
+      if (slot.generation != generation) continue;  // preempted/reassigned
+    }
+    post([this, node, generation] { handleCompletion(node, generation); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ISchedulerHost queries
+
+RealtimeHost::JobState& RealtimeHost::state(JobId id) {
+  if (id >= jobs_.size()) throw std::out_of_range("unknown JobId");
+  return jobs_[id];
+}
+
+const RealtimeHost::JobState& RealtimeHost::state(JobId id) const {
+  if (id >= jobs_.size()) throw std::out_of_range("unknown JobId");
+  return jobs_[id];
+}
+
+const Job& RealtimeHost::job(JobId id) const {
+  std::lock_guard guard(lock_);
+  return state(id).job;
+}
+
+const IntervalSet& RealtimeHost::remainingOf(JobId id) const {
+  std::lock_guard guard(lock_);
+  return state(id).remaining;
+}
+
+bool RealtimeHost::jobDone(JobId id) const {
+  std::lock_guard guard(lock_);
+  return state(id).completed;
+}
+
+std::size_t RealtimeHost::jobsInSystem() const {
+  std::lock_guard guard(lock_);
+  return metrics_.jobsInSystem();
+}
+
+bool RealtimeHost::isIdle(NodeId node) const {
+  std::lock_guard guard(lock_);
+  return !assignments_.at(static_cast<std::size_t>(node)).has_value();
+}
+
+std::vector<NodeId> RealtimeHost::idleNodes() const {
+  std::lock_guard guard(lock_);
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < numNodes(); ++n) {
+    if (!assignments_[static_cast<std::size_t>(n)]) out.push_back(n);
+  }
+  return out;
+}
+
+std::uint64_t RealtimeHost::eventsDoneByNow(const Assignment& assignment) const {
+  double elapsed = now() - assignment.startedAt;
+  std::uint64_t done = 0;
+  for (const PlanPiece& piece : assignment.plan) {
+    const double pieceTime = static_cast<double>(piece.range.size()) * piece.rate;
+    if (elapsed >= pieceTime) {
+      done += piece.range.size();
+      elapsed -= pieceTime;
+    } else {
+      if (piece.rate > 0.0 && elapsed > 0.0) {
+        done += static_cast<std::uint64_t>(std::floor(elapsed / piece.rate + 1e-9));
+      }
+      break;
+    }
+  }
+  return std::min<std::uint64_t>(done, assignment.subjob.events());
+}
+
+RunningView RealtimeHost::running(NodeId node) const {
+  std::lock_guard guard(lock_);
+  RunningView view;
+  const auto& slot = assignments_.at(static_cast<std::size_t>(node));
+  if (!slot) return view;
+  view.active = true;
+  view.subjob = slot->subjob;
+  view.startedAt = slot->startedAt;
+  const std::uint64_t done = eventsDoneByNow(*slot);
+  view.remaining = {slot->subjob.range.begin + done, slot->subjob.range.end};
+  return view;
+}
+
+// ---------------------------------------------------------------------------
+// ISchedulerHost actions
+
+std::vector<RealtimeHost::PlanPiece> RealtimeHost::planRun(NodeId node, const Subjob& sj,
+                                                           const RunOptions& opts) const {
+  std::vector<PlanPiece> plan;
+  const LruExtentCache& localCache = cluster_.node(node).cache();
+  const LruExtentCache* remoteCache =
+      opts.remoteFrom != kNoNode ? &cluster_.node(opts.remoteFrom).cache() : nullptr;
+  const bool caching = policy_->usesCaching();
+  EventIndex cursor = sj.range.begin;
+  while (cursor < sj.range.end) {
+    const EventRange rest{cursor, sj.range.end};
+    PlanPiece piece;
+    if (caching) {
+      const EventRange localRun = localCache.cachedIn(rest).runAt(cursor);
+      if (!localRun.empty()) {
+        piece.range = localRun;
+        piece.source = DataSource::LocalCache;
+      } else if (remoteCache != nullptr &&
+                 !remoteCache->cachedIn(rest).runAt(cursor).empty()) {
+        piece.range = remoteCache->cachedIn(rest).runAt(cursor);
+        piece.source = DataSource::RemoteCache;
+      }
+    }
+    if (piece.range.empty()) {
+      IntervalSet avail = caching ? localCache.cachedIn(rest) : IntervalSet{};
+      if (caching && remoteCache != nullptr) avail.insert(remoteCache->cachedIn(rest));
+      EventIndex stopAt = rest.end;
+      for (const EventRange& r : avail.intervals()) {
+        if (r.begin > cursor) {
+          stopAt = std::min(stopAt, r.begin);
+          break;
+        }
+      }
+      piece.range = {cursor, stopAt};
+      piece.source = DataSource::Tertiary;
+    }
+    CostModel cost = cfg_.cost;
+    if (!cfg_.nodeSpeedFactors.empty()) {
+      cost.cpuSecPerEvent /= cfg_.nodeSpeedFactors[static_cast<std::size_t>(node)];
+    }
+    piece.rate = cost.secPerEvent(piece.source);
+    plan.push_back(piece);
+    cursor = piece.range.end;
+  }
+  return plan;
+}
+
+void RealtimeHost::startRun(NodeId node, Subjob sj, RunOptions opts) {
+  std::lock_guard guard(lock_);
+  auto& assignment = assignments_.at(static_cast<std::size_t>(node));
+  if (assignment) throw std::logic_error("startRun on a busy node");
+  if (sj.empty()) throw std::logic_error("startRun with an empty subjob");
+  if (!state(sj.job).remaining.containsRange(sj.range)) {
+    throw std::logic_error("subjob range is not remaining work of its job");
+  }
+  Assignment a;
+  a.subjob = sj;
+  a.opts = opts;
+  a.plan = planRun(node, sj, opts);
+  for (const PlanPiece& piece : a.plan) {
+    a.durationSimSec += static_cast<double>(piece.range.size()) * piece.rate;
+  }
+  a.startedAt = now();
+  a.generation = nextGeneration_++;
+  metrics_.onFirstStart(sj.job, a.startedAt);
+
+  ExecutorSlot& slot = *slots_[static_cast<std::size_t>(node)];
+  {
+    std::lock_guard slotGuard(slot.m);
+    slot.hasWork = true;
+    slot.generation = a.generation;
+    slot.wallSeconds = a.durationSimSec / options_.timeScale;
+  }
+  slot.cv.notify_all();
+  assignment = std::move(a);
+}
+
+void RealtimeHost::applyProgress(NodeId node, Assignment& assignment,
+                                 std::uint64_t eventsDone) {
+  if (eventsDone == 0) return;
+  const EventRange done{assignment.subjob.range.begin,
+                        assignment.subjob.range.begin + eventsDone};
+  JobState& js = state(assignment.subjob.job);
+  js.remaining.erase(done);
+  const SimTime t = now();
+  // Cache effects piece by piece, as in the simulator.
+  if (policy_->usesCaching()) {
+    LruExtentCache& localCache = cluster_.node(node).cache();
+    for (const PlanPiece& piece : assignment.plan) {
+      const EventRange processed = piece.range.intersect(done);
+      if (processed.empty()) continue;
+      metrics_.onEventsProcessed(piece.source, processed.size(), t);
+      switch (piece.source) {
+        case DataSource::LocalCache:
+          localCache.touch(processed, t);
+          break;
+        case DataSource::Tertiary:
+          localCache.insert(processed, t);
+          break;
+        case DataSource::RemoteCache:
+          cluster_.node(assignment.opts.remoteFrom).cache().touch(processed, t);
+          break;
+      }
+    }
+  } else {
+    metrics_.onEventsProcessed(DataSource::Tertiary, done.size(), t);
+  }
+  if (js.remaining.empty() && !js.completed) {
+    js.completed = true;
+    metrics_.onCompletion(js.job.id, t);
+    drainCv_.notify_all();
+  }
+}
+
+void RealtimeHost::handleCompletion(NodeId node, std::uint64_t generation) {
+  auto& assignment = assignments_.at(static_cast<std::size_t>(node));
+  if (!assignment || assignment->generation != generation) return;  // stale
+  Assignment finished = std::move(*assignment);
+  assignment.reset();
+  applyProgress(node, finished, finished.subjob.events());
+  RunReport report;
+  report.subjob = finished.subjob;
+  report.jobCompleted = state(finished.subjob.job).completed;
+  policy_->onRunFinished(node, report);
+}
+
+Subjob RealtimeHost::preempt(NodeId node) {
+  std::lock_guard guard(lock_);
+  auto& assignment = assignments_.at(static_cast<std::size_t>(node));
+  if (!assignment) throw std::logic_error("preempt on an idle node");
+  Assignment stopped = std::move(*assignment);
+  assignment.reset();
+  // Invalidate the executor's current wait; a bumped generation makes any
+  // in-flight completion stale.
+  ExecutorSlot& slot = *slots_[static_cast<std::size_t>(node)];
+  {
+    std::lock_guard slotGuard(slot.m);
+    slot.generation = nextGeneration_++;
+    slot.hasWork = false;
+  }
+  slot.cv.notify_all();
+
+  const std::uint64_t done = eventsDoneByNow(stopped);
+  applyProgress(node, stopped, done);
+  Subjob remainder = stopped.subjob;
+  remainder.range = {stopped.subjob.range.begin + done, stopped.subjob.range.end};
+  return remainder;
+}
+
+TimerId RealtimeHost::scheduleTimer(SimTime at) {
+  std::lock_guard guard(lock_);
+  const TimerId id = nextTimer_++;
+  timers_[id] = at;
+  schedulerCv_.notify_all();
+  return id;
+}
+
+void RealtimeHost::cancelTimer(TimerId id) {
+  std::lock_guard guard(lock_);
+  timers_.erase(id);
+}
+
+void RealtimeHost::noteSchedulingDelay(JobId id, Duration delay) {
+  std::lock_guard guard(lock_);
+  metrics_.onSchedulingDelay(id, delay);
+}
+
+}  // namespace ppsched

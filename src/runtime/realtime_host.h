@@ -1,0 +1,162 @@
+// Wall-clock scheduler host.
+//
+// §2.3 of the paper: "The job parallelization and scheduling software may
+// run both on the simulated and on the target system (production
+// environment)." This host is the target-system side of that claim: it
+// drives the *same* ISchedulerPolicy objects as the simulator, but against
+// the wall clock, with one asynchronous executor thread per node standing
+// in for the real machines. Executors "process" their assigned subjobs by
+// waiting out the scaled real-time cost (a production deployment would
+// replace the executor body with actual event analysis; everything above
+// the executor — queues, splitting, preemption, cache bookkeeping — is the
+// production scheduler as-is).
+//
+// Time scale: `timeScale` simulated seconds pass per wall-clock second, so
+// a 9-hour analysis job completes in milliseconds during tests and demos.
+//
+// Model differences from the simulator (documented, acceptable for a
+// functional stand-in): a run's data-source plan is computed once at start
+// against the then-current cache state (the simulator re-plans every span),
+// and completion times are subject to OS scheduling jitter.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/host.h"
+#include "core/metrics.h"
+#include "core/policy.h"
+
+namespace ppsched {
+
+struct RealtimeOptions {
+  /// Simulated seconds per wall-clock second (default: 1 simulated hour
+  /// per ~0.36 wall seconds).
+  double timeScale = 10'000.0;
+};
+
+class RealtimeHost final : public ISchedulerHost {
+ public:
+  /// `cfg` must be finalized; `metrics` must outlive the host.
+  RealtimeHost(const SimConfig& cfg, std::unique_ptr<ISchedulerPolicy> policy,
+               MetricsCollector& metrics, RealtimeOptions options = {});
+  ~RealtimeHost() override;
+
+  RealtimeHost(const RealtimeHost&) = delete;
+  RealtimeHost& operator=(const RealtimeHost&) = delete;
+
+  /// Submit a job now (its arrival time is stamped by the host clock; the
+  /// Job::arrival field of the argument is ignored). Thread-safe.
+  JobId submit(EventRange range);
+
+  /// Block until all submitted jobs have completed, or the wall-clock
+  /// timeout expires. Returns true when everything completed.
+  bool drain(std::chrono::milliseconds wallTimeout);
+
+  /// Jobs completed so far. Thread-safe.
+  [[nodiscard]] std::size_t completedJobs() const;
+
+  // --- ISchedulerHost (called by the policy on the scheduler thread) -----
+  [[nodiscard]] SimTime now() const override;
+  [[nodiscard]] const SimConfig& config() const override { return cfg_; }
+  [[nodiscard]] int numNodes() const override { return cluster_.size(); }
+  [[nodiscard]] Cluster& cluster() override { return cluster_; }
+  [[nodiscard]] bool isIdle(NodeId node) const override;
+  [[nodiscard]] std::vector<NodeId> idleNodes() const override;
+  [[nodiscard]] RunningView running(NodeId node) const override;
+  [[nodiscard]] const Job& job(JobId id) const override;
+  [[nodiscard]] const IntervalSet& remainingOf(JobId id) const override;
+  [[nodiscard]] bool jobDone(JobId id) const override;
+  [[nodiscard]] std::size_t jobsInSystem() const override;
+  void startRun(NodeId node, Subjob sj, RunOptions opts = {}) override;
+  Subjob preempt(NodeId node) override;
+  TimerId scheduleTimer(SimTime at) override;
+  void cancelTimer(TimerId id) override;
+  void noteSchedulingDelay(JobId id, Duration delay) override;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// One contiguous stretch of a run's plan with a single data source.
+  struct PlanPiece {
+    EventRange range;
+    DataSource source = DataSource::Tertiary;
+    double rate = 0.0;  ///< simulated seconds per event
+  };
+
+  struct Assignment {
+    Subjob subjob;
+    RunOptions opts;
+    std::vector<PlanPiece> plan;
+    double durationSimSec = 0.0;
+    SimTime startedAt = 0.0;
+    std::uint64_t generation = 0;
+  };
+
+  struct JobState {
+    Job job;
+    IntervalSet remaining;
+    bool completed = false;
+  };
+
+  /// Scheduler-thread commands (arrivals, completions).
+  struct Command {
+    std::function<void()> fn;
+  };
+
+  void schedulerLoop();
+  void executorLoop(NodeId node);
+  /// Enqueue a command for the scheduler thread.
+  void post(std::function<void()> fn);
+
+  // The following run on the scheduler thread with lock_ held.
+  void handleCompletion(NodeId node, std::uint64_t generation);
+  void applyProgress(NodeId node, Assignment& assignment, std::uint64_t eventsDone);
+  [[nodiscard]] std::vector<PlanPiece> planRun(NodeId node, const Subjob& sj,
+                                               const RunOptions& opts) const;
+  [[nodiscard]] std::uint64_t eventsDoneByNow(const Assignment& assignment) const;
+  JobState& state(JobId id);
+  [[nodiscard]] const JobState& state(JobId id) const;
+
+  SimConfig cfg_;
+  std::unique_ptr<ISchedulerPolicy> policy_;
+  MetricsCollector& metrics_;
+  Cluster cluster_;
+  RealtimeOptions options_;
+  Clock::time_point epoch_;
+
+  mutable std::recursive_mutex lock_;
+  std::condition_variable_any schedulerCv_;
+  std::condition_variable_any drainCv_;
+  std::deque<Command> commands_;
+  std::map<TimerId, SimTime> timers_;
+  TimerId nextTimer_ = 1;
+  std::vector<JobState> jobs_;
+  std::vector<std::optional<Assignment>> assignments_;  // per node
+  std::uint64_t nextGeneration_ = 1;
+  bool stopping_ = false;
+
+  // Per-node executor handshake.
+  struct ExecutorSlot {
+    std::mutex m;
+    std::condition_variable cv;
+    bool hasWork = false;
+    bool cancel = false;
+    double wallSeconds = 0.0;
+    std::uint64_t generation = 0;
+  };
+  std::vector<std::unique_ptr<ExecutorSlot>> slots_;
+  std::vector<std::thread> executors_;
+  std::thread scheduler_;
+};
+
+}  // namespace ppsched

@@ -1,0 +1,83 @@
+#include "sched/adaptive.h"
+
+#include <stdexcept>
+
+namespace ppsched {
+
+TableAdaptiveDelay::TableAdaptiveDelay(std::vector<AdaptiveLevel> levels)
+    : levels_(std::move(levels)) {
+  if (levels_.empty()) throw std::invalid_argument("adaptive table must not be empty");
+  for (std::size_t i = 1; i < levels_.size(); ++i) {
+    if (levels_[i].maxLoadJobsPerHour <= levels_[i - 1].maxLoadJobsPerHour) {
+      throw std::invalid_argument("adaptive table loads must be ascending");
+    }
+    if (levels_[i].delay < levels_[i - 1].delay) {
+      throw std::invalid_argument("adaptive table delays must be non-decreasing");
+    }
+  }
+}
+
+Duration TableAdaptiveDelay::nextPeriod(const ISchedulerHost&, double observedJobsPerHour) {
+  std::size_t target = levels_.size() - 1;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (observedJobsPerHour <= levels_[i].maxLoadJobsPerHour) {
+      target = i;
+      break;
+    }
+  }
+  if (target >= level_) {
+    level_ = target;  // escalate immediately
+  } else {
+    // De-escalate one band at a time, and only when the load sits clearly
+    // inside the lower band; prevents flapping when the observed load
+    // hovers at a band boundary.
+    while (level_ > target &&
+           observedJobsPerHour <= levels_[level_ - 1].maxLoadJobsPerHour * kHysteresis) {
+      --level_;
+    }
+  }
+  return levels_[level_].delay;
+}
+
+std::vector<AdaptiveLevel> TableAdaptiveDelay::defaultTable() {
+  // Measured from this repository's delayed-scheduling sweeps (cache 100 GB,
+  // Figs 5/6 and EXPERIMENTS.md): zero delay sustains ~2.0 jobs/hour, the
+  // Fig 5 delays extend the sustainable range step by step.
+  return {
+      {1.95, 0.0},
+      {2.1, 11 * units::hour},
+      {2.35, 2 * units::day},
+      {1e9, units::week},
+  };
+}
+
+FeedbackAdaptiveDelay::FeedbackAdaptiveDelay(Params params) : params_(std::move(params)) {
+  if (params_.ladder.empty()) throw std::invalid_argument("delay ladder must not be empty");
+  for (std::size_t i = 1; i < params_.ladder.size(); ++i) {
+    if (params_.ladder[i] < params_.ladder[i - 1]) {
+      throw std::invalid_argument("delay ladder must be ascending");
+    }
+  }
+  if (params_.lowWater >= params_.highWater) {
+    throw std::invalid_argument("lowWater must be < highWater");
+  }
+}
+
+Duration FeedbackAdaptiveDelay::nextPeriod(const ISchedulerHost& host, double) {
+  const std::size_t inSystem = host.jobsInSystem();
+  if (inSystem > params_.highWater && level_ + 1 < params_.ladder.size()) {
+    ++level_;
+  } else if (inSystem < params_.lowWater && level_ > 0) {
+    --level_;
+  }
+  return params_.ladder[level_];
+}
+
+std::unique_ptr<DelayedScheduler> makeAdaptiveScheduler(DelayedParams params,
+                                                        std::vector<AdaptiveLevel> table) {
+  if (table.empty()) table = TableAdaptiveDelay::defaultTable();
+  return std::make_unique<DelayedScheduler>(
+      params, std::make_unique<TableAdaptiveDelay>(std::move(table)), "adaptive");
+}
+
+}  // namespace ppsched

@@ -1,0 +1,257 @@
+#include "sched/cache_oriented.h"
+
+#include <algorithm>
+
+namespace ppsched {
+
+std::uint64_t CacheOrientedScheduler::cachedOnNode(NodeId node, EventRange r) const {
+  return host().cluster().node(node).cache().overlapSize(r);
+}
+
+Subjob CacheOrientedScheduler::preemptTracked(NodeId node) {
+  const JobId victim = host().running(node).subjob.job;
+  Subjob rem = host().preempt(node);
+  auto it = active_.find(victim);
+  if (it != active_.end()) {
+    --it->second.runningNodes;
+    if (rem.empty() && host().jobDone(victim)) active_.erase(it);
+  }
+  return rem;
+}
+
+void CacheOrientedScheduler::startJobOnIdleNodes(const Job& job, const std::vector<NodeId>& idle) {
+  const std::uint64_t minSize = host().config().minSubjobEvents;
+  auto pieces = splitByCaches(job, host().cluster(), minSize);
+
+  // Fewer pieces than idle nodes: subdivide the largest piece until every
+  // node can be fed (or nothing is splittable). Halves of a fully cached
+  // piece stay fully cached on the same node.
+  while (pieces.size() < idle.size()) {
+    auto largest = std::max_element(pieces.begin(), pieces.end(),
+                                    [](const PlacedSubjob& a, const PlacedSubjob& b) {
+                                      return a.subjob.events() < b.subjob.events();
+                                    });
+    if (largest == pieces.end() || largest->subjob.events() < 2 * minSize) break;
+    const auto halves = splitEqual(largest->subjob, 2, minSize);
+    PlacedSubjob second = *largest;
+    largest->subjob = halves[0];
+    second.subjob = halves[1];
+    pieces.push_back(second);
+  }
+
+  // Place: cached pieces on their own node first, then fill the remaining
+  // idle nodes with the largest remaining pieces.
+  JobInfo info;
+  std::vector<bool> pieceUsed(pieces.size(), false);
+  std::vector<NodeId> unfilled;
+  for (NodeId n : idle) {
+    std::size_t best = pieces.size();
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+      if (pieceUsed[i] || pieces[i].cachedOn != n) continue;
+      if (best == pieces.size() || pieces[i].subjob.events() > pieces[best].subjob.events()) {
+        best = i;
+      }
+    }
+    if (best < pieces.size()) {
+      pieceUsed[best] = true;
+      host().startRun(n, pieces[best].subjob);
+      ++info.runningNodes;
+    } else {
+      unfilled.push_back(n);
+    }
+  }
+  for (NodeId n : unfilled) {
+    std::size_t best = pieces.size();
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+      if (pieceUsed[i]) continue;
+      if (best == pieces.size() || pieces[i].subjob.events() > pieces[best].subjob.events()) {
+        best = i;
+      }
+    }
+    if (best == pieces.size()) break;  // more nodes than pieces (tiny job)
+    pieceUsed[best] = true;
+    host().startRun(n, pieces[best].subjob);
+    ++info.runningNodes;
+  }
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (!pieceUsed[i]) info.suspended.push_back(pieces[i]);
+  }
+  active_[job.id] = std::move(info);
+}
+
+void CacheOrientedScheduler::onJobArrival(const Job& job) {
+  const auto idle = host().idleNodes();
+  if (!idle.empty()) {
+    startJobOnIdleNodes(job, idle);
+    return;
+  }
+
+  // No idle node. Release a node so the new job starts now (FCFS), provided
+  // the victim's job keeps at least one other node. Node selection maximizes
+  // cached data access (Table 2): prefer a node where a piece of the new job
+  // is cached and whose current run profits least from its own cache.
+  const std::uint64_t minSize = host().config().minSubjobEvents;
+  const auto pieces = splitByCaches(job, host().cluster(), minSize);
+  NodeId victimNode = kNoNode;
+  double bestVictimScore = 0.0;
+  for (NodeId n = 0; n < host().numNodes(); ++n) {
+    const auto view = host().running(n);
+    if (!view.active) continue;
+    auto it = active_.find(view.subjob.job);
+    if (it == active_.end() || it->second.runningNodes < 2) continue;
+    const auto remaining = view.remaining.size();
+    if (remaining == 0) continue;
+    const double usefulness =
+        static_cast<double>(cachedOnNode(n, view.remaining)) / static_cast<double>(remaining);
+    double newJobBenefit = 0.0;
+    for (const PlacedSubjob& piece : pieces) {
+      const double f = static_cast<double>(cachedOnNode(n, piece.subjob.range)) /
+                       static_cast<double>(piece.subjob.events());
+      newJobBenefit = std::max(newJobBenefit, f);
+    }
+    const double score = 1.0 + newJobBenefit - usefulness;  // > 0 for any candidate
+    if (score > bestVictimScore) {
+      bestVictimScore = score;
+      victimNode = n;
+    }
+  }
+  if (victimNode != kNoNode) {
+    const JobId victimJob = host().running(victimNode).subjob.job;
+    Subjob rem = preemptTracked(victimNode);
+    if (!rem.empty()) {
+      PlacedSubjob susp;
+      susp.subjob = rem;
+      susp.cachedOn = host().cluster().bestCacheNode(rem.range);
+      active_[victimJob].suspended.push_front(susp);
+    }
+    // Start the new job's best piece for this node; suspend the rest.
+    std::size_t best = 0;
+    std::uint64_t bestScore = 0;
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+      const std::uint64_t score = cachedOnNode(victimNode, pieces[i].subjob.range);
+      if (i == 0 || score > bestScore) {
+        best = i;
+        bestScore = score;
+      }
+    }
+    JobInfo info;
+    host().startRun(victimNode, pieces[best].subjob);
+    info.runningNodes = 1;
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+      if (i != best) info.suspended.push_back(pieces[i]);
+    }
+    active_[job.id] = std::move(info);
+    return;
+  }
+
+  pending_.push_back(job);
+}
+
+void CacheOrientedScheduler::feedNode(NodeId node) {
+  const std::uint64_t minSize = host().config().minSubjobEvents;
+
+  // 1. Most suitable suspended subjob across all jobs: the one with the
+  // largest amount of data cached on this node; FIFO by job arrival as the
+  // tie-break (cold pieces of old jobs before cold pieces of new ones).
+  JobId bestJob = kNoJob;
+  std::size_t bestIdx = 0;
+  std::uint64_t bestCached = 0;
+  SimTime bestArrival = 0.0;
+  for (auto& [id, info] : active_) {
+    for (std::size_t i = 0; i < info.suspended.size(); ++i) {
+      const auto& piece = info.suspended[i];
+      const std::uint64_t cached = cachedOnNode(node, piece.subjob.range);
+      const SimTime arrival = piece.subjob.jobArrival;
+      const bool better =
+          bestJob == kNoJob || cached > bestCached ||
+          (cached == bestCached && arrival < bestArrival);
+      if (better) {
+        bestJob = id;
+        bestIdx = i;
+        bestCached = cached;
+        bestArrival = arrival;
+      }
+    }
+  }
+  if (bestJob != kNoJob) {
+    auto& info = active_[bestJob];
+    const Subjob sj = info.suspended[bestIdx].subjob;
+    info.suspended.erase(info.suspended.begin() + static_cast<std::ptrdiff_t>(bestIdx));
+    host().startRun(node, sj);
+    ++info.runningNodes;
+    return;
+  }
+
+  // 2. Split the running subjob with the largest caching benefit for this
+  // node (overlap of its second half with our cache); fall back to the
+  // largest remaining subjob when caches offer nothing.
+  NodeId splitNode = kNoNode;
+  double bestScore = -1.0;
+  for (NodeId m = 0; m < host().numNodes(); ++m) {
+    const auto view = host().running(m);
+    if (!view.active || view.remaining.size() < 2 * minSize) continue;
+    const EventRange secondHalf{view.remaining.begin + view.remaining.size() / 2,
+                                view.remaining.end};
+    const double score = static_cast<double>(cachedOnNode(node, secondHalf)) +
+                         static_cast<double>(view.remaining.size()) * 1e-9;
+    if (score > bestScore) {
+      bestScore = score;
+      splitNode = m;
+    }
+  }
+  if (splitNode == kNoNode) return;  // nothing splittable: node stays idle
+
+  const JobId jobId = host().running(splitNode).subjob.job;
+  Subjob rem = preemptTracked(splitNode);
+  if (rem.empty()) return;
+  if (rem.events() < 2 * minSize) {
+    host().startRun(splitNode, rem);
+    ++active_[jobId].runningNodes;
+    return;
+  }
+  const auto halves = splitEqual(rem, 2, minSize);
+  host().startRun(splitNode, halves[0]);
+  host().startRun(node, halves[1]);
+  active_[jobId].runningNodes += 2;
+}
+
+void CacheOrientedScheduler::onRunFinished(NodeId node, const RunReport& report) {
+  const JobId jobId = report.subjob.job;
+  auto it = active_.find(jobId);
+  if (it != active_.end()) --it->second.runningNodes;
+
+  if (report.jobCompleted) {
+    if (it != active_.end()) active_.erase(it);
+    if (!pending_.empty()) {
+      const Job next = pending_.front();
+      pending_.pop_front();
+      startJobOnIdleNodes(next, host().idleNodes());
+      return;
+    }
+    feedNode(node);
+    return;
+  }
+
+  // Subjob end: resume the suspended piece of the same job with the largest
+  // amount of data cached on this node (Table 2).
+  if (it != active_.end() && !it->second.suspended.empty()) {
+    auto& susp = it->second.suspended;
+    std::size_t best = 0;
+    std::uint64_t bestCached = 0;
+    for (std::size_t i = 0; i < susp.size(); ++i) {
+      const std::uint64_t cached = cachedOnNode(node, susp[i].subjob.range);
+      if (i == 0 || cached > bestCached) {
+        best = i;
+        bestCached = cached;
+      }
+    }
+    const Subjob sj = susp[best].subjob;
+    susp.erase(susp.begin() + static_cast<std::ptrdiff_t>(best));
+    host().startRun(node, sj);
+    ++it->second.runningNodes;
+    return;
+  }
+  feedNode(node);
+}
+
+}  // namespace ppsched

@@ -1,0 +1,52 @@
+// Cache-oriented job splitting (§3.3, Table 2).
+//
+// FCFS job start order, like SplittingScheduler, but node disks cache all
+// data read from tertiary storage (LRU) and splitting follows cache
+// boundaries: each subjob's data is either fully cached on one node or not
+// cached at all, and placement maximizes cached access.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "core/host.h"
+#include "core/policy.h"
+#include "sched/split_util.h"
+
+namespace ppsched {
+
+class CacheOrientedScheduler final : public ISchedulerPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "cache_oriented"; }
+
+  void onJobArrival(const Job& job) override;
+  void onRunFinished(NodeId node, const RunReport& report) override;
+
+  [[nodiscard]] std::size_t queuedJobs() const { return pending_.size(); }
+
+ private:
+  struct JobInfo {
+    std::deque<PlacedSubjob> suspended;
+    int runningNodes = 0;
+  };
+
+  /// Start a (not yet started) job across the given idle nodes: split by
+  /// cache boundaries, subdivide if there are fewer pieces than nodes,
+  /// place cached pieces on their nodes, suspend the surplus.
+  void startJobOnIdleNodes(const Job& job, const std::vector<NodeId>& idle);
+
+  /// Find work for an idle node: activate the most suitable suspended
+  /// subjob (largest amount of data cached on this node), else split the
+  /// running subjob with the largest caching benefit. May leave it idle.
+  void feedNode(NodeId node);
+
+  Subjob preemptTracked(NodeId node);
+
+  [[nodiscard]] std::uint64_t cachedOnNode(NodeId node, EventRange r) const;
+
+  std::map<JobId, JobInfo> active_;
+  std::deque<Job> pending_;
+};
+
+}  // namespace ppsched

@@ -1,0 +1,125 @@
+#include "sched/delayed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "sched/split_util.h"
+
+namespace ppsched {
+
+DelayedScheduler::DelayedScheduler(DelayedParams params,
+                                   std::unique_ptr<DelayController> controller,
+                                   std::string displayName)
+    : params_(params), controller_(std::move(controller)), displayName_(std::move(displayName)) {
+  if (!controller_) throw std::invalid_argument("DelayedScheduler needs a controller");
+  if (params_.stripeEvents == 0) throw std::invalid_argument("stripeEvents must be >= 1");
+}
+
+void DelayedScheduler::bind(ISchedulerHost& host) {
+  ISchedulerPolicy::bind(host);
+  nodeQueues_.assign(static_cast<std::size_t>(host.numNodes()), {});
+}
+
+void DelayedScheduler::noteArrivalForLoad(SimTime t) {
+  recentArrivals_.push_back(t);
+  while (!recentArrivals_.empty() && recentArrivals_.front() < t - params_.loadWindow) {
+    recentArrivals_.pop_front();
+  }
+}
+
+double DelayedScheduler::observedLoadJobsPerHour() const {
+  // Rate over the retained window. Fewer than 5 samples is not enough
+  // history to justify delaying anybody — report 0 (zero delay is the safe
+  // default; the paper's adaptive policy also idles at low load).
+  if (recentArrivals_.size() < 5) return 0.0;
+  const Duration span = recentArrivals_.back() - recentArrivals_.front();
+  if (span <= 0.0) return 0.0;
+  return static_cast<double>(recentArrivals_.size() - 1) / units::toHours(span);
+}
+
+void DelayedScheduler::onJobArrival(const Job& job) {
+  noteArrivalForLoad(job.arrival);
+  if (timerActive_) {
+    accumulating_.push_back(job);
+    return;
+  }
+  // Between periods: ask the controller how long the next period should be.
+  currentPeriod_ = controller_->nextPeriod(host(), observedLoadJobsPerHour());
+  if (currentPeriod_ <= 0.0) {
+    scheduleBatch({job});  // zero delay: immediate scheduling
+    return;
+  }
+  accumulating_.push_back(job);
+  timerActive_ = true;
+  SimTime at = host().now() + currentPeriod_;
+  if (params_.alignPeriodsToGrid) {
+    // Next boundary of the global grid k * period (Table 4's equal-size
+    // periods anchored at t = 0).
+    const double k = std::ceil(host().now() / currentPeriod_ + 1e-12);
+    at = std::max(host().now(), k * currentPeriod_);
+  }
+  host().scheduleTimer(at);
+}
+
+void DelayedScheduler::onTimer(TimerId) {
+  timerActive_ = false;
+  std::vector<Job> batch;
+  batch.swap(accumulating_);
+  scheduleBatch(batch);
+  // The next period is armed by the next arrival; an empty grid period
+  // would only add an idle timer event.
+}
+
+void DelayedScheduler::scheduleBatch(const std::vector<Job>& jobs) {
+  const std::uint64_t minSize = host().config().minSubjobEvents;
+  std::vector<Subjob> cold;
+  // Jobs are in arrival order, so cached pieces enter the node queues in
+  // FIFO order (fairness).
+  for (const Job& job : jobs) {
+    host().noteSchedulingDelay(job.id, host().now() - job.arrival);
+    for (const PlacedSubjob& piece : splitByCaches(job, host().cluster(), minSize)) {
+      if (piece.cached()) {
+        nodeQueues_[static_cast<std::size_t>(piece.cachedOn)].push_back(piece.subjob);
+      } else {
+        cold.push_back(piece.subjob);
+      }
+    }
+  }
+  // Queue the meta-subjobs by earliest arrival (Table 4 fairness), merging
+  // with whatever is left over from earlier periods.
+  for (MetaSubjob& m : buildMetaSubjobs(cold, params_.stripeEvents)) {
+    metaQueue_.push_back(std::move(m));
+  }
+  std::stable_sort(metaQueue_.begin(), metaQueue_.end(),
+                   [](const MetaSubjob& a, const MetaSubjob& b) {
+                     return a.earliestArrival < b.earliestArrival;
+                   });
+  for (NodeId n : host().idleNodes()) feedNode(n);
+}
+
+void DelayedScheduler::feedNode(NodeId node) {
+  auto& own = nodeQueues_[static_cast<std::size_t>(node)];
+  if (!own.empty()) {
+    const Subjob sj = own.front();
+    own.pop_front();
+    host().startRun(node, sj);
+    return;
+  }
+  if (!metaQueue_.empty()) {
+    MetaSubjob meta = std::move(metaQueue_.front());
+    metaQueue_.pop_front();
+    // All subjobs of the meta run on this node: the first fetches the
+    // stripe from tertiary storage, the rest hit the local cache.
+    for (const Subjob& sj : meta.subjobs) own.push_back(sj);
+    const Subjob first = own.front();
+    own.pop_front();
+    host().startRun(node, first);
+    return;
+  }
+  // Nothing to do until the next period.
+}
+
+void DelayedScheduler::onRunFinished(NodeId node, const RunReport&) { feedNode(node); }
+
+}  // namespace ppsched

@@ -1,0 +1,32 @@
+#include "sched/farm.h"
+
+namespace ppsched {
+
+namespace {
+Subjob wholeJob(const Job& job) {
+  Subjob sj;
+  sj.job = job.id;
+  sj.range = job.range;
+  sj.jobArrival = job.arrival;
+  return sj;
+}
+}  // namespace
+
+void FarmScheduler::onJobArrival(const Job& job) {
+  const auto idle = host().idleNodes();
+  if (!idle.empty()) {
+    host().startRun(idle.front(), wholeJob(job));
+  } else {
+    queue_.push_back(job);
+  }
+}
+
+void FarmScheduler::onRunFinished(NodeId node, const RunReport&) {
+  if (!queue_.empty()) {
+    const Job job = queue_.front();
+    queue_.pop_front();
+    host().startRun(node, wholeJob(job));
+  }
+}
+
+}  // namespace ppsched

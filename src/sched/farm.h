@@ -1,0 +1,31 @@
+// Processing-farm scheduling (§3.1) — the paper's baseline, "the policy in
+// use at CERN for scheduling jobs on a computing cluster".
+//
+// Jobs queue FCFS in front of the cluster; each job runs unsplit on the
+// first available node, which stays dedicated to it until the end. No disk
+// caching: every byte comes from tertiary storage. Behaves as an M/Er/m
+// queue (validated against core/queueing.h).
+#pragma once
+
+#include <deque>
+
+#include "core/host.h"
+#include "core/policy.h"
+
+namespace ppsched {
+
+class FarmScheduler final : public ISchedulerPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "farm"; }
+  [[nodiscard]] bool usesCaching() const override { return false; }
+
+  void onJobArrival(const Job& job) override;
+  void onRunFinished(NodeId node, const RunReport& report) override;
+
+  [[nodiscard]] std::size_t queuedJobs() const { return queue_.size(); }
+
+ private:
+  std::deque<Job> queue_;
+};
+
+}  // namespace ppsched

@@ -1,0 +1,189 @@
+#include "sched/mixed.h"
+
+#include <algorithm>
+
+#include "sched/split_util.h"
+
+namespace ppsched {
+
+void MixedScheduler::bind(ISchedulerHost& host) {
+  ISchedulerPolicy::bind(host);
+  nodeQueues_.assign(static_cast<std::size_t>(host.numNodes()), {});
+}
+
+std::uint64_t MixedScheduler::cachedOnNode(NodeId node, EventRange r) const {
+  return host().cluster().node(node).cache().overlapSize(r);
+}
+
+double MixedScheduler::estimatedRate(NodeId node, EventRange r) const {
+  if (r.empty()) return host().config().cost.cachedSecPerEvent();
+  const double f = static_cast<double>(cachedOnNode(node, r)) / static_cast<double>(r.size());
+  const auto& cost = host().config().cost;
+  return f * cost.cachedSecPerEvent() + (1.0 - f) * cost.uncachedSecPerEvent();
+}
+
+void MixedScheduler::requeueRemainderFront(Subjob rem) {
+  if (rem.empty()) return;
+  const NodeId home = host().cluster().bestCacheNode(rem.range);
+  rem.yieldsToCached = false;
+  if (home != kNoNode) {
+    nodeQueues_[static_cast<std::size_t>(home)].push_front(rem);
+  } else {
+    // Back into the cold pool; it will re-stripe with the next batch.
+    coldPool_.push_back(rem);
+  }
+}
+
+void MixedScheduler::onJobArrival(const Job& job) {
+  const std::uint64_t minSize = host().config().minSubjobEvents;
+  const auto pieces = splitByCaches(job, host().cluster(), minSize);
+
+  // Cached pieces: out-of-order immediate treatment (Table 3 arrival rule).
+  for (const PlacedSubjob& piece : pieces) {
+    if (!piece.cached()) {
+      coldPool_.push_back(piece.subjob);
+      continue;
+    }
+    const NodeId n = piece.cachedOn;
+    if (host().isIdle(n)) {
+      host().startRun(n, piece.subjob);
+      continue;
+    }
+    const auto view = host().running(n);
+    const bool preemptible = !promotedNodes_.contains(n) &&
+                             (view.subjob.yieldsToCached ||
+                              cachedOnNode(n, view.remaining) == 0);
+    if (preemptible) {
+      Subjob rem = host().preempt(n);
+      requeueRemainderFront(rem);
+      host().startRun(n, piece.subjob);
+    } else {
+      nodeQueues_[static_cast<std::size_t>(n)].push_back(piece.subjob);
+    }
+  }
+
+  // Uncached pieces: accumulate for the period (delayed-scheduling
+  // treatment). With a zero period they are striped right away.
+  if (!coldPool_.empty()) {
+    if (params_.periodDelay <= 0.0) {
+      flushColdPool();
+    } else if (!timerActive_) {
+      timerActive_ = true;
+      host().scheduleTimer(host().now() + params_.periodDelay);
+    }
+  }
+
+  // Feed any nodes that are still idle.
+  for (NodeId n = 0; n < host().numNodes(); ++n) {
+    if (host().isIdle(n)) feedNode(n);
+  }
+}
+
+void MixedScheduler::onTimer(TimerId) {
+  timerActive_ = false;
+  flushColdPool();
+  for (NodeId n : host().idleNodes()) feedNode(n);
+}
+
+void MixedScheduler::flushColdPool() {
+  if (coldPool_.empty()) return;
+  std::vector<Subjob> cold;
+  cold.swap(coldPool_);
+  for (const Subjob& sj : cold) {
+    // The accumulation period is a scheduling delay in the Fig 5/6 sense.
+    host().noteSchedulingDelay(sj.job, host().now() - sj.jobArrival);
+  }
+  for (MetaSubjob& m : buildMetaSubjobs(cold, params_.stripeEvents)) {
+    metaQueue_.push_back(std::move(m));
+  }
+  std::stable_sort(metaQueue_.begin(), metaQueue_.end(),
+                   [](const MetaSubjob& a, const MetaSubjob& b) {
+                     return a.earliestArrival < b.earliestArrival;
+                   });
+}
+
+void MixedScheduler::feedNode(NodeId node) {
+  const std::uint64_t minSize = host().config().minSubjobEvents;
+
+  // 1. Starvation guard over queued meta-subjobs.
+  const SimTime cutoff = host().now() - params_.starvationLimit;
+  for (std::size_t i = 0; i < metaQueue_.size(); ++i) {
+    if (metaQueue_[i].earliestArrival >= cutoff) continue;
+    MetaSubjob meta = std::move(metaQueue_[i]);
+    metaQueue_.erase(metaQueue_.begin() + static_cast<std::ptrdiff_t>(i));
+    auto& own = nodeQueues_[static_cast<std::size_t>(node)];
+    for (auto it = meta.subjobs.rbegin(); it != meta.subjobs.rend(); ++it) {
+      own.push_front(*it);
+    }
+    const Subjob first = own.front();
+    own.pop_front();
+    promotedNodes_.insert(node);
+    ++promotions_;
+    host().startRun(node, first);
+    return;
+  }
+
+  // 2. The node's own queue (cached work first).
+  auto& own = nodeQueues_[static_cast<std::size_t>(node)];
+  if (!own.empty()) {
+    const Subjob sj = own.front();
+    own.pop_front();
+    host().startRun(node, sj);
+    return;
+  }
+
+  // 3. The striped uncached queue.
+  if (!metaQueue_.empty()) {
+    MetaSubjob meta = std::move(metaQueue_.front());
+    metaQueue_.pop_front();
+    for (const Subjob& sj : meta.subjobs) own.push_back(sj);
+    const Subjob first = own.front();
+    own.pop_front();
+    host().startRun(node, first);
+    return;
+  }
+
+  // 4. Steal: split the most loaded node's running subjob (as in Table 3).
+  NodeId loaded = kNoNode;
+  std::uint64_t maxLoad = 0;
+  for (NodeId m = 0; m < host().numNodes(); ++m) {
+    if (m == node) continue;
+    std::uint64_t load = 0;
+    for (const Subjob& q : nodeQueues_[static_cast<std::size_t>(m)]) load += q.events();
+    const auto view = host().running(m);
+    if (view.active) load += view.remaining.size();
+    if (load > maxLoad) {
+      maxLoad = load;
+      loaded = m;
+    }
+  }
+  if (loaded == kNoNode) return;
+  const auto view = host().running(loaded);
+  if (!view.active || view.remaining.size() < 2 * minSize) return;
+  Subjob rem = host().preempt(loaded);
+  if (rem.empty()) {
+    feedNode(loaded);
+    feedNode(node);
+    return;
+  }
+  if (rem.events() < 2 * minSize) {
+    host().startRun(loaded, rem);
+    return;
+  }
+  auto [keep, stolen] = splitProportional(rem, estimatedRate(loaded, rem.range),
+                                          host().config().cost.uncachedSecPerEvent(), minSize);
+  if (stolen.empty()) {
+    host().startRun(loaded, keep);
+    return;
+  }
+  stolen.yieldsToCached = true;
+  host().startRun(loaded, keep);
+  host().startRun(node, stolen);
+}
+
+void MixedScheduler::onRunFinished(NodeId node, const RunReport&) {
+  promotedNodes_.erase(node);
+  feedNode(node);
+}
+
+}  // namespace ppsched

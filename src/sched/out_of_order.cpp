@@ -1,0 +1,234 @@
+#include "sched/out_of_order.h"
+
+#include <algorithm>
+
+#include "sched/split_util.h"
+
+namespace ppsched {
+
+void OutOfOrderScheduler::bind(ISchedulerHost& host) {
+  ISchedulerPolicy::bind(host);
+  // Map each CPU to its cache group's leader (lowest sibling id); on the
+  // paper's single-CPU nodes every CPU leads its own group.
+  group_.assign(static_cast<std::size_t>(host.numNodes()), kNoNode);
+  for (NodeId n = 0; n < host.numNodes(); ++n) {
+    NodeId leader = n;
+    for (NodeId m = 0; m < n; ++m) {
+      if (host.cluster().node(n).sharesCacheWith(host.cluster().node(m))) {
+        leader = m;
+        break;
+      }
+    }
+    group_[static_cast<std::size_t>(n)] = leader;
+  }
+  nodeQueues_.assign(static_cast<std::size_t>(host.numNodes()), {});
+}
+
+std::size_t OutOfOrderScheduler::nodeQueueSize(NodeId node) const {
+  return nodeQueues_.at(static_cast<std::size_t>(group_.at(static_cast<std::size_t>(node))))
+      .size();
+}
+
+RunOptions OutOfOrderScheduler::optionsFor(NodeId, const Subjob&) { return {}; }
+
+void OutOfOrderScheduler::start(NodeId node, const Subjob& sj) {
+  host().startRun(node, sj, optionsFor(node, sj));
+}
+
+std::uint64_t OutOfOrderScheduler::cachedOnNode(NodeId node, EventRange r) const {
+  return host().cluster().node(node).cache().overlapSize(r);
+}
+
+double OutOfOrderScheduler::estimatedRate(NodeId node, EventRange r) const {
+  if (r.empty()) return host().config().cost.cachedSecPerEvent();
+  const double f = static_cast<double>(cachedOnNode(node, r)) / static_cast<double>(r.size());
+  const auto& cost = host().config().cost;
+  return f * cost.cachedSecPerEvent() + (1.0 - f) * cost.uncachedSecPerEvent();
+}
+
+void OutOfOrderScheduler::requeueRemainderFront(Subjob rem) {
+  if (rem.empty()) return;
+  const NodeId home = host().cluster().bestCacheNode(rem.range);
+  rem.yieldsToCached = false;
+  if (home != kNoNode) {
+    queueOf(home).push_front(rem);
+  } else {
+    uncachedQueue_.push_front(rem);
+  }
+}
+
+void OutOfOrderScheduler::onJobArrival(const Job& job) {
+  const std::uint64_t minSize = host().config().minSubjobEvents;
+  auto pieces = splitByCaches(job, host().cluster(), minSize);
+
+  std::vector<Subjob> uncached;
+  for (const PlacedSubjob& piece : pieces) {
+    if (!piece.cached()) {
+      uncached.push_back(piece.subjob);
+      continue;
+    }
+    const NodeId n = piece.cachedOn;
+    if (host().isIdle(n)) {
+      start(n, piece.subjob);
+      continue;
+    }
+    // Preempt a run working on non-cached data (or stolen work), unless it
+    // is a promoted starving job.
+    const auto view = host().running(n);
+    const bool preemptible = !promotedNodes_.contains(n) &&
+                             (view.subjob.yieldsToCached ||
+                              cachedOnNode(n, view.remaining) == 0);
+    if (preemptible) {
+      Subjob rem = host().preempt(n);
+      requeueRemainderFront(rem);
+      start(n, piece.subjob);
+    } else {
+      queueOf(n).push_back(piece.subjob);
+    }
+  }
+
+  // Uncached pieces: feed any still-idle nodes, splitting further if there
+  // are more nodes than pieces; queue the surplus.
+  const auto idle = host().idleNodes();
+  if (!idle.empty() && !uncached.empty()) {
+    while (uncached.size() < idle.size()) {
+      auto largest = std::max_element(uncached.begin(), uncached.end(),
+                                      [](const Subjob& a, const Subjob& b) {
+                                        return a.events() < b.events();
+                                      });
+      if (largest->events() < 2 * minSize) break;
+      const auto halves = splitEqual(*largest, 2, minSize);
+      *largest = halves[0];
+      uncached.push_back(halves[1]);
+    }
+    std::size_t i = 0;
+    for (NodeId n : idle) {
+      if (i >= uncached.size()) break;
+      start(n, uncached[i++]);
+    }
+    uncached.erase(uncached.begin(), uncached.begin() + static_cast<std::ptrdiff_t>(
+                                         std::min(uncached.size(), idle.size())));
+  }
+  for (const Subjob& sj : uncached) uncachedQueue_.push_back(sj);
+
+  // Nodes can still be idle here (e.g. the whole job was cached on one
+  // node): give them the usual node-available treatment, which includes
+  // stealing from the most loaded node (Table 3).
+  for (NodeId n = 0; n < host().numNodes(); ++n) {
+    if (host().isIdle(n)) feedNode(n);
+  }
+}
+
+std::size_t OutOfOrderScheduler::findStarving() const {
+  std::size_t best = npos;
+  const SimTime cutoff = host().now() - params_.starvationLimit;
+  for (std::size_t i = 0; i < uncachedQueue_.size(); ++i) {
+    if (uncachedQueue_[i].jobArrival >= cutoff) continue;
+    if (best == npos || uncachedQueue_[i].jobArrival < uncachedQueue_[best].jobArrival) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+void OutOfOrderScheduler::feedNode(NodeId node) {
+  const std::uint64_t minSize = host().config().minSubjobEvents;
+
+  // 1. Starvation guard: a job that waited too long in the no-cached-data
+  // queue runs before anything else and is protected from preemption.
+  if (const std::size_t starving = findStarving(); starving != npos) {
+    const Subjob sj = uncachedQueue_[starving];
+    uncachedQueue_.erase(uncachedQueue_.begin() + static_cast<std::ptrdiff_t>(starving));
+    promotedNodes_.insert(node);
+    ++promotions_;
+    start(node, sj);
+    return;
+  }
+
+  // 2. The node's own queue of locally cached subjobs.
+  auto& own = queueOf(node);
+  if (!own.empty()) {
+    const Subjob sj = own.front();
+    own.pop_front();
+    start(node, sj);
+    return;
+  }
+
+  // 3. The no-cached-data queue; share the front subjob among all currently
+  // idle nodes (Table 3: "subjobs may be split ... to feed all nodes").
+  if (!uncachedQueue_.empty()) {
+    Subjob sj = uncachedQueue_.front();
+    uncachedQueue_.pop_front();
+    if (!uncachedQueue_.empty()) {
+      // Enough queued subjobs for everyone: one whole subjob per node.
+      start(node, sj);
+      return;
+    }
+    // Last queued subjob and possibly several idle nodes: split it so all
+    // of them are fed (Table 3).
+    const auto idle = host().idleNodes();  // includes `node`
+    const auto parts = splitEqual(sj, std::max<std::size_t>(1, idle.size()), minSize);
+    start(node, parts[0]);
+    std::size_t next = 1;
+    for (NodeId n : idle) {
+      if (next >= parts.size()) break;
+      if (n == node || !host().isIdle(n)) continue;
+      start(n, parts[next++]);
+    }
+    // Put unplaced parts back, preserving range order.
+    for (std::size_t i = parts.size(); i > next; --i) {
+      uncachedQueue_.push_front(parts[i - 1]);
+    }
+    return;
+  }
+
+  // 4. Work stealing from the most loaded node (Table 3): split its running
+  // subjob so that both halves finish around the same time. (Queued subjobs
+  // are not poached: Table 3 only describes splitting running work, which
+  // is also what keeps remote-read opportunities rare in §4.2.)
+  NodeId loaded = kNoNode;
+  std::uint64_t maxLoad = 0;
+  for (NodeId m = 0; m < host().numNodes(); ++m) {
+    if (m == node) continue;
+    std::uint64_t load = 0;
+    for (const Subjob& q : queueOf(m)) load += q.events();
+    const auto view = host().running(m);
+    if (view.active) load += view.remaining.size();
+    if (load > maxLoad) {
+      maxLoad = load;
+      loaded = m;
+    }
+  }
+  if (loaded == kNoNode) return;
+
+  const auto view = host().running(loaded);
+  if (!view.active || view.remaining.size() < 2 * minSize) return;
+  Subjob rem = host().preempt(loaded);
+  if (rem.empty()) {
+    // The victim's run was exactly complete: refill it, then retry here.
+    // Terminates: every such preempt consumes one finished run.
+    feedNode(loaded);
+    feedNode(node);
+    return;
+  }
+  if (rem.events() < 2 * minSize) {
+    start(loaded, rem);
+    return;
+  }
+  auto [keep, stolen] = splitProportional(rem, estimatedRate(loaded, rem.range),
+                                          host().config().cost.uncachedSecPerEvent(), minSize);
+  if (stolen.empty()) {
+    start(loaded, keep);
+    return;
+  }
+  stolen.yieldsToCached = true;
+  start(loaded, keep);
+  start(node, stolen);
+}
+
+void OutOfOrderScheduler::onRunFinished(NodeId node, const RunReport&) {
+  promotedNodes_.erase(node);
+  feedNode(node);
+}
+
+}  // namespace ppsched

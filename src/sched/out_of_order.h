@@ -1,0 +1,86 @@
+// Out-of-order job scheduling (§4.1, Table 3).
+//
+// Each node keeps a queue of subjobs whose data is cached on it; a global
+// extra queue holds subjobs with no cached data anywhere. Cached subjobs may
+// overtake uncached ones and even preempt runs that work on non-cached data
+// (such preempted work returns to the *front* of the queue it came from).
+// Idle nodes steal work from the most loaded nodes; stolen pieces carry a
+// flag allowing future cached subjobs to preempt them.
+//
+// Fairness guard: a job that waited longer than `starvationLimit` (paper:
+// 2 days) is promoted — the first available node runs it, and the promoted
+// run is itself protected from preemption.
+#pragma once
+
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "core/host.h"
+#include "core/policy.h"
+
+namespace ppsched {
+
+class OutOfOrderScheduler : public ISchedulerPolicy {
+ public:
+  struct Params {
+    Duration starvationLimit = 2 * units::day;
+  };
+
+  OutOfOrderScheduler() = default;
+  explicit OutOfOrderScheduler(Params params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "out_of_order"; }
+
+  void bind(ISchedulerHost& host) override;
+  void onJobArrival(const Job& job) override;
+  void onRunFinished(NodeId node, const RunReport& report) override;
+
+  /// Queue depths (for tests and diagnostics).
+  [[nodiscard]] std::size_t nodeQueueSize(NodeId node) const;
+  [[nodiscard]] std::size_t uncachedQueueSize() const { return uncachedQueue_.size(); }
+  /// Number of jobs promoted by the starvation guard so far.
+  [[nodiscard]] std::uint64_t promotions() const { return promotions_; }
+
+ protected:
+  /// Hook for the replication variant (§4.2): per-run options.
+  virtual RunOptions optionsFor(NodeId node, const Subjob& sj);
+
+ private:
+  void start(NodeId node, const Subjob& sj);
+  /// Find work for an idle node (Table 3, "whenever a node becomes
+  /// available"). May leave it idle.
+  void feedNode(NodeId node);
+  /// Return a preempted remainder to the front of the queue it belongs to:
+  /// the queue of the node caching (most of) it, or the no-cached-data
+  /// queue.
+  void requeueRemainderFront(Subjob rem);
+  /// Index in uncachedQueue_ of the starving subjob with the earliest
+  /// arrival, or npos.
+  [[nodiscard]] std::size_t findStarving() const;
+
+  [[nodiscard]] std::uint64_t cachedOnNode(NodeId node, EventRange r) const;
+  /// Estimated seconds/event for executing `r` on `node` given current
+  /// cache contents (used to balance stolen work, Table 3).
+  [[nodiscard]] double estimatedRate(NodeId node, EventRange r) const;
+
+  /// "Queued on the node where its data is cached" generalizes to cache
+  /// *groups* on SMP clusters: CPUs sharing a cache share one queue (and
+  /// any sibling may pop it). With single-CPU nodes (the paper's model)
+  /// every group is a singleton and this is exactly Table 3.
+  [[nodiscard]] std::deque<Subjob>& queueOf(NodeId node) {
+    return nodeQueues_[static_cast<std::size_t>(group_[static_cast<std::size_t>(node)])];
+  }
+
+  Params params_;
+  /// group_[cpu] = lowest NodeId sharing that cpu's cache.
+  std::vector<NodeId> group_;
+  std::vector<std::deque<Subjob>> nodeQueues_;  ///< indexed by group leader id
+  std::deque<Subjob> uncachedQueue_;
+  std::set<NodeId> promotedNodes_;  ///< nodes running promoted (protected) jobs
+  std::uint64_t promotions_ = 0;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+}  // namespace ppsched

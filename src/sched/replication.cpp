@@ -1,0 +1,21 @@
+#include "sched/replication.h"
+
+namespace ppsched {
+
+RunOptions ReplicationScheduler::optionsFor(NodeId node, const Subjob& sj) {
+  // §4.2: remote reads happen when "a node is overloaded and other nodes
+  // take work from it without having the corresponding data" — i.e. only
+  // for stolen subjobs (yieldsToCached), not for any subjob that happens to
+  // overlap another node's cache. This matches the paper's mechanism and
+  // keeps replication rare.
+  RunOptions opts;
+  if (!sj.yieldsToCached) return opts;
+  const NodeId best = host().cluster().bestCacheNode(sj.range);
+  if (best != kNoNode && best != node) {
+    opts.remoteFrom = best;
+    opts.replicationThreshold = params_.replicationThreshold;
+  }
+  return opts;
+}
+
+}  // namespace ppsched

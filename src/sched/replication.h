@@ -1,0 +1,41 @@
+// Out-of-order scheduling with inter-node data replication (§4.2).
+//
+// When a node runs a subjob whose data sits in another node's cache, it
+// reads the data remotely from that node's disk instead of re-fetching it
+// from tertiary storage. Remote reads do not populate the local cache by
+// default; an extent is replicated (copied into the local cache) only once
+// its remote access count reaches `replicationThreshold` (paper: the 3rd
+// access), following the rent-or-buy rule of [3, 9].
+//
+// The paper's finding — reproduced by bench/sec42_replication — is that
+// replication brings no measurable improvement, because out-of-order
+// scheduling spreads every large segment over many nodes anyway.
+#pragma once
+
+#include "sched/out_of_order.h"
+
+namespace ppsched {
+
+class ReplicationScheduler final : public OutOfOrderScheduler {
+ public:
+  struct Params {
+    OutOfOrderScheduler::Params base;
+    /// Replicate on the Nth remote access (paper: 3). 0 disables
+    /// replication but keeps remote reads.
+    int replicationThreshold = 3;
+  };
+
+  ReplicationScheduler() = default;
+  explicit ReplicationScheduler(Params params)
+      : OutOfOrderScheduler(params.base), params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "replication"; }
+
+ protected:
+  RunOptions optionsFor(NodeId node, const Subjob& sj) override;
+
+ private:
+  Params params_;
+};
+
+}  // namespace ppsched

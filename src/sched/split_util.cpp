@@ -1,0 +1,122 @@
+#include "sched/split_util.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ppsched {
+
+std::vector<Subjob> splitEqual(const Subjob& sj, std::size_t parts, std::uint64_t minSize) {
+  assert(parts >= 1);
+  std::vector<Subjob> out;
+  if (sj.empty()) return out;
+  const std::uint64_t total = sj.events();
+  // Cap the number of parts so each stays >= minSize.
+  const std::uint64_t byMin = std::max<std::uint64_t>(1, total / std::max<std::uint64_t>(1, minSize));
+  const std::uint64_t n = std::min<std::uint64_t>(parts, byMin);
+  EventIndex cursor = sj.range.begin;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    // Distribute the remainder one event at a time so sizes differ by <= 1.
+    const std::uint64_t size = total / n + (i < total % n ? 1 : 0);
+    Subjob piece = sj;
+    piece.range = {cursor, cursor + size};
+    out.push_back(piece);
+    cursor += size;
+  }
+  assert(cursor == sj.range.end);
+  return out;
+}
+
+std::pair<Subjob, Subjob> splitProportional(const Subjob& sj, double firstRate,
+                                            double secondRate, std::uint64_t minSize) {
+  Subjob first = sj;
+  Subjob second = sj;
+  second.range = {sj.range.end, sj.range.end};
+  const std::uint64_t total = sj.events();
+  if (total < 2 * minSize || firstRate <= 0.0 || secondRate <= 0.0) {
+    return {first, second};  // too small: all work stays in `first`
+  }
+  // first.size * firstRate == second.size * secondRate
+  auto firstSize = static_cast<std::uint64_t>(
+      static_cast<double>(total) * secondRate / (firstRate + secondRate));
+  firstSize = std::clamp<std::uint64_t>(firstSize, minSize, total - minSize);
+  first.range = {sj.range.begin, sj.range.begin + firstSize};
+  second.range = {sj.range.begin + firstSize, sj.range.end};
+  return {first, second};
+}
+
+namespace {
+
+/// Node with the longest contiguous cached run starting at `pos` (within
+/// `limit`); kNoNode if nobody caches `pos`. Ties: lowest node id.
+struct RunInfo {
+  NodeId node = kNoNode;
+  EventIndex runEnd = 0;
+};
+
+RunInfo longestRunAt(const Cluster& cluster, EventIndex pos, EventIndex limit) {
+  RunInfo best;
+  for (NodeId n = 0; n < cluster.size(); ++n) {
+    const EventRange run = cluster.node(n).cache().cachedIn({pos, limit}).runAt(pos);
+    if (!run.empty() && (best.node == kNoNode || run.end > best.runEnd)) {
+      best.node = n;
+      best.runEnd = run.end;
+    }
+  }
+  return best;
+}
+
+/// First position > pos (and < limit) where any node's cache coverage
+/// begins; `limit` if none.
+EventIndex nextCachedStart(const Cluster& cluster, EventIndex pos, EventIndex limit) {
+  EventIndex next = limit;
+  for (NodeId n = 0; n < cluster.size(); ++n) {
+    for (const EventRange& r : cluster.node(n).cache().cachedIn({pos, next}).intervals()) {
+      if (r.begin > pos) {
+        next = std::min(next, r.begin);
+        break;  // intervals are sorted; later ones only start further away
+      }
+    }
+  }
+  return next;
+}
+
+}  // namespace
+
+std::vector<PlacedSubjob> splitByCaches(const Subjob& sj, const Cluster& cluster,
+                                        std::uint64_t minSize) {
+  std::vector<PlacedSubjob> out;
+  if (sj.empty()) return out;
+  const EventIndex end = sj.range.end;
+  EventIndex cursor = sj.range.begin;
+  while (cursor < end) {
+    PlacedSubjob piece;
+    piece.subjob = sj;
+    const RunInfo run = longestRunAt(cluster, cursor, end);
+    EventIndex pieceEnd;
+    if (run.node != kNoNode) {
+      piece.cachedOn = run.node;
+      pieceEnd = run.runEnd;
+    } else {
+      pieceEnd = nextCachedStart(cluster, cursor, end);
+    }
+    // Enforce the minimal piece size by pushing the boundary outward; the
+    // final piece absorbs any sub-minimum tail.
+    if (pieceEnd - cursor < minSize) pieceEnd = std::min(cursor + minSize, end);
+    if (end - pieceEnd < minSize && pieceEnd != end) pieceEnd = end;
+    piece.subjob.range = {cursor, pieceEnd};
+    out.push_back(piece);
+    cursor = pieceEnd;
+  }
+  return out;
+}
+
+std::vector<PlacedSubjob> splitByCaches(const Job& job, const Cluster& cluster,
+                                        std::uint64_t minSize) {
+  Subjob sj;
+  sj.job = job.id;
+  sj.range = job.range;
+  sj.jobArrival = job.arrival;
+  return splitByCaches(sj, cluster, minSize);
+}
+
+}  // namespace ppsched

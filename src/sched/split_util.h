@@ -1,0 +1,53 @@
+// Shared job-splitting helpers used by all policies.
+//
+// Jobs are arbitrarily divisible into contiguous subjobs, subject to the
+// paper's minimal subjob size ("we do not split beyond a minimal job size
+// (10 events)", Table 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "workload/job.h"
+
+namespace ppsched {
+
+/// A subjob plus the node (if any) on which its data is fully cached.
+struct PlacedSubjob {
+  Subjob subjob;
+  NodeId cachedOn = kNoNode;
+
+  [[nodiscard]] bool cached() const { return cachedOn != kNoNode; }
+};
+
+/// Split `sj` into at most `parts` contiguous subjobs of (nearly) equal
+/// size, none smaller than `minSize` (fewer parts are produced when the
+/// range is too small). parts >= 1.
+std::vector<Subjob> splitEqual(const Subjob& sj, std::size_t parts, std::uint64_t minSize);
+
+/// Split `sj` into two parts such that the first takes `firstRate`-seconds
+/// per event and the second `secondRate`, and both finish at about the same
+/// time (Table 3 work stealing: "split so as to ensure that the two subjobs
+/// terminate around the same time"). Returns {first, second}; `second` may
+/// be empty when the range is too small to split (< 2 * minSize).
+std::pair<Subjob, Subjob> splitProportional(const Subjob& sj, double firstRate,
+                                            double secondRate, std::uint64_t minSize);
+
+/// Partition a job's range along cache boundaries (Table 2: "data processed
+/// by a given subjob should always either be fully cached on a node or not
+/// cached at all"). Each returned piece is labelled with the node caching it
+/// (the node with the longest cached run at the piece's start; ties go to
+/// the lowest id) or kNoNode when no node caches its first event. Pieces
+/// respect `minSize` where possible: boundary positions creating smaller
+/// pieces are pushed outward, so a piece may include a short differently-
+/// labelled tail (at 10-event granularity this is negligible against
+/// 40000-event jobs).
+std::vector<PlacedSubjob> splitByCaches(const Job& job, const Cluster& cluster,
+                                        std::uint64_t minSize);
+
+/// Same, for an arbitrary subjob (used when re-splitting remainders).
+std::vector<PlacedSubjob> splitByCaches(const Subjob& sj, const Cluster& cluster,
+                                        std::uint64_t minSize);
+
+}  // namespace ppsched

@@ -1,0 +1,146 @@
+#include "sched/splitting.h"
+
+#include <algorithm>
+
+#include "sched/split_util.h"
+
+namespace ppsched {
+
+namespace {
+Subjob wholeJob(const Job& job) {
+  Subjob sj;
+  sj.job = job.id;
+  sj.range = job.range;
+  sj.jobArrival = job.arrival;
+  return sj;
+}
+}  // namespace
+
+Subjob SplittingScheduler::preemptTracked(NodeId node) {
+  const JobId victim = host().running(node).subjob.job;
+  Subjob rem = host().preempt(node);
+  auto it = active_.find(victim);
+  if (it != active_.end()) {
+    --it->second.runningNodes;
+    // A preempt can land exactly at run completion; tidy up as
+    // onRunFinished would have.
+    if (rem.empty() && host().jobDone(victim)) active_.erase(it);
+  }
+  return rem;
+}
+
+void SplittingScheduler::onJobArrival(const Job& job) {
+  const auto idle = host().idleNodes();
+  const std::uint64_t minSize = host().config().minSubjobEvents;
+
+  if (!idle.empty()) {
+    // Split into equal subjobs, one per idle node (Table 1).
+    const auto pieces = splitEqual(wholeJob(job), idle.size(), minSize);
+    JobInfo info;
+    for (std::size_t i = 0; i < pieces.size(); ++i) {
+      host().startRun(idle[i], pieces[i]);
+      ++info.runningNodes;
+    }
+    active_.emplace(job.id, std::move(info));
+    return;
+  }
+
+  // No idle node: release one node from the job with the largest
+  // nodes-per-remaining-event ratio, if any job runs on several nodes.
+  JobId victimJob = kNoJob;
+  double bestRatio = -1.0;
+  for (const auto& [id, info] : active_) {
+    if (info.runningNodes < 2) continue;
+    const auto remaining = host().remainingOf(id).size();
+    const double ratio =
+        static_cast<double>(info.runningNodes) / static_cast<double>(std::max<std::uint64_t>(1, remaining));
+    if (ratio > bestRatio) {
+      bestRatio = ratio;
+      victimJob = id;
+    }
+  }
+  if (victimJob != kNoJob) {
+    // Victim node: the one running this job's smallest remaining piece
+    // (least disruption; Table 1 leaves the choice open).
+    NodeId victimNode = kNoNode;
+    std::uint64_t smallest = 0;
+    for (NodeId n = 0; n < host().numNodes(); ++n) {
+      const auto view = host().running(n);
+      if (!view.active || view.subjob.job != victimJob) continue;
+      if (victimNode == kNoNode || view.remaining.size() < smallest) {
+        victimNode = n;
+        smallest = view.remaining.size();
+      }
+    }
+    Subjob rem = preemptTracked(victimNode);
+    if (!rem.empty()) active_[victimJob].suspended.push_front(rem);
+    host().startRun(victimNode, wholeJob(job));
+    active_[job.id].runningNodes = 1;
+    return;
+  }
+
+  // As many jobs running as nodes: queue.
+  pending_.push_back(job);
+}
+
+void SplittingScheduler::allocateToRunning(NodeId node) {
+  const std::uint64_t minSize = host().config().minSubjobEvents;
+  // Find the largest subjob running on the cluster.
+  NodeId largestNode = kNoNode;
+  std::uint64_t largest = 0;
+  for (NodeId n = 0; n < host().numNodes(); ++n) {
+    const auto view = host().running(n);
+    if (!view.active) continue;
+    if (view.remaining.size() > largest) {
+      largest = view.remaining.size();
+      largestNode = n;
+    }
+  }
+  if (largestNode == kNoNode || largest < 2 * minSize) return;  // nothing splittable
+
+  const JobId jobId = host().running(largestNode).subjob.job;
+  Subjob rem = preemptTracked(largestNode);
+  if (rem.empty()) return;
+  if (rem.events() < 2 * minSize) {
+    // Progress since our snapshot made it too small after all: put it back.
+    host().startRun(largestNode, rem);
+    ++active_[jobId].runningNodes;
+    return;
+  }
+  const auto halves = splitEqual(rem, 2, minSize);
+  host().startRun(largestNode, halves[0]);
+  host().startRun(node, halves[1]);
+  active_[jobId].runningNodes += 2;
+}
+
+void SplittingScheduler::onRunFinished(NodeId node, const RunReport& report) {
+  const JobId jobId = report.subjob.job;
+  auto it = active_.find(jobId);
+  if (it != active_.end()) --it->second.runningNodes;
+
+  if (report.jobCompleted) {
+    if (it != active_.end()) active_.erase(it);
+    if (!pending_.empty()) {
+      const Job next = pending_.front();
+      pending_.pop_front();
+      host().startRun(node, wholeJob(next));
+      active_[next.id].runningNodes = 1;
+      return;
+    }
+    allocateToRunning(node);
+    return;
+  }
+
+  // Subjob end (job still alive): resume a suspended piece of the same job
+  // first.
+  if (it != active_.end() && !it->second.suspended.empty()) {
+    Subjob sj = it->second.suspended.front();
+    it->second.suspended.pop_front();
+    host().startRun(node, sj);
+    ++it->second.runningNodes;
+    return;
+  }
+  allocateToRunning(node);
+}
+
+}  // namespace ppsched

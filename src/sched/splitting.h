@@ -1,0 +1,46 @@
+// Job-splitting scheduling (§3.2, Table 1).
+//
+// FCFS job order, but jobs are split into subjobs across idle nodes so the
+// maximum possible number of nodes is always in use. No disk caching: all
+// data comes from tertiary storage. Invariant (§3 basic principles): once
+// started, a job always holds at least one node until it completes.
+#pragma once
+
+#include <deque>
+#include <map>
+
+#include "core/host.h"
+#include "core/policy.h"
+
+namespace ppsched {
+
+class SplittingScheduler final : public ISchedulerPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "splitting"; }
+  [[nodiscard]] bool usesCaching() const override { return false; }
+
+  void onJobArrival(const Job& job) override;
+  void onRunFinished(NodeId node, const RunReport& report) override;
+
+  [[nodiscard]] std::size_t queuedJobs() const { return pending_.size(); }
+
+ private:
+  struct JobInfo {
+    std::deque<Subjob> suspended;  ///< preempted pieces, front = activate first
+    int runningNodes = 0;
+  };
+
+  /// Give an idle node work by splitting the largest running subjob in two
+  /// (Table 1, "upon subjob end"). Leaves the node idle when nothing is
+  /// splittable.
+  void allocateToRunning(NodeId node);
+
+  /// Bookkeeping around ISchedulerHost::preempt: decrements the victim's node count
+  /// and handles the corner case of a run that was exactly complete.
+  Subjob preemptTracked(NodeId node);
+
+  std::map<JobId, JobInfo> active_;
+  std::deque<Job> pending_;
+};
+
+}  // namespace ppsched

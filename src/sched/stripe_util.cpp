@@ -1,0 +1,74 @@
+#include "sched/stripe_util.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace ppsched {
+
+std::vector<EventIndex> buildStripePoints(const std::vector<Subjob>& cold,
+                                          std::uint64_t stripeEvents) {
+  if (stripeEvents == 0) throw std::invalid_argument("stripeEvents must be >= 1");
+  std::vector<EventIndex> finalPoints;
+  if (cold.empty()) return finalPoints;
+
+  // Table 4: a list of the data segment start and end points...
+  std::set<EventIndex> rawPoints;
+  for (const Subjob& sj : cold) {
+    rawPoints.insert(sj.range.begin);
+    rawPoints.insert(sj.range.end);
+  }
+  // ... points creating stripes below half the stripe size are removed ...
+  std::vector<EventIndex> points;
+  const std::uint64_t halfStripe = stripeEvents / 2 + stripeEvents % 2;
+  for (const EventIndex p : rawPoints) {
+    if (points.empty() || p - points.back() >= halfStripe) points.push_back(p);
+  }
+  if (points.back() != *rawPoints.rbegin()) points.push_back(*rawPoints.rbegin());
+  // ... and points are added so that no stripe exceeds the stripe size.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (i > 0) {
+      const std::uint64_t gap = points[i] - points[i - 1];
+      if (gap > stripeEvents) {
+        const std::uint64_t chunks = (gap + stripeEvents - 1) / stripeEvents;
+        for (std::uint64_t c = 1; c < chunks; ++c) {
+          finalPoints.push_back(points[i - 1] + gap * c / chunks);
+        }
+      }
+    }
+    finalPoints.push_back(points[i]);
+  }
+  return finalPoints;
+}
+
+std::vector<MetaSubjob> buildMetaSubjobs(const std::vector<Subjob>& cold,
+                                         std::uint64_t stripeEvents) {
+  std::vector<MetaSubjob> metas;
+  if (cold.empty()) return metas;
+  const std::vector<EventIndex> points = buildStripePoints(cold, stripeEvents);
+
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    const EventRange stripeRange{points[i], points[i + 1]};
+    MetaSubjob meta;
+    meta.stripe = stripeRange;
+    for (const Subjob& sj : cold) {
+      const EventRange cut = sj.range.intersect(stripeRange);
+      if (cut.empty()) continue;
+      Subjob piece = sj;
+      piece.range = cut;
+      meta.subjobs.push_back(piece);
+    }
+    if (meta.subjobs.empty()) continue;
+    meta.earliestArrival = meta.subjobs.front().jobArrival;
+    for (const Subjob& sj : meta.subjobs) {
+      meta.earliestArrival = std::min(meta.earliestArrival, sj.jobArrival);
+    }
+    metas.push_back(std::move(meta));
+  }
+  std::stable_sort(metas.begin(), metas.end(), [](const MetaSubjob& a, const MetaSubjob& b) {
+    return a.earliestArrival < b.earliestArrival;
+  });
+  return metas;
+}
+
+}  // namespace ppsched

@@ -1,0 +1,38 @@
+// Stripe-splitting and meta-subjob aggregation (Table 4), shared by the
+// delayed scheduler (§5) and the mixed scheduler (§7 future work).
+//
+// Uncached subjobs are re-cut along a point list derived from their segment
+// boundaries — points closer than half the stripe size are dropped, points
+// are added so no stripe exceeds the stripe size — and the pieces of each
+// stripe are bundled into one meta-subjob. A node executing a meta-subjob
+// fetches the stripe from tertiary storage once and serves every member
+// subjob from its cache.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/job.h"
+
+namespace ppsched {
+
+/// A bundle of subjobs requiring overlapping pieces of one stripe.
+struct MetaSubjob {
+  EventRange stripe;
+  std::vector<Subjob> subjobs;  ///< in range order per source subjob
+  SimTime earliestArrival = 0.0;
+};
+
+/// The Table 4 point list: boundaries of `cold` subjobs, thinned so no two
+/// points are closer than ceil(stripe/2), then densified so no gap exceeds
+/// `stripe`. Exposed separately for tests.
+std::vector<EventIndex> buildStripePoints(const std::vector<Subjob>& cold,
+                                          std::uint64_t stripeEvents);
+
+/// Cut `cold` subjobs along the stripe point list and gather the pieces of
+/// each stripe into a meta-subjob. Metas are returned sorted by their
+/// earliest member arrival (Table 4 fairness). `stripeEvents` >= 1.
+std::vector<MetaSubjob> buildMetaSubjobs(const std::vector<Subjob>& cold,
+                                         std::uint64_t stripeEvents);
+
+}  // namespace ppsched

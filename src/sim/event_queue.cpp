@@ -1,0 +1,59 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace ppsched {
+
+EventId EventQueue::schedule(SimTime at, Callback cb) {
+  const EventId id = nextId_++;
+  cancelled_.push_back(false);
+  heap_.push(Entry{at, id, std::move(cb)});
+  ++liveCount_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id >= cancelled_.size() || cancelled_[id]) return;
+  cancelled_[id] = true;
+  if (liveCount_ > 0) --liveCount_;
+}
+
+void EventQueue::skipCancelled() const {
+  while (!heap_.empty() && cancelled_[heap_.top().id]) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::nextTime() const {
+  skipCancelled();
+  if (heap_.empty()) throw std::logic_error("EventQueue::nextTime on empty queue");
+  return heap_.top().time;
+}
+
+SimTime EventQueue::runNext() {
+  skipCancelled();
+  if (heap_.empty()) throw std::logic_error("EventQueue::runNext on empty queue");
+  // priority_queue::top() is const; moving the callback out is safe because
+  // the entry is popped immediately afterwards.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  const SimTime t = top.time;
+  const EventId id = top.id;
+  Callback cb = std::move(top.cb);
+  heap_.pop();
+  cancelled_[id] = true;  // mark fired so a late cancel() is a no-op
+  assert(liveCount_ > 0);
+  --liveCount_;
+  cb();
+  return t;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+  cancelled_.clear();
+  nextId_ = 0;
+  liveCount_ = 0;
+}
+
+}  // namespace ppsched

@@ -1,0 +1,74 @@
+// Discrete-event queue.
+//
+// A binary heap of (time, sequence) keyed events with O(log n) push/pop and
+// O(1) lazy cancellation. Sequence numbers make ordering of simultaneous
+// events deterministic (FIFO among equal timestamps), which keeps whole
+// simulations reproducible for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ppsched {
+
+/// Identifies a scheduled event so it can be cancelled before it fires.
+using EventId = std::uint64_t;
+
+/// Min-heap of timed callbacks with deterministic tie-breaking and lazy
+/// cancellation.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` to fire at absolute time `at`. Returns an id usable with
+  /// cancel(). `at` must be >= the time of the last popped event.
+  EventId schedule(SimTime at, Callback cb);
+
+  /// Cancel a previously scheduled event. Cancelling an already-fired or
+  /// already-cancelled event is a no-op. O(1): the entry is tombstoned and
+  /// discarded when it reaches the top of the heap.
+  void cancel(EventId id);
+
+  /// True when no live (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const { return liveCount_ == 0; }
+
+  /// Number of live events.
+  [[nodiscard]] std::size_t size() const { return liveCount_; }
+
+  /// Time of the earliest live event. Precondition: !empty().
+  [[nodiscard]] SimTime nextTime() const;
+
+  /// Pop and run the earliest live event; returns its time.
+  /// Precondition: !empty().
+  SimTime runNext();
+
+  /// Discard all events.
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;  // doubles as the sequence number for tie-breaking
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  /// Drop cancelled entries from the top of the heap.
+  void skipCancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<bool> cancelled_;  // indexed by EventId
+  EventId nextId_ = 0;
+  std::size_t liveCount_ = 0;
+};
+
+}  // namespace ppsched

@@ -1,0 +1,61 @@
+#include "sim/random.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace ppsched {
+
+double Rng::uniform01() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(gen_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  assert(lo <= hi);
+  return std::uniform_real_distribution<double>(lo, hi)(gen_);
+}
+
+std::uint64_t Rng::uniformInt(std::uint64_t lo, std::uint64_t hi) {
+  assert(lo <= hi);
+  return std::uniform_int_distribution<std::uint64_t>(lo, hi)(gen_);
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0.0) throw std::invalid_argument("exponential mean must be > 0");
+  return std::exponential_distribution<double>(1.0 / mean)(gen_);
+}
+
+double Rng::erlang(int shape, double mean) {
+  if (shape < 1) throw std::invalid_argument("erlang shape must be >= 1");
+  if (mean <= 0.0) throw std::invalid_argument("erlang mean must be > 0");
+  // Erlang(k, lambda) is Gamma(k, 1/lambda); per-stage mean is mean/shape.
+  const double stageMean = mean / shape;
+  double sum = 0.0;
+  for (int i = 0; i < shape; ++i) sum += exponential(stageMean);
+  return sum;
+}
+
+std::size_t Rng::weightedIndex(std::span<const double> weights) {
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (!(total > 0.0)) throw std::invalid_argument("weights must sum to > 0");
+  double x = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] < 0.0) throw std::invalid_argument("negative weight");
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;  // guard against floating-point round-off
+}
+
+bool Rng::chance(double probability) { return uniform01() < probability; }
+
+std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t index) {
+  // SplitMix64 step: decorrelates sequential indices into independent seeds.
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace ppsched

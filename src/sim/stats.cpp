@@ -1,0 +1,121 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ppsched {
+
+void StreamingStats::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double StreamingStats::mean() const { return count_ ? mean_ : 0.0; }
+
+double StreamingStats::variance() const {
+  return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+double StreamingStats::min() const { return count_ ? min_ : 0.0; }
+
+double StreamingStats::max() const { return count_ ? max_ : 0.0; }
+
+void SampleSet::add(double x) {
+  samples_.push_back(x);
+  sorted_ = samples_.size() <= 1;
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+void SampleSet::sortIfNeeded() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::quantile(double q) const {
+  if (samples_.empty()) throw std::logic_error("quantile of empty SampleSet");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile q out of [0,1]");
+  sortIfNeeded();
+  const auto rank = static_cast<std::size_t>(q * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[std::min(rank, samples_.size() - 1)];
+}
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t buckets) {
+  if (!(lo > 0.0) || !(hi > lo)) throw std::invalid_argument("LogHistogram needs 0 < lo < hi");
+  if (buckets == 0) throw std::invalid_argument("LogHistogram needs >= 1 bucket");
+  logLo_ = std::log(lo);
+  logStep_ = (std::log(hi) - logLo_) / static_cast<double>(buckets);
+  counts_.assign(buckets, 0);
+}
+
+void LogHistogram::add(double x) {
+  std::size_t i = 0;
+  if (x > 0.0) {
+    const double pos = (std::log(x) - logLo_) / logStep_;
+    if (pos >= static_cast<double>(counts_.size())) {
+      i = counts_.size() - 1;
+    } else if (pos > 0.0) {
+      i = static_cast<std::size_t>(pos);
+    }
+  }
+  ++counts_[i];
+  ++total_;
+}
+
+double LogHistogram::bucketLow(std::size_t i) const {
+  assert(i < counts_.size());
+  return std::exp(logLo_ + logStep_ * static_cast<double>(i));
+}
+
+double LogHistogram::bucketHigh(std::size_t i) const {
+  assert(i < counts_.size());
+  return std::exp(logLo_ + logStep_ * static_cast<double>(i + 1));
+}
+
+void TimeWeightedStat::set(SimTime t, double v) {
+  if (t < lastTime_) throw std::invalid_argument("TimeWeightedStat: time went backwards");
+  weightedSum_ += value_ * (t - lastTime_);
+  elapsed_ += t - lastTime_;
+  lastTime_ = t;
+  value_ = v;
+}
+
+double TimeWeightedStat::average(SimTime t) const {
+  const double total = elapsed_ + std::max(0.0, t - lastTime_);
+  if (total <= 0.0) return value_;
+  const double sum = weightedSum_ + value_ * std::max(0.0, t - lastTime_);
+  return sum / total;
+}
+
+void LinearTrend::add(double x, double y) {
+  ++n_;
+  sumX_ += x;
+  sumY_ += y;
+  sumXX_ += x * x;
+  sumXY_ += x * y;
+}
+
+double LinearTrend::slope() const {
+  if (n_ < 2) return 0.0;
+  const double n = static_cast<double>(n_);
+  const double denom = n * sumXX_ - sumX_ * sumX_;
+  if (denom == 0.0) return 0.0;
+  return (n * sumXY_ - sumX_ * sumY_) / denom;
+}
+
+}  // namespace ppsched

@@ -1,0 +1,130 @@
+// Statistics collectors used by the metrics layer and the benches.
+//
+//  - StreamingStats: count/mean/variance/min/max without storing samples.
+//  - SampleSet: stores samples for exact quantiles (job counts are small).
+//  - LogHistogram: logarithmically bucketed histogram; reproduces the
+//    waiting-time distribution plot of Fig 4 (log-log axes).
+//  - TimeWeightedStat: time-average of a piecewise-constant signal (e.g.
+//    number of jobs in the system).
+//  - LinearTrend: least-squares slope of sampled points; used by the
+//    overload detector (queues growing without bound).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ppsched {
+
+/// Welford-style streaming mean/variance plus min/max.
+class StreamingStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return mean() * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores all samples; provides exact quantiles. Intended for per-job
+/// metrics where sample counts are in the thousands.
+class SampleSet {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const;
+  /// Exact quantile by nearest-rank on the sorted samples; q in [0,1].
+  /// Precondition: count() > 0.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double min() const { return quantile(0.0); }
+  [[nodiscard]] double max() const { return quantile(1.0); }
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void sortIfNeeded() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Histogram with logarithmically spaced buckets over [lo, hi]; values
+/// outside the range are clamped into the first/last bucket. Matches the
+/// paper's Fig 4 presentation (waiting times from ~minutes to days on a log
+/// axis).
+class LogHistogram {
+ public:
+  /// `lo` and `hi` must be positive with lo < hi; `buckets` >= 1.
+  LogHistogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t bucketCount() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t countInBucket(std::size_t i) const { return counts_[i]; }
+  /// Geometric lower/upper edge of bucket i.
+  [[nodiscard]] double bucketLow(std::size_t i) const;
+  [[nodiscard]] double bucketHigh(std::size_t i) const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+ private:
+  double logLo_;
+  double logStep_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Time-average of a piecewise-constant signal: call set(t, v) whenever the
+/// signal changes; average over [t0, t1] is available after finish(t1).
+class TimeWeightedStat {
+ public:
+  explicit TimeWeightedStat(SimTime start = 0.0) : lastTime_(start) {}
+
+  /// Record that the signal takes value `v` from time `t` onwards.
+  /// `t` must be >= the previous update time.
+  void set(SimTime t, double v);
+
+  /// Time-average over [start, t]; 0 if no time has elapsed.
+  [[nodiscard]] double average(SimTime t) const;
+
+  [[nodiscard]] double current() const { return value_; }
+
+ private:
+  SimTime lastTime_;
+  double value_ = 0.0;
+  double weightedSum_ = 0.0;
+  double elapsed_ = 0.0;
+};
+
+/// Least-squares slope over (x, y) samples. Used to detect overload: the
+/// number of jobs in the system drifting upward over the measurement window.
+class LinearTrend {
+ public:
+  void add(double x, double y);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  /// Slope dy/dx of the least-squares fit; 0 for fewer than 2 samples or a
+  /// degenerate x-range.
+  [[nodiscard]] double slope() const;
+  [[nodiscard]] double meanY() const { return n_ ? sumY_ / static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double sumX_ = 0.0, sumY_ = 0.0, sumXX_ = 0.0, sumXY_ = 0.0;
+};
+
+}  // namespace ppsched

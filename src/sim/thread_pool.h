@@ -1,0 +1,59 @@
+// Minimal thread pool for running independent simulations in parallel.
+//
+// Parameter sweeps (one simulation per load point / policy / cache size) are
+// embarrassingly parallel: each simulation owns its Rng, engine and metrics,
+// so tasks share nothing. The pool is a plain fixed-size worker set over a
+// mutex-protected queue — adequate for tens of coarse tasks.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ppsched {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers (at least 1). Defaults to hardware concurrency.
+  explicit ThreadPool(unsigned threads = std::thread::hardware_concurrency());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; the future resolves with its result (or exception).
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) throw std::logic_error("submit on stopped ThreadPool");
+      tasks_.push([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run `fn(i)` for i in [0, n) across the pool and wait for all of them.
+  /// Exceptions from tasks are rethrown (the first one encountered).
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  [[nodiscard]] unsigned threadCount() const { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace ppsched

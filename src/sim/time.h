@@ -1,0 +1,34 @@
+// Simulation time: seconds as double, with unit helpers.
+//
+// All of ppsched expresses simulation time in seconds. The paper reports
+// loads in jobs/hour and delays in hours/days/weeks, so conversion helpers
+// live here to keep call sites readable.
+#pragma once
+
+namespace ppsched {
+
+/// Simulation time in seconds since simulation start.
+using SimTime = double;
+
+/// A duration in seconds.
+using Duration = double;
+
+namespace units {
+
+inline constexpr Duration second = 1.0;
+inline constexpr Duration minute = 60.0;
+inline constexpr Duration hour = 3600.0;
+inline constexpr Duration day = 24.0 * hour;
+inline constexpr Duration week = 7.0 * day;
+
+/// Convert seconds to hours (for reporting).
+constexpr double toHours(Duration seconds) { return seconds / hour; }
+
+/// Convert a load in jobs/hour to a mean inter-arrival time in seconds.
+constexpr Duration interarrivalFromJobsPerHour(double jobsPerHour) {
+  return hour / jobsPerHour;
+}
+
+}  // namespace units
+
+}  // namespace ppsched

@@ -1,0 +1,92 @@
+#include "storage/interval_map.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace ppsched {
+
+namespace {
+/// Value implied at index `e` by a boundary map (0 before the first key).
+std::int64_t boundaryValueAt(const std::map<EventIndex, std::int64_t>& m, EventIndex e) {
+  auto it = m.upper_bound(e);
+  if (it == m.begin()) return 0;
+  return std::prev(it)->second;
+}
+}  // namespace
+
+void IntervalCounter::add(EventRange r, std::int64_t delta) {
+  if (r.empty() || delta == 0) return;
+  // Materialize boundaries at both ends so the update stays inside [begin,end).
+  bounds_.try_emplace(r.begin, boundaryValueAt(bounds_, r.begin));
+  bounds_.try_emplace(r.end, boundaryValueAt(bounds_, r.end));
+  for (auto it = bounds_.lower_bound(r.begin); it != bounds_.end() && it->first < r.end; ++it) {
+    it->second += delta;
+    if (it->second < 0) throw std::logic_error("IntervalCounter went negative");
+  }
+  coalesce(r.begin, r.end);
+}
+
+void IntervalCounter::coalesce(EventIndex from, EventIndex to) {
+  // Remove keys whose value equals the value just before them, scanning a
+  // window slightly wider than [from, to] to catch merges at the edges.
+  auto it = bounds_.lower_bound(from);
+  for (;;) {
+    if (it == bounds_.end()) break;
+    const std::int64_t prevValue =
+        it == bounds_.begin() ? 0 : std::prev(it)->second;
+    if (it->second == prevValue) {
+      it = bounds_.erase(it);
+    } else {
+      if (it->first > to) break;
+      ++it;
+    }
+  }
+}
+
+std::int64_t IntervalCounter::valueAt(EventIndex e) const {
+  return boundaryValueAt(bounds_, e);
+}
+
+std::int64_t IntervalCounter::minOver(EventRange r) const {
+  if (r.empty()) throw std::invalid_argument("minOver of empty range");
+  std::int64_t best = valueAt(r.begin);
+  for (auto it = bounds_.upper_bound(r.begin); it != bounds_.end() && it->first < r.end; ++it) {
+    best = std::min(best, it->second);
+  }
+  return best;
+}
+
+std::int64_t IntervalCounter::maxOver(EventRange r) const {
+  if (r.empty()) throw std::invalid_argument("maxOver of empty range");
+  std::int64_t best = valueAt(r.begin);
+  for (auto it = bounds_.upper_bound(r.begin); it != bounds_.end() && it->first < r.end; ++it) {
+    best = std::max(best, it->second);
+  }
+  return best;
+}
+
+IntervalSet IntervalCounter::rangesAtLeast(EventRange r, std::int64_t threshold) const {
+  IntervalSet out;
+  if (r.empty()) return out;
+  EventIndex pos = r.begin;
+  std::int64_t value = valueAt(r.begin);
+  auto it = bounds_.upper_bound(r.begin);
+  while (pos < r.end) {
+    const EventIndex next =
+        (it == bounds_.end()) ? r.end : std::min<EventIndex>(it->first, r.end);
+    if (value >= threshold && pos < next) out.insert({pos, next});
+    pos = next;
+    if (it != bounds_.end() && it->first == next) {
+      value = it->second;
+      ++it;
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<EventIndex, std::int64_t>> IntervalCounter::breakpoints() const {
+  return {bounds_.begin(), bounds_.end()};
+}
+
+}  // namespace ppsched

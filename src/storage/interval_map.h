@@ -1,0 +1,54 @@
+// Interval -> integer counter map over event indices.
+//
+// Two users:
+//  - the replication policy counts remote accesses per extent ("replicate a
+//    data item on its 3rd access", §4.2 of the paper);
+//  - the LRU cache tracks pin counts (extents that must not be evicted while
+//    a run is actively processing them).
+//
+// Implemented as a boundary map: keys are positions where the value changes;
+// the value at index e is the entry at the greatest key <= e (default 0
+// before the first key). Adjacent equal values are coalesced.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "storage/interval_set.h"
+
+namespace ppsched {
+
+class IntervalCounter {
+ public:
+  /// Add `delta` to every index in `r`. The resulting values must remain
+  /// >= 0 (throws std::logic_error otherwise, catching unbalanced unpins).
+  void add(EventRange r, std::int64_t delta);
+
+  /// Value at a single index.
+  [[nodiscard]] std::int64_t valueAt(EventIndex e) const;
+
+  /// Minimum value over the (non-empty) range.
+  [[nodiscard]] std::int64_t minOver(EventRange r) const;
+  /// Maximum value over the (non-empty) range.
+  [[nodiscard]] std::int64_t maxOver(EventRange r) const;
+
+  /// Sub-ranges of `r` whose value is >= threshold.
+  [[nodiscard]] IntervalSet rangesAtLeast(EventRange r, std::int64_t threshold) const;
+
+  /// True if every index everywhere has value 0.
+  [[nodiscard]] bool allZero() const { return bounds_.empty(); }
+
+  /// Breakpoints (for tests/debugging): (start, value) pairs in order.
+  [[nodiscard]] std::vector<std::pair<EventIndex, std::int64_t>> breakpoints() const;
+
+ private:
+  void coalesce(EventIndex from, EventIndex to);
+
+  // Position -> value from that position until the next key. The implicit
+  // value before the first key and after regions trimmed back to 0 is 0;
+  // trailing/leading zero entries are removed by coalesce().
+  std::map<EventIndex, std::int64_t> bounds_;
+};
+
+}  // namespace ppsched

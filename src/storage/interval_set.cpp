@@ -1,0 +1,184 @@
+#include "storage/interval_set.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+#include <stdexcept>
+
+namespace ppsched {
+
+EventRange EventRange::intersect(const EventRange& o) const {
+  const EventIndex b = std::max(begin, o.begin);
+  const EventIndex e = std::min(end, o.end);
+  if (b >= e) return {};
+  return {b, e};
+}
+
+EventRange EventRange::prefix(std::uint64_t n) const {
+  if (n >= size()) return *this;
+  return {begin, begin + n};
+}
+
+std::ostream& operator<<(std::ostream& os, const EventRange& r) {
+  return os << '[' << r.begin << ',' << r.end << ')';
+}
+
+IntervalSet::IntervalSet(std::initializer_list<EventRange> ranges) {
+  for (const auto& r : ranges) insert(r);
+}
+
+void IntervalSet::insert(EventRange r) {
+  if (r.empty()) return;
+  EventIndex b = r.begin;
+  EventIndex e = r.end;
+
+  // Find the first interval that could touch [b, e): the one before b, if it
+  // reaches b (adjacency merges too).
+  auto it = map_.lower_bound(b);
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= b) it = prev;
+  }
+  // Absorb all overlapping/adjacent intervals.
+  while (it != map_.end() && it->first <= e) {
+    b = std::min(b, it->first);
+    e = std::max(e, it->second);
+    size_ -= it->second - it->first;
+    it = map_.erase(it);
+  }
+  map_.emplace(b, e);
+  size_ += e - b;
+}
+
+void IntervalSet::erase(EventRange r) {
+  if (r.empty() || map_.empty()) return;
+  auto it = map_.lower_bound(r.begin);
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > r.begin) it = prev;
+  }
+  while (it != map_.end() && it->first < r.end) {
+    const EventIndex ib = it->first;
+    const EventIndex ie = it->second;
+    size_ -= ie - ib;
+    it = map_.erase(it);
+    if (ib < r.begin) {
+      map_.emplace(ib, r.begin);
+      size_ += r.begin - ib;
+    }
+    if (ie > r.end) {
+      map_.emplace(r.end, ie);
+      size_ += ie - r.end;
+      break;  // nothing beyond this interval can overlap r
+    }
+  }
+}
+
+void IntervalSet::insert(const IntervalSet& other) {
+  for (const auto& [b, e] : other.map_) insert({b, e});
+}
+
+void IntervalSet::erase(const IntervalSet& other) {
+  for (const auto& [b, e] : other.map_) erase({b, e});
+}
+
+bool IntervalSet::contains(EventIndex e) const {
+  auto it = map_.upper_bound(e);
+  if (it == map_.begin()) return false;
+  --it;
+  return e < it->second;
+}
+
+bool IntervalSet::containsRange(EventRange r) const {
+  if (r.empty()) return true;
+  auto it = map_.upper_bound(r.begin);
+  if (it == map_.begin()) return false;
+  --it;
+  return r.begin >= it->first && r.end <= it->second;
+}
+
+bool IntervalSet::intersects(EventRange r) const {
+  if (r.empty() || map_.empty()) return false;
+  auto it = map_.lower_bound(r.begin);
+  if (it != map_.end() && it->first < r.end) return true;
+  if (it == map_.begin()) return false;
+  --it;
+  return it->second > r.begin;
+}
+
+std::uint64_t IntervalSet::overlapSize(EventRange r) const {
+  if (r.empty()) return 0;
+  std::uint64_t total = 0;
+  auto it = map_.upper_bound(r.begin);
+  if (it != map_.begin()) --it;
+  for (; it != map_.end() && it->first < r.end; ++it) {
+    const EventIndex b = std::max(it->first, r.begin);
+    const EventIndex e = std::min(it->second, r.end);
+    if (b < e) total += e - b;
+  }
+  return total;
+}
+
+IntervalSet IntervalSet::intersectWith(EventRange r) const {
+  IntervalSet out;
+  if (r.empty()) return out;
+  auto it = map_.upper_bound(r.begin);
+  if (it != map_.begin()) --it;
+  for (; it != map_.end() && it->first < r.end; ++it) {
+    const EventIndex b = std::max(it->first, r.begin);
+    const EventIndex e = std::min(it->second, r.end);
+    if (b < e) out.insert({b, e});
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::intersectWith(const IntervalSet& other) const {
+  // Iterate the smaller set's intervals against the bigger one.
+  const IntervalSet& small = map_.size() <= other.map_.size() ? *this : other;
+  const IntervalSet& big = map_.size() <= other.map_.size() ? other : *this;
+  IntervalSet out;
+  for (const auto& [b, e] : small.map_) {
+    IntervalSet piece = big.intersectWith(EventRange{b, e});
+    for (const auto& r : piece.intervals()) out.insert(r);
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::difference(const IntervalSet& other) const {
+  IntervalSet out = *this;
+  out.erase(other);
+  return out;
+}
+
+std::vector<EventRange> IntervalSet::intervals() const {
+  std::vector<EventRange> out;
+  out.reserve(map_.size());
+  for (const auto& [b, e] : map_) out.push_back({b, e});
+  return out;
+}
+
+EventRange IntervalSet::first() const {
+  if (map_.empty()) throw std::logic_error("IntervalSet::first on empty set");
+  return {map_.begin()->first, map_.begin()->second};
+}
+
+EventRange IntervalSet::runAt(EventIndex e) const {
+  auto it = map_.upper_bound(e);
+  if (it == map_.begin()) return {};
+  --it;
+  if (e >= it->second) return {};
+  return {e, it->second};
+}
+
+std::ostream& operator<<(std::ostream& os, const IntervalSet& s) {
+  os << '{';
+  bool firstItem = true;
+  for (const auto& r : s.intervals()) {
+    if (!firstItem) os << ' ';
+    os << r;
+    firstItem = false;
+  }
+  return os << '}';
+}
+
+}  // namespace ppsched

@@ -1,0 +1,96 @@
+// Ordered set of disjoint half-open intervals over event indices.
+//
+// The whole simulator reasons about contiguous ranges of collision events:
+// job data segments, subjob assignments, cached extents, remaining work.
+// IntervalSet is the shared vocabulary: disjoint, coalesced [begin, end)
+// intervals over std::uint64_t with the usual set algebra.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <map>
+#include <vector>
+
+namespace ppsched {
+
+/// Index of a collision event within the data space.
+using EventIndex = std::uint64_t;
+
+/// Half-open range of events [begin, end). An empty range has begin == end.
+struct EventRange {
+  EventIndex begin = 0;
+  EventIndex end = 0;
+
+  [[nodiscard]] std::uint64_t size() const { return end - begin; }
+  [[nodiscard]] bool empty() const { return begin >= end; }
+  [[nodiscard]] bool contains(EventIndex e) const { return e >= begin && e < end; }
+  [[nodiscard]] bool overlaps(const EventRange& o) const {
+    return begin < o.end && o.begin < end;
+  }
+  /// Intersection (may be empty).
+  [[nodiscard]] EventRange intersect(const EventRange& o) const;
+  /// First `n` events of this range (or the whole range if shorter).
+  [[nodiscard]] EventRange prefix(std::uint64_t n) const;
+
+  friend bool operator==(const EventRange&, const EventRange&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const EventRange& r);
+
+/// Disjoint, coalesced set of half-open intervals with set algebra.
+/// All operations keep the invariant: intervals sorted, non-empty,
+/// non-overlapping, non-adjacent (adjacent intervals are merged).
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+  /*implicit*/ IntervalSet(EventRange r) { insert(r); }
+  IntervalSet(std::initializer_list<EventRange> ranges);
+
+  /// Insert a range (union). Empty ranges are ignored.
+  void insert(EventRange r);
+  /// Remove a range (difference). Empty ranges are ignored.
+  void erase(EventRange r);
+  void insert(const IntervalSet& other);
+  void erase(const IntervalSet& other);
+  void clear() { map_.clear(); size_ = 0; }
+
+  [[nodiscard]] bool empty() const { return map_.empty(); }
+  /// Total number of events covered.
+  [[nodiscard]] std::uint64_t size() const { return size_; }
+  /// Number of disjoint intervals.
+  [[nodiscard]] std::size_t intervalCount() const { return map_.size(); }
+
+  [[nodiscard]] bool contains(EventIndex e) const;
+  /// True if the whole of `r` is covered.
+  [[nodiscard]] bool containsRange(EventRange r) const;
+  /// True if any part of `r` is covered.
+  [[nodiscard]] bool intersects(EventRange r) const;
+  /// Number of events of `r` that are covered.
+  [[nodiscard]] std::uint64_t overlapSize(EventRange r) const;
+
+  /// Set intersection / difference as new sets.
+  [[nodiscard]] IntervalSet intersectWith(const IntervalSet& other) const;
+  [[nodiscard]] IntervalSet intersectWith(EventRange r) const;
+  [[nodiscard]] IntervalSet difference(const IntervalSet& other) const;
+
+  /// The covered intervals in ascending order.
+  [[nodiscard]] std::vector<EventRange> intervals() const;
+  /// First interval; precondition: !empty().
+  [[nodiscard]] EventRange first() const;
+
+  /// The maximal covered run starting at `e`, or an empty range if `e` is
+  /// not covered. Used to plan spans: "how far can I read contiguously?"
+  [[nodiscard]] EventRange runAt(EventIndex e) const;
+
+  friend bool operator==(const IntervalSet&, const IntervalSet&) = default;
+
+ private:
+  // begin -> end of each disjoint interval.
+  std::map<EventIndex, EventIndex> map_;
+  std::uint64_t size_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const IntervalSet& s);
+
+}  // namespace ppsched

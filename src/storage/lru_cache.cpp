@@ -1,0 +1,193 @@
+#include "storage/lru_cache.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace ppsched {
+
+LruExtentCache::LruExtentCache(std::uint64_t capacityEvents) : capacity_(capacityEvents) {}
+
+IntervalSet LruExtentCache::cachedIn(EventRange r) const {
+  IntervalSet out;
+  if (r.empty() || extents_.empty()) return out;
+  auto it = extents_.upper_bound(r.begin);
+  if (it != extents_.begin()) --it;
+  for (; it != extents_.end() && it->first < r.end; ++it) {
+    const EventIndex b = std::max(it->first, r.begin);
+    const EventIndex e = std::min(it->second.end, r.end);
+    if (b < e) out.insert({b, e});
+  }
+  return out;
+}
+
+std::uint64_t LruExtentCache::overlapSize(EventRange r) const {
+  return cachedIn(r).size();
+}
+
+bool LruExtentCache::containsRange(EventRange r) const {
+  // Coverage may span several extents with different timestamps; walk them
+  // and require contiguity.
+  if (r.empty()) return true;
+  auto it = extents_.upper_bound(r.begin);
+  if (it == extents_.begin()) return false;
+  --it;
+  if (r.begin < it->first || r.begin >= it->second.end) return false;
+  EventIndex covered = it->second.end;
+  while (covered < r.end) {
+    ++it;
+    if (it == extents_.end() || it->first != covered) return false;
+    covered = it->second.end;
+  }
+  return true;
+}
+
+IntervalSet LruExtentCache::contents() const {
+  IntervalSet out;
+  for (const auto& [b, ext] : extents_) out.insert({b, ext.end});
+  return out;
+}
+
+void LruExtentCache::splitAt(EventIndex pos) {
+  auto it = extents_.upper_bound(pos);
+  if (it == extents_.begin()) return;
+  --it;
+  if (pos <= it->first || pos >= it->second.end) return;
+  const EventIndex end = it->second.end;
+  const SimTime t = it->second.lastAccess;
+  it->second.end = pos;
+  extents_.emplace(pos, Extent{end, t});
+  lru_.emplace(t, pos);
+}
+
+LruExtentCache::ExtentMap::iterator LruExtentCache::removeExtent(ExtentMap::iterator it) {
+  lru_.erase({it->second.lastAccess, it->first});
+  used_ -= it->second.end - it->first;
+  return extents_.erase(it);
+}
+
+void LruExtentCache::addExtent(EventIndex b, EventIndex e, SimTime t) {
+  assert(b < e);
+  // Merge with an equal-timestamp left neighbour.
+  auto left = extents_.lower_bound(b);
+  if (left != extents_.begin()) {
+    auto prev = std::prev(left);
+    assert(prev->second.end <= b);
+    if (prev->second.end == b && prev->second.lastAccess == t) {
+      b = prev->first;
+      used_ -= prev->second.end - prev->first;
+      lru_.erase({t, prev->first});
+      extents_.erase(prev);
+    }
+  }
+  // Merge with an equal-timestamp right neighbour.
+  auto right = extents_.lower_bound(e);
+  if (right != extents_.end() && right->first == e && right->second.lastAccess == t) {
+    e = right->second.end;
+    used_ -= right->second.end - right->first;
+    lru_.erase({t, right->first});
+    extents_.erase(right);
+  }
+  extents_.emplace(b, Extent{e, t});
+  lru_.emplace(t, b);
+  used_ += e - b;
+}
+
+void LruExtentCache::touch(EventRange r, SimTime now) {
+  if (r.empty()) return;
+  splitAt(r.begin);
+  splitAt(r.end);
+  std::vector<EventRange> touched;
+  auto it = extents_.lower_bound(r.begin);
+  while (it != extents_.end() && it->first < r.end) {
+    assert(it->second.end <= r.end);
+    touched.push_back({it->first, it->second.end});
+    it = removeExtent(it);
+  }
+  for (const auto& piece : touched) addExtent(piece.begin, piece.end, now);
+}
+
+void LruExtentCache::pin(EventRange r) { pins_.add(r, +1); }
+
+void LruExtentCache::unpin(EventRange r) { pins_.add(r, -1); }
+
+IntervalSet LruExtentCache::pinnedIn(EventRange r) const {
+  if (r.empty()) return {};
+  return pins_.rangesAtLeast(r, 1);
+}
+
+void LruExtentCache::evict(EventRange r) {
+  if (r.empty()) return;
+  splitAt(r.begin);
+  splitAt(r.end);
+  auto it = extents_.lower_bound(r.begin);
+  while (it != extents_.end() && it->first < r.end) {
+    totalEvicted_ += it->second.end - it->first;
+    it = removeExtent(it);
+  }
+}
+
+bool LruExtentCache::makeRoom(std::uint64_t needed) {
+  if (needed > capacity_) return false;
+  // Walk the LRU index oldest-first; evict unpinned portions. Partially
+  // pinned extents shed only their unpinned pieces; fully pinned extents are
+  // skipped.
+  while (capacity_ - used_ < needed) {
+    bool evictedSomething = false;
+    for (auto lruIt = lru_.begin(); lruIt != lru_.end(); ++lruIt) {
+      const EventIndex begin = lruIt->second;
+      auto extIt = extents_.find(begin);
+      assert(extIt != extents_.end());
+      const EventRange range{begin, extIt->second.end};
+      const SimTime t = extIt->second.lastAccess;
+      IntervalSet evictable{range};
+      evictable.erase(pins_.rangesAtLeast(range, 1));
+      if (evictable.empty()) continue;  // fully pinned, skip
+      // Evict only as much as the deficit requires, taking the lowest
+      // indices of the extent first; the remainder keeps its timestamp and
+      // stays first in LRU order.
+      const std::uint64_t deficit = needed - (capacity_ - used_);
+      IntervalSet keep{range};
+      std::uint64_t freed = 0;
+      for (const EventRange& piece : evictable.intervals()) {
+        if (freed >= deficit) break;
+        const EventRange cut = piece.prefix(deficit - freed);
+        keep.erase(cut);
+        freed += cut.size();
+      }
+      totalEvicted_ += freed;
+      removeExtent(extIt);
+      for (const auto& piece : keep.intervals()) addExtent(piece.begin, piece.end, t);
+      evictedSomething = true;
+      break;  // LRU index changed; restart from the (new) oldest
+    }
+    if (!evictedSomething) return false;  // everything remaining is pinned
+  }
+  return true;
+}
+
+IntervalSet LruExtentCache::insert(EventRange r, SimTime now) {
+  IntervalSet inserted;
+  if (r.empty() || capacity_ == 0) return inserted;
+  // Refresh what is already there, so it becomes MRU and is not evicted to
+  // make room for the rest of the same range.
+  touch(r, now);
+  IntervalSet missing{r};
+  missing.erase(cachedIn(r));
+  for (const auto& gap : missing.intervals()) {
+    // A gap larger than the whole cache can at best leave its prefix behind.
+    EventRange piece = gap.prefix(capacity_);
+    if (!makeRoom(piece.size())) {
+      // Insert only the prefix that fits (streamed data fills the cache
+      // until pinned contents block further eviction).
+      const std::uint64_t space = capacity_ - used_;
+      if (space == 0) break;
+      piece = piece.prefix(space);
+    }
+    addExtent(piece.begin, piece.end, now);
+    inserted.insert(piece);
+  }
+  return inserted;
+}
+
+}  // namespace ppsched

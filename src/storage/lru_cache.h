@@ -1,0 +1,95 @@
+// Extent-based LRU disk cache.
+//
+// Each processing node owns one LruExtentCache modelling its local disk
+// cache (§2.4: 50/100/200 GB). Capacity is measured in events (one event =
+// 600 KB). The paper's eviction rule (§3.3, Table 2): "When needing new disk
+// cache space, it deallocates the least recently used cached segments."
+//
+// Extents carry a last-access timestamp; insertion of new data evicts the
+// least recently used unpinned extents until it fits. Extents currently
+// being processed by a run are pinned so a run can never evict the very data
+// it is about to read.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "sim/time.h"
+#include "storage/interval_map.h"
+#include "storage/interval_set.h"
+
+namespace ppsched {
+
+class LruExtentCache {
+ public:
+  /// Capacity in events. A capacity of 0 makes a cache that never stores
+  /// anything (used to model the cache-less farm/splitting policies).
+  explicit LruExtentCache(std::uint64_t capacityEvents);
+
+  [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
+  [[nodiscard]] std::uint64_t used() const { return used_; }
+  [[nodiscard]] std::uint64_t freeSpace() const { return capacity_ - used_; }
+
+  /// Portion of `r` currently cached.
+  [[nodiscard]] IntervalSet cachedIn(EventRange r) const;
+  /// Number of cached events within `r`.
+  [[nodiscard]] std::uint64_t overlapSize(EventRange r) const;
+  /// True if all of `r` is cached.
+  [[nodiscard]] bool containsRange(EventRange r) const;
+  /// Everything cached, as an IntervalSet (O(extents); for policy planning
+  /// and tests).
+  [[nodiscard]] IntervalSet contents() const;
+  /// Number of stored extents (fragmentation indicator; for tests).
+  [[nodiscard]] std::size_t extentCount() const { return extents_.size(); }
+
+  /// Cache `r` at time `now`: already-cached parts are touched; missing
+  /// parts are inserted, evicting least-recently-used unpinned extents as
+  /// needed. If pinned data prevents making room, only the part that fits is
+  /// inserted. Returns the newly inserted set (excluding already-cached
+  /// parts).
+  IntervalSet insert(EventRange r, SimTime now);
+
+  /// Update the LRU timestamp of the cached portions of `r`.
+  void touch(EventRange r, SimTime now);
+
+  /// Pin / unpin `r` against eviction. Pins nest; each pin() must be
+  /// balanced by an unpin() of the same range.
+  void pin(EventRange r);
+  void unpin(EventRange r);
+  /// Pinned events within `r` (for tests).
+  [[nodiscard]] IntervalSet pinnedIn(EventRange r) const;
+
+  /// Forcibly drop the cached portions of `r`, pinned or not (failure
+  /// injection / tests).
+  void evict(EventRange r);
+
+  /// Cumulative number of events evicted over the cache's lifetime.
+  [[nodiscard]] std::uint64_t totalEvicted() const { return totalEvicted_; }
+
+ private:
+  struct Extent {
+    EventIndex end;
+    SimTime lastAccess;
+  };
+  using ExtentMap = std::map<EventIndex, Extent>;
+
+  /// Split the extent containing `pos` (if any) at `pos`.
+  void splitAt(EventIndex pos);
+  /// Remove an extent from both the map and the LRU index.
+  ExtentMap::iterator removeExtent(ExtentMap::iterator it);
+  /// Add an extent, merging with equal-timestamp neighbours.
+  void addExtent(EventIndex b, EventIndex e, SimTime t);
+  /// Evict LRU unpinned extents until `needed` events fit (or nothing more
+  /// can be evicted). Returns true if the space is now available.
+  bool makeRoom(std::uint64_t needed);
+
+  ExtentMap extents_;                           // begin -> extent
+  std::set<std::pair<SimTime, EventIndex>> lru_;  // (lastAccess, begin)
+  IntervalCounter pins_;
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::uint64_t totalEvicted_ = 0;
+};
+
+}  // namespace ppsched

@@ -1,0 +1,23 @@
+#include "storage/rates.h"
+
+#include <algorithm>
+
+namespace ppsched {
+
+double CostModel::secPerEvent(DataSource src) const {
+  double transfer = 0.0;
+  switch (src) {
+    case DataSource::LocalCache:
+      transfer = diskSecPerEvent();
+      break;
+    case DataSource::RemoteCache:
+      transfer = remoteSecPerEvent();
+      break;
+    case DataSource::Tertiary:
+      transfer = tertiarySecPerEvent();
+      break;
+  }
+  return pipelined ? std::max(transfer, cpuSecPerEvent) : transfer + cpuSecPerEvent;
+}
+
+}  // namespace ppsched

@@ -1,0 +1,95 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ppsched {
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadParams& params, std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  if (params_.totalEvents == 0) throw std::invalid_argument("totalEvents must be > 0");
+  if (params_.jobsPerHour <= 0.0) throw std::invalid_argument("jobsPerHour must be > 0");
+  if (params_.meanJobEvents <= 0.0) throw std::invalid_argument("meanJobEvents must be > 0");
+  if (params_.erlangShape < 1) throw std::invalid_argument("erlangShape must be >= 1");
+  if (params_.minJobEvents == 0 || params_.minJobEvents > params_.totalEvents) {
+    throw std::invalid_argument("minJobEvents out of range");
+  }
+  if (params_.hotProbability < 0.0 || params_.hotProbability > 1.0) {
+    throw std::invalid_argument("hotProbability out of [0,1]");
+  }
+  if (params_.diurnalAmplitude < 0.0 || params_.diurnalAmplitude > 1.0) {
+    throw std::invalid_argument("diurnalAmplitude out of [0,1]");
+  }
+  if (params_.diurnalAmplitude > 0.0 && params_.diurnalPeriod <= 0.0) {
+    throw std::invalid_argument("diurnalPeriod must be > 0");
+  }
+
+  // Materialize hot regions as absolute, disjoint event ranges.
+  IntervalSet hot;
+  const double total = static_cast<double>(params_.totalEvents);
+  for (const auto& region : params_.hotRegions) {
+    if (region.start < 0.0 || region.length <= 0.0 || region.start + region.length > 1.0) {
+      throw std::invalid_argument("hot region out of [0,1]");
+    }
+    const auto b = static_cast<EventIndex>(region.start * total);
+    const auto e = static_cast<EventIndex>((region.start + region.length) * total);
+    if (b < e) hot.insert({b, e});
+  }
+  hotRanges_ = hot.intervals();
+  IntervalSet cold{EventRange{0, params_.totalEvents}};
+  cold.erase(hot);
+  coldRanges_ = cold.intervals();
+  for (const auto& r : hotRanges_) hotWeights_.push_back(static_cast<double>(r.size()));
+  for (const auto& r : coldRanges_) coldWeights_.push_back(static_cast<double>(r.size()));
+  if (params_.hotProbability > 0.0 && hotRanges_.empty()) {
+    throw std::invalid_argument("hotProbability > 0 but no hot regions");
+  }
+  if (params_.hotProbability < 1.0 && coldRanges_.empty()) {
+    throw std::invalid_argument("hotProbability < 1 but hot regions cover everything");
+  }
+}
+
+std::uint64_t WorkloadGenerator::drawJobEvents() {
+  const double x = rng_.erlang(params_.erlangShape, params_.meanJobEvents);
+  const auto n = static_cast<std::uint64_t>(std::llround(x));
+  return std::clamp(n, params_.minJobEvents, params_.totalEvents);
+}
+
+EventIndex WorkloadGenerator::drawStartPoint(std::uint64_t jobEvents) {
+  const bool hot = rng_.chance(params_.hotProbability);
+  const auto& ranges = hot ? hotRanges_ : coldRanges_;
+  const auto& weights = hot ? hotWeights_ : coldWeights_;
+  const std::size_t i = rng_.weightedIndex(weights);
+  EventIndex start = rng_.uniformInt(ranges[i].begin, ranges[i].end - 1);
+  // Segments are contiguous and must fit inside the data space; the paper is
+  // silent on boundary behaviour, so we clamp the start point (DESIGN.md §7).
+  const EventIndex maxStart = params_.totalEvents - jobEvents;
+  return std::min(start, maxStart);
+}
+
+std::optional<Job> WorkloadGenerator::next() {
+  if (params_.diurnalAmplitude <= 0.0) {
+    clock_ += rng_.exponential(units::interarrivalFromJobsPerHour(params_.jobsPerHour));
+  } else {
+    // Non-homogeneous Poisson by thinning: propose at the peak rate, accept
+    // with probability rate(t)/peak.
+    const double peakRate = params_.jobsPerHour * (1.0 + params_.diurnalAmplitude);
+    for (;;) {
+      clock_ += rng_.exponential(units::interarrivalFromJobsPerHour(peakRate));
+      const double phase = 2.0 * 3.14159265358979323846 * clock_ / params_.diurnalPeriod;
+      const double rate =
+          params_.jobsPerHour * (1.0 + params_.diurnalAmplitude * std::sin(phase));
+      if (rng_.uniform01() * peakRate < rate) break;
+    }
+  }
+  const std::uint64_t events = drawJobEvents();
+  const EventIndex start = drawStartPoint(events);
+  Job job;
+  job.id = nextId_++;
+  job.arrival = clock_;
+  job.range = {start, start + events};
+  return job;
+}
+
+}  // namespace ppsched

@@ -1,0 +1,89 @@
+// Synthetic LHCb-style workload generator (§2.4 of the paper).
+//
+// The paper evaluated its policies against a synthetic workload (there were
+// no production LHCb traces in 2004); we synthesize the same model:
+//   - Poisson arrivals with a configurable cadence (jobs/hour);
+//   - Erlang(shape 4) job sizes with mean 40000 events (mode 30000 — the
+//     figure the paper's text quotes; see DESIGN.md §2);
+//   - contiguous data segments whose start points are homogeneous except for
+//     two hot regions: 10% of the data space attracts 50% of start points.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/time.h"
+#include "workload/job.h"
+
+namespace ppsched {
+
+/// Abstract stream of jobs in arrival order. Implemented by the synthetic
+/// generator and by trace replay.
+class JobSource {
+ public:
+  virtual ~JobSource() = default;
+  /// Next job in arrival order, or nullopt when the source is exhausted
+  /// (the synthetic generator never is).
+  virtual std::optional<Job> next() = 0;
+};
+
+/// A hot region of the data space, in fractions of the total event count.
+struct HotRegion {
+  double start = 0.0;   ///< fraction in [0, 1)
+  double length = 0.0;  ///< fraction in (0, 1]
+};
+
+struct WorkloadParams {
+  /// Total number of events in the data space (2 TB / 600 KB by default;
+  /// set from SimConfig).
+  std::uint64_t totalEvents = 3'333'333;
+  /// Mean arrival cadence.
+  double jobsPerHour = 1.0;
+  /// Erlang job-size distribution.
+  double meanJobEvents = 40'000.0;
+  int erlangShape = 4;
+  /// Job sizes are clamped below by this (the paper's minimal job size)
+  /// and above by the data-space size.
+  std::uint64_t minJobEvents = 10;
+  /// Hot regions: together `hotProbability` of start points fall uniformly
+  /// inside them; the rest fall uniformly in the remaining space.
+  std::vector<HotRegion> hotRegions{{0.20, 0.05}, {0.60, 0.05}};
+  double hotProbability = 0.5;
+  /// Diurnal modulation (extension; 0 = the paper's homogeneous Poisson
+  /// arrivals): the instantaneous rate is
+  ///   jobsPerHour * (1 + diurnalAmplitude * sin(2*pi*t / diurnalPeriod)),
+  /// sampled by Poisson thinning. Amplitude must be in [0, 1].
+  double diurnalAmplitude = 0.0;
+  Duration diurnalPeriod = 24 * 3600.0;
+};
+
+/// Generates an endless stream of jobs. Deterministic given the Rng seed.
+class WorkloadGenerator final : public JobSource {
+ public:
+  /// Validates parameters (throws std::invalid_argument).
+  WorkloadGenerator(const WorkloadParams& params, std::uint64_t seed);
+
+  std::optional<Job> next() override;
+
+  /// Draw only a job size (for tests / analytic checks).
+  std::uint64_t drawJobEvents();
+  /// Draw only a start point for a job of the given size.
+  EventIndex drawStartPoint(std::uint64_t jobEvents);
+
+  [[nodiscard]] const WorkloadParams& params() const { return params_; }
+
+ private:
+  WorkloadParams params_;
+  Rng rng_;
+  SimTime clock_ = 0.0;
+  JobId nextId_ = 0;
+  // Hot regions in absolute event indices, plus the cold complement.
+  std::vector<EventRange> hotRanges_;
+  std::vector<EventRange> coldRanges_;
+  std::vector<double> hotWeights_;
+  std::vector<double> coldWeights_;
+};
+
+}  // namespace ppsched

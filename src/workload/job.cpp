@@ -1,0 +1,17 @@
+#include "workload/job.h"
+
+#include <ostream>
+
+namespace ppsched {
+
+std::ostream& operator<<(std::ostream& os, const Job& j) {
+  return os << "Job{" << j.id << ", t=" << j.arrival << ", " << j.range << '}';
+}
+
+std::ostream& operator<<(std::ostream& os, const Subjob& s) {
+  os << "Subjob{job=" << s.job << ", " << s.range;
+  if (s.yieldsToCached) os << ", yields";
+  return os << '}';
+}
+
+}  // namespace ppsched

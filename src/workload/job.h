@@ -1,0 +1,48 @@
+// Jobs and subjobs.
+//
+// A job is a request to analyze one contiguous segment of collision events
+// (§2.2). Jobs are arbitrarily divisible: policies split them into subjobs,
+// each again a contiguous range, executed independently on cluster nodes.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+
+#include "sim/time.h"
+#include "storage/interval_set.h"
+
+namespace ppsched {
+
+using JobId = std::uint32_t;
+inline constexpr JobId kNoJob = std::numeric_limits<JobId>::max();
+
+/// A user analysis job: a contiguous event segment plus its arrival time.
+struct Job {
+  JobId id = kNoJob;
+  SimTime arrival = 0.0;
+  EventRange range;
+
+  [[nodiscard]] std::uint64_t events() const { return range.size(); }
+
+  friend bool operator==(const Job&, const Job&) = default;
+};
+
+/// A schedulable piece of a job: a contiguous sub-range.
+struct Subjob {
+  JobId job = kNoJob;
+  EventRange range;
+  /// Arrival time of the parent job; used for FIFO fairness ordering.
+  SimTime jobArrival = 0.0;
+  /// Out-of-order policy (Table 3): a subjob stolen onto a node that does
+  /// not hold its data carries a flag allowing cached subjobs to preempt it.
+  bool yieldsToCached = false;
+
+  [[nodiscard]] std::uint64_t events() const { return range.size(); }
+  [[nodiscard]] bool empty() const { return range.empty(); }
+};
+
+std::ostream& operator<<(std::ostream& os, const Job& j);
+std::ostream& operator<<(std::ostream& os, const Subjob& s);
+
+}  // namespace ppsched

@@ -1,0 +1,92 @@
+#include "workload/trace.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ppsched {
+
+JobTrace::JobTrace(std::vector<Job> jobs) : jobs_(std::move(jobs)) { validate(); }
+
+void JobTrace::validate() const {
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const Job& j = jobs_[i];
+    if (j.range.empty()) throw std::runtime_error("trace: job with empty range");
+    if (i > 0) {
+      if (j.arrival < jobs_[i - 1].arrival) {
+        throw std::runtime_error("trace: arrivals not sorted");
+      }
+      if (j.id <= jobs_[i - 1].id) {
+        throw std::runtime_error("trace: ids not strictly increasing");
+      }
+    }
+  }
+}
+
+JobTrace JobTrace::record(JobSource& source, std::size_t count) {
+  std::vector<Job> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto job = source.next();
+    if (!job) break;
+    jobs.push_back(*job);
+  }
+  return JobTrace(std::move(jobs));
+}
+
+JobTrace JobTrace::parse(std::istream& in) {
+  std::vector<Job> jobs;
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    Job job;
+    char c1 = 0, c2 = 0, c3 = 0;
+    if (!(ls >> job.id >> c1 >> job.arrival >> c2 >> job.range.begin >> c3 >> job.range.end) ||
+        c1 != ',' || c2 != ',' || c3 != ',') {
+      throw std::runtime_error("trace: malformed line " + std::to_string(lineNo));
+    }
+    jobs.push_back(job);
+  }
+  return JobTrace(std::move(jobs));
+}
+
+JobTrace JobTrace::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("trace: cannot open " + path);
+  return parse(in);
+}
+
+void JobTrace::write(std::ostream& out) const {
+  out << "# ppsched job trace: id,arrival_seconds,begin_event,end_event\n";
+  for (const Job& j : jobs_) {
+    out << j.id << ',' << j.arrival << ',' << j.range.begin << ',' << j.range.end << '\n';
+  }
+}
+
+void JobTrace::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("trace: cannot write " + path);
+  write(out);
+}
+
+JobTrace::Summary JobTrace::summarize() const {
+  Summary s;
+  s.jobs = jobs_.size();
+  if (jobs_.empty()) return s;
+  double events = 0.0;
+  for (const Job& j : jobs_) events += static_cast<double>(j.events());
+  s.meanEvents = events / static_cast<double>(jobs_.size());
+  s.span = jobs_.back().arrival - jobs_.front().arrival;
+  if (jobs_.size() > 1) s.meanInterarrival = s.span / static_cast<double>(jobs_.size() - 1);
+  return s;
+}
+
+std::optional<Job> TraceSource::next() {
+  if (pos_ >= trace_.size()) return std::nullopt;
+  return trace_.jobs()[pos_++];
+}
+
+}  // namespace ppsched

@@ -1,0 +1,70 @@
+// Job trace recording and replay.
+//
+// No public LHCb cluster trace from 2004 exists, so traces are synthesized
+// with WorkloadGenerator and can be saved/replayed: this makes experiments
+// byte-for-byte repeatable across policies (every policy sees the identical
+// job stream) and lets users feed their own traces to the simulator.
+//
+// CSV format, one job per line:  id,arrival_seconds,begin_event,end_event
+// Lines starting with '#' are comments.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/generator.h"
+#include "workload/job.h"
+
+namespace ppsched {
+
+/// An in-memory job trace in arrival order.
+class JobTrace {
+ public:
+  JobTrace() = default;
+  explicit JobTrace(std::vector<Job> jobs);
+
+  /// Record `count` jobs from a source.
+  static JobTrace record(JobSource& source, std::size_t count);
+
+  /// Parse from CSV (throws std::runtime_error on malformed input).
+  static JobTrace parse(std::istream& in);
+  static JobTrace load(const std::string& path);
+
+  void write(std::ostream& out) const;
+  void save(const std::string& path) const;
+
+  [[nodiscard]] const std::vector<Job>& jobs() const { return jobs_; }
+  [[nodiscard]] std::size_t size() const { return jobs_.size(); }
+  [[nodiscard]] bool empty() const { return jobs_.empty(); }
+
+  /// Basic aggregate statistics (for summaries / tests).
+  struct Summary {
+    std::size_t jobs = 0;
+    double meanEvents = 0.0;
+    double meanInterarrival = 0.0;  // seconds; 0 when fewer than 2 jobs
+    SimTime span = 0.0;             // last arrival - first arrival
+  };
+  [[nodiscard]] Summary summarize() const;
+
+ private:
+  /// Jobs must be sorted by arrival and have monotonically increasing ids.
+  void validate() const;
+
+  std::vector<Job> jobs_;
+};
+
+/// Replays a trace as a JobSource.
+class TraceSource final : public JobSource {
+ public:
+  explicit TraceSource(JobTrace trace) : trace_(std::move(trace)) {}
+
+  std::optional<Job> next() override;
+
+ private:
+  JobTrace trace_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ppsched

@@ -1,0 +1,107 @@
+// Adaptive delay (§6): table and feedback controllers.
+#include "sched/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace ppsched {
+namespace {
+
+using testing::fixedSource;
+using testing::tinyConfig;
+
+TEST(AdaptiveTable, Validation) {
+  EXPECT_THROW(TableAdaptiveDelay({}), std::invalid_argument);
+  // Loads must ascend.
+  EXPECT_THROW(TableAdaptiveDelay({{2.0, 0.0}, {1.0, 10.0}}), std::invalid_argument);
+  // Delays must not decrease.
+  EXPECT_THROW(TableAdaptiveDelay({{1.0, 10.0}, {2.0, 5.0}}), std::invalid_argument);
+}
+
+TEST(AdaptiveTable, PicksMinimalSufficientDelay) {
+  SimConfig cfg = tinyConfig(1, 1000, 100);
+  MetricsCollector m(cfg.cost, {0, 0.0});
+  Engine e(cfg, fixedSource({}), std::make_unique<ppsched::testing::ManualPolicy>(), m);
+
+  TableAdaptiveDelay table({{1.0, 0.0}, {2.0, 100.0}, {3.0, 200.0}});
+  EXPECT_DOUBLE_EQ(table.nextPeriod(e, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(table.nextPeriod(e, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(table.nextPeriod(e, 1.5), 100.0);
+  EXPECT_DOUBLE_EQ(table.nextPeriod(e, 2.5), 200.0);
+  EXPECT_DOUBLE_EQ(table.nextPeriod(e, 99.0), 200.0);  // beyond table: max
+}
+
+TEST(AdaptiveTable, DefaultTableIsWellFormed) {
+  const auto levels = TableAdaptiveDelay::defaultTable();
+  ASSERT_GE(levels.size(), 3u);
+  EXPECT_DOUBLE_EQ(levels.front().delay, 0.0);  // zero delay at low load
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    EXPECT_GT(levels[i].maxLoadJobsPerHour, levels[i - 1].maxLoadJobsPerHour);
+    EXPECT_GE(levels[i].delay, levels[i - 1].delay);
+  }
+  EXPECT_NO_THROW(TableAdaptiveDelay{levels});
+}
+
+TEST(AdaptiveFeedback, Validation) {
+  FeedbackAdaptiveDelay::Params p;
+  p.ladder.clear();
+  EXPECT_THROW(FeedbackAdaptiveDelay{p}, std::invalid_argument);
+  p = FeedbackAdaptiveDelay::Params{};
+  p.ladder = {100.0, 50.0};
+  EXPECT_THROW(FeedbackAdaptiveDelay{p}, std::invalid_argument);
+  p = FeedbackAdaptiveDelay::Params{};
+  p.lowWater = p.highWater;
+  EXPECT_THROW(FeedbackAdaptiveDelay{p}, std::invalid_argument);
+}
+
+TEST(AdaptiveFeedback, EscalatesAndRecovers) {
+  SimConfig cfg = tinyConfig(1, 100'000, 100);
+  MetricsCollector m(cfg.cost, {0, 0.0});
+  // Jobs that arrive but are never completed push the in-system count up.
+  std::vector<Job> jobs;
+  for (JobId i = 0; i < 50; ++i) jobs.push_back({i, 1.0 + i, {0, 100}});
+  auto manual = std::make_unique<ppsched::testing::ManualPolicy>();
+  Engine e(cfg, fixedSource(jobs), std::move(manual), m);
+  e.run({.simTimeLimit = 100.0});  // 50 jobs in system, none started
+
+  FeedbackAdaptiveDelay::Params p;
+  p.ladder = {0.0, 60.0, 120.0};
+  p.highWater = 30;
+  p.lowWater = 5;
+  FeedbackAdaptiveDelay fb(p);
+  EXPECT_DOUBLE_EQ(fb.nextPeriod(e, 0.0), 60.0);   // 50 > 30: escalate
+  EXPECT_DOUBLE_EQ(fb.nextPeriod(e, 0.0), 120.0);  // still high: escalate
+  EXPECT_DOUBLE_EQ(fb.nextPeriod(e, 0.0), 120.0);  // clamped at top
+  EXPECT_EQ(fb.currentLevel(), 2u);
+}
+
+TEST(AdaptiveScheduler, ZeroDelayAtLowLoadBehavesImmediately) {
+  SimConfig cfg = tinyConfig(2, 1'000'000, 100'000);
+  MetricsCollector m(cfg.cost, {0, 0.0});
+  DelayedParams params;
+  params.stripeEvents = 5000;
+  auto policy = makeAdaptiveScheduler(params);
+  EXPECT_EQ(policy->name(), "adaptive");
+  Engine e(cfg, fixedSource({{0, 10.0, {0, 1000}}}), std::move(policy), m);
+  e.run({});
+  // Observed load ~0 -> delay 0 -> immediate start.
+  EXPECT_NEAR(m.record(0).firstStart, 10.0, 1e-6);
+}
+
+TEST(AdaptiveScheduler, CompletesMixedStream) {
+  SimConfig cfg = tinyConfig(3, 1'000'000, 50'000);
+  MetricsCollector m(cfg.cost, {0, 0.0});
+  std::vector<Job> jobs;
+  for (JobId i = 0; i < 30; ++i) {
+    jobs.push_back({i, i * 400.0, {(i % 5) * 20'000, (i % 5) * 20'000 + 3000}});
+  }
+  DelayedParams params;
+  params.stripeEvents = 1000;
+  Engine e(cfg, fixedSource(jobs), makeAdaptiveScheduler(params), m);
+  e.run({});
+  EXPECT_EQ(m.completedJobs(), 30u);
+}
+
+}  // namespace
+}  // namespace ppsched

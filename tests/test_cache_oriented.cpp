@@ -1,0 +1,132 @@
+// CacheOrientedScheduler (§3.3, Table 2).
+#include "sched/cache_oriented.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace ppsched {
+namespace {
+
+using testing::fixedSource;
+using testing::tinyConfig;
+
+struct CacheHarness {
+  CacheHarness(SimConfig cfg, std::vector<Job> jobs) : metrics(cfg.cost, {0, 0.0}) {
+    auto p = std::make_unique<CacheOrientedScheduler>();
+    policy = p.get();
+    engine = std::make_unique<Engine>(cfg, fixedSource(std::move(jobs)), std::move(p), metrics);
+  }
+  MetricsCollector metrics;
+  CacheOrientedScheduler* policy = nullptr;
+  std::unique_ptr<Engine> engine;
+};
+
+TEST(CacheOriented, CachesWhatItReads) {
+  CacheHarness h(tinyConfig(2, 1'000'000, 100'000), {{0, 0.0, {0, 2000}}});
+  h.engine->run({});
+  EXPECT_EQ(h.engine->cluster().totalCachedEvents(), 2000u);
+}
+
+TEST(CacheOriented, RepeatJobRunsAtCachedSpeed) {
+  CacheHarness h(tinyConfig(1, 1'000'000, 100'000),
+                 {{0, 0.0, {0, 1000}}, {1, 10'000.0, {0, 1000}}});
+  h.engine->run({});
+  EXPECT_DOUBLE_EQ(h.metrics.record(1).processingTime(), 260.0);
+  const RunResult r = h.metrics.finalize(h.engine->now());
+  EXPECT_DOUBLE_EQ(r.cacheHitFraction, 0.5);
+}
+
+TEST(CacheOriented, CachedPieceRunsOnItsNode) {
+  // Pre-seed node 1 with the first half of the job; that half must be
+  // processed on node 1 (at cached rate), the rest elsewhere.
+  CacheHarness h(tinyConfig(2, 1'000'000, 100'000), {{0, 0.0, {0, 2000}}});
+  h.engine->cluster().node(1).cache().insert({0, 1000}, 0.0);
+  h.engine->run({});
+  // Node 1 does the cached half in 260 s, node 0 starts the uncached half;
+  // when node 1 frees it steals part of node 0's remainder (Table 2), so
+  // the job must finish after the cached pass but well before the 800 s a
+  // non-stealing schedule would take.
+  EXPECT_GT(h.engine->now(), 260.0);
+  EXPECT_LT(h.engine->now(), 700.0);
+  const RunResult r = h.metrics.finalize(h.engine->now());
+  EXPECT_DOUBLE_EQ(r.cacheHitFraction, 0.5);
+}
+
+TEST(CacheOriented, SubdividesWhenFewerPiecesThanNodes) {
+  CacheHarness h(tinyConfig(4, 1'000'000, 100'000), {{0, 0.0, {0, 4000}}});
+  h.engine->run({});
+  // One uncached piece subdivided across 4 idle nodes: 1000 x 0.8 each.
+  EXPECT_DOUBLE_EQ(h.engine->now(), 800.0);
+}
+
+TEST(CacheOriented, ArrivalPreemptsLeastCacheUsefulRun) {
+  // Job 0 runs on both nodes (uncached). Job 1, whose data is cached on
+  // node 1, arrives: it must start immediately by displacing a job-0 piece.
+  CacheHarness h(tinyConfig(2, 1'000'000, 100'000),
+                 {{0, 0.0, {0, 20'000}}, {1, 100.0, {50'000, 51'000}}});
+  h.engine->cluster().node(1).cache().insert({50'000, 51'000}, 0.0);
+  h.engine->run({});
+  EXPECT_DOUBLE_EQ(h.metrics.record(1).waitingTime(), 0.0);
+  // Job 1 ran fully cached.
+  EXPECT_DOUBLE_EQ(h.metrics.record(1).processingTime(), 260.0);
+  EXPECT_EQ(h.metrics.completedJobs(), 2u);
+}
+
+TEST(CacheOriented, FifoJobStartOrder) {
+  // Three jobs, one node: start order must follow arrival order even though
+  // job 2's data is cached.
+  CacheHarness h(tinyConfig(1, 1'000'000, 100'000),
+                 {{0, 0.0, {0, 1000}},
+                  {1, 1.0, {10'000, 11'000}},
+                  {2, 2.0, {0, 1000}}});
+  h.engine->run({});
+  EXPECT_LT(h.metrics.record(1).firstStart, h.metrics.record(2).firstStart);
+}
+
+TEST(CacheOriented, LruKeepsHotDataUseful) {
+  // Cache of 1000 events; alternating hot jobs over {0,800} interleaved
+  // with cold sweeps. The hot range must stay mostly cached.
+  std::vector<Job> jobs;
+  SimTime t = 0.0;
+  JobId id = 0;
+  for (int round = 0; round < 6; ++round) {
+    jobs.push_back({id++, t, {0, 800}});
+    t += 10'000.0;
+    jobs.push_back({id++, t, {5000 + round * 400ull, 5000 + round * 400ull + 300}});
+    t += 10'000.0;
+  }
+  CacheHarness h(tinyConfig(1, 1'000'000, 1000), jobs);
+  h.engine->run({});
+  const RunResult r = h.metrics.finalize(h.engine->now());
+  // Each cold sweep evicts only ~300 of the 800 hot events (partial LRU
+  // eviction), so later hot passes still hit most of their data.
+  EXPECT_GT(r.cacheHitFraction, 0.45);
+}
+
+TEST(CacheOriented, DrainsUnderBurst) {
+  std::vector<Job> jobs;
+  for (JobId i = 0; i < 25; ++i) {
+    jobs.push_back({i, i * 1.0, {(i % 5) * 4000, (i % 5) * 4000 + 3000}});
+  }
+  CacheHarness h(tinyConfig(3, 1'000'000, 50'000), jobs);
+  h.engine->run({});
+  EXPECT_EQ(h.metrics.completedJobs(), 25u);
+  EXPECT_EQ(h.policy->queuedJobs(), 0u);
+}
+
+TEST(CacheOriented, BeatsPlainSplittingOnRepeatedData) {
+  // Same trace, warm data: the cached policy must win end-to-end time.
+  std::vector<Job> jobs;
+  for (JobId i = 0; i < 10; ++i) {
+    jobs.push_back({i, i * 3000.0, {0, 8000}});
+  }
+  CacheHarness h(tinyConfig(2, 1'000'000, 100'000), jobs);
+  h.engine->run({});
+  const RunResult cached = h.metrics.finalize(h.engine->now());
+  EXPECT_GT(cached.cacheHitFraction, 0.7);
+  EXPECT_GT(cached.avgSpeedup, 3.0);  // ~2 nodes x ~3 caching gain on repeats
+}
+
+}  // namespace
+}  // namespace ppsched

@@ -1,0 +1,75 @@
+// Cluster / Node: cache-location queries used by the policies.
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace ppsched {
+namespace {
+
+TEST(Cluster, Construction) {
+  Cluster c(4, 1000);
+  EXPECT_EQ(c.size(), 4);
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_EQ(c.node(n).id(), n);
+    EXPECT_EQ(c.node(n).cache().capacity(), 1000u);
+  }
+}
+
+TEST(Cluster, RejectsEmptyCluster) {
+  EXPECT_THROW(Cluster(0, 100), std::invalid_argument);
+}
+
+TEST(Cluster, NodeBoundsChecked) {
+  Cluster c(2, 100);
+  EXPECT_THROW(c.node(-1), std::out_of_range);
+  EXPECT_THROW(c.node(2), std::out_of_range);
+}
+
+TEST(Cluster, CachedOnQueriesTheRightNode) {
+  Cluster c(3, 1000);
+  c.node(1).cache().insert({100, 200}, 1.0);
+  EXPECT_TRUE(c.cachedOn(0, {100, 200}).empty());
+  EXPECT_EQ(c.cachedOn(1, {100, 200}).size(), 100u);
+}
+
+TEST(Cluster, NodesCaching) {
+  Cluster c(3, 1000);
+  c.node(0).cache().insert({0, 50}, 1.0);
+  c.node(2).cache().insert({25, 75}, 1.0);
+  EXPECT_EQ(c.nodesCaching({0, 100}), (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(c.nodesCaching({60, 100}), (std::vector<NodeId>{2}));
+  EXPECT_TRUE(c.nodesCaching({80, 100}).empty());
+}
+
+TEST(Cluster, BestCacheNodePicksLargestOverlap) {
+  Cluster c(3, 1000);
+  c.node(0).cache().insert({0, 10}, 1.0);
+  c.node(1).cache().insert({0, 90}, 1.0);
+  EXPECT_EQ(c.bestCacheNode({0, 100}), 1);
+  EXPECT_EQ(c.bestCacheNode({500, 600}), kNoNode);
+}
+
+TEST(Cluster, BestCacheNodeTieGoesToLowestId) {
+  Cluster c(3, 1000);
+  c.node(1).cache().insert({0, 50}, 1.0);
+  c.node(2).cache().insert({50, 100}, 1.0);
+  EXPECT_EQ(c.bestCacheNode({0, 100}), 1);
+}
+
+TEST(Cluster, CachedAnywhereUnionsNodes) {
+  Cluster c(3, 1000);
+  c.node(0).cache().insert({0, 30}, 1.0);
+  c.node(1).cache().insert({20, 60}, 1.0);
+  const IntervalSet got = c.cachedAnywhere({0, 100});
+  EXPECT_EQ(got.intervals(), (std::vector<EventRange>{{0, 60}}));
+}
+
+TEST(Cluster, TotalCachedEventsSumsNodes) {
+  Cluster c(2, 1000);
+  c.node(0).cache().insert({0, 30}, 1.0);
+  c.node(1).cache().insert({0, 30}, 1.0);  // duplicates count per node
+  EXPECT_EQ(c.totalCachedEvents(), 60u);
+}
+
+}  // namespace
+}  // namespace ppsched

@@ -1,0 +1,76 @@
+// SimConfig: derived quantities must reproduce the paper's numbers.
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+namespace ppsched {
+namespace {
+
+TEST(Config, PaperDerivedQuantities) {
+  const SimConfig cfg = SimConfig::paperDefaults();
+  EXPECT_EQ(cfg.numNodes, 10);
+  EXPECT_EQ(cfg.totalEvents(), 3'333'333u);          // 2 TB / 600 KB
+  EXPECT_EQ(cfg.cacheEvents(), 166'666u);            // 100 GB / 600 KB
+  EXPECT_DOUBLE_EQ(cfg.meanSingleNodeTime(), 32'000.0);
+  EXPECT_NEAR(cfg.maxTheoreticalLoadJobsPerHour(), 3.46, 0.005);
+  EXPECT_NEAR(cfg.maxFarmLoadJobsPerHour(), 1.125, 0.001);
+}
+
+TEST(Config, CacheSizesOfThePaper) {
+  SimConfig cfg = SimConfig::paperDefaults();
+  cfg.cacheBytesPerNode = 50'000'000'000ULL;
+  cfg.finalize();
+  EXPECT_EQ(cfg.cacheEvents(), 83'333u);
+  cfg.cacheBytesPerNode = 200'000'000'000ULL;
+  cfg.finalize();
+  EXPECT_EQ(cfg.cacheEvents(), 333'333u);
+  // 200 GB x 10 nodes covers the whole 2 TB data space.
+  EXPECT_GE(cfg.cacheEvents() * 10, cfg.totalEvents() - 10);
+}
+
+TEST(Config, FinalizeSyncsWorkloadSpace) {
+  SimConfig cfg;
+  cfg.workload.totalEvents = 1;  // stale: finalize must overwrite
+  cfg.finalize();
+  EXPECT_EQ(cfg.workload.totalEvents, cfg.totalEvents());
+}
+
+TEST(Config, FinalizeLiftsWorkloadMinJobSize) {
+  SimConfig cfg;
+  cfg.minSubjobEvents = 50;
+  cfg.workload.minJobEvents = 10;
+  cfg.finalize();
+  EXPECT_EQ(cfg.workload.minJobEvents, 50u);
+}
+
+TEST(Config, ValidationRejectsNonsense) {
+  SimConfig cfg;
+  cfg.numNodes = 0;
+  EXPECT_THROW(cfg.finalize(), std::invalid_argument);
+
+  cfg = SimConfig{};
+  cfg.cost.diskBytesPerSec = 0.0;
+  EXPECT_THROW(cfg.finalize(), std::invalid_argument);
+
+  cfg = SimConfig{};
+  cfg.totalDataBytes = 1;  // smaller than one event
+  EXPECT_THROW(cfg.finalize(), std::invalid_argument);
+
+  cfg = SimConfig{};
+  cfg.minSubjobEvents = 0;
+  EXPECT_THROW(cfg.finalize(), std::invalid_argument);
+
+  cfg = SimConfig{};
+  cfg.maxSpanEvents = 0;
+  EXPECT_THROW(cfg.finalize(), std::invalid_argument);
+}
+
+TEST(Config, MaxLoadScalesWithNodes) {
+  SimConfig cfg = SimConfig::paperDefaults();
+  cfg.numNodes = 20;
+  cfg.finalize();
+  EXPECT_NEAR(cfg.maxTheoreticalLoadJobsPerHour(), 2 * 3.4615, 0.01);
+}
+
+}  // namespace
+}  // namespace ppsched

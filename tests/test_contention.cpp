@@ -1,0 +1,165 @@
+// Tertiary-bandwidth contention (SimConfig::tertiaryAggregateBytesPerSec)
+// and the Engine::at failure-injection hook.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "test_support.h"
+
+namespace ppsched {
+namespace {
+
+using testing::Harness;
+using testing::tinyConfig;
+using testing::whole;
+
+TEST(Contention, SingleStreamUnaffectedByCap) {
+  SimConfig cfg = tinyConfig(2, 1'000'000, 10'000);
+  cfg.tertiaryAggregateBytesPerSec = 1e6;  // enough for exactly one stream
+  Harness h(cfg, {{0, 0.0, {0, 1000}}});
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.engine->run({});
+  EXPECT_DOUBLE_EQ(h.engine->now(), 800.0);  // same as uncontended
+}
+
+TEST(Contention, ConcurrentStreamsShareAggregate) {
+  SimConfig cfg = tinyConfig(2, 1'000'000, 10'000);
+  cfg.tertiaryAggregateBytesPerSec = 1e6;  // two streams -> 0.5 MB/s each
+  Harness h(cfg, {{0, 0.0, {0, 1000}}, {1, 0.0, {5000, 6000}}});
+  h.policy->arrivalHook = [&](const Job& j) {
+    h.engine->startRun(static_cast<NodeId>(j.id), whole(j));
+  };
+  h.engine->run({});
+  // First run starts alone (1 MB/s); second joins and sees 0.5 MB/s:
+  // 0.2 + 0.6/0.5... = 0.2 + 1.2 = 1.4 s/event -> 1400 s.
+  EXPECT_DOUBLE_EQ(h.engine->now(), 1400.0);
+}
+
+TEST(Contention, ZeroCapMeansUncontended) {
+  SimConfig cfg = tinyConfig(2, 1'000'000, 10'000);
+  cfg.tertiaryAggregateBytesPerSec = 0.0;
+  Harness h(cfg, {{0, 0.0, {0, 1000}}, {1, 0.0, {5000, 6000}}});
+  h.policy->arrivalHook = [&](const Job& j) {
+    h.engine->startRun(static_cast<NodeId>(j.id), whole(j));
+  };
+  h.engine->run({});
+  EXPECT_DOUBLE_EQ(h.engine->now(), 800.0);
+}
+
+TEST(Contention, StreamCountDropsWhenSpansEnd) {
+  // After the short job 0 finishes, job 1's NEXT span sees less contention.
+  SimConfig cfg = tinyConfig(2, 1'000'000, 10'000, /*maxSpan=*/100);
+  cfg.tertiaryAggregateBytesPerSec = 1e6;
+  Harness h(cfg, {{0, 0.0, {0, 100}}, {1, 0.0, {5000, 5200}}});
+  h.policy->arrivalHook = [&](const Job& j) {
+    h.engine->startRun(static_cast<NodeId>(j.id), whole(j));
+  };
+  h.engine->run({});
+  // Job 0: one span, alone at start: 100 x 0.8 = 80 s.
+  // Job 1: first 100-event span contended (1.4 s/event = 140 s), second
+  // span starts at t=140 with job 0 long gone: 100 x 0.8 = 80 s.
+  EXPECT_DOUBLE_EQ(h.engine->now(), 220.0);
+}
+
+TEST(Contention, ReducesSustainableLoadEndToEnd) {
+  ExperimentSpec free;
+  free.policyName = "out_of_order";
+  free.jobsPerHour = 1.2;
+  free.warmupJobs = 50;
+  free.measuredJobs = 200;
+  ExperimentSpec capped = free;
+  capped.sim.tertiaryAggregateBytesPerSec = 3e6;  // 3 MB/s for 10 nodes
+  capped.sim.finalize();
+  const RunResult rFree = runExperiment(free);
+  const RunResult rCapped = runExperiment(capped);
+  EXPECT_LT(rCapped.avgSpeedup, rFree.avgSpeedup);
+}
+
+TEST(Inject, ActionRunsAtRequestedTime) {
+  Harness h(tinyConfig(1, 1'000'000, 10'000), {});
+  SimTime fired = -1.0;
+  h.engine->at(123.0, [&] { fired = h.engine->now(); });
+  h.engine->run({});
+  EXPECT_DOUBLE_EQ(fired, 123.0);
+}
+
+TEST(Inject, PastActionThrows) {
+  Harness h(tinyConfig(1, 1'000'000, 10'000), {{0, 100.0, {0, 10}}});
+  h.policy->arrivalHook = [&](const Job& j) {
+    EXPECT_THROW(h.engine->at(50.0, [] {}), std::invalid_argument);
+    h.engine->startRun(0, whole(j));
+  };
+  h.engine->run({});
+}
+
+TEST(Inject, CacheFlushMidRunForcesRefetch) {
+  // A run over its own cached data loses the cache mid-way: the engine must
+  // re-fetch the rest from tertiary storage, not crash.
+  SimConfig cfg = tinyConfig(1, 1'000'000, 10'000, /*maxSpan=*/100);
+  Harness h(cfg, {{0, 0.0, {0, 1000}}});
+  h.engine->cluster().node(0).cache().insert({0, 1000}, 0.0);
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  // At t=130 (500 cached events done), the node's disk dies.
+  h.engine->at(130.0, [&] { h.engine->cluster().node(0).cache().evict({0, 1000}); });
+  h.engine->run({});
+  EXPECT_TRUE(h.engine->jobDone(0));
+  // 500 events at 0.26 (cached) + 500 at 0.8 (refetched) = 130 + 400.
+  EXPECT_DOUBLE_EQ(h.engine->now(), 530.0);
+  const RunResult r = h.metrics.finalize(h.engine->now());
+  EXPECT_NEAR(r.cacheHitFraction, 0.5, 0.01);
+}
+
+TEST(Inject, WholeClusterCacheWipeUnderPolicy) {
+  // End-to-end: wipe every cache mid-simulation under the out-of-order
+  // policy; everything still completes and metrics stay sane.
+  SimConfig cfg = SimConfig::paperDefaults();
+  cfg.workload.jobsPerHour = 1.0;
+  cfg.finalize();
+  MetricsCollector metrics(cfg.cost, {20, 0.0});
+  Engine engine(cfg, std::make_unique<WorkloadGenerator>(cfg.workload, 5),
+                makePolicy("out_of_order"), metrics);
+  engine.at(50 * units::hour, [&engine, &cfg] {
+    for (NodeId n = 0; n < engine.numNodes(); ++n) {
+      engine.cluster().node(n).cache().evict({0, cfg.totalEvents()});
+    }
+  });
+  engine.run({.completedJobs = 150});
+  EXPECT_EQ(metrics.completedJobs(), 150u);
+  const RunResult r = metrics.finalize(engine.now());
+  EXPECT_GT(r.avgSpeedup, 1.0);
+}
+
+TEST(Replicated, AggregatesAcrossSeeds) {
+  ExperimentSpec spec;
+  spec.policyName = "farm";
+  spec.jobsPerHour = 0.8;
+  spec.warmupJobs = 30;
+  spec.measuredJobs = 100;
+  const ReplicatedResult r = runReplicated(spec, 4);
+  ASSERT_EQ(r.runs.size(), 4u);
+  EXPECT_NEAR(r.meanSpeedup, 1.0, 0.01);  // farm speedup is deterministic ~1
+  EXPECT_GT(r.meanWaitHours, 0.0);
+  EXPECT_GE(r.waitHoursStdErr, 0.0);
+  EXPECT_FALSE(r.overloaded);
+  // Replicas differ (different seeds).
+  EXPECT_NE(r.runs[0].avgWait, r.runs[1].avgWait);
+}
+
+TEST(Replicated, ParallelMatchesSequential) {
+  ExperimentSpec spec;
+  spec.policyName = "out_of_order";
+  spec.jobsPerHour = 1.0;
+  spec.warmupJobs = 20;
+  spec.measuredJobs = 60;
+  const ReplicatedResult seq = runReplicated(spec, 3);
+  ThreadPool pool(2);
+  const ReplicatedResult par = runReplicated(spec, 3, &pool);
+  EXPECT_DOUBLE_EQ(seq.meanSpeedup, par.meanSpeedup);
+  EXPECT_DOUBLE_EQ(seq.meanWaitHours, par.meanWaitHours);
+}
+
+TEST(Replicated, ZeroReplicasRejected) {
+  EXPECT_THROW(runReplicated(ExperimentSpec{}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppsched

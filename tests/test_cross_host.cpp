@@ -1,0 +1,108 @@
+// Cross-host equivalence: the same policy must produce equivalent results
+// on the discrete-event Engine and the wall-clock RealtimeHost (§2.3's
+// dual-use claim, tested per policy).
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/registry.h"
+#include "core/validating_policy.h"
+#include "runtime/realtime_host.h"
+#include "test_support.h"
+#include "workload/trace.h"
+
+namespace ppsched {
+namespace {
+
+using namespace std::chrono_literals;
+
+class CrossHost : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CrossHost, SimulatedAndRealtimeAgree) {
+  SimConfig cfg = ppsched::testing::tinyConfig(3, 1'000'000, 60'000);
+
+  // Segments with deliberate repetition so caching matters.
+  const std::vector<EventRange> segments{
+      {0, 5000}, {200'000, 204'000}, {0, 5000}, {400'000, 402'000}, {200'000, 203'000}};
+
+  PolicyParams params;
+  params.periodDelay = 600.0;  // short periods keep the realtime run quick
+  params.stripeEvents = 1000;
+
+  // --- simulated pass ----------------------------------------------------
+  std::vector<Job> jobs;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    jobs.push_back({static_cast<JobId>(i), static_cast<SimTime>(i) * 0.01, segments[i]});
+  }
+  MetricsCollector simMetrics(cfg.cost, {0, 0.0});
+  Engine engine(cfg, std::make_unique<TraceSource>(JobTrace(jobs)),
+                makePolicy(GetParam(), params), simMetrics);
+  engine.run({});
+  ASSERT_EQ(simMetrics.completedJobs(), segments.size());
+
+  // --- realtime pass -----------------------------------------------------
+  MetricsCollector rtMetrics(cfg.cost, {0, 0.0});
+  RealtimeOptions opt;
+  opt.timeScale = 400'000.0;
+  RealtimeHost host(cfg, makePolicy(GetParam(), params), rtMetrics, opt);
+  for (const EventRange& segment : segments) host.submit(segment);
+  ASSERT_TRUE(host.drain(15'000ms)) << GetParam();
+  ASSERT_EQ(host.completedJobs(), segments.size());
+
+  // Equivalence up to OS jitter and timing-dependent tie-breaks: total
+  // processed events are identical; aggregate processing effort agrees
+  // within a factor of two (individual placements may differ).
+  const RunResult rs = simMetrics.finalize(engine.now());
+  const RunResult rr = rtMetrics.finalize(host.now());
+  EXPECT_EQ(rs.processedEvents, rr.processedEvents);
+  EXPECT_GT(rr.avgProcessing, 0.3 * rs.avgProcessing);
+  EXPECT_LT(rr.avgProcessing, 3.0 * rs.avgProcessing);
+  // Both hosts ran with caching (or without) per the policy contract.
+  if (makePolicy(GetParam())->usesCaching()) {
+    EXPECT_GT(rr.cacheHitFraction, 0.0) << "repeat segments must hit on both hosts";
+    EXPECT_GT(rs.cacheHitFraction, 0.0);
+  } else {
+    EXPECT_DOUBLE_EQ(rr.cacheHitFraction, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, CrossHost,
+                         ::testing::Values("farm", "splitting", "cache_oriented",
+                                           "out_of_order", "delayed", "mixed"));
+
+// Randomized engine configurations under the validating decorator: no
+// invariant may break for any (nodes, cache, span, pipelined) combination.
+struct FuzzConfig {
+  int nodes;
+  std::uint64_t cacheEvents;
+  std::uint64_t span;
+  bool pipelined;
+};
+
+class ConfigFuzz : public ::testing::TestWithParam<FuzzConfig> {};
+
+TEST_P(ConfigFuzz, OutOfOrderSurvivesAnyConfiguration) {
+  const FuzzConfig& fc = GetParam();
+  SimConfig cfg = ppsched::testing::tinyConfig(fc.nodes, 2'000'000, fc.cacheEvents, fc.span);
+  cfg.cost.pipelined = fc.pipelined;
+  cfg.workload.jobsPerHour = 2.0;
+  cfg.workload.meanJobEvents = 8000;
+  cfg.finalize();
+
+  MetricsCollector metrics(cfg.cost, {0, 0.0});
+  auto policy = std::make_unique<ValidatingPolicy>(makePolicy("out_of_order"));
+  Engine engine(cfg, std::make_unique<WorkloadGenerator>(cfg.workload, 99),
+                std::move(policy), metrics);
+  ASSERT_NO_THROW(engine.run({.completedJobs = 60, .maxJobsInSystem = 500}));
+  EXPECT_GE(metrics.completedJobs(), 60u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, ConfigFuzz,
+                         ::testing::Values(FuzzConfig{1, 1000, 100, false},
+                                           FuzzConfig{2, 50'000, 5000, false},
+                                           FuzzConfig{7, 200'000, 1'000'000, false},
+                                           FuzzConfig{3, 10, 500, false},
+                                           FuzzConfig{4, 100'000, 2000, true},
+                                           FuzzConfig{16, 30'000, 777, true}));
+
+}  // namespace
+}  // namespace ppsched

@@ -1,0 +1,162 @@
+// DelayedScheduler (§5, Table 4): periods, stripes, meta-subjobs.
+#include "sched/delayed.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace ppsched {
+namespace {
+
+using testing::fixedSource;
+using testing::tinyConfig;
+
+struct DelayedHarness {
+  DelayedHarness(SimConfig cfg, std::vector<Job> jobs, Duration period,
+                 std::uint64_t stripe = 5000)
+      : metrics(cfg.cost, {0, 0.0}) {
+    DelayedParams params;
+    params.stripeEvents = stripe;
+    auto p = std::make_unique<DelayedScheduler>(params, std::make_unique<FixedDelay>(period));
+    policy = p.get();
+    engine = std::make_unique<Engine>(cfg, fixedSource(std::move(jobs)), std::move(p), metrics);
+  }
+  MetricsCollector metrics;
+  DelayedScheduler* policy = nullptr;
+  std::unique_ptr<Engine> engine;
+};
+
+TEST(Delayed, ConstructionValidation) {
+  DelayedParams p;
+  EXPECT_THROW(DelayedScheduler(p, nullptr), std::invalid_argument);
+  p.stripeEvents = 0;
+  EXPECT_THROW(DelayedScheduler(p, std::make_unique<FixedDelay>(10.0)), std::invalid_argument);
+}
+
+TEST(Delayed, JobsWaitForPeriodEnd) {
+  DelayedHarness h(tinyConfig(2, 1'000'000, 100'000), {{0, 0.0, {0, 1000}}}, 500.0);
+  h.engine->run({});
+  // Arrival at 0, scheduled at period end t=500.
+  EXPECT_NEAR(h.metrics.record(0).firstStart, 500.0, 1e-6);
+  // The period delay is attributed so Fig 5/6 can subtract it.
+  EXPECT_NEAR(h.metrics.record(0).schedulingDelay, 500.0, 1e-6);
+  const RunResult r = h.metrics.finalize(h.engine->now());
+  EXPECT_NEAR(r.avgWait, 500.0, 1e-6);
+  EXPECT_NEAR(r.avgWaitExDelay, 0.0, 1e-6);
+}
+
+TEST(Delayed, BatchScheduledTogether) {
+  DelayedHarness h(tinyConfig(2, 1'000'000, 100'000),
+                   {{0, 0.0, {0, 1000}}, {1, 100.0, {5000, 6000}}, {2, 200.0, {9000, 9500}}},
+                   600.0);
+  h.engine->run({});
+  for (JobId i = 0; i < 3; ++i) {
+    EXPECT_GE(h.metrics.record(i).firstStart, 600.0) << "job " << i;
+  }
+  EXPECT_EQ(h.metrics.completedJobs(), 3u);
+}
+
+TEST(Delayed, ZeroDelaySchedulesImmediately) {
+  DelayedHarness h(tinyConfig(2, 1'000'000, 100'000), {{0, 10.0, {0, 1000}}}, 0.0);
+  h.engine->run({});
+  EXPECT_NEAR(h.metrics.record(0).firstStart, 10.0, 1e-6);
+  EXPECT_DOUBLE_EQ(h.metrics.record(0).schedulingDelay, 0.0);
+}
+
+TEST(Delayed, OverlappingColdJobsLoadTertiaryOnce) {
+  // Three jobs over the same cold segment, one period: the stripe is
+  // fetched from tertiary storage once and reused from cache.
+  DelayedHarness h(tinyConfig(1, 1'000'000, 100'000),
+                   {{0, 0.0, {0, 3000}}, {1, 10.0, {0, 3000}}, {2, 20.0, {0, 3000}}},
+                   100.0, /*stripe=*/5000);
+  h.engine->run({});
+  const RunResult r = h.metrics.finalize(h.engine->now());
+  EXPECT_EQ(r.tertiaryEvents, 3000u);  // not 9000
+  EXPECT_NEAR(r.cacheHitFraction, 2.0 / 3.0, 0.01);
+}
+
+TEST(Delayed, StripeSizeBoundsSubjobs) {
+  // A single 10'000-event cold job with stripe 2000 becomes 5 meta-subjobs;
+  // with two nodes they run in parallel.
+  DelayedHarness big(tinyConfig(2, 1'000'000, 100'000), {{0, 0.0, {0, 10'000}}}, 100.0,
+                     /*stripe=*/2000);
+  big.engine->run({});
+  // 5 stripes over 2 nodes: 3 stripes on one node = 3*2000*0.8 = 4800 s.
+  EXPECT_NEAR(big.engine->now(), 100.0 + 4800.0, 1.0);
+
+  DelayedHarness coarse(tinyConfig(2, 1'000'000, 100'000), {{0, 0.0, {0, 10'000}}}, 100.0,
+                        /*stripe=*/25'000);
+  coarse.engine->run({});
+  // One stripe: a single node does everything.
+  EXPECT_NEAR(coarse.engine->now(), 100.0 + 8000.0, 1.0);
+}
+
+TEST(Delayed, SmallerStripesImproveParallelism) {
+  const SimConfig cfg = tinyConfig(4, 1'000'000, 100'000);
+  std::vector<Job> jobs{{0, 0.0, {0, 20'000}}};
+  DelayedHarness fine(cfg, jobs, 50.0, 500);
+  fine.engine->run({});
+  DelayedHarness coarse(cfg, jobs, 50.0, 25'000);
+  coarse.engine->run({});
+  EXPECT_LT(fine.engine->now(), coarse.engine->now());
+}
+
+TEST(Delayed, CachedPiecesGoToTheirNodes) {
+  DelayedHarness h(tinyConfig(2, 1'000'000, 100'000), {{0, 0.0, {0, 2000}}}, 100.0);
+  h.engine->cluster().node(1).cache().insert({0, 2000}, 0.0);
+  h.engine->run({});
+  // Fully cached on node 1: 2000 x 0.26 after the period.
+  EXPECT_NEAR(h.engine->now(), 100.0 + 520.0, 1e-6);
+  const RunResult r = h.metrics.finalize(h.engine->now());
+  EXPECT_DOUBLE_EQ(r.cacheHitFraction, 1.0);
+}
+
+TEST(Delayed, MetaSubjobsOrderedByEarliestArrival) {
+  // Two cold stripes; the one whose job arrived first must run first even
+  // though the other was submitted in the same period.
+  DelayedHarness h(tinyConfig(1, 1'000'000, 100'000),
+                   {{0, 0.0, {50'000, 53'000}}, {1, 50.0, {0, 3000}}}, 200.0);
+  h.engine->run({});
+  EXPECT_LT(h.metrics.record(0).firstStart, h.metrics.record(1).firstStart);
+}
+
+TEST(Delayed, ConsecutivePeriodsKeepDraining) {
+  std::vector<Job> jobs;
+  for (JobId i = 0; i < 12; ++i) {
+    jobs.push_back({i, i * 300.0, {i * 5000, i * 5000 + 2000}});
+  }
+  DelayedHarness h(tinyConfig(2, 1'000'000, 100'000), jobs, 1000.0);
+  h.engine->run({});
+  EXPECT_EQ(h.metrics.completedJobs(), 12u);
+  EXPECT_EQ(h.policy->accumulatedJobs(), 0u);
+  EXPECT_EQ(h.policy->metaQueueSize(), 0u);
+}
+
+TEST(Delayed, GridAlignedPeriodsUseGlobalBoundaries) {
+  // With grid alignment, a job arriving at t=130 into 500 s periods is
+  // scheduled at the t=500 boundary, not at 130+500.
+  SimConfig cfg = tinyConfig(1, 1'000'000, 100'000);
+  MetricsCollector m(cfg.cost, {0, 0.0});
+  DelayedParams params;
+  params.stripeEvents = 5000;
+  params.alignPeriodsToGrid = true;
+  Engine e(cfg, testing::fixedSource({{0, 130.0, {0, 1000}}}),
+           std::make_unique<DelayedScheduler>(params, std::make_unique<FixedDelay>(500.0)),
+           m);
+  e.run({});
+  EXPECT_NEAR(m.record(0).firstStart, 500.0, 1e-6);
+  EXPECT_NEAR(m.record(0).schedulingDelay, 370.0, 1e-6);
+}
+
+TEST(Delayed, ObservedLoadTracksArrivalRate) {
+  std::vector<Job> jobs;
+  for (JobId i = 0; i < 50; ++i) {
+    jobs.push_back({i, i * 1800.0, {i * 1000, i * 1000 + 100}});  // 2 jobs/hour
+  }
+  DelayedHarness h(tinyConfig(4, 1'000'000, 100'000), jobs, 3600.0);
+  h.engine->run({});
+  EXPECT_NEAR(h.policy->observedLoadJobsPerHour(), 2.0, 0.3);
+}
+
+}  // namespace
+}  // namespace ppsched

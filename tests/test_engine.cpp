@@ -1,0 +1,329 @@
+// Engine: run execution, caching effects, preemption, remote reads,
+// replication, timers, stop conditions.
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace ppsched {
+namespace {
+
+using testing::Harness;
+using testing::ManualPolicy;
+using testing::tinyConfig;
+using testing::whole;
+
+TEST(Engine, UncachedRunTakesTertiaryRate) {
+  Harness h(tinyConfig(1, 100'000, 10'000), {{0, 10.0, {0, 1000}}}, /*caching=*/false);
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.engine->run({});
+  // 1000 events x 0.8 s, started at t=10.
+  EXPECT_DOUBLE_EQ(h.engine->now(), 10.0 + 800.0);
+  ASSERT_EQ(h.policy->finished.size(), 1u);
+  EXPECT_TRUE(h.policy->finished[0].second.jobCompleted);
+  EXPECT_TRUE(h.engine->jobDone(0));
+}
+
+TEST(Engine, CachingDisabledLeavesCachesEmpty) {
+  Harness h(tinyConfig(1, 100'000, 10'000), {{0, 0.0, {0, 500}}}, /*caching=*/false);
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.engine->run({});
+  EXPECT_EQ(h.engine->cluster().node(0).cache().used(), 0u);
+}
+
+TEST(Engine, ProcessedDataIsCached) {
+  Harness h(tinyConfig(1, 100'000, 10'000), {{0, 0.0, {100, 600}}});
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.engine->run({});
+  EXPECT_TRUE(h.engine->cluster().node(0).cache().containsRange({100, 600}));
+}
+
+TEST(Engine, SecondPassOverCachedDataRunsAtDiskRate) {
+  Harness h(tinyConfig(1, 100'000, 10'000),
+            {{0, 0.0, {0, 1000}}, {1, 10'000.0, {0, 1000}}});
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.engine->run({});
+  // Job 0: 800 s (uncached). Job 1: arrives at 10000 (idle), 260 s cached.
+  EXPECT_DOUBLE_EQ(h.engine->now(), 10'000.0 + 260.0);
+  const auto& rec = h.metrics.record(1);
+  EXPECT_DOUBLE_EQ(rec.processingTime(), 260.0);
+}
+
+TEST(Engine, MixedRangeCostsPiecewise) {
+  // Cache only the middle part; a run over the whole range pays
+  // 0.8 outside and 0.26 inside.
+  Harness h(tinyConfig(1, 100'000, 10'000), {{0, 0.0, {0, 900}}});
+  h.engine->cluster().node(0).cache().insert({300, 600}, 0.0);
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.engine->run({});
+  EXPECT_DOUBLE_EQ(h.engine->now(), 600 * 0.8 + 300 * 0.26);
+}
+
+TEST(Engine, SpanSubdivisionDoesNotChangeDuration) {
+  for (std::uint64_t span : {7ull, 100ull, 1'000'000ull}) {
+    Harness h(tinyConfig(1, 100'000, 10'000, span), {{0, 0.0, {0, 500}}});
+    h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+    h.engine->run({});
+    EXPECT_NEAR(h.engine->now(), 400.0, 1e-6) << "span " << span;
+  }
+}
+
+TEST(Engine, PreemptionAppliesPartialProgress) {
+  Harness h(tinyConfig(2, 100'000, 10'000), {{0, 0.0, {0, 1000}}});
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  // Preempt via a timer at t = 80: exactly 100 uncached events processed.
+  Subjob rem;
+  h.policy->timerHook = [&](TimerId) { rem = h.engine->preempt(0); };
+  h.engine->run({.completedJobs = 0, .arrivedJobs = 1, .simTimeLimit = 1.0});
+  h.engine->scheduleTimer(80.0);
+  h.engine->run({});
+  EXPECT_EQ(rem.range, (EventRange{100, 1000}));
+  EXPECT_EQ(h.engine->remainingOf(0).size(), 900u);
+  // The processed prefix is in the cache.
+  EXPECT_TRUE(h.engine->cluster().node(0).cache().containsRange({0, 100}));
+  EXPECT_FALSE(h.engine->jobDone(0));
+}
+
+TEST(Engine, PreemptMidEventRoundsDown) {
+  Harness h(tinyConfig(1, 100'000, 10'000), {{0, 0.0, {0, 1000}}});
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  Subjob rem;
+  h.policy->timerHook = [&](TimerId) { rem = h.engine->preempt(0); };
+  h.engine->run({.arrivedJobs = 1, .simTimeLimit = 1.0});
+  h.engine->scheduleTimer(81.0);  // 101.25 events worth of time
+  h.engine->run({});
+  EXPECT_EQ(rem.range.begin, 101u);
+}
+
+TEST(Engine, PreemptAtExactCompletionReturnsEmpty) {
+  Harness h(tinyConfig(1, 100'000, 10'000), {{0, 0.0, {0, 100}}});
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  Subjob rem{0, {1, 2}, 0.0, false};
+  h.policy->timerHook = [&](TimerId) {
+    if (!h.engine->isIdle(0)) rem = h.engine->preempt(0);
+  };
+  h.engine->run({.arrivedJobs = 1, .simTimeLimit = 1.0});
+  h.engine->scheduleTimer(80.0);  // exactly when the run would finish
+  h.engine->run({});
+  // Either the span-completion event fired first (node idle) or preempt
+  // returned an empty remainder; both leave the job done.
+  EXPECT_TRUE(rem.empty() || h.policy->finished.size() == 1);
+  EXPECT_TRUE(h.engine->jobDone(0));
+}
+
+TEST(Engine, ResumedRemainderCompletesJob) {
+  Harness h(tinyConfig(2, 100'000, 10'000), {{0, 0.0, {0, 1000}}});
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.policy->timerHook = [&](TimerId) {
+    const Subjob rem = h.engine->preempt(0);
+    h.engine->startRun(1, rem);  // move the rest to node 1
+  };
+  h.engine->run({.arrivedJobs = 1, .simTimeLimit = 1.0});
+  h.engine->scheduleTimer(80.0 * 5);  // 500 events done on node 0
+  h.engine->run({});
+  EXPECT_TRUE(h.engine->jobDone(0));
+  ASSERT_EQ(h.policy->finished.size(), 1u);
+  EXPECT_EQ(h.policy->finished[0].first, 1);  // completion reported on node 1
+  EXPECT_TRUE(h.policy->finished[0].second.jobCompleted);
+}
+
+TEST(Engine, ParallelPiecesLastOneReportsCompletion) {
+  Harness h(tinyConfig(2, 100'000, 10'000), {{0, 0.0, {0, 1000}}});
+  h.policy->arrivalHook = [&](const Job& j) {
+    Subjob a = whole(j), b = whole(j);
+    a.range = {0, 400};
+    b.range = {400, 1000};
+    h.engine->startRun(0, a);
+    h.engine->startRun(1, b);
+  };
+  h.engine->run({});
+  ASSERT_EQ(h.policy->finished.size(), 2u);
+  EXPECT_FALSE(h.policy->finished[0].second.jobCompleted);  // node 0 at t=320
+  EXPECT_TRUE(h.policy->finished[1].second.jobCompleted);   // node 1 at t=480
+}
+
+TEST(Engine, RemoteReadUsesRemoteRateAndDoesNotCacheLocally) {
+  Harness h(tinyConfig(2, 100'000, 10'000), {{0, 0.0, {0, 1000}}});
+  h.engine->cluster().node(1).cache().insert({0, 1000}, 0.0);
+  h.policy->arrivalHook = [&](const Job& j) {
+    RunOptions opts;
+    opts.remoteFrom = 1;
+    h.engine->startRun(0, whole(j), opts);
+  };
+  h.engine->run({});
+  EXPECT_DOUBLE_EQ(h.engine->now(), 1000 * 0.26);  // remote disk + cpu
+  EXPECT_EQ(h.engine->cluster().node(0).cache().used(), 0u);  // no replication
+  const RunResult r = h.metrics.finalize(h.engine->now());
+  EXPECT_DOUBLE_EQ(r.remoteReadFraction, 1.0);
+}
+
+TEST(Engine, ReplicationTriggersOnNthAccess) {
+  SimConfig cfg = tinyConfig(2, 100'000, 10'000);
+  std::vector<Job> jobs;
+  for (JobId i = 0; i < 3; ++i) {
+    jobs.push_back({i, i * 10'000.0, {0, 500}});
+  }
+  Harness h(cfg, jobs);
+  h.engine->cluster().node(1).cache().insert({0, 500}, 0.0);
+  h.policy->arrivalHook = [&](const Job& j) {
+    RunOptions opts;
+    opts.remoteFrom = 1;
+    opts.replicationThreshold = 3;
+    h.engine->startRun(0, whole(j), opts);
+  };
+  h.engine->run({});
+  // Accesses 1 and 2 read remotely without copying; access 3 replicates.
+  EXPECT_TRUE(h.engine->cluster().node(0).cache().containsRange({0, 500}));
+  const RunResult r = h.metrics.finalize(h.engine->now());
+  EXPECT_EQ(r.replicatedEvents, 500u);
+  EXPECT_GE(r.replicationOps, 1u);
+}
+
+TEST(Engine, TertiaryStopsAtCachedBoundary) {
+  // Span planning: an uncached stretch must end where cached data begins,
+  // not skip over it.
+  Harness h(tinyConfig(1, 100'000, 10'000), {{0, 0.0, {0, 1000}}});
+  h.engine->cluster().node(0).cache().insert({500, 1000}, 0.0);
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.engine->run({});
+  EXPECT_DOUBLE_EQ(h.engine->now(), 500 * 0.8 + 500 * 0.26);
+  const RunResult r = h.metrics.finalize(h.engine->now());
+  EXPECT_DOUBLE_EQ(r.cacheHitFraction, 0.5);
+}
+
+TEST(Engine, StartRunValidation) {
+  Harness h(tinyConfig(2, 100'000, 10'000), {{0, 0.0, {0, 1000}}});
+  h.policy->arrivalHook = [&](const Job& j) {
+    h.engine->startRun(0, whole(j));
+    // Busy node.
+    EXPECT_THROW(h.engine->startRun(0, whole(j)), std::logic_error);
+    // Empty subjob.
+    Subjob empty = whole(j);
+    empty.range = {5, 5};
+    EXPECT_THROW(h.engine->startRun(1, empty), std::logic_error);
+    // Range already being processed elsewhere (not remaining... it is
+    // remaining until processed, so use an out-of-job range instead).
+    Subjob outside = whole(j);
+    outside.range = {2000, 3000};
+    EXPECT_THROW(h.engine->startRun(1, outside), std::logic_error);
+    // Bad remote node.
+    RunOptions opts;
+    opts.remoteFrom = 7;
+    Subjob rest = whole(j);
+    EXPECT_THROW(h.engine->startRun(1, rest, opts), std::logic_error);
+  };
+  h.engine->run({});
+}
+
+TEST(Engine, DoubleAssignmentOfProcessedRangeThrows) {
+  Harness h(tinyConfig(2, 100'000, 10'000), {{0, 0.0, {0, 100}}, {1, 1'000'000.0, {0, 100}}});
+  h.policy->arrivalHook = [&](const Job& j) {
+    if (j.id == 1) {
+      // Job 0's range is long processed; re-running job 0's subjob is a bug.
+      Subjob stale;
+      stale.job = 0;
+      stale.range = {0, 100};
+      EXPECT_THROW(h.engine->startRun(0, stale), std::logic_error);
+      h.engine->startRun(0, whole(j));
+    } else {
+      h.engine->startRun(0, whole(j));
+    }
+  };
+  h.engine->run({});
+  EXPECT_TRUE(h.engine->jobDone(1));
+}
+
+TEST(Engine, PreemptIdleNodeThrows) {
+  Harness h(tinyConfig(1, 100'000, 10'000), {});
+  EXPECT_THROW(h.engine->preempt(0), std::logic_error);
+}
+
+TEST(Engine, RunningViewTracksProgress) {
+  Harness h(tinyConfig(1, 100'000, 10'000), {{0, 0.0, {0, 1000}}});
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.policy->timerHook = [&](TimerId) {
+    const auto view = h.engine->running(0);
+    EXPECT_TRUE(view.active);
+    EXPECT_EQ(view.subjob.job, 0u);
+    EXPECT_EQ(view.remaining, (EventRange{200, 1000}));  // 160 s / 0.8
+  };
+  h.engine->run({.arrivedJobs = 1, .simTimeLimit = 1.0});
+  h.engine->scheduleTimer(160.0);
+  h.engine->run({});
+  EXPECT_FALSE(h.engine->running(0).active);
+}
+
+TEST(Engine, TimersFireAndCancel) {
+  Harness h(tinyConfig(1, 100'000, 10'000), {});
+  const TimerId keep = h.engine->scheduleTimer(10.0);
+  const TimerId cancel = h.engine->scheduleTimer(5.0);
+  h.engine->cancelTimer(cancel);
+  h.engine->run({});
+  ASSERT_EQ(h.policy->timers.size(), 1u);
+  EXPECT_EQ(h.policy->timers[0], keep);
+  EXPECT_DOUBLE_EQ(h.engine->now(), 10.0);
+}
+
+TEST(Engine, TimerInThePastThrows) {
+  Harness h(tinyConfig(1, 100'000, 10'000), {{0, 100.0, {0, 10}}});
+  h.policy->arrivalHook = [&](const Job& j) {
+    EXPECT_THROW(h.engine->scheduleTimer(50.0), std::invalid_argument);
+    h.engine->startRun(0, whole(j));
+  };
+  h.engine->run({});
+}
+
+TEST(Engine, StopAfterCompletedJobs) {
+  std::vector<Job> jobs;
+  for (JobId i = 0; i < 5; ++i) jobs.push_back({i, i * 10'000.0, {i * 100, i * 100 + 50}});
+  Harness h(tinyConfig(1, 100'000, 10'000), jobs);
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.engine->run({.completedJobs = 2});
+  EXPECT_EQ(h.metrics.completedJobs(), 2u);
+}
+
+TEST(Engine, MaxJobsInSystemAborts) {
+  std::vector<Job> jobs;
+  for (JobId i = 0; i < 10; ++i) jobs.push_back({i, static_cast<double>(i), {0, 50'000}});
+  Harness h(tinyConfig(1, 100'000, 10'000), jobs);
+  h.policy->arrivalHook = [&](const Job& j) {
+    if (h.engine->isIdle(0)) h.engine->startRun(0, whole(j));
+  };
+  h.engine->run({.maxJobsInSystem = 3});
+  const RunResult r = h.metrics.finalize(h.engine->now());
+  EXPECT_TRUE(r.abortedOverloaded);
+  EXPECT_TRUE(r.overloaded);
+}
+
+TEST(Engine, SimTimeLimitStopsTheClock) {
+  Harness h(tinyConfig(1, 100'000, 10'000), {{0, 0.0, {0, 10'000}}});
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.engine->run({.simTimeLimit = 100.0});
+  EXPECT_DOUBLE_EQ(h.engine->now(), 100.0);
+  EXPECT_FALSE(h.engine->jobDone(0));
+}
+
+TEST(Engine, MidRunEvictionCausesRefetch) {
+  // Cache too small for the whole job: the tail of the range evicts the
+  // head; a second pass over the head pays tertiary cost again.
+  SimConfig cfg = tinyConfig(1, 100'000, 500, /*maxSpan=*/100);
+  Harness h(cfg, {{0, 0.0, {0, 1000}}, {1, 2'000'000.0, {500, 1500}}});
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.engine->run({});
+  const RunResult r = h.metrics.finalize(h.engine->now());
+  // Job 0 leaves {500,1000} cached (its head was evicted by its own tail).
+  // Job 1 hits those 500 events, then fetches {1000,1500} from tertiary.
+  EXPECT_NEAR(r.cacheHitFraction, 0.25, 0.01);  // 500 of 2000 processed
+}
+
+TEST(Engine, ConstructionValidation) {
+  SimConfig cfg = tinyConfig(1, 1000, 100);
+  MetricsCollector metrics(cfg.cost, {0, 0.0});
+  EXPECT_THROW(Engine(cfg, nullptr, std::make_unique<ManualPolicy>(), metrics),
+               std::invalid_argument);
+  EXPECT_THROW(Engine(cfg, testing::fixedSource({}), nullptr, metrics), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppsched

@@ -1,0 +1,159 @@
+// Engine edge cases: option combinations (pipelining x contention x
+// heterogeneity), stop conditions, pinning under pressure, event ordering.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "test_support.h"
+
+namespace ppsched {
+namespace {
+
+using testing::Harness;
+using testing::tinyConfig;
+using testing::whole;
+
+TEST(EngineEdge, ArrivedJobsStopCondition) {
+  std::vector<Job> jobs;
+  for (JobId i = 0; i < 10; ++i) jobs.push_back({i, i * 10.0, {i * 1000, i * 1000 + 100}});
+  Harness h(tinyConfig(2, 1'000'000, 10'000), jobs);
+  h.policy->arrivalHook = [&](const Job& j) {
+    if (h.engine->isIdle(0)) h.engine->startRun(0, whole(j));
+  };
+  h.engine->run({.arrivedJobs = 3});
+  EXPECT_EQ(h.policy->arrivals.size(), 3u);
+  EXPECT_EQ(h.metrics.arrivedJobs(), 3u);
+}
+
+TEST(EngineEdge, PipelinedRatesDriveSpans) {
+  SimConfig cfg = tinyConfig(1, 1'000'000, 10'000);
+  cfg.cost.pipelined = true;
+  cfg.finalize();
+  Harness h(cfg, {{0, 0.0, {0, 1000}}});
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.engine->run({});
+  // Pipelined uncached: max(0.6, 0.2) = 0.6 s/event.
+  EXPECT_DOUBLE_EQ(h.engine->now(), 600.0);
+}
+
+TEST(EngineEdge, PipelinedCachedSpanIsCpuBound) {
+  SimConfig cfg = tinyConfig(1, 1'000'000, 10'000);
+  cfg.cost.pipelined = true;
+  cfg.finalize();
+  Harness h(cfg, {{0, 0.0, {0, 1000}}});
+  h.engine->cluster().node(0).cache().insert({0, 1000}, 0.0);
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.engine->run({});
+  // max(0.06 disk, 0.2 cpu) = 0.2 s/event.
+  EXPECT_DOUBLE_EQ(h.engine->now(), 200.0);
+}
+
+TEST(EngineEdge, ContentionComposesWithPipelining) {
+  SimConfig cfg = tinyConfig(2, 1'000'000, 10'000);
+  cfg.cost.pipelined = true;
+  cfg.tertiaryAggregateBytesPerSec = 1e6;
+  cfg.finalize();
+  Harness h(cfg, {{0, 0.0, {0, 1000}}, {1, 0.0, {5000, 6000}}});
+  h.policy->arrivalHook = [&](const Job& j) {
+    h.engine->startRun(static_cast<NodeId>(j.id), whole(j));
+  };
+  h.engine->run({});
+  // Second stream sees 0.5 MB/s: max(1.2 transfer, 0.2 cpu) = 1.2 s/event.
+  EXPECT_DOUBLE_EQ(h.engine->now(), 1200.0);
+}
+
+TEST(EngineEdge, NodeSpeedComposesWithPipelining) {
+  SimConfig cfg = tinyConfig(1, 1'000'000, 10'000);
+  cfg.cost.pipelined = true;
+  cfg.nodeSpeedFactors = {0.25};  // cpu 0.8 s/event: now CPU-bound uncached
+  cfg.finalize();
+  Harness h(cfg, {{0, 0.0, {0, 1000}}});
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.engine->run({});
+  // max(0.6 transfer, 0.8 cpu) = 0.8 s/event.
+  EXPECT_DOUBLE_EQ(h.engine->now(), 800.0);
+}
+
+TEST(EngineEdge, PinnedSpanSurvivesCachePressure) {
+  // While node 0 reads its cached span, injected inserts cannot evict the
+  // pinned span data out from under it.
+  SimConfig cfg = tinyConfig(1, 1'000'000, 1000, /*maxSpan=*/1000);
+  Harness h(cfg, {{0, 0.0, {0, 1000}}});
+  h.engine->cluster().node(0).cache().insert({0, 1000}, 0.0);  // cache full
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.engine->at(10.0, [&] {
+    // Hostile insert while the span is pinned: nothing is evictable, so
+    // nothing may enter and the pinned data must survive.
+    h.engine->cluster().node(0).cache().insert({500'000, 500'900}, 10.0);
+    EXPECT_TRUE(h.engine->cluster().node(0).cache().containsRange({0, 1000}));
+  });
+  h.engine->run({});
+  // The whole run stayed cached: 260 s.
+  EXPECT_DOUBLE_EQ(h.engine->now(), 260.0);
+}
+
+TEST(EngineEdge, IdleNodesAscending) {
+  Harness h(tinyConfig(5, 1'000'000, 1000), {{0, 0.0, {0, 100}}});
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(2, whole(j)); };
+  h.policy->timerHook = [&](TimerId) {
+    EXPECT_EQ(h.engine->idleNodes(), (std::vector<NodeId>{0, 1, 3, 4}));
+  };
+  h.engine->run({.arrivedJobs = 1, .simTimeLimit = 1.0});
+  h.engine->scheduleTimer(5.0);
+  h.engine->run({});
+}
+
+TEST(EngineEdge, InjectedActionsShareFifoOrderingWithEvents) {
+  Harness h(tinyConfig(1, 1'000'000, 1000), {});
+  std::vector<int> order;
+  h.engine->at(10.0, [&] { order.push_back(1); });
+  h.engine->at(10.0, [&] { order.push_back(2); });
+  h.engine->at(5.0, [&] { order.push_back(0); });
+  h.engine->run({});
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EngineEdge, RemoteSpanFallsBackToTertiaryPastRemoteCoverage) {
+  // Remote node caches only the first half; the run reads that half
+  // remotely and fetches the rest from tertiary storage.
+  Harness h(tinyConfig(2, 1'000'000, 10'000), {{0, 0.0, {0, 1000}}});
+  h.engine->cluster().node(1).cache().insert({0, 500}, 0.0);
+  h.policy->arrivalHook = [&](const Job& j) {
+    RunOptions opts;
+    opts.remoteFrom = 1;
+    h.engine->startRun(0, whole(j), opts);
+  };
+  h.engine->run({});
+  EXPECT_DOUBLE_EQ(h.engine->now(), 500 * 0.26 + 500 * 0.8);
+  const RunResult r = h.metrics.finalize(h.engine->now());
+  EXPECT_DOUBLE_EQ(r.remoteReadFraction, 0.5);
+  // The tertiary half entered the local cache; the remote half did not
+  // (no replication threshold).
+  EXPECT_FALSE(h.engine->cluster().node(0).cache().containsRange({0, 500}));
+  EXPECT_TRUE(h.engine->cluster().node(0).cache().containsRange({500, 1000}));
+}
+
+TEST(EngineEdge, PreemptTwiceIsRejected) {
+  Harness h(tinyConfig(1, 1'000'000, 10'000), {{0, 0.0, {0, 1000}}});
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.policy->timerHook = [&](TimerId) {
+    (void)h.engine->preempt(0);
+    EXPECT_THROW(h.engine->preempt(0), std::logic_error);
+  };
+  h.engine->run({.arrivedJobs = 1, .simTimeLimit = 1.0});
+  h.engine->scheduleTimer(40.0);
+  h.engine->run({});
+}
+
+TEST(EngineEdge, ZeroCpuCostStillProgresses) {
+  SimConfig cfg = tinyConfig(1, 1'000'000, 10'000);
+  cfg.cost.cpuSecPerEvent = 0.0;
+  cfg.finalize();
+  Harness h(cfg, {{0, 0.0, {0, 1000}}});
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.engine->run({});
+  EXPECT_DOUBLE_EQ(h.engine->now(), 600.0);  // pure transfer cost
+  EXPECT_TRUE(h.engine->jobDone(0));
+}
+
+}  // namespace
+}  // namespace ppsched

@@ -1,0 +1,162 @@
+// EventLog + timeline renderer.
+#include "core/event_log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/registry.h"
+#include "core/timeline.h"
+#include "test_support.h"
+
+namespace ppsched {
+namespace {
+
+using testing::Harness;
+using testing::tinyConfig;
+using testing::whole;
+
+TEST(EventLog, RecordsJobLifecycle) {
+  Harness h(tinyConfig(1, 1'000'000, 10'000), {{0, 5.0, {0, 100}}});
+  EventLog log;
+  h.engine->setEventSink(&log);
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.engine->run({});
+
+  ASSERT_EQ(log.count(SimEventKind::JobArrival), 1u);
+  ASSERT_EQ(log.count(SimEventKind::RunStart), 1u);
+  ASSERT_EQ(log.count(SimEventKind::JobComplete), 1u);
+  ASSERT_EQ(log.count(SimEventKind::RunEnd), 1u);
+
+  const auto events = log.ofJob(0);
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].kind, SimEventKind::JobArrival);
+  EXPECT_DOUBLE_EQ(events[0].time, 5.0);
+  EXPECT_EQ(events[1].kind, SimEventKind::RunStart);
+  EXPECT_EQ(events[1].node, 0);
+  // Completion is recorded before the run-end callback.
+  EXPECT_EQ(events[2].kind, SimEventKind::JobComplete);
+  EXPECT_EQ(events[3].kind, SimEventKind::RunEnd);
+  EXPECT_DOUBLE_EQ(events[3].time, 5.0 + 80.0);
+}
+
+TEST(EventLog, RecordsPreemptionWithProcessedRange) {
+  Harness h(tinyConfig(2, 1'000'000, 10'000), {{0, 0.0, {0, 1000}}});
+  EventLog log;
+  h.engine->setEventSink(&log);
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.policy->timerHook = [&](TimerId) { (void)h.engine->preempt(0); };
+  h.engine->run({.arrivedJobs = 1, .simTimeLimit = 1.0});
+  h.engine->scheduleTimer(80.0);
+  h.engine->run({});
+
+  const auto preempts = log.ofKind(SimEventKind::Preempt);
+  ASSERT_EQ(preempts.size(), 1u);
+  EXPECT_EQ(preempts[0].node, 0);
+  EXPECT_EQ(preempts[0].range, (EventRange{0, 100}));  // 80 s at 0.8 s/event
+  EXPECT_EQ(log.count(SimEventKind::TimerFired), 1u);
+}
+
+TEST(EventLog, NoSinkMeansNoOverheadOrCrash) {
+  Harness h(tinyConfig(1, 1'000'000, 10'000), {{0, 0.0, {0, 100}}});
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.engine->run({});
+  EXPECT_TRUE(h.engine->jobDone(0));
+}
+
+TEST(EventLog, CsvExport) {
+  EventLog log;
+  log.record({1.5, SimEventKind::RunStart, 3, 2, {10, 20}});
+  std::ostringstream os;
+  log.writeCsv(os);
+  EXPECT_EQ(os.str(), "time,kind,job,node,begin,end\n1.5,run_start,3,2,10,20\n");
+}
+
+TEST(EventLog, QueriesFilterCorrectly) {
+  EventLog log;
+  log.record({1.0, SimEventKind::RunStart, 1, 0, {}});
+  log.record({2.0, SimEventKind::RunStart, 2, 1, {}});
+  log.record({3.0, SimEventKind::RunEnd, 1, 0, {}});
+  EXPECT_EQ(log.ofKind(SimEventKind::RunStart).size(), 2u);
+  EXPECT_EQ(log.ofJob(1).size(), 2u);
+  EXPECT_EQ(log.onNode(1).size(), 1u);
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(Timeline, BusyIntervalsFromLog) {
+  EventLog log;
+  log.record({10.0, SimEventKind::RunStart, 7, 0, {}});
+  log.record({30.0, SimEventKind::RunEnd, 7, 0, {}});
+  log.record({20.0, SimEventKind::RunStart, 8, 1, {}});
+  const auto intervals = busyIntervals(log, 2, 50.0);
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_EQ(intervals[0], (BusyInterval{0, 7, 10.0, 30.0}));
+  EXPECT_EQ(intervals[1], (BusyInterval{1, 8, 20.0, 50.0}));  // closed at endTime
+}
+
+TEST(Timeline, MalformedLogsRejected) {
+  EventLog log;
+  log.record({1.0, SimEventKind::RunEnd, 1, 0, {}});
+  EXPECT_THROW(busyIntervals(log, 1, 2.0), std::runtime_error);
+
+  EventLog doubleStart;
+  doubleStart.record({1.0, SimEventKind::RunStart, 1, 0, {}});
+  doubleStart.record({2.0, SimEventKind::RunStart, 2, 0, {}});
+  EXPECT_THROW(busyIntervals(doubleStart, 1, 3.0), std::runtime_error);
+}
+
+TEST(Timeline, RenderShowsJobsAndIdleTime) {
+  EventLog log;
+  log.record({0.0, SimEventKind::RunStart, 1, 0, {}});
+  log.record({50.0, SimEventKind::RunEnd, 1, 0, {}});
+  TimelineOptions opt;
+  opt.begin = 0.0;
+  opt.end = 100.0;
+  opt.width = 10;
+  opt.header = false;
+  const std::string text = renderTimeline(log, 1, opt);
+  EXPECT_EQ(text, "node 0   |11111.....|\n");
+}
+
+TEST(Timeline, UtilizationFromRealRun) {
+  // Two equal subjobs on two nodes: both ~100% busy until completion.
+  Harness h(tinyConfig(2, 1'000'000, 10'000), {{0, 0.0, {0, 2000}}});
+  EventLog log;
+  h.engine->setEventSink(&log);
+  h.policy->arrivalHook = [&](const Job& j) {
+    Subjob a = whole(j), b = whole(j);
+    a.range = {0, 1000};
+    b.range = {1000, 2000};
+    h.engine->startRun(0, a);
+    h.engine->startRun(1, b);
+  };
+  h.engine->run({});
+  const auto util = nodeUtilization(log, 2, 0.0, h.engine->now());
+  ASSERT_EQ(util.size(), 2u);
+  EXPECT_NEAR(util[0], 1.0, 1e-9);
+  EXPECT_NEAR(util[1], 1.0, 1e-9);
+}
+
+TEST(Timeline, EndToEndWithPolicy) {
+  // A full policy-driven run produces a parseable log and a renderable
+  // timeline.
+  SimConfig cfg = tinyConfig(3, 1'000'000, 50'000);
+  cfg.workload.jobsPerHour = 6.0;  // tiny jobs below, so this is light load
+  cfg.finalize();
+  std::vector<Job> jobs;
+  for (JobId i = 0; i < 10; ++i) jobs.push_back({i, i * 700.0, {i * 4000, i * 4000 + 3000}});
+  MetricsCollector metrics(cfg.cost, {0, 0.0});
+  Engine engine(cfg, ppsched::testing::fixedSource(jobs), makePolicy("out_of_order"), metrics);
+  EventLog log;
+  engine.setEventSink(&log);
+  engine.run({});
+  EXPECT_EQ(log.count(SimEventKind::JobComplete), 10u);
+  EXPECT_GE(log.count(SimEventKind::RunStart), 10u);
+  const std::string text = renderTimeline(log, 3);
+  EXPECT_NE(text.find("node 0"), std::string::npos);
+  EXPECT_NE(text.find("node 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppsched

@@ -1,0 +1,127 @@
+// EventQueue: ordering, tie-breaking, cancellation.
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ppsched {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_THROW(q.nextTime(), std::logic_error);
+  EXPECT_THROW(q.runNext(), std::logic_error);
+}
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(3.0, [&] { fired.push_back(3); });
+  q.schedule(1.0, [&] { fired.push_back(1); });
+  q.schedule(2.0, [&] { fired.push_back(2); });
+  while (!q.empty()) q.runNext();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, RunNextReturnsEventTime) {
+  EventQueue q;
+  q.schedule(5.5, [] {});
+  EXPECT_DOUBLE_EQ(q.nextTime(), 5.5);
+  EXPECT_DOUBLE_EQ(q.runNext(), 5.5);
+}
+
+TEST(EventQueue, SimultaneousEventsFireFifo) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(1.0, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.runNext();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(1.0, [&] { fired = true; });
+  q.schedule(2.0, [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.runNext();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelIsIdempotent) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  q.cancel(id);
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelAfterFiringIsNoop) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  q.runNext();
+  q.cancel(id);  // must not disturb later events
+  q.schedule(2.0, [] {});
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CancellingAllMakesQueueEmpty) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(q.schedule(i, [] {}));
+  for (EventId id : ids) q.cancel(id);
+  EXPECT_TRUE(q.empty());
+  EXPECT_THROW(q.nextTime(), std::logic_error);
+}
+
+TEST(EventQueue, EventsScheduledDuringCallbackFire) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(1.0, [&] {
+    fired.push_back(1);
+    q.schedule(2.0, [&] { fired.push_back(2); });
+  });
+  while (!q.empty()) q.runNext();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  q.cancel(early);
+  EXPECT_DOUBLE_EQ(q.nextTime(), 2.0);
+}
+
+TEST(EventQueue, Clear) {
+  EventQueue q;
+  q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  // Queue is reusable after clear.
+  q.schedule(3.0, [] {});
+  EXPECT_DOUBLE_EQ(q.runNext(), 3.0);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue q;
+  SimTime last = -1.0;
+  for (int i = 0; i < 2000; ++i) {
+    q.schedule(static_cast<SimTime>((i * 7919) % 1000), [] {});
+  }
+  while (!q.empty()) {
+    const SimTime t = q.runNext();
+    ASSERT_GE(t, last);
+    last = t;
+  }
+}
+
+}  // namespace
+}  // namespace ppsched

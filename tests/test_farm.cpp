@@ -1,0 +1,85 @@
+// FarmScheduler (§3.1): FCFS, one node per job, no caching.
+#include "sched/farm.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace ppsched {
+namespace {
+
+using testing::fixedSource;
+using testing::tinyConfig;
+
+struct FarmHarness {
+  FarmHarness(SimConfig cfg, std::vector<Job> jobs) : metrics(cfg.cost, {0, 0.0}) {
+    auto p = std::make_unique<FarmScheduler>();
+    policy = p.get();
+    engine = std::make_unique<Engine>(cfg, fixedSource(std::move(jobs)), std::move(p), metrics);
+  }
+  MetricsCollector metrics;
+  FarmScheduler* policy = nullptr;
+  std::unique_ptr<Engine> engine;
+};
+
+TEST(Farm, RunsJobsWholeOnOneNode) {
+  FarmHarness h(tinyConfig(4, 1'000'000, 100'000), {{0, 0.0, {0, 1000}}});
+  h.engine->run({});
+  // 1000 events x 0.8 s, never split, never cached.
+  EXPECT_DOUBLE_EQ(h.engine->now(), 800.0);
+  EXPECT_EQ(h.engine->cluster().totalCachedEvents(), 0u);
+}
+
+TEST(Farm, ConcurrentJobsUseSeparateNodes) {
+  FarmHarness h(tinyConfig(4, 1'000'000, 100'000),
+                {{0, 0.0, {0, 1000}}, {1, 1.0, {2000, 3000}}});
+  h.engine->run({});
+  const auto& r0 = h.metrics.record(0);
+  const auto& r1 = h.metrics.record(1);
+  EXPECT_DOUBLE_EQ(r0.waitingTime(), 0.0);
+  EXPECT_DOUBLE_EQ(r1.waitingTime(), 0.0);  // second node was idle
+  EXPECT_DOUBLE_EQ(r1.processingTime(), 800.0);
+}
+
+TEST(Farm, QueuesWhenAllNodesBusy) {
+  FarmHarness h(tinyConfig(1, 1'000'000, 100'000),
+                {{0, 0.0, {0, 1000}}, {1, 1.0, {2000, 3000}}});
+  h.engine->run({});
+  // Job 1 waits for job 0 to finish at t=800.
+  EXPECT_DOUBLE_EQ(h.metrics.record(1).waitingTime(), 799.0);
+  EXPECT_DOUBLE_EQ(h.engine->now(), 1600.0);
+}
+
+TEST(Farm, FifoOrderAmongQueuedJobs) {
+  FarmHarness h(tinyConfig(1, 1'000'000, 100'000),
+                {{0, 0.0, {0, 100}},
+                 {1, 1.0, {200, 900}},
+                 {2, 2.0, {1000, 1100}}});
+  h.engine->run({});
+  // Job 1 (bigger) entered the queue first and runs before job 2.
+  EXPECT_LT(h.metrics.record(1).firstStart, h.metrics.record(2).firstStart);
+}
+
+TEST(Farm, SpeedupIsAboutOne) {
+  // With no splitting and no caching, processing time equals the single
+  // node reference, so the speedup is exactly 1.
+  FarmHarness h(tinyConfig(2, 1'000'000, 100'000),
+                {{0, 0.0, {0, 5000}}, {1, 10.0, {9000, 12'000}}});
+  h.engine->run({});
+  const RunResult r = h.metrics.finalize(h.engine->now());
+  EXPECT_DOUBLE_EQ(r.avgSpeedup, 1.0);
+}
+
+TEST(Farm, QueueDrainsCompletely) {
+  std::vector<Job> jobs;
+  for (JobId i = 0; i < 20; ++i) {
+    jobs.push_back({i, static_cast<double>(i), {i * 200, i * 200 + 100}});
+  }
+  FarmHarness h(tinyConfig(3, 1'000'000, 100'000), jobs);
+  h.engine->run({});
+  EXPECT_EQ(h.metrics.completedJobs(), 20u);
+  EXPECT_EQ(h.policy->queuedJobs(), 0u);
+}
+
+}  // namespace
+}  // namespace ppsched

@@ -1,0 +1,131 @@
+// Heterogeneous node speeds and tertiary access latency (model extensions;
+// the paper assumes identical nodes and zero Castor latency, §2.4).
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "test_support.h"
+
+namespace ppsched {
+namespace {
+
+using testing::Harness;
+using testing::tinyConfig;
+using testing::whole;
+
+TEST(Heterogeneity, ConfigValidation) {
+  SimConfig cfg = tinyConfig(2, 1000, 100);
+  cfg.nodeSpeedFactors = {1.0};  // wrong size
+  EXPECT_THROW(cfg.finalize(), std::invalid_argument);
+  cfg.nodeSpeedFactors = {1.0, 0.0};  // non-positive
+  EXPECT_THROW(cfg.finalize(), std::invalid_argument);
+  cfg.nodeSpeedFactors = {1.0, 2.0};
+  EXPECT_NO_THROW(cfg.finalize());
+  cfg.tertiaryLatencySec = -1.0;
+  EXPECT_THROW(cfg.finalize(), std::invalid_argument);
+}
+
+TEST(Heterogeneity, FasterCpuShortensCpuShareOnly) {
+  SimConfig cfg = tinyConfig(2, 1'000'000, 10'000);
+  cfg.nodeSpeedFactors = {1.0, 2.0};  // node 1 has a 2x CPU
+  cfg.finalize();
+  Harness h(cfg, {{0, 0.0, {0, 1000}}, {1, 0.0, {5000, 6000}}});
+  h.policy->arrivalHook = [&](const Job& j) {
+    h.engine->startRun(static_cast<NodeId>(j.id), whole(j));
+  };
+  h.engine->run({});
+  // Node 0: 1000 x (0.6 + 0.2) = 800 s. Node 1: 1000 x (0.6 + 0.1) = 700 s.
+  EXPECT_DOUBLE_EQ(h.metrics.record(0).processingTime(), 800.0);
+  EXPECT_DOUBLE_EQ(h.metrics.record(1).processingTime(), 700.0);
+}
+
+TEST(Heterogeneity, SlowNodeOnCachedData) {
+  SimConfig cfg = tinyConfig(1, 1'000'000, 10'000);
+  cfg.nodeSpeedFactors = {0.5};  // half-speed CPU
+  cfg.finalize();
+  Harness h(cfg, {{0, 0.0, {0, 1000}}});
+  h.engine->cluster().node(0).cache().insert({0, 1000}, 0.0);
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.engine->run({});
+  // Cached: 0.06 disk + 0.2/0.5 cpu = 0.46 s/event.
+  EXPECT_DOUBLE_EQ(h.engine->now(), 460.0);
+}
+
+TEST(Heterogeneity, PoliciesCompleteOnMixedCluster) {
+  SimConfig cfg = SimConfig::paperDefaults();
+  cfg.nodeSpeedFactors = {0.5, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.25, 1.5, 2.0};
+  cfg.workload.jobsPerHour = 0.9;
+  cfg.finalize();
+  for (const char* policy : {"splitting", "out_of_order"}) {
+    MetricsCollector metrics(cfg.cost, {20, 0.0});
+    Engine engine(cfg, std::make_unique<WorkloadGenerator>(cfg.workload, 3),
+                  makePolicy(policy), metrics);
+    engine.run({.completedJobs = 120});
+    EXPECT_EQ(metrics.completedJobs(), 120u) << policy;
+    const RunResult r = metrics.finalize(engine.now());
+    EXPECT_GT(r.avgSpeedup, 0.5) << policy;
+  }
+}
+
+TEST(TertiaryLatency, AddsPerSpanCost) {
+  SimConfig cfg = tinyConfig(1, 1'000'000, 10'000, /*maxSpan=*/500);
+  cfg.tertiaryLatencySec = 30.0;
+  cfg.finalize();
+  Harness h(cfg, {{0, 0.0, {0, 1000}}});
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.engine->run({});
+  // Two 500-event tertiary spans, each paying 30 s latency.
+  EXPECT_DOUBLE_EQ(h.engine->now(), 2 * 30.0 + 1000 * 0.8);
+}
+
+TEST(TertiaryLatency, CachedSpansPayNoLatency) {
+  SimConfig cfg = tinyConfig(1, 1'000'000, 10'000);
+  cfg.tertiaryLatencySec = 100.0;
+  cfg.finalize();
+  Harness h(cfg, {{0, 0.0, {0, 1000}}});
+  h.engine->cluster().node(0).cache().insert({0, 1000}, 0.0);
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.engine->run({});
+  EXPECT_DOUBLE_EQ(h.engine->now(), 260.0);
+}
+
+TEST(TertiaryLatency, PreemptionDuringLatencyProcessesNothing) {
+  SimConfig cfg = tinyConfig(2, 1'000'000, 10'000);
+  cfg.tertiaryLatencySec = 60.0;
+  cfg.finalize();
+  Harness h(cfg, {{0, 0.0, {0, 1000}}});
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  Subjob rem;
+  h.policy->timerHook = [&](TimerId) { rem = h.engine->preempt(0); };
+  h.engine->run({.arrivedJobs = 1, .simTimeLimit = 1.0});
+  h.engine->scheduleTimer(45.0);  // still inside the 60 s latency
+  h.engine->run({});
+  EXPECT_EQ(rem.range, (EventRange{0, 1000}));  // no progress yet
+  EXPECT_EQ(h.engine->remainingOf(0).size(), 1000u);
+}
+
+TEST(TertiaryLatency, PenalizesFineGrainedSchedulingMore) {
+  // Latency is paid once per tertiary stream, so a policy that splits work
+  // into many small uncached pieces (out-of-order) loses more than the farm,
+  // which streams whole jobs. Both must degrade, the farm only mildly.
+  ExperimentSpec base;
+  base.jobsPerHour = 0.8;
+  base.warmupJobs = 50;
+  base.measuredJobs = 200;
+  ExperimentSpec lat = base;
+  lat.sim.tertiaryLatencySec = 120.0;
+  lat.sim.finalize();
+
+  base.policyName = lat.policyName = "farm";
+  const double farmDrop =
+      runExperiment(lat).avgSpeedup / runExperiment(base).avgSpeedup;
+  base.policyName = lat.policyName = "out_of_order";
+  const double oooDrop =
+      runExperiment(lat).avgSpeedup / runExperiment(base).avgSpeedup;
+  EXPECT_LT(farmDrop, 1.0);
+  EXPECT_GT(farmDrop, 0.9);  // ~8 spans/job, 120 s each, on a 32000 s job
+  EXPECT_LT(oooDrop, farmDrop);  // fine-grained splitting pays latency often
+  EXPECT_GT(oooDrop, 0.5);
+}
+
+}  // namespace
+}  // namespace ppsched

@@ -1,0 +1,148 @@
+// Integration tests: whole-simulation properties across policies, and the
+// paper's qualitative claims at small scale.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/queueing.h"
+
+namespace ppsched {
+namespace {
+
+ExperimentSpec spec(const std::string& policy, double load, std::uint64_t seed = 42) {
+  ExperimentSpec s;
+  s.policyName = policy;
+  s.jobsPerHour = load;
+  s.seed = seed;
+  s.warmupJobs = 60;
+  s.measuredJobs = 250;
+  s.maxJobsInSystem = 300;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Every policy must satisfy basic sanity invariants on the same workload.
+
+class AllPolicies : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllPolicies, CompletesAndReportsSaneMetrics) {
+  ExperimentSpec s = spec(GetParam(), 0.9);
+  if (GetParam() == "delayed") s.policyParams.periodDelay = 6 * units::hour;
+  const RunResult r = runExperiment(s);
+  EXPECT_GE(r.completedJobs, s.warmupJobs + s.measuredJobs) << GetParam();
+  EXPECT_GT(r.measuredJobs, 0u);
+  EXPECT_GT(r.avgSpeedup, 0.2);
+  EXPECT_LT(r.avgSpeedup, 31.0);  // hard bound: 10 nodes x caching gain 3.08
+  EXPECT_GE(r.avgWait, 0.0);
+  EXPECT_GE(r.avgWaitExDelay, 0.0);
+  EXPECT_LE(r.avgWaitExDelay, r.avgWait + 1e-9);
+  EXPECT_GE(r.cacheHitFraction, 0.0);
+  EXPECT_LE(r.cacheHitFraction, 1.0);
+  EXPECT_FALSE(r.overloaded) << GetParam() << " overloaded at 0.9 jobs/hour";
+}
+
+TEST_P(AllPolicies, CachelessPoliciesNeverHitCache) {
+  const std::string name = GetParam();
+  const RunResult r = runExperiment(spec(name, 0.8));
+  if (name == "farm" || name == "splitting") {
+    EXPECT_DOUBLE_EQ(r.cacheHitFraction, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, AllPolicies,
+                         ::testing::Values("farm", "splitting", "cache_oriented",
+                                           "out_of_order", "replication", "delayed",
+                                           "adaptive", "mixed"));
+
+// ---------------------------------------------------------------------------
+// The paper's qualitative orderings (small-scale versions of Figs 2, 3, 5).
+
+TEST(PaperShape, SplittingBeatsFarmOnSpeedup) {
+  const RunResult farm = runExperiment(spec("farm", 0.8));
+  const RunResult split = runExperiment(spec("splitting", 0.8));
+  EXPECT_GT(split.avgSpeedup, 1.5 * farm.avgSpeedup);
+  EXPECT_LT(split.avgWait, farm.avgWait);
+}
+
+TEST(PaperShape, CachingBeatsPlainSplitting) {
+  const RunResult split = runExperiment(spec("splitting", 0.9));
+  const RunResult cached = runExperiment(spec("cache_oriented", 0.9));
+  EXPECT_GT(cached.avgSpeedup, split.avgSpeedup);
+  EXPECT_LT(cached.avgWait, split.avgWait);
+  EXPECT_GT(cached.cacheHitFraction, 0.2);
+}
+
+TEST(PaperShape, OutOfOrderBeatsCacheOriented) {
+  const RunResult fifo = runExperiment(spec("cache_oriented", 1.0));
+  const RunResult ooo = runExperiment(spec("out_of_order", 1.0));
+  EXPECT_GT(ooo.avgSpeedup, fifo.avgSpeedup);
+  EXPECT_LT(ooo.avgWait, fifo.avgWait);
+}
+
+TEST(PaperShape, LargerCacheHelpsCacheOriented) {
+  ExperimentSpec small = spec("cache_oriented", 0.9);
+  small.sim.cacheBytesPerNode = 50'000'000'000ULL;
+  small.sim.finalize();
+  ExperimentSpec large = spec("cache_oriented", 0.9);
+  large.sim.cacheBytesPerNode = 200'000'000'000ULL;
+  large.sim.finalize();
+  const RunResult rs = runExperiment(small);
+  const RunResult rl = runExperiment(large);
+  EXPECT_GT(rl.cacheHitFraction, rs.cacheHitFraction);
+  EXPECT_GT(rl.avgSpeedup, rs.avgSpeedup);
+}
+
+TEST(PaperShape, OutOfOrderSustainsLoadsTheFarmCannot) {
+  // 1.4 jobs/hour: beyond the farm's 1.125 limit, fine for out-of-order.
+  const RunResult farm = runExperiment(spec("farm", 1.4));
+  const RunResult ooo = runExperiment(spec("out_of_order", 1.4));
+  EXPECT_TRUE(farm.overloaded);
+  EXPECT_FALSE(ooo.overloaded);
+}
+
+TEST(PaperShape, DelayedSustainsHighLoadAtWaitCost) {
+  ExperimentSpec s = spec("delayed", 2.0);
+  s.policyParams.periodDelay = 2 * units::day;
+  s.policyParams.stripeEvents = 1000;
+  s.maxJobsInSystem = 2000;  // periods legitimately hold many jobs
+  s.measuredJobs = 400;
+  const RunResult delayed = runExperiment(s);
+  EXPECT_FALSE(delayed.overloaded);
+
+  // The FIFO cached policy cannot sustain 2 jobs/hour.
+  const RunResult fifo = runExperiment(spec("cache_oriented", 2.0));
+  EXPECT_TRUE(fifo.overloaded);
+}
+
+TEST(PaperShape, FarmWaitingTimeMatchesMErMTheory) {
+  // §3.1/§3.4: the farm is an M/Er/m queue. Compare simulated mean waiting
+  // time with the Allen–Cunneen approximation at a moderate load.
+  ExperimentSpec s = spec("farm", 0.9);
+  s.measuredJobs = 600;
+  const RunResult r = runExperiment(s);
+  const QueueModel q = farmQueueModel(10, 0.9, 32'000.0, 4);
+  const double predicted = q.meanWaitApprox();
+  EXPECT_GT(r.avgWait, 0.4 * predicted);
+  EXPECT_LT(r.avgWait, 2.5 * predicted);
+}
+
+TEST(PaperShape, ReplicationDoesNotChangeOutOfOrderPerformance) {
+  const RunResult ooo = runExperiment(spec("out_of_order", 1.3));
+  const RunResult repl = runExperiment(spec("replication", 1.3));
+  // §4.2: "identical performances" — allow simulation noise.
+  EXPECT_NEAR(repl.avgSpeedup, ooo.avgSpeedup, 0.25 * ooo.avgSpeedup);
+}
+
+TEST(PaperShape, PipeliningImprovesThroughput) {
+  // §7 future work: overlapping transfer and processing cuts the uncached
+  // event cost from 0.8 to 0.6 s.
+  ExperimentSpec serial = spec("out_of_order", 1.0);
+  ExperimentSpec pipelined = spec("out_of_order", 1.0);
+  pipelined.sim.cost.pipelined = true;
+  pipelined.sim.finalize();
+  const RunResult rs = runExperiment(serial);
+  const RunResult rp = runExperiment(pipelined);
+  EXPECT_GT(rp.avgSpeedup, rs.avgSpeedup);
+}
+
+}  // namespace
+}  // namespace ppsched

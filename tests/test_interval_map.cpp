@@ -1,0 +1,151 @@
+// IntervalCounter: boundary-map interval counters (pins, remote accesses).
+#include "storage/interval_map.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+namespace ppsched {
+namespace {
+
+TEST(IntervalCounter, StartsAllZero) {
+  IntervalCounter c;
+  EXPECT_TRUE(c.allZero());
+  EXPECT_EQ(c.valueAt(0), 0);
+  EXPECT_EQ(c.valueAt(1'000'000), 0);
+}
+
+TEST(IntervalCounter, SingleAdd) {
+  IntervalCounter c;
+  c.add({10, 20}, 3);
+  EXPECT_EQ(c.valueAt(9), 0);
+  EXPECT_EQ(c.valueAt(10), 3);
+  EXPECT_EQ(c.valueAt(19), 3);
+  EXPECT_EQ(c.valueAt(20), 0);
+  EXPECT_FALSE(c.allZero());
+}
+
+TEST(IntervalCounter, AddZeroDeltaIsNoop) {
+  IntervalCounter c;
+  c.add({10, 20}, 0);
+  EXPECT_TRUE(c.allZero());
+}
+
+TEST(IntervalCounter, AddEmptyRangeIsNoop) {
+  IntervalCounter c;
+  c.add({10, 10}, 5);
+  EXPECT_TRUE(c.allZero());
+}
+
+TEST(IntervalCounter, OverlappingAddsStack) {
+  IntervalCounter c;
+  c.add({0, 30}, 1);
+  c.add({10, 20}, 1);
+  EXPECT_EQ(c.valueAt(5), 1);
+  EXPECT_EQ(c.valueAt(15), 2);
+  EXPECT_EQ(c.valueAt(25), 1);
+}
+
+TEST(IntervalCounter, BalancedAddRemoveReturnsToZero) {
+  IntervalCounter c;
+  c.add({5, 50}, 2);
+  c.add({10, 20}, 1);
+  c.add({10, 20}, -1);
+  c.add({5, 50}, -2);
+  EXPECT_TRUE(c.allZero());
+  EXPECT_TRUE(c.breakpoints().empty());
+}
+
+TEST(IntervalCounter, NegativeThrows) {
+  IntervalCounter c;
+  c.add({0, 10}, 1);
+  EXPECT_THROW(c.add({5, 15}, -1), std::logic_error);
+}
+
+TEST(IntervalCounter, MinMaxOver) {
+  IntervalCounter c;
+  c.add({0, 10}, 1);
+  c.add({5, 15}, 2);
+  // values: [0,5)=1, [5,10)=3, [10,15)=2, rest 0
+  EXPECT_EQ(c.minOver({0, 15}), 1);
+  EXPECT_EQ(c.maxOver({0, 15}), 3);
+  EXPECT_EQ(c.minOver({0, 20}), 0);  // [15,20) is back at zero
+  EXPECT_EQ(c.maxOver({12, 30}), 2);
+  EXPECT_EQ(c.minOver({12, 30}), 0);
+  EXPECT_EQ(c.minOver({20, 30}), 0);
+}
+
+TEST(IntervalCounter, MinMaxOverEmptyRangeThrows) {
+  IntervalCounter c;
+  EXPECT_THROW(c.minOver({5, 5}), std::invalid_argument);
+  EXPECT_THROW(c.maxOver({5, 5}), std::invalid_argument);
+}
+
+TEST(IntervalCounter, RangesAtLeast) {
+  IntervalCounter c;
+  c.add({0, 30}, 1);
+  c.add({10, 20}, 2);
+  const IntervalSet hot = c.rangesAtLeast({0, 40}, 3);
+  EXPECT_EQ(hot.intervals(), (std::vector<EventRange>{{10, 20}}));
+  const IntervalSet warm = c.rangesAtLeast({0, 40}, 1);
+  EXPECT_EQ(warm.intervals(), (std::vector<EventRange>{{0, 30}}));
+  EXPECT_TRUE(c.rangesAtLeast({0, 40}, 4).empty());
+}
+
+TEST(IntervalCounter, RangesAtLeastClipsToQuery) {
+  IntervalCounter c;
+  c.add({0, 100}, 5);
+  const IntervalSet got = c.rangesAtLeast({40, 60}, 5);
+  EXPECT_EQ(got.intervals(), (std::vector<EventRange>{{40, 60}}));
+}
+
+TEST(IntervalCounter, CoalescesEqualNeighbours) {
+  IntervalCounter c;
+  c.add({0, 10}, 1);
+  c.add({10, 20}, 1);
+  // One breakpoint up at 0, one down at 20.
+  EXPECT_EQ(c.breakpoints().size(), 2u);
+  EXPECT_EQ(c.minOver({0, 20}), 1);
+}
+
+// Property test against a dense reference array.
+class IntervalCounterRandomized : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IntervalCounterRandomized, MatchesDenseModel) {
+  std::mt19937 gen(GetParam());
+  std::uniform_int_distribution<std::uint64_t> pos(0, 150);
+  std::uniform_int_distribution<std::uint64_t> len(1, 30);
+  std::uniform_int_distribution<int> deltaPick(0, 2);
+
+  IntervalCounter c;
+  std::map<std::uint64_t, std::int64_t> dense;  // position -> count
+  auto denseAt = [&](std::uint64_t i) {
+    auto it = dense.find(i);
+    return it == dense.end() ? 0 : it->second;
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    const std::uint64_t b = pos(gen);
+    const std::uint64_t e = b + len(gen);
+    std::int64_t delta = deltaPick(gen) != 0 ? +1 : -1;
+    if (delta < 0) {
+      // Only subtract where the model can afford it.
+      std::int64_t minVal = std::numeric_limits<std::int64_t>::max();
+      for (std::uint64_t i = b; i < e; ++i) minVal = std::min(minVal, denseAt(i));
+      if (minVal < 1) delta = +1;
+    }
+    c.add({b, e}, delta);
+    for (std::uint64_t i = b; i < e; ++i) dense[i] += delta;
+
+    for (std::uint64_t probe = 0; probe <= 190; probe += 3) {
+      ASSERT_EQ(c.valueAt(probe), denseAt(probe)) << "step " << step << " probe " << probe;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalCounterRandomized,
+                         ::testing::Values(11u, 12u, 13u, 14u, 15u, 16u));
+
+}  // namespace
+}  // namespace ppsched

@@ -1,0 +1,272 @@
+// IntervalSet: the data structure everything else leans on.
+#include "storage/interval_set.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+#include <sstream>
+
+namespace ppsched {
+namespace {
+
+TEST(EventRange, BasicProperties) {
+  EventRange r{10, 20};
+  EXPECT_EQ(r.size(), 10u);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE(r.contains(10));
+  EXPECT_TRUE(r.contains(19));
+  EXPECT_FALSE(r.contains(20));
+  EXPECT_FALSE(r.contains(9));
+}
+
+TEST(EventRange, EmptyRange) {
+  EventRange r{5, 5};
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_FALSE(r.contains(5));
+}
+
+TEST(EventRange, Overlaps) {
+  EventRange a{10, 20};
+  EXPECT_TRUE(a.overlaps({15, 25}));
+  EXPECT_TRUE(a.overlaps({0, 11}));
+  EXPECT_TRUE(a.overlaps({12, 13}));
+  EXPECT_FALSE(a.overlaps({20, 30}));  // half-open: touching is not overlap
+  EXPECT_FALSE(a.overlaps({0, 10}));
+}
+
+TEST(EventRange, Intersect) {
+  EventRange a{10, 20};
+  EXPECT_EQ(a.intersect({15, 25}), (EventRange{15, 20}));
+  EXPECT_EQ(a.intersect({0, 100}), (EventRange{10, 20}));
+  EXPECT_TRUE(a.intersect({20, 30}).empty());
+}
+
+TEST(EventRange, Prefix) {
+  EventRange a{10, 20};
+  EXPECT_EQ(a.prefix(3), (EventRange{10, 13}));
+  EXPECT_EQ(a.prefix(10), a);
+  EXPECT_EQ(a.prefix(100), a);
+  EXPECT_TRUE(a.prefix(0).empty());
+}
+
+TEST(IntervalSet, StartsEmpty) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.intervalCount(), 0u);
+  EXPECT_FALSE(s.contains(0));
+}
+
+TEST(IntervalSet, SingleInsert) {
+  IntervalSet s;
+  s.insert({10, 20});
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_EQ(s.intervalCount(), 1u);
+  EXPECT_TRUE(s.contains(10));
+  EXPECT_TRUE(s.contains(19));
+  EXPECT_FALSE(s.contains(20));
+}
+
+TEST(IntervalSet, InsertEmptyIsNoop) {
+  IntervalSet s{{10, 20}};
+  s.insert({30, 30});
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_EQ(s.intervalCount(), 1u);
+}
+
+TEST(IntervalSet, DisjointInsertsStaySeparate) {
+  IntervalSet s;
+  s.insert({10, 20});
+  s.insert({30, 40});
+  EXPECT_EQ(s.intervalCount(), 2u);
+  EXPECT_EQ(s.size(), 20u);
+  EXPECT_FALSE(s.contains(25));
+}
+
+TEST(IntervalSet, AdjacentInsertsMerge) {
+  IntervalSet s;
+  s.insert({10, 20});
+  s.insert({20, 30});
+  EXPECT_EQ(s.intervalCount(), 1u);
+  EXPECT_EQ(s.size(), 20u);
+  EXPECT_TRUE(s.containsRange({10, 30}));
+}
+
+TEST(IntervalSet, OverlappingInsertsMerge) {
+  IntervalSet s;
+  s.insert({10, 25});
+  s.insert({20, 40});
+  s.insert({5, 12});
+  EXPECT_EQ(s.intervalCount(), 1u);
+  EXPECT_EQ(s.size(), 35u);
+  EXPECT_EQ(s.first(), (EventRange{5, 40}));
+}
+
+TEST(IntervalSet, InsertBridgingManyIntervals) {
+  IntervalSet s{{0, 5}, {10, 15}, {20, 25}, {30, 35}};
+  s.insert({4, 31});
+  EXPECT_EQ(s.intervalCount(), 1u);
+  EXPECT_EQ(s.first(), (EventRange{0, 35}));
+}
+
+TEST(IntervalSet, EraseMiddleSplits) {
+  IntervalSet s{{10, 30}};
+  s.erase({15, 20});
+  EXPECT_EQ(s.intervalCount(), 2u);
+  EXPECT_EQ(s.size(), 15u);
+  EXPECT_TRUE(s.containsRange({10, 15}));
+  EXPECT_TRUE(s.containsRange({20, 30}));
+  EXPECT_FALSE(s.contains(17));
+}
+
+TEST(IntervalSet, EraseExact) {
+  IntervalSet s{{10, 30}};
+  s.erase({10, 30});
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, EraseAcrossIntervals) {
+  IntervalSet s{{0, 10}, {20, 30}, {40, 50}};
+  s.erase({5, 45});
+  EXPECT_EQ(s.intervals(), (std::vector<EventRange>{{0, 5}, {45, 50}}));
+}
+
+TEST(IntervalSet, EraseNonexistentIsNoop) {
+  IntervalSet s{{10, 20}};
+  s.erase({30, 40});
+  EXPECT_EQ(s.size(), 10u);
+}
+
+TEST(IntervalSet, EraseEdgesOnly) {
+  IntervalSet s{{10, 20}};
+  s.erase({5, 12});
+  s.erase({18, 25});
+  EXPECT_EQ(s.intervals(), (std::vector<EventRange>{{12, 18}}));
+}
+
+TEST(IntervalSet, ContainsRange) {
+  IntervalSet s{{10, 20}, {30, 40}};
+  EXPECT_TRUE(s.containsRange({12, 18}));
+  EXPECT_TRUE(s.containsRange({10, 20}));
+  EXPECT_FALSE(s.containsRange({15, 35}));  // gap in the middle
+  EXPECT_FALSE(s.containsRange({25, 28}));
+  EXPECT_TRUE(s.containsRange({13, 13}));  // empty range is always contained
+}
+
+TEST(IntervalSet, Intersects) {
+  IntervalSet s{{10, 20}, {30, 40}};
+  EXPECT_TRUE(s.intersects({0, 11}));
+  EXPECT_TRUE(s.intersects({19, 31}));
+  EXPECT_FALSE(s.intersects({20, 30}));
+  EXPECT_FALSE(s.intersects({40, 50}));
+  EXPECT_FALSE(s.intersects({15, 15}));
+}
+
+TEST(IntervalSet, OverlapSize) {
+  IntervalSet s{{10, 20}, {30, 40}};
+  EXPECT_EQ(s.overlapSize({0, 50}), 20u);
+  EXPECT_EQ(s.overlapSize({15, 35}), 10u);
+  EXPECT_EQ(s.overlapSize({20, 30}), 0u);
+  EXPECT_EQ(s.overlapSize({12, 14}), 2u);
+}
+
+TEST(IntervalSet, IntersectWithRange) {
+  IntervalSet s{{10, 20}, {30, 40}};
+  const IntervalSet got = s.intersectWith(EventRange{15, 35});
+  EXPECT_EQ(got.intervals(), (std::vector<EventRange>{{15, 20}, {30, 35}}));
+}
+
+TEST(IntervalSet, IntersectWithSet) {
+  IntervalSet a{{0, 10}, {20, 30}};
+  IntervalSet b{{5, 25}};
+  const IntervalSet got = a.intersectWith(b);
+  EXPECT_EQ(got.intervals(), (std::vector<EventRange>{{5, 10}, {20, 25}}));
+  // Symmetric.
+  EXPECT_EQ(b.intersectWith(a), got);
+}
+
+TEST(IntervalSet, Difference) {
+  IntervalSet a{{0, 30}};
+  IntervalSet b{{5, 10}, {20, 25}};
+  const IntervalSet got = a.difference(b);
+  EXPECT_EQ(got.intervals(), (std::vector<EventRange>{{0, 5}, {10, 20}, {25, 30}}));
+}
+
+TEST(IntervalSet, InsertSetAndEraseSet) {
+  IntervalSet a{{0, 5}};
+  a.insert(IntervalSet{{10, 15}, {4, 6}});
+  EXPECT_EQ(a.intervals(), (std::vector<EventRange>{{0, 6}, {10, 15}}));
+  a.erase(IntervalSet{{2, 12}});
+  EXPECT_EQ(a.intervals(), (std::vector<EventRange>{{0, 2}, {12, 15}}));
+}
+
+TEST(IntervalSet, RunAt) {
+  IntervalSet s{{10, 20}, {30, 40}};
+  EXPECT_EQ(s.runAt(10), (EventRange{10, 20}));
+  EXPECT_EQ(s.runAt(15), (EventRange{15, 20}));
+  EXPECT_TRUE(s.runAt(20).empty());
+  EXPECT_TRUE(s.runAt(25).empty());
+  EXPECT_EQ(s.runAt(39), (EventRange{39, 40}));
+}
+
+TEST(IntervalSet, FirstThrowsOnEmpty) {
+  IntervalSet s;
+  EXPECT_THROW(s.first(), std::logic_error);
+}
+
+TEST(IntervalSet, StreamOutput) {
+  IntervalSet s{{1, 3}, {7, 9}};
+  std::ostringstream os;
+  os << s;
+  EXPECT_EQ(os.str(), "{[1,3) [7,9)}");
+}
+
+TEST(IntervalSet, Clear) {
+  IntervalSet s{{1, 100}};
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+// Property test: IntervalSet agrees with a reference std::set<EventIndex>
+// implementation under random insert/erase sequences.
+class IntervalSetRandomized : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IntervalSetRandomized, MatchesReferenceModel) {
+  std::mt19937 gen(GetParam());
+  std::uniform_int_distribution<std::uint64_t> pos(0, 200);
+  std::uniform_int_distribution<std::uint64_t> len(0, 40);
+  std::uniform_int_distribution<int> op(0, 2);
+
+  IntervalSet s;
+  std::set<std::uint64_t> model;
+  for (int step = 0; step < 300; ++step) {
+    const std::uint64_t b = pos(gen);
+    const std::uint64_t e = b + len(gen);
+    if (op(gen) != 0) {
+      s.insert({b, e});
+      for (std::uint64_t i = b; i < e; ++i) model.insert(i);
+    } else {
+      s.erase({b, e});
+      for (std::uint64_t i = b; i < e; ++i) model.erase(i);
+    }
+    ASSERT_EQ(s.size(), model.size()) << "step " << step;
+    // Spot-check membership and structural invariants.
+    for (std::uint64_t probe = 0; probe <= 240; probe += 7) {
+      ASSERT_EQ(s.contains(probe), model.contains(probe)) << "probe " << probe;
+    }
+    const auto ranges = s.intervals();
+    for (std::size_t i = 0; i < ranges.size(); ++i) {
+      ASSERT_LT(ranges[i].begin, ranges[i].end);
+      if (i > 0) ASSERT_GT(ranges[i].begin, ranges[i - 1].end);  // disjoint, non-adjacent
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetRandomized,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace ppsched

@@ -1,0 +1,255 @@
+// LruExtentCache: the per-node disk cache model.
+#include "storage/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace ppsched {
+namespace {
+
+TEST(LruCache, StartsEmpty) {
+  LruExtentCache c(100);
+  EXPECT_EQ(c.capacity(), 100u);
+  EXPECT_EQ(c.used(), 0u);
+  EXPECT_EQ(c.freeSpace(), 100u);
+  EXPECT_TRUE(c.contents().empty());
+}
+
+TEST(LruCache, InsertAndQuery) {
+  LruExtentCache c(100);
+  const IntervalSet inserted = c.insert({10, 30}, 1.0);
+  EXPECT_EQ(inserted.size(), 20u);
+  EXPECT_EQ(c.used(), 20u);
+  EXPECT_TRUE(c.containsRange({10, 30}));
+  EXPECT_TRUE(c.containsRange({15, 25}));
+  EXPECT_FALSE(c.containsRange({5, 15}));
+  EXPECT_EQ(c.overlapSize({0, 100}), 20u);
+  EXPECT_EQ(c.cachedIn({20, 40}).intervals(), (std::vector<EventRange>{{20, 30}}));
+}
+
+TEST(LruCache, ZeroCapacityNeverStores) {
+  LruExtentCache c(0);
+  EXPECT_TRUE(c.insert({0, 50}, 1.0).empty());
+  EXPECT_EQ(c.used(), 0u);
+}
+
+TEST(LruCache, ReinsertingCachedDataInsertsNothingNew) {
+  LruExtentCache c(100);
+  c.insert({10, 30}, 1.0);
+  const IntervalSet second = c.insert({10, 30}, 2.0);
+  EXPECT_TRUE(second.empty());
+  EXPECT_EQ(c.used(), 20u);
+}
+
+TEST(LruCache, PartialOverlapInsertsOnlyMissing) {
+  LruExtentCache c(100);
+  c.insert({10, 30}, 1.0);
+  const IntervalSet got = c.insert({20, 50}, 2.0);
+  EXPECT_EQ(got.intervals(), (std::vector<EventRange>{{30, 50}}));
+  EXPECT_EQ(c.used(), 40u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruExtentCache c(50);
+  c.insert({0, 20}, 1.0);    // oldest
+  c.insert({100, 120}, 2.0);
+  c.insert({200, 210}, 3.0);  // cache now full (50 events)
+  c.insert({300, 320}, 4.0);  // needs 20 -> evicts {0,20}
+  EXPECT_FALSE(c.containsRange({0, 20}));
+  EXPECT_TRUE(c.containsRange({100, 120}));
+  EXPECT_TRUE(c.containsRange({200, 210}));
+  EXPECT_TRUE(c.containsRange({300, 320}));
+  EXPECT_EQ(c.used(), 50u);
+  EXPECT_EQ(c.totalEvicted(), 20u);
+}
+
+TEST(LruCache, TouchProtectsFromEviction) {
+  LruExtentCache c(50);
+  c.insert({0, 20}, 1.0);
+  c.insert({100, 120}, 2.0);
+  c.insert({200, 210}, 3.0);
+  c.touch({0, 20}, 4.0);      // refresh the oldest
+  c.insert({300, 320}, 5.0);  // now {100,120} is the LRU
+  EXPECT_TRUE(c.containsRange({0, 20}));
+  EXPECT_FALSE(c.containsRange({100, 120}));
+}
+
+TEST(LruCache, PartialTouchSplitsExtent) {
+  LruExtentCache c(100);
+  c.insert({0, 40}, 1.0);
+  c.touch({10, 20}, 2.0);
+  // Still fully cached, but now in multiple extents with different stamps.
+  EXPECT_TRUE(c.containsRange({0, 40}));
+  EXPECT_GE(c.extentCount(), 3u);
+  EXPECT_EQ(c.used(), 40u);
+}
+
+TEST(LruCache, PartialTouchEvictionEvictsColdParts) {
+  LruExtentCache c(40);
+  c.insert({0, 40}, 1.0);
+  c.touch({10, 20}, 2.0);
+  c.insert({100, 130}, 3.0);  // need 30: evict cold pieces {0,10} and {20,40}
+  EXPECT_TRUE(c.containsRange({10, 20}));
+  EXPECT_FALSE(c.containsRange({0, 10}));
+  EXPECT_FALSE(c.containsRange({20, 40}));
+  EXPECT_TRUE(c.containsRange({100, 130}));
+  EXPECT_EQ(c.used(), 40u);
+}
+
+TEST(LruCache, PinnedDataSurvivesEviction) {
+  LruExtentCache c(60);
+  c.insert({0, 30}, 1.0);
+  c.pin({0, 30});
+  c.insert({100, 120}, 2.0);
+  c.insert({200, 230}, 3.0);  // needs 30, only {100,120} evictable
+  EXPECT_TRUE(c.containsRange({0, 30}));
+  EXPECT_FALSE(c.containsRange({100, 120}));
+  EXPECT_TRUE(c.containsRange({200, 230}));
+  c.unpin({0, 30});
+  c.insert({300, 330}, 4.0);  // now the pinned data is evictable again
+  EXPECT_FALSE(c.containsRange({0, 30}));
+}
+
+TEST(LruCache, PartiallyPinnedExtentShedsUnpinnedPart) {
+  LruExtentCache c(40);
+  c.insert({0, 40}, 1.0);
+  c.pin({10, 20});
+  c.insert({100, 120}, 2.0);  // needs 20: evicts the unpinned {0,10}+{20,30}
+  EXPECT_TRUE(c.containsRange({10, 20}));
+  EXPECT_FALSE(c.containsRange({0, 10}));
+  EXPECT_FALSE(c.containsRange({20, 30}));
+  EXPECT_TRUE(c.containsRange({30, 40}));  // partial eviction stops at the deficit
+  EXPECT_EQ(c.overlapSize({0, 40}), 20u);
+  EXPECT_TRUE(c.containsRange({100, 120}));
+}
+
+TEST(LruCache, FullyPinnedCacheInsertsPartially) {
+  LruExtentCache c(30);
+  c.insert({0, 30}, 1.0);
+  c.pin({0, 30});
+  const IntervalSet got = c.insert({100, 150}, 2.0);
+  EXPECT_TRUE(got.empty());  // nothing fits
+  c.unpin({0, 30});
+  c.pin({0, 10});
+  const IntervalSet got2 = c.insert({100, 150}, 3.0);
+  EXPECT_EQ(got2.size(), 20u);  // 20 events evictable -> prefix inserted
+  EXPECT_TRUE(c.containsRange({0, 10}));
+}
+
+TEST(LruCache, InsertLargerThanCapacityFillsPrefix) {
+  LruExtentCache c(30);
+  const IntervalSet got = c.insert({0, 100}, 1.0);
+  EXPECT_EQ(got.size(), 30u);
+  EXPECT_EQ(c.used(), 30u);
+}
+
+TEST(LruCache, ExplicitEvict) {
+  LruExtentCache c(100);
+  c.insert({0, 50}, 1.0);
+  c.evict({10, 20});
+  EXPECT_EQ(c.used(), 40u);
+  EXPECT_FALSE(c.containsRange({10, 20}));
+  EXPECT_TRUE(c.containsRange({0, 10}));
+  EXPECT_TRUE(c.containsRange({20, 50}));
+}
+
+TEST(LruCache, PinnedInReportsPins) {
+  LruExtentCache c(100);
+  c.insert({0, 50}, 1.0);
+  c.pin({10, 30});
+  EXPECT_EQ(c.pinnedIn({0, 50}).intervals(), (std::vector<EventRange>{{10, 30}}));
+  c.unpin({10, 30});
+  EXPECT_TRUE(c.pinnedIn({0, 50}).empty());
+}
+
+TEST(LruCache, UnbalancedUnpinThrows) {
+  LruExtentCache c(100);
+  c.pin({0, 10});
+  EXPECT_THROW(c.unpin({0, 20}), std::logic_error);
+}
+
+TEST(LruCache, EqualTimestampNeighboursMerge) {
+  LruExtentCache c(100);
+  c.insert({0, 10}, 1.0);
+  c.insert({10, 20}, 1.0);
+  EXPECT_EQ(c.extentCount(), 1u);
+  c.insert({20, 30}, 2.0);
+  EXPECT_EQ(c.extentCount(), 2u);
+}
+
+TEST(LruCache, InsertDoesNotEvictItsOwnRange) {
+  // Inserting a range whose cached part is the LRU must not evict that part
+  // to make room for the rest.
+  LruExtentCache c(40);
+  c.insert({0, 20}, 1.0);    // will be refreshed by the big insert
+  c.insert({100, 120}, 2.0);
+  c.insert({0, 40}, 3.0);    // 20 cached + 20 new; must evict {100,120}
+  EXPECT_TRUE(c.containsRange({0, 40}));
+  EXPECT_FALSE(c.containsRange({100, 120}));
+}
+
+TEST(LruCache, TotalEvictedAccumulatesAcrossPartialEvictions) {
+  LruExtentCache c(100);
+  c.insert({0, 100}, 1.0);
+  c.insert({200, 240}, 2.0);  // evicts 40 from the front of {0,100}
+  EXPECT_EQ(c.totalEvicted(), 40u);
+  c.insert({300, 330}, 3.0);  // evicts 30 more
+  EXPECT_EQ(c.totalEvicted(), 70u);
+  c.evict({200, 240});        // explicit eviction also counts
+  EXPECT_EQ(c.totalEvicted(), 110u);
+}
+
+TEST(LruCache, PartialEvictionKeepsRemainderLru) {
+  // After a partial eviction the surviving remainder keeps its original
+  // timestamp and is the next to go.
+  LruExtentCache c(100);
+  c.insert({0, 60}, 1.0);
+  c.insert({100, 140}, 2.0);
+  c.insert({200, 230}, 3.0);  // evicts {0,30}; {30,60} remains at t=1
+  EXPECT_FALSE(c.containsRange({0, 30}));
+  EXPECT_TRUE(c.containsRange({30, 60}));
+  c.insert({300, 330}, 4.0);  // must take the rest of the t=1 extent first
+  EXPECT_FALSE(c.containsRange({30, 60}));
+  EXPECT_TRUE(c.containsRange({100, 140}));
+}
+
+TEST(LruCache, TouchOnUncachedRangeIsNoop) {
+  LruExtentCache c(100);
+  c.insert({0, 10}, 1.0);
+  c.touch({50, 60}, 2.0);
+  EXPECT_EQ(c.used(), 10u);
+  EXPECT_EQ(c.extentCount(), 1u);
+}
+
+TEST(LruCache, PinUnpinOnEmptyCacheIsLegal) {
+  // Pins are bookkeeping over ranges, independent of contents: a policy may
+  // pin before data arrives.
+  LruExtentCache c(100);
+  c.pin({0, 50});
+  EXPECT_EQ(c.pinnedIn({0, 100}).size(), 50u);
+  c.insert({0, 50}, 1.0);
+  c.unpin({0, 50});
+  EXPECT_TRUE(c.containsRange({0, 50}));
+}
+
+TEST(LruCache, ReusableAfterFullEviction) {
+  LruExtentCache c(50);
+  c.insert({0, 50}, 1.0);
+  c.evict({0, 50});
+  EXPECT_EQ(c.used(), 0u);
+  EXPECT_EQ(c.extentCount(), 0u);
+  c.insert({100, 150}, 2.0);
+  EXPECT_TRUE(c.containsRange({100, 150}));
+}
+
+TEST(LruCache, UsedNeverExceedsCapacityUnderStress) {
+  LruExtentCache c(500);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t b = static_cast<std::uint64_t>((i * 37) % 1000);
+    c.insert({b, b + 60}, static_cast<SimTime>(i));
+    ASSERT_LE(c.used(), c.capacity());
+    ASSERT_EQ(c.contents().size(), c.used());
+  }
+}
+
+}  // namespace
+}  // namespace ppsched

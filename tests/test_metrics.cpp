@@ -1,0 +1,154 @@
+// MetricsCollector: per-job accounting, warm-up exclusion, overload verdict.
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/time.h"
+
+namespace ppsched {
+namespace {
+
+Job mkJob(JobId id, SimTime arrival, std::uint64_t events) {
+  return Job{id, arrival, {0, events}};
+}
+
+TEST(Metrics, JobLifecycle) {
+  MetricsCollector m(CostModel{}, {0, 0.0});
+  m.onArrival(mkJob(0, 100.0, 1000), 100.0);
+  EXPECT_EQ(m.arrivedJobs(), 1u);
+  EXPECT_EQ(m.jobsInSystem(), 1u);
+  m.onFirstStart(0, 150.0);
+  m.onCompletion(0, 950.0);
+  EXPECT_EQ(m.completedJobs(), 1u);
+  EXPECT_EQ(m.jobsInSystem(), 0u);
+
+  const JobRecord& rec = m.record(0);
+  EXPECT_DOUBLE_EQ(rec.waitingTime(), 50.0);
+  EXPECT_DOUBLE_EQ(rec.processingTime(), 800.0);
+}
+
+TEST(Metrics, SpeedupUsesPerJobReference) {
+  MetricsCollector m(CostModel{}, {0, 0.0});
+  m.onArrival(mkJob(0, 0.0, 1000), 0.0);  // reference: 1000 * 0.8 = 800 s
+  m.onFirstStart(0, 0.0);
+  m.onCompletion(0, 400.0);  // processing 400 s -> speedup 2
+  const RunResult r = m.finalize(400.0);
+  EXPECT_EQ(r.measuredJobs, 1u);
+  EXPECT_DOUBLE_EQ(r.avgSpeedup, 2.0);
+}
+
+TEST(Metrics, FirstStartOnlyRecordsOnce) {
+  MetricsCollector m(CostModel{}, {0, 0.0});
+  m.onArrival(mkJob(0, 0.0, 100), 0.0);
+  m.onFirstStart(0, 10.0);
+  m.onFirstStart(0, 99.0);  // later piece starting elsewhere
+  EXPECT_DOUBLE_EQ(m.record(0).firstStart, 10.0);
+}
+
+TEST(Metrics, WarmupJobsExcluded) {
+  MetricsCollector m(CostModel{}, {2, 0.0});
+  for (JobId i = 0; i < 4; ++i) {
+    m.onArrival(mkJob(i, i * 1000.0, 100), i * 1000.0);
+    m.onFirstStart(i, i * 1000.0 + 5.0);
+    m.onCompletion(i, i * 1000.0 + 105.0);
+  }
+  const RunResult r = m.finalize(500.0);
+  EXPECT_EQ(r.completedJobs, 4u);
+  EXPECT_EQ(r.measuredJobs, 2u);  // ids 2 and 3
+}
+
+TEST(Metrics, SchedulingDelaySubtractedInExDelay) {
+  MetricsCollector m(CostModel{}, {0, 0.0});
+  m.onArrival(mkJob(0, 0.0, 100), 0.0);
+  m.onSchedulingDelay(0, 300.0);
+  m.onFirstStart(0, 500.0);
+  m.onCompletion(0, 600.0);
+  const RunResult r = m.finalize(600.0);
+  EXPECT_DOUBLE_EQ(r.avgWait, 500.0);
+  EXPECT_DOUBLE_EQ(r.avgWaitExDelay, 200.0);
+}
+
+TEST(Metrics, IncompleteJobsNotMeasured) {
+  MetricsCollector m(CostModel{}, {0, 0.0});
+  m.onArrival(mkJob(0, 0.0, 100), 0.0);
+  m.onFirstStart(0, 1.0);
+  const RunResult r = m.finalize(100.0);
+  EXPECT_EQ(r.measuredJobs, 0u);
+  EXPECT_EQ(r.arrivedJobs, 1u);
+}
+
+TEST(Metrics, EventSourceAccounting) {
+  MetricsCollector m(CostModel{}, {0, 0.0});
+  m.onEventsProcessed(DataSource::LocalCache, 60, 0.0);
+  m.onEventsProcessed(DataSource::Tertiary, 30, 0.0);
+  m.onEventsProcessed(DataSource::RemoteCache, 10, 0.0);
+  const RunResult r = m.finalize(1.0);
+  EXPECT_DOUBLE_EQ(r.cacheHitFraction, 0.6);
+  EXPECT_DOUBLE_EQ(r.remoteReadFraction, 0.1);
+  EXPECT_EQ(r.tertiaryEvents, 30u);
+}
+
+TEST(Metrics, GuardsAgainstProtocolViolations) {
+  MetricsCollector m(CostModel{}, {0, 0.0});
+  EXPECT_THROW(m.record(0), std::out_of_range);
+  m.onArrival(mkJob(0, 0.0, 100), 0.0);
+  EXPECT_THROW(m.onCompletion(0, 1.0), std::logic_error);  // never started
+  m.onFirstStart(0, 0.5);
+  m.onCompletion(0, 1.0);
+  EXPECT_THROW(m.onCompletion(0, 2.0), std::logic_error);  // completed twice
+  // Sparse / out-of-order ids rejected.
+  EXPECT_THROW(m.onArrival(mkJob(5, 3.0, 10), 3.0), std::logic_error);
+}
+
+TEST(Metrics, SteadyStateIsNotOverloaded) {
+  MetricsCollector m(CostModel{}, {0, 0.0});
+  // Alternating arrival/completion: in-system count stays at 0/1.
+  SimTime t = 0.0;
+  for (JobId i = 0; i < 100; ++i) {
+    m.onArrival(mkJob(i, t, 100), t);
+    m.onFirstStart(i, t);
+    m.onCompletion(i, t + 50.0);
+    t += 100.0;
+  }
+  const RunResult r = m.finalize(t);
+  EXPECT_FALSE(r.overloaded);
+  EXPECT_NEAR(r.throughputJobsPerHour, 36.0, 1.0);  // one per 100 s
+}
+
+TEST(Metrics, UnboundedBacklogIsOverloaded) {
+  MetricsCollector m(CostModel{}, {0, 0.0});
+  SimTime t = 0.0;
+  // Arrivals every 100 s, completions every 200 s: backlog grows linearly.
+  JobId next = 0;
+  JobId done = 0;
+  for (int step = 0; step < 400; ++step) {
+    t += 100.0;
+    m.onArrival(mkJob(next, t, 100), t);
+    m.onFirstStart(next, t);
+    ++next;
+    if (step % 2 == 1) {
+      m.onCompletion(done, t);
+      ++done;
+    }
+  }
+  const RunResult r = m.finalize(t);
+  EXPECT_TRUE(r.overloaded);
+  EXPECT_GT(r.inSystemSlopePerHour, 0.0);
+}
+
+TEST(Metrics, HistogramOnRequest) {
+  MetricsCollector m(CostModel{}, {0, 0.0});
+  for (JobId i = 0; i < 10; ++i) m.onArrival(mkJob(i, 0.0, 100), 0.0);
+  for (JobId i = 0; i < 10; ++i) m.onFirstStart(i, 3600.0);  // one hour wait
+  for (JobId i = 0; i < 10; ++i) m.onCompletion(i, 7200.0);
+  const RunResult without = m.finalize(7200.0, false);
+  EXPECT_TRUE(without.waitHistogram.empty());
+  const RunResult with = m.finalize(7200.0, true);
+  ASSERT_FALSE(with.waitHistogram.empty());
+  std::uint64_t total = 0;
+  for (const auto& [lo, count] : with.waitHistogram) total += count;
+  EXPECT_EQ(total, 10u);
+}
+
+}  // namespace
+}  // namespace ppsched

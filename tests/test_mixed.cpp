@@ -1,0 +1,151 @@
+// MixedScheduler (§7 future work): immediate cached work, delayed uncached.
+#include "sched/mixed.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/delayed.h"
+#include "test_support.h"
+
+namespace ppsched {
+namespace {
+
+using testing::fixedSource;
+using testing::tinyConfig;
+
+struct MixedHarness {
+  MixedHarness(SimConfig cfg, std::vector<Job> jobs, MixedScheduler::Params params)
+      : metrics(cfg.cost, {0, 0.0}) {
+    auto p = std::make_unique<MixedScheduler>(params);
+    policy = p.get();
+    engine = std::make_unique<Engine>(cfg, fixedSource(std::move(jobs)), std::move(p), metrics);
+  }
+  MetricsCollector metrics;
+  MixedScheduler* policy = nullptr;
+  std::unique_ptr<Engine> engine;
+};
+
+MixedScheduler::Params fastParams(Duration period) {
+  MixedScheduler::Params p;
+  p.periodDelay = period;
+  p.stripeEvents = 1000;
+  p.starvationLimit = 2 * units::day;
+  return p;
+}
+
+TEST(Mixed, CachedJobRunsImmediately) {
+  MixedHarness h(tinyConfig(2, 1'000'000, 100'000), {{0, 10.0, {0, 1000}}},
+                 fastParams(3600.0));
+  h.engine->cluster().node(1).cache().insert({0, 1000}, 0.0);
+  h.engine->run({});
+  // Cached on node 1: no period wait. The idle node 0 may steal part of the
+  // run, so processing takes at most the single-node cached time.
+  EXPECT_DOUBLE_EQ(h.metrics.record(0).firstStart, 10.0);
+  EXPECT_GT(h.metrics.record(0).processingTime(), 130.0);
+  EXPECT_LE(h.metrics.record(0).processingTime(), 260.0);
+}
+
+TEST(Mixed, UncachedJobWaitsForPeriod) {
+  MixedHarness h(tinyConfig(1, 1'000'000, 100'000), {{0, 0.0, {0, 1000}}},
+                 fastParams(500.0));
+  h.engine->run({});
+  EXPECT_NEAR(h.metrics.record(0).firstStart, 500.0, 1e-6);
+  EXPECT_NEAR(h.metrics.record(0).schedulingDelay, 500.0, 1e-6);
+}
+
+TEST(Mixed, ZeroPeriodStripesImmediately) {
+  MixedHarness h(tinyConfig(2, 1'000'000, 100'000), {{0, 0.0, {0, 2000}}}, fastParams(0.0));
+  h.engine->run({});
+  EXPECT_NEAR(h.metrics.record(0).firstStart, 0.0, 1e-6);
+  EXPECT_EQ(h.metrics.completedJobs(), 1u);
+  EXPECT_EQ(h.policy->accumulatedSubjobs(), 0u);
+}
+
+TEST(Mixed, OverlappingColdJobsLoadTertiaryOncePerPeriod) {
+  MixedHarness h(tinyConfig(1, 1'000'000, 100'000),
+                 {{0, 0.0, {0, 3000}}, {1, 10.0, {0, 3000}}, {2, 20.0, {0, 3000}}},
+                 fastParams(100.0));
+  h.engine->run({});
+  const RunResult r = h.metrics.finalize(h.engine->now());
+  EXPECT_EQ(r.tertiaryEvents, 3000u);  // one fetch serves all three jobs
+}
+
+TEST(Mixed, CachedArrivalPreemptsColdRun) {
+  MixedHarness h(tinyConfig(1, 1'000'000, 100'000),
+                 {{0, 0.0, {0, 5000}}, {1, 200.0, {90'000, 91'000}}}, fastParams(50.0));
+  h.engine->cluster().node(0).cache().insert({90'000, 91'000}, 0.0);
+  h.engine->run({});
+  // Job 1 (cached) preempts job 0's uncached meta run at t=200.
+  EXPECT_NEAR(h.metrics.record(1).completion, 200.0 + 260.0, 1.0);
+  EXPECT_EQ(h.metrics.completedJobs(), 2u);
+}
+
+TEST(Mixed, StarvationGuardPromotesOldMetas) {
+  MixedScheduler::Params params = fastParams(100.0);
+  params.starvationLimit = 2 * units::hour;
+  std::vector<Job> jobs;
+  jobs.push_back({0, 0.0, {0, 1000}});           // becomes cached
+  jobs.push_back({1, 1.0, {500'000, 504'000}});  // cold
+  SimTime t = 2.0;
+  for (JobId i = 2; i < 40; ++i) {
+    jobs.push_back({i, t, {0, 1000}});
+    t += 270.0;
+  }
+  MixedHarness h(tinyConfig(1, 1'000'000, 100'000), jobs, params);
+  h.engine->run({});
+  EXPECT_EQ(h.metrics.completedJobs(), 40u);
+  EXPECT_GE(h.policy->promotions(), 1u);
+  EXPECT_LT(h.metrics.record(1).waitingTime(), 3 * units::hour);
+}
+
+TEST(Mixed, DrainsMixedStream) {
+  std::vector<Job> jobs;
+  for (JobId i = 0; i < 30; ++i) {
+    jobs.push_back({i, i * 400.0, {(i % 4) * 60'000, (i % 4) * 60'000 + 3000}});
+  }
+  MixedHarness h(tinyConfig(3, 1'000'000, 60'000), jobs, fastParams(1800.0));
+  h.engine->run({});
+  EXPECT_EQ(h.metrics.completedJobs(), 30u);
+  EXPECT_EQ(h.policy->metaQueueSize(), 0u);
+  EXPECT_EQ(h.policy->accumulatedSubjobs(), 0u);
+}
+
+TEST(Mixed, HotJobsFasterThanPureDelayed) {
+  // With hot (repeat) jobs in the stream, mixed must deliver them much
+  // faster than pure delayed scheduling on the same trace.
+  std::vector<Job> jobs;
+  SimTime t = 0.0;
+  for (JobId i = 0; i < 24; ++i) {
+    const bool hot = (i % 2) == 0;
+    jobs.push_back({i, t, hot ? EventRange{0, 3000}
+                              : EventRange{100'000 + i * 5000ull, 104'000 + i * 5000ull}});
+    t += 900.0;
+  }
+  const SimConfig cfg = tinyConfig(2, 1'000'000, 20'000);
+
+  MixedHarness mixed(cfg, jobs, fastParams(4 * units::hour));
+  mixed.engine->run({});
+
+  MetricsCollector mDelayed(cfg.cost, {0, 0.0});
+  DelayedParams dp;
+  dp.stripeEvents = 1000;
+  Engine eDelayed(cfg, fixedSource(jobs),
+                  std::make_unique<DelayedScheduler>(
+                      dp, std::make_unique<FixedDelay>(4 * units::hour)),
+                  mDelayed);
+  eDelayed.run({});
+
+  // Mean wait of the hot half under mixed must beat delayed's overall mean.
+  double mixedHotWait = 0.0;
+  int hotCount = 0;
+  for (JobId i = 0; i < 24; i += 2) {
+    if (i == 0) continue;  // first pass is cold
+    mixedHotWait += mixed.metrics.record(i).waitingTime();
+    ++hotCount;
+  }
+  mixedHotWait /= hotCount;
+  const RunResult rd = mDelayed.finalize(eDelayed.now());
+  EXPECT_LT(mixedHotWait, rd.avgWait);
+}
+
+}  // namespace
+}  // namespace ppsched

@@ -1,0 +1,105 @@
+// Cross-policy property tests: conservation, determinism, and bounds that
+// must hold for ANY policy on ANY workload.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/experiment.h"
+#include "core/registry.h"
+#include "test_support.h"
+#include "workload/generator.h"
+
+namespace ppsched {
+namespace {
+
+struct PropertyCase {
+  std::string policy;
+  std::uint64_t seed;
+};
+
+std::string caseName(const ::testing::TestParamInfo<PropertyCase>& info) {
+  return info.param.policy + "_seed" + std::to_string(info.param.seed);
+}
+
+class PolicyProperties : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(PolicyProperties, EveryEventProcessedExactlyOnce) {
+  // Conservation: summed over all jobs, the engine must process exactly as
+  // many events as were submitted — no loss, no duplication — regardless of
+  // splitting, preemption, stealing or striping.
+  SimConfig cfg = SimConfig::paperDefaults();
+  cfg.workload.jobsPerHour = 1.2;
+  cfg.finalize();
+  PolicyParams params;
+  params.periodDelay = 6 * units::hour;
+  params.stripeEvents = 1000;
+
+  WorkloadGenerator gen(cfg.workload, GetParam().seed);
+  const JobTrace trace = JobTrace::record(gen, 120);
+  std::uint64_t submitted = 0;
+  for (const Job& j : trace.jobs()) submitted += j.events();
+
+  MetricsCollector metrics(cfg.cost, {0, 0.0});
+  Engine engine(cfg, std::make_unique<TraceSource>(trace),
+                makePolicy(GetParam().policy, params), metrics);
+  engine.run({});
+
+  ASSERT_EQ(metrics.completedJobs(), trace.size());
+  const RunResult r = metrics.finalize(engine.now());
+  EXPECT_EQ(r.processedEvents, submitted);
+  // Every job's remaining set is empty.
+  for (const Job& j : trace.jobs()) {
+    EXPECT_TRUE(engine.jobDone(j.id));
+    EXPECT_TRUE(engine.remainingOf(j.id).empty());
+  }
+}
+
+TEST_P(PolicyProperties, DeterministicAcrossRuns) {
+  ExperimentSpec spec;
+  spec.policyName = GetParam().policy;
+  spec.policyParams.periodDelay = 6 * units::hour;
+  spec.policyParams.stripeEvents = 1000;
+  spec.jobsPerHour = 1.0;
+  spec.seed = GetParam().seed;
+  spec.warmupJobs = 20;
+  spec.measuredJobs = 80;
+  const RunResult a = runExperiment(spec);
+  const RunResult b = runExperiment(spec);
+  EXPECT_DOUBLE_EQ(a.avgSpeedup, b.avgSpeedup);
+  EXPECT_DOUBLE_EQ(a.avgWait, b.avgWait);
+  EXPECT_DOUBLE_EQ(a.cacheHitFraction, b.cacheHitFraction);
+  EXPECT_EQ(a.tertiaryEvents, b.tertiaryEvents);
+}
+
+TEST_P(PolicyProperties, SpeedupWithinTheoreticalBounds) {
+  ExperimentSpec spec;
+  spec.policyName = GetParam().policy;
+  spec.policyParams.periodDelay = 3 * units::hour;
+  spec.policyParams.stripeEvents = 1000;
+  spec.jobsPerHour = 0.8;
+  spec.seed = GetParam().seed;
+  spec.warmupJobs = 30;
+  spec.measuredJobs = 100;
+  const RunResult r = runExperiment(spec);
+  // Hard ceiling: numNodes x caching gain (10 x 3.08).
+  const SimConfig cfg = SimConfig::paperDefaults();
+  EXPECT_LE(r.avgSpeedup, cfg.numNodes * cfg.cost.cachingGain() + 1e-9);
+  EXPECT_GT(r.avgSpeedup, 0.0);
+  // Waits are finite and non-negative at a sustainable load.
+  EXPECT_GE(r.avgWait, 0.0);
+  EXPECT_GE(r.maxWait, r.medianWait);
+}
+
+std::vector<PropertyCase> allCases() {
+  std::vector<PropertyCase> cases;
+  for (const std::string& policy : policyNames()) {
+    for (const std::uint64_t seed : {11ull, 12ull}) {
+      cases.push_back({policy, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PolicyProperties, ::testing::ValuesIn(allCases()), caseName);
+
+}  // namespace
+}  // namespace ppsched

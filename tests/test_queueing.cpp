@@ -1,0 +1,92 @@
+// Analytic queueing models (Erlang-B/C, Allen–Cunneen M/G/m approximation).
+#include "core/queueing.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/time.h"
+
+namespace ppsched {
+namespace {
+
+TEST(Queueing, ErlangBKnownValues) {
+  // B(0, a) = 1 for any load; B(m, 0) = 0 for m >= 1.
+  EXPECT_DOUBLE_EQ(erlangB(0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(erlangB(3, 0.0), 0.0);
+  // Classic: a = 1 Erlang, 1 server -> B = a/(1+a) = 0.5.
+  EXPECT_DOUBLE_EQ(erlangB(1, 1.0), 0.5);
+  // a = 2, m = 2: B = (2^2/2) / (1 + 2 + 2) = 2/5.
+  EXPECT_NEAR(erlangB(2, 2.0), 0.4, 1e-12);
+}
+
+TEST(Queueing, ErlangBMonotonicInServers) {
+  double prev = 1.0;
+  for (int m = 1; m <= 20; ++m) {
+    const double b = erlangB(m, 5.0);
+    EXPECT_LT(b, prev);
+    prev = b;
+  }
+}
+
+TEST(Queueing, ErlangCKnownValues) {
+  // Single server: C = rho.
+  EXPECT_NEAR(erlangC(1, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(erlangC(1, 0.9), 0.9, 1e-12);
+  // C is always >= B.
+  EXPECT_GE(erlangC(5, 4.0), erlangB(5, 4.0));
+}
+
+TEST(Queueing, ErlangCRequiresStability) {
+  EXPECT_THROW(erlangC(2, 2.0), std::invalid_argument);
+  EXPECT_THROW(erlangC(2, 3.0), std::invalid_argument);
+  EXPECT_THROW(erlangC(0, 0.5), std::invalid_argument);
+}
+
+TEST(Queueing, MM1WaitMatchesClosedForm) {
+  // M/M/1: Wq = rho/(mu - lambda) * ... = rho * S / (1 - rho).
+  QueueModel q;
+  q.servers = 1;
+  q.meanServiceSec = 10.0;
+  q.arrivalRatePerSec = 0.05;  // rho = 0.5
+  EXPECT_NEAR(q.meanWaitMMm(), 0.5 * 10.0 / 0.5, 1e-9);
+}
+
+TEST(Queueing, ApproxEqualsExactForExponentialService) {
+  QueueModel q;
+  q.servers = 3;
+  q.meanServiceSec = 10.0;
+  q.arrivalRatePerSec = 0.2;
+  q.serviceScv = 1.0;  // exponential: approximation is exact
+  EXPECT_DOUBLE_EQ(q.meanWaitApprox(), q.meanWaitMMm());
+}
+
+TEST(Queueing, ErlangServiceWaitsLessThanExponential) {
+  QueueModel q = farmQueueModel(10, 1.0, 32'000.0, 4);
+  EXPECT_DOUBLE_EQ(q.serviceScv, 0.25);
+  EXPECT_LT(q.meanWaitApprox(), q.meanWaitMMm());
+  // (1 + 1/4)/2 = 0.625 of the M/M/m wait.
+  EXPECT_NEAR(q.meanWaitApprox() / q.meanWaitMMm(), 0.625, 1e-12);
+}
+
+TEST(Queueing, FarmModelOfThePaper) {
+  // 10 nodes, 32000 s jobs: max ~1.125 jobs/hour.
+  QueueModel q = farmQueueModel(10, 1.0, 32'000.0, 4);
+  EXPECT_NEAR(q.utilization(), 32'000.0 / 36'000.0, 1e-9);
+  EXPECT_TRUE(q.stable());
+  EXPECT_NEAR(q.maxArrivalRatePerSec() * units::hour, 1.125, 1e-9);
+
+  QueueModel over = farmQueueModel(10, 1.2, 32'000.0, 4);
+  EXPECT_FALSE(over.stable());
+  EXPECT_THROW(over.meanWaitMMm(), std::invalid_argument);
+}
+
+TEST(Queueing, WaitExplodesNearSaturation) {
+  const double w1 = farmQueueModel(10, 0.9, 32'000.0, 4).meanWaitApprox();
+  const double w2 = farmQueueModel(10, 1.05, 32'000.0, 4).meanWaitApprox();
+  const double w3 = farmQueueModel(10, 1.12, 32'000.0, 4).meanWaitApprox();
+  EXPECT_LT(w1, w2);
+  EXPECT_LT(w2, w3);
+  EXPECT_GT(w3, 10.0 * units::hour);  // near-saturation waits measured in hours
+}
+
+}  // namespace
+}  // namespace ppsched

@@ -1,0 +1,148 @@
+// Rng: determinism and distribution moments.
+#include "sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace ppsched {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform01(), b.uniform01());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform01() == b.uniform01()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = rng.uniformInt(3, 7);
+    ASSERT_GE(x, 3u);
+    ASSERT_LE(x, 7u);
+    sawLo |= (x == 3);
+    sawHi |= (x == 7);
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.2);
+}
+
+TEST(Rng, ExponentialRejectsBadMean) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, ErlangMeanAndVariance) {
+  // Erlang(k, lambda): mean k/lambda, variance k/lambda^2. With mean m and
+  // shape k, variance = m^2 / k.
+  Rng rng(13);
+  const int n = 100'000;
+  const double mean = 40'000.0;
+  const int shape = 4;
+  double sum = 0.0, sumSq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.erlang(shape, mean);
+    sum += x;
+    sumSq += x * x;
+  }
+  const double m = sum / n;
+  const double var = sumSq / n - m * m;
+  EXPECT_NEAR(m, mean, mean * 0.02);
+  EXPECT_NEAR(var, mean * mean / shape, mean * mean / shape * 0.05);
+}
+
+TEST(Rng, ErlangShapeOneIsExponential) {
+  Rng rng(17);
+  const int n = 50'000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.erlang(1, 5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(Rng, ErlangModeBelowMean) {
+  // The paper quotes the mode (30000) of its Erlang(4) job sizes while all
+  // derived numbers require mean 40000; check mode ~= 3/4 of the mean via a
+  // coarse histogram.
+  Rng rng(19);
+  std::array<int, 40> hist{};
+  const double mean = 40'000.0;
+  for (int i = 0; i < 200'000; ++i) {
+    const double x = rng.erlang(4, mean);
+    const auto bucket = static_cast<std::size_t>(x / 4000.0);
+    if (bucket < hist.size()) ++hist[bucket];
+  }
+  const auto modeBucket =
+      static_cast<std::size_t>(std::max_element(hist.begin(), hist.end()) - hist.begin());
+  const double mode = (static_cast<double>(modeBucket) + 0.5) * 4000.0;
+  EXPECT_NEAR(mode, 30'000.0, 4000.0);
+}
+
+TEST(Rng, ErlangRejectsBadArgs) {
+  Rng rng(1);
+  EXPECT_THROW(rng.erlang(0, 10.0), std::invalid_argument);
+  EXPECT_THROW(rng.erlang(4, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(23);
+  const std::array<double, 3> weights{1.0, 0.0, 3.0};
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 40'000; ++i) ++counts[rng.weightedIndex(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(Rng, WeightedIndexRejectsBadWeights) {
+  Rng rng(1);
+  const std::array<double, 2> zeros{0.0, 0.0};
+  EXPECT_THROW(rng.weightedIndex(zeros), std::invalid_argument);
+}
+
+TEST(Rng, ChanceProbability) {
+  Rng rng(29);
+  int hits = 0;
+  for (int i = 0; i < 100'000; ++i) hits += rng.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 100'000.0, 0.25, 0.01);
+}
+
+TEST(DeriveSeed, DistinctPerIndex) {
+  const auto a = deriveSeed(42, 0);
+  const auto b = deriveSeed(42, 1);
+  const auto c = deriveSeed(43, 0);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a, deriveSeed(42, 0));  // deterministic
+}
+
+}  // namespace
+}  // namespace ppsched

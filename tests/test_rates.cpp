@@ -1,0 +1,61 @@
+// CostModel: the paper's calibration must hold exactly (DESIGN.md §2).
+#include "storage/rates.h"
+
+#include <gtest/gtest.h>
+
+namespace ppsched {
+namespace {
+
+TEST(CostModel, PaperDefaults) {
+  const CostModel cost;
+  EXPECT_DOUBLE_EQ(cost.diskSecPerEvent(), 0.06);      // 600 KB / 10 MB/s
+  EXPECT_DOUBLE_EQ(cost.tertiarySecPerEvent(), 0.6);   // 600 KB / 1 MB/s
+  EXPECT_DOUBLE_EQ(cost.cachedSecPerEvent(), 0.26);    // disk + cpu
+  EXPECT_DOUBLE_EQ(cost.uncachedSecPerEvent(), 0.8);   // tertiary + cpu
+}
+
+TEST(CostModel, CachingGainSlightlyLargerThanThree) {
+  const CostModel cost;
+  EXPECT_GT(cost.cachingGain(), 3.0);   // paper: "slightly larger than 3"
+  EXPECT_LT(cost.cachingGain(), 3.2);
+  EXPECT_NEAR(cost.cachingGain(), 0.8 / 0.26, 1e-12);
+}
+
+TEST(CostModel, SingleNodeUncachedTimeMatchesPaper) {
+  const CostModel cost;
+  // Mean 40000-event job: 32000 s ("almost 9 hours").
+  EXPECT_DOUBLE_EQ(cost.singleNodeUncachedTime(40'000), 32'000.0);
+}
+
+TEST(CostModel, RemoteDefaultsToDiskThroughput) {
+  const CostModel cost;
+  EXPECT_DOUBLE_EQ(cost.secPerEvent(DataSource::RemoteCache), 0.26);
+}
+
+TEST(CostModel, SourceOrdering) {
+  const CostModel cost;
+  EXPECT_LT(cost.secPerEvent(DataSource::LocalCache), cost.secPerEvent(DataSource::Tertiary));
+  EXPECT_LE(cost.secPerEvent(DataSource::LocalCache), cost.secPerEvent(DataSource::RemoteCache));
+}
+
+TEST(CostModel, PipelinedOverlapsTransferAndCompute) {
+  CostModel cost;
+  cost.pipelined = true;
+  // Tertiary transfer (0.6) dominates the CPU (0.2).
+  EXPECT_DOUBLE_EQ(cost.uncachedSecPerEvent(), 0.6);
+  // Disk read (0.06) hides behind the CPU (0.2).
+  EXPECT_DOUBLE_EQ(cost.cachedSecPerEvent(), 0.2);
+  // Pipelining improves the uncached path by 25%.
+  EXPECT_LT(cost.uncachedSecPerEvent(), 0.8);
+}
+
+TEST(CostModel, CustomThroughputs) {
+  CostModel cost;
+  cost.tertiaryBytesPerSec = 2e6;  // a faster Castor
+  EXPECT_DOUBLE_EQ(cost.uncachedSecPerEvent(), 0.5);
+  cost.cpuSecPerEvent = 0.0;  // infinitely fast CPU
+  EXPECT_DOUBLE_EQ(cost.cachedSecPerEvent(), 0.06);
+}
+
+}  // namespace
+}  // namespace ppsched

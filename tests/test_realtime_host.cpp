@@ -1,0 +1,178 @@
+// RealtimeHost: the wall-clock counterpart of the simulator (§2.3's
+// "runs both on the simulated and on the target system" claim).
+//
+// Timing assertions are deliberately loose (OS scheduling jitter); the
+// tests pin down completion, bookkeeping, cache effects, and that the SAME
+// policy objects drive both hosts.
+#include "runtime/realtime_host.h"
+
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "test_support.h"
+
+namespace ppsched {
+namespace {
+
+using namespace std::chrono_literals;
+
+SimConfig rtConfig(int nodes) {
+  SimConfig cfg = ppsched::testing::tinyConfig(nodes, 1'000'000, 50'000);
+  return cfg;
+}
+
+TEST(RealtimeHost, Validation) {
+  SimConfig cfg = rtConfig(1);
+  MetricsCollector m(cfg.cost, {0, 0.0});
+  EXPECT_THROW(RealtimeHost(cfg, nullptr, m), std::invalid_argument);
+  RealtimeOptions bad;
+  bad.timeScale = 0.0;
+  EXPECT_THROW(RealtimeHost(cfg, makePolicy("farm"), m, bad), std::invalid_argument);
+}
+
+TEST(RealtimeHost, CompletesOneJobUnderFarm) {
+  SimConfig cfg = rtConfig(2);
+  MetricsCollector m(cfg.cost, {0, 0.0});
+  RealtimeOptions opt;
+  opt.timeScale = 100'000.0;  // 800 simulated s ~= 8 wall ms
+  RealtimeHost host(cfg, makePolicy("farm"), m, opt);
+  const JobId id = host.submit({0, 1000});
+  ASSERT_TRUE(host.drain(5000ms));
+  EXPECT_TRUE(host.jobDone(id));
+  EXPECT_EQ(host.completedJobs(), 1u);
+  const auto& rec = m.record(id);
+  EXPECT_GT(rec.processingTime(), 0.0);
+}
+
+TEST(RealtimeHost, WallClockRoughlyMatchesScaledCost) {
+  SimConfig cfg = rtConfig(1);
+  MetricsCollector m(cfg.cost, {0, 0.0});
+  RealtimeOptions opt;
+  opt.timeScale = 20'000.0;  // 8000 sim s -> ~400 wall ms
+  RealtimeHost host(cfg, makePolicy("farm"), m, opt);
+  host.submit({0, 10'000});  // 10000 x 0.8 = 8000 simulated seconds
+  ASSERT_TRUE(host.drain(5000ms));
+  const auto& rec = m.record(0);
+  // Simulated processing time within 25% of the model's 8000 s.
+  EXPECT_GT(rec.processingTime(), 8000.0 * 0.95);
+  EXPECT_LT(rec.processingTime(), 8000.0 * 1.25);
+}
+
+TEST(RealtimeHost, CachesDataLikeTheSimulator) {
+  SimConfig cfg = rtConfig(1);
+  MetricsCollector m(cfg.cost, {0, 0.0});
+  RealtimeOptions opt;
+  opt.timeScale = 200'000.0;
+  RealtimeHost host(cfg, makePolicy("cache_oriented"), m, opt);
+  host.submit({0, 2000});
+  ASSERT_TRUE(host.drain(5000ms));
+  EXPECT_TRUE(host.cluster().node(0).cache().containsRange({0, 2000}));
+
+  // A repeat job hits the cache.
+  host.submit({0, 2000});
+  ASSERT_TRUE(host.drain(5000ms));
+  const RunResult r = m.finalize(host.now());
+  EXPECT_DOUBLE_EQ(r.cacheHitFraction, 0.5);
+  // And runs ~3x faster than the cold pass.
+  EXPECT_LT(m.record(1).processingTime(), m.record(0).processingTime() * 0.6);
+}
+
+TEST(RealtimeHost, SamePolicyObjectsServeManyJobs) {
+  SimConfig cfg = rtConfig(3);
+  MetricsCollector m(cfg.cost, {0, 0.0});
+  RealtimeOptions opt;
+  opt.timeScale = 400'000.0;
+  RealtimeHost host(cfg, makePolicy("out_of_order"), m, opt);
+  // Phase 1: four distinct segments, fully drained (so their data is
+  // deterministically cached before the repeats arrive).
+  for (int i = 0; i < 4; ++i) {
+    host.submit({static_cast<EventIndex>(i * 100'000),
+                 static_cast<EventIndex>(i * 100'000 + 3000)});
+  }
+  ASSERT_TRUE(host.drain(10'000ms));
+  // Phase 2: eight repeats over the same segments.
+  for (int i = 0; i < 8; ++i) {
+    host.submit({static_cast<EventIndex>((i % 4) * 100'000),
+                 static_cast<EventIndex>((i % 4) * 100'000 + 3000)});
+  }
+  ASSERT_TRUE(host.drain(10'000ms));
+  EXPECT_EQ(host.completedJobs(), 12u);
+  const RunResult r = m.finalize(host.now());
+  // 8 of 12 passes run over cached data: hit fraction ~2/3.
+  EXPECT_GT(r.cacheHitFraction, 0.5);
+}
+
+TEST(RealtimeHost, SplittingPolicyUsesAllNodes) {
+  SimConfig cfg = rtConfig(4);
+  MetricsCollector m(cfg.cost, {0, 0.0});
+  RealtimeOptions opt;
+  opt.timeScale = 400'000.0;
+  RealtimeHost host(cfg, makePolicy("splitting"), m, opt);
+  host.submit({0, 40'000});
+  ASSERT_TRUE(host.drain(10'000ms));
+  const auto& rec = m.record(0);
+  // 40000 x 0.8 = 32000 sim s serial; on 4 nodes it must take well under
+  // half of that (loose: OS jitter).
+  EXPECT_LT(rec.processingTime(), 32'000.0 * 0.5);
+}
+
+TEST(RealtimeHost, DelayedPolicyTimersFire) {
+  SimConfig cfg = rtConfig(2);
+  MetricsCollector m(cfg.cost, {0, 0.0});
+  RealtimeOptions opt;
+  opt.timeScale = 400'000.0;  // a 1000 sim-s period ~= 2.5 wall ms
+  PolicyParams params;
+  params.periodDelay = 1000.0;
+  params.stripeEvents = 1000;
+  RealtimeHost host(cfg, makePolicy("delayed", params), m, opt);
+  host.submit({0, 2000});
+  host.submit({50'000, 52'000});
+  ASSERT_TRUE(host.drain(10'000ms));
+  EXPECT_EQ(host.completedJobs(), 2u);
+  // Both jobs carry the period's scheduling delay.
+  EXPECT_GT(m.record(0).schedulingDelay, 0.0);
+}
+
+TEST(RealtimeHost, OutOfOrderPreemptionWorksAgainstWallClock) {
+  // A cached job arriving while a cold job runs must preempt it and finish
+  // first — the Table 3 mechanism exercised against live executors.
+  SimConfig cfg = rtConfig(1);
+  MetricsCollector m(cfg.cost, {0, 0.0});
+  RealtimeOptions opt;
+  opt.timeScale = 40'000.0;  // cold job ~8000 sim s ~= 200 wall ms
+  RealtimeHost host(cfg, makePolicy("out_of_order"), m, opt);
+  host.cluster().node(0).cache().insert({900'000, 901'000}, 0.0);
+  const JobId cold = host.submit({0, 10'000});
+  // Let the cold run begin, then submit the cached job.
+  for (int i = 0; i < 200 && host.idleNodes().size() == 1; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  const JobId hot = host.submit({900'000, 901'000});
+  ASSERT_TRUE(host.drain(10'000ms));
+  EXPECT_LT(m.record(hot).completion, m.record(cold).completion);
+  // The cold job still accounts for every one of its events exactly once.
+  EXPECT_TRUE(host.remainingOf(cold).empty());
+}
+
+TEST(RealtimeHost, IdleAndRunningViews) {
+  SimConfig cfg = rtConfig(2);
+  MetricsCollector m(cfg.cost, {0, 0.0});
+  RealtimeOptions opt;
+  opt.timeScale = 2000.0;  // slow: 800 sim s = 400 wall ms, observable
+  RealtimeHost host(cfg, makePolicy("farm"), m, opt);
+  EXPECT_EQ(host.idleNodes().size(), 2u);
+  host.submit({0, 1000});
+  // Give the scheduler thread a moment to place the job.
+  for (int i = 0; i < 200 && host.idleNodes().size() == 2; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_EQ(host.idleNodes().size(), 1u);
+  const auto view = host.running(0);
+  EXPECT_TRUE(view.active);
+  EXPECT_EQ(view.subjob.job, 0u);
+  ASSERT_TRUE(host.drain(5000ms));
+  EXPECT_TRUE(host.isIdle(0));
+}
+
+}  // namespace
+}  // namespace ppsched

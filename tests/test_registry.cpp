@@ -1,0 +1,62 @@
+// Policy registry.
+#include "core/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/delayed.h"
+
+namespace ppsched {
+namespace {
+
+TEST(Registry, CreatesEveryRegisteredPolicy) {
+  for (const std::string& name : policyNames()) {
+    const auto policy = makePolicy(name);
+    ASSERT_NE(policy, nullptr) << name;
+    EXPECT_EQ(policy->name(), name);
+  }
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(makePolicy("fifo_magic"), std::invalid_argument);
+  EXPECT_THROW(makePolicy(""), std::invalid_argument);
+}
+
+TEST(Registry, NamesInPaperOrder) {
+  const auto names = policyNames();
+  ASSERT_EQ(names.size(), 8u);
+  EXPECT_EQ(names.front(), "farm");
+  EXPECT_EQ(names.back(), "mixed");  // this repo's §7 future-work policy
+}
+
+TEST(Registry, CachelessPoliciesDeclareIt) {
+  EXPECT_FALSE(makePolicy("farm")->usesCaching());
+  EXPECT_FALSE(makePolicy("splitting")->usesCaching());
+  EXPECT_TRUE(makePolicy("cache_oriented")->usesCaching());
+  EXPECT_TRUE(makePolicy("out_of_order")->usesCaching());
+  EXPECT_TRUE(makePolicy("delayed")->usesCaching());
+}
+
+TEST(Registry, DelayedParamsArePassedThrough) {
+  PolicyParams params;
+  params.periodDelay = 123.0;
+  params.stripeEvents = 777;
+  const auto policy = makePolicy("delayed", params);
+  const auto* delayed = dynamic_cast<const DelayedScheduler*>(policy.get());
+  ASSERT_NE(delayed, nullptr);
+}
+
+TEST(Registry, AdaptiveVariants) {
+  PolicyParams params;
+  EXPECT_EQ(makePolicy("adaptive", params)->name(), "adaptive");
+  params.adaptiveFeedback = true;
+  EXPECT_EQ(makePolicy("adaptive", params)->name(), "adaptive");
+  params.adaptiveFeedback = false;
+  params.adaptiveTable = {{1.0, 0.0}, {2.0, 50.0}};
+  EXPECT_EQ(makePolicy("adaptive", params)->name(), "adaptive");
+  // A malformed custom table is rejected at construction.
+  params.adaptiveTable = {{2.0, 0.0}, {1.0, 50.0}};
+  EXPECT_THROW(makePolicy("adaptive", params), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppsched

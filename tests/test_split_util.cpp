@@ -1,0 +1,156 @@
+// Splitting helpers shared by the policies.
+#include "sched/split_util.h"
+
+#include <gtest/gtest.h>
+
+namespace ppsched {
+namespace {
+
+Subjob mk(EventIndex b, EventIndex e) {
+  Subjob sj;
+  sj.job = 1;
+  sj.range = {b, e};
+  sj.jobArrival = 5.0;
+  return sj;
+}
+
+TEST(SplitEqual, ExactPartition) {
+  const auto parts = splitEqual(mk(0, 100), 4, 10);
+  ASSERT_EQ(parts.size(), 4u);
+  EventIndex cursor = 0;
+  for (const Subjob& p : parts) {
+    EXPECT_EQ(p.range.begin, cursor);
+    EXPECT_EQ(p.events(), 25u);
+    EXPECT_EQ(p.job, 1u);
+    EXPECT_DOUBLE_EQ(p.jobArrival, 5.0);
+    cursor = p.range.end;
+  }
+  EXPECT_EQ(cursor, 100u);
+}
+
+TEST(SplitEqual, RemainderSpreadEvenly) {
+  const auto parts = splitEqual(mk(0, 10), 3, 1);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0].events(), 4u);
+  EXPECT_EQ(parts[1].events(), 3u);
+  EXPECT_EQ(parts[2].events(), 3u);
+}
+
+TEST(SplitEqual, MinSizeLimitsParts) {
+  const auto parts = splitEqual(mk(0, 35), 10, 10);
+  ASSERT_EQ(parts.size(), 3u);  // 35/10 = 3 parts max
+  for (const Subjob& p : parts) EXPECT_GE(p.events(), 10u);
+}
+
+TEST(SplitEqual, TinyRangeStaysWhole) {
+  const auto parts = splitEqual(mk(0, 9), 4, 10);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].range, (EventRange{0, 9}));
+}
+
+TEST(SplitEqual, EmptySubjobGivesNothing) {
+  EXPECT_TRUE(splitEqual(mk(5, 5), 3, 1).empty());
+}
+
+TEST(SplitProportional, BalancesFinishTimes) {
+  // first at 0.26 s/event, second at 0.8 s/event: the slow side gets less.
+  const auto [first, second] = splitProportional(mk(0, 1060), 0.26, 0.8, 10);
+  EXPECT_EQ(first.events() + second.events(), 1060u);
+  EXPECT_GT(first.events(), second.events());
+  const double t1 = first.events() * 0.26;
+  const double t2 = second.events() * 0.8;
+  EXPECT_NEAR(t1, t2, 0.8 + 0.26);  // within one event of balance
+}
+
+TEST(SplitProportional, EqualRatesSplitInHalf) {
+  const auto [first, second] = splitProportional(mk(0, 100), 1.0, 1.0, 10);
+  EXPECT_EQ(first.events(), 50u);
+  EXPECT_EQ(second.events(), 50u);
+}
+
+TEST(SplitProportional, TooSmallStaysWhole) {
+  const auto [first, second] = splitProportional(mk(0, 15), 1.0, 1.0, 10);
+  EXPECT_EQ(first.events(), 15u);
+  EXPECT_TRUE(second.empty());
+}
+
+TEST(SplitProportional, RespectsMinOnBothSides) {
+  // Extreme rate ratio would give the slow side < min without clamping.
+  const auto [first, second] = splitProportional(mk(0, 100), 0.001, 10.0, 20);
+  EXPECT_GE(first.events(), 20u);
+  EXPECT_GE(second.events(), 20u);
+}
+
+class SplitByCachesTest : public ::testing::Test {
+ protected:
+  Cluster cluster_{3, 10'000};
+};
+
+TEST_F(SplitByCachesTest, AllUncachedIsOnePiece) {
+  const auto pieces = splitByCaches(mk(0, 1000), cluster_, 10);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].cachedOn, kNoNode);
+  EXPECT_EQ(pieces[0].subjob.range, (EventRange{0, 1000}));
+}
+
+TEST_F(SplitByCachesTest, CachedRunsGetTheirNode) {
+  cluster_.node(1).cache().insert({200, 500}, 1.0);
+  const auto pieces = splitByCaches(mk(0, 1000), cluster_, 10);
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0].subjob.range, (EventRange{0, 200}));
+  EXPECT_EQ(pieces[0].cachedOn, kNoNode);
+  EXPECT_EQ(pieces[1].subjob.range, (EventRange{200, 500}));
+  EXPECT_EQ(pieces[1].cachedOn, 1);
+  EXPECT_EQ(pieces[2].subjob.range, (EventRange{500, 1000}));
+  EXPECT_EQ(pieces[2].cachedOn, kNoNode);
+}
+
+TEST_F(SplitByCachesTest, PiecesPartitionTheRange) {
+  cluster_.node(0).cache().insert({100, 300}, 1.0);
+  cluster_.node(1).cache().insert({250, 700}, 1.0);
+  cluster_.node(2).cache().insert({650, 800}, 1.0);
+  const auto pieces = splitByCaches(mk(50, 950), cluster_, 10);
+  EventIndex cursor = 50;
+  for (const auto& p : pieces) {
+    EXPECT_EQ(p.subjob.range.begin, cursor);
+    cursor = p.subjob.range.end;
+  }
+  EXPECT_EQ(cursor, 950u);
+}
+
+TEST_F(SplitByCachesTest, LongestRunWins) {
+  cluster_.node(0).cache().insert({0, 100}, 1.0);
+  cluster_.node(1).cache().insert({0, 400}, 1.0);
+  const auto pieces = splitByCaches(mk(0, 400), cluster_, 10);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].cachedOn, 1);
+}
+
+TEST_F(SplitByCachesTest, MinSizeAbsorbsTinyPieces) {
+  cluster_.node(0).cache().insert({0, 5}, 1.0);  // below minSize 10
+  const auto pieces = splitByCaches(mk(0, 1000), cluster_, 10);
+  for (const auto& p : pieces) {
+    EXPECT_GE(p.subjob.events(), 10u);
+  }
+}
+
+TEST_F(SplitByCachesTest, FinalTinyTailIsMerged) {
+  cluster_.node(0).cache().insert({0, 995}, 1.0);
+  const auto pieces = splitByCaches(mk(0, 1000), cluster_, 10);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].subjob.range, (EventRange{0, 1000}));
+}
+
+TEST_F(SplitByCachesTest, JobOverloadCarriesIdentity) {
+  Job job;
+  job.id = 9;
+  job.arrival = 123.0;
+  job.range = {0, 500};
+  const auto pieces = splitByCaches(job, cluster_, 10);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].subjob.job, 9u);
+  EXPECT_DOUBLE_EQ(pieces[0].subjob.jobArrival, 123.0);
+}
+
+}  // namespace
+}  // namespace ppsched

@@ -1,0 +1,111 @@
+// SplittingScheduler (§3.2, Table 1).
+#include "sched/splitting.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace ppsched {
+namespace {
+
+using testing::fixedSource;
+using testing::tinyConfig;
+
+struct SplitHarness {
+  SplitHarness(SimConfig cfg, std::vector<Job> jobs) : metrics(cfg.cost, {0, 0.0}) {
+    auto p = std::make_unique<SplittingScheduler>();
+    policy = p.get();
+    engine = std::make_unique<Engine>(cfg, fixedSource(std::move(jobs)), std::move(p), metrics);
+  }
+  MetricsCollector metrics;
+  SplittingScheduler* policy = nullptr;
+  std::unique_ptr<Engine> engine;
+};
+
+TEST(Splitting, SingleJobUsesAllIdleNodes) {
+  SplitHarness h(tinyConfig(4, 1'000'000, 0), {{0, 0.0, {0, 4000}}});
+  h.engine->run({});
+  // 4000 events over 4 nodes: 1000 x 0.8 = 800 s instead of 3200 s.
+  EXPECT_DOUBLE_EQ(h.engine->now(), 800.0);
+  const RunResult r = h.metrics.finalize(h.engine->now());
+  EXPECT_DOUBLE_EQ(r.avgSpeedup, 4.0);
+}
+
+TEST(Splitting, NoCaching) {
+  SplitHarness h(tinyConfig(4, 1'000'000, 100'000), {{0, 0.0, {0, 4000}}});
+  h.engine->run({});
+  EXPECT_EQ(h.engine->cluster().totalCachedEvents(), 0u);
+}
+
+TEST(Splitting, NewJobTakesNodeFromWidestJob) {
+  // Job 0 spreads over both nodes; job 1 must immediately get one node.
+  SplitHarness h(tinyConfig(2, 1'000'000, 0),
+                 {{0, 0.0, {0, 10'000}}, {1, 100.0, {20'000, 21'000}}});
+  h.engine->run({});
+  EXPECT_DOUBLE_EQ(h.metrics.record(1).waitingTime(), 0.0);
+  EXPECT_EQ(h.metrics.completedJobs(), 2u);
+}
+
+TEST(Splitting, QueuesWhenEveryNodeRunsADistinctJob) {
+  SplitHarness h(tinyConfig(2, 1'000'000, 0),
+                 {{0, 0.0, {0, 2000}},
+                  {1, 1.0, {10'000, 12'000}},
+                  {2, 2.0, {20'000, 22'000}}});
+  h.engine->run({});
+  EXPECT_GT(h.metrics.record(2).waitingTime(), 0.0);
+  EXPECT_EQ(h.metrics.completedJobs(), 3u);
+}
+
+TEST(Splitting, WorkStealingAfterSubjobEnd) {
+  // Two equal subjobs of job 0 + a small job 1 on node 1; when job 1's node
+  // frees, it should steal half of job 0's remaining work and speed it up.
+  SplitHarness h(tinyConfig(2, 1'000'000, 0),
+                 {{0, 0.0, {0, 8000}}, {1, 1.0, {20'000, 20'100}}});
+  h.engine->run({});
+  // Without stealing, job 0 would end at 0.8*8000 = 6400 s (one node after
+  // the takeover). With re-splitting it must finish well before that.
+  EXPECT_LT(h.metrics.record(0).completion, 5000.0);
+  EXPECT_EQ(h.metrics.completedJobs(), 2u);
+}
+
+TEST(Splitting, MinimalSubjobSizeRespected) {
+  // A 30-event job on 4 nodes: at min size 10, at most 3 subjobs.
+  SimConfig cfg = tinyConfig(4, 1'000'000, 0);
+  SplitHarness h(cfg, {{0, 0.0, {0, 30}}});
+  h.engine->run({});
+  // If split into 3 pieces of 10 events, each takes 8 s.
+  EXPECT_DOUBLE_EQ(h.engine->now(), 8.0);
+}
+
+TEST(Splitting, ManyJobsAllComplete) {
+  std::vector<Job> jobs;
+  for (JobId i = 0; i < 30; ++i) {
+    jobs.push_back({i, i * 50.0, {i * 3000, i * 3000 + 2000}});
+  }
+  SplitHarness h(tinyConfig(3, 1'000'000, 0), jobs);
+  h.engine->run({});
+  EXPECT_EQ(h.metrics.completedJobs(), 30u);
+  EXPECT_EQ(h.policy->queuedJobs(), 0u);
+  // Every job record is consistent.
+  for (JobId i = 0; i < 30; ++i) {
+    const auto& rec = h.metrics.record(i);
+    EXPECT_GE(rec.firstStart, rec.arrival);
+    EXPECT_GT(rec.completion, rec.firstStart);
+  }
+}
+
+TEST(Splitting, AlwaysBeatsOrMatchesFarmReference) {
+  // The paper: "the job splitting policy performs always better than the
+  // simple processing farm". Check mean speedup over a mixed stream.
+  std::vector<Job> jobs;
+  for (JobId i = 0; i < 15; ++i) {
+    jobs.push_back({i, i * 2000.0, {i * 5000, i * 5000 + 3000 + (i % 4) * 800}});
+  }
+  SplitHarness h(tinyConfig(3, 1'000'000, 0), jobs);
+  h.engine->run({});
+  const RunResult r = h.metrics.finalize(h.engine->now());
+  EXPECT_GE(r.avgSpeedup, 1.0);
+}
+
+}  // namespace
+}  // namespace ppsched

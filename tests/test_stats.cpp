@@ -1,0 +1,136 @@
+// Statistics collectors.
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ppsched {
+namespace {
+
+TEST(StreamingStats, Empty) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStats, KnownValues) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStats, SingleSampleHasZeroVariance) {
+  StreamingStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SampleSet, MeanAndQuantiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(s.quantile(0.95), 95.0, 1.0);
+}
+
+TEST(SampleSet, QuantileValidation) {
+  SampleSet s;
+  EXPECT_THROW(s.quantile(0.5), std::logic_error);
+  s.add(1.0);
+  EXPECT_THROW(s.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(s.quantile(1.1), std::invalid_argument);
+}
+
+TEST(SampleSet, InterleavedAddAndQuery) {
+  SampleSet s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+  s.add(1.0);
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+}
+
+TEST(LogHistogram, BucketsAndClamping) {
+  LogHistogram h(1.0, 1000.0, 3);  // buckets: [1,10), [10,100), [100,1000)
+  h.add(5.0);
+  h.add(50.0);
+  h.add(500.0);
+  h.add(0.1);     // clamps into first bucket
+  h.add(5000.0);  // clamps into last bucket
+  EXPECT_EQ(h.countInBucket(0), 2u);
+  EXPECT_EQ(h.countInBucket(1), 1u);
+  EXPECT_EQ(h.countInBucket(2), 2u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_NEAR(h.bucketLow(0), 1.0, 1e-9);
+  EXPECT_NEAR(h.bucketHigh(0), 10.0, 1e-9);
+  EXPECT_NEAR(h.bucketLow(2), 100.0, 1e-9);
+  EXPECT_NEAR(h.bucketHigh(2), 1000.0, 1e-9);
+}
+
+TEST(LogHistogram, RejectsBadRanges) {
+  EXPECT_THROW(LogHistogram(0.0, 10.0, 3), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(10.0, 10.0, 3), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.0, 10.0, 0), std::invalid_argument);
+}
+
+TEST(TimeWeightedStat, PiecewiseConstantAverage) {
+  TimeWeightedStat s(0.0);
+  s.set(0.0, 2.0);   // value 2 over [0, 10)
+  s.set(10.0, 6.0);  // value 6 over [10, 20)
+  EXPECT_DOUBLE_EQ(s.average(20.0), 4.0);
+  EXPECT_DOUBLE_EQ(s.current(), 6.0);
+}
+
+TEST(TimeWeightedStat, AverageExtendsCurrentValue) {
+  TimeWeightedStat s(0.0);
+  s.set(0.0, 4.0);
+  EXPECT_DOUBLE_EQ(s.average(8.0), 4.0);
+}
+
+TEST(TimeWeightedStat, RejectsTimeTravel) {
+  TimeWeightedStat s(5.0);
+  s.set(6.0, 1.0);
+  EXPECT_THROW(s.set(4.0, 2.0), std::invalid_argument);
+}
+
+TEST(TimeWeightedStat, ZeroElapsedReturnsCurrent) {
+  TimeWeightedStat s(0.0);
+  s.set(0.0, 3.0);
+  EXPECT_DOUBLE_EQ(s.average(0.0), 3.0);
+}
+
+TEST(LinearTrend, ExactLine) {
+  LinearTrend t;
+  for (int i = 0; i < 10; ++i) t.add(i, 3.0 * i + 2.0);
+  EXPECT_NEAR(t.slope(), 3.0, 1e-12);
+}
+
+TEST(LinearTrend, FlatLine) {
+  LinearTrend t;
+  for (int i = 0; i < 10; ++i) t.add(i, 7.0);
+  EXPECT_NEAR(t.slope(), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(t.meanY(), 7.0);
+}
+
+TEST(LinearTrend, DegenerateCases) {
+  LinearTrend t;
+  EXPECT_DOUBLE_EQ(t.slope(), 0.0);
+  t.add(1.0, 5.0);
+  EXPECT_DOUBLE_EQ(t.slope(), 0.0);  // one point
+  t.add(1.0, 9.0);
+  EXPECT_DOUBLE_EQ(t.slope(), 0.0);  // vertical (same x)
+}
+
+}  // namespace
+}  // namespace ppsched

@@ -1,0 +1,123 @@
+// Stripe point list and meta-subjob aggregation (Table 4 machinery).
+#include "sched/stripe_util.h"
+
+#include <gtest/gtest.h>
+
+namespace ppsched {
+namespace {
+
+Subjob mk(JobId job, EventIndex b, EventIndex e, SimTime arrival) {
+  Subjob sj;
+  sj.job = job;
+  sj.range = {b, e};
+  sj.jobArrival = arrival;
+  return sj;
+}
+
+TEST(StripePoints, EmptyInput) {
+  EXPECT_TRUE(buildStripePoints({}, 100).empty());
+  EXPECT_TRUE(buildMetaSubjobs({}, 100).empty());
+}
+
+TEST(StripePoints, RejectsZeroStripe) {
+  EXPECT_THROW(buildStripePoints({mk(0, 0, 10, 0.0)}, 0), std::invalid_argument);
+}
+
+TEST(StripePoints, NoGapExceedsStripeSize) {
+  const auto points = buildStripePoints({mk(0, 0, 10'000, 0.0)}, 1000);
+  ASSERT_GE(points.size(), 2u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i] - points[i - 1], 1000u);
+  }
+  EXPECT_EQ(points.front(), 0u);
+  EXPECT_EQ(points.back(), 10'000u);
+}
+
+TEST(StripePoints, ClosePointsAreThinned) {
+  // Boundaries at 0, 10, 20, 1000: the 10 and 20 points create sub-half
+  // stripes and must be dropped.
+  const auto points =
+      buildStripePoints({mk(0, 0, 10, 0.0), mk(1, 10, 20, 0.0), mk(2, 20, 1000, 0.0)}, 500);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i] - points[i - 1], 250u);
+  }
+  EXPECT_EQ(points.back(), 1000u);
+}
+
+TEST(MetaSubjobs, OverlappingSegmentsShareAStripe) {
+  const auto metas =
+      buildMetaSubjobs({mk(0, 0, 900, 5.0), mk(1, 100, 1000, 7.0)}, 5000);
+  // One stripe (everything below the stripe size), holding both subjobs.
+  ASSERT_EQ(metas.size(), 1u);
+  EXPECT_EQ(metas[0].subjobs.size(), 2u);
+  EXPECT_DOUBLE_EQ(metas[0].earliestArrival, 5.0);
+}
+
+TEST(MetaSubjobs, CutsPreserveTotalWorkPerJob) {
+  const std::vector<Subjob> cold{mk(0, 0, 12'000, 1.0), mk(1, 6000, 20'000, 2.0)};
+  const auto metas = buildMetaSubjobs(cold, 2000);
+  std::uint64_t job0 = 0, job1 = 0;
+  for (const auto& meta : metas) {
+    for (const Subjob& sj : meta.subjobs) {
+      EXPECT_TRUE(meta.stripe.intersect(sj.range) == sj.range)
+          << "piece escapes its stripe";
+      (sj.job == 0 ? job0 : job1) += sj.events();
+    }
+  }
+  EXPECT_EQ(job0, 12'000u);
+  EXPECT_EQ(job1, 14'000u);
+}
+
+TEST(MetaSubjobs, SortedByEarliestArrival) {
+  const auto metas = buildMetaSubjobs(
+      {mk(0, 50'000, 54'000, 9.0), mk(1, 0, 4000, 3.0), mk(2, 100'000, 104'000, 6.0)}, 5000);
+  ASSERT_EQ(metas.size(), 3u);
+  EXPECT_DOUBLE_EQ(metas[0].earliestArrival, 3.0);
+  EXPECT_DOUBLE_EQ(metas[1].earliestArrival, 6.0);
+  EXPECT_DOUBLE_EQ(metas[2].earliestArrival, 9.0);
+}
+
+TEST(MetaSubjobs, DisjointSegmentsDoNotShareStripes) {
+  const auto metas = buildMetaSubjobs({mk(0, 0, 1000, 0.0), mk(1, 50'000, 51'000, 0.0)}, 2000);
+  ASSERT_EQ(metas.size(), 2u);
+  EXPECT_EQ(metas[0].subjobs.size(), 1u);
+  EXPECT_EQ(metas[1].subjobs.size(), 1u);
+}
+
+// Property sweep: for several stripe sizes, every stripe is bounded and the
+// union of pieces equals the union of inputs.
+class StripeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StripeSweep, PartitionInvariants) {
+  const std::uint64_t stripe = GetParam();
+  std::vector<Subjob> cold;
+  for (JobId i = 0; i < 20; ++i) {
+    const EventIndex b = i * 3137;
+    cold.push_back(mk(i, b, b + 2000 + (i % 7) * 800, static_cast<SimTime>(i)));
+  }
+  IntervalSet input;
+  std::uint64_t inputEvents = 0;
+  for (const Subjob& sj : cold) {
+    input.insert(sj.range);
+    inputEvents += sj.events();
+  }
+
+  const auto metas = buildMetaSubjobs(cold, stripe);
+  IntervalSet covered;
+  std::uint64_t pieceEvents = 0;
+  for (const auto& meta : metas) {
+    EXPECT_LE(meta.stripe.size(), stripe);
+    for (const Subjob& sj : meta.subjobs) {
+      covered.insert(sj.range);
+      pieceEvents += sj.events();
+    }
+  }
+  EXPECT_EQ(covered, input);
+  EXPECT_EQ(pieceEvents, inputEvents);  // no event lost or duplicated per job
+}
+
+INSTANTIATE_TEST_SUITE_P(StripeSizes, StripeSweep,
+                         ::testing::Values(200u, 1000u, 5000u, 25'000u));
+
+}  // namespace
+}  // namespace ppsched

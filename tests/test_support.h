@@ -1,0 +1,92 @@
+// Shared helpers for engine and policy tests.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/metrics.h"
+#include "core/policy.h"
+#include "workload/trace.h"
+
+namespace ppsched::testing {
+
+/// A scripted policy: records every callback and defers decisions to
+/// std::function hooks set by the test.
+class ManualPolicy : public ISchedulerPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "manual"; }
+  [[nodiscard]] bool usesCaching() const override { return caching; }
+
+  void onJobArrival(const Job& job) override {
+    arrivals.push_back(job);
+    if (arrivalHook) arrivalHook(job);
+  }
+  void onRunFinished(NodeId node, const RunReport& report) override {
+    finished.emplace_back(node, report);
+    if (finishHook) finishHook(node, report);
+  }
+  void onTimer(TimerId timer) override {
+    timers.push_back(timer);
+    if (timerHook) timerHook(timer);
+  }
+
+  /// Public access to the bound host for test hooks.
+  ISchedulerHost& eng() { return host(); }
+
+  bool caching = true;
+  std::vector<Job> arrivals;
+  std::vector<std::pair<NodeId, RunReport>> finished;
+  std::vector<TimerId> timers;
+  std::function<void(const Job&)> arrivalHook;
+  std::function<void(NodeId, const RunReport&)> finishHook;
+  std::function<void(TimerId)> timerHook;
+};
+
+/// Config with a small, round-numbered data space: `totalEvents` events of
+/// 600 KB, per-node cache of `cacheEvents` events, paper cost model
+/// (0.26 s/event cached, 0.8 s/event uncached).
+inline SimConfig tinyConfig(int numNodes, std::uint64_t totalEvents,
+                            std::uint64_t cacheEvents, std::uint64_t maxSpan = 1'000'000) {
+  SimConfig cfg;
+  cfg.numNodes = numNodes;
+  cfg.totalDataBytes = totalEvents * 600'000ULL;
+  cfg.cacheBytesPerNode = cacheEvents * 600'000ULL;
+  cfg.maxSpanEvents = maxSpan;
+  cfg.workload.hotRegions.clear();
+  cfg.workload.hotProbability = 0.0;
+  cfg.finalize();
+  return cfg;
+}
+
+inline std::unique_ptr<JobSource> fixedSource(std::vector<Job> jobs) {
+  return std::make_unique<TraceSource>(JobTrace(std::move(jobs)));
+}
+
+inline Subjob whole(const Job& job) {
+  Subjob sj;
+  sj.job = job.id;
+  sj.range = job.range;
+  sj.jobArrival = job.arrival;
+  return sj;
+}
+
+/// Owns the full engine stack for a scripted test.
+struct Harness {
+  Harness(SimConfig cfg, std::vector<Job> jobs, bool caching = true,
+          WarmupConfig warmup = {0, 0.0})
+      : metrics(cfg.cost, warmup) {
+    auto policyPtr = std::make_unique<ManualPolicy>();
+    policyPtr->caching = caching;
+    policy = policyPtr.get();
+    engine = std::make_unique<Engine>(cfg, fixedSource(std::move(jobs)), std::move(policyPtr),
+                                      metrics);
+  }
+
+  MetricsCollector metrics;
+  ManualPolicy* policy = nullptr;
+  std::unique_ptr<Engine> engine;
+};
+
+}  // namespace ppsched::testing

@@ -1,0 +1,114 @@
+// JobTrace: record / save / load / replay.
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ppsched {
+namespace {
+
+std::vector<Job> sampleJobs() {
+  return {
+      {0, 100.0, {10, 50}},
+      {1, 250.5, {0, 30}},
+      {2, 300.0, {100, 400}},
+  };
+}
+
+TEST(Trace, ConstructAndSummarize) {
+  JobTrace t(sampleJobs());
+  EXPECT_EQ(t.size(), 3u);
+  const auto s = t.summarize();
+  EXPECT_EQ(s.jobs, 3u);
+  EXPECT_DOUBLE_EQ(s.span, 200.0);
+  EXPECT_DOUBLE_EQ(s.meanInterarrival, 100.0);
+  EXPECT_NEAR(s.meanEvents, (40.0 + 30.0 + 300.0) / 3.0, 1e-9);
+}
+
+TEST(Trace, EmptySummary) {
+  JobTrace t;
+  const auto s = t.summarize();
+  EXPECT_EQ(s.jobs, 0u);
+  EXPECT_DOUBLE_EQ(s.meanInterarrival, 0.0);
+}
+
+TEST(Trace, RejectsUnsortedArrivals) {
+  std::vector<Job> jobs = sampleJobs();
+  std::swap(jobs[0].arrival, jobs[2].arrival);
+  EXPECT_THROW(JobTrace{jobs}, std::runtime_error);
+}
+
+TEST(Trace, RejectsNonIncreasingIds) {
+  std::vector<Job> jobs = sampleJobs();
+  jobs[1].id = 0;
+  EXPECT_THROW(JobTrace{jobs}, std::runtime_error);
+}
+
+TEST(Trace, RejectsEmptyRanges) {
+  std::vector<Job> jobs = sampleJobs();
+  jobs[1].range = {5, 5};
+  EXPECT_THROW(JobTrace{jobs}, std::runtime_error);
+}
+
+TEST(Trace, RoundTripsThroughCsv) {
+  JobTrace t(sampleJobs());
+  std::stringstream ss;
+  t.write(ss);
+  const JobTrace back = JobTrace::parse(ss);
+  ASSERT_EQ(back.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(back.jobs()[i], t.jobs()[i]);
+  }
+}
+
+TEST(Trace, ParseSkipsCommentsAndBlankLines) {
+  std::stringstream ss("# header\n\n0,1.5,10,20\n# trailing comment\n1,2.5,30,40\n");
+  const JobTrace t = JobTrace::parse(ss);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.jobs()[0].range, (EventRange{10, 20}));
+}
+
+TEST(Trace, ParseRejectsMalformedLines) {
+  std::stringstream ss("0,1.5,10\n");
+  EXPECT_THROW(JobTrace::parse(ss), std::runtime_error);
+  std::stringstream ss2("0;1.5;10;20\n");
+  EXPECT_THROW(JobTrace::parse(ss2), std::runtime_error);
+}
+
+TEST(Trace, RecordFromGenerator) {
+  WorkloadParams p;
+  p.jobsPerHour = 1.0;
+  WorkloadGenerator g(p, 77);
+  const JobTrace t = JobTrace::record(g, 50);
+  EXPECT_EQ(t.size(), 50u);
+  const auto s = t.summarize();
+  EXPECT_GT(s.meanEvents, 0.0);
+}
+
+TEST(Trace, ReplaySourceReturnsJobsThenExhausts) {
+  TraceSource src{JobTrace(sampleJobs())};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto j = src.next();
+    ASSERT_TRUE(j);
+    EXPECT_EQ(j->id, i);
+  }
+  EXPECT_FALSE(src.next());
+  EXPECT_FALSE(src.next());  // stays exhausted
+}
+
+TEST(Trace, SaveAndLoadFile) {
+  const std::string path = ::testing::TempDir() + "/ppsched_trace_test.csv";
+  JobTrace t(sampleJobs());
+  t.save(path);
+  const JobTrace back = JobTrace::load(path);
+  EXPECT_EQ(back.size(), 3u);
+  EXPECT_EQ(back.jobs()[2].range, (EventRange{100, 400}));
+}
+
+TEST(Trace, LoadMissingFileThrows) {
+  EXPECT_THROW(JobTrace::load("/nonexistent/path/trace.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ppsched

@@ -1,0 +1,186 @@
+// WorkloadGenerator: the paper's §2.4 job model.
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/stats.h"
+
+namespace ppsched {
+namespace {
+
+WorkloadParams paperParams() {
+  WorkloadParams p;  // defaults are the paper values
+  p.jobsPerHour = 1.0;
+  return p;
+}
+
+TEST(Workload, ValidatesParameters) {
+  WorkloadParams p = paperParams();
+  p.jobsPerHour = 0.0;
+  EXPECT_THROW(WorkloadGenerator(p, 1), std::invalid_argument);
+  p = paperParams();
+  p.totalEvents = 0;
+  EXPECT_THROW(WorkloadGenerator(p, 1), std::invalid_argument);
+  p = paperParams();
+  p.erlangShape = 0;
+  EXPECT_THROW(WorkloadGenerator(p, 1), std::invalid_argument);
+  p = paperParams();
+  p.hotProbability = 1.5;
+  EXPECT_THROW(WorkloadGenerator(p, 1), std::invalid_argument);
+  p = paperParams();
+  p.hotRegions = {{0.9, 0.2}};  // runs past the end of the space
+  EXPECT_THROW(WorkloadGenerator(p, 1), std::invalid_argument);
+  p = paperParams();
+  p.hotRegions.clear();  // hotProbability 0.5 with no hot region
+  EXPECT_THROW(WorkloadGenerator(p, 1), std::invalid_argument);
+}
+
+TEST(Workload, DeterministicForFixedSeed) {
+  WorkloadGenerator a(paperParams(), 99), b(paperParams(), 99);
+  for (int i = 0; i < 50; ++i) {
+    const auto ja = a.next(), jb = b.next();
+    ASSERT_TRUE(ja && jb);
+    EXPECT_EQ(*ja, *jb);
+  }
+}
+
+TEST(Workload, IdsAreDenseAndArrivalsIncrease) {
+  WorkloadGenerator g(paperParams(), 5);
+  SimTime last = 0.0;
+  for (JobId i = 0; i < 200; ++i) {
+    const auto j = g.next();
+    ASSERT_TRUE(j);
+    EXPECT_EQ(j->id, i);
+    EXPECT_GT(j->arrival, last);
+    last = j->arrival;
+  }
+}
+
+TEST(Workload, JobsFitInsideDataSpace) {
+  WorkloadParams p = paperParams();
+  WorkloadGenerator g(p, 6);
+  for (int i = 0; i < 2000; ++i) {
+    const auto j = g.next();
+    ASSERT_TRUE(j);
+    ASSERT_FALSE(j->range.empty());
+    ASSERT_LE(j->range.end, p.totalEvents);
+    ASSERT_GE(j->events(), p.minJobEvents);
+  }
+}
+
+TEST(Workload, MeanInterarrivalMatchesLoad) {
+  WorkloadParams p = paperParams();
+  p.jobsPerHour = 2.0;
+  WorkloadGenerator g(p, 7);
+  SimTime last = 0.0;
+  StreamingStats gaps;
+  for (int i = 0; i < 20'000; ++i) {
+    const auto j = g.next();
+    gaps.add(j->arrival - last);
+    last = j->arrival;
+  }
+  EXPECT_NEAR(gaps.mean(), 1800.0, 30.0);  // 2 jobs/hour -> 1800 s
+}
+
+TEST(Workload, MeanJobSizeIsFortyThousand) {
+  WorkloadGenerator g(paperParams(), 8);
+  StreamingStats sizes;
+  for (int i = 0; i < 20'000; ++i) sizes.add(static_cast<double>(g.drawJobEvents()));
+  EXPECT_NEAR(sizes.mean(), 40'000.0, 600.0);
+  // Erlang(4): stddev = mean/2.
+  EXPECT_NEAR(sizes.stddev(), 20'000.0, 600.0);
+}
+
+TEST(Workload, HotRegionsAttractHalfTheStartPoints) {
+  WorkloadParams p = paperParams();
+  WorkloadGenerator g(p, 9);
+  const double total = static_cast<double>(p.totalEvents);
+  std::size_t hot = 0;
+  const std::size_t n = 20'000;
+  for (std::size_t i = 0; i < n; ++i) {
+    const EventIndex start = g.drawStartPoint(p.minJobEvents);
+    const double f = static_cast<double>(start) / total;
+    const bool inHot = (f >= 0.20 && f < 0.25) || (f >= 0.60 && f < 0.65);
+    hot += inHot ? 1 : 0;
+  }
+  // 10% of the space holds ~50% of start points.
+  EXPECT_NEAR(static_cast<double>(hot) / static_cast<double>(n), 0.5, 0.02);
+}
+
+TEST(Workload, StartPointsClampSoJobsFit) {
+  WorkloadParams p = paperParams();
+  WorkloadGenerator g(p, 10);
+  const std::uint64_t huge = p.totalEvents - 5;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LE(g.drawStartPoint(huge), 5u);
+  }
+}
+
+TEST(Workload, UniformModeWithoutHotRegions) {
+  WorkloadParams p = paperParams();
+  p.hotProbability = 0.0;
+  WorkloadGenerator g(p, 11);
+  StreamingStats starts;
+  for (int i = 0; i < 20'000; ++i) {
+    starts.add(static_cast<double>(g.drawStartPoint(10)));
+  }
+  // Uniform over ~[0, N): mean ~ N/2.
+  EXPECT_NEAR(starts.mean(), static_cast<double>(p.totalEvents) / 2.0,
+              static_cast<double>(p.totalEvents) * 0.02);
+}
+
+TEST(Workload, DiurnalValidation) {
+  WorkloadParams p = paperParams();
+  p.diurnalAmplitude = 1.5;
+  EXPECT_THROW(WorkloadGenerator(p, 1), std::invalid_argument);
+  p = paperParams();
+  p.diurnalAmplitude = 0.5;
+  p.diurnalPeriod = 0.0;
+  EXPECT_THROW(WorkloadGenerator(p, 1), std::invalid_argument);
+}
+
+TEST(Workload, DiurnalPreservesMeanRate) {
+  WorkloadParams p = paperParams();
+  p.jobsPerHour = 2.0;
+  p.diurnalAmplitude = 0.8;
+  p.diurnalPeriod = 24 * units::hour;
+  WorkloadGenerator g(p, 21);
+  SimTime last = 0.0;
+  const int n = 30'000;
+  for (int i = 0; i < n; ++i) last = g.next()->arrival;
+  // Over many whole cycles, the mean rate equals the base rate.
+  EXPECT_NEAR(static_cast<double>(n) / units::toHours(last), 2.0, 0.05);
+}
+
+TEST(Workload, DiurnalModulatesByPhase) {
+  WorkloadParams p = paperParams();
+  p.jobsPerHour = 2.0;
+  p.diurnalAmplitude = 0.9;
+  p.diurnalPeriod = 24 * units::hour;
+  WorkloadGenerator g(p, 22);
+  // Count arrivals in the rising half (sin > 0: first 12 h of each day)
+  // vs the falling half.
+  std::size_t peakHalf = 0, troughHalf = 0;
+  for (int i = 0; i < 30'000; ++i) {
+    const SimTime t = g.next()->arrival;
+    const double frac = std::fmod(t, p.diurnalPeriod) / p.diurnalPeriod;
+    (frac < 0.5 ? peakHalf : troughHalf)++;
+  }
+  // With amplitude 0.9 the first half holds ~ (1 + 2*0.9/pi)/2 ~= 0.79.
+  const double share = static_cast<double>(peakHalf) / (peakHalf + troughHalf);
+  EXPECT_NEAR(share, 0.5 + 0.9 / 3.14159265, 0.02);
+}
+
+TEST(Workload, SizesClampedToDataSpace) {
+  WorkloadParams p = paperParams();
+  p.meanJobEvents = 1e9;  // absurd: must clamp to the data space
+  WorkloadGenerator g(p, 12);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_LE(g.drawJobEvents(), p.totalEvents);
+  }
+}
+
+}  // namespace
+}  // namespace ppsched

@@ -1,0 +1,265 @@
+// ppsched command-line simulator.
+//
+// The operational front-end to the library: run single experiments, load
+// sweeps, sustainable-load searches and multi-seed replications for any
+// policy/configuration, with table or CSV output.
+//
+//   ppsched_cli policies
+//   ppsched_cli config
+//   ppsched_cli run   [options]
+//   ppsched_cli sweep [options] --loads 0.8,1.0,1.2
+//   ppsched_cli maxload [options] --lo 0.8 --hi 3.0
+//   ppsched_cli replicate [options] --replicas 5
+//   ppsched_cli timeline [options] --jobs 8      ASCII Gantt of a short run
+//
+// Common options:
+//   --policy NAME          scheduling policy (default out_of_order)
+//   --load X               jobs/hour (default 1.0)
+//   --nodes N              cluster size (default 10)
+//   --cpus K               CPUs per node sharing one cache (default 1)
+//   --cache GB             per-node disk cache (default 100)
+//   --delay HOURS          delayed/mixed period delay
+//   --stripe N             delayed/adaptive/mixed stripe size (events)
+//   --warmup N / --jobs N  warm-up and measured job counts
+//   --seed S               base RNG seed
+//   --pipelined            overlap transfer and processing (§7)
+//   --tertiary-cap MBPS    aggregate tertiary bandwidth cap
+//   --csv                  machine-readable output
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/experiment.h"
+#include "core/queueing.h"
+#include "core/timeline.h"
+#include "workload/trace.h"
+
+namespace {
+
+using namespace ppsched;
+
+struct CliOptions {
+  std::string command;
+  ExperimentSpec spec;
+  std::vector<double> loads;
+  double lo = 0.8;
+  double hi = 3.2;
+  std::size_t replicas = 5;
+  bool csv = false;
+};
+
+[[noreturn]] void fail(const std::string& message) {
+  std::fprintf(stderr, "ppsched_cli: %s\n", message.c_str());
+  std::exit(2);
+}
+
+std::vector<double> parseLoads(const std::string& arg) {
+  std::vector<double> loads;
+  std::size_t pos = 0;
+  while (pos < arg.size()) {
+    std::size_t next = arg.find(',', pos);
+    if (next == std::string::npos) next = arg.size();
+    loads.push_back(std::strtod(arg.substr(pos, next - pos).c_str(), nullptr));
+    pos = next + 1;
+  }
+  if (loads.empty()) fail("--loads needs at least one value");
+  return loads;
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions opt;
+  opt.spec.policyName = "out_of_order";
+  opt.spec.jobsPerHour = 1.0;
+  if (argc < 2) fail("missing command (try: policies, config, run, sweep, maxload, replicate)");
+  opt.command = argv[1];
+
+  auto needValue = [&](int& i) -> std::string {
+    if (i + 1 >= argc) fail(std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--policy") {
+      opt.spec.policyName = needValue(i);
+    } else if (flag == "--load") {
+      opt.spec.jobsPerHour = std::strtod(needValue(i).c_str(), nullptr);
+    } else if (flag == "--nodes") {
+      opt.spec.sim.numNodes = std::atoi(needValue(i).c_str());
+    } else if (flag == "--cpus") {
+      opt.spec.sim.cpusPerNode = std::atoi(needValue(i).c_str());
+    } else if (flag == "--cache") {
+      opt.spec.sim.cacheBytesPerNode =
+          static_cast<std::uint64_t>(std::strtod(needValue(i).c_str(), nullptr) * 1e9);
+    } else if (flag == "--delay") {
+      opt.spec.policyParams.periodDelay =
+          std::strtod(needValue(i).c_str(), nullptr) * units::hour;
+    } else if (flag == "--stripe") {
+      opt.spec.policyParams.stripeEvents = std::strtoull(needValue(i).c_str(), nullptr, 10);
+    } else if (flag == "--warmup") {
+      opt.spec.warmupJobs = std::strtoull(needValue(i).c_str(), nullptr, 10);
+    } else if (flag == "--jobs") {
+      opt.spec.measuredJobs = std::strtoull(needValue(i).c_str(), nullptr, 10);
+    } else if (flag == "--seed") {
+      opt.spec.seed = std::strtoull(needValue(i).c_str(), nullptr, 10);
+    } else if (flag == "--pipelined") {
+      opt.spec.sim.cost.pipelined = true;
+    } else if (flag == "--tertiary-cap") {
+      opt.spec.sim.tertiaryAggregateBytesPerSec =
+          std::strtod(needValue(i).c_str(), nullptr) * 1e6;
+    } else if (flag == "--loads") {
+      opt.loads = parseLoads(needValue(i));
+    } else if (flag == "--lo") {
+      opt.lo = std::strtod(needValue(i).c_str(), nullptr);
+    } else if (flag == "--hi") {
+      opt.hi = std::strtod(needValue(i).c_str(), nullptr);
+    } else if (flag == "--replicas") {
+      opt.replicas = std::strtoull(needValue(i).c_str(), nullptr, 10);
+    } else if (flag == "--csv") {
+      opt.csv = true;
+    } else {
+      fail("unknown option: " + flag);
+    }
+  }
+  opt.spec.sim.finalize();
+  // Periods legitimately hold many jobs for delayed-family policies.
+  if (opt.spec.policyName == "delayed" || opt.spec.policyName == "adaptive" ||
+      opt.spec.policyName == "mixed") {
+    opt.spec.maxJobsInSystem = 4000;
+  }
+  return opt;
+}
+
+void printResult(const CliOptions& opt, double load, const RunResult& r) {
+  if (opt.csv) {
+    std::printf("%s,%.3f,%.3f,%.4f,%.4f,%.4f,%.4f,%zu,%d\n", opt.spec.policyName.c_str(),
+                load, r.avgSpeedup, units::toHours(r.avgWait),
+                units::toHours(r.avgWaitExDelay), units::toHours(r.p95Wait),
+                r.cacheHitFraction, r.measuredJobs, r.overloaded ? 1 : 0);
+    return;
+  }
+  std::printf("policy %s @ %.2f jobs/hour%s\n", opt.spec.policyName.c_str(), load,
+              r.overloaded ? "  [OVERLOADED]" : "");
+  std::printf("  speedup        %.2f\n", r.avgSpeedup);
+  std::printf("  wait           %.3f h (ex-delay %.3f h, p95 %.3f h, max %.3f h)\n",
+              units::toHours(r.avgWait), units::toHours(r.avgWaitExDelay),
+              units::toHours(r.p95Wait), units::toHours(r.maxWait));
+  std::printf("  cache hits     %.1f%% (remote %.1f%%)\n", 100 * r.cacheHitFraction,
+              100 * r.remoteReadFraction);
+  std::printf("  throughput     %.2f jobs/hour over %zu measured jobs\n",
+              r.throughputJobsPerHour, r.measuredJobs);
+}
+
+const char kCsvHeader[] =
+    "policy,load,speedup,wait_h,wait_ex_delay_h,p95_wait_h,cache_hit,measured,overloaded";
+
+int cmdRun(const CliOptions& opt) {
+  if (opt.csv) std::puts(kCsvHeader);
+  printResult(opt, opt.spec.jobsPerHour, runExperiment(opt.spec));
+  return 0;
+}
+
+int cmdSweep(CliOptions opt) {
+  if (opt.loads.empty()) fail("sweep needs --loads a,b,c");
+  ThreadPool pool;
+  const auto points = loadSweep(opt.spec, opt.loads, &pool);
+  if (opt.csv) std::puts(kCsvHeader);
+  for (const auto& p : points) printResult(opt, p.jobsPerHour, p.result);
+  return 0;
+}
+
+int cmdMaxLoad(const CliOptions& opt) {
+  const double maxLoad = findMaxSustainableLoad(opt.spec, opt.lo, opt.hi, 0.05);
+  std::printf("%s: max sustainable load %.2f jobs/hour (bracket %.2f..%.2f)\n",
+              opt.spec.policyName.c_str(), maxLoad, opt.lo, opt.hi);
+  return 0;
+}
+
+int cmdReplicate(const CliOptions& opt) {
+  ThreadPool pool;
+  const ReplicatedResult r = runReplicated(opt.spec, opt.replicas, &pool);
+  std::printf("%s @ %.2f jobs/hour, %zu replicas\n", opt.spec.policyName.c_str(),
+              opt.spec.jobsPerHour, opt.replicas);
+  std::printf("  speedup  %.2f +- %.2f (s.e.)\n", r.meanSpeedup, r.speedupStdErr);
+  std::printf("  wait     %.3f +- %.3f h (s.e.)\n", r.meanWaitHours, r.waitHoursStdErr);
+  std::printf("  overloaded in %zu/%zu replicas\n", r.overloadedRuns, r.runs.size());
+  return 0;
+}
+
+int cmdTimeline(const CliOptions& opt) {
+  SimConfig cfg = opt.spec.sim;
+  cfg.workload.jobsPerHour = opt.spec.jobsPerHour;
+  cfg.finalize();
+  const std::size_t jobCount = opt.spec.measuredJobs != 1500 ? opt.spec.measuredJobs : 8;
+
+  WorkloadGenerator gen(cfg.workload, opt.spec.seed);
+  const JobTrace trace = JobTrace::record(gen, jobCount);
+  MetricsCollector metrics(cfg.cost, WarmupConfig{0, 0.0});
+  Engine engine(cfg, std::make_unique<TraceSource>(trace),
+                makePolicy(opt.spec.policyName, opt.spec.policyParams), metrics);
+  EventLog log;
+  engine.setEventSink(&log);
+  engine.run({});
+
+  std::printf("%zu jobs under '%s' on %d nodes (makespan %.1f h)\n\n", trace.size(),
+              opt.spec.policyName.c_str(), cfg.numNodes, units::toHours(engine.now()));
+  TimelineOptions tl;
+  tl.end = engine.now();
+  tl.width = 96;
+  std::fputs(renderTimeline(log, cfg.numNodes, tl).c_str(), stdout);
+  const auto util = nodeUtilization(log, cfg.numNodes, 0.0, engine.now());
+  std::printf("\nutilization:");
+  for (double u : util) std::printf(" %3.0f%%", 100.0 * u);
+  std::printf("\nrows are nodes, digits job ids (mod 10), '.' idle\n");
+  return 0;
+}
+
+int cmdPolicies() {
+  for (const std::string& name : policyNames()) std::puts(name.c_str());
+  return 0;
+}
+
+int cmdConfig(const CliOptions& opt) {
+  const SimConfig& cfg = opt.spec.sim;
+  std::printf("nodes                  %d\n", cfg.numNodes);
+  std::printf("data space             %.2f TB (%llu events)\n", cfg.totalDataBytes / 1e12,
+              static_cast<unsigned long long>(cfg.totalEvents()));
+  std::printf("cache per node         %.0f GB (%llu events)\n", cfg.cacheBytesPerNode / 1e9,
+              static_cast<unsigned long long>(cfg.cacheEvents()));
+  std::printf("cached event cost      %.3f s\n", cfg.cost.cachedSecPerEvent());
+  std::printf("uncached event cost    %.3f s\n", cfg.cost.uncachedSecPerEvent());
+  std::printf("caching gain           %.2fx\n", cfg.cost.cachingGain());
+  std::printf("mean single-node job   %.0f s (%.2f h)\n", cfg.meanSingleNodeTime(),
+              units::toHours(cfg.meanSingleNodeTime()));
+  std::printf("max farm load          %.3f jobs/hour\n", cfg.maxFarmLoadJobsPerHour());
+  std::printf("max theoretical load   %.3f jobs/hour\n", cfg.maxTheoreticalLoadJobsPerHour());
+  const QueueModel q =
+      farmQueueModel(cfg.numNodes, opt.spec.jobsPerHour, cfg.meanSingleNodeTime(), 4);
+  if (q.stable()) {
+    std::printf("M/Er/m farm wait       %.3f h at %.2f jobs/hour\n",
+                units::toHours(q.meanWaitApprox()), opt.spec.jobsPerHour);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliOptions opt = parse(argc, argv);
+    if (opt.command == "run") return cmdRun(opt);
+    if (opt.command == "sweep") return cmdSweep(opt);
+    if (opt.command == "maxload") return cmdMaxLoad(opt);
+    if (opt.command == "replicate") return cmdReplicate(opt);
+    if (opt.command == "timeline") return cmdTimeline(opt);
+    if (opt.command == "policies") return cmdPolicies();
+    if (opt.command == "config") return cmdConfig(opt);
+    fail("unknown command: " + opt.command);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ppsched_cli: %s\n", e.what());
+    return 1;
+  }
+}
