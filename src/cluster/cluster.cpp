@@ -11,8 +11,9 @@ Cluster::Cluster(int numNodes, std::uint64_t cacheCapacityEventsPerNode, int cpu
   NodeId id = 0;
   for (int machine = 0; machine < numNodes; ++machine) {
     auto cache = std::make_shared<LruExtentCache>(cacheCapacityEventsPerNode);
+    auto up = std::make_shared<bool>(true);
     for (int cpu = 0; cpu < cpusPerNode; ++cpu) {
-      nodes_.emplace_back(id++, cache);
+      nodes_.emplace_back(id++, cache, up);
     }
   }
 }

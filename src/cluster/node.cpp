@@ -1,4 +1,5 @@
 #include "cluster/node.h"
 
 // Node is header-only today; this translation unit anchors the target and
-// keeps a stable home for future node state (e.g. per-node failure models).
+// keeps a stable home for heavier node state as the failure model grows
+// (e.g. per-node repair statistics).

@@ -23,11 +23,17 @@ class Node {
  public:
   /// A node owning its private cache (the paper's single-CPU machine).
   Node(NodeId id, std::uint64_t cacheCapacityEvents)
-      : id_(id), cache_(std::make_shared<LruExtentCache>(cacheCapacityEvents)) {}
+      : id_(id),
+        cache_(std::make_shared<LruExtentCache>(cacheCapacityEvents)),
+        up_(std::make_shared<bool>(true)) {}
 
-  /// A logical CPU sharing the cache of a physical machine (SMP extension).
-  Node(NodeId id, std::shared_ptr<LruExtentCache> sharedCache)
-      : id_(id), cache_(std::move(sharedCache)) {}
+  /// A logical CPU sharing the cache (and liveness) of a physical machine
+  /// (SMP extension). A null `sharedUp` gives the CPU its own liveness flag.
+  Node(NodeId id, std::shared_ptr<LruExtentCache> sharedCache,
+       std::shared_ptr<bool> sharedUp = nullptr)
+      : id_(id),
+        cache_(std::move(sharedCache)),
+        up_(sharedUp ? std::move(sharedUp) : std::make_shared<bool>(true)) {}
 
   [[nodiscard]] NodeId id() const { return id_; }
   [[nodiscard]] LruExtentCache& cache() { return *cache_; }
@@ -37,9 +43,17 @@ class Node {
     return cache_ == other.cache_;
   }
 
+  /// Liveness of the physical machine this CPU lives on. All CPUs of one
+  /// machine share the flag: a crash takes the whole machine down.
+  [[nodiscard]] bool isUp() const { return *up_; }
+  void setUp(bool up) { *up_ = up; }
+  /// True when this logical CPU lives on the same physical machine.
+  [[nodiscard]] bool sharesMachineWith(const Node& other) const { return up_ == other.up_; }
+
  private:
   NodeId id_;
   std::shared_ptr<LruExtentCache> cache_;
+  std::shared_ptr<bool> up_;
 };
 
 }  // namespace ppsched

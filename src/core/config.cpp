@@ -1,5 +1,6 @@
 #include "core/config.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ppsched {
@@ -28,6 +29,19 @@ void SimConfig::finalize() {
   }
   if (minSubjobEvents == 0) throw std::invalid_argument("minSubjobEvents must be >= 1");
   if (maxSpanEvents == 0) throw std::invalid_argument("maxSpanEvents must be >= 1");
+  if (failures.meanTimeBetweenFailuresSec < 0.0) {
+    throw std::invalid_argument("meanTimeBetweenFailuresSec must be >= 0");
+  }
+  if (failures.enabled() && failures.meanTimeToRepairSec <= 0.0) {
+    throw std::invalid_argument("meanTimeToRepairSec must be > 0 when failures are enabled");
+  }
+  for (const OutageWindow& w : failures.tertiaryOutages) {
+    if (w.start < 0.0 || w.duration <= 0.0) {
+      throw std::invalid_argument("outage windows need start >= 0 and duration > 0");
+    }
+  }
+  std::sort(failures.tertiaryOutages.begin(), failures.tertiaryOutages.end(),
+            [](const OutageWindow& a, const OutageWindow& b) { return a.start < b.start; });
   workload.totalEvents = totalEvents();
   if (workload.minJobEvents < minSubjobEvents) workload.minJobEvents = minSubjobEvents;
 }

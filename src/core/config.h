@@ -11,6 +11,42 @@
 
 namespace ppsched {
 
+/// One scheduled unavailability window of the tertiary storage system
+/// (Castor maintenance, tape-robot downtime). Tertiary spans that would
+/// start inside a window stall until it ends; spans already streaming
+/// continue undisturbed.
+struct OutageWindow {
+  SimTime start = 0.0;
+  Duration duration = 0.0;
+
+  [[nodiscard]] SimTime end() const { return start + duration; }
+};
+
+/// Node failure / recovery model. The paper's cluster (§2) assumes nodes
+/// never die; production farms do not. Failures strike whole physical
+/// machines (all CPU slots of a node at once): the active runs are lost
+/// back to their last span boundary and, by default, the node's disk cache
+/// is wiped.
+struct FailureConfig {
+  /// Mean time between failures of one machine (exponential, seconds).
+  /// 0 disables stochastic failures entirely — the default keeps every
+  /// existing experiment bit-identical.
+  double meanTimeBetweenFailuresSec = 0.0;
+  /// Mean time to repair a failed machine (exponential, seconds). Must be
+  /// > 0 when failures are enabled.
+  double meanTimeToRepairSec = 2 * units::hour;
+  /// A crash loses the machine's disk cache contents (true models real
+  /// disks; false models a cache surviving on stable storage).
+  bool loseCacheOnFailure = true;
+  /// Seed of the failure/repair random stream. Independent from the
+  /// workload stream so enabling failures never perturbs the arrivals.
+  std::uint64_t seed = 0xFA17'5EEDULL;
+  /// Scheduled tertiary-storage outages; sorted by start at finalize().
+  std::vector<OutageWindow> tertiaryOutages;
+
+  [[nodiscard]] bool enabled() const { return meanTimeBetweenFailuresSec > 0.0; }
+};
+
 struct SimConfig {
   /// Number of processing nodes (the master node is implicit; it runs no
   /// subjobs). Paper default: 10 (5 and 20 "lead to similar results").
@@ -59,6 +95,9 @@ struct SimConfig {
   /// Engine granularity: a run re-plans its data source at most every this
   /// many events. Smaller = more faithful eviction dynamics, slower.
   std::uint64_t maxSpanEvents = 5000;
+
+  /// Node failure / tertiary-outage model (disabled by default).
+  FailureConfig failures;
 
   /// Derived quantities ------------------------------------------------
 

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace ppsched {
 
@@ -15,10 +16,23 @@ Engine::Engine(const SimConfig& cfg, std::unique_ptr<JobSource> source,
       metrics_(metrics),
       cluster_(cfg.numNodes, cfg.cacheEvents(), cfg.cpusPerNode),
       runs_(static_cast<std::size_t>(cfg.totalCpus())),
-      remoteAccess_(static_cast<std::size_t>(cfg.totalCpus())) {
+      remoteAccess_(static_cast<std::size_t>(cfg.totalCpus())),
+      failureRng_(cfg.failures.seed),
+      failureEvents_(static_cast<std::size_t>(cfg.numNodes), kNoFailureEvent) {
   if (!source_) throw std::invalid_argument("Engine needs a JobSource");
   if (!policy_) throw std::invalid_argument("Engine needs a policy");
   policy_->bind(*this);
+  if (cfg_.failures.enabled()) {
+    // One independent MTBF/MTTR chain per machine. With failures disabled
+    // nothing is scheduled and the RNG is never drawn, so all existing
+    // experiments stay bit-identical.
+    failureChainActive_ = true;
+    for (int m = 0; m < cfg_.numNodes; ++m) {
+      failureEvents_[static_cast<std::size_t>(m)] = queue_.schedule(
+          failureRng_.exponential(cfg_.failures.meanTimeBetweenFailuresSec),
+          [this, m] { stochasticFail(m); });
+    }
+  }
 }
 
 // --------------------------------------------------------------------------
@@ -30,6 +44,12 @@ void Engine::run(const StopCondition& stop) {
   scheduleNextArrival();
   while (!queue_.empty()) {
     if (shouldStop()) break;
+    if (failureChainActive_ && allWorkDone()) {
+      // Nothing left to disturb: stop the failure churn so idle crash/repair
+      // events cannot inflate the simulated end time.
+      cancelFailureChain();
+      if (queue_.empty()) break;
+    }
     const SimTime next = queue_.nextTime();
     if (stop_.simTimeLimit > 0.0 && next > stop_.simTimeLimit) {
       now_ = stop_.simTimeLimit;
@@ -78,6 +98,7 @@ void Engine::handleArrival(const Job& job) {
   metrics_.onArrival(job, now_);
   emit(SimEventKind::JobArrival, job.id, kNoNode, job.range);
   policy_->onJobArrival(job);
+  drainDeferred();
   scheduleNextArrival();
 }
 
@@ -100,8 +121,10 @@ const IntervalSet& Engine::remainingOf(JobId id) const { return state(id).remain
 
 bool Engine::jobDone(JobId id) const { return state(id).completed; }
 
+bool Engine::isUp(NodeId node) const { return cluster_.node(node).isUp(); }
+
 bool Engine::isIdle(NodeId node) const {
-  return !runs_.at(static_cast<std::size_t>(node)).has_value();
+  return isUp(node) && !runs_.at(static_cast<std::size_t>(node)).has_value();
 }
 
 std::vector<NodeId> Engine::idleNodes() const {
@@ -134,6 +157,7 @@ RunningView Engine::running(NodeId node) const {
 // Run execution
 
 void Engine::startRun(NodeId node, Subjob sj, RunOptions opts) {
+  if (!isUp(node)) throw std::logic_error("startRun on a down node");
   if (!isIdle(node)) throw std::logic_error("startRun on a busy node");
   if (sj.empty()) throw std::logic_error("startRun with an empty subjob");
   JobState& js = state(sj.job);
@@ -217,7 +241,11 @@ void Engine::beginNextSpan(NodeId node) {
   run.span = span;
   run.spanSource = src;
   run.spanRate = spanRateFor(node, src);
-  run.spanLatency = src == DataSource::Tertiary ? cfg_.tertiaryLatencySec : 0.0;
+  // Tertiary spans starting inside a scheduled outage stall until the
+  // window (chain) ends; spans already streaming are unaffected.
+  run.spanLatency = src == DataSource::Tertiary
+                        ? cfg_.tertiaryLatencySec + tertiaryOutageDelay(now_)
+                        : 0.0;
   if (src == DataSource::Tertiary) {
     ++activeTertiaryStreams_;
     run.countsTertiaryStream = true;
@@ -319,6 +347,7 @@ void Engine::finishRun(NodeId node) {
   report.subjob = run.subjob;
   report.jobCompleted = run.justCompletedJob;
   policy_->onRunFinished(node, report);
+  drainDeferred();
 }
 
 Subjob Engine::preempt(NodeId node) {
@@ -349,6 +378,7 @@ TimerId Engine::scheduleTimer(SimTime at) {
   const EventId id = queue_.schedule(at, [this, idSlot] {
     emit(SimEventKind::TimerFired, kNoJob, kNoNode);
     policy_->onTimer(*idSlot);
+    drainDeferred();
   });
   *idSlot = id;
   return id;
@@ -367,13 +397,167 @@ void Engine::emit(SimEventKind kind, JobId job, NodeId node, EventRange range) c
 
 void Engine::cancelTimer(TimerId id) { queue_.cancel(id); }
 
-EventId Engine::at(SimTime when, std::function<void()> action) {
+ActionId Engine::at(SimTime when, std::function<void()> action) {
   if (when < now_) throw std::invalid_argument("action in the past");
   return queue_.schedule(when, std::move(action));
 }
 
 void Engine::noteSchedulingDelay(JobId id, Duration delay) {
   metrics_.onSchedulingDelay(id, delay);
+}
+
+// --------------------------------------------------------------------------
+// Failure model
+
+void Engine::failNode(NodeId node) { failMachine(machineOf(node)); }
+
+void Engine::repairNode(NodeId node) { repairMachine(machineOf(node)); }
+
+void Engine::deferLost(Subjob sj) {
+  if (sj.empty()) return;
+  // The steal-preemption marker is meaningless on a host-restarted run.
+  sj.yieldsToCached = false;
+  lostWork_.push_back(std::move(sj));
+}
+
+RunReport Engine::killRun(NodeId node) {
+  auto& slot = runs_[static_cast<std::size_t>(node)];
+  ActiveRun run = std::move(*slot);
+  slot.reset();
+  queue_.cancel(run.spanEventId);
+  const double elapsed = std::max(0.0, now_ - run.spanStart - run.spanLatency);
+  const auto discarded = std::min<std::uint64_t>(
+      run.span.size(),
+      static_cast<std::uint64_t>(std::floor(elapsed / run.spanRate + 1e-9)));
+  // A crash is not a preemption: the span in flight is discarded entirely
+  // (nothing durable left the node), so the run rolls back to its last span
+  // boundary. An empty `done` releases pins and stream counts only.
+  applySpanEffects(node, run, EventRange{});
+  RunReport report;
+  report.subjob = run.subjob;
+  report.reason = RunEndReason::Lost;
+  report.remainder = run.subjob;
+  report.remainder.range = {run.span.begin, run.subjob.range.end};
+  report.remainder.yieldsToCached = false;
+  metrics_.onRunLost(run.subjob.job, discarded);
+  emit(SimEventKind::RunLost, run.subjob.job, node, report.remainder.range);
+  return report;
+}
+
+void Engine::failMachine(int machine) {
+  const NodeId first = machine * cfg_.cpusPerNode;
+  if (!cluster_.node(first).isUp()) return;
+  cluster_.node(first).setUp(false);
+  metrics_.onNodeFailure();
+  std::vector<std::pair<NodeId, std::optional<RunReport>>> lost;
+  for (int c = 0; c < cfg_.cpusPerNode; ++c) {
+    const NodeId slot = first + c;
+    emit(SimEventKind::NodeDown, kNoJob, slot);
+    if (runs_[static_cast<std::size_t>(slot)]) {
+      lost.emplace_back(slot, killRun(slot));
+    } else {
+      lost.emplace_back(slot, std::nullopt);
+    }
+  }
+  if (cfg_.failures.loseCacheOnFailure) cluster_.node(first).cache().drop();
+  for (const auto& [slot, report] : lost) {
+    policy_->onNodeDown(slot, report ? &*report : nullptr);
+  }
+  drainDeferred();
+}
+
+void Engine::repairMachine(int machine) {
+  const NodeId first = machine * cfg_.cpusPerNode;
+  if (cluster_.node(first).isUp()) return;
+  cluster_.node(first).setUp(true);
+  for (int c = 0; c < cfg_.cpusPerNode; ++c) {
+    emit(SimEventKind::NodeUp, kNoJob, first + c);
+  }
+  for (int c = 0; c < cfg_.cpusPerNode; ++c) {
+    policy_->onNodeUp(first + c);
+  }
+  drainDeferred();
+}
+
+void Engine::stochasticFail(int machine) {
+  failureEvents_[static_cast<std::size_t>(machine)] = kNoFailureEvent;
+  if (allWorkDone()) return;
+  const NodeId first = machine * cfg_.cpusPerNode;
+  if (cluster_.node(first).isUp()) {
+    failMachine(machine);
+    failureEvents_[static_cast<std::size_t>(machine)] = queue_.schedule(
+        now_ + failureRng_.exponential(cfg_.failures.meanTimeToRepairSec),
+        [this, machine] { stochasticRepair(machine); });
+  } else {
+    // Scripted injection already took the machine down; keep the chain alive.
+    failureEvents_[static_cast<std::size_t>(machine)] = queue_.schedule(
+        now_ + failureRng_.exponential(cfg_.failures.meanTimeBetweenFailuresSec),
+        [this, machine] { stochasticFail(machine); });
+  }
+}
+
+void Engine::stochasticRepair(int machine) {
+  failureEvents_[static_cast<std::size_t>(machine)] = kNoFailureEvent;
+  repairMachine(machine);
+  if (allWorkDone()) return;
+  failureEvents_[static_cast<std::size_t>(machine)] = queue_.schedule(
+      now_ + failureRng_.exponential(cfg_.failures.meanTimeBetweenFailuresSec),
+      [this, machine] { stochasticFail(machine); });
+}
+
+bool Engine::allWorkDone() const {
+  return arrivalsExhausted_ && metrics_.jobsInSystem() == 0;
+}
+
+void Engine::cancelFailureChain() {
+  failureChainActive_ = false;
+  for (EventId& id : failureEvents_) {
+    if (id != kNoFailureEvent) queue_.cancel(id);
+    id = kNoFailureEvent;
+  }
+}
+
+double Engine::tertiaryOutageDelay(SimTime t) const {
+  SimTime ready = t;
+  for (const OutageWindow& w : cfg_.failures.tertiaryOutages) {
+    if (ready < w.start) break;  // sorted by start: no later window covers it
+    if (ready < w.end()) ready = w.end();
+  }
+  return ready - t;
+}
+
+void Engine::drainDeferred() {
+  while (!lostWork_.empty()) {
+    NodeId target = kNoNode;
+    for (NodeId n = 0; n < numNodes(); ++n) {
+      if (isIdle(n)) {
+        target = n;
+        break;
+      }
+    }
+    if (target == kNoNode) return;
+    Subjob sj = std::move(lostWork_.front());
+    lostWork_.pop_front();
+    const JobState& js = state(sj.job);
+    if (js.completed) continue;
+    // Trim anything completed or re-dispatched since the loss: only work
+    // that is still remaining and not running anywhere may start.
+    IntervalSet todo = js.remaining.intersectWith(sj.range);
+    for (const auto& active : runs_) {
+      if (active && active->subjob.job == sj.job) todo.erase(active->subjob.range);
+    }
+    bool started = false;
+    for (const EventRange& r : todo.intervals()) {
+      Subjob piece = sj;
+      piece.range = r;
+      if (!started) {
+        startRun(target, piece);
+        started = true;
+      } else {
+        lostWork_.push_back(piece);
+      }
+    }
+  }
 }
 
 }  // namespace ppsched

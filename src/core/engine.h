@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -29,6 +30,7 @@
 #include "core/metrics.h"
 #include "core/policy.h"
 #include "sim/event_queue.h"
+#include "sim/random.h"
 #include "workload/generator.h"
 
 namespace ppsched {
@@ -63,6 +65,7 @@ class Engine final : public ISchedulerHost {
   [[nodiscard]] ISchedulerPolicy& policy() { return *policy_; }
 
   // --- node state (ISchedulerHost) ---------------------------------------
+  [[nodiscard]] bool isUp(NodeId node) const override;
   [[nodiscard]] bool isIdle(NodeId node) const override;
   [[nodiscard]] std::vector<NodeId> idleNodes() const override;
   [[nodiscard]] RunningView running(NodeId node) const override;
@@ -92,8 +95,20 @@ class Engine final : public ISchedulerHost {
 
   /// Schedule an arbitrary callback at absolute time `when` (>= now). Runs
   /// as a normal simulation event; intended for scripted scenarios and
-  /// failure injection (e.g. flushing a node's cache mid-run).
-  EventId at(SimTime when, std::function<void()> action);
+  /// failure injection (e.g. crashing a node mid-run).
+  ActionId at(SimTime when, std::function<void()> action) override;
+
+  /// Park a lost remainder for host-driven re-dispatch (the default
+  /// onNodeDown recovery path; see ISchedulerHost::deferLost).
+  void deferLost(Subjob sj) override;
+
+  /// Scripted failure injection: crash the machine hosting `node` now (all
+  /// its CPU slots go down, active runs are lost, the cache is wiped per
+  /// config().failures.loseCacheOnFailure). No automatic repair is
+  /// scheduled — pair with repairNode via at(). No-op if already down.
+  void failNode(NodeId node);
+  /// Scripted repair of the machine hosting `node`. No-op if already up.
+  void repairNode(NodeId node);
 
   /// Attribute a scheduling ("period") delay to a job; Fig 5/6 subtract it
   /// from the reported waiting time.
@@ -140,6 +155,33 @@ class Engine final : public ISchedulerHost {
   void finishRun(NodeId node);
   [[nodiscard]] bool shouldStop();
 
+  // --- failure model ------------------------------------------------------
+  [[nodiscard]] int machineOf(NodeId node) const { return node / cfg_.cpusPerNode; }
+  /// Crash `machine`: kill active runs (RunLost), wipe the cache, notify the
+  /// policy (onNodeDown per slot), drain parked work onto surviving nodes.
+  void failMachine(int machine);
+  /// Repair `machine` and notify the policy (onNodeUp per slot).
+  void repairMachine(int machine);
+  /// Kill the active run on `node`: discard the in-flight span, cancel its
+  /// event, free the slot. Returns the Lost report for onNodeDown.
+  RunReport killRun(NodeId node);
+  /// Start parked lost work on idle up nodes (first-fit), trimming parts
+  /// completed or re-dispatched in the meantime.
+  void drainDeferred();
+  /// Stochastic MTBF/MTTR chain (one per machine when failures are enabled).
+  void stochasticFail(int machine);
+  void stochasticRepair(int machine);
+  /// Arrivals exhausted and every arrived job completed: failure events
+  /// stop rescheduling so the simulation can terminate.
+  [[nodiscard]] bool allWorkDone() const;
+  /// Cancel all pending stochastic failure/repair events (run loop calls
+  /// this once all work is done, so idle failure churn never inflates the
+  /// simulated end time).
+  void cancelFailureChain();
+  /// Extra lead time for a tertiary span starting at `t`: time until the
+  /// end of the outage window(s) covering `t`, walking chained windows.
+  [[nodiscard]] double tertiaryOutageDelay(SimTime t) const;
+
   JobState& state(JobId id);
   [[nodiscard]] const JobState& state(JobId id) const;
 
@@ -165,6 +207,15 @@ class Engine final : public ISchedulerHost {
   StopCondition stop_;
   bool stopping_ = false;
   bool arrivalsExhausted_ = false;
+  /// Failure model state. The RNG exists unconditionally but draws nothing
+  /// when failures are disabled, so zero-failure runs stay bit-identical.
+  Rng failureRng_;
+  std::deque<Subjob> lostWork_;  ///< parked remainders of killed runs
+  /// Pending stochastic failure/repair event per machine (for cancellation
+  /// once all work is done); kNoFailureEvent when none.
+  std::vector<EventId> failureEvents_;
+  bool failureChainActive_ = false;
+  static constexpr EventId kNoFailureEvent = static_cast<EventId>(-1);
   /// Concurrent spans currently streaming from tertiary storage (for the
   /// optional aggregate bandwidth cap).
   int activeTertiaryStreams_ = 0;

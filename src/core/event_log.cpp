@@ -19,6 +19,12 @@ std::string_view toString(SimEventKind kind) {
       return "job_complete";
     case SimEventKind::TimerFired:
       return "timer";
+    case SimEventKind::NodeDown:
+      return "node_down";
+    case SimEventKind::NodeUp:
+      return "node_up";
+    case SimEventKind::RunLost:
+      return "run_lost";
   }
   return "?";
 }

@@ -24,6 +24,9 @@ enum class SimEventKind {
   Preempt,      ///< a run was stopped by the policy; range = processed part
   JobComplete,  ///< last piece of the job finished
   TimerFired,
+  NodeDown,     ///< the node's machine failed (one event per CPU slot)
+  NodeUp,       ///< the node's machine was repaired
+  RunLost,      ///< a run died with its node; range = unprocessed remainder
 };
 
 /// Printable name of an event kind.

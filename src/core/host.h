@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -25,6 +26,9 @@ namespace ppsched {
 
 /// Identifies a policy timer.
 using TimerId = std::uint64_t;
+
+/// Identifies a scripted action scheduled via ISchedulerHost::at.
+using ActionId = std::uint64_t;
 
 /// Per-run options set by the policy when starting a run.
 struct RunOptions {
@@ -57,7 +61,12 @@ class ISchedulerHost {
   [[nodiscard]] virtual Cluster& cluster() = 0;
 
   // --- node state -------------------------------------------------------
+  /// Liveness of the machine hosting `node`. Down nodes are never idle,
+  /// reject startRun, and report an inactive RunningView.
+  [[nodiscard]] virtual bool isUp(NodeId node) const = 0;
+  /// True when `node` is up and has no run assigned.
   [[nodiscard]] virtual bool isIdle(NodeId node) const = 0;
+  /// All idle nodes (down nodes are filtered out).
   [[nodiscard]] virtual std::vector<NodeId> idleNodes() const = 0;
   [[nodiscard]] virtual RunningView running(NodeId node) const = 0;
 
@@ -74,6 +83,18 @@ class ISchedulerHost {
   virtual Subjob preempt(NodeId node) = 0;
   virtual TimerId scheduleTimer(SimTime at) = 0;
   virtual void cancelTimer(TimerId id) = 0;
+  /// Schedule an arbitrary callback at absolute time `when` (>= now). The
+  /// simulator runs it as a normal event; the wall-clock host fires it from
+  /// its timer wheel. Intended for scripted scenarios and failure injection,
+  /// so the same script drives Engine and RealtimeHost identically.
+  virtual ActionId at(SimTime when, std::function<void()> action) = 0;
+  /// Park lost work (a killed run's remainder) with the host. The host
+  /// re-dispatches parked work onto the first idle up node after each policy
+  /// callback — the default recovery path of ISchedulerPolicy::onNodeDown,
+  /// which keeps every policy correct under failures with no bespoke code.
+  /// Work that was re-dispatched or completed by other means in the meantime
+  /// is trimmed (never run twice).
+  virtual void deferLost(Subjob sj) = 0;
   /// Attribute a scheduling ("period") delay to a job (Fig 5/6 reporting).
   virtual void noteSchedulingDelay(JobId id, Duration delay) = 0;
 };

@@ -84,6 +84,12 @@ void MetricsCollector::onReplication(std::uint64_t events) {
   ++replicationOps_;
 }
 
+void MetricsCollector::onRunLost(JobId job, std::uint64_t discardedEvents) {
+  ++mutableRecord(job).lostRuns;
+  ++lostRuns_;
+  lostEvents_ += discardedEvents;
+}
+
 RunResult MetricsCollector::finalize(SimTime endTime, bool withHistogram) const {
   RunResult out;
   out.arrivedJobs = records_.size();
@@ -124,6 +130,9 @@ RunResult MetricsCollector::finalize(SimTime endTime, bool withHistogram) const 
   out.processedEvents = totalEvents;
   out.replicatedEvents = replicatedEvents_;
   out.replicationOps = replicationOps_;
+  out.nodeFailures = nodeFailures_;
+  out.lostRuns = lostRuns_;
+  out.lostEvents = lostEvents_;
 
   out.avgJobsInSystem = inSystem_.average(endTime);
   out.inSystemSlopePerHour = inSystemTrend_.slope() * units::hour;

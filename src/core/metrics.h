@@ -25,6 +25,8 @@ struct JobRecord {
   /// Scheduling ("period") delay attributed by the policy; Fig 5/6 subtract
   /// it from the waiting time, Fig 7 includes it.
   Duration schedulingDelay = 0.0;
+  /// Runs of this job killed by node failures (retries the job needed).
+  int lostRuns = 0;
 
   [[nodiscard]] bool completed() const { return completion >= 0.0; }
   [[nodiscard]] Duration waitingTime() const { return firstStart - arrival; }
@@ -70,6 +72,13 @@ struct RunResult {
   /// the summed size of all completed jobs plus partial progress).
   std::uint64_t processedEvents = 0;
 
+  /// Failure / lost-work accounting (zero when failures are disabled).
+  std::uint64_t nodeFailures = 0;  ///< machine crashes over the run
+  std::uint64_t lostRuns = 0;      ///< runs killed by crashes
+  /// In-flight span events discarded by crashes; this work was re-done, so
+  /// it is *not* part of processedEvents.
+  std::uint64_t lostEvents = 0;
+
   /// Overload signals over the measurement window.
   double avgJobsInSystem = 0.0;
   double inSystemSlopePerHour = 0.0;  ///< trend of the in-system count
@@ -98,6 +107,11 @@ class MetricsCollector {
   void onSchedulingDelay(JobId job, Duration delay);
   void onEventsProcessed(DataSource source, std::uint64_t events, SimTime now);
   void onReplication(std::uint64_t events);
+  /// A machine crashed (counted once per crash, not per CPU slot).
+  void onNodeFailure() { ++nodeFailures_; }
+  /// A run was killed by a crash; `discardedEvents` is the in-flight span
+  /// progress thrown away (re-done later, never counted as processed).
+  void onRunLost(JobId job, std::uint64_t discardedEvents);
   void markAbortedOverloaded() { abortedOverloaded_ = true; }
 
   // --- queries ----------------------------------------------------------
@@ -127,6 +141,9 @@ class MetricsCollector {
   std::uint64_t tertiaryEvents_ = 0;
   std::uint64_t replicatedEvents_ = 0;
   std::uint64_t replicationOps_ = 0;
+  std::uint64_t nodeFailures_ = 0;
+  std::uint64_t lostRuns_ = 0;
+  std::uint64_t lostEvents_ = 0;
 
   // In-system trend over the post-warm-up window.
   TimeWeightedStat inSystem_;

@@ -13,12 +13,26 @@
 
 namespace ppsched {
 
-/// Report handed to the policy when a run finishes on its own.
+/// Why a run ended. Completed is the paper's only outcome; Lost is the
+/// failure model's addition (the node died mid-run).
+enum class RunEndReason {
+  Completed,  ///< the run processed its whole subjob
+  Lost,       ///< the node failed; unprocessed work is in `remainder`
+};
+
+/// Report handed to the policy when a run ends without the policy's own
+/// doing (completion, or loss to a node failure).
 struct RunReport {
   /// The subjob as it was started on the node.
   Subjob subjob;
   /// True when this run completed the last outstanding piece of its job.
   bool jobCompleted = false;
+  /// Completed for onRunFinished; Lost for the report of onNodeDown.
+  RunEndReason reason = RunEndReason::Completed;
+  /// Lost runs only: the unprocessed part of `subjob` (progress rolls back
+  /// to the last span boundary — the partial span in flight is discarded).
+  /// Empty for completed runs.
+  Subjob remainder;
 };
 
 class ISchedulerPolicy {
@@ -45,6 +59,28 @@ class ISchedulerPolicy {
 
   /// A timer scheduled via ISchedulerHost::scheduleTimer fired.
   virtual void onTimer(TimerId timer) { (void)timer; }
+
+  /// The machine hosting `node` failed. Fired once per CPU slot of the
+  /// machine. `lost` is the report of the run killed on this slot (reason ==
+  /// Lost), or nullptr if the slot was idle. The node is already down: it
+  /// rejects startRun and is absent from idleNodes().
+  ///
+  /// The default parks the lost remainder with the host (deferLost), which
+  /// re-dispatches it onto the first idle up node after any later callback.
+  /// Every policy therefore survives failures unmodified: internal
+  /// run-counting stays balanced because the engine-restarted run flows
+  /// through the regular onRunFinished path. Override to re-dispatch more
+  /// cleverly (e.g. immediately, cache-affine).
+  virtual void onNodeDown(NodeId node, const RunReport* lost) {
+    (void)node;
+    if (lost != nullptr && !lost->remainder.empty()) host().deferLost(lost->remainder);
+  }
+
+  /// The machine hosting `node` was repaired; the node is idle (and its
+  /// cache typically empty). Fired once per CPU slot. Default: do nothing —
+  /// parked work drains onto the node right after this callback, and idle
+  /// policies re-engage it on the next arrival/completion.
+  virtual void onNodeUp(NodeId node) { (void)node; }
 
  protected:
   ISchedulerHost& host() const { return *host_; }

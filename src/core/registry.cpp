@@ -51,7 +51,12 @@ std::unique_ptr<ISchedulerPolicy> makePolicy(const std::string& name,
     p.starvationLimit = params.starvationLimit;
     return std::make_unique<MixedScheduler>(p);
   }
-  throw std::invalid_argument("unknown policy: " + name);
+  std::string known;
+  for (const std::string& n : policyNames()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  throw std::invalid_argument("unknown policy: " + name + " (known policies: " + known + ")");
 }
 
 std::vector<std::string> policyNames() {

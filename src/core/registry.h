@@ -1,7 +1,7 @@
 // Policy registry: create any of the paper's scheduling policies by name.
 //
 // Names: "farm", "splitting", "cache_oriented", "out_of_order",
-// "replication", "delayed", "adaptive".
+// "replication", "delayed", "adaptive", "mixed".
 #pragma once
 
 #include <memory>

@@ -20,7 +20,8 @@ std::vector<BusyInterval> busyIntervals(const EventLog& log, int numNodes, SimTi
         break;
       }
       case SimEventKind::RunEnd:
-      case SimEventKind::Preempt: {
+      case SimEventKind::Preempt:
+      case SimEventKind::RunLost: {
         auto it = open.find(e.node);
         if (it == open.end()) throw std::runtime_error("run end on an idle node");
         out.push_back({e.node, it->second.first, it->second.second, e.time});
@@ -41,6 +42,37 @@ std::vector<BusyInterval> busyIntervals(const EventLog& log, int numNodes, SimTi
   return out;
 }
 
+std::vector<BusyInterval> downIntervals(const EventLog& log, int numNodes, SimTime endTime) {
+  std::vector<BusyInterval> out;
+  std::map<NodeId, SimTime> downSince;
+  for (const SimEvent& e : log.events()) {
+    switch (e.kind) {
+      case SimEventKind::NodeDown: {
+        if (e.node < 0 || e.node >= numNodes) throw std::runtime_error("NodeDown on bad node");
+        downSince.emplace(e.node, e.time);  // double NodeDown: keep the first
+        break;
+      }
+      case SimEventKind::NodeUp: {
+        auto it = downSince.find(e.node);
+        if (it == downSince.end()) throw std::runtime_error("NodeUp on an up node");
+        out.push_back({e.node, kNoJob, it->second, e.time});
+        downSince.erase(it);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  for (const auto& [node, since] : downSince) {
+    out.push_back({node, kNoJob, since, endTime});
+  }
+  std::sort(out.begin(), out.end(), [](const BusyInterval& a, const BusyInterval& b) {
+    if (a.node != b.node) return a.node < b.node;
+    return a.begin < b.begin;
+  });
+  return out;
+}
+
 std::string renderTimeline(const EventLog& log, int numNodes, TimelineOptions options) {
   SimTime end = options.end;
   if (end <= 0.0) {
@@ -50,6 +82,7 @@ std::string renderTimeline(const EventLog& log, int numNodes, TimelineOptions op
   const int width = std::max(8, options.width);
   const double bucket = (end - options.begin) / width;
   const auto intervals = busyIntervals(log, numNodes, end);
+  const auto down = downIntervals(log, numNodes, end);
 
   std::string result;
   if (options.header) {
@@ -76,7 +109,18 @@ std::string renderTimeline(const EventLog& log, int numNodes, TimelineOptions op
           best = iv.job;
         }
       }
-      result += best == kNoJob ? '.' : static_cast<char>('0' + best % 10);
+      char c = best == kNoJob ? '.' : static_cast<char>('0' + best % 10);
+      if (best == kNoJob) {
+        // Otherwise-idle buckets overlapping a down window render as 'x'.
+        for (const BusyInterval& iv : down) {
+          if (iv.node != n) continue;
+          if (std::min(iv.end, hi) - std::max(iv.begin, lo) > 0.0) {
+            c = 'x';
+            break;
+          }
+        }
+      }
+      result += c;
     }
     result += "|\n";
   }

@@ -5,11 +5,11 @@
 // node over a time window, one character per bucket:
 //
 //   node 0 |000001111111...2222|
-//   node 1 |00000...11111111...|
+//   node 1 |00000xxxx1111111...|
 //
 // Digits are job ids modulo 10 (the dominant job in the bucket), '.' is
-// idle. Useful for eyeballing policy behaviour and asserted in tests via
-// busyIntervals().
+// idle, 'x' marks a node-down window (failure model). Useful for eyeballing
+// policy behaviour and asserted in tests via busyIntervals().
 #pragma once
 
 #include <string>
@@ -30,10 +30,14 @@ struct BusyInterval {
 };
 
 /// Reconstruct per-node busy intervals from a log. Runs still open at
-/// `endTime` are closed there. Intervals are returned sorted by (node,
-/// begin). Throws std::runtime_error on malformed logs (e.g. RunEnd without
-/// RunStart).
+/// `endTime` are closed there (RunEnd, Preempt and RunLost all close a
+/// run). Intervals are returned sorted by (node, begin). Throws
+/// std::runtime_error on malformed logs (e.g. RunEnd without RunStart).
 std::vector<BusyInterval> busyIntervals(const EventLog& log, int numNodes, SimTime endTime);
+
+/// Per-node down windows (NodeDown .. NodeUp) from a log; windows still
+/// open at `endTime` are closed there. `job` is kNoJob in every entry.
+std::vector<BusyInterval> downIntervals(const EventLog& log, int numNodes, SimTime endTime);
 
 struct TimelineOptions {
   SimTime begin = 0.0;

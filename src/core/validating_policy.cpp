@@ -31,6 +31,16 @@ void ValidatingPolicy::onTimer(TimerId timer) {
   checkInvariants();
 }
 
+void ValidatingPolicy::onNodeDown(NodeId node, const RunReport* lost) {
+  inner_->onNodeDown(node, lost);
+  checkInvariants();
+}
+
+void ValidatingPolicy::onNodeUp(NodeId node) {
+  inner_->onNodeUp(node);
+  checkInvariants();
+}
+
 void ValidatingPolicy::checkInvariants() {
   ++checks_;
   ISchedulerHost& e = host();
@@ -49,10 +59,15 @@ void ValidatingPolicy::checkInvariants() {
   }
 
   // Running subjobs: ranges disjoint per job, and contained in the job's
-  // remaining set; completed jobs never run.
+  // remaining set; completed jobs never run; down nodes run nothing.
   std::map<JobId, IntervalSet> runningByJob;
   for (NodeId n = 0; n < e.numNodes(); ++n) {
     const auto view = e.running(n);
+    if (!e.isUp(n)) {
+      if (view.active) violation("down node still running");
+      if (e.isIdle(n)) violation("down node reported idle");
+      continue;
+    }
     if (!view.active) continue;
     const JobId job = view.subjob.job;
     if (e.jobDone(job)) violation("completed job still running");

@@ -6,7 +6,8 @@
 //     node;
 //   - no two nodes process overlapping ranges of the same job;
 //   - every running subjob's range is remaining work of its job;
-//   - completed jobs have no remaining work and are not running anywhere.
+//   - completed jobs have no remaining work and are not running anywhere;
+//   - down nodes never run anything and are never reported idle.
 //
 // Violations throw std::logic_error with a description. Used by the
 // property tests to fuzz every policy, and available to downstream policy
@@ -34,6 +35,8 @@ class ValidatingPolicy final : public ISchedulerPolicy {
   void onJobArrival(const Job& job) override;
   void onRunFinished(NodeId node, const RunReport& report) override;
   void onTimer(TimerId timer) override;
+  void onNodeDown(NodeId node, const RunReport* lost) override;
+  void onNodeUp(NodeId node) override;
 
   /// Number of invariant sweeps performed (for tests).
   [[nodiscard]] std::uint64_t checksPerformed() const { return checks_; }

@@ -92,8 +92,8 @@ void RealtimeHost::post(std::function<void()> fn) {
 void RealtimeHost::schedulerLoop() {
   std::unique_lock guard(lock_);
   while (!stopping_) {
-    // Fire due timers. Collect ids first: the policy's onTimer may add or
-    // cancel timers, which would invalidate a live iterator.
+    // Fire due timers and scripted at() actions. Collect first: the
+    // callbacks may add or cancel entries, invalidating a live iterator.
     const SimTime t = now();
     std::vector<TimerId> due;
     for (const auto& [id, at] : timers_) {
@@ -102,19 +102,32 @@ void RealtimeHost::schedulerLoop() {
     for (const TimerId id : due) {
       if (timers_.erase(id) > 0) policy_->onTimer(id);
     }
+    std::vector<std::pair<ActionId, std::function<void()>>> dueActions;
+    for (const auto& [id, entry] : actions_) {
+      if (entry.first <= t) dueActions.emplace_back(id, entry.second);
+    }
+    for (auto& [id, fn] : dueActions) {
+      if (actions_.erase(id) > 0) fn();
+    }
+    // Re-dispatch parked lost work between every batch of callbacks.
+    drainDeferred();
     if (!commands_.empty()) {
       Command cmd = std::move(commands_.front());
       commands_.pop_front();
       cmd.fn();
+      drainDeferred();
       continue;
     }
-    // Sleep until the next timer or the next command.
-    SimTime nextTimer = -1.0;
+    // Sleep until the next timer/action or the next command.
+    SimTime nextDue = -1.0;
     for (const auto& [id, at] : timers_) {
-      if (nextTimer < 0.0 || at < nextTimer) nextTimer = at;
+      if (nextDue < 0.0 || at < nextDue) nextDue = at;
     }
-    if (nextTimer >= 0.0) {
-      const double wallDelay = std::max(0.0, (nextTimer - now()) / options_.timeScale);
+    for (const auto& [id, entry] : actions_) {
+      if (nextDue < 0.0 || entry.first < nextDue) nextDue = entry.first;
+    }
+    if (nextDue >= 0.0) {
+      const double wallDelay = std::max(0.0, (nextDue - now()) / options_.timeScale);
       schedulerCv_.wait_for(guard, std::chrono::duration<double>(wallDelay), [this] {
         return stopping_ || !commands_.empty();
       });
@@ -187,16 +200,22 @@ std::size_t RealtimeHost::jobsInSystem() const {
   return metrics_.jobsInSystem();
 }
 
+bool RealtimeHost::isUp(NodeId node) const {
+  std::lock_guard guard(lock_);
+  return cluster_.node(node).isUp();
+}
+
 bool RealtimeHost::isIdle(NodeId node) const {
   std::lock_guard guard(lock_);
-  return !assignments_.at(static_cast<std::size_t>(node)).has_value();
+  return cluster_.node(node).isUp() &&
+         !assignments_.at(static_cast<std::size_t>(node)).has_value();
 }
 
 std::vector<NodeId> RealtimeHost::idleNodes() const {
   std::lock_guard guard(lock_);
   std::vector<NodeId> out;
   for (NodeId n = 0; n < numNodes(); ++n) {
-    if (!assignments_[static_cast<std::size_t>(n)]) out.push_back(n);
+    if (cluster_.node(n).isUp() && !assignments_[static_cast<std::size_t>(n)]) out.push_back(n);
   }
   return out;
 }
@@ -284,6 +303,7 @@ std::vector<RealtimeHost::PlanPiece> RealtimeHost::planRun(NodeId node, const Su
 void RealtimeHost::startRun(NodeId node, Subjob sj, RunOptions opts) {
   std::lock_guard guard(lock_);
   auto& assignment = assignments_.at(static_cast<std::size_t>(node));
+  if (!cluster_.node(node).isUp()) throw std::logic_error("startRun on a down node");
   if (assignment) throw std::logic_error("startRun on a busy node");
   if (sj.empty()) throw std::logic_error("startRun with an empty subjob");
   if (!state(sj.job).remaining.containsRange(sj.range)) {
@@ -396,9 +416,119 @@ void RealtimeHost::cancelTimer(TimerId id) {
   timers_.erase(id);
 }
 
+ActionId RealtimeHost::at(SimTime when, std::function<void()> action) {
+  std::lock_guard guard(lock_);
+  const ActionId id = nextAction_++;
+  actions_[id] = {when, std::move(action)};
+  schedulerCv_.notify_all();
+  return id;
+}
+
+void RealtimeHost::deferLost(Subjob sj) {
+  std::lock_guard guard(lock_);
+  if (sj.empty()) return;
+  sj.yieldsToCached = false;
+  lostWork_.push_back(std::move(sj));
+  schedulerCv_.notify_all();
+}
+
 void RealtimeHost::noteSchedulingDelay(JobId id, Duration delay) {
   std::lock_guard guard(lock_);
   metrics_.onSchedulingDelay(id, delay);
+}
+
+// ---------------------------------------------------------------------------
+// Failure injection
+
+void RealtimeHost::failNode(NodeId node) {
+  std::lock_guard guard(lock_);
+  const int machine = machineOf(node);
+  const NodeId first = machine * cfg_.cpusPerNode;
+  if (!cluster_.node(first).isUp()) return;
+  cluster_.node(first).setUp(false);
+  metrics_.onNodeFailure();
+  std::vector<std::pair<NodeId, std::optional<RunReport>>> lost;
+  for (int c = 0; c < cfg_.cpusPerNode; ++c) {
+    const NodeId slot = first + c;
+    auto& assignment = assignments_.at(static_cast<std::size_t>(slot));
+    if (!assignment) {
+      lost.emplace_back(slot, std::nullopt);
+      continue;
+    }
+    Assignment dead = std::move(*assignment);
+    assignment.reset();
+    // Kill the executor's wait; a bumped generation makes any in-flight
+    // completion stale. Unlike preempt(), NO progress is applied: the crash
+    // discards everything the executor had done.
+    ExecutorSlot& ex = *slots_[static_cast<std::size_t>(slot)];
+    {
+      std::lock_guard slotGuard(ex.m);
+      ex.generation = nextGeneration_++;
+      ex.hasWork = false;
+    }
+    ex.cv.notify_all();
+    metrics_.onRunLost(dead.subjob.job, eventsDoneByNow(dead));
+    RunReport report;
+    report.subjob = dead.subjob;
+    report.reason = RunEndReason::Lost;
+    report.remainder = dead.subjob;
+    report.remainder.yieldsToCached = false;
+    lost.emplace_back(slot, std::move(report));
+  }
+  if (cfg_.failures.loseCacheOnFailure) cluster_.node(first).cache().drop();
+  // Policy callbacks belong on the scheduler thread, like every other
+  // callback of this host.
+  post([this, lost] {
+    for (const auto& [slot, report] : lost) {
+      policy_->onNodeDown(slot, report ? &*report : nullptr);
+    }
+  });
+}
+
+void RealtimeHost::repairNode(NodeId node) {
+  std::lock_guard guard(lock_);
+  const int machine = machineOf(node);
+  const NodeId first = machine * cfg_.cpusPerNode;
+  if (cluster_.node(first).isUp()) return;
+  cluster_.node(first).setUp(true);
+  post([this, first] {
+    for (int c = 0; c < cfg_.cpusPerNode; ++c) {
+      policy_->onNodeUp(first + c);
+    }
+  });
+}
+
+void RealtimeHost::drainDeferred() {
+  while (!lostWork_.empty()) {
+    NodeId target = kNoNode;
+    for (NodeId n = 0; n < numNodes(); ++n) {
+      if (cluster_.node(n).isUp() && !assignments_[static_cast<std::size_t>(n)]) {
+        target = n;
+        break;
+      }
+    }
+    if (target == kNoNode) return;
+    Subjob sj = std::move(lostWork_.front());
+    lostWork_.pop_front();
+    const JobState& js = state(sj.job);
+    if (js.completed) continue;
+    // Trim anything completed or re-dispatched since the loss.
+    IntervalSet todo = js.remaining.intersectWith(sj.range);
+    for (const auto& active : assignments_) {
+      if (active && active->subjob.job == sj.job) todo.erase(active->subjob.range);
+    }
+    bool started = false;
+    for (const EventRange& r : todo.intervals()) {
+      Subjob piece = sj;
+      piece.range = r;
+      if (!started) {
+        startRun(target, piece);
+        started = true;
+      } else {
+        lostWork_.push_back(piece);
+      }
+    }
+  }
 }
 
 }  // namespace ppsched

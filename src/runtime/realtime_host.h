@@ -17,7 +17,9 @@
 // Model differences from the simulator (documented, acceptable for a
 // functional stand-in): a run's data-source plan is computed once at start
 // against the then-current cache state (the simulator re-plans every span),
-// and completion times are subject to OS scheduling jitter.
+// completion times are subject to OS scheduling jitter, and a run killed by
+// failNode() loses its whole subjob (the simulator rolls back to the last
+// span boundary; here no span checkpoints exist).
 #pragma once
 
 #include <chrono>
@@ -65,11 +67,23 @@ class RealtimeHost final : public ISchedulerHost {
   /// Jobs completed so far. Thread-safe.
   [[nodiscard]] std::size_t completedJobs() const;
 
+  /// Failure injection: crash the machine hosting `node` now. All its CPU
+  /// slots go down, in-flight executor runs are killed with their progress
+  /// discarded (no span checkpoints exist here, so a lost run's remainder
+  /// is its whole subjob), and the machine's cache is wiped per
+  /// config().failures.loseCacheOnFailure. The policy sees onNodeDown per
+  /// slot on the scheduler thread. Thread-safe; no-op if already down.
+  void failNode(NodeId node);
+  /// Repair the machine hosting `node`; the policy sees onNodeUp per slot.
+  /// Thread-safe; no-op if already up.
+  void repairNode(NodeId node);
+
   // --- ISchedulerHost (called by the policy on the scheduler thread) -----
   [[nodiscard]] SimTime now() const override;
   [[nodiscard]] const SimConfig& config() const override { return cfg_; }
   [[nodiscard]] int numNodes() const override { return cluster_.size(); }
   [[nodiscard]] Cluster& cluster() override { return cluster_; }
+  [[nodiscard]] bool isUp(NodeId node) const override;
   [[nodiscard]] bool isIdle(NodeId node) const override;
   [[nodiscard]] std::vector<NodeId> idleNodes() const override;
   [[nodiscard]] RunningView running(NodeId node) const override;
@@ -81,6 +95,10 @@ class RealtimeHost final : public ISchedulerHost {
   Subjob preempt(NodeId node) override;
   TimerId scheduleTimer(SimTime at) override;
   void cancelTimer(TimerId id) override;
+  /// Scripted actions ride the scheduler thread's timer wheel, so the same
+  /// failure script drives this host and the simulator identically.
+  ActionId at(SimTime when, std::function<void()> action) override;
+  void deferLost(Subjob sj) override;
   void noteSchedulingDelay(JobId id, Duration delay) override;
 
  private:
@@ -117,6 +135,9 @@ class RealtimeHost final : public ISchedulerHost {
   void executorLoop(NodeId node);
   /// Enqueue a command for the scheduler thread.
   void post(std::function<void()> fn);
+  [[nodiscard]] int machineOf(NodeId node) const { return node / cfg_.cpusPerNode; }
+  /// Start parked lost work on idle up nodes (scheduler thread, lock held).
+  void drainDeferred();
 
   // The following run on the scheduler thread with lock_ held.
   void handleCompletion(NodeId node, std::uint64_t generation);
@@ -140,6 +161,10 @@ class RealtimeHost final : public ISchedulerHost {
   std::deque<Command> commands_;
   std::map<TimerId, SimTime> timers_;
   TimerId nextTimer_ = 1;
+  /// Scripted at() actions: fired from the scheduler loop like timers.
+  std::map<ActionId, std::pair<SimTime, std::function<void()>>> actions_;
+  ActionId nextAction_ = 1;
+  std::deque<Subjob> lostWork_;  ///< parked remainders of killed runs
   std::vector<JobState> jobs_;
   std::vector<std::optional<Assignment>> assignments_;  // per node
   std::uint64_t nextGeneration_ = 1;

@@ -127,6 +127,15 @@ void LruExtentCache::evict(EventRange r) {
   }
 }
 
+void LruExtentCache::drop() {
+  totalEvicted_ += used_;
+  extents_.clear();
+  lru_.clear();
+  used_ = 0;
+  // pins_ intentionally survives: pins track *runs*, not contents, and every
+  // pin() is still balanced by the run's eventual unpin().
+}
+
 bool LruExtentCache::makeRoom(std::uint64_t needed) {
   if (needed > capacity_) return false;
   // Walk the LRU index oldest-first; evict unpinned portions. Partially

@@ -64,6 +64,13 @@ class LruExtentCache {
   /// injection / tests).
   void evict(EventRange r);
 
+  /// Wipe the entire cache contents, pinned or not: a node crash loses its
+  /// disk cache. Pin *counters* survive — a run that pinned data before the
+  /// crash still owes a balancing unpin(), and in-flight remote readers keep
+  /// their accounting consistent. touch() on dropped data is a no-op;
+  /// re-inserting previously pinned ranges is allowed.
+  void drop();
+
   /// Cumulative number of events evicted over the cache's lifetime.
   [[nodiscard]] std::uint64_t totalEvicted() const { return totalEvicted_; }
 

@@ -65,6 +65,42 @@ TEST(Config, ValidationRejectsNonsense) {
   EXPECT_THROW(cfg.finalize(), std::invalid_argument);
 }
 
+TEST(Config, FailureConfigValidation) {
+  SimConfig cfg;
+  cfg.failures.meanTimeBetweenFailuresSec = -1.0;
+  EXPECT_THROW(cfg.finalize(), std::invalid_argument);
+
+  cfg = SimConfig{};
+  cfg.failures.meanTimeBetweenFailuresSec = 1000.0;
+  cfg.failures.meanTimeToRepairSec = 0.0;  // enabled model needs a repair time
+  EXPECT_THROW(cfg.finalize(), std::invalid_argument);
+
+  cfg = SimConfig{};
+  cfg.failures.tertiaryOutages = {{-5.0, 10.0}};
+  EXPECT_THROW(cfg.finalize(), std::invalid_argument);
+
+  cfg = SimConfig{};
+  cfg.failures.tertiaryOutages = {{5.0, 0.0}};
+  EXPECT_THROW(cfg.finalize(), std::invalid_argument);
+}
+
+TEST(Config, FailureConfigDefaultsDisabled) {
+  SimConfig cfg = SimConfig::paperDefaults();
+  EXPECT_FALSE(cfg.failures.enabled());
+  cfg.failures.meanTimeBetweenFailuresSec = 1.0;
+  EXPECT_TRUE(cfg.failures.enabled());
+}
+
+TEST(Config, FinalizeSortsOutageWindows) {
+  SimConfig cfg;
+  cfg.failures.tertiaryOutages = {{100.0, 10.0}, {0.0, 20.0}, {50.0, 5.0}};
+  cfg.finalize();
+  EXPECT_DOUBLE_EQ(cfg.failures.tertiaryOutages[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(cfg.failures.tertiaryOutages[1].start, 50.0);
+  EXPECT_DOUBLE_EQ(cfg.failures.tertiaryOutages[2].start, 100.0);
+  EXPECT_DOUBLE_EQ(cfg.failures.tertiaryOutages[0].end(), 20.0);
+}
+
 TEST(Config, MaxLoadScalesWithNodes) {
   SimConfig cfg = SimConfig::paperDefaults();
   cfg.numNodes = 20;

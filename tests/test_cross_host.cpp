@@ -69,6 +69,52 @@ INSTANTIATE_TEST_SUITE_P(Policies, CrossHost,
                          ::testing::Values("farm", "splitting", "cache_oriented",
                                            "out_of_order", "delayed", "mixed"));
 
+TEST_P(CrossHost, SameFailureScriptWorksOnBothHosts) {
+  // A scripted crash/repair driven through the shared at() interface: both
+  // hosts lose a machine mid-workload and must still finish everything via
+  // the default onNodeDown re-dispatch path.
+  SimConfig cfg = ppsched::testing::tinyConfig(3, 1'000'000, 60'000);
+  const std::vector<EventRange> segments{{0, 5000}, {200'000, 204'000}, {0, 5000}};
+
+  PolicyParams params;
+  params.periodDelay = 600.0;
+  params.stripeEvents = 1000;
+
+  // --- simulated pass ----------------------------------------------------
+  std::vector<Job> jobs;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    jobs.push_back({static_cast<JobId>(i), static_cast<SimTime>(i) * 0.01, segments[i]});
+  }
+  MetricsCollector simMetrics(cfg.cost, {0, 0.0});
+  Engine engine(cfg, std::make_unique<TraceSource>(JobTrace(jobs)),
+                makePolicy(GetParam(), params), simMetrics);
+  engine.at(100.0, [&] { engine.failNode(0); });
+  engine.at(2000.0, [&] { engine.repairNode(0); });
+  engine.run({});
+  ASSERT_EQ(simMetrics.completedJobs(), segments.size()) << GetParam();
+
+  // --- realtime pass -----------------------------------------------------
+  MetricsCollector rtMetrics(cfg.cost, {0, 0.0});
+  RealtimeOptions opt;
+  opt.timeScale = 400'000.0;
+  RealtimeHost host(cfg, makePolicy(GetParam(), params), rtMetrics, opt);
+  host.at(host.now() + 100.0, [&] { host.failNode(0); });
+  host.at(host.now() + 2000.0, [&] { host.repairNode(0); });
+  for (const EventRange& segment : segments) host.submit(segment);
+  ASSERT_TRUE(host.drain(15'000ms)) << GetParam();
+  ASSERT_EQ(host.completedJobs(), segments.size());
+
+  const RunResult rs = simMetrics.finalize(engine.now());
+  const RunResult rr = rtMetrics.finalize(host.now());
+  EXPECT_EQ(rs.nodeFailures, 1u);
+  EXPECT_EQ(rr.nodeFailures, 1u);
+  // Re-done work means processed >= submitted on both hosts.
+  std::uint64_t submitted = 0;
+  for (const EventRange& s : segments) submitted += s.size();
+  EXPECT_GE(rs.processedEvents, submitted);
+  EXPECT_GE(rr.processedEvents, submitted);
+}
+
 // Randomized engine configurations under the validating decorator: no
 // invariant may break for any (nodes, cache, span, pipelined) combination.
 struct FuzzConfig {

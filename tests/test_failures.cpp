@@ -1,0 +1,274 @@
+// Fault injection and recovery: scripted and stochastic node failures,
+// lost-run accounting, the default policy re-dispatch path, tertiary
+// outage windows, and down-node bookkeeping.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/registry.h"
+#include "core/timeline.h"
+#include "test_support.h"
+#include "workload/generator.h"
+
+namespace ppsched {
+namespace {
+
+using testing::Harness;
+using testing::tinyConfig;
+using testing::whole;
+
+TEST(Failures, CrashKillsRunAndDefaultPathRedispatches) {
+  // Node 0 crashes 80 s into an 800 s run; the default onNodeDown parks the
+  // remainder and the host restarts it on idle node 1 immediately.
+  Harness h(tinyConfig(2, 100'000, 10'000), {{0, 0.0, {0, 1000}}});
+  EventLog log;
+  h.engine->setEventSink(&log);
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.engine->at(80.0, [&] { h.engine->failNode(0); });
+  h.engine->run({});
+
+  ASSERT_EQ(h.policy->nodeDowns.size(), 1u);
+  EXPECT_EQ(h.policy->nodeDowns[0].first, 0);
+  ASSERT_TRUE(h.policy->nodeDowns[0].second.has_value());
+  const RunReport& lost = *h.policy->nodeDowns[0].second;
+  EXPECT_EQ(lost.reason, RunEndReason::Lost);
+  // One giant span: the crash discards all in-flight progress.
+  EXPECT_EQ(lost.remainder.range, (EventRange{0, 1000}));
+
+  EXPECT_TRUE(h.engine->jobDone(0));
+  // Restarted from scratch on node 1 at t=80: 80 + 1000 * 0.8.
+  EXPECT_DOUBLE_EQ(h.engine->now(), 80.0 + 800.0);
+
+  EXPECT_EQ(log.count(SimEventKind::NodeDown), 1u);
+  const auto lostEvents = log.ofKind(SimEventKind::RunLost);
+  ASSERT_EQ(lostEvents.size(), 1u);
+  EXPECT_EQ(lostEvents[0].range, (EventRange{0, 1000}));
+
+  const RunResult result = h.metrics.finalize(h.engine->now());
+  EXPECT_EQ(result.nodeFailures, 1u);
+  EXPECT_EQ(result.lostRuns, 1u);
+  EXPECT_EQ(h.metrics.record(0).lostRuns, 1);
+}
+
+TEST(Failures, CrashDiscardsOnlyTheInFlightSpan) {
+  // 100-event spans: at t=200 two spans (200 events) are committed and the
+  // third is 50 events in; the crash rolls back to the span boundary.
+  SimConfig cfg = tinyConfig(2, 100'000, 10'000, /*maxSpan=*/100);
+  cfg.failures.loseCacheOnFailure = false;  // keep the cache to inspect it
+  Harness h(cfg, {{0, 0.0, {0, 1000}}});
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  Subjob remainder;
+  h.policy->nodeDownHook = [&](NodeId, const RunReport* lost) {
+    ASSERT_NE(lost, nullptr);
+    remainder = lost->remainder;  // swallow: no re-dispatch
+  };
+  h.engine->at(200.0, [&] { h.engine->failNode(0); });
+  h.engine->run({});
+
+  EXPECT_EQ(remainder.range, (EventRange{200, 1000}));
+  EXPECT_EQ(h.engine->remainingOf(0).size(), 800u);
+  // Committed spans stay cached when loseCacheOnFailure is off.
+  EXPECT_TRUE(h.engine->cluster().node(0).cache().containsRange({0, 200}));
+  EXPECT_FALSE(h.engine->jobDone(0));
+  // 50 in-flight events (40 s at 0.8 s/event) were discarded.
+  const RunResult result = h.metrics.finalize(h.engine->now());
+  EXPECT_EQ(result.lostEvents, 50u);
+}
+
+TEST(Failures, CrashWipesTheCacheByDefault) {
+  Harness h(tinyConfig(2, 100'000, 10'000), {{0, 0.0, {0, 100}}});
+  h.engine->cluster().node(0).cache().insert({5000, 6000}, 0.0);
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(1, whole(j)); };
+  h.engine->at(10.0, [&] { h.engine->failNode(0); });
+  h.engine->run({});
+  EXPECT_EQ(h.engine->cluster().node(0).cache().used(), 0u);
+  // The idle crashed node still reports onNodeDown, with no lost run.
+  ASSERT_EQ(h.policy->nodeDowns.size(), 1u);
+  EXPECT_FALSE(h.policy->nodeDowns[0].second.has_value());
+}
+
+TEST(Failures, DownNodeIsNeitherUpNorIdleAndRejectsRuns) {
+  Harness h(tinyConfig(3, 100'000, 10'000), {{0, 0.0, {0, 1000}}});
+  h.policy->arrivalHook = [&](const Job& j) {
+    h.engine->failNode(1);
+    EXPECT_FALSE(h.engine->isUp(1));
+    EXPECT_FALSE(h.engine->isIdle(1));
+    EXPECT_EQ(h.engine->idleNodes(), (std::vector<NodeId>{0, 2}));
+    EXPECT_THROW(h.engine->startRun(1, whole(j)), std::logic_error);
+    // Repair makes it schedulable again.
+    h.engine->repairNode(1);
+    EXPECT_TRUE(h.engine->isUp(1));
+    EXPECT_TRUE(h.engine->isIdle(1));
+    h.engine->startRun(1, whole(j));
+  };
+  h.engine->run({});
+  EXPECT_TRUE(h.engine->jobDone(0));
+  EXPECT_EQ(h.policy->nodeUps, (std::vector<NodeId>{1}));
+  // failNode / repairNode are idempotent no-ops in the target state.
+  h.engine->repairNode(1);
+  EXPECT_EQ(h.policy->nodeUps.size(), 1u);
+}
+
+TEST(Failures, MulticoreCrashTakesAllSlotsOfTheMachine) {
+  SimConfig cfg = tinyConfig(4, 100'000, 10'000);
+  cfg.cpusPerNode = 2;  // nodes {0,1} and {2,3} are two machines
+  cfg.finalize();
+  Harness h(cfg, {{0, 0.0, {0, 1000}}, {1, 0.0, {2000, 3000}}});
+  h.policy->arrivalHook = [&](const Job& j) {
+    h.engine->startRun(j.id == 0 ? 0 : 1, whole(j));
+  };
+  h.engine->at(80.0, [&] { h.engine->failNode(1); });  // slot 1 -> machine 0
+  h.engine->run({});
+  // Both slots went down, both runs were lost, both jobs still complete
+  // (re-dispatched onto machine 1's slots).
+  ASSERT_EQ(h.policy->nodeDowns.size(), 2u);
+  EXPECT_FALSE(h.engine->isUp(0));
+  EXPECT_FALSE(h.engine->isUp(1));
+  EXPECT_TRUE(h.engine->jobDone(0));
+  EXPECT_TRUE(h.engine->jobDone(1));
+  const RunResult result = h.metrics.finalize(h.engine->now());
+  EXPECT_EQ(result.nodeFailures, 1u);  // one machine failure, two lost runs
+  EXPECT_EQ(result.lostRuns, 2u);
+}
+
+TEST(Failures, RedispatchWaitsForARepairWhenClusterIsDown) {
+  // Single node: the crash leaves nowhere to restart. The remainder stays
+  // parked until the scripted repair, then completes.
+  Harness h(tinyConfig(1, 100'000, 10'000), {{0, 0.0, {0, 1000}}});
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.engine->at(80.0, [&] { h.engine->failNode(0); });
+  h.engine->at(500.0, [&] { h.engine->repairNode(0); });
+  h.engine->run({});
+  EXPECT_TRUE(h.engine->jobDone(0));
+  // Restarted from scratch at the repair: 500 + 800.
+  EXPECT_DOUBLE_EQ(h.engine->now(), 500.0 + 800.0);
+}
+
+TEST(Failures, TertiaryOutageWindowStallsUncachedSpans) {
+  SimConfig cfg = tinyConfig(1, 100'000, 10'000);
+  cfg.failures.tertiaryOutages = {{0.0, 100.0}};
+  cfg.finalize();
+  Harness h(cfg, {{0, 0.0, {0, 1000}}});
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.engine->run({});
+  // The span starts inside the outage: wait it out, then 1000 x 0.8 s.
+  EXPECT_DOUBLE_EQ(h.engine->now(), 100.0 + 800.0);
+}
+
+TEST(Failures, ChainedOutageWindowsStack) {
+  SimConfig cfg = tinyConfig(1, 100'000, 10'000);
+  // Second window opens before the first ends: the stall walks the chain.
+  cfg.failures.tertiaryOutages = {{50.0, 100.0}, {0.0, 100.0}};  // finalize sorts
+  cfg.finalize();
+  ASSERT_EQ(cfg.failures.tertiaryOutages[0].start, 0.0);
+  Harness h(cfg, {{0, 0.0, {0, 1000}}});
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.engine->run({});
+  EXPECT_DOUBLE_EQ(h.engine->now(), 150.0 + 800.0);
+}
+
+TEST(Failures, OutageDoesNotAffectCachedSpans) {
+  SimConfig cfg = tinyConfig(1, 100'000, 10'000);
+  cfg.failures.tertiaryOutages = {{0.0, 100.0}};
+  cfg.finalize();
+  Harness h(cfg, {{0, 0.0, {0, 1000}}});
+  h.engine->cluster().node(0).cache().insert({0, 1000}, 0.0);
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.engine->run({});
+  EXPECT_DOUBLE_EQ(h.engine->now(), 1000 * 0.26);
+}
+
+TEST(Failures, DisabledFailureModelLeavesTheClockAlone) {
+  // An enormous MTBF schedules a first failure far beyond the workload; the
+  // chain must be cancelled once work drains, not waited out.
+  SimConfig cfg = tinyConfig(1, 100'000, 10'000);
+  cfg.failures.meanTimeBetweenFailuresSec = 1e12;
+  cfg.finalize();
+  Harness h(cfg, {{0, 0.0, {0, 1000}}});
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.engine->run({});
+  EXPECT_DOUBLE_EQ(h.engine->now(), 800.0);
+}
+
+TEST(Failures, StochasticFailuresAreDeterministicPerSeed) {
+  auto runOnce = [](std::uint64_t seed) {
+    SimConfig cfg = SimConfig::paperDefaults();
+    cfg.workload.jobsPerHour = 1.0;
+    cfg.failures.meanTimeBetweenFailuresSec = 1 * units::day;
+    cfg.failures.meanTimeToRepairSec = 2 * units::hour;
+    cfg.failures.seed = seed;
+    cfg.finalize();
+    MetricsCollector metrics(cfg.cost, {0, 0.0});
+    Engine engine(cfg, std::make_unique<WorkloadGenerator>(cfg.workload, 7),
+                  makePolicy("out_of_order"), metrics);
+    engine.run({.completedJobs = 40, .maxJobsInSystem = 2000});
+    RunResult r = metrics.finalize(engine.now());
+    return std::make_tuple(engine.now(), r.nodeFailures, r.lostRuns, r.avgWait);
+  };
+  const auto a = runOnce(42);
+  const auto b = runOnce(42);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(std::get<1>(a), 0u);  // failures actually happened
+}
+
+TEST(Failures, EveryPolicyCompletesUnderScriptedFailures) {
+  // A deterministic mini-sweep: two crashes with one repair, all policies
+  // must finish the whole trace through the default recovery path alone.
+  for (const std::string& name : policyNames()) {
+    SimConfig cfg = tinyConfig(4, 200'000, 20'000);
+    std::vector<Job> jobs;
+    for (JobId id = 0; id < 6; ++id) {
+      const auto base = static_cast<std::uint64_t>(id) * 20'000;
+      jobs.push_back({id, id * 600.0, {base, base + 5'000}});
+    }
+    MetricsCollector metrics(cfg.cost, {0, 0.0});
+    Engine engine(cfg, testing::fixedSource(jobs), makePolicy(name), metrics);
+    engine.at(1'000.0, [&] { engine.failNode(0); });
+    engine.at(2'000.0, [&] { engine.failNode(2); });
+    engine.at(5'000.0, [&] { engine.repairNode(0); });
+    engine.run({});
+    EXPECT_EQ(metrics.completedJobs(), 6u) << name;
+    for (JobId id = 0; id < 6; ++id) {
+      EXPECT_TRUE(engine.jobDone(id)) << name;
+    }
+  }
+}
+
+TEST(Failures, TimelineTracksDownWindows) {
+  Harness h(tinyConfig(2, 100'000, 10'000), {{0, 0.0, {0, 1000}}});
+  EventLog log;
+  h.engine->setEventSink(&log);
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.engine->at(80.0, [&] { h.engine->failNode(0); });
+  h.engine->at(400.0, [&] { h.engine->repairNode(0); });
+  h.engine->run({});
+
+  const auto down = downIntervals(log, 2, h.engine->now());
+  ASSERT_EQ(down.size(), 1u);
+  EXPECT_EQ(down[0].node, 0);
+  EXPECT_DOUBLE_EQ(down[0].begin, 80.0);
+  EXPECT_DOUBLE_EQ(down[0].end, 400.0);
+  // busyIntervals must close the killed run at the crash.
+  for (const BusyInterval& b : busyIntervals(log, 2, h.engine->now())) {
+    if (b.node == 0) {
+      EXPECT_LE(b.end, 80.0);
+    }
+  }
+  // The rendered timeline marks the outage.
+  const std::string art = renderTimeline(log, 2, {.end = h.engine->now(), .width = 40});
+  EXPECT_NE(art.find('x'), std::string::npos);
+}
+
+TEST(Failures, UnrepairedDownWindowClosesAtEndTime) {
+  Harness h(tinyConfig(2, 100'000, 10'000), {{0, 0.0, {0, 1000}}});
+  EventLog log;
+  h.engine->setEventSink(&log);
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.engine->at(80.0, [&] { h.engine->failNode(0); });
+  h.engine->run({});
+  const auto down = downIntervals(log, 2, h.engine->now());
+  ASSERT_EQ(down.size(), 1u);
+  EXPECT_DOUBLE_EQ(down[0].end, h.engine->now());
+}
+
+}  // namespace
+}  // namespace ppsched

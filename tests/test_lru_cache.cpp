@@ -241,6 +241,58 @@ TEST(LruCache, ReusableAfterFullEviction) {
   EXPECT_TRUE(c.containsRange({100, 150}));
 }
 
+TEST(LruCache, DropWipesContentsAndCountsAsEviction) {
+  LruExtentCache c(100);
+  c.insert({0, 50}, 1.0);
+  c.insert({200, 230}, 2.0);
+  c.drop();
+  EXPECT_EQ(c.used(), 0u);
+  EXPECT_EQ(c.extentCount(), 0u);
+  EXPECT_TRUE(c.contents().empty());
+  EXPECT_FALSE(c.containsRange({0, 50}));
+  EXPECT_EQ(c.totalEvicted(), 80u);
+  // The cache keeps working after a drop.
+  c.insert({300, 340}, 3.0);
+  EXPECT_TRUE(c.containsRange({300, 340}));
+}
+
+TEST(LruCache, DropOnEmptyCacheIsNoop) {
+  LruExtentCache c(100);
+  c.drop();
+  EXPECT_EQ(c.used(), 0u);
+  EXPECT_EQ(c.totalEvicted(), 0u);
+}
+
+TEST(LruCache, DropPreservesPinBookkeeping) {
+  // A crash wipes contents but not pins: pins track in-flight *runs*, whose
+  // eventual unpin() must still balance. Pinned ranges are gone from the
+  // cache yet remain pinned (and re-insertable) until unpinned.
+  LruExtentCache c(100);
+  c.insert({0, 30}, 1.0);
+  c.pin({0, 30});
+  c.drop();
+  EXPECT_FALSE(c.containsRange({0, 30}));
+  EXPECT_EQ(c.pinnedIn({0, 100}).intervals(), (std::vector<EventRange>{{0, 30}}));
+  // The balanced unpin from the (now dead) run is still legal.
+  c.unpin({0, 30});
+  EXPECT_TRUE(c.pinnedIn({0, 100}).empty());
+  // And an unbalanced one still throws.
+  EXPECT_THROW(c.unpin({0, 30}), std::logic_error);
+}
+
+TEST(LruCache, PinsSurvivingDropStillProtectReinsertedData) {
+  LruExtentCache c(40);
+  c.insert({0, 20}, 1.0);
+  c.pin({0, 20});
+  c.drop();
+  c.insert({0, 20}, 2.0);     // the dead run's range comes back...
+  c.insert({100, 140}, 3.0);  // ...and its pin still shields it from eviction
+  EXPECT_TRUE(c.containsRange({0, 20}));
+  EXPECT_TRUE(c.containsRange({100, 120}));   // free space absorbed the prefix
+  EXPECT_FALSE(c.containsRange({120, 140}));  // pinned {0,20} was not evicted
+  c.unpin({0, 20});
+}
+
 TEST(LruCache, UsedNeverExceedsCapacityUnderStress) {
   LruExtentCache c(500);
   for (int i = 0; i < 200; ++i) {

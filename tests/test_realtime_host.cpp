@@ -154,6 +154,75 @@ TEST(RealtimeHost, OutOfOrderPreemptionWorksAgainstWallClock) {
   EXPECT_TRUE(host.remainingOf(cold).empty());
 }
 
+TEST(RealtimeHost, FailNodeKillsRunAndDefaultPathRedispatches) {
+  SimConfig cfg = rtConfig(2);
+  MetricsCollector m(cfg.cost, {0, 0.0});
+  RealtimeOptions opt;
+  opt.timeScale = 20'000.0;  // 8000 sim s ~= 400 wall ms: time to interfere
+  RealtimeHost host(cfg, makePolicy("farm"), m, opt);
+  const JobId id = host.submit({0, 10'000});
+  for (int i = 0; i < 400 && host.idleNodes().size() == 2; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_FALSE(host.isIdle(0) && host.isIdle(1));
+  host.failNode(0);
+  EXPECT_FALSE(host.isUp(0));
+  EXPECT_FALSE(host.isIdle(0));
+  EXPECT_THROW(host.startRun(0, {id, {0, 10}, 0.0, false}), std::logic_error);
+  // The default onNodeDown re-dispatches onto node 1 and the job finishes.
+  ASSERT_TRUE(host.drain(15'000ms));
+  EXPECT_TRUE(host.jobDone(id));
+  const RunResult r = m.finalize(host.now());
+  EXPECT_EQ(r.nodeFailures, 1u);
+  // A run may or may not have been in flight on node 0 at the kill.
+  EXPECT_LE(r.lostRuns, 1u);
+  EXPECT_TRUE(host.isUp(1));
+  host.repairNode(0);
+  EXPECT_TRUE(host.isUp(0));
+}
+
+TEST(RealtimeHost, RepairedNodeRejoinsService) {
+  // Single node: fail it mid-run, verify the job stalls, repair, drain.
+  SimConfig cfg = rtConfig(1);
+  MetricsCollector m(cfg.cost, {0, 0.0});
+  RealtimeOptions opt;
+  opt.timeScale = 20'000.0;
+  RealtimeHost host(cfg, makePolicy("farm"), m, opt);
+  const JobId id = host.submit({0, 10'000});
+  for (int i = 0; i < 400 && !host.idleNodes().empty(); ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  host.failNode(0);
+  EXPECT_FALSE(host.drain(200ms));  // nowhere to run: cannot finish
+  EXPECT_FALSE(host.jobDone(id));
+  host.repairNode(0);
+  ASSERT_TRUE(host.drain(15'000ms));
+  EXPECT_TRUE(host.jobDone(id));
+  EXPECT_EQ(m.record(id).lostRuns, 1);
+}
+
+TEST(RealtimeHost, ScriptedActionsFireInSimTimeOrder) {
+  SimConfig cfg = rtConfig(1);
+  MetricsCollector m(cfg.cost, {0, 0.0});
+  RealtimeOptions opt;
+  opt.timeScale = 100'000.0;
+  RealtimeHost host(cfg, makePolicy("farm"), m, opt);
+  std::mutex mu;
+  std::vector<int> fired;
+  host.at(host.now() + 2000.0, [&] { std::lock_guard g(mu); fired.push_back(2); });
+  host.at(host.now() + 500.0, [&] { std::lock_guard g(mu); fired.push_back(1); });
+  const JobId id = host.submit({0, 4000});
+  ASSERT_TRUE(host.drain(10'000ms));
+  EXPECT_TRUE(host.jobDone(id));
+  for (int i = 0; i < 400; ++i) {
+    std::lock_guard g(mu);
+    if (fired.size() == 2) break;
+    std::this_thread::sleep_for(1ms);
+  }
+  std::lock_guard g(mu);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+}
+
 TEST(RealtimeHost, IdleAndRunningViews) {
   SimConfig cfg = rtConfig(2);
   MetricsCollector m(cfg.cost, {0, 0.0});

@@ -21,6 +21,19 @@ TEST(Registry, UnknownNameThrows) {
   EXPECT_THROW(makePolicy(""), std::invalid_argument);
 }
 
+TEST(Registry, UnknownNameErrorEnumeratesKnownPolicies) {
+  try {
+    makePolicy("fifo_magic");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("fifo_magic"), std::string::npos);
+    for (const std::string& name : policyNames()) {
+      EXPECT_NE(what.find(name), std::string::npos) << name << " missing from: " << what;
+    }
+  }
+}
+
 TEST(Registry, NamesInPaperOrder) {
   const auto names = policyNames();
   ASSERT_EQ(names.size(), 8u);

@@ -3,6 +3,8 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/engine.h"
@@ -31,6 +33,18 @@ class ManualPolicy : public ISchedulerPolicy {
     timers.push_back(timer);
     if (timerHook) timerHook(timer);
   }
+  void onNodeDown(NodeId node, const RunReport* lost) override {
+    nodeDowns.emplace_back(node, lost ? std::optional<RunReport>(*lost) : std::nullopt);
+    if (nodeDownHook) {
+      nodeDownHook(node, lost);
+    } else {
+      ISchedulerPolicy::onNodeDown(node, lost);  // default re-dispatch path
+    }
+  }
+  void onNodeUp(NodeId node) override {
+    nodeUps.push_back(node);
+    if (nodeUpHook) nodeUpHook(node);
+  }
 
   /// Public access to the bound host for test hooks.
   ISchedulerHost& eng() { return host(); }
@@ -39,9 +53,13 @@ class ManualPolicy : public ISchedulerPolicy {
   std::vector<Job> arrivals;
   std::vector<std::pair<NodeId, RunReport>> finished;
   std::vector<TimerId> timers;
+  std::vector<std::pair<NodeId, std::optional<RunReport>>> nodeDowns;
+  std::vector<NodeId> nodeUps;
   std::function<void(const Job&)> arrivalHook;
   std::function<void(NodeId, const RunReport&)> finishHook;
   std::function<void(TimerId)> timerHook;
+  std::function<void(NodeId, const RunReport*)> nodeDownHook;
+  std::function<void(NodeId)> nodeUpHook;
 };
 
 /// Config with a small, round-numbered data space: `totalEvents` events of

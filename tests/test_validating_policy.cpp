@@ -65,6 +65,32 @@ TEST_P(PolicyFuzz, InvariantsHoldOverRandomWorkload) {
   EXPECT_GT(ptr->checksPerformed(), 300u);
 }
 
+TEST_P(PolicyFuzz, InvariantsHoldUnderRandomNodeFailures) {
+  // Same random workload, now with stochastic machine crashes and repairs.
+  // Every policy must survive losing runs (and caches) mid-flight: the
+  // validator additionally checks that down nodes never run or report idle.
+  SimConfig cfg = SimConfig::paperDefaults();
+  cfg.workload.jobsPerHour = 1.3;
+  cfg.failures.meanTimeBetweenFailuresSec = 2 * units::day;
+  cfg.failures.meanTimeToRepairSec = 3 * units::hour;
+  cfg.finalize();
+
+  PolicyParams params;
+  params.periodDelay = 8 * units::hour;
+  params.stripeEvents = 1000;
+  auto validating = std::make_unique<ValidatingPolicy>(makePolicy(GetParam(), params));
+  auto* ptr = validating.get();
+
+  MetricsCollector metrics(cfg.cost, {0, 0.0});
+  Engine engine(cfg, std::make_unique<WorkloadGenerator>(cfg.workload, 123),
+                std::move(validating), metrics);
+  ASSERT_NO_THROW(engine.run({.completedJobs = 80, .maxJobsInSystem = 2000}));
+  EXPECT_GE(metrics.completedJobs(), 80u);
+  EXPECT_GT(ptr->checksPerformed(), 150u);
+  const RunResult result = metrics.finalize(engine.now());
+  EXPECT_GT(result.nodeFailures, 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyFuzz,
                          ::testing::Values("farm", "splitting", "cache_oriented",
                                            "out_of_order", "replication", "delayed",
