@@ -10,6 +10,9 @@
 //   PPSCHED_FAST=1     quarter-size runs (quick smoke of the harness)
 //   PPSCHED_CSV=<dir>  additionally write one CSV per figure into <dir>
 //                      (plot with scripts/plot_figure.gp)
+//   PPSCHED_JSON=<dir> additionally write <dir>/BENCH_<figure slug>.json in
+//                      the machine-readable perf schema (ppsched-bench-v1)
+//                      consumed by scripts/perf_compare.py
 #pragma once
 
 #include <cstdio>
@@ -27,6 +30,52 @@ inline bool fastMode() {
   return v != nullptr && v[0] == '1';
 }
 
+/// Slug for CSV/JSON file names: "Figure 2" -> "figure_2".
+inline std::string slugify(std::string s) {
+  for (char& c : s) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    if (!(c >= 'a' && c <= 'z') && !(c >= '0' && c <= '9')) c = '_';
+  }
+  return s;
+}
+
+/// One measurement in the perf-trajectory schema. The (bench, series,
+/// metric) triple is the key perf_compare.py joins two JSON files on.
+struct PerfRecord {
+  std::string series;
+  std::string metric;
+  double value = 0.0;
+  std::string unit;
+};
+
+/// Write `records` as <dir>/BENCH_<slug>.json in the ppsched-bench-v1
+/// schema. Returns the path written, or "" when nothing was written.
+/// Numbers are emitted with printf %.17g so round-trips are lossless.
+inline std::string writeBenchJson(const std::string& dir, const std::string& bench,
+                                  const std::vector<PerfRecord>& records) {
+  const std::string path = dir + "/BENCH_" + slugify(bench) + ".json";
+  std::ofstream out(path);
+  if (!out) return "";
+  char num[64];
+  out << "{\n"
+      << "  \"schema\": \"ppsched-bench-v1\",\n"
+      << "  \"bench\": \"" << slugify(bench) << "\",\n"
+      << "  \"fast\": " << (fastMode() ? "true" : "false") << ",\n"
+      << "  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const PerfRecord& r = records[i];
+    std::snprintf(num, sizeof num, "%.17g", r.value);
+    out << "    {\"series\": \"" << r.series << "\", \"metric\": \"" << r.metric
+        << "\", \"value\": " << num << ", \"unit\": \"" << r.unit << "\"}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return path;
+}
+
+/// Directory for BENCH_*.json output, or nullptr when disabled.
+inline const char* jsonDir() { return std::getenv("PPSCHED_JSON"); }
+
 /// Scale a job count down in fast mode.
 inline std::size_t jobs(std::size_t n) { return fastMode() ? n / 4 : n; }
 
@@ -38,15 +87,6 @@ struct Series {
 
 inline void printHeader(const char* figure, const char* caption) {
   std::printf("=== %s ===\n%s\n\n", figure, caption);
-}
-
-/// Slug for CSV file names: "Figure 2" -> "figure_2".
-inline std::string slugify(std::string s) {
-  for (char& c : s) {
-    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
-    if (!(c >= 'a' && c <= 'z') && !(c >= '0' && c <= '9')) c = '_';
-  }
-  return s;
 }
 
 /// Run every series over `loads` and print two paper-style tables: average
@@ -75,6 +115,23 @@ inline void runAndPrint(const std::vector<Series>& series, const std::vector<dou
       }
     }
     std::printf("(csv written to %s)\n\n", path.c_str());
+  }
+
+  if (const char* dir = jsonDir(); dir != nullptr && figure != nullptr) {
+    std::vector<PerfRecord> records;
+    char key[128];
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      for (std::size_t i = 0; i < loads.size(); ++i) {
+        const RunResult& r = results[s][i];
+        if (r.overloaded) continue;  // no finite wait to compare
+        std::snprintf(key, sizeof key, "%s@%.2f", series[s].label.c_str(), loads[i]);
+        records.push_back({key, "speedup", r.avgSpeedup, "x"});
+        records.push_back({key, waitExDelay ? "wait_ex_delay" : "wait",
+                           units::toHours(waitExDelay ? r.avgWaitExDelay : r.avgWait), "hours"});
+      }
+    }
+    const std::string path = writeBenchJson(dir, figure, records);
+    if (!path.empty()) std::printf("(perf json written to %s)\n\n", path.c_str());
   }
 
   auto printTable = [&](const char* title, auto value) {

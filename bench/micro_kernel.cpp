@@ -3,11 +3,18 @@
 // These guard the performance envelope that makes the figure benches cheap:
 // interval algebra, LRU cache operations, event-queue throughput, workload
 // generation, and a whole small simulation end to end.
+//
+// With PPSCHED_JSON=<dir> set, additionally writes
+// <dir>/BENCH_micro_kernel.json in the ppsched-bench-v1 schema (one record
+// per benchmark: real ns/iteration, plus items/s where reported) for
+// scripts/perf_compare.py.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "core/experiment.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
+#include "storage/interval_map.h"
 #include "storage/interval_set.h"
 #include "storage/lru_cache.h"
 #include "workload/generator.h"
@@ -72,6 +79,68 @@ void BM_EventQueueThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueThroughput);
 
+void BM_EventQueueRealisticCaptures(benchmark::State& state) {
+  // Engine-shaped callbacks: a this-pointer plus a Job-sized payload, the
+  // capture profile that used to force one heap allocation per event.
+  struct Payload {
+    std::uint64_t id;
+    double arrival;
+    EventRange range;
+  };
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    EventQueue q;
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+      const Payload p{i, static_cast<double>((i * 7919) % 4096), {i, i + 40'000}};
+      q.schedule(p.arrival, [&sink, p] { sink += p.id + p.range.begin; });
+    }
+    while (!q.empty()) q.runNext();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueRealisticCaptures);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  // Timer-churn profile: most events are cancelled before firing (span
+  // completions rescheduled on preemption, failure chains, adaptive-delay
+  // timers). Exercises the tombstone-compaction path.
+  for (auto _ : state) {
+    EventQueue q;
+    std::vector<EventId> ids;
+    ids.reserve(2000);
+    for (int round = 0; round < 10; ++round) {
+      ids.clear();
+      for (int i = 0; i < 200; ++i) {
+        ids.push_back(q.schedule(static_cast<SimTime>(round * 10'000 + (i * 7919) % 4096),
+                                 [] {}));
+      }
+      for (std::size_t i = 0; i < ids.size(); i += 8) {
+        for (std::size_t k = i; k < std::min(ids.size(), i + 7); ++k) q.cancel(ids[k]);
+      }
+      while (!q.empty()) q.runNext();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
+void BM_IntervalCounterPinChurn(benchmark::State& state) {
+  // The LRU-cache pin/unpin profile plus the replication policy's
+  // access-count queries.
+  for (auto _ : state) {
+    IntervalCounter c;
+    for (std::uint64_t i = 0; i < 300; ++i) {
+      const std::uint64_t b = (i * 7919) % 100'000;
+      c.add({b, b + 500}, +1);
+      benchmark::DoNotOptimize(c.rangesAtLeast({b / 2, b / 2 + 2000}, 2));
+      c.add({b, b + 500}, -1);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 300);
+}
+BENCHMARK(BM_IntervalCounterPinChurn);
+
 void BM_WorkloadGeneration(benchmark::State& state) {
   WorkloadParams params;
   params.jobsPerHour = 1.0;
@@ -101,4 +170,42 @@ void BM_EndToEndSimulation(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndSimulation)->Unit(benchmark::kMillisecond);
 
+/// Console reporter that also collects one PerfRecord per benchmark run for
+/// the BENCH_micro_kernel.json perf-trajectory file.
+class JsonPerfReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonPerfReporter(std::vector<ppsched::bench::PerfRecord>* out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const std::string name = run.benchmark_name();
+      const double iters = static_cast<double>(run.iterations);
+      out_->push_back({name, "real_time_per_iter",
+                       run.real_accumulated_time / iters * 1e9, "ns"});
+      if (auto it = run.counters.find("items_per_second"); it != run.counters.end()) {
+        out_->push_back({name, "items_per_second", it->second.value, "items/s"});
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  std::vector<ppsched::bench::PerfRecord>* out_;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  std::vector<ppsched::bench::PerfRecord> records;
+  JsonPerfReporter reporter(&records);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (const char* dir = ppsched::bench::jsonDir(); dir != nullptr) {
+    const std::string path = ppsched::bench::writeBenchJson(dir, "micro_kernel", records);
+    if (!path.empty()) std::printf("(perf json written to %s)\n", path.c_str());
+  }
+  return 0;
+}

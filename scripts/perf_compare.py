@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Diff two ppsched-bench-v1 BENCH_*.json files with a tolerance.
+
+Usage:
+    perf_compare.py BASELINE.json CURRENT.json [--tolerance 0.10]
+                    [--fail-on-regress] [--fail-on-missing]
+
+Records are joined on (bench, series, metric). For each pair the relative
+change is reported; changes beyond the tolerance are flagged as REGRESS or
+IMPROVE depending on the metric's direction:
+
+  - metrics where higher is better: items_per_second, speedup
+  - everything else (times, waits) is lower-is-better
+
+By default the script is report-only and always exits 0 so it can run
+against a checked-in baseline measured on different hardware. With
+--fail-on-regress it exits 1 when any regression exceeds the tolerance
+(same-machine A/B comparisons).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+HIGHER_IS_BETTER = {"items_per_second", "speedup"}
+SCHEMA = "ppsched-bench-v1"
+
+
+def load(path: str) -> dict:
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    if data.get("schema") != SCHEMA:
+        sys.exit(f"{path}: unsupported schema {data.get('schema')!r} (want {SCHEMA!r})")
+    for field in ("bench", "records"):
+        if field not in data:
+            sys.exit(f"{path}: missing field {field!r}")
+    for rec in data["records"]:
+        for field in ("series", "metric", "value", "unit"):
+            if field not in rec:
+                sys.exit(f"{path}: record missing field {field!r}: {rec}")
+    return data
+
+
+def keyed(data: dict) -> dict:
+    out = {}
+    for rec in data["records"]:
+        out[(data["bench"], rec["series"], rec["metric"])] = rec
+    return out
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="relative change treated as noise (default 0.10 = 10%%)")
+    ap.add_argument("--fail-on-regress", action="store_true",
+                    help="exit 1 if any regression exceeds the tolerance")
+    ap.add_argument("--fail-on-missing", action="store_true",
+                    help="exit 1 if a baseline record is absent from current")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    if base.get("fast") != cur.get("fast"):
+        print(f"note: comparing fast={base.get('fast')} baseline against "
+              f"fast={cur.get('fast')} current; sizes differ")
+
+    base_recs = keyed(base)
+    cur_recs = keyed(cur)
+
+    regressions = 0
+    missing = 0
+    rows = []
+    for key, brec in sorted(base_recs.items()):
+        crec = cur_recs.get(key)
+        bench, series, metric = key
+        label = f"{bench}/{series}/{metric}"
+        if crec is None:
+            rows.append((label, brec["value"], None, None, "MISSING"))
+            missing += 1
+            continue
+        bval, cval = float(brec["value"]), float(crec["value"])
+        if bval == 0.0:
+            delta = 0.0 if cval == 0.0 else float("inf")
+        else:
+            delta = (cval - bval) / abs(bval)
+        better = delta > 0 if metric in HIGHER_IS_BETTER else delta < 0
+        if abs(delta) <= args.tolerance:
+            verdict = "ok"
+        elif better:
+            verdict = "IMPROVE"
+        else:
+            verdict = "REGRESS"
+            regressions += 1
+        rows.append((label, bval, cval, delta, verdict))
+
+    new_keys = sorted(set(cur_recs) - set(base_recs))
+
+    width = max((len(r[0]) for r in rows), default=20)
+    print(f"{'record':<{width}} {'baseline':>14} {'current':>14} {'change':>9}  verdict")
+    for label, bval, cval, delta, verdict in rows:
+        cur_s = f"{cval:14.6g}" if cval is not None else f"{'-':>14}"
+        delta_s = f"{delta:+8.1%}" if delta is not None else f"{'-':>8}"
+        print(f"{label:<{width}} {bval:14.6g} {cur_s} {delta_s}  {verdict}")
+    for key in new_keys:
+        print(f"{'/'.join(key):<{width}} {'-':>14} {cur_recs[key]['value']:14.6g} "
+              f"{'-':>8}  NEW")
+
+    print(f"\n{len(rows)} compared, {regressions} regression(s), {missing} missing, "
+          f"{len(new_keys)} new (tolerance {args.tolerance:.0%})")
+    if args.fail_on_regress and regressions:
+        return 1
+    if args.fail_on_missing and missing:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

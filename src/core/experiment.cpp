@@ -29,7 +29,8 @@ RunResult runExperiment(const ExperimentSpec& spec) {
     // resemble the steady state. Node i uses an independent derived stream.
     WorkloadParams sampler = cfg.workload;
     for (NodeId n = 0; n < engine.numNodes(); ++n) {
-      WorkloadGenerator gen(sampler, deriveSeed(spec.seed, 7000 + static_cast<std::uint64_t>(n)));
+      WorkloadGenerator gen(sampler,
+                            deriveSeed(spec.seed, SeedDomain::Prewarm, static_cast<std::uint64_t>(n)));
       LruExtentCache& cache = engine.cluster().node(n).cache();
       // Bounded attempts: overlapping draws may stop making progress.
       for (int attempt = 0; attempt < 256 && cache.freeSpace() > 0; ++attempt) {
@@ -59,7 +60,7 @@ std::vector<LoadPoint> loadSweep(const ExperimentSpec& base, std::span<const dou
   auto runPoint = [&](std::size_t i) {
     ExperimentSpec spec = base;
     spec.jobsPerHour = loads[i];
-    spec.seed = deriveSeed(base.seed, i);
+    spec.seed = deriveSeed(base.seed, SeedDomain::Sweep, i);
     points[i].jobsPerHour = loads[i];
     points[i].result = runExperiment(spec);
   };
@@ -78,7 +79,7 @@ ReplicatedResult runReplicated(const ExperimentSpec& spec, std::size_t replicas,
   out.runs.resize(replicas);
   auto runOne = [&](std::size_t i) {
     ExperimentSpec s = spec;
-    s.seed = deriveSeed(spec.seed, 1000 + i);
+    s.seed = deriveSeed(spec.seed, SeedDomain::Replica, i);
     out.runs[i] = runExperiment(s);
   };
   if (pool != nullptr) {

@@ -1,0 +1,136 @@
+// Small-buffer-optimized move-only callable.
+//
+// The event queue fires millions of callbacks per simulation; std::function
+// heap-allocates every capture that exceeds its (implementation-defined,
+// often 16-byte) inline buffer, which dominated the scheduling hot path.
+// InlineCallback stores captures up to `InlineBytes` in place and only falls
+// back to the heap for larger ones. All of the engine's event lambdas
+// ([this, job], [this, node], ...) fit inline.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ppsched {
+
+/// Move-only type-erased `void()` callable with `InlineBytes` of inline
+/// capture storage. Larger callables are boxed on the heap transparently.
+template <std::size_t InlineBytes>
+class InlineCallback {
+ public:
+  InlineCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  /*implicit*/ InlineCallback(F&& f) {
+    emplaceImpl(std::forward<F>(f));
+  }
+
+  /// Destroy the current target (if any) and construct `f` in place — lets a
+  /// caller build the capture directly in its final storage instead of
+  /// constructing a temporary and moving it in.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  void emplace(F&& f) {
+    reset();
+    emplaceImpl(std::forward<F>(f));
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { moveFrom(other); }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      moveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  // Null `relocate` means the payload is trivially relocatable: a raw copy of
+  // the inline buffer is a valid move-and-destroy. Null `destroy` means the
+  // destructor is a no-op. Both hold for the engine's common captures
+  // ([this, job], a boxed pointer, ...), turning per-event moves into plain
+  // fixed-size copies instead of indirect calls.
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr Ops inlineOps{
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      std::is_trivially_copyable_v<Fn>
+          ? nullptr
+          : +[](void* dst, void* src) {
+              ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+              static_cast<Fn*>(src)->~Fn();
+            },
+      std::is_trivially_destructible_v<Fn>
+          ? nullptr
+          : +[](void* p) { static_cast<Fn*>(p)->~Fn(); },
+  };
+
+  // The box is owned through a raw pointer in the buffer, so relocation is
+  // always a pointer copy; only destruction needs the type.
+  template <typename Fn>
+  static constexpr Ops boxedOps{
+      [](void* p) { (**static_cast<Fn**>(p))(); },
+      nullptr,
+      [](void* p) { delete *static_cast<Fn**>(p); },
+  };
+
+  template <typename F>
+  void emplaceImpl(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= InlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &inlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &boxedOps<Fn>;
+    }
+  }
+
+  void moveFrom(InlineCallback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      if (ops_->relocate != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+      } else {
+        std::memcpy(storage_, other.storage_, InlineBytes);
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[InlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace ppsched

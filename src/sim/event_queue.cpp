@@ -1,59 +1,186 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
 
 namespace ppsched {
 
+namespace {
+/// Below this size a compaction pass costs more than it saves.
+constexpr std::size_t kCompactionFloor = 64;
+/// Heap fan-out; see the header for why 4.
+constexpr std::size_t kArity = 4;
+}  // namespace
+
+void EventQueue::checkScheduleTime(SimTime at) const {
+  if (!(at >= lastPopped_)) {
+    throw std::logic_error("EventQueue::schedule: event time precedes the last popped event");
+  }
+}
+
 EventId EventQueue::schedule(SimTime at, Callback cb) {
+  checkScheduleTime(at);
+  const std::uint32_t slot = allocEmptySlot();
+  slotRef(slot) = std::move(cb);
+  return pushEntry(at, slot);
+}
+
+EventId EventQueue::pushEntry(SimTime at, std::uint32_t slot) {
   const EventId id = nextId_++;
-  cancelled_.push_back(false);
-  heap_.push(Entry{at, id, std::move(cb)});
+  if ((id & 63) == 0) cancelled_.push_back(0);
+  heap_.push_back(Entry{at, id, slot});
+  siftUp(heap_.size() - 1);
   ++liveCount_;
   return id;
 }
 
 void EventQueue::cancel(EventId id) {
-  if (id >= cancelled_.size() || cancelled_[id]) return;
-  cancelled_[id] = true;
+  if (id >= nextId_ || isCancelled(id)) return;
+  markCancelled(id);
   if (liveCount_ > 0) --liveCount_;
 }
 
-void EventQueue::skipCancelled() const {
-  while (!heap_.empty() && cancelled_[heap_.top().id]) {
-    heap_.pop();
+std::uint32_t EventQueue::allocEmptySlot() {
+  if (!free_.empty()) {
+    const std::uint32_t slot = free_.back();
+    free_.pop_back();
+    return slot;
   }
+  const std::uint32_t slot = poolSize_++;
+  if ((slot & (kPoolChunkSize - 1)) == 0) {
+    pool_.push_back(std::make_unique<Callback[]>(kPoolChunkSize));
+  }
+  return slot;
+}
+
+void EventQueue::freeSlot(std::uint32_t slot) const {
+  slotRef(slot).reset();
+  free_.push_back(slot);
+}
+
+void EventQueue::siftUp(std::size_t i) {
+  Entry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::siftDown(std::size_t i) {
+  const std::size_t n = heap_.size();
+  Entry e = heap_[i];
+  for (;;) {
+    const std::size_t first = kArity * i + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + kArity, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      best = earlier(heap_[c], heap_[best]) ? c : best;
+    }
+    if (!earlier(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::rebuild() {
+  if (heap_.size() < 2) return;
+  for (std::size_t i = (heap_.size() - 2) / kArity + 1; i-- > 0;) siftDown(i);
+}
+
+void EventQueue::removeRoot() const {
+  const Entry e = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  std::size_t hole = 0;
+  for (;;) {
+    const std::size_t first = kArity * hole + 1;
+    std::size_t best;
+    if (first + kArity <= n) {
+      // Full child group: a branchless pairwise tournament (3 selects, no
+      // data-dependent branches).
+      const Entry* c = &heap_[first];
+      const std::size_t b01 = first + (earlier(c[1], c[0]) ? 1u : 0u);
+      const std::size_t b23 = first + 2 + (earlier(c[3], c[2]) ? 1u : 0u);
+      best = earlier(heap_[b23], heap_[b01]) ? b23 : b01;
+    } else {
+      if (first >= n) break;
+      const std::size_t last = std::min(first + kArity, n);
+      best = first;
+      for (std::size_t ci = first + 1; ci < last; ++ci) {
+        best = earlier(heap_[ci], heap_[best]) ? ci : best;
+      }
+    }
+    heap_[hole] = heap_[best];
+    hole = best;
+  }
+  while (hole > 0) {
+    const std::size_t parent = (hole - 1) / kArity;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = e;
+}
+
+void EventQueue::popTop() const {
+  freeSlot(heap_.front().slot);
+  removeRoot();
+}
+
+void EventQueue::prune() const {
+  // Bulk-compact when more than half of the heap is tombstones: partition
+  // the live entries to the front, free the dead slots, and rebuild. The
+  // (time, id) total order makes the rebuilt heap pop-order identical.
+  if (heap_.size() >= kCompactionFloor && heap_.size() > 2 * liveCount_) {
+    auto dead = std::partition(heap_.begin(), heap_.end(),
+                               [&](const Entry& e) { return !isCancelled(e.id); });
+    for (auto it = dead; it != heap_.end(); ++it) freeSlot(it->slot);
+    heap_.erase(dead, heap_.end());
+    const_cast<EventQueue*>(this)->rebuild();
+    assert(heap_.size() == liveCount_);
+    return;
+  }
+  while (!heap_.empty() && isCancelled(heap_.front().id)) popTop();
 }
 
 SimTime EventQueue::nextTime() const {
-  skipCancelled();
+  prune();
   if (heap_.empty()) throw std::logic_error("EventQueue::nextTime on empty queue");
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 SimTime EventQueue::runNext() {
-  skipCancelled();
+  prune();
   if (heap_.empty()) throw std::logic_error("EventQueue::runNext on empty queue");
-  // priority_queue::top() is const; moving the callback out is safe because
-  // the entry is popped immediately afterwards.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  const SimTime t = top.time;
-  const EventId id = top.id;
-  Callback cb = std::move(top.cb);
-  heap_.pop();
-  cancelled_[id] = true;  // mark fired so a late cancel() is a no-op
+  const Entry top = heap_.front();
+  Callback cb = std::move(slotRef(top.slot));
+  free_.push_back(top.slot);  // moved-from slot is already empty; no reset()
+  removeRoot();
+  markCancelled(top.id);  // mark fired so a late cancel() is a no-op
   assert(liveCount_ > 0);
   --liveCount_;
+  lastPopped_ = top.time;
   cb();
-  return t;
+  return top.time;
 }
 
 void EventQueue::clear() {
-  while (!heap_.empty()) heap_.pop();
+  heap_.clear();
+  pool_.clear();
+  poolSize_ = 0;
+  free_.clear();
   cancelled_.clear();
   nextId_ = 0;
   liveCount_ = 0;
+  lastPopped_ = kMinSimTime;
 }
 
 }  // namespace ppsched

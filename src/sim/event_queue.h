@@ -1,16 +1,31 @@
 // Discrete-event queue.
 //
-// A binary heap of (time, sequence) keyed events with O(log n) push/pop and
-// O(1) lazy cancellation. Sequence numbers make ordering of simultaneous
-// events deterministic (FIFO among equal timestamps), which keeps whole
-// simulations reproducible for a fixed seed.
+// A 4-ary implicit heap of (time, sequence) keyed events with O(log n)
+// push/pop and O(1) lazy cancellation. Sequence numbers make ordering of
+// simultaneous events deterministic (FIFO among equal timestamps), which
+// keeps whole simulations reproducible for a fixed seed. The popped element
+// is always the unique (time, id) minimum, so the heap arity is invisible to
+// callers: pop order is identical whatever the internal arrangement. Arity 4
+// halves the sift-down depth versus a binary heap and the 24-byte entries
+// keep each child group within two cache lines.
+//
+// Performance layout: the heap itself holds only 24-byte (time, id, slot)
+// entries; callbacks live in a pooled slab of small-buffer-optimized
+// InlineCallbacks, so scheduling an event neither heap-allocates the capture
+// (for captures up to kEventCallbackBytes) nor moves the callback during
+// heap sifts. Cancelled events are tombstoned in O(1) and physically removed
+// when they surface at the top of the heap — or in bulk, when more than half
+// of the heap is dead, by a compaction pass that rebuilds the heap from the
+// live entries. Because (time, id) is a strict total order, compaction never
+// changes the pop order.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "sim/callback.h"
 #include "sim/time.h"
 
 namespace ppsched {
@@ -18,19 +33,43 @@ namespace ppsched {
 /// Identifies a scheduled event so it can be cancelled before it fires.
 using EventId = std::uint64_t;
 
+/// Inline capture budget for event callbacks. Sized for the engine's largest
+/// event lambda ([this, Job] = pointer + Job) with headroom.
+inline constexpr std::size_t kEventCallbackBytes = 56;
+
 /// Min-heap of timed callbacks with deterministic tie-breaking and lazy
 /// cancellation.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback<kEventCallbackBytes>;
 
   /// Schedule `cb` to fire at absolute time `at`. Returns an id usable with
-  /// cancel(). `at` must be >= the time of the last popped event.
+  /// cancel(). `at` must be >= the time of the last popped event; scheduling
+  /// in the past (e.g. from a rollback path) would silently violate the heap
+  /// order, so it throws std::logic_error instead. NaN times are rejected
+  /// the same way.
   EventId schedule(SimTime at, Callback cb);
+
+  /// Same, for a raw callable: the capture is constructed directly in its
+  /// pool slot instead of passing through a temporary Callback.
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, Callback> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventId schedule(SimTime at, F&& f) {
+    checkScheduleTime(at);
+    const std::uint32_t slot = allocEmptySlot();
+    try {
+      slotRef(slot).emplace(std::forward<F>(f));
+    } catch (...) {
+      free_.push_back(slot);  // capture construction threw; reclaim the slot
+      throw;
+    }
+    return pushEntry(at, slot);
+  }
 
   /// Cancel a previously scheduled event. Cancelling an already-fired or
   /// already-cancelled event is a no-op. O(1): the entry is tombstoned and
-  /// discarded when it reaches the top of the heap.
+  /// discarded when it reaches the top of the heap or during compaction.
   void cancel(EventId id);
 
   /// True when no live (non-cancelled) events remain.
@@ -46,29 +85,77 @@ class EventQueue {
   /// Precondition: !empty().
   SimTime runNext();
 
-  /// Discard all events.
+  /// Discard all events (and the past-scheduling watermark).
   void clear();
+
+  /// Heap entries currently occupied by cancelled events (for tests).
+  [[nodiscard]] std::size_t deadEntries() const { return heap_.size() - liveCount_; }
 
  private:
   struct Entry {
     SimTime time;
-    EventId id;  // doubles as the sequence number for tie-breaking
-    Callback cb;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;
-    }
+    EventId id;          // doubles as the sequence number for tie-breaking
+    std::uint32_t slot;  // index of the callback in the pool slab
   };
 
-  /// Drop cancelled entries from the top of the heap.
-  void skipCancelled() const;
+  /// Callbacks live in fixed-size chunks so growing the pool never relocates
+  /// a live callback (no per-element move loop, stable addresses).
+  static constexpr std::size_t kPoolChunkShift = 8;
+  static constexpr std::size_t kPoolChunkSize = std::size_t{1} << kPoolChunkShift;
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::vector<bool> cancelled_;  // indexed by EventId
+  /// Strict weak ordering: earliest (time, id) wins. Written without
+  /// short-circuiting so it compiles to flag logic instead of a
+  /// data-dependent branch — sift comparisons on random times are otherwise
+  /// one misprediction each. (NaN never reaches the heap; schedule() rejects
+  /// it.)
+  static bool earlier(const Entry& a, const Entry& b) {
+    return (a.time < b.time) | ((a.time == b.time) & (a.id < b.id));
+  }
+
+  /// Tombstone bit for `id`, packed 64 per word. A hand-rolled bitset beats
+  /// std::vector<bool> here: the amortized push in schedule() collapses to a
+  /// branch + increment and the per-pop reads are a shift and a mask.
+  [[nodiscard]] bool isCancelled(EventId id) const {
+    return ((cancelled_[id >> 6] >> (id & 63)) & 1u) != 0;
+  }
+  void markCancelled(EventId id) const { cancelled_[id >> 6] |= std::uint64_t{1} << (id & 63); }
+
+  [[nodiscard]] Callback& slotRef(std::uint32_t slot) const {
+    return pool_[slot >> kPoolChunkShift][slot & (kPoolChunkSize - 1)];
+  }
+
+  /// Throws std::logic_error when `at` precedes the last popped event (the
+  /// negated comparison also catches NaN, which would poison the heap order).
+  void checkScheduleTime(SimTime at) const;
+  /// Next free pool slot (grows the slab by one chunk when exhausted); the
+  /// slot's Callback is empty.
+  std::uint32_t allocEmptySlot();
+  /// Register the heap entry for an already-filled slot; returns the id.
+  EventId pushEntry(SimTime at, std::uint32_t slot);
+
+  void siftUp(std::size_t i);
+  void siftDown(std::size_t i);
+  /// Floyd heap construction over the current entries (any order -> heap).
+  void rebuild();
+  /// Remove heap_[0] (bottom-up: the hole descends along min children to a
+  /// leaf, then the displaced last element sifts back up — the displaced
+  /// element usually belongs near the bottom, so this does ~1/(arity+1)
+  /// fewer comparisons per pop than a classic top-down sift).
+  void removeRoot() const;
+  /// Drop cancelled entries from the top of the heap; compact the whole heap
+  /// when the dead fraction exceeds 1/2.
+  void prune() const;
+  void popTop() const;
+  void freeSlot(std::uint32_t slot) const;
+
+  mutable std::vector<Entry> heap_;
+  mutable std::vector<std::unique_ptr<Callback[]>> pool_;  // chunked slab
+  std::uint32_t poolSize_ = 0;                  // constructed slots
+  mutable std::vector<std::uint32_t> free_;     // recycled pool slots
+  mutable std::vector<std::uint64_t> cancelled_;  // EventId-indexed bitset
   EventId nextId_ = 0;
   std::size_t liveCount_ = 0;
+  SimTime lastPopped_ = kMinSimTime;
 };
 
 }  // namespace ppsched

@@ -58,4 +58,10 @@ std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t index) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t deriveSeed(std::uint64_t base, SeedDomain domain, std::uint64_t index) {
+  // Re-base into a per-domain namespace first, then mix the index; two
+  // SplitMix64 steps keep streams disjoint for the full uint64 index range.
+  return deriveSeed(deriveSeed(base, static_cast<std::uint64_t>(domain)), index);
+}
+
 }  // namespace ppsched

@@ -57,4 +57,24 @@ class Rng {
 /// parameter sweeps can give every run an independent, reproducible stream.
 std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t index);
 
+/// Purpose tag for derived seed streams.
+///
+/// Seed-derivation contract: every distinct consumer of child seeds MUST
+/// draw from its own domain via deriveSeed(base, domain, index), never by
+/// offsetting indices in the shared deriveSeed(base, index) namespace.
+/// Ad-hoc offsets (e.g. "1000 + i" for replicas, "7000 + n" for prewarm)
+/// collide as soon as another consumer's index range grows past the offset —
+/// a ≥1000-point load sweep would silently reuse the replication streams.
+/// Domains are mixed through an extra SplitMix64 step, so
+/// (domain, index) pairs map to disjoint, decorrelated streams for any
+/// index range.
+enum class SeedDomain : std::uint64_t {
+  Sweep = 1,    // loadSweep: one stream per load point
+  Replica = 2,  // runReplicated: one stream per replica
+  Prewarm = 3,  // cache prewarm: one stream per node
+};
+
+/// Derive the `index`-th child seed of `base` within `domain`.
+std::uint64_t deriveSeed(std::uint64_t base, SeedDomain domain, std::uint64_t index);
+
 }  // namespace ppsched

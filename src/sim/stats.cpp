@@ -9,6 +9,7 @@ namespace ppsched {
 
 void StreamingStats::add(double x) {
   ++count_;
+  sum_ += x;
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(count_);
   m2_ += delta * (x - mean_);

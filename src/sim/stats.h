@@ -31,12 +31,15 @@ class StreamingStats {
   [[nodiscard]] double stddev() const;
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
-  [[nodiscard]] double sum() const { return mean() * static_cast<double>(count_); }
+  /// Exact running sum of the samples (not reconstructed from the Welford
+  /// mean, which accumulates rounding drift over long streams).
+  [[nodiscard]] double sum() const { return sum_; }
 
  private:
   std::size_t count_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
+  double sum_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
 };

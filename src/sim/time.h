@@ -5,10 +5,16 @@
 // live here to keep call sites readable.
 #pragma once
 
+#include <limits>
+
 namespace ppsched {
 
 /// Simulation time in seconds since simulation start.
 using SimTime = double;
+
+/// Earliest representable simulation time. The event queue uses it as the
+/// "nothing popped yet" watermark for its monotonicity check.
+inline constexpr SimTime kMinSimTime = -std::numeric_limits<double>::infinity();
 
 /// A duration in seconds.
 using Duration = double;

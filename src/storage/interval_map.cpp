@@ -1,57 +1,81 @@
 #include "storage/interval_map.h"
 
 #include <algorithm>
-#include <limits>
 #include <stdexcept>
 
 namespace ppsched {
 
-namespace {
-/// Value implied at index `e` by a boundary map (0 before the first key).
-std::int64_t boundaryValueAt(const std::map<EventIndex, std::int64_t>& m, EventIndex e) {
-  auto it = m.upper_bound(e);
-  if (it == m.begin()) return 0;
-  return std::prev(it)->second;
+std::vector<IntervalCounter::Bound>::const_iterator IntervalCounter::boundAfter(
+    EventIndex e) const {
+  return std::upper_bound(bounds_.begin(), bounds_.end(), e,
+                          [](EventIndex v, const Bound& b) { return v < b.first; });
 }
-}  // namespace
+
+std::int64_t IntervalCounter::valueBefore(std::vector<Bound>::const_iterator it) const {
+  return it == bounds_.begin() ? 0 : std::prev(it)->second;
+}
 
 void IntervalCounter::add(EventRange r, std::int64_t delta) {
   if (r.empty() || delta == 0) return;
-  // Materialize boundaries at both ends so the update stays inside [begin,end).
-  bounds_.try_emplace(r.begin, boundaryValueAt(bounds_, r.begin));
-  bounds_.try_emplace(r.end, boundaryValueAt(bounds_, r.end));
-  for (auto it = bounds_.lower_bound(r.begin); it != bounds_.end() && it->first < r.end; ++it) {
-    it->second += delta;
-    if (it->second < 0) throw std::logic_error("IntervalCounter went negative");
-  }
-  coalesce(r.begin, r.end);
-}
+  // Materialize boundaries at both ends so the update stays inside
+  // [begin, end). One batched splice: find the affected window, remember the
+  // values at the edges, then rewrite the window.
+  auto first = std::lower_bound(bounds_.begin(), bounds_.end(), r.begin,
+                                [](const Bound& b, EventIndex v) { return b.first < v; });
+  const std::int64_t beforeValue = valueBefore(first);
+  auto last = std::lower_bound(first, bounds_.end(), r.end,
+                               [](const Bound& b, EventIndex v) { return b.first < v; });
+  const std::int64_t endValue =
+      (last != bounds_.end() && last->first == r.end)
+          ? last->second
+          : (last == bounds_.begin() ? 0 : std::prev(last)->second);
 
-void IntervalCounter::coalesce(EventIndex from, EventIndex to) {
-  // Remove keys whose value equals the value just before them, scanning a
-  // window slightly wider than [from, to] to catch merges at the edges.
-  auto it = bounds_.lower_bound(from);
-  for (;;) {
-    if (it == bounds_.end()) break;
-    const std::int64_t prevValue =
-        it == bounds_.begin() ? 0 : std::prev(it)->second;
-    if (it->second == prevValue) {
-      it = bounds_.erase(it);
-    } else {
-      if (it->first > to) break;
-      ++it;
+  // New window contents: a boundary at r.begin, the shifted interior
+  // boundaries, and a boundary restoring endValue at r.end — minus any
+  // entry that duplicates the value in force just before it.
+  std::vector<Bound> window;
+  window.reserve(static_cast<std::size_t>(last - first) + 2);
+  std::int64_t prevValue = beforeValue;
+  auto emit = [&](EventIndex pos, std::int64_t value) {
+    if (value < 0) throw std::logic_error("IntervalCounter went negative");
+    if (value != prevValue) {
+      window.emplace_back(pos, value);
+      prevValue = value;
     }
+  };
+  auto it = first;
+  if (it == bounds_.end() || it->first != r.begin) {
+    emit(r.begin, beforeValue + delta);
+  }
+  for (; it != last; ++it) emit(it->first, it->second + delta);
+  emit(r.end, endValue);
+
+  // Splice the window in. `last` may start with a now-redundant boundary at
+  // r.end (same value as the window's tail): drop it.
+  if (last != bounds_.end() && last->first == r.end) ++last;
+  const auto firstIdx = first - bounds_.begin();
+  if (static_cast<std::size_t>(last - first) == window.size()) {
+    std::copy(window.begin(), window.end(), first);
+  } else {
+    bounds_.erase(first, last);
+    bounds_.insert(bounds_.begin() + firstIdx, window.begin(), window.end());
+  }
+  // The splice may have left the boundary after the window equal to its new
+  // predecessor; coalesce that single seam.
+  const std::size_t seam = firstIdx + window.size();
+  if (seam < bounds_.size() &&
+      bounds_[seam].second == (seam == 0 ? 0 : bounds_[seam - 1].second)) {
+    bounds_.erase(bounds_.begin() + seam);
   }
 }
 
-std::int64_t IntervalCounter::valueAt(EventIndex e) const {
-  return boundaryValueAt(bounds_, e);
-}
+std::int64_t IntervalCounter::valueAt(EventIndex e) const { return valueBefore(boundAfter(e)); }
 
 std::int64_t IntervalCounter::minOver(EventRange r) const {
   if (r.empty()) throw std::invalid_argument("minOver of empty range");
-  std::int64_t best = valueAt(r.begin);
-  for (auto it = bounds_.upper_bound(r.begin); it != bounds_.end() && it->first < r.end; ++it) {
+  auto it = boundAfter(r.begin);
+  std::int64_t best = valueBefore(it);
+  for (; it != bounds_.end() && it->first < r.end; ++it) {
     best = std::min(best, it->second);
   }
   return best;
@@ -59,8 +83,9 @@ std::int64_t IntervalCounter::minOver(EventRange r) const {
 
 std::int64_t IntervalCounter::maxOver(EventRange r) const {
   if (r.empty()) throw std::invalid_argument("maxOver of empty range");
-  std::int64_t best = valueAt(r.begin);
-  for (auto it = bounds_.upper_bound(r.begin); it != bounds_.end() && it->first < r.end; ++it) {
+  auto it = boundAfter(r.begin);
+  std::int64_t best = valueBefore(it);
+  for (; it != bounds_.end() && it->first < r.end; ++it) {
     best = std::max(best, it->second);
   }
   return best;
@@ -70,8 +95,8 @@ IntervalSet IntervalCounter::rangesAtLeast(EventRange r, std::int64_t threshold)
   IntervalSet out;
   if (r.empty()) return out;
   EventIndex pos = r.begin;
-  std::int64_t value = valueAt(r.begin);
-  auto it = bounds_.upper_bound(r.begin);
+  auto it = boundAfter(r.begin);
+  std::int64_t value = valueBefore(it);
   while (pos < r.end) {
     const EventIndex next =
         (it == bounds_.end()) ? r.end : std::min<EventIndex>(it->first, r.end);
@@ -83,10 +108,6 @@ IntervalSet IntervalCounter::rangesAtLeast(EventRange r, std::int64_t threshold)
     }
   }
   return out;
-}
-
-std::vector<std::pair<EventIndex, std::int64_t>> IntervalCounter::breakpoints() const {
-  return {bounds_.begin(), bounds_.end()};
 }
 
 }  // namespace ppsched

@@ -6,13 +6,17 @@
 //  - the LRU cache tracks pin counts (extents that must not be evicted while
 //    a run is actively processing them).
 //
-// Implemented as a boundary map: keys are positions where the value changes;
-// the value at index e is the entry at the greatest key <= e (default 0
-// before the first key). Adjacent equal values are coalesced.
+// Implemented as a boundary list: keys are positions where the value
+// changes; the value at index e is the entry at the greatest key <= e
+// (default 0 before the first key). Adjacent equal values are coalesced.
+// The boundaries live in a flat sorted vector rather than a std::map:
+// rangesAtLeast/minOver/maxOver — the placement-decision hot path of the
+// replication and cache-oriented policies — are linear scans that want
+// contiguous memory, and boundary counts stay small.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "storage/interval_set.h"
@@ -40,15 +44,23 @@ class IntervalCounter {
   [[nodiscard]] bool allZero() const { return bounds_.empty(); }
 
   /// Breakpoints (for tests/debugging): (start, value) pairs in order.
-  [[nodiscard]] std::vector<std::pair<EventIndex, std::int64_t>> breakpoints() const;
+  [[nodiscard]] std::vector<std::pair<EventIndex, std::int64_t>> breakpoints() const {
+    return bounds_;
+  }
 
  private:
-  void coalesce(EventIndex from, EventIndex to);
+  using Bound = std::pair<EventIndex, std::int64_t>;
 
-  // Position -> value from that position until the next key. The implicit
-  // value before the first key and after regions trimmed back to 0 is 0;
-  // trailing/leading zero entries are removed by coalesce().
-  std::map<EventIndex, std::int64_t> bounds_;
+  /// First boundary with key > e (upper bound by position).
+  [[nodiscard]] std::vector<Bound>::const_iterator boundAfter(EventIndex e) const;
+  /// Value implied at index e (0 before the first boundary).
+  [[nodiscard]] std::int64_t valueBefore(std::vector<Bound>::const_iterator it) const;
+
+  // Position -> value from that position until the next key, sorted by
+  // position. The implicit value before the first key and after regions
+  // trimmed back to 0 is 0; trailing/leading zero entries are removed by
+  // the coalescing pass in add().
+  std::vector<Bound> bounds_;
 };
 
 }  // namespace ppsched

@@ -27,94 +27,140 @@ IntervalSet::IntervalSet(std::initializer_list<EventRange> ranges) {
   for (const auto& r : ranges) insert(r);
 }
 
+std::vector<EventRange>::const_iterator IntervalSet::atOrBefore(EventIndex e) const {
+  // First interval with begin > e, then step back.
+  auto it = std::upper_bound(ivs_.begin(), ivs_.end(), e,
+                             [](EventIndex v, const EventRange& iv) { return v < iv.begin; });
+  if (it == ivs_.begin()) return ivs_.end();
+  return std::prev(it);
+}
+
+std::vector<EventRange>::iterator IntervalSet::firstEndingAfter(EventIndex e) {
+  return std::lower_bound(ivs_.begin(), ivs_.end(), e,
+                          [](const EventRange& iv, EventIndex v) { return iv.end <= v; });
+}
+
+std::vector<EventRange>::const_iterator IntervalSet::firstEndingAfter(EventIndex e) const {
+  return std::lower_bound(ivs_.begin(), ivs_.end(), e,
+                          [](const EventRange& iv, EventIndex v) { return iv.end <= v; });
+}
+
 void IntervalSet::insert(EventRange r) {
   if (r.empty()) return;
-  EventIndex b = r.begin;
+  // First interval that could touch r: end >= r.begin (adjacency merges too).
+  auto first = std::lower_bound(ivs_.begin(), ivs_.end(), r.begin,
+                                [](const EventRange& iv, EventIndex v) { return iv.end < v; });
+  if (first == ivs_.end() || first->begin > r.end) {
+    // No overlap or adjacency: plain insertion keeps the order.
+    ivs_.insert(first, r);
+    size_ += r.size();
+    return;
+  }
+  // Absorb all overlapping/adjacent intervals [first, last) into one.
+  EventIndex b = std::min(r.begin, first->begin);
   EventIndex e = r.end;
-
-  // Find the first interval that could touch [b, e): the one before b, if it
-  // reaches b (adjacency merges too).
-  auto it = map_.lower_bound(b);
-  if (it != map_.begin()) {
-    auto prev = std::prev(it);
-    if (prev->second >= b) it = prev;
+  auto last = first;
+  while (last != ivs_.end() && last->begin <= r.end) {
+    e = std::max(e, last->end);
+    size_ -= last->size();
+    ++last;
   }
-  // Absorb all overlapping/adjacent intervals.
-  while (it != map_.end() && it->first <= e) {
-    b = std::min(b, it->first);
-    e = std::max(e, it->second);
-    size_ -= it->second - it->first;
-    it = map_.erase(it);
-  }
-  map_.emplace(b, e);
+  *first = {b, e};
   size_ += e - b;
+  ivs_.erase(first + 1, last);
 }
 
 void IntervalSet::erase(EventRange r) {
-  if (r.empty() || map_.empty()) return;
-  auto it = map_.lower_bound(r.begin);
-  if (it != map_.begin()) {
-    auto prev = std::prev(it);
-    if (prev->second > r.begin) it = prev;
+  if (r.empty() || ivs_.empty()) return;
+  auto it = firstEndingAfter(r.begin);
+  if (it == ivs_.end() || it->begin >= r.end) return;
+  if (it->begin < r.begin && it->end > r.end) {
+    // r is strictly inside one interval: split it.
+    const EventIndex tail = it->end;
+    it->end = r.begin;
+    ivs_.insert(it + 1, {r.end, tail});
+    size_ -= r.size();
+    return;
   }
-  while (it != map_.end() && it->first < r.end) {
-    const EventIndex ib = it->first;
-    const EventIndex ie = it->second;
-    size_ -= ie - ib;
-    it = map_.erase(it);
-    if (ib < r.begin) {
-      map_.emplace(ib, r.begin);
-      size_ += r.begin - ib;
-    }
-    if (ie > r.end) {
-      map_.emplace(r.end, ie);
-      size_ += ie - r.end;
-      break;  // nothing beyond this interval can overlap r
-    }
+  // Trim a left partial overlap in place.
+  if (it->begin < r.begin) {
+    size_ -= it->end - r.begin;
+    it->end = r.begin;
+    ++it;
   }
+  // Drop fully covered intervals.
+  auto last = it;
+  while (last != ivs_.end() && last->end <= r.end) {
+    size_ -= last->size();
+    ++last;
+  }
+  // Trim a right partial overlap in place.
+  if (last != ivs_.end() && last->begin < r.end) {
+    size_ -= r.end - last->begin;
+    last->begin = r.end;
+  }
+  ivs_.erase(it, last);
 }
 
 void IntervalSet::insert(const IntervalSet& other) {
-  for (const auto& [b, e] : other.map_) insert({b, e});
+  if (other.ivs_.empty()) return;
+  if (ivs_.empty()) {
+    *this = other;
+    return;
+  }
+  // Linear merge of the two sorted lists, coalescing as we go.
+  std::vector<EventRange> merged;
+  merged.reserve(ivs_.size() + other.ivs_.size());
+  std::uint64_t total = 0;
+  auto a = ivs_.begin();
+  auto b = other.ivs_.begin();
+  auto take = [&] {
+    if (b == other.ivs_.end() || (a != ivs_.end() && a->begin <= b->begin)) return *a++;
+    return *b++;
+  };
+  EventRange cur = take();
+  while (a != ivs_.end() || b != other.ivs_.end()) {
+    const EventRange next = take();
+    if (next.begin <= cur.end) {
+      cur.end = std::max(cur.end, next.end);
+    } else {
+      merged.push_back(cur);
+      total += cur.size();
+      cur = next;
+    }
+  }
+  merged.push_back(cur);
+  total += cur.size();
+  ivs_ = std::move(merged);
+  size_ = total;
 }
 
 void IntervalSet::erase(const IntervalSet& other) {
-  for (const auto& [b, e] : other.map_) erase({b, e});
+  for (const auto& r : other.ivs_) erase(r);
 }
 
 bool IntervalSet::contains(EventIndex e) const {
-  auto it = map_.upper_bound(e);
-  if (it == map_.begin()) return false;
-  --it;
-  return e < it->second;
+  auto it = atOrBefore(e);
+  return it != ivs_.end() && e < it->end;
 }
 
 bool IntervalSet::containsRange(EventRange r) const {
   if (r.empty()) return true;
-  auto it = map_.upper_bound(r.begin);
-  if (it == map_.begin()) return false;
-  --it;
-  return r.begin >= it->first && r.end <= it->second;
+  auto it = atOrBefore(r.begin);
+  return it != ivs_.end() && r.end <= it->end;
 }
 
 bool IntervalSet::intersects(EventRange r) const {
-  if (r.empty() || map_.empty()) return false;
-  auto it = map_.lower_bound(r.begin);
-  if (it != map_.end() && it->first < r.end) return true;
-  if (it == map_.begin()) return false;
-  --it;
-  return it->second > r.begin;
+  if (r.empty()) return false;
+  auto it = firstEndingAfter(r.begin);
+  return it != ivs_.end() && it->begin < r.end;
 }
 
 std::uint64_t IntervalSet::overlapSize(EventRange r) const {
   if (r.empty()) return 0;
   std::uint64_t total = 0;
-  auto it = map_.upper_bound(r.begin);
-  if (it != map_.begin()) --it;
-  for (; it != map_.end() && it->first < r.end; ++it) {
-    const EventIndex b = std::max(it->first, r.begin);
-    const EventIndex e = std::min(it->second, r.end);
-    if (b < e) total += e - b;
+  for (auto it = firstEndingAfter(r.begin); it != ivs_.end() && it->begin < r.end; ++it) {
+    total += std::min(it->end, r.end) - std::max(it->begin, r.begin);
   }
   return total;
 }
@@ -122,24 +168,30 @@ std::uint64_t IntervalSet::overlapSize(EventRange r) const {
 IntervalSet IntervalSet::intersectWith(EventRange r) const {
   IntervalSet out;
   if (r.empty()) return out;
-  auto it = map_.upper_bound(r.begin);
-  if (it != map_.begin()) --it;
-  for (; it != map_.end() && it->first < r.end; ++it) {
-    const EventIndex b = std::max(it->first, r.begin);
-    const EventIndex e = std::min(it->second, r.end);
-    if (b < e) out.insert({b, e});
+  for (auto it = firstEndingAfter(r.begin); it != ivs_.end() && it->begin < r.end; ++it) {
+    out.ivs_.push_back({std::max(it->begin, r.begin), std::min(it->end, r.end)});
+    out.size_ += out.ivs_.back().size();
   }
   return out;
 }
 
 IntervalSet IntervalSet::intersectWith(const IntervalSet& other) const {
-  // Iterate the smaller set's intervals against the bigger one.
-  const IntervalSet& small = map_.size() <= other.map_.size() ? *this : other;
-  const IntervalSet& big = map_.size() <= other.map_.size() ? other : *this;
+  // Linear sweep over both sorted lists.
   IntervalSet out;
-  for (const auto& [b, e] : small.map_) {
-    IntervalSet piece = big.intersectWith(EventRange{b, e});
-    for (const auto& r : piece.intervals()) out.insert(r);
+  auto a = ivs_.begin();
+  auto b = other.ivs_.begin();
+  while (a != ivs_.end() && b != other.ivs_.end()) {
+    const EventIndex lo = std::max(a->begin, b->begin);
+    const EventIndex hi = std::min(a->end, b->end);
+    if (lo < hi) {
+      out.ivs_.push_back({lo, hi});
+      out.size_ += hi - lo;
+    }
+    if (a->end < b->end) {
+      ++a;
+    } else {
+      ++b;
+    }
   }
   return out;
 }
@@ -150,24 +202,15 @@ IntervalSet IntervalSet::difference(const IntervalSet& other) const {
   return out;
 }
 
-std::vector<EventRange> IntervalSet::intervals() const {
-  std::vector<EventRange> out;
-  out.reserve(map_.size());
-  for (const auto& [b, e] : map_) out.push_back({b, e});
-  return out;
-}
-
 EventRange IntervalSet::first() const {
-  if (map_.empty()) throw std::logic_error("IntervalSet::first on empty set");
-  return {map_.begin()->first, map_.begin()->second};
+  if (ivs_.empty()) throw std::logic_error("IntervalSet::first on empty set");
+  return ivs_.front();
 }
 
 EventRange IntervalSet::runAt(EventIndex e) const {
-  auto it = map_.upper_bound(e);
-  if (it == map_.begin()) return {};
-  --it;
-  if (e >= it->second) return {};
-  return {e, it->second};
+  auto it = atOrBefore(e);
+  if (it == ivs_.end() || e >= it->end) return {};
+  return {e, it->end};
 }
 
 std::ostream& operator<<(std::ostream& os, const IntervalSet& s) {

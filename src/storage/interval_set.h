@@ -4,12 +4,18 @@
 // job data segments, subjob assignments, cached extents, remaining work.
 // IntervalSet is the shared vocabulary: disjoint, coalesced [begin, end)
 // intervals over std::uint64_t with the usual set algebra.
+//
+// Storage is a flat sorted vector of ranges rather than a node-based tree:
+// interval counts are small (tens, rarely hundreds) and the hot policy
+// queries (overlapSize, runAt, containsRange) are binary-search-plus-scan,
+// so contiguity wins over pointer chasing by a wide margin. Mutations splice
+// the vector in place; the batched insert(IntervalSet) path does a single
+// linear merge.
 #pragma once
 
 #include <cstdint>
 #include <initializer_list>
 #include <iosfwd>
-#include <map>
 #include <vector>
 
 namespace ppsched {
@@ -51,15 +57,16 @@ class IntervalSet {
   void insert(EventRange r);
   /// Remove a range (difference). Empty ranges are ignored.
   void erase(EventRange r);
+  /// Batched union: single linear merge of the two sorted interval lists.
   void insert(const IntervalSet& other);
   void erase(const IntervalSet& other);
-  void clear() { map_.clear(); size_ = 0; }
+  void clear() { ivs_.clear(); size_ = 0; }
 
-  [[nodiscard]] bool empty() const { return map_.empty(); }
+  [[nodiscard]] bool empty() const { return ivs_.empty(); }
   /// Total number of events covered.
   [[nodiscard]] std::uint64_t size() const { return size_; }
   /// Number of disjoint intervals.
-  [[nodiscard]] std::size_t intervalCount() const { return map_.size(); }
+  [[nodiscard]] std::size_t intervalCount() const { return ivs_.size(); }
 
   [[nodiscard]] bool contains(EventIndex e) const;
   /// True if the whole of `r` is covered.
@@ -75,7 +82,7 @@ class IntervalSet {
   [[nodiscard]] IntervalSet difference(const IntervalSet& other) const;
 
   /// The covered intervals in ascending order.
-  [[nodiscard]] std::vector<EventRange> intervals() const;
+  [[nodiscard]] std::vector<EventRange> intervals() const { return ivs_; }
   /// First interval; precondition: !empty().
   [[nodiscard]] EventRange first() const;
 
@@ -86,8 +93,15 @@ class IntervalSet {
   friend bool operator==(const IntervalSet&, const IntervalSet&) = default;
 
  private:
-  // begin -> end of each disjoint interval.
-  std::map<EventIndex, EventIndex> map_;
+  /// Iterator to the last interval with begin <= e, or end() if none.
+  [[nodiscard]] std::vector<EventRange>::const_iterator atOrBefore(EventIndex e) const;
+  /// Iterator to the first interval whose end is > e (first that can cover
+  /// or follow index e), or end().
+  [[nodiscard]] std::vector<EventRange>::iterator firstEndingAfter(EventIndex e);
+  [[nodiscard]] std::vector<EventRange>::const_iterator firstEndingAfter(EventIndex e) const;
+
+  // Sorted, disjoint, non-adjacent, non-empty ranges.
+  std::vector<EventRange> ivs_;
   std::uint64_t size_ = 0;
 };
 

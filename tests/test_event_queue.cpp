@@ -3,6 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <memory>
+#include <random>
 #include <vector>
 
 namespace ppsched {
@@ -120,6 +125,208 @@ TEST(EventQueue, ManyEventsStressOrdering) {
     const SimTime t = q.runNext();
     ASSERT_GE(t, last);
     last = t;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Monotonicity precondition (regression: a rollback path scheduling in the
+// past used to silently corrupt the heap order).
+
+TEST(EventQueue, SchedulingBeforeLastPoppedThrows) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.runNext();
+  EXPECT_THROW(q.schedule(4.9, [] {}), std::logic_error);
+  // Scheduling exactly at the last popped time stays allowed.
+  EXPECT_NO_THROW(q.schedule(5.0, [] {}));
+}
+
+TEST(EventQueue, SchedulingBehindNowDuringCallbackThrows) {
+  EventQueue q;
+  bool pastThrew = false;
+  bool atNowOk = false;
+  q.schedule(10.0, [&] {
+    // `now` is 10.0 while this callback runs: at-now is legal, behind-now
+    // must throw instead of corrupting the heap.
+    q.schedule(10.0, [&] { atNowOk = true; });
+    try {
+      q.schedule(9.0, [] {});
+    } catch (const std::logic_error&) {
+      pastThrew = true;
+    }
+  });
+  while (!q.empty()) q.runNext();
+  EXPECT_TRUE(pastThrew);
+  EXPECT_TRUE(atNowOk);
+}
+
+TEST(EventQueue, NanScheduleTimeThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(std::numeric_limits<double>::quiet_NaN(), [] {}), std::logic_error);
+}
+
+TEST(EventQueue, ClearResetsThePastWatermark) {
+  EventQueue q;
+  q.schedule(100.0, [] {});
+  q.runNext();
+  q.clear();
+  EXPECT_NO_THROW(q.schedule(1.0, [] {}));
+  EXPECT_DOUBLE_EQ(q.runNext(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Tombstone compaction.
+
+TEST(EventQueue, CompactionPreservesOrderUnderMassCancellation) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  std::vector<int> fired;
+  // 1024 events; cancel all but every 16th, which pushes the dead fraction
+  // far past the compaction threshold.
+  for (int i = 0; i < 1024; ++i) {
+    const int time = (i * 7919) % 512;
+    ids.push_back(q.schedule(static_cast<SimTime>(time), [&fired, i] { fired.push_back(i); }));
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i % 16 != 0) q.cancel(ids[i]);
+  }
+  EXPECT_EQ(q.size(), 64u);
+  SimTime last = -1.0;
+  while (!q.empty()) {
+    const SimTime t = q.runNext();
+    ASSERT_GE(t, last);
+    last = t;
+  }
+  // Exactly the survivors fired, in deterministic (time, seq) order.
+  ASSERT_EQ(fired.size(), 64u);
+  std::vector<int> expected;
+  for (int i = 0; i < 1024; i += 16) expected.push_back(i);
+  std::stable_sort(expected.begin(), expected.end(), [](int a, int b) {
+    return (a * 7919) % 512 < (b * 7919) % 512;
+  });
+  EXPECT_EQ(fired, expected);
+}
+
+TEST(EventQueue, CompactionReclaimsDeadEntries) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 512; ++i) ids.push_back(q.schedule(static_cast<SimTime>(i), [] {}));
+  for (std::size_t i = 1; i < ids.size(); ++i) q.cancel(ids[i]);
+  EXPECT_EQ(q.deadEntries(), 511u);
+  // The next pop prunes: bulk compaction leaves only the live entry.
+  EXPECT_DOUBLE_EQ(q.nextTime(), 0.0);
+  EXPECT_EQ(q.deadEntries(), 0u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Callback storage.
+
+TEST(EventQueue, LargeCapturesFallBackToHeapCorrectly) {
+  EventQueue q;
+  std::array<double, 32> payload{};  // 256 bytes: larger than the inline buffer
+  for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = static_cast<double>(i);
+  double sum = 0.0;
+  q.schedule(1.0, [payload, &sum] {
+    for (double v : payload) sum += v;
+  });
+  q.runNext();
+  EXPECT_DOUBLE_EQ(sum, 496.0);
+}
+
+TEST(EventQueue, MoveOnlyCapturesAreSupported) {
+  EventQueue q;
+  auto big = std::make_unique<int>(41);
+  int got = 0;
+  q.schedule(1.0, [p = std::move(big), &got] { got = *p + 1; });
+  q.runNext();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(EventQueue, CancelledCallbackDestructorsRun) {
+  // The pool must destroy cancelled callbacks (at pop or compaction), not
+  // leak them: track with shared_ptr use counts.
+  auto token = std::make_shared<int>(0);
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 128; ++i) {
+    ids.push_back(q.schedule(static_cast<SimTime>(i), [token] {}));
+  }
+  EXPECT_EQ(token.use_count(), 129);
+  for (EventId id : ids) q.cancel(id);
+  q.schedule(1000.0, [] {});
+  q.runNext();  // prunes (and compacts) the cancelled entries
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized cross-check against a trivially correct reference model.
+
+TEST(EventQueue, RandomScheduleCancelMatchesReferenceModel) {
+  std::mt19937_64 rng(20260807);
+  for (int round = 0; round < 10; ++round) {
+    EventQueue q;
+    struct Ref {
+      SimTime time = 0.0;
+      bool cancelled = false;
+      bool fired = false;
+    };
+    // One Ref per schedule(); its index equals the EventId the queue hands
+    // out, because ids are dense and this test is the only scheduler.
+    std::vector<Ref> refs;
+    std::vector<std::size_t> firedOrder;
+    SimTime now = 0.0;
+
+    auto liveCount = [&] {
+      std::size_t n = 0;
+      for (const auto& e : refs) n += (!e.cancelled && !e.fired) ? 1 : 0;
+      return n;
+    };
+    auto expectedNext = [&] {
+      std::size_t best = refs.size();
+      for (std::size_t i = 0; i < refs.size(); ++i) {
+        const auto& e = refs[i];
+        if (e.cancelled || e.fired) continue;
+        if (best == refs.size() || e.time < refs[best].time) best = i;
+        // Equal times: the earlier id (lower index) wins; the scan order
+        // already guarantees that.
+      }
+      return best;
+    };
+    auto popAndCheck = [&] {
+      const std::size_t want = expectedNext();
+      ASSERT_LT(want, refs.size());
+      const SimTime t = q.runNext();
+      ASSERT_FALSE(firedOrder.empty());
+      ASSERT_EQ(firedOrder.back(), want) << "pop order diverged, round " << round;
+      ASSERT_DOUBLE_EQ(t, refs[want].time);
+      ASSERT_GE(t, now);
+      now = t;
+    };
+
+    for (int step = 0; step < 600; ++step) {
+      const auto roll = rng() % 10;
+      if (roll < 6 || refs.empty()) {
+        const SimTime at = now + static_cast<double>(rng() % 1000);
+        const std::size_t idx = refs.size();
+        const EventId id = q.schedule(at, [&refs, &firedOrder, idx] {
+          refs[idx].fired = true;
+          firedOrder.push_back(idx);
+        });
+        ASSERT_EQ(id, idx);
+        refs.push_back({at});
+      } else if (roll < 8) {
+        // Cancel a random entry; on fired/cancelled ones this is a no-op.
+        const std::size_t idx = rng() % refs.size();
+        q.cancel(idx);
+        if (!refs[idx].fired) refs[idx].cancelled = true;
+      } else if (!q.empty()) {
+        popAndCheck();
+      }
+      ASSERT_EQ(q.size(), liveCount()) << "live count diverged, round " << round;
+    }
+    while (!q.empty()) popAndCheck();
+    ASSERT_EQ(liveCount(), 0u);
   }
 }
 

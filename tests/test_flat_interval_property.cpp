@@ -1,0 +1,298 @@
+// Property tests for the flat (sorted-vector) interval structures.
+//
+// IntervalSet and IntervalCounter moved from node-based std::map storage to
+// flat sorted vectors; these tests cross-check the flat implementations
+// against straightforward map-based reference models (the old semantics)
+// under long random operation sequences, so any divergence in coalescing,
+// boundary handling or size bookkeeping shows up with a reproducible seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "storage/interval_map.h"
+#include "storage/interval_set.h"
+
+namespace ppsched {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reference models (the pre-flat, map-based semantics).
+
+/// Disjoint coalesced interval set stored as begin -> end, old-style.
+class RefIntervalSet {
+ public:
+  void insert(EventRange r) {
+    if (r.empty()) return;
+    EventIndex b = r.begin;
+    EventIndex e = r.end;
+    auto it = map_.lower_bound(b);
+    if (it != map_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= b) it = prev;
+    }
+    while (it != map_.end() && it->first <= e) {
+      b = std::min(b, it->first);
+      e = std::max(e, it->second);
+      it = map_.erase(it);
+    }
+    map_.emplace(b, e);
+  }
+
+  void erase(EventRange r) {
+    if (r.empty() || map_.empty()) return;
+    auto it = map_.lower_bound(r.begin);
+    if (it != map_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second > r.begin) it = prev;
+    }
+    while (it != map_.end() && it->first < r.end) {
+      const EventIndex ib = it->first;
+      const EventIndex ie = it->second;
+      it = map_.erase(it);
+      if (ib < r.begin) map_.emplace(ib, r.begin);
+      if (ie > r.end) {
+        map_.emplace(r.end, ie);
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] std::vector<EventRange> intervals() const {
+    std::vector<EventRange> out;
+    for (const auto& [b, e] : map_) out.push_back({b, e});
+    return out;
+  }
+
+  [[nodiscard]] std::uint64_t size() const {
+    std::uint64_t total = 0;
+    for (const auto& [b, e] : map_) total += e - b;
+    return total;
+  }
+
+ private:
+  std::map<EventIndex, EventIndex> map_;
+};
+
+/// Interval counter evaluated point-wise (trivially correct, O(range)).
+class RefCounter {
+ public:
+  void add(EventRange r, std::int64_t delta) {
+    for (EventIndex e = r.begin; e < r.end; ++e) values_[e] += delta;
+  }
+
+  [[nodiscard]] std::int64_t valueAt(EventIndex e) const {
+    auto it = values_.find(e);
+    return it == values_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::map<EventIndex, std::int64_t> values_;
+};
+
+void expectSameContents(const IntervalSet& flat, const RefIntervalSet& ref,
+                        const char* what, unsigned step) {
+  ASSERT_EQ(flat.intervals(), ref.intervals()) << what << " diverged at step " << step;
+  ASSERT_EQ(flat.size(), ref.size()) << what << " size diverged at step " << step;
+  ASSERT_EQ(flat.intervalCount(), ref.intervals().size())
+      << what << " interval count diverged at step " << step;
+}
+
+// ---------------------------------------------------------------------------
+// IntervalSet vs reference.
+
+TEST(FlatIntervalProperty, RandomInsertEraseMatchesMapSemantics) {
+  std::mt19937_64 rng(20260807);
+  for (int round = 0; round < 20; ++round) {
+    IntervalSet flat;
+    RefIntervalSet ref;
+    for (unsigned step = 0; step < 400; ++step) {
+      const EventIndex b = rng() % 2000;
+      const EventIndex len = rng() % 120;
+      const EventRange r{b, b + len};
+      if (rng() % 3 == 0) {
+        flat.erase(r);
+        ref.erase(r);
+      } else {
+        flat.insert(r);
+        ref.insert(r);
+      }
+      expectSameContents(flat, ref, "insert/erase", step);
+    }
+  }
+}
+
+TEST(FlatIntervalProperty, BoundaryCoalescing) {
+  IntervalSet s;
+  s.insert({10, 20});
+  s.insert({20, 30});  // adjacent: must merge
+  EXPECT_EQ(s.intervalCount(), 1u);
+  EXPECT_EQ(s.intervals(), (std::vector<EventRange>{{10, 30}}));
+  s.insert({31, 40});  // gap of one: must NOT merge
+  EXPECT_EQ(s.intervalCount(), 2u);
+  s.insert({30, 31});  // fills the gap: collapses to one
+  EXPECT_EQ(s.intervals(), (std::vector<EventRange>{{10, 40}}));
+  s.erase({15, 15});  // empty erase: no-op
+  EXPECT_EQ(s.intervals(), (std::vector<EventRange>{{10, 40}}));
+  s.erase({15, 25});  // interior split
+  EXPECT_EQ(s.intervals(), (std::vector<EventRange>{{10, 15}, {25, 40}}));
+}
+
+TEST(FlatIntervalProperty, QueriesMatchBruteForce) {
+  std::mt19937_64 rng(7);
+  IntervalSet s;
+  for (int i = 0; i < 60; ++i) {
+    const EventIndex b = rng() % 3000;
+    s.insert({b, b + rng() % 90});
+  }
+  const auto ivs = s.intervals();
+  auto bruteContains = [&](EventIndex e) {
+    return std::any_of(ivs.begin(), ivs.end(),
+                       [&](const EventRange& r) { return r.contains(e); });
+  };
+  for (EventIndex e = 0; e < 3200; e += 3) {
+    ASSERT_EQ(s.contains(e), bruteContains(e)) << "contains(" << e << ")";
+    const EventRange run = s.runAt(e);
+    if (bruteContains(e)) {
+      ASSERT_EQ(run.begin, e);
+      ASSERT_TRUE(s.containsRange(run));
+      ASSERT_FALSE(s.contains(run.end));
+    } else {
+      ASSERT_TRUE(run.empty());
+    }
+  }
+  for (int q = 0; q < 500; ++q) {
+    const EventIndex b = rng() % 3200;
+    const EventRange r{b, b + rng() % 200};
+    std::uint64_t brute = 0;
+    for (EventIndex e = r.begin; e < r.end; ++e) brute += bruteContains(e) ? 1 : 0;
+    ASSERT_EQ(s.overlapSize(r), brute);
+    ASSERT_EQ(s.intersects(r), brute > 0);
+    ASSERT_EQ(s.containsRange(r), brute == r.size());
+    ASSERT_EQ(s.intersectWith(r).size(), brute);
+  }
+}
+
+TEST(FlatIntervalProperty, BatchedSetOperationsMatchElementwise) {
+  std::mt19937_64 rng(99);
+  for (int round = 0; round < 40; ++round) {
+    IntervalSet a, b;
+    for (int i = 0; i < 25; ++i) {
+      a.insert({rng() % 1500, rng() % 1500 + rng() % 80});
+      b.insert({rng() % 1500, rng() % 1500 + rng() % 80});
+    }
+    // Union via the batched linear-merge path vs one-range-at-a-time.
+    IntervalSet merged = a;
+    merged.insert(b);
+    IntervalSet loop = a;
+    for (const auto& r : b.intervals()) loop.insert(r);
+    ASSERT_EQ(merged, loop);
+
+    // Intersection via the linear sweep vs brute force.
+    const IntervalSet inter = a.intersectWith(b);
+    for (EventIndex e = 0; e < 1700; e += 7) {
+      ASSERT_EQ(inter.contains(e), a.contains(e) && b.contains(e));
+    }
+    // Difference.
+    const IntervalSet diff = a.difference(b);
+    for (EventIndex e = 0; e < 1700; e += 7) {
+      ASSERT_EQ(diff.contains(e), a.contains(e) && !b.contains(e));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// IntervalCounter vs reference.
+
+TEST(FlatIntervalProperty, CounterRandomAddsMatchPointwiseModel) {
+  std::mt19937_64 rng(31337);
+  for (int round = 0; round < 10; ++round) {
+    IntervalCounter flat;
+    RefCounter ref;
+    // Track live (range, delta) pairs so we only ever retract what we added
+    // and values stay >= 0.
+    std::vector<std::pair<EventRange, std::int64_t>> live;
+    for (unsigned step = 0; step < 250; ++step) {
+      if (!live.empty() && rng() % 3 == 0) {
+        const std::size_t pick = rng() % live.size();
+        const auto [r, d] = live[pick];
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+        flat.add(r, -d);
+        ref.add(r, -d);
+      } else {
+        const EventIndex b = rng() % 900;
+        const EventRange r{b, b + 1 + rng() % 60};
+        const auto d = static_cast<std::int64_t>(1 + rng() % 3);
+        live.emplace_back(r, d);
+        flat.add(r, d);
+        ref.add(r, d);
+      }
+      for (EventIndex e = 0; e < 1000; e += 1) {
+        ASSERT_EQ(flat.valueAt(e), ref.valueAt(e)) << "valueAt(" << e << ") step " << step;
+      }
+      // Coalescing invariant: consecutive breakpoints carry distinct values
+      // and no breakpoint repeats the value in force before it.
+      const auto bps = flat.breakpoints();
+      std::int64_t prev = 0;
+      for (const auto& [pos, value] : bps) {
+        ASSERT_NE(value, prev) << "redundant breakpoint at " << pos << " step " << step;
+        prev = value;
+      }
+    }
+    // Retract everything: the counter must return to all-zero.
+    for (const auto& [r, d] : live) {
+      flat.add(r, -d);
+      ref.add(r, -d);
+    }
+    EXPECT_TRUE(flat.allZero());
+  }
+}
+
+TEST(FlatIntervalProperty, CounterRangeQueriesMatchBruteForce) {
+  std::mt19937_64 rng(555);
+  IntervalCounter c;
+  std::vector<std::pair<EventRange, std::int64_t>> live;
+  for (int i = 0; i < 40; ++i) {
+    const EventIndex b = rng() % 800;
+    const EventRange r{b, b + 1 + rng() % 50};
+    c.add(r, static_cast<std::int64_t>(1 + rng() % 2));
+  }
+  auto bruteValue = [&](EventIndex e) { return c.valueAt(e); };
+  for (int q = 0; q < 300; ++q) {
+    const EventIndex b = rng() % 900;
+    const EventRange r{b, b + 1 + rng() % 120};
+    std::int64_t lo = bruteValue(r.begin);
+    std::int64_t hi = lo;
+    for (EventIndex e = r.begin; e < r.end; ++e) {
+      lo = std::min(lo, bruteValue(e));
+      hi = std::max(hi, bruteValue(e));
+    }
+    ASSERT_EQ(c.minOver(r), lo);
+    ASSERT_EQ(c.maxOver(r), hi);
+    const std::int64_t threshold = 1 + static_cast<std::int64_t>(rng() % 3);
+    const IntervalSet at = c.rangesAtLeast(r, threshold);
+    for (EventIndex e = r.begin; e < r.end; ++e) {
+      ASSERT_EQ(at.contains(e), bruteValue(e) >= threshold)
+          << "rangesAtLeast mismatch at " << e;
+    }
+  }
+}
+
+TEST(FlatIntervalProperty, CounterUnderflowStillThrows) {
+  IntervalCounter c;
+  c.add({10, 20}, 2);
+  EXPECT_THROW(c.add({5, 15}, -1), std::logic_error);   // [5,10) would go to -1
+  EXPECT_THROW(c.add({10, 20}, -3), std::logic_error);  // below zero inside
+  // The failed adds must not have corrupted the counter.
+  EXPECT_EQ(c.valueAt(9), 0);
+  EXPECT_EQ(c.valueAt(10), 2);
+  EXPECT_EQ(c.valueAt(19), 2);
+  EXPECT_EQ(c.valueAt(20), 0);
+  c.add({10, 20}, -2);
+  EXPECT_TRUE(c.allZero());
+}
+
+}  // namespace
+}  // namespace ppsched

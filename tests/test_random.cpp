@@ -5,6 +5,7 @@
 
 #include <array>
 #include <cmath>
+#include <set>
 
 namespace ppsched {
 namespace {
@@ -142,6 +143,33 @@ TEST(DeriveSeed, DistinctPerIndex) {
   EXPECT_NE(a, b);
   EXPECT_NE(a, c);
   EXPECT_EQ(a, deriveSeed(42, 0));  // deterministic
+}
+
+TEST(DeriveSeed, DomainsAreDisjointStreams) {
+  // Regression: loadSweep, runReplicated and cache prewarm used to share
+  // one index namespace with ad-hoc offsets (i, 1000 + i, 7000 + n), so a
+  // >=1000-point sweep reused the replication streams. Domain-tagged
+  // derivation must keep the streams disjoint across a wide index range.
+  constexpr std::uint64_t kBase = 42;
+  constexpr std::uint64_t kRange = 20'000;
+  std::set<std::uint64_t> seen;
+  for (const auto domain : {SeedDomain::Sweep, SeedDomain::Replica, SeedDomain::Prewarm}) {
+    for (std::uint64_t i = 0; i < kRange; ++i) {
+      EXPECT_TRUE(seen.insert(deriveSeed(kBase, domain, i)).second)
+          << "seed collision: domain " << static_cast<std::uint64_t>(domain) << " index " << i;
+    }
+  }
+  // And none of them may alias the legacy un-domained namespace either.
+  for (std::uint64_t i = 0; i < kRange; ++i) {
+    EXPECT_TRUE(seen.insert(deriveSeed(kBase, i)).second)
+        << "domain stream collides with deriveSeed(base, " << i << ")";
+  }
+}
+
+TEST(DeriveSeed, DomainStreamsAreDeterministic) {
+  EXPECT_EQ(deriveSeed(7, SeedDomain::Replica, 3), deriveSeed(7, SeedDomain::Replica, 3));
+  EXPECT_NE(deriveSeed(7, SeedDomain::Replica, 3), deriveSeed(7, SeedDomain::Sweep, 3));
+  EXPECT_NE(deriveSeed(7, SeedDomain::Replica, 3), deriveSeed(8, SeedDomain::Replica, 3));
 }
 
 }  // namespace

@@ -26,6 +26,34 @@ TEST(StreamingStats, KnownValues) {
   EXPECT_DOUBLE_EQ(s.sum(), 40.0);
 }
 
+TEST(StreamingStats, SumIsExactNotReconstructed) {
+  // Regression: sum() used to be mean() * count, which accumulates Welford
+  // rounding drift; 0.1 is inexact in binary, so a long stream exposes it.
+  StreamingStats s;
+  double direct = 0.0;
+  for (int i = 0; i < 1'000'000; ++i) {
+    s.add(0.1);
+    direct += 0.1;
+  }
+  // Bit-identical: add() performs the same accumulation in the same order.
+  EXPECT_EQ(s.sum(), direct);
+}
+
+TEST(StreamingStats, SumMatchesDirectAccumulationOnVaryingStream) {
+  StreamingStats s;
+  double direct = 0.0;
+  double x = 0.0;
+  for (int i = 0; i < 100'000; ++i) {
+    x = std::fmod(x + 0.7071067811865475, 3.0) - 1.0;  // varied magnitudes/signs
+    s.add(x);
+    direct += x;
+  }
+  EXPECT_EQ(s.sum(), direct);
+  // The old reconstruction drifts from the exact sum on this stream; the
+  // exact sum must still be consistent with the mean to float accuracy.
+  EXPECT_NEAR(s.mean(), s.sum() / static_cast<double>(s.count()), 1e-9);
+}
+
 TEST(StreamingStats, SingleSampleHasZeroVariance) {
   StreamingStats s;
   s.add(3.0);
