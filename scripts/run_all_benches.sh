@@ -4,10 +4,16 @@
 #   scripts/run_all_benches.sh [build-dir] [output-file]
 #
 # Set PPSCHED_FAST=1 for quarter-size smoke runs (~1 min instead of ~10).
+# Set PPSCHED_JSON=<dir> to also collect the BENCH_*.json perf-trajectory
+# files there (the directory is created if missing).
 set -eu
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-bench_output.txt}"
+
+if [ -n "${PPSCHED_JSON:-}" ]; then
+  mkdir -p "$PPSCHED_JSON"
+fi
 
 if [ ! -d "$BUILD_DIR/bench" ]; then
   echo "error: $BUILD_DIR/bench not found; build first (cmake -B build && cmake --build build)" >&2

@@ -40,6 +40,20 @@ void SimConfig::finalize() {
       throw std::invalid_argument("outage windows need start >= 0 and duration > 0");
     }
   }
+  if (network.enabled) {
+    if (network.nicBytesPerSec <= 0.0) {
+      throw std::invalid_argument("network.nicBytesPerSec must be > 0 when enabled");
+    }
+    if (network.uplinkBytesPerSec < 0.0) {
+      throw std::invalid_argument("network.uplinkBytesPerSec must be >= 0");
+    }
+    if (network.tertiaryIngressBytesPerSec < 0.0) {
+      throw std::invalid_argument("network.tertiaryIngressBytesPerSec must be >= 0");
+    }
+    if (network.nodesPerSwitch < 0) {
+      throw std::invalid_argument("network.nodesPerSwitch must be >= 0");
+    }
+  }
   std::sort(failures.tertiaryOutages.begin(), failures.tertiaryOutages.end(),
             [](const OutageWindow& a, const OutageWindow& b) { return a.start < b.start; });
   workload.totalEvents = totalEvents();

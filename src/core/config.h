@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "net/network.h"
 #include "sim/time.h"
 #include "storage/rates.h"
 #include "workload/generator.h"
@@ -98,6 +99,10 @@ struct SimConfig {
 
   /// Node failure / tertiary-outage model (disabled by default).
   FailureConfig failures;
+
+  /// Flow-level network contention model (disabled by default — the
+  /// paper's §2.3 unconstrained-LAN assumption). See net/network.h.
+  NetworkConfig network;
 
   /// Derived quantities ------------------------------------------------
 

@@ -18,7 +18,8 @@ Engine::Engine(const SimConfig& cfg, std::unique_ptr<JobSource> source,
       runs_(static_cast<std::size_t>(cfg.totalCpus())),
       remoteAccess_(static_cast<std::size_t>(cfg.totalCpus())),
       failureRng_(cfg.failures.seed),
-      failureEvents_(static_cast<std::size_t>(cfg.numNodes), kNoFailureEvent) {
+      failureEvents_(static_cast<std::size_t>(cfg.numNodes), kNoFailureEvent),
+      net_(cfg.network, cfg.numNodes) {
   if (!source_) throw std::invalid_argument("Engine needs a JobSource");
   if (!policy_) throw std::invalid_argument("Engine needs a policy");
   policy_->bind(*this);
@@ -144,11 +145,9 @@ RunningView Engine::running(NodeId node) const {
   view.subjob = r.subjob;
   view.startedAt = r.runStart;
   // Progress inside the current span is linear in time after the span's
-  // fixed latency (tertiary access latency, when configured).
-  const double elapsed = std::max(0.0, now_ - r.spanStart - r.spanLatency);
-  const auto inSpan = std::min<std::uint64_t>(
-      r.span.size(),
-      static_cast<std::uint64_t>(std::floor(elapsed / r.spanRate + 1e-9)));
+  // fixed latency (tertiary access latency, when configured); network spans
+  // additionally fold in progress at earlier allocation rates.
+  const auto inSpan = spanEventsDoneAt(r, now_);
   view.remaining = {r.span.begin + inSpan, r.subjob.range.end};
   return view;
 }
@@ -246,11 +245,34 @@ void Engine::beginNextSpan(NodeId node) {
   run.spanLatency = src == DataSource::Tertiary
                         ? cfg_.tertiaryLatencySec + tertiaryOutageDelay(now_)
                         : 0.0;
+  // Demand cap of the span's network flow: the serving device's rate,
+  // computed before this span joins the tertiary stream count (matching
+  // spanRateFor's view).
+  const double flowCap = flowDemandCap(src);
   if (src == DataSource::Tertiary) {
     ++activeTertiaryStreams_;
     run.countsTertiaryStream = true;
   }
   run.spanStart = now_;
+  run.flow = kNoFlow;
+  run.netDoneEvents = 0.0;
+  run.netMark = 0.0;
+  if (net_.enabled() && src != DataSource::LocalCache) {
+    const int srcMachine = src == DataSource::RemoteCache
+                               ? machineOf(run.opts.remoteFrom)
+                               : FlowNetwork::kTertiarySource;
+    const FlowKind kind = src == DataSource::RemoteCache ? FlowKind::RemoteRead
+                                                         : FlowKind::TertiaryRead;
+    run.flow = net_.open(srcMachine, machineOf(node), flowCap, kind, now_);
+    run.netMark = now_ + run.spanLatency;
+    run.spanRate = networkSpanRate(node, net_.rate(run.flow));
+    run.spanEventId = queue_.schedule(
+        run.netMark + static_cast<double>(span.size()) * run.spanRate,
+        [this, node] { onSpanComplete(node); });
+    emit(SimEventKind::FlowOpen, run.subjob.job, node, span);
+    reconcileNetworkFlows();  // the new flow squeezed everyone sharing its links
+    return;
+  }
   const double duration =
       run.spanLatency + static_cast<double>(span.size()) * run.spanRate;
   run.spanEventId = queue_.schedule(now_ + duration, [this, node] { onSpanComplete(node); });
@@ -278,6 +300,146 @@ double Engine::spanRateFor(NodeId node, DataSource src) const {
   return cost.secPerEvent(src);
 }
 
+// --------------------------------------------------------------------------
+// Network model
+
+double Engine::networkSpanRate(NodeId node, double flowBps) const {
+  double cpu = cfg_.cost.cpuSecPerEvent;
+  if (!cfg_.nodeSpeedFactors.empty()) {
+    cpu /= cfg_.nodeSpeedFactors[static_cast<std::size_t>(node)];
+  }
+  const double transfer = cfg_.cost.bytesPerEvent / flowBps;
+  return cfg_.cost.pipelined ? std::max(transfer, cpu) : transfer + cpu;
+}
+
+double Engine::flowDemandCap(DataSource src) const {
+  if (src == DataSource::RemoteCache) return cfg_.cost.remoteBytesPerSec;
+  double cap = cfg_.cost.tertiaryBytesPerSec;
+  if (cfg_.tertiaryAggregateBytesPerSec > 0.0) {
+    cap = std::min(cap, cfg_.tertiaryAggregateBytesPerSec /
+                            static_cast<double>(activeTertiaryStreams_ + 1));
+  }
+  return cap;
+}
+
+std::uint64_t Engine::spanEventsDoneAt(const ActiveRun& run, SimTime t) const {
+  double fraction;
+  if (run.flow != kNoFlow) {
+    fraction = run.netDoneEvents + std::max(0.0, t - run.netMark) / run.spanRate;
+  } else {
+    fraction = std::max(0.0, t - run.spanStart - run.spanLatency) / run.spanRate;
+  }
+  return std::min<std::uint64_t>(
+      run.span.size(), static_cast<std::uint64_t>(std::floor(fraction + 1e-9)));
+}
+
+void Engine::reconcileNetworkFlows() {
+  if (!net_.enabled()) return;
+  for (NodeId n = 0; n < numNodes(); ++n) {
+    auto& slot = runs_[static_cast<std::size_t>(n)];
+    if (!slot || slot->flow == kNoFlow) continue;
+    ActiveRun& run = *slot;
+    const double newRate = networkSpanRate(n, net_.rate(run.flow));
+    if (newRate == run.spanRate) continue;
+    // Fold progress at the old rate up to now, then finish the remaining
+    // whole-span fraction at the new rate (the PR 2 causality guard makes
+    // cancel + reschedule safe even at the current timestamp).
+    if (now_ > run.netMark) {
+      run.netDoneEvents += (now_ - run.netMark) / run.spanRate;
+      run.netMark = now_;
+    }
+    run.spanRate = newRate;
+    const double left =
+        std::max(0.0, static_cast<double>(run.span.size()) - run.netDoneEvents);
+    queue_.cancel(run.spanEventId);
+    run.spanEventId = queue_.schedule(std::max(now_, run.netMark) + left * newRate,
+                                      [this, n] { onSpanComplete(n); });
+  }
+  for (auto& [id, tr] : transfers_) {
+    const double newRate = net_.rate(tr.flow);
+    if (newRate == tr.rateBytesPerSec) continue;
+    if (now_ > tr.mark) {
+      tr.bytesLeft = std::max(0.0, tr.bytesLeft - (now_ - tr.mark) * tr.rateBytesPerSec);
+    }
+    tr.mark = now_;
+    tr.rateBytesPerSec = newRate;
+    queue_.cancel(tr.event);
+    const std::uint64_t tid = id;
+    tr.event =
+        queue_.schedule(now_ + tr.bytesLeft / newRate, [this, tid] { finishReplication(tid); });
+  }
+}
+
+void Engine::startReplication(NodeId dstNode, NodeId srcNode, JobId job, EventRange r) {
+  // Skip parts already being copied to this machine (double-paying the
+  // uplink for the same extent would overstate replication pressure).
+  IntervalSet todo{r};
+  for (const auto& [id, tr] : transfers_) {
+    if (machineOf(tr.dstNode) == machineOf(dstNode)) todo.erase(tr.range);
+  }
+  for (const EventRange& piece : todo.intervals()) {
+    Transfer tr;
+    tr.range = piece;
+    tr.dstNode = dstNode;
+    tr.srcNode = srcNode;
+    tr.job = job;
+    tr.flow = net_.open(machineOf(srcNode), machineOf(dstNode), cfg_.cost.remoteBytesPerSec,
+                        FlowKind::Replication, now_);
+    tr.bytesLeft = static_cast<double>(piece.size()) * cfg_.cost.bytesPerEvent;
+    tr.mark = now_;
+    tr.rateBytesPerSec = net_.rate(tr.flow);
+    const std::uint64_t id = nextTransferId_++;
+    tr.event = queue_.schedule(now_ + tr.bytesLeft / tr.rateBytesPerSec,
+                               [this, id] { finishReplication(id); });
+    emit(SimEventKind::FlowOpen, job, dstNode, piece);
+    transfers_.emplace(id, std::move(tr));
+    reconcileNetworkFlows();
+  }
+}
+
+void Engine::finishReplication(std::uint64_t transferId) {
+  auto it = transfers_.find(transferId);
+  if (it == transfers_.end()) return;
+  Transfer tr = std::move(it->second);
+  transfers_.erase(it);
+  net_.noteBytes(FlowKind::Replication,
+                 static_cast<double>(tr.range.size()) * cfg_.cost.bytesPerEvent);
+  net_.close(tr.flow, now_);
+  emit(SimEventKind::FlowClose, tr.job, tr.dstNode, tr.range);
+  if (cluster_.node(tr.dstNode).isUp() && policy_->usesCaching()) {
+    cluster_.node(tr.dstNode).cache().insert(tr.range, now_);
+    metrics_.onReplication(tr.range.size());
+  }
+  reconcileNetworkFlows();
+}
+
+void Engine::abortTransfers(int machine) {
+  bool changed = false;
+  for (auto it = transfers_.begin(); it != transfers_.end();) {
+    const Transfer& tr = it->second;
+    if (machineOf(tr.srcNode) == machine || machineOf(tr.dstNode) == machine) {
+      queue_.cancel(tr.event);
+      net_.close(tr.flow, now_);
+      emit(SimEventKind::FlowClose, tr.job, tr.dstNode, EventRange{});
+      it = transfers_.erase(it);
+      changed = true;
+    } else {
+      ++it;
+    }
+  }
+  if (changed) reconcileNetworkFlows();
+}
+
+double Engine::estimatedSecPerEvent(NodeId node, NodeId remoteFrom, DataSource src) const {
+  if (!net_.enabled() || src == DataSource::LocalCache) {
+    return ISchedulerHost::estimatedSecPerEvent(node, remoteFrom, src);
+  }
+  const int srcMachine = src == DataSource::RemoteCache ? machineOf(remoteFrom)
+                                                        : FlowNetwork::kTertiarySource;
+  const double bps = net_.estimateRate(srcMachine, machineOf(node), flowDemandCap(src));
+  return networkSpanRate(node, bps);
+}
+
 void Engine::applySpanEffects(NodeId node, ActiveRun& run, EventRange done) {
   LruExtentCache& localCache = cluster_.node(node).cache();
   if (run.countsTertiaryStream) {
@@ -296,6 +458,20 @@ void Engine::applySpanEffects(NodeId node, ActiveRun& run, EventRange done) {
     assert(remoteCache != nullptr);
     remoteCache->unpin(run.span);
     run.pinnedRemote = false;
+  }
+
+  // Close the span's network flow (also when `done` is empty — a killed run
+  // releases its bandwidth) before cache effects, so replication copies this
+  // span triggers open against the post-close allocation.
+  if (run.flow != kNoFlow) {
+    const FlowId flow = run.flow;
+    run.flow = kNoFlow;
+    net_.noteBytes(run.spanSource == DataSource::RemoteCache ? FlowKind::RemoteRead
+                                                             : FlowKind::TertiaryRead,
+                   static_cast<double>(done.size()) * cfg_.cost.bytesPerEvent);
+    net_.close(flow, now_);
+    emit(SimEventKind::FlowClose, run.subjob.job, node, done);
+    reconcileNetworkFlows();
   }
 
   run.justCompletedJob = false;
@@ -322,8 +498,14 @@ void Engine::applySpanEffects(NodeId node, ActiveRun& run, EventRange done) {
           counter.add(done, +1);
           const IntervalSet hot = counter.rangesAtLeast(done, run.opts.replicationThreshold);
           for (const EventRange& r : hot.intervals()) {
-            localCache.insert(r, now_);
-            metrics_.onReplication(r.size());
+            if (net_.enabled()) {
+              // The copy takes time and bandwidth: open a replication flow
+              // and insert into the cache only when it completes.
+              startReplication(node, run.opts.remoteFrom, run.subjob.job, r);
+            } else {
+              localCache.insert(r, now_);
+              metrics_.onReplication(r.size());
+            }
           }
         }
         break;
@@ -355,10 +537,7 @@ Subjob Engine::preempt(NodeId node) {
   if (!slot) throw std::logic_error("preempt on an idle node");
   ActiveRun& run = *slot;
   queue_.cancel(run.spanEventId);
-  const double elapsed = std::max(0.0, now_ - run.spanStart - run.spanLatency);
-  const auto processed = std::min<std::uint64_t>(
-      run.span.size(),
-      static_cast<std::uint64_t>(std::floor(elapsed / run.spanRate + 1e-9)));
+  const auto processed = spanEventsDoneAt(run, now_);
   applySpanEffects(node, run, EventRange{run.span.begin, run.span.begin + processed});
   Subjob remainder = run.subjob;
   remainder.range = {run.span.begin + processed, run.subjob.range.end};
@@ -425,10 +604,7 @@ RunReport Engine::killRun(NodeId node) {
   ActiveRun run = std::move(*slot);
   slot.reset();
   queue_.cancel(run.spanEventId);
-  const double elapsed = std::max(0.0, now_ - run.spanStart - run.spanLatency);
-  const auto discarded = std::min<std::uint64_t>(
-      run.span.size(),
-      static_cast<std::uint64_t>(std::floor(elapsed / run.spanRate + 1e-9)));
+  const auto discarded = spanEventsDoneAt(run, now_);
   // A crash is not a preemption: the span in flight is discarded entirely
   // (nothing durable left the node), so the run rolls back to its last span
   // boundary. An empty `done` releases pins and stream counts only.
@@ -449,6 +625,9 @@ void Engine::failMachine(int machine) {
   if (!cluster_.node(first).isUp()) return;
   cluster_.node(first).setUp(false);
   metrics_.onNodeFailure();
+  // Replication copies to or from the dead machine die with it (their
+  // bandwidth frees up for the surviving flows).
+  abortTransfers(machine);
   std::vector<std::pair<NodeId, std::optional<RunReport>>> lost;
   for (int c = 0; c < cfg_.cpusPerNode; ++c) {
     const NodeId slot = first + c;

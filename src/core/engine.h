@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -29,6 +30,7 @@
 #include "core/event_log.h"
 #include "core/metrics.h"
 #include "core/policy.h"
+#include "net/network.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "workload/generator.h"
@@ -114,6 +116,16 @@ class Engine final : public ISchedulerHost {
   /// from the reported waiting time.
   void noteSchedulingDelay(JobId id, Duration delay) override;
 
+  /// Cost feedback folding in current network contention (probes the flow
+  /// network without perturbing it); falls back to the static cost model
+  /// when the network model is disabled.
+  [[nodiscard]] double estimatedSecPerEvent(NodeId node, NodeId remoteFrom,
+                                            DataSource src) const override;
+
+  /// Per-link utilization and flow counters up to now() (enabled == false
+  /// when the network model is off).
+  [[nodiscard]] NetworkReport networkReport() const { return net_.report(now_); }
+
   [[nodiscard]] MetricsCollector& metrics() { return metrics_; }
 
   /// Attach an observer for scheduling events (nullptr detaches). The sink
@@ -143,6 +155,24 @@ class Engine final : public ISchedulerHost {
     bool pinnedRemote = false;
     bool countsTertiaryStream = false;
     bool justCompletedJob = false;
+    // Network-model state (flow == kNoFlow when the span uses no network).
+    FlowId flow = kNoFlow;
+    double netDoneEvents = 0.0;  ///< events completed before the last rate change
+    SimTime netMark = 0.0;       ///< when the current spanRate took effect
+  };
+
+  /// An in-flight §4.2 replication copy (network model only; with the model
+  /// disabled replication stays instantaneous, preserving bit-identity).
+  struct Transfer {
+    EventRange range;
+    NodeId dstNode = kNoNode;
+    NodeId srcNode = kNoNode;
+    JobId job = kNoJob;
+    FlowId flow = kNoFlow;
+    double bytesLeft = 0.0;
+    SimTime mark = 0.0;  ///< when rateBytesPerSec took effect
+    double rateBytesPerSec = 0.0;
+    EventId event = 0;
   };
 
   void scheduleNextArrival();
@@ -189,6 +219,27 @@ class Engine final : public ISchedulerHost {
   /// for tertiary bandwidth contention and the node's CPU speed factor.
   [[nodiscard]] double spanRateFor(NodeId node, DataSource src) const;
 
+  // --- network model ------------------------------------------------------
+  /// Seconds/event on `node` for a span whose transfer runs at `flowBps`
+  /// (the span's current network-flow allocation).
+  [[nodiscard]] double networkSpanRate(NodeId node, double flowBps) const;
+  /// Demand cap (bytes/s) a new flow carrying `src` data would request: the
+  /// serving device's rate, before any link sharing.
+  [[nodiscard]] double flowDemandCap(DataSource src) const;
+  /// Events of the current span completed by time `t`. With the network
+  /// model off this is the exact legacy formula (bit-identity).
+  [[nodiscard]] std::uint64_t spanEventsDoneAt(const ActiveRun& run, SimTime t) const;
+  /// After any flow open/close: fold each affected span's/transfer's
+  /// progress at its old rate and reschedule its completion at the new one.
+  void reconcileNetworkFlows();
+  /// Start replication copies of `r` from `srcNode`'s cache towards
+  /// `dstNode`, deduplicating against copies already in flight there.
+  void startReplication(NodeId dstNode, NodeId srcNode, JobId job, EventRange r);
+  /// A replication copy delivered: insert into the destination cache.
+  void finishReplication(std::uint64_t transferId);
+  /// Abort all in-flight replication copies touching a failed machine.
+  void abortTransfers(int machine);
+
   void emit(SimEventKind kind, JobId job, NodeId node, EventRange range = {}) const;
 
   SimConfig cfg_;
@@ -219,6 +270,11 @@ class Engine final : public ISchedulerHost {
   /// Concurrent spans currently streaming from tertiary storage (for the
   /// optional aggregate bandwidth cap).
   int activeTertiaryStreams_ = 0;
+  /// Flow-level network model (inert when cfg_.network.enabled is false).
+  FlowNetwork net_;
+  /// In-flight replication copies, keyed by a dense transfer id.
+  std::map<std::uint64_t, Transfer> transfers_;
+  std::uint64_t nextTransferId_ = 1;
   IEventSink* sink_ = nullptr;
 };
 

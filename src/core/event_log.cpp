@@ -25,6 +25,10 @@ std::string_view toString(SimEventKind kind) {
       return "node_up";
     case SimEventKind::RunLost:
       return "run_lost";
+    case SimEventKind::FlowOpen:
+      return "flow_open";
+    case SimEventKind::FlowClose:
+      return "flow_close";
   }
   return "?";
 }

@@ -27,6 +27,8 @@ enum class SimEventKind {
   NodeDown,     ///< the node's machine failed (one event per CPU slot)
   NodeUp,       ///< the node's machine was repaired
   RunLost,      ///< a run died with its node; range = unprocessed remainder
+  FlowOpen,     ///< a network flow opened towards `node` (network model)
+  FlowClose,    ///< a network flow closed; range = the bytes' event range
 };
 
 /// Printable name of an event kind.

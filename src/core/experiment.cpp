@@ -51,7 +51,9 @@ RunResult runExperiment(const ExperimentSpec& spec) {
   stop.simTimeLimit = 10.0 * expectedHours * units::hour + 30 * units::day;
   engine.run(stop);
 
-  return metrics.finalize(engine.now(), spec.withHistogram);
+  RunResult result = metrics.finalize(engine.now(), spec.withHistogram);
+  result.network = engine.networkReport();
+  return result;
 }
 
 std::vector<LoadPoint> loadSweep(const ExperimentSpec& base, std::span<const double> loads,

@@ -13,6 +13,7 @@
 // execution. Policies query it and act through it.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -20,6 +21,7 @@
 #include "cluster/cluster.h"
 #include "core/config.h"
 #include "sim/time.h"
+#include "storage/rates.h"
 #include "workload/job.h"
 
 namespace ppsched {
@@ -97,6 +99,36 @@ class ISchedulerHost {
   virtual void deferLost(Subjob sj) = 0;
   /// Attribute a scheduling ("period") delay to a job (Fig 5/6 reporting).
   virtual void noteSchedulingDelay(JobId id, Duration delay) = 0;
+
+  // --- cost feedback ----------------------------------------------------
+  /// Estimated cost of processing one event on `node` from `src`, given the
+  /// current state of the host. The default is the static cost model (with
+  /// the node's CPU speed factor); hosts with a network model override this
+  /// to fold in present link contention, so policies can compare e.g. a
+  /// remote-cache read against streaming from tertiary before committing.
+  /// `remoteFrom` is the serving node for RemoteCache (ignored otherwise).
+  [[nodiscard]] virtual double estimatedSecPerEvent(NodeId node, NodeId remoteFrom,
+                                                    DataSource src) const {
+    (void)remoteFrom;
+    const SimConfig& cfg = config();
+    double cpu = cfg.cost.cpuSecPerEvent;
+    if (!cfg.nodeSpeedFactors.empty()) {
+      cpu /= cfg.nodeSpeedFactors[static_cast<std::size_t>(node)];
+    }
+    double transfer = 0.0;
+    switch (src) {
+      case DataSource::LocalCache:
+        transfer = cfg.cost.diskSecPerEvent();
+        break;
+      case DataSource::RemoteCache:
+        transfer = cfg.cost.remoteSecPerEvent();
+        break;
+      case DataSource::Tertiary:
+        transfer = cfg.cost.tertiarySecPerEvent();
+        break;
+    }
+    return cfg.cost.pipelined ? std::max(transfer, cpu) : transfer + cpu;
+  }
 };
 
 }  // namespace ppsched

@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "net/network.h"
 #include "sim/stats.h"
 #include "sim/time.h"
 #include "storage/rates.h"
@@ -91,6 +92,10 @@ struct RunResult {
 
   /// Waiting-time histogram (Fig 4), filled only when requested.
   std::vector<std::pair<double, std::uint64_t>> waitHistogram;  // (bucket lo sec, count)
+
+  /// Flow-level network accounting (enabled == false when the network model
+  /// is off). Filled by the experiment layer from Engine::networkReport().
+  NetworkReport network;
 };
 
 /// Collects per-job records and event-level counters during a run and

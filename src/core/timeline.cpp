@@ -73,6 +73,43 @@ std::vector<BusyInterval> downIntervals(const EventLog& log, int numNodes, SimTi
   return out;
 }
 
+std::vector<BusyInterval> flowIntervals(const EventLog& log, int numNodes, SimTime endTime) {
+  std::vector<BusyInterval> out;
+  // Per node: open-flow depth and when the depth last rose from zero.
+  std::map<NodeId, std::pair<int, SimTime>> open;
+  for (const SimEvent& e : log.events()) {
+    switch (e.kind) {
+      case SimEventKind::FlowOpen: {
+        if (e.node < 0 || e.node >= numNodes) throw std::runtime_error("FlowOpen on bad node");
+        auto [it, inserted] = open.try_emplace(e.node, 0, e.time);
+        if (it->second.first == 0) it->second.second = e.time;
+        ++it->second.first;
+        break;
+      }
+      case SimEventKind::FlowClose: {
+        auto it = open.find(e.node);
+        if (it == open.end() || it->second.first == 0) {
+          throw std::runtime_error("FlowClose without an open flow");
+        }
+        if (--it->second.first == 0) {
+          out.push_back({e.node, kNoJob, it->second.second, e.time});
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  for (const auto& [node, state] : open) {
+    if (state.first > 0) out.push_back({node, kNoJob, state.second, endTime});
+  }
+  std::sort(out.begin(), out.end(), [](const BusyInterval& a, const BusyInterval& b) {
+    if (a.node != b.node) return a.node < b.node;
+    return a.begin < b.begin;
+  });
+  return out;
+}
+
 std::string renderTimeline(const EventLog& log, int numNodes, TimelineOptions options) {
   SimTime end = options.end;
   if (end <= 0.0) {

@@ -39,6 +39,12 @@ std::vector<BusyInterval> busyIntervals(const EventLog& log, int numNodes, SimTi
 /// open at `endTime` are closed there. `job` is kNoJob in every entry.
 std::vector<BusyInterval> downIntervals(const EventLog& log, int numNodes, SimTime endTime);
 
+/// Per-node windows during which at least one network flow was open towards
+/// the node (FlowOpen .. FlowClose, depth-counted — overlapping flows merge
+/// into one interval). Windows still open at `endTime` are closed there;
+/// `job` is kNoJob in every entry. Empty when the network model is off.
+std::vector<BusyInterval> flowIntervals(const EventLog& log, int numNodes, SimTime endTime);
+
 struct TimelineOptions {
   SimTime begin = 0.0;
   SimTime end = 0.0;    ///< 0 = last event time

@@ -1,0 +1,331 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace ppsched {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+double parseRateMB(const std::string& key, const std::string& value) {
+  std::size_t pos = 0;
+  double mb = 0.0;
+  try {
+    mb = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("network spec: bad value for '" + key + "': " + value);
+  }
+  if (pos != value.size() || !(mb >= 0.0) || !std::isfinite(mb)) {
+    throw std::invalid_argument("network spec: bad value for '" + key + "': " + value);
+  }
+  return mb * 1e6;
+}
+
+std::string formatRateMB(double bytesPerSec) {
+  std::ostringstream os;
+  os << bytesPerSec / 1e6;
+  return os.str();
+}
+
+}  // namespace
+
+NetworkConfig parseNetworkSpec(const std::string& spec) {
+  NetworkConfig cfg;
+  if (spec.empty() || spec == "off") return cfg;
+  cfg.enabled = true;
+  std::istringstream in(spec);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (item.empty()) continue;
+    auto eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("network spec: expected key=value, got '" + item + "'");
+    }
+    std::string key = item.substr(0, eq);
+    std::string value = item.substr(eq + 1);
+    if (key == "nic") {
+      cfg.nicBytesPerSec = parseRateMB(key, value);
+    } else if (key == "uplink") {
+      cfg.uplinkBytesPerSec = parseRateMB(key, value);
+    } else if (key == "ingress") {
+      cfg.tertiaryIngressBytesPerSec = parseRateMB(key, value);
+    } else if (key == "group") {
+      std::size_t pos = 0;
+      int n = 0;
+      try {
+        n = std::stoi(value, &pos);
+      } catch (const std::exception&) {
+        throw std::invalid_argument("network spec: bad value for 'group': " + value);
+      }
+      if (pos != value.size() || n < 0) {
+        throw std::invalid_argument("network spec: bad value for 'group': " + value);
+      }
+      cfg.nodesPerSwitch = n;
+    } else {
+      throw std::invalid_argument("network spec: unknown key '" + key + "'");
+    }
+  }
+  if (cfg.nicBytesPerSec <= 0.0) {
+    throw std::invalid_argument("network spec: nic rate must be > 0");
+  }
+  return cfg;
+}
+
+std::string formatNetworkSpec(const NetworkConfig& cfg) {
+  if (!cfg.enabled) return "off";
+  std::string out = "nic=" + formatRateMB(cfg.nicBytesPerSec);
+  if (cfg.uplinkBytesPerSec > 0.0) out += ",uplink=" + formatRateMB(cfg.uplinkBytesPerSec);
+  if (cfg.tertiaryIngressBytesPerSec > 0.0) {
+    out += ",ingress=" + formatRateMB(cfg.tertiaryIngressBytesPerSec);
+  }
+  if (cfg.nodesPerSwitch > 0) out += ",group=" + std::to_string(cfg.nodesPerSwitch);
+  return out;
+}
+
+FlowNetwork::FlowNetwork(const NetworkConfig& cfg, int numMachines) {
+  if (!cfg.enabled) return;
+  if (numMachines <= 0) throw std::invalid_argument("FlowNetwork: numMachines must be > 0");
+  if (cfg.nicBytesPerSec <= 0.0) {
+    throw std::invalid_argument("FlowNetwork: nicBytesPerSec must be > 0 when enabled");
+  }
+  enabled_ = true;
+  machines_ = numMachines;
+  groupSize_ = cfg.nodesPerSwitch > 0 ? cfg.nodesPerSwitch : numMachines;
+  numGroups_ = (numMachines + groupSize_ - 1) / groupSize_;
+
+  // Links 2*m and 2*m+1: machine m's NIC, up (towards switch) and down.
+  links_.reserve(static_cast<std::size_t>(2 * numMachines) + 2 * numGroups_ + 1);
+  for (int m = 0; m < numMachines; ++m) {
+    links_.push_back({"nic_up[" + std::to_string(m) + "]", cfg.nicBytesPerSec, 0.0, 0.0});
+    links_.push_back({"nic_down[" + std::to_string(m) + "]", cfg.nicBytesPerSec, 0.0, 0.0});
+  }
+  if (cfg.uplinkBytesPerSec > 0.0) {
+    uplinkBase_ = static_cast<int>(links_.size());
+    for (int g = 0; g < numGroups_; ++g) {
+      links_.push_back(
+          {"uplink_up[" + std::to_string(g) + "]", cfg.uplinkBytesPerSec, 0.0, 0.0});
+      links_.push_back(
+          {"uplink_down[" + std::to_string(g) + "]", cfg.uplinkBytesPerSec, 0.0, 0.0});
+    }
+  }
+  if (cfg.tertiaryIngressBytesPerSec > 0.0) {
+    ingressLink_ = static_cast<int>(links_.size());
+    links_.push_back({"tertiary_ingress", cfg.tertiaryIngressBytesPerSec, 0.0, 0.0});
+  }
+}
+
+int FlowNetwork::groupOf(int machine) const { return machine / groupSize_; }
+
+std::vector<int> FlowNetwork::pathFor(int srcMachine, int dstMachine) const {
+  std::vector<int> path;
+  if (srcMachine == kTertiarySource) {
+    // Tertiary data enters through the ingress pipe, crosses the core, and
+    // descends the destination group's uplink and the destination NIC.
+    if (ingressLink_ >= 0) path.push_back(ingressLink_);
+    if (uplinkBase_ >= 0) path.push_back(uplinkBase_ + 2 * groupOf(dstMachine) + 1);
+    path.push_back(2 * dstMachine + 1);
+    return path;
+  }
+  path.push_back(2 * srcMachine);  // source NIC up
+  if (uplinkBase_ >= 0 && groupOf(srcMachine) != groupOf(dstMachine)) {
+    path.push_back(uplinkBase_ + 2 * groupOf(srcMachine));      // source group uplink up
+    path.push_back(uplinkBase_ + 2 * groupOf(dstMachine) + 1);  // dest group uplink down
+  }
+  path.push_back(2 * dstMachine + 1);  // dest NIC down
+  return path;
+}
+
+void FlowNetwork::solve(std::vector<Flow>& flows) const {
+  // Demand-capped progressive filling (water-filling). All unfrozen flows'
+  // rates rise together; a flow freezes when it hits its own demand cap or
+  // when some link on its path saturates. Each round freezes at least one
+  // flow or one link, so the loop is O(flows × links) in the worst case.
+  if (flows.empty()) return;
+  std::vector<double> remaining(links_.size());
+  for (std::size_t l = 0; l < links_.size(); ++l) remaining[l] = links_[l].capacity;
+  std::vector<int> count(links_.size(), 0);
+  std::vector<bool> frozen(flows.size(), false);
+  for (Flow& f : flows) {
+    f.alloc = 0.0;
+    for (int l : f.path) ++count[static_cast<std::size_t>(l)];
+  }
+  std::size_t active = flows.size();
+  while (active > 0) {
+    // Smallest per-flow increment that saturates a link or caps a flow.
+    double step = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < links_.size(); ++l) {
+      if (count[l] > 0) step = std::min(step, remaining[l] / count[l]);
+    }
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      if (!frozen[i]) step = std::min(step, flows[i].cap - flows[i].alloc);
+    }
+    if (!std::isfinite(step)) break;  // all active flows have empty paths and no caps
+    step = std::max(step, 0.0);
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      if (frozen[i]) continue;
+      flows[i].alloc += step;
+      for (int l : flows[i].path) remaining[static_cast<std::size_t>(l)] -= step;
+    }
+    // Freeze flows that reached their cap or crossed a saturated link.
+    std::size_t froze = 0;
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      if (frozen[i]) continue;
+      bool done = flows[i].alloc >= flows[i].cap - kEps * flows[i].cap;
+      if (!done) {
+        for (int l : flows[i].path) {
+          auto li = static_cast<std::size_t>(l);
+          if (remaining[li] <= kEps * links_[li].capacity) {
+            done = true;
+            break;
+          }
+        }
+      }
+      if (done) {
+        frozen[i] = true;
+        for (int l : flows[i].path) --count[static_cast<std::size_t>(l)];
+        ++froze;
+      }
+    }
+    if (froze == 0 && step <= 0.0) break;  // numeric stall guard
+    active -= froze;
+  }
+}
+
+void FlowNetwork::integrate(double now) {
+  double dt = now - lastTime_;
+  if (dt > 0.0) {
+    for (Link& l : links_) l.busyIntegral += l.allocated * dt;
+    lastTime_ = now;
+  }
+}
+
+void FlowNetwork::recompute() {
+  solve(flows_);
+  for (Link& l : links_) l.allocated = 0.0;
+  for (const Flow& f : flows_) {
+    for (int l : f.path) links_[static_cast<std::size_t>(l)].allocated += f.alloc;
+  }
+}
+
+FlowId FlowNetwork::open(int srcMachine, int dstMachine, double capBytesPerSec, FlowKind kind,
+                         double now) {
+  if (!enabled_) throw std::logic_error("FlowNetwork::open on disabled network");
+  if (dstMachine < 0 || dstMachine >= machines_ ||
+      (srcMachine != kTertiarySource && (srcMachine < 0 || srcMachine >= machines_))) {
+    throw std::out_of_range("FlowNetwork::open: machine out of range");
+  }
+  if (!(capBytesPerSec > 0.0)) {
+    throw std::invalid_argument("FlowNetwork::open: capBytesPerSec must be > 0");
+  }
+  integrate(now);
+  Flow f;
+  f.id = nextId_++;
+  f.kind = kind;
+  f.cap = capBytesPerSec;
+  f.path = pathFor(srcMachine, dstMachine);
+  flows_.push_back(std::move(f));
+  recompute();
+  ++flowsOpened_;
+  switch (kind) {
+    case FlowKind::RemoteRead:
+      ++remoteFlows_;
+      break;
+    case FlowKind::TertiaryRead:
+      ++tertiaryFlows_;
+      break;
+    case FlowKind::Replication:
+      ++replicationFlows_;
+      break;
+  }
+  maxConcurrentFlows_ = std::max<std::uint64_t>(maxConcurrentFlows_, flows_.size());
+  return flows_.back().id;
+}
+
+void FlowNetwork::close(FlowId id, double now) {
+  auto it = std::find_if(flows_.begin(), flows_.end(),
+                         [id](const Flow& f) { return f.id == id; });
+  if (it == flows_.end()) throw std::invalid_argument("FlowNetwork::close: unknown flow");
+  integrate(now);
+  flows_.erase(it);
+  recompute();
+}
+
+const FlowNetwork::Flow& FlowNetwork::find(FlowId id) const {
+  auto it = std::find_if(flows_.begin(), flows_.end(),
+                         [id](const Flow& f) { return f.id == id; });
+  if (it == flows_.end()) throw std::invalid_argument("FlowNetwork: unknown flow");
+  return *it;
+}
+
+double FlowNetwork::rate(FlowId id) const { return find(id).alloc; }
+
+double FlowNetwork::estimateRate(int srcMachine, int dstMachine, double capBytesPerSec) const {
+  if (!enabled_) return capBytesPerSec;
+  std::vector<Flow> probe = flows_;
+  Flow f;
+  f.id = kNoFlow;
+  f.cap = capBytesPerSec;
+  f.path = pathFor(srcMachine, dstMachine);
+  probe.push_back(std::move(f));
+  solve(probe);
+  return probe.back().alloc;
+}
+
+void FlowNetwork::noteBytes(FlowKind kind, double bytes) {
+  switch (kind) {
+    case FlowKind::RemoteRead:
+      remoteBytes_ += bytes;
+      break;
+    case FlowKind::TertiaryRead:
+      tertiaryBytes_ += bytes;
+      break;
+    case FlowKind::Replication:
+      replicationBytes_ += bytes;
+      break;
+  }
+}
+
+std::vector<std::string> FlowNetwork::pathNames(int srcMachine, int dstMachine) const {
+  std::vector<std::string> names;
+  if (!enabled_) return names;
+  for (int l : pathFor(srcMachine, dstMachine)) {
+    names.push_back(links_[static_cast<std::size_t>(l)].name);
+  }
+  return names;
+}
+
+std::vector<FlowNetwork::LinkState> FlowNetwork::linkStates() const {
+  std::vector<LinkState> out;
+  out.reserve(links_.size());
+  for (const Link& l : links_) out.push_back({l.name, l.capacity, l.allocated});
+  return out;
+}
+
+NetworkReport FlowNetwork::report(double now) const {
+  NetworkReport r;
+  r.enabled = enabled_;
+  if (!enabled_) return r;
+  for (const Link& l : links_) {
+    double integral = l.busyIntegral;
+    if (now > lastTime_) integral += l.allocated * (now - lastTime_);
+    double util = now > 0.0 ? integral / (l.capacity * now) : 0.0;
+    r.links.push_back({l.name, l.capacity, util});
+    r.maxLinkUtilization = std::max(r.maxLinkUtilization, util);
+  }
+  r.flowsOpened = flowsOpened_;
+  r.remoteFlows = remoteFlows_;
+  r.tertiaryFlows = tertiaryFlows_;
+  r.replicationFlows = replicationFlows_;
+  r.maxConcurrentFlows = maxConcurrentFlows_;
+  r.remoteBytes = remoteBytes_;
+  r.tertiaryBytes = tertiaryBytes_;
+  r.replicationBytes = replicationBytes_;
+  return r;
+}
+
+}  // namespace ppsched

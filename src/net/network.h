@@ -1,0 +1,211 @@
+// Flow-level network model: shared-link contention for remote-cache,
+// replication and tertiary traffic.
+//
+// The paper assumes the Gigabit LAN "is not the constraint" (§2.3) and the
+// cost model therefore charges every remote read the serving disk's full
+// bandwidth regardless of how many transfers are in flight. That holds for
+// 10 nodes; at 100+ nodes the switch uplinks and the tertiary ingress pipe
+// become the constraint, and the §4.2 replication results change character.
+//
+// This module models the cluster interconnect at flow granularity:
+//   - topology: one full-duplex NIC per machine (separate up/down links),
+//     machines grouped onto edge switches of `nodesPerSwitch` ports whose
+//     uplinks (again one per direction) join a core switch, and a single
+//     tertiary ingress link through which all tertiary traffic enters;
+//   - every network transfer (remote-cache span, tertiary span, replication
+//     copy) is one flow with a demand cap (the source device rate) routed
+//     over the links between its endpoints;
+//   - bandwidth is shared by progressive-filling max-min fairness with
+//     per-flow rate caps, recomputed on every flow open/close. The engine
+//     re-estimates in-flight completion times against the event queue when
+//     shares change.
+//
+// The model is flow-level, not packet-level: a flow's allocation is the
+// bandwidth it holds while its span/copy is active (a serial, non-pipelined
+// span interleaves transfer and CPU bursts; at flow granularity it reserves
+// its transfer-phase rate for the whole span — a conservative, documented
+// approximation, see DESIGN.md "Network model").
+//
+// `NetworkConfig{}` (enabled == false) disables all of this and reproduces
+// the paper's unconstrained-LAN behaviour bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppsched {
+
+/// Topology and capacities of the cluster interconnect. Disabled by
+/// default: `NetworkConfig{}` keeps every existing experiment bit-identical.
+struct NetworkConfig {
+  /// Master switch for the flow-level model.
+  bool enabled = false;
+  /// Per-machine NIC capacity, each direction (default: Gigabit Ethernet,
+  /// 125 MB/s decimal). Must be > 0 when enabled.
+  double nicBytesPerSec = 125e6;
+  /// Edge-switch uplink capacity towards the core, each direction. Flows
+  /// between machines on different edge switches and all tertiary traffic
+  /// cross these. 0 = unconstrained (uplink links are not modelled).
+  double uplinkBytesPerSec = 0.0;
+  /// Machines per edge switch; 0 = all machines on one switch (flows
+  /// between nodes never cross an uplink, but tertiary traffic still
+  /// crosses the single switch's downlink when uplinkBytesPerSec > 0).
+  int nodesPerSwitch = 0;
+  /// Capacity of the single link through which tertiary-storage traffic
+  /// enters the cluster. 0 = unconstrained (the per-stream
+  /// CostModel::tertiaryBytesPerSec and SimConfig::tertiaryAggregateBytesPerSec
+  /// caps still apply).
+  double tertiaryIngressBytesPerSec = 0.0;
+
+  bool operator==(const NetworkConfig&) const = default;
+};
+
+/// Parse a compact network spec: "nic=125,uplink=20,ingress=40,group=8"
+/// (rates in MB/s decimal; group = machines per edge switch). Any subset of
+/// keys may appear; parsing a non-empty spec enables the model. "off" (or
+/// an empty string) yields the disabled default. Throws
+/// std::invalid_argument on unknown keys or malformed values.
+NetworkConfig parseNetworkSpec(const std::string& spec);
+
+/// Inverse of parseNetworkSpec: "off" when disabled, otherwise a spec that
+/// parses back to an equal config.
+std::string formatNetworkSpec(const NetworkConfig& cfg);
+
+/// Identifies an open flow. 0 (`kNoFlow`) is never a valid id.
+using FlowId = std::uint64_t;
+inline constexpr FlowId kNoFlow = 0;
+
+/// What a flow carries (for accounting; routing only depends on endpoints).
+enum class FlowKind {
+  RemoteRead,    ///< a span reading another node's disk cache
+  TertiaryRead,  ///< a span streaming from tertiary storage
+  Replication,   ///< a §4.2 replication copy between node caches
+};
+
+/// Per-link accounting of one run.
+struct LinkReport {
+  std::string name;                ///< "nic_up[3]", "uplink_down[0]", "tertiary_ingress"
+  double capacityBytesPerSec = 0.0;
+  /// Time-averaged allocated fraction of the link over [0, reportTime].
+  double utilization = 0.0;
+};
+
+/// Aggregate network accounting of one run (RunResult::network).
+struct NetworkReport {
+  bool enabled = false;
+  std::vector<LinkReport> links;
+  double maxLinkUtilization = 0.0;
+  std::uint64_t flowsOpened = 0;
+  std::uint64_t remoteFlows = 0;
+  std::uint64_t tertiaryFlows = 0;
+  std::uint64_t replicationFlows = 0;
+  std::uint64_t maxConcurrentFlows = 0;
+  /// Bytes actually delivered (events processed / copies completed), by kind.
+  double remoteBytes = 0.0;
+  double tertiaryBytes = 0.0;
+  double replicationBytes = 0.0;
+};
+
+/// The flow-level network simulation. Owns no clock: callers pass the
+/// current time so utilization integrals stay exact; completion-time
+/// bookkeeping of flows lives with the host (it owns the event queue).
+class FlowNetwork {
+ public:
+  /// Source pseudo-machine of tertiary ingress flows.
+  static constexpr int kTertiarySource = -1;
+
+  /// Disabled network: open() must not be called.
+  FlowNetwork() = default;
+  /// Build the link set for `numMachines` machines. With cfg.enabled ==
+  /// false this is equivalent to FlowNetwork().
+  FlowNetwork(const NetworkConfig& cfg, int numMachines);
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Open a flow from `srcMachine` (or kTertiarySource) to `dstMachine`
+  /// with demand cap `capBytesPerSec` (> 0: the source device rate). All
+  /// link shares are recomputed; query the new rates afterwards.
+  FlowId open(int srcMachine, int dstMachine, double capBytesPerSec, FlowKind kind, double now);
+
+  /// Close an open flow and recompute the remaining flows' shares.
+  void close(FlowId id, double now);
+
+  /// Current allocated rate of an open flow (bytes/s, > 0).
+  [[nodiscard]] double rate(FlowId id) const;
+
+  /// Rate a hypothetical new flow would receive right now, without
+  /// perturbing the open flows (policy cost feedback).
+  [[nodiscard]] double estimateRate(int srcMachine, int dstMachine,
+                                    double capBytesPerSec) const;
+
+  /// Record bytes actually delivered for a flow kind (report accounting).
+  void noteBytes(FlowKind kind, double bytes);
+
+  [[nodiscard]] std::size_t activeFlows() const { return flows_.size(); }
+
+  /// Link names along the src->dst route (tests, diagnostics).
+  [[nodiscard]] std::vector<std::string> pathNames(int srcMachine, int dstMachine) const;
+
+  /// Current (name, capacity, allocated) of every modelled link.
+  struct LinkState {
+    std::string name;
+    double capacityBytesPerSec = 0.0;
+    double allocatedBytesPerSec = 0.0;
+  };
+  [[nodiscard]] std::vector<LinkState> linkStates() const;
+
+  /// Utilization integrals and flow counters up to `now`.
+  [[nodiscard]] NetworkReport report(double now) const;
+
+ private:
+  struct Link {
+    std::string name;
+    double capacity = 0.0;
+    double allocated = 0.0;     ///< sum of current flow allocations
+    double busyIntegral = 0.0;  ///< integral of `allocated` dt since t=0
+  };
+
+  struct Flow {
+    FlowId id = kNoFlow;
+    FlowKind kind = FlowKind::RemoteRead;
+    double cap = 0.0;
+    double alloc = 0.0;
+    std::vector<int> path;  ///< link indices
+  };
+
+  [[nodiscard]] int groupOf(int machine) const;
+  [[nodiscard]] std::vector<int> pathFor(int srcMachine, int dstMachine) const;
+  /// Demand-capped progressive-filling max-min over `flows` (allocations
+  /// written in place; links_ capacities read only).
+  void solve(std::vector<Flow>& flows) const;
+  /// Advance per-link busy integrals to `now`.
+  void integrate(double now);
+  /// Re-solve all open flows and refresh per-link allocated sums.
+  void recompute();
+  [[nodiscard]] const Flow& find(FlowId id) const;
+
+  bool enabled_ = false;
+  int machines_ = 0;
+  int groupSize_ = 0;   ///< machines per edge switch (0 = single switch)
+  int numGroups_ = 0;
+  int uplinkBase_ = -1;  ///< first uplink link index, -1 when unconstrained
+  int ingressLink_ = -1; ///< tertiary ingress link index, -1 when unconstrained
+
+  std::vector<Link> links_;
+  std::vector<Flow> flows_;
+  FlowId nextId_ = 1;
+  double lastTime_ = 0.0;
+
+  // Counters for report().
+  std::uint64_t flowsOpened_ = 0;
+  std::uint64_t remoteFlows_ = 0;
+  std::uint64_t tertiaryFlows_ = 0;
+  std::uint64_t replicationFlows_ = 0;
+  std::uint64_t maxConcurrentFlows_ = 0;
+  double remoteBytes_ = 0.0;
+  double tertiaryBytes_ = 0.0;
+  double replicationBytes_ = 0.0;
+};
+
+}  // namespace ppsched

@@ -293,11 +293,57 @@ std::vector<RealtimeHost::PlanPiece> RealtimeHost::planRun(NodeId node, const Su
     if (!cfg_.nodeSpeedFactors.empty()) {
       cost.cpuSecPerEvent /= cfg_.nodeSpeedFactors[static_cast<std::size_t>(node)];
     }
-    piece.rate = cost.secPerEvent(piece.source);
+    if (cfg_.network.enabled && piece.source != DataSource::LocalCache) {
+      // Static share: price the transfer at the bandwidth one more stream
+      // would get right now (the simulator re-solves on every open/close;
+      // see the model-differences note in the header).
+      const double transfer = cost.bytesPerEvent / staticNetBytesPerSec(piece.source);
+      piece.rate = cost.pipelined ? std::max(transfer, cost.cpuSecPerEvent)
+                                  : transfer + cost.cpuSecPerEvent;
+    } else {
+      piece.rate = cost.secPerEvent(piece.source);
+    }
     plan.push_back(piece);
     cursor = piece.range.end;
   }
   return plan;
+}
+
+double RealtimeHost::staticNetBytesPerSec(DataSource src) const {
+  const NetworkConfig& net = cfg_.network;
+  const double streams = static_cast<double>(activeNetRuns_ + 1);
+  double bps = src == DataSource::RemoteCache ? cfg_.cost.remoteBytesPerSec
+                                              : cfg_.cost.tertiaryBytesPerSec;
+  bps = std::min(bps, net.nicBytesPerSec);
+  if (src == DataSource::Tertiary) {
+    if (cfg_.tertiaryAggregateBytesPerSec > 0.0) {
+      bps = std::min(bps, cfg_.tertiaryAggregateBytesPerSec / streams);
+    }
+    if (net.tertiaryIngressBytesPerSec > 0.0) {
+      bps = std::min(bps, net.tertiaryIngressBytesPerSec / streams);
+    }
+  } else if (net.uplinkBytesPerSec > 0.0) {
+    bps = std::min(bps, net.uplinkBytesPerSec / streams);
+  }
+  return bps;
+}
+
+void RealtimeHost::releaseNetRun(const Assignment& assignment) {
+  if (assignment.usesNetwork && activeNetRuns_ > 0) --activeNetRuns_;
+}
+
+double RealtimeHost::estimatedSecPerEvent(NodeId node, NodeId remoteFrom,
+                                          DataSource src) const {
+  std::lock_guard guard(lock_);
+  if (!cfg_.network.enabled || src == DataSource::LocalCache) {
+    return ISchedulerHost::estimatedSecPerEvent(node, remoteFrom, src);
+  }
+  double cpu = cfg_.cost.cpuSecPerEvent;
+  if (!cfg_.nodeSpeedFactors.empty()) {
+    cpu /= cfg_.nodeSpeedFactors[static_cast<std::size_t>(node)];
+  }
+  const double transfer = cfg_.cost.bytesPerEvent / staticNetBytesPerSec(src);
+  return cfg_.cost.pipelined ? std::max(transfer, cpu) : transfer + cpu;
 }
 
 void RealtimeHost::startRun(NodeId node, Subjob sj, RunOptions opts) {
@@ -315,7 +361,10 @@ void RealtimeHost::startRun(NodeId node, Subjob sj, RunOptions opts) {
   a.plan = planRun(node, sj, opts);
   for (const PlanPiece& piece : a.plan) {
     a.durationSimSec += static_cast<double>(piece.range.size()) * piece.rate;
+    if (piece.source != DataSource::LocalCache) a.usesNetwork = true;
   }
+  a.usesNetwork = a.usesNetwork && cfg_.network.enabled;
+  if (a.usesNetwork) ++activeNetRuns_;
   a.startedAt = now();
   a.generation = nextGeneration_++;
   metrics_.onFirstStart(sj.job, a.startedAt);
@@ -373,6 +422,7 @@ void RealtimeHost::handleCompletion(NodeId node, std::uint64_t generation) {
   if (!assignment || assignment->generation != generation) return;  // stale
   Assignment finished = std::move(*assignment);
   assignment.reset();
+  releaseNetRun(finished);
   applyProgress(node, finished, finished.subjob.events());
   RunReport report;
   report.subjob = finished.subjob;
@@ -386,6 +436,7 @@ Subjob RealtimeHost::preempt(NodeId node) {
   if (!assignment) throw std::logic_error("preempt on an idle node");
   Assignment stopped = std::move(*assignment);
   assignment.reset();
+  releaseNetRun(stopped);
   // Invalidate the executor's current wait; a bumped generation makes any
   // in-flight completion stale.
   ExecutorSlot& slot = *slots_[static_cast<std::size_t>(node)];
@@ -457,6 +508,7 @@ void RealtimeHost::failNode(NodeId node) {
     }
     Assignment dead = std::move(*assignment);
     assignment.reset();
+    releaseNetRun(dead);
     // Kill the executor's wait; a bumped generation makes any in-flight
     // completion stale. Unlike preempt(), NO progress is applied: the crash
     // discards everything the executor had done.

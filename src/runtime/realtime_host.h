@@ -19,7 +19,11 @@
 // against the then-current cache state (the simulator re-plans every span),
 // completion times are subject to OS scheduling jitter, and a run killed by
 // failNode() loses its whole subjob (the simulator rolls back to the last
-// span boundary; here no span checkpoints exist).
+// span boundary; here no span checkpoints exist). With the network model
+// enabled this host uses a static share approximation: a run's network
+// pieces are priced once at start against the then-active count of
+// network-using runs (the simulator's FlowNetwork re-solves max-min shares
+// on every flow open/close).
 #pragma once
 
 #include <chrono>
@@ -100,6 +104,10 @@ class RealtimeHost final : public ISchedulerHost {
   ActionId at(SimTime when, std::function<void()> action) override;
   void deferLost(Subjob sj) override;
   void noteSchedulingDelay(JobId id, Duration delay) override;
+  /// Contention-aware cost feedback (static share approximation; see the
+  /// model-differences note above). Thread-safe.
+  [[nodiscard]] double estimatedSecPerEvent(NodeId node, NodeId remoteFrom,
+                                            DataSource src) const override;
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -118,6 +126,9 @@ class RealtimeHost final : public ISchedulerHost {
     double durationSimSec = 0.0;
     SimTime startedAt = 0.0;
     std::uint64_t generation = 0;
+    /// The plan has remote/tertiary pieces priced against the network
+    /// (counts towards activeNetRuns_ until the run ends).
+    bool usesNetwork = false;
   };
 
   struct JobState {
@@ -144,6 +155,11 @@ class RealtimeHost final : public ISchedulerHost {
   void applyProgress(NodeId node, Assignment& assignment, std::uint64_t eventsDone);
   [[nodiscard]] std::vector<PlanPiece> planRun(NodeId node, const Subjob& sj,
                                                const RunOptions& opts) const;
+  /// Static-share network rate for one more `src` stream joining the
+  /// currently active network runs (lock held).
+  [[nodiscard]] double staticNetBytesPerSec(DataSource src) const;
+  /// Drop a finished/killed assignment's network-run count (lock held).
+  void releaseNetRun(const Assignment& assignment);
   [[nodiscard]] std::uint64_t eventsDoneByNow(const Assignment& assignment) const;
   JobState& state(JobId id);
   [[nodiscard]] const JobState& state(JobId id) const;
@@ -168,6 +184,8 @@ class RealtimeHost final : public ISchedulerHost {
   std::vector<JobState> jobs_;
   std::vector<std::optional<Assignment>> assignments_;  // per node
   std::uint64_t nextGeneration_ = 1;
+  /// Runs whose plans contain network pieces (static share denominator).
+  int activeNetRuns_ = 0;
   bool stopping_ = false;
 
   // Per-node executor handshake.

@@ -12,6 +12,17 @@ RunOptions ReplicationScheduler::optionsFor(NodeId node, const Subjob& sj) {
   if (!sj.yieldsToCached) return opts;
   const NodeId best = host().cluster().bestCacheNode(sj.range);
   if (best != kNoNode && best != node) {
+    // With the network model on, check the host's contention-aware cost
+    // feedback: a remote read over congested links can be slower than
+    // streaming from tertiary storage, in which case reading remotely (and
+    // replicating on top of it) only adds traffic. The guard is inert when
+    // the model is disabled — the estimates then reduce to the static cost
+    // model, where remote reads always win.
+    if (host().config().network.enabled) {
+      const double remote = host().estimatedSecPerEvent(node, best, DataSource::RemoteCache);
+      const double tertiary = host().estimatedSecPerEvent(node, kNoNode, DataSource::Tertiary);
+      if (remote >= tertiary) return opts;
+    }
     opts.remoteFrom = best;
     opts.replicationThreshold = params_.replicationThreshold;
   }

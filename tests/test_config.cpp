@@ -101,6 +101,51 @@ TEST(Config, FinalizeSortsOutageWindows) {
   EXPECT_DOUBLE_EQ(cfg.failures.tertiaryOutages[0].end(), 20.0);
 }
 
+TEST(Config, NetworkConfigDefaultsDisabled) {
+  const SimConfig cfg = SimConfig::paperDefaults();
+  EXPECT_FALSE(cfg.network.enabled);
+  EXPECT_EQ(cfg.network, NetworkConfig{});
+}
+
+TEST(Config, NetworkConfigValidation) {
+  SimConfig cfg;
+  cfg.network.enabled = true;
+  cfg.network.nicBytesPerSec = 0.0;
+  EXPECT_THROW(cfg.finalize(), std::invalid_argument);
+
+  cfg = SimConfig{};
+  cfg.network.enabled = true;
+  cfg.network.uplinkBytesPerSec = -1.0;
+  EXPECT_THROW(cfg.finalize(), std::invalid_argument);
+
+  cfg = SimConfig{};
+  cfg.network.enabled = true;
+  cfg.network.tertiaryIngressBytesPerSec = -1.0;
+  EXPECT_THROW(cfg.finalize(), std::invalid_argument);
+
+  cfg = SimConfig{};
+  cfg.network.enabled = true;
+  cfg.network.nodesPerSwitch = -2;
+  EXPECT_THROW(cfg.finalize(), std::invalid_argument);
+
+  // A disabled model is never validated (inert by construction).
+  cfg = SimConfig{};
+  cfg.network.nicBytesPerSec = 0.0;
+  EXPECT_NO_THROW(cfg.finalize());
+
+  // A fully-specified enabled model passes.
+  cfg = SimConfig{};
+  cfg.network = parseNetworkSpec("nic=125,uplink=20,ingress=40,group=5");
+  EXPECT_NO_THROW(cfg.finalize());
+}
+
+TEST(Config, NetworkSpecRoundTripsThroughSimConfig) {
+  SimConfig cfg;
+  cfg.network = parseNetworkSpec("nic=125,uplink=8,group=4");
+  cfg.finalize();
+  EXPECT_EQ(parseNetworkSpec(formatNetworkSpec(cfg.network)), cfg.network);
+}
+
 TEST(Config, MaxLoadScalesWithNodes) {
   SimConfig cfg = SimConfig::paperDefaults();
   cfg.numNodes = 20;

@@ -1,0 +1,279 @@
+// FlowNetwork unit tests: topology/routing, the max-min fair solver
+// (closed-form cases + conservation/fairness property tests), utilization
+// integrals, the estimateRate probe, and the network spec parser.
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ppsched {
+namespace {
+
+NetworkConfig enabledConfig(double nic = 125e6, double uplink = 0.0, int group = 0,
+                            double ingress = 0.0) {
+  NetworkConfig cfg;
+  cfg.enabled = true;
+  cfg.nicBytesPerSec = nic;
+  cfg.uplinkBytesPerSec = uplink;
+  cfg.nodesPerSwitch = group;
+  cfg.tertiaryIngressBytesPerSec = ingress;
+  return cfg;
+}
+
+TEST(NetworkSpec, DisabledForms) {
+  EXPECT_FALSE(parseNetworkSpec("").enabled);
+  EXPECT_FALSE(parseNetworkSpec("off").enabled);
+  EXPECT_EQ(formatNetworkSpec(NetworkConfig{}), "off");
+}
+
+TEST(NetworkSpec, ParsesAllKeys) {
+  const NetworkConfig cfg = parseNetworkSpec("nic=125,uplink=20,ingress=40,group=8");
+  EXPECT_TRUE(cfg.enabled);
+  EXPECT_DOUBLE_EQ(cfg.nicBytesPerSec, 125e6);
+  EXPECT_DOUBLE_EQ(cfg.uplinkBytesPerSec, 20e6);
+  EXPECT_DOUBLE_EQ(cfg.tertiaryIngressBytesPerSec, 40e6);
+  EXPECT_EQ(cfg.nodesPerSwitch, 8);
+}
+
+TEST(NetworkSpec, PartialSpecKeepsDefaults) {
+  const NetworkConfig cfg = parseNetworkSpec("uplink=12.5");
+  EXPECT_TRUE(cfg.enabled);
+  EXPECT_DOUBLE_EQ(cfg.nicBytesPerSec, 125e6);  // default NIC
+  EXPECT_DOUBLE_EQ(cfg.uplinkBytesPerSec, 12.5e6);
+  EXPECT_EQ(cfg.nodesPerSwitch, 0);
+}
+
+TEST(NetworkSpec, RoundTrips) {
+  for (const std::string& spec :
+       {std::string("off"), std::string("nic=125"), std::string("nic=125,uplink=20"),
+        std::string("nic=125,uplink=20,ingress=40,group=8"),
+        std::string("nic=62.5,ingress=1")}) {
+    const NetworkConfig cfg = parseNetworkSpec(spec);
+    EXPECT_EQ(parseNetworkSpec(formatNetworkSpec(cfg)), cfg) << spec;
+  }
+}
+
+TEST(NetworkSpec, RejectsMalformedInput) {
+  EXPECT_THROW(parseNetworkSpec("bogus=1"), std::invalid_argument);
+  EXPECT_THROW(parseNetworkSpec("nic"), std::invalid_argument);
+  EXPECT_THROW(parseNetworkSpec("nic=abc"), std::invalid_argument);
+  EXPECT_THROW(parseNetworkSpec("nic=-5"), std::invalid_argument);
+  EXPECT_THROW(parseNetworkSpec("nic=0"), std::invalid_argument);
+  EXPECT_THROW(parseNetworkSpec("group=-1"), std::invalid_argument);
+  EXPECT_THROW(parseNetworkSpec("group=2.5"), std::invalid_argument);
+}
+
+TEST(FlowNetwork, DisabledNetworkRejectsOpen) {
+  FlowNetwork net;
+  EXPECT_FALSE(net.enabled());
+  EXPECT_THROW(net.open(0, 1, 1e6, FlowKind::RemoteRead, 0.0), std::logic_error);
+  // estimateRate degrades to the demand cap (static cost model).
+  EXPECT_DOUBLE_EQ(net.estimateRate(0, 1, 7e6), 7e6);
+}
+
+TEST(FlowNetwork, RejectsBadArguments) {
+  FlowNetwork net(enabledConfig(), 4);
+  EXPECT_THROW(net.open(0, 4, 1e6, FlowKind::RemoteRead, 0.0), std::out_of_range);
+  EXPECT_THROW(net.open(-2, 1, 1e6, FlowKind::RemoteRead, 0.0), std::out_of_range);
+  EXPECT_THROW(net.open(0, 1, 0.0, FlowKind::RemoteRead, 0.0), std::invalid_argument);
+  EXPECT_THROW(net.close(99, 0.0), std::invalid_argument);
+}
+
+// The acceptance-criterion closed form: two unconstrained flows over one
+// shared link of capacity C each get exactly C/2.
+TEST(FlowNetwork, TwoFlowsOneLinkSplitEvenly) {
+  FlowNetwork net(enabledConfig(10e6), 2);
+  const FlowId a = net.open(0, 1, 100e6, FlowKind::RemoteRead, 0.0);
+  const FlowId b = net.open(0, 1, 100e6, FlowKind::RemoteRead, 0.0);
+  EXPECT_NEAR(net.rate(a), 5e6, 1.0);
+  EXPECT_NEAR(net.rate(b), 5e6, 1.0);
+  net.close(a, 1.0);
+  EXPECT_NEAR(net.rate(b), 10e6, 1.0);  // survivor takes the whole link
+}
+
+// A demand-capped flow freezes at its cap; the other takes the rest.
+TEST(FlowNetwork, CapLimitedFlowLeavesRestToOthers) {
+  FlowNetwork net(enabledConfig(10e6), 2);
+  const FlowId slow = net.open(0, 1, 2e6, FlowKind::TertiaryRead, 0.0);
+  const FlowId fast = net.open(0, 1, 100e6, FlowKind::RemoteRead, 0.0);
+  EXPECT_NEAR(net.rate(slow), 2e6, 1.0);
+  EXPECT_NEAR(net.rate(fast), 8e6, 1.0);
+}
+
+TEST(FlowNetwork, SingleFlowLimitedByItsCap) {
+  FlowNetwork net(enabledConfig(125e6), 2);
+  const FlowId f = net.open(0, 1, 1e6, FlowKind::TertiaryRead, 0.0);
+  EXPECT_NEAR(net.rate(f), 1e6, 1.0);  // the device, not the NIC, binds
+}
+
+TEST(FlowNetwork, TertiaryFlowsShareTheIngressLink) {
+  FlowNetwork net(enabledConfig(125e6, 0.0, 0, 1e6), 2);
+  const FlowId a = net.open(FlowNetwork::kTertiarySource, 0, 1e6, FlowKind::TertiaryRead, 0.0);
+  const FlowId b = net.open(FlowNetwork::kTertiarySource, 1, 1e6, FlowKind::TertiaryRead, 0.0);
+  EXPECT_NEAR(net.rate(a), 0.5e6, 1.0);
+  EXPECT_NEAR(net.rate(b), 0.5e6, 1.0);
+  net.close(a, 10.0);
+  EXPECT_NEAR(net.rate(b), 1e6, 1.0);
+}
+
+TEST(FlowNetwork, UplinkCrossedOnlyBetweenGroups) {
+  // 4 machines, 2 per edge switch, thin uplinks.
+  FlowNetwork net(enabledConfig(10e6, 3e6, 2), 4);
+
+  const auto sameGroup = net.pathNames(0, 1);
+  EXPECT_EQ(sameGroup, (std::vector<std::string>{"nic_up[0]", "nic_down[1]"}));
+
+  const auto crossGroup = net.pathNames(0, 2);
+  EXPECT_EQ(crossGroup, (std::vector<std::string>{"nic_up[0]", "uplink_up[0]",
+                                                  "uplink_down[1]", "nic_down[2]"}));
+
+  const FlowId within = net.open(0, 1, 100e6, FlowKind::RemoteRead, 0.0);
+  const FlowId across = net.open(2, 0, 100e6, FlowKind::RemoteRead, 0.0);
+  EXPECT_NEAR(net.rate(within), 10e6, 1.0);  // NIC-bound, no uplink on path
+  EXPECT_NEAR(net.rate(across), 3e6, 1.0);   // uplink-bound
+}
+
+TEST(FlowNetwork, TertiaryPathDescendsTheDestinationGroupUplink) {
+  FlowNetwork net(enabledConfig(125e6, 5e6, 2, 40e6), 4);
+  const auto path = net.pathNames(FlowNetwork::kTertiarySource, 3);
+  EXPECT_EQ(path, (std::vector<std::string>{"tertiary_ingress", "uplink_down[1]",
+                                            "nic_down[3]"}));
+}
+
+TEST(FlowNetwork, UtilizationIntegratesAllocationOverTime) {
+  FlowNetwork net(enabledConfig(10e6), 2);
+  const FlowId f = net.open(0, 1, 5e6, FlowKind::RemoteRead, 0.0);
+  net.close(f, 10.0);
+  const NetworkReport r = net.report(20.0);
+  // nic_up[0] carried 5 MB/s for 10 of 20 seconds: 25% utilization.
+  ASSERT_FALSE(r.links.empty());
+  for (const LinkReport& link : r.links) {
+    if (link.name == "nic_up[0]" || link.name == "nic_down[1]") {
+      EXPECT_NEAR(link.utilization, 0.25, 1e-9) << link.name;
+    } else {
+      EXPECT_NEAR(link.utilization, 0.0, 1e-12) << link.name;
+    }
+  }
+  EXPECT_NEAR(r.maxLinkUtilization, 0.25, 1e-9);
+  EXPECT_EQ(r.flowsOpened, 1u);
+  EXPECT_EQ(r.remoteFlows, 1u);
+  EXPECT_EQ(r.maxConcurrentFlows, 1u);
+}
+
+TEST(FlowNetwork, NoteBytesAccumulatesByKind) {
+  FlowNetwork net(enabledConfig(), 2);
+  net.noteBytes(FlowKind::RemoteRead, 100.0);
+  net.noteBytes(FlowKind::TertiaryRead, 10.0);
+  net.noteBytes(FlowKind::Replication, 1.0);
+  net.noteBytes(FlowKind::Replication, 1.0);
+  const NetworkReport r = net.report(1.0);
+  EXPECT_DOUBLE_EQ(r.remoteBytes, 100.0);
+  EXPECT_DOUBLE_EQ(r.tertiaryBytes, 10.0);
+  EXPECT_DOUBLE_EQ(r.replicationBytes, 2.0);
+}
+
+TEST(FlowNetwork, EstimateMatchesActualOpenAndDoesNotPerturb) {
+  FlowNetwork net(enabledConfig(10e6), 3);
+  const FlowId a = net.open(0, 2, 100e6, FlowKind::RemoteRead, 0.0);
+  const double rateABefore = net.rate(a);
+
+  const double estimate = net.estimateRate(1, 2, 100e6);
+  EXPECT_DOUBLE_EQ(net.rate(a), rateABefore);  // probe left state untouched
+  EXPECT_EQ(net.activeFlows(), 1u);
+
+  const FlowId b = net.open(1, 2, 100e6, FlowKind::RemoteRead, 0.0);
+  EXPECT_NEAR(net.rate(b), estimate, 1.0);
+  // Both bottlenecked on nic_down[2]: 5 MB/s each.
+  EXPECT_NEAR(estimate, 5e6, 1.0);
+}
+
+// Property tests: random flow sets over a grouped topology must satisfy
+// (1) conservation — no link carries more than its capacity — and
+// (2) max-min fairness — every flow is at its demand cap, or crosses a
+//     saturated link on which no other flow gets a larger share.
+TEST(FlowNetwork, MaxMinPropertiesOnRandomFlowSets) {
+  std::mt19937 rng(20260807);
+  const int machines = 8;
+  for (int trial = 0; trial < 50; ++trial) {
+    FlowNetwork net(enabledConfig(10e6, 4e6, 3, 6e6), machines);
+    std::uniform_int_distribution<int> pick(0, machines - 1);
+    std::uniform_real_distribution<double> capDist(0.5e6, 20e6);
+    std::uniform_int_distribution<int> kindDist(0, 2);
+
+    struct TestFlow {
+      FlowId id;
+      std::vector<std::string> path;
+      double cap;
+    };
+    std::vector<TestFlow> flows;
+    const int count = 1 + trial % 12;
+    for (int i = 0; i < count; ++i) {
+      const int dst = pick(rng);
+      int src = pick(rng);
+      const int kind = kindDist(rng);
+      if (kind == 2) src = FlowNetwork::kTertiarySource;
+      if (src == dst) src = (dst + 1) % machines;
+      const double cap = capDist(rng);
+      const FlowId id = net.open(src, dst, cap,
+                                 kind == 2 ? FlowKind::TertiaryRead : FlowKind::RemoteRead,
+                                 static_cast<double>(i));
+      flows.push_back({id, net.pathNames(src, dst), cap});
+    }
+
+    // Reconstruct per-link load and capacity from the public state.
+    std::unordered_map<std::string, double> capacity;
+    std::unordered_map<std::string, double> load;
+    for (const auto& link : net.linkStates()) capacity[link.name] = link.capacityBytesPerSec;
+    for (const TestFlow& f : flows) {
+      for (const std::string& l : f.path) load[l] += net.rate(f.id);
+    }
+
+    constexpr double eps = 1.0;  // bytes/s slack on multi-MB/s links
+    for (const auto& [name, used] : load) {
+      EXPECT_LE(used, capacity.at(name) + eps) << "conservation on " << name;
+    }
+    for (const TestFlow& f : flows) {
+      const double mine = net.rate(f.id);
+      EXPECT_GT(mine, 0.0);
+      if (mine >= f.cap - eps) continue;  // demand-capped: fair by definition
+      bool bottlenecked = false;
+      for (const std::string& l : f.path) {
+        if (load.at(l) < capacity.at(l) - eps) continue;  // link not saturated
+        bool largestShare = true;
+        for (const TestFlow& other : flows) {
+          if (other.id == f.id) continue;
+          const bool crosses =
+              std::find(other.path.begin(), other.path.end(), l) != other.path.end();
+          if (crosses && net.rate(other.id) > mine + eps) {
+            largestShare = false;
+            break;
+          }
+        }
+        if (largestShare) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(bottlenecked)
+          << "trial " << trial << ": flow below its cap (" << mine << " < " << f.cap
+          << ") without a fair bottleneck link";
+    }
+
+    // Allocation sums reported by linkStates agree with the reconstruction.
+    for (const auto& link : net.linkStates()) {
+      const auto it = load.find(link.name);
+      const double expected = it == load.end() ? 0.0 : it->second;
+      EXPECT_NEAR(link.allocatedBytesPerSec, expected, 1e-3) << link.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppsched

@@ -1,0 +1,270 @@
+// Engine-level network model tests: bit-identical determinism with the
+// model disabled, closed-form shared-link contention scenarios, deferred
+// replication transfers, contention-aware cost feedback, and report/
+// timeline plumbing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "core/engine.h"
+#include "core/experiment.h"
+#include "core/timeline.h"
+#include "test_support.h"
+
+namespace ppsched {
+namespace {
+
+using testing::Harness;
+using testing::tinyConfig;
+using testing::whole;
+
+NetworkConfig netCfg(double nic, double ingress = 0.0, double uplink = 0.0, int group = 0) {
+  NetworkConfig net;
+  net.enabled = true;
+  net.nicBytesPerSec = nic;
+  net.tertiaryIngressBytesPerSec = ingress;
+  net.uplinkBytesPerSec = uplink;
+  net.nodesPerSwitch = group;
+  return net;
+}
+
+std::uint64_t bits(double v) {
+  std::uint64_t b;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: with NetworkConfig disabled (the default), fixed-seed
+// experiments must be bit-identical to the pre-network-model engine. The
+// constants below were captured from the engine BEFORE src/net existed;
+// any drift in these bits means the disabled path is not inert.
+// ---------------------------------------------------------------------------
+
+struct GoldenRow {
+  const char* policy;
+  std::uint64_t speedupBits, waitBits, simTimeBits;
+  std::uint64_t processedEvents, tertiaryEvents;
+};
+
+TEST(NetworkDeterminism, DisabledModelIsBitIdenticalAcrossPolicies) {
+  const GoldenRow golden[] = {
+      {"farm", 0x3ff0000000000000ULL, 0x41155eabba137eebULL, 0x412ea835e38d1468ULL,
+       7453910ULL, 7453910ULL},
+      {"out_of_order", 0x3fdca256f9278793ULL, 0x40e0450c89f92250ULL, 0x41303371a75f5f23ULL,
+       11291166ULL, 6308111ULL},
+      {"replication", 0x3fdca256f9278793ULL, 0x40e0450c89f92250ULL, 0x41303371a75f5f23ULL,
+       11291166ULL, 6308111ULL},
+      {"delayed", 0x3fe6cf631c3c926bULL, 0x40ffc2be13f22eaeULL, 0x4121b4c05a2a690aULL,
+       8287757ULL, 494441ULL},
+      {"cache_oriented", 0x3ff1db5f08b97d95ULL, 0x4112810bc7135692ULL, 0x412c59eeaf6adecdULL,
+       7491562ULL, 6648658ULL},
+  };
+  for (const GoldenRow& row : golden) {
+    ExperimentSpec spec;
+    spec.policyName = row.policy;
+    spec.jobsPerHour = 2.0;
+    spec.seed = 20260807;
+    spec.warmupJobs = 30;
+    spec.measuredJobs = 150;
+    spec.sim.numNodes = 6;
+    spec.sim.cacheBytesPerNode = 20'000'000'000ULL;
+    spec.sim.totalDataBytes = 200'000'000'000ULL;
+    ASSERT_FALSE(spec.sim.network.enabled);
+    const RunResult r = runExperiment(spec);
+    EXPECT_EQ(bits(r.avgSpeedup), row.speedupBits) << row.policy;
+    EXPECT_EQ(bits(r.avgWait), row.waitBits) << row.policy;
+    EXPECT_EQ(bits(r.simulatedTime), row.simTimeBits) << row.policy;
+    EXPECT_EQ(r.processedEvents, row.processedEvents) << row.policy;
+    EXPECT_EQ(r.tertiaryEvents, row.tertiaryEvents) << row.policy;
+    EXPECT_FALSE(r.network.enabled) << row.policy;
+  }
+}
+
+TEST(NetworkDeterminism, DisabledModelIsBitIdenticalOnReplicationHeavyRun) {
+  // Paper-default cluster at threshold 1: exercises remote reads, the
+  // replication fast path, and remote-access counters.
+  ExperimentSpec spec;
+  spec.policyName = "replication";
+  spec.policyParams.replicationThreshold = 1;
+  spec.jobsPerHour = 1.5;
+  spec.seed = 20260807;
+  spec.warmupJobs = 50;
+  spec.measuredJobs = 250;
+  const RunResult r = runExperiment(spec);
+  EXPECT_EQ(bits(r.avgSpeedup), 0x40267e0422c41d8dULL);
+  EXPECT_EQ(bits(r.avgWait), 0x40632e609e402298ULL);
+  EXPECT_EQ(bits(r.simulatedTime), 0x4127f6dac9b05c3aULL);
+  EXPECT_EQ(r.processedEvents, 11627964ULL);
+  EXPECT_EQ(r.tertiaryEvents, 4492075ULL);
+  EXPECT_EQ(r.replicatedEvents, 775845ULL);
+  EXPECT_EQ(r.replicationOps, 2094ULL);
+}
+
+// ---------------------------------------------------------------------------
+// Closed-form contention scenarios.
+// ---------------------------------------------------------------------------
+
+// Two tertiary streams share a 1 MB/s ingress link: each runs at 0.5 MB/s
+// (1.4 s/event serial) until the shorter job finishes, then the survivor is
+// re-solved to the full link (0.8 s/event).
+TEST(NetworkEngine, TertiaryStreamsShareIngressAndRescheduleOnClose) {
+  SimConfig cfg = tinyConfig(2, 100'000, 10'000);
+  cfg.network = netCfg(125e6, /*ingress=*/1e6);
+  cfg.finalize();
+  Harness h(cfg, {{0, 0.0, {0, 1000}}, {1, 0.0, {1000, 4000}}}, /*caching=*/false);
+  h.policy->arrivalHook = [&](const Job& j) {
+    h.engine->startRun(j.id == 0 ? 0 : 1, whole(j));
+  };
+  SimTime firstDone = 0.0;
+  h.policy->finishHook = [&](NodeId, const RunReport& rep) {
+    if (rep.subjob.job == 0) firstDone = h.engine->now();
+  };
+  h.engine->run({});
+
+  // Job 0: 1000 events at 1.4 s/event (0.5 MB/s share + 0.2 s CPU).
+  EXPECT_NEAR(firstDone, 1400.0, 1e-6);
+  // Job 1: 1000 events at 1.4, then 2000 at 0.8 once the link is all its.
+  EXPECT_NEAR(h.engine->now(), 3000.0, 1e-6);
+
+  const NetworkReport r = h.engine->networkReport();
+  EXPECT_TRUE(r.enabled);
+  EXPECT_EQ(r.flowsOpened, 2u);
+  EXPECT_EQ(r.tertiaryFlows, 2u);
+  EXPECT_EQ(r.maxConcurrentFlows, 2u);
+  EXPECT_DOUBLE_EQ(r.tertiaryBytes, 4000 * 600e3);
+  // The ingress link was saturated for the whole simulation.
+  bool sawIngress = false;
+  for (const LinkReport& link : r.links) {
+    if (link.name == "tertiary_ingress") {
+      sawIngress = true;
+      EXPECT_NEAR(link.utilization, 1.0, 1e-6);
+    }
+  }
+  EXPECT_TRUE(sawIngress);
+  EXPECT_NEAR(r.maxLinkUtilization, 1.0, 1e-6);
+}
+
+// Two remote-cache reads from the same serving node share its 6 MB/s NIC
+// uplink (3 MB/s each -> 0.4 s/event); when the short one closes, the other
+// is re-estimated to the full NIC (0.3 s/event). Also checks the cost
+// feedback: a hypothetical third stream would get 2 MB/s (0.5 s/event).
+TEST(NetworkEngine, RemoteReadsShareServingNicWithCostFeedback) {
+  SimConfig cfg = tinyConfig(3, 100'000, 10'000);
+  cfg.network = netCfg(/*nic=*/6e6);
+  cfg.finalize();
+  Harness h(cfg, {{0, 0.0, {0, 100}}, {1, 0.0, {100, 300}}}, /*caching=*/true);
+  h.engine->cluster().node(0).cache().insert({0, 300}, 0.0);
+  h.policy->arrivalHook = [&](const Job& j) {
+    h.engine->startRun(j.id == 0 ? 1 : 2, whole(j), {.remoteFrom = 0});
+  };
+  SimTime firstDone = 0.0;
+  h.policy->finishHook = [&](NodeId, const RunReport& rep) {
+    if (rep.subjob.job == 0) firstDone = h.engine->now();
+  };
+  double estimateDuringContention = 0.0;
+  double staticRemoteEstimate = 0.0;
+  h.policy->timerHook = [&](TimerId) {
+    // Probe while both flows are active: a third reader of node 0 would
+    // share nic_up[0] three ways (2 MB/s -> 0.3 s transfer + 0.2 s CPU).
+    estimateDuringContention = h.engine->estimatedSecPerEvent(2, 0, DataSource::RemoteCache);
+    // Local reads never touch the network: static cost model.
+    staticRemoteEstimate = h.engine->estimatedSecPerEvent(2, 0, DataSource::LocalCache);
+  };
+  h.engine->run({.arrivedJobs = 2, .simTimeLimit = 1.0});
+  h.engine->scheduleTimer(10.0);
+  h.engine->run({});
+
+  EXPECT_NEAR(firstDone, 40.0, 1e-6);          // 100 events at 0.4 s/event
+  EXPECT_NEAR(h.engine->now(), 70.0, 1e-6);    // 100 at 0.4, then 100 at 0.3
+  EXPECT_NEAR(estimateDuringContention, 0.5, 1e-9);
+  EXPECT_NEAR(staticRemoteEstimate, 0.26, 1e-9);
+
+  const NetworkReport r = h.engine->networkReport();
+  EXPECT_EQ(r.remoteFlows, 2u);
+  EXPECT_DOUBLE_EQ(r.remoteBytes, 300 * 600e3);
+}
+
+TEST(NetworkEngine, DisabledNetworkKeepsStaticCostFeedback) {
+  Harness h(tinyConfig(2, 100'000, 10'000), {});
+  EXPECT_DOUBLE_EQ(h.engine->estimatedSecPerEvent(0, 1, DataSource::RemoteCache), 0.26);
+  EXPECT_DOUBLE_EQ(h.engine->estimatedSecPerEvent(0, kNoNode, DataSource::Tertiary), 0.8);
+  EXPECT_DOUBLE_EQ(h.engine->estimatedSecPerEvent(0, kNoNode, DataSource::LocalCache), 0.26);
+  EXPECT_FALSE(h.engine->networkReport().enabled);
+}
+
+// With the network model on, a §4.2 replication is no longer instantaneous:
+// it rides its own flow and lands in the destination cache only after
+// range_bytes / share seconds.
+TEST(NetworkEngine, ReplicationBecomesDeferredTransfer) {
+  SimConfig cfg = tinyConfig(2, 100'000, 10'000);
+  cfg.network = netCfg(/*nic=*/125e6);
+  cfg.finalize();
+  Harness h(cfg, {{0, 0.0, {0, 100}}}, /*caching=*/true);
+  h.engine->cluster().node(0).cache().insert({0, 100}, 0.0);
+  EventLog log;
+  h.engine->setEventSink(&log);
+  h.policy->arrivalHook = [&](const Job& j) {
+    h.engine->startRun(1, whole(j), {.remoteFrom = 0, .replicationThreshold = 1});
+  };
+  bool cachedAtRunEnd = true;
+  h.policy->finishHook = [&](NodeId, const RunReport&) {
+    cachedAtRunEnd = h.engine->cluster().node(1).cache().containsRange({0, 100});
+  };
+  h.engine->run({});
+
+  // The run ends at t=26 (100 remote events at 0.26 s/event); the copy is
+  // still in flight then and lands 60 MB / 10 MB/s = 6 s later.
+  EXPECT_FALSE(cachedAtRunEnd);
+  EXPECT_TRUE(h.engine->cluster().node(1).cache().containsRange({0, 100}));
+  EXPECT_NEAR(h.engine->now(), 32.0, 1e-6);
+
+  const RunResult result = h.metrics.finalize(h.engine->now(), false);
+  EXPECT_EQ(result.replicatedEvents, 100u);
+  EXPECT_EQ(result.replicationOps, 1u);
+
+  const NetworkReport r = h.engine->networkReport();
+  EXPECT_EQ(r.flowsOpened, 2u);
+  EXPECT_EQ(r.remoteFlows, 1u);
+  EXPECT_EQ(r.replicationFlows, 1u);
+  EXPECT_DOUBLE_EQ(r.replicationBytes, 60e6);
+
+  // Event log: one flow open/close pair per flow, and the flow timeline
+  // shows node 1 continuously on the network from t=0 to t=32.
+  EXPECT_EQ(log.count(SimEventKind::FlowOpen), 2u);
+  EXPECT_EQ(log.count(SimEventKind::FlowClose), 2u);
+  const auto intervals = flowIntervals(log, 2, h.engine->now());
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_EQ(intervals[0].node, 1);
+  EXPECT_NEAR(intervals[0].begin, 0.0, 1e-9);
+  EXPECT_NEAR(intervals[0].end, 26.0, 1e-6);
+  EXPECT_NEAR(intervals[1].begin, 26.0, 1e-6);
+  EXPECT_NEAR(intervals[1].end, 32.0, 1e-6);
+}
+
+// A full experiment with the model enabled populates RunResult::network.
+TEST(NetworkEngine, ExperimentReportCarriesNetworkCounters) {
+  ExperimentSpec spec;
+  spec.policyName = "replication";
+  spec.policyParams.replicationThreshold = 1;
+  spec.jobsPerHour = 1.5;
+  spec.seed = 7;
+  spec.warmupJobs = 5;
+  spec.measuredJobs = 20;
+  spec.sim.numNodes = 4;
+  spec.sim.cacheBytesPerNode = 10'000'000'000ULL;
+  spec.sim.totalDataBytes = 100'000'000'000ULL;
+  spec.sim.network = netCfg(125e6, /*ingress=*/4e6);
+  const RunResult r = runExperiment(spec);
+  EXPECT_TRUE(r.network.enabled);
+  EXPECT_GT(r.network.flowsOpened, 0u);
+  EXPECT_GT(r.network.tertiaryFlows, 0u);
+  EXPECT_GT(r.network.tertiaryBytes, 0.0);
+  EXPECT_GT(r.network.maxLinkUtilization, 0.0);
+  EXPECT_LE(r.network.maxLinkUtilization, 1.0 + 1e-9);
+  EXPECT_FALSE(r.network.links.empty());
+}
+
+}  // namespace
+}  // namespace ppsched

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace ppsched {
 namespace {
 
@@ -55,6 +57,39 @@ TEST(CostModel, CustomThroughputs) {
   EXPECT_DOUBLE_EQ(cost.uncachedSecPerEvent(), 0.5);
   cost.cpuSecPerEvent = 0.0;  // infinitely fast CPU
   EXPECT_DOUBLE_EQ(cost.cachedSecPerEvent(), 0.06);
+}
+
+TEST(CostModel, RemoteCachePathTracksRemoteThroughput) {
+  CostModel cost;
+  cost.remoteBytesPerSec = 5e6;  // half the disk rate
+  EXPECT_DOUBLE_EQ(cost.remoteSecPerEvent(), 0.12);
+  EXPECT_DOUBLE_EQ(cost.secPerEvent(DataSource::RemoteCache), 0.32);
+  // The local-disk path is unaffected.
+  EXPECT_DOUBLE_EQ(cost.secPerEvent(DataSource::LocalCache), 0.26);
+}
+
+TEST(CostModel, PipelinedRemoteCachePath) {
+  CostModel cost;
+  cost.pipelined = true;
+  // Remote transfer (0.06) hides behind the CPU (0.2).
+  EXPECT_DOUBLE_EQ(cost.secPerEvent(DataSource::RemoteCache), 0.2);
+  // A slow remote link dominates instead.
+  cost.remoteBytesPerSec = 1e6;
+  EXPECT_DOUBLE_EQ(cost.secPerEvent(DataSource::RemoteCache), 0.6);
+}
+
+TEST(CostModel, SerialAndPipelinedFormulasForEverySource) {
+  CostModel cost;
+  for (const DataSource src :
+       {DataSource::LocalCache, DataSource::RemoteCache, DataSource::Tertiary}) {
+    const double transfer = src == DataSource::LocalCache    ? cost.diskSecPerEvent()
+                            : src == DataSource::RemoteCache ? cost.remoteSecPerEvent()
+                                                             : cost.tertiarySecPerEvent();
+    cost.pipelined = false;
+    EXPECT_DOUBLE_EQ(cost.secPerEvent(src), transfer + cost.cpuSecPerEvent);
+    cost.pipelined = true;
+    EXPECT_DOUBLE_EQ(cost.secPerEvent(src), std::max(transfer, cost.cpuSecPerEvent));
+  }
 }
 
 }  // namespace

@@ -223,6 +223,44 @@ TEST(RealtimeHost, ScriptedActionsFireInSimTimeOrder) {
   EXPECT_EQ(fired, (std::vector<int>{1, 2}));
 }
 
+TEST(RealtimeHost, NetworkModelPricesTertiaryStreamsStatically) {
+  // With the network model on, this host prices a run's network pieces once
+  // at start against the active stream count (static share approximation).
+  SimConfig cfg = rtConfig(2);
+  cfg.network.enabled = true;
+  cfg.network.tertiaryIngressBytesPerSec = 0.5e6;
+  cfg.finalize();
+  MetricsCollector m(cfg.cost, {0, 0.0});
+  RealtimeOptions opt;
+  opt.timeScale = 100'000.0;  // 1400 sim s ~= 14 wall ms
+  RealtimeHost host(cfg, makePolicy("farm"), m, opt);
+  // A first joining stream gets the whole half-MB/s ingress: 1.2 s transfer
+  // + 0.2 s CPU. Local reads never touch the network.
+  EXPECT_DOUBLE_EQ(host.estimatedSecPerEvent(0, kNoNode, DataSource::Tertiary), 1.4);
+  EXPECT_DOUBLE_EQ(host.estimatedSecPerEvent(0, kNoNode, DataSource::LocalCache), 0.26);
+  const JobId id = host.submit({0, 1000});
+  ASSERT_TRUE(host.drain(10'000ms));
+  EXPECT_TRUE(host.jobDone(id));
+  // 1000 events at 1.4 s/event (would be 0.8 on an unconstrained network);
+  // the lower bound is what discriminates, the upper one is loose against
+  // OS scheduling jitter.
+  const auto& rec = m.record(id);
+  EXPECT_GT(rec.processingTime(), 1400.0 * 0.95);
+  EXPECT_LT(rec.processingTime(), 1400.0 * 2.0);
+  // The finished run released its share: a new stream sees the full link.
+  EXPECT_DOUBLE_EQ(host.estimatedSecPerEvent(0, kNoNode, DataSource::Tertiary), 1.4);
+}
+
+TEST(RealtimeHost, NetworkModelRemoteEstimateRespectsNic) {
+  SimConfig cfg = rtConfig(2);
+  cfg.network.enabled = true;
+  cfg.network.nicBytesPerSec = 6e6;  // slower than the 10 MB/s remote disk
+  cfg.finalize();
+  MetricsCollector m(cfg.cost, {0, 0.0});
+  RealtimeHost host(cfg, makePolicy("farm"), m);
+  EXPECT_DOUBLE_EQ(host.estimatedSecPerEvent(0, 1, DataSource::RemoteCache), 0.3);
+}
+
 TEST(RealtimeHost, IdleAndRunningViews) {
   SimConfig cfg = rtConfig(2);
   MetricsCollector m(cfg.cost, {0, 0.0});

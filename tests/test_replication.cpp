@@ -70,6 +70,50 @@ TEST(Replication, ReplicationIsRareUnderNormalLoad) {
   EXPECT_LT(replicatedFraction, 0.05);
 }
 
+// With the network model on, the replication policy consults the host's
+// contention-aware cost feedback before committing to a remote read: when
+// the estimated remote rate is no better than streaming from tertiary, the
+// remote read (and the replication it would seed) is skipped.
+TEST(Replication, CongestedNetworkGatesRemoteReads) {
+  SimConfig cfg = tinyConfig(2, 1'000'000, 100'000);
+  cfg.network.enabled = true;
+  cfg.network.nicBytesPerSec = 1e6;  // NIC as slow as the tertiary stream
+  cfg.finalize();
+  ReplHarness h(cfg, {});
+
+  // Both paths now bottleneck on the same 1 MB/s NIC: remote buys nothing.
+  EXPECT_GE(h.engine->estimatedSecPerEvent(0, 1, DataSource::RemoteCache),
+            h.engine->estimatedSecPerEvent(0, kNoNode, DataSource::Tertiary));
+
+  // The gated run streams from tertiary: no remote flows open.
+  std::vector<Job> jobs{{0, 0.0, {0, 4000}}};
+  ReplHarness run(cfg, jobs);
+  run.engine->cluster().node(1).cache().insert({0, 4000}, 0.0);
+  run.engine->run({});
+  EXPECT_EQ(run.engine->networkReport().remoteFlows, 0u);
+  EXPECT_EQ(run.metrics.finalize(run.engine->now()).completedJobs, 1u);
+}
+
+TEST(Replication, UncongestedNetworkKeepsRemoteReads) {
+  // Same scenario with a fast NIC: the gate passes and remote reads happen
+  // (the network-model analogue of RemoteReadInsteadOfTertiary).
+  SimConfig cfg = tinyConfig(2, 1'000'000, 100'000);
+  cfg.network.enabled = true;
+  cfg.network.nicBytesPerSec = 125e6;
+  cfg.finalize();
+  ReplHarness probe(cfg, {});
+  EXPECT_LT(probe.engine->estimatedSecPerEvent(0, 1, DataSource::RemoteCache),
+            probe.engine->estimatedSecPerEvent(0, kNoNode, DataSource::Tertiary));
+
+  ReplHarness h(cfg, {{0, 0.0, {0, 4000}}});
+  h.engine->cluster().node(1).cache().insert({0, 4000}, 0.0);
+  h.engine->run({});
+  EXPECT_GT(h.engine->networkReport().remoteFlows, 0u);
+  const RunResult r = h.metrics.finalize(h.engine->now());
+  EXPECT_EQ(r.tertiaryEvents, 0u);
+  EXPECT_EQ(r.completedJobs, 1u);
+}
+
 TEST(Replication, SameCompletionsAsOutOfOrderOnSameTrace) {
   // §4.2's headline: replication does not change overall performance. Run
   // the same trace under both policies and compare end-to-end time loosely.

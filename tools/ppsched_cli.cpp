@@ -24,6 +24,9 @@
 //   --seed S               base RNG seed
 //   --pipelined            overlap transfer and processing (§7)
 //   --tertiary-cap MBPS    aggregate tertiary bandwidth cap
+//   --network SPEC         flow-level network model, e.g.
+//                          "nic=125,uplink=20,ingress=40,group=8" (MB/s;
+//                          group = nodes per edge switch) or "off"
 //   --csv                  machine-readable output
 #include <cstdio>
 #include <cstdlib>
@@ -110,6 +113,8 @@ CliOptions parse(int argc, char** argv) {
     } else if (flag == "--tertiary-cap") {
       opt.spec.sim.tertiaryAggregateBytesPerSec =
           std::strtod(needValue(i).c_str(), nullptr) * 1e6;
+    } else if (flag == "--network") {
+      opt.spec.sim.network = parseNetworkSpec(needValue(i));
     } else if (flag == "--loads") {
       opt.loads = parseLoads(needValue(i));
     } else if (flag == "--lo") {
@@ -151,6 +156,19 @@ void printResult(const CliOptions& opt, double load, const RunResult& r) {
               100 * r.remoteReadFraction);
   std::printf("  throughput     %.2f jobs/hour over %zu measured jobs\n",
               r.throughputJobsPerHour, r.measuredJobs);
+  if (r.network.enabled) {
+    std::printf("  network        %llu flows (%llu remote, %llu tertiary, %llu repl), "
+                "peak %llu concurrent\n",
+                static_cast<unsigned long long>(r.network.flowsOpened),
+                static_cast<unsigned long long>(r.network.remoteFlows),
+                static_cast<unsigned long long>(r.network.tertiaryFlows),
+                static_cast<unsigned long long>(r.network.replicationFlows),
+                static_cast<unsigned long long>(r.network.maxConcurrentFlows));
+    std::printf("  net bytes      %.1f GB remote, %.1f GB tertiary, %.1f GB replication; "
+                "max link util %.1f%%\n",
+                r.network.remoteBytes / 1e9, r.network.tertiaryBytes / 1e9,
+                r.network.replicationBytes / 1e9, 100.0 * r.network.maxLinkUtilization);
+  }
 }
 
 const char kCsvHeader[] =
@@ -236,6 +254,7 @@ int cmdConfig(const CliOptions& opt) {
               units::toHours(cfg.meanSingleNodeTime()));
   std::printf("max farm load          %.3f jobs/hour\n", cfg.maxFarmLoadJobsPerHour());
   std::printf("max theoretical load   %.3f jobs/hour\n", cfg.maxTheoreticalLoadJobsPerHour());
+  std::printf("network model          %s\n", formatNetworkSpec(cfg.network).c_str());
   const QueueModel q =
       farmQueueModel(cfg.numNodes, opt.spec.jobsPerHour, cfg.meanSingleNodeTime(), 4);
   if (q.stable()) {
