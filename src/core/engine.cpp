@@ -167,6 +167,12 @@ void Engine::startRun(NodeId node, Subjob sj, RunOptions opts) {
       (opts.remoteFrom < 0 || opts.remoteFrom >= numNodes() || opts.remoteFrom == node)) {
     throw std::logic_error("bad remoteFrom node");
   }
+  if (opts.remoteFrom != kNoNode && !isUp(opts.remoteFrom)) {
+    // The designated remote source crashed between the policy's decision and
+    // this call: degrade to local/tertiary reads rather than stream from a
+    // dead (and possibly wiped) cache.
+    opts.remoteFrom = kNoNode;
+  }
   ActiveRun run;
   run.subjob = sj;
   run.opts = opts;
@@ -430,6 +436,20 @@ void Engine::abortTransfers(int machine) {
   if (changed) reconcileNetworkFlows();
 }
 
+bool Engine::sameSwitch(NodeId a, NodeId b) const {
+  if (!net_.enabled()) return true;
+  return net_.sameSwitch(machineOf(a), machineOf(b));
+}
+
+std::vector<Engine::TransferView> Engine::activeTransfers() const {
+  std::vector<TransferView> out;
+  out.reserve(transfers_.size());
+  for (const auto& [id, tr] : transfers_) {
+    out.push_back({tr.range, tr.srcNode, tr.dstNode, tr.job});
+  }
+  return out;
+}
+
 double Engine::estimatedSecPerEvent(NodeId node, NodeId remoteFrom, DataSource src) const {
   if (!net_.enabled() || src == DataSource::LocalCache) {
     return ISchedulerHost::estimatedSecPerEvent(node, remoteFrom, src);
@@ -620,13 +640,39 @@ RunReport Engine::killRun(NodeId node) {
   return report;
 }
 
+void Engine::retargetRemoteReaders(int machine) {
+  for (NodeId n = 0; n < numNodes(); ++n) {
+    if (machineOf(n) == machine) continue;  // the machine's own runs are killed
+    auto& slot = runs_[static_cast<std::size_t>(n)];
+    if (!slot) continue;
+    ActiveRun& run = *slot;
+    if (run.opts.remoteFrom == kNoNode || machineOf(run.opts.remoteFrom) != machine) continue;
+    if (run.spanSource != DataSource::RemoteCache) {
+      // The current span doesn't touch the dead machine; only forget the
+      // source so later spans re-plan without it.
+      run.opts.remoteFrom = kNoNode;
+      continue;
+    }
+    queue_.cancel(run.spanEventId);
+    const auto done = spanEventsDoneAt(run, now_);
+    applySpanEffects(n, run, EventRange{run.span.begin, run.span.begin + done});
+    run.opts.remoteFrom = kNoNode;
+    run.cursor = run.span.begin + done;
+    beginNextSpan(n);
+  }
+}
+
 void Engine::failMachine(int machine) {
   const NodeId first = machine * cfg_.cpusPerNode;
   if (!cluster_.node(first).isUp()) return;
   cluster_.node(first).setUp(false);
   metrics_.onNodeFailure();
-  // Replication copies to or from the dead machine die with it (their
-  // bandwidth frees up for the surviving flows).
+  // Surviving runs streaming from the dead machine's cache re-plan first
+  // (while that cache is still readable for progress accounting), then
+  // replication copies to or from the dead machine die with it (their
+  // bandwidth frees up for the surviving flows). Copies a retargeted span
+  // may have just triggered from the dead source are aborted here too.
+  retargetRemoteReaders(machine);
   abortTransfers(machine);
   std::vector<std::pair<NodeId, std::optional<RunReport>>> lost;
   for (int c = 0; c < cfg_.cpusPerNode; ++c) {

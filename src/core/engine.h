@@ -126,6 +126,24 @@ class Engine final : public ISchedulerHost {
   /// when the network model is off).
   [[nodiscard]] NetworkReport networkReport() const { return net_.report(now_); }
 
+  /// Edge-switch topology truth from the flow network (trivially true when
+  /// the model is disabled).
+  [[nodiscard]] bool sameSwitch(NodeId a, NodeId b) const override;
+
+  /// The flow-level network model (inert object when disabled). Exposed for
+  /// validation and diagnostics — mutate it only through the engine.
+  [[nodiscard]] const FlowNetwork& flowNetwork() const { return net_; }
+
+  /// Snapshot of one in-flight §4.2 replication copy (network model only).
+  struct TransferView {
+    EventRange range;
+    NodeId srcNode = kNoNode;
+    NodeId dstNode = kNoNode;
+    JobId job = kNoJob;
+  };
+  /// All in-flight replication copies (validation, diagnostics).
+  [[nodiscard]] std::vector<TransferView> activeTransfers() const;
+
   [[nodiscard]] MetricsCollector& metrics() { return metrics_; }
 
   /// Attach an observer for scheduling events (nullptr detaches). The sink
@@ -239,6 +257,12 @@ class Engine final : public ISchedulerHost {
   void finishReplication(std::uint64_t transferId);
   /// Abort all in-flight replication copies touching a failed machine.
   void abortTransfers(int machine);
+  /// A machine crashed: runs on OTHER machines that were reading remotely
+  /// from its cache fold their progress and re-plan their current span
+  /// without the dead source (their future spans fall back to
+  /// local/tertiary). Keeps remote flows off down machines and releases
+  /// remote pins before the dead cache is wiped.
+  void retargetRemoteReaders(int machine);
 
   void emit(SimEventKind kind, JobId job, NodeId node, EventRange range = {}) const;
 

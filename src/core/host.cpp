@@ -1,0 +1,52 @@
+// Default placement implementations shared by both hosts (simulator and
+// wall-clock runtime). See DESIGN.md "Topology-aware placement".
+#include "core/host.h"
+
+namespace ppsched {
+
+bool ISchedulerHost::sameSwitch(NodeId a, NodeId b) const {
+  const NetworkConfig& net = config().network;
+  if (!net.enabled || net.nodesPerSwitch <= 0) return true;
+  const int cpus = std::max(1, config().cpusPerNode);
+  return (a / cpus) / net.nodesPerSwitch == (b / cpus) / net.nodesPerSwitch;
+}
+
+std::vector<PlacementCandidate> ISchedulerHost::rankPlacements(NodeId dst, EventRange range) {
+  std::vector<PlacementCandidate> out;
+  Cluster& cl = cluster();
+  const Node& dstNode = cl.node(dst);
+  const bool netEnabled = config().network.enabled;
+  for (NodeId n : cl.nodesCaching(range)) {
+    if (n == dst) continue;
+    const Node& src = cl.node(n);
+    if (src.sharesCacheWith(dstNode)) continue;  // local content, not a remote read
+    if (!src.isUp()) continue;
+    PlacementCandidate c;
+    c.source = n;
+    c.cachedEvents = cl.cachedOn(n, range).size();
+    c.secPerEvent = estimatedSecPerEvent(dst, n, DataSource::RemoteCache);
+    c.sameSwitch = sameSwitch(dst, n);
+    out.push_back(c);
+  }
+  if (netEnabled) {
+    std::stable_sort(out.begin(), out.end(),
+                     [](const PlacementCandidate& a, const PlacementCandidate& b) {
+                       if (a.secPerEvent != b.secPerEvent) return a.secPerEvent < b.secPerEvent;
+                       if (a.sameSwitch != b.sameSwitch) return a.sameSwitch;
+                       if (a.cachedEvents != b.cachedEvents) return a.cachedEvents > b.cachedEvents;
+                       return a.source < b.source;
+                     });
+  } else {
+    // Cache-content order: exactly Cluster::bestCacheNode (most cached,
+    // ties lowest id), so policies built on this API reproduce the paper
+    // heuristic bit-for-bit when the network model is off.
+    std::stable_sort(out.begin(), out.end(),
+                     [](const PlacementCandidate& a, const PlacementCandidate& b) {
+                       if (a.cachedEvents != b.cachedEvents) return a.cachedEvents > b.cachedEvents;
+                       return a.source < b.source;
+                     });
+  }
+  return out;
+}
+
+}  // namespace ppsched

@@ -42,6 +42,20 @@ struct RunOptions {
   int replicationThreshold = 0;
 };
 
+/// One candidate serving node for a remote read, as ranked by
+/// ISchedulerHost::rankPlacements.
+struct PlacementCandidate {
+  /// Node whose cache would serve the read.
+  NodeId source = kNoNode;
+  /// Events of the requested range cached on `source`.
+  std::uint64_t cachedEvents = 0;
+  /// estimatedSecPerEvent(dst, source, RemoteCache) at ranking time.
+  double secPerEvent = 0.0;
+  /// Whether `source` shares an edge switch with the destination (always
+  /// true when no network model / single switch).
+  bool sameSwitch = true;
+};
+
 /// Snapshot of what a node is doing right now.
 struct RunningView {
   bool active = false;
@@ -129,6 +143,27 @@ class ISchedulerHost {
     }
     return cfg.cost.pipelined ? std::max(transfer, cpu) : transfer + cpu;
   }
+
+  // --- placement --------------------------------------------------------
+  /// Whether two nodes' machines hang off the same edge switch. Hosts with
+  /// a network model override this with topology truth; the default derives
+  /// it from SimConfig::network (trivially true when the model is disabled
+  /// or single-switch).
+  [[nodiscard]] virtual bool sameSwitch(NodeId a, NodeId b) const;
+
+  /// Rank the candidate serving nodes for a remote read of `range` into
+  /// `dst`'s CPU. Candidates are every up node caching part of `range`,
+  /// excluding `dst` itself and nodes sharing `dst`'s machine cache (their
+  /// content is local, not remote). Order:
+  ///   - network model disabled: most cached events first, ties by lowest
+  ///     node id — exactly the Cluster::bestCacheNode heuristic, so
+  ///     policies that switch to this API stay bit-identical;
+  ///   - network model enabled: cheapest estimatedSecPerEvent first (which
+  ///     folds in live link contention), ties prefer same-switch sources,
+  ///     then most cached events, then lowest id.
+  /// Both hosts share this default; overrides only adjust locking/topology.
+  [[nodiscard]] virtual std::vector<PlacementCandidate> rankPlacements(NodeId dst,
+                                                                       EventRange range);
 };
 
 }  // namespace ppsched

@@ -26,6 +26,8 @@ std::unique_ptr<ISchedulerPolicy> makePolicy(const std::string& name,
     ReplicationScheduler::Params p;
     p.base.starvationLimit = params.starvationLimit;
     p.replicationThreshold = params.replicationThreshold;
+    p.topologyAware = params.topologyAware;
+    p.replicaCongestionFactor = params.replicaCongestionFactor;
     return std::make_unique<ReplicationScheduler>(p);
   }
   if (name == "delayed") {

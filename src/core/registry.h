@@ -19,6 +19,12 @@ struct PolicyParams {
   Duration starvationLimit = 2 * units::day;
   /// replication: replicate on the Nth remote access (paper: 3).
   int replicationThreshold = 3;
+  /// replication: rank serving nodes by contention-aware cost when the
+  /// network model is on (false = the paper's cache-content heuristic).
+  bool topologyAware = true;
+  /// replication: withhold replica copies when the chosen source's cost
+  /// exceeds this multiple of the uncontended remote-read cost.
+  double replicaCongestionFactor = 1.5;
   /// delayed: the fixed period delay (paper: 11 h / 2 days / 1 week).
   Duration periodDelay = 2 * units::day;
   /// delayed / adaptive: stripe size in events (paper: 200 to 25000).

@@ -1,8 +1,11 @@
 #include "core/validating_policy.h"
 
+#include <algorithm>
 #include <map>
 #include <sstream>
 #include <stdexcept>
+
+#include "core/engine.h"
 
 namespace ppsched {
 
@@ -79,6 +82,46 @@ void ValidatingPolicy::checkInvariants() {
       violation("two nodes process overlapping ranges");
     }
     runningByJob[job].insert(view.remaining);
+  }
+
+  // Network invariants (simulator with the flow model enabled only).
+  const auto* engine = dynamic_cast<const Engine*>(&e);
+  if (engine == nullptr || !engine->flowNetwork().enabled()) return;
+  const FlowNetwork& net = engine->flowNetwork();
+  const int cpus = std::max(1, e.config().cpusPerNode);
+  auto machineUp = [&](int machine) { return e.isUp(machine * cpus); };
+
+  // No flow may reference a down machine's (closed) links.
+  for (const FlowNetwork::FlowState& f : net.flowStates()) {
+    if (f.srcMachine != FlowNetwork::kTertiarySource && !machineUp(f.srcMachine)) {
+      violation("flow served by a down machine");
+    }
+    if (!machineUp(f.dstMachine)) violation("flow towards a down machine");
+    if (!(f.allocBytesPerSec > 0.0)) violation("open flow with no allocation");
+  }
+
+  // Per-link: instantaneous allocation and the utilization integral stay
+  // within capacity (× elapsed time, for the integral).
+  constexpr double kSlack = 1.0 + 1e-6;
+  for (const FlowNetwork::LinkState& l : net.linkStates()) {
+    if (l.allocatedBytesPerSec > l.capacityBytesPerSec * kSlack) {
+      violation("link over-allocated: " + l.name);
+    }
+  }
+  for (const LinkReport& l : engine->networkReport().links) {
+    if (l.utilization > kSlack) {
+      violation("link utilization integral exceeds capacity x time: " + l.name);
+    }
+  }
+
+  // Every replica copy lands in exactly one cache: copies in flight to one
+  // machine are pairwise disjoint, and their destinations are alive.
+  std::map<int, IntervalSet> copiesByMachine;
+  for (const Engine::TransferView& tr : engine->activeTransfers()) {
+    if (!machineUp(tr.dstNode / cpus)) violation("replica copy towards a down machine");
+    IntervalSet& set = copiesByMachine[tr.dstNode / cpus];
+    if (set.intersects(tr.range)) violation("overlapping replica copies to one machine");
+    set.insert(tr.range);
   }
 }
 

@@ -9,6 +9,16 @@
 //   - completed jobs have no remaining work and are not running anywhere;
 //   - down nodes never run anything and are never reported idle.
 //
+// When the host is the simulator with the network model enabled, every
+// sweep additionally verifies the flow network:
+//   - no open flow references a down machine (links of a crashed machine
+//     are closed, so no flow may be routed over them);
+//   - per-link allocation never exceeds capacity, and each link's
+//     utilization integral never exceeds capacity × elapsed time;
+//   - in-flight replica copies land in exactly one cache: each copy has a
+//     single destination machine and copies to one machine are pairwise
+//     disjoint (no extent is delivered twice).
+//
 // Violations throw std::logic_error with a description. Used by the
 // property tests to fuzz every policy, and available to downstream policy
 // authors as a development harness:

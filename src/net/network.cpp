@@ -121,6 +121,15 @@ FlowNetwork::FlowNetwork(const NetworkConfig& cfg, int numMachines) {
 
 int FlowNetwork::groupOf(int machine) const { return machine / groupSize_; }
 
+bool FlowNetwork::sameSwitch(int machineA, int machineB) const {
+  if (!enabled_) return true;
+  if (machineA == kTertiarySource || machineB == kTertiarySource) return false;
+  if (machineA < 0 || machineA >= machines_ || machineB < 0 || machineB >= machines_) {
+    throw std::out_of_range("FlowNetwork::sameSwitch: machine out of range");
+  }
+  return groupOf(machineA) == groupOf(machineB);
+}
+
 std::vector<int> FlowNetwork::pathFor(int srcMachine, int dstMachine) const {
   std::vector<int> path;
   if (srcMachine == kTertiarySource) {
@@ -226,6 +235,8 @@ FlowId FlowNetwork::open(int srcMachine, int dstMachine, double capBytesPerSec, 
   Flow f;
   f.id = nextId_++;
   f.kind = kind;
+  f.src = srcMachine;
+  f.dst = dstMachine;
   f.cap = capBytesPerSec;
   f.path = pathFor(srcMachine, dstMachine);
   flows_.push_back(std::move(f));
@@ -303,6 +314,13 @@ std::vector<FlowNetwork::LinkState> FlowNetwork::linkStates() const {
   std::vector<LinkState> out;
   out.reserve(links_.size());
   for (const Link& l : links_) out.push_back({l.name, l.capacity, l.allocated});
+  return out;
+}
+
+std::vector<FlowNetwork::FlowState> FlowNetwork::flowStates() const {
+  std::vector<FlowState> out;
+  out.reserve(flows_.size());
+  for (const Flow& f : flows_) out.push_back({f.id, f.kind, f.src, f.dst, f.alloc});
   return out;
 }
 

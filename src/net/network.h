@@ -123,6 +123,11 @@ class FlowNetwork {
 
   [[nodiscard]] bool enabled() const { return enabled_; }
 
+  /// True when `machineA` and `machineB` hang off the same edge switch
+  /// (trivially true when the model is disabled or single-switch). The
+  /// tertiary pseudo-source is on no switch: never same-switch.
+  [[nodiscard]] bool sameSwitch(int machineA, int machineB) const;
+
   /// Open a flow from `srcMachine` (or kTertiarySource) to `dstMachine`
   /// with demand cap `capBytesPerSec` (> 0: the source device rate). All
   /// link shares are recomputed; query the new rates afterwards.
@@ -155,6 +160,16 @@ class FlowNetwork {
   };
   [[nodiscard]] std::vector<LinkState> linkStates() const;
 
+  /// Endpoints and allocation of every open flow (validation, diagnostics).
+  struct FlowState {
+    FlowId id = kNoFlow;
+    FlowKind kind = FlowKind::RemoteRead;
+    int srcMachine = kTertiarySource;
+    int dstMachine = 0;
+    double allocBytesPerSec = 0.0;
+  };
+  [[nodiscard]] std::vector<FlowState> flowStates() const;
+
   /// Utilization integrals and flow counters up to `now`.
   [[nodiscard]] NetworkReport report(double now) const;
 
@@ -169,6 +184,8 @@ class FlowNetwork {
   struct Flow {
     FlowId id = kNoFlow;
     FlowKind kind = FlowKind::RemoteRead;
+    int src = kTertiarySource;  ///< source machine (kTertiarySource for ingress)
+    int dst = 0;                ///< destination machine
     double cap = 0.0;
     double alloc = 0.0;
     std::vector<int> path;  ///< link indices

@@ -297,7 +297,8 @@ std::vector<RealtimeHost::PlanPiece> RealtimeHost::planRun(NodeId node, const Su
       // Static share: price the transfer at the bandwidth one more stream
       // would get right now (the simulator re-solves on every open/close;
       // see the model-differences note in the header).
-      const double transfer = cost.bytesPerEvent / staticNetBytesPerSec(piece.source);
+      const double transfer =
+          cost.bytesPerEvent / staticNetBytesPerSec(piece.source, node, opts.remoteFrom);
       piece.rate = cost.pipelined ? std::max(transfer, cost.cpuSecPerEvent)
                                   : transfer + cost.cpuSecPerEvent;
     } else {
@@ -309,7 +310,7 @@ std::vector<RealtimeHost::PlanPiece> RealtimeHost::planRun(NodeId node, const Su
   return plan;
 }
 
-double RealtimeHost::staticNetBytesPerSec(DataSource src) const {
+double RealtimeHost::staticNetBytesPerSec(DataSource src, NodeId node, NodeId remoteFrom) const {
   const NetworkConfig& net = cfg_.network;
   const double streams = static_cast<double>(activeNetRuns_ + 1);
   double bps = src == DataSource::RemoteCache ? cfg_.cost.remoteBytesPerSec
@@ -322,7 +323,8 @@ double RealtimeHost::staticNetBytesPerSec(DataSource src) const {
     if (net.tertiaryIngressBytesPerSec > 0.0) {
       bps = std::min(bps, net.tertiaryIngressBytesPerSec / streams);
     }
-  } else if (net.uplinkBytesPerSec > 0.0) {
+  } else if (net.uplinkBytesPerSec > 0.0 &&
+             (remoteFrom == kNoNode || !sameSwitch(node, remoteFrom))) {
     bps = std::min(bps, net.uplinkBytesPerSec / streams);
   }
   return bps;
@@ -342,8 +344,13 @@ double RealtimeHost::estimatedSecPerEvent(NodeId node, NodeId remoteFrom,
   if (!cfg_.nodeSpeedFactors.empty()) {
     cpu /= cfg_.nodeSpeedFactors[static_cast<std::size_t>(node)];
   }
-  const double transfer = cfg_.cost.bytesPerEvent / staticNetBytesPerSec(src);
+  const double transfer = cfg_.cost.bytesPerEvent / staticNetBytesPerSec(src, node, remoteFrom);
   return cfg_.cost.pipelined ? std::max(transfer, cpu) : transfer + cpu;
+}
+
+std::vector<PlacementCandidate> RealtimeHost::rankPlacements(NodeId dst, EventRange range) {
+  std::lock_guard guard(lock_);
+  return ISchedulerHost::rankPlacements(dst, range);
 }
 
 void RealtimeHost::startRun(NodeId node, Subjob sj, RunOptions opts) {
@@ -354,6 +361,11 @@ void RealtimeHost::startRun(NodeId node, Subjob sj, RunOptions opts) {
   if (sj.empty()) throw std::logic_error("startRun with an empty subjob");
   if (!state(sj.job).remaining.containsRange(sj.range)) {
     throw std::logic_error("subjob range is not remaining work of its job");
+  }
+  if (opts.remoteFrom != kNoNode && !cluster_.node(opts.remoteFrom).isUp()) {
+    // Engine parity: a remote source that crashed since the policy's
+    // decision degrades to local/tertiary reads.
+    opts.remoteFrom = kNoNode;
   }
   Assignment a;
   a.subjob = sj;

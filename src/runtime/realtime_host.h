@@ -108,6 +108,11 @@ class RealtimeHost final : public ISchedulerHost {
   /// model-differences note above). Thread-safe.
   [[nodiscard]] double estimatedSecPerEvent(NodeId node, NodeId remoteFrom,
                                             DataSource src) const override;
+  /// Shared placement ranking (see ISchedulerHost::rankPlacements), taken
+  /// under the host lock so the candidate list is one consistent snapshot
+  /// of cache and contention state. Thread-safe.
+  [[nodiscard]] std::vector<PlacementCandidate> rankPlacements(NodeId dst,
+                                                               EventRange range) override;
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -155,9 +160,12 @@ class RealtimeHost final : public ISchedulerHost {
   void applyProgress(NodeId node, Assignment& assignment, std::uint64_t eventsDone);
   [[nodiscard]] std::vector<PlanPiece> planRun(NodeId node, const Subjob& sj,
                                                const RunOptions& opts) const;
-  /// Static-share network rate for one more `src` stream joining the
-  /// currently active network runs (lock held).
-  [[nodiscard]] double staticNetBytesPerSec(DataSource src) const;
+  /// Static-share network rate for one more `src` stream into `node`
+  /// joining the currently active network runs (lock held). Remote reads
+  /// pay the uplink share only when `remoteFrom` sits on another edge
+  /// switch (same-switch flows never cross an uplink).
+  [[nodiscard]] double staticNetBytesPerSec(DataSource src, NodeId node,
+                                            NodeId remoteFrom) const;
   /// Drop a finished/killed assignment's network-run count (lock held).
   void releaseNetRun(const Assignment& assignment);
   [[nodiscard]] std::uint64_t eventsDoneByNow(const Assignment& assignment) const;

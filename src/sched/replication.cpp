@@ -1,6 +1,27 @@
 #include "sched/replication.h"
 
+#include <algorithm>
+
 namespace ppsched {
+
+double ReplicationScheduler::uncontendedRemoteSecPerEvent(NodeId node,
+                                                          bool crossSwitch) const {
+  const SimConfig& cfg = host().config();
+  double cpu = cfg.cost.cpuSecPerEvent;
+  if (!cfg.nodeSpeedFactors.empty()) {
+    cpu /= cfg.nodeSpeedFactors[static_cast<std::size_t>(node)];
+  }
+  double bps = std::min(cfg.cost.remoteBytesPerSec, cfg.network.nicBytesPerSec);
+  // The uncontended cost of the *chosen path*: a cross-switch read rides
+  // the uplink even on an idle network. Charging it here keeps the
+  // congestion gate a measure of sharing, not of topology — the topology
+  // preference already happened in the ranking.
+  if (crossSwitch && cfg.network.uplinkBytesPerSec > 0.0) {
+    bps = std::min(bps, cfg.network.uplinkBytesPerSec);
+  }
+  const double transfer = cfg.cost.bytesPerEvent / bps;
+  return cfg.cost.pipelined ? std::max(transfer, cpu) : transfer + cpu;
+}
 
 RunOptions ReplicationScheduler::optionsFor(NodeId node, const Subjob& sj) {
   // §4.2: remote reads happen when "a node is overloaded and other nodes
@@ -10,6 +31,34 @@ RunOptions ReplicationScheduler::optionsFor(NodeId node, const Subjob& sj) {
   // keeps replication rare.
   RunOptions opts;
   if (!sj.yieldsToCached) return opts;
+
+  if (host().config().network.enabled && params_.topologyAware) {
+    // Topology-aware placement: rank candidate serving nodes by the host's
+    // contention-aware cost feedback (same-switch sources win ties — their
+    // flows never cross an uplink) and take the cheapest one. By
+    // construction this is never worse than the raw cache-content pick.
+    const auto candidates = host().rankPlacements(node, sj.range);
+    if (candidates.empty()) return opts;
+    const PlacementCandidate& best = candidates.front();
+    const double tertiary = host().estimatedSecPerEvent(node, kNoNode, DataSource::Tertiary);
+    // Even the best source can lose to tertiary streaming when every path
+    // in is congested; reading remotely then only adds traffic.
+    if (best.secPerEvent >= tertiary) return opts;
+    opts.remoteFrom = best.source;
+    opts.replicationThreshold = params_.replicationThreshold;
+    // Congested path: keep the (still cheapest) remote read but withhold
+    // the replica copy — the copy would ride the same loaded links and
+    // amplify the congestion that made the path expensive.
+    if (params_.replicaCongestionFactor > 0.0 &&
+        best.secPerEvent > params_.replicaCongestionFactor *
+                               uncontendedRemoteSecPerEvent(node, !best.sameSwitch)) {
+      opts.replicationThreshold = 0;
+    }
+    return opts;
+  }
+
+  // Network model off (or topology-awareness disabled): the paper's
+  // cache-content heuristic, bit-identical to the pre-topology policy.
   const NodeId best = host().cluster().bestCacheNode(sj.range);
   if (best != kNoNode && best != node) {
     // With the network model on, check the host's contention-aware cost

@@ -9,20 +9,38 @@
 //
 // The paper's finding — reproduced by bench/sec42_replication — is that
 // replication brings no measurable improvement, because out-of-order
-// scheduling spreads every large segment over many nodes anyway.
+// scheduling spreads every large segment over many nodes anyway. That holds
+// on a free LAN; with the flow-level network model enabled the serving node
+// is chosen topology-aware via ISchedulerHost::rankPlacements (cheapest
+// contention-aware estimatedSecPerEvent, same-switch sources preferred),
+// and replica copies are withheld when the chosen path is congested so the
+// copy traffic stays off loaded uplinks (bench/sensitivity_scale shows the
+// difference at 100+ nodes). With the network model disabled the policy is
+// bit-identical to the paper heuristic (pinned by golden-bit tests).
 #pragma once
 
 #include "sched/out_of_order.h"
 
 namespace ppsched {
 
-class ReplicationScheduler final : public OutOfOrderScheduler {
+class ReplicationScheduler : public OutOfOrderScheduler {
  public:
   struct Params {
     OutOfOrderScheduler::Params base;
     /// Replicate on the Nth remote access (paper: 3). 0 disables
     /// replication but keeps remote reads.
     int replicationThreshold = 3;
+    /// With the network model enabled, pick the serving node by ranked
+    /// contention-aware cost instead of raw cache content, and withhold
+    /// replica copies on congested paths. false = the paper heuristic even
+    /// with the model on (the bench's "cache-only" arm).
+    bool topologyAware = true;
+    /// Congestion gate for replica copies: withhold the copy when the
+    /// chosen source's estimated cost exceeds this multiple of the same
+    /// path's uncontended cost (the copy would ride the same loaded links
+    /// as the read). Only consulted when topologyAware and the network
+    /// model are on.
+    double replicaCongestionFactor = 1.5;
   };
 
   ReplicationScheduler() = default;
@@ -35,6 +53,11 @@ class ReplicationScheduler final : public OutOfOrderScheduler {
   RunOptions optionsFor(NodeId node, const Subjob& sj) override;
 
  private:
+  /// Remote-read cost on an idle network: the transfer at the serving
+  /// disk's full rate (capped by the NIC, and by the uplink for a
+  /// cross-switch path), folded with `node`'s CPU burst.
+  [[nodiscard]] double uncontendedRemoteSecPerEvent(NodeId node, bool crossSwitch) const;
+
   Params params_;
 };
 

@@ -1,0 +1,119 @@
+// 100-node scale tests (ctest label: slow).
+//
+// ISSUE: topology-aware placement must be exercised at the cluster sizes
+// the paper targets, not just on 4-node toys. These runs take seconds each
+// (more under sanitizers), so they live in ppsched_slow_tests and CI runs
+// them in a separate step with a longer timeout.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/engine.h"
+#include "core/experiment.h"
+#include "core/validating_policy.h"
+#include "net/network.h"
+#include "workload/generator.h"
+
+namespace ppsched {
+namespace {
+
+// Bit-exact doubles, hex-pinned (see test_network_integration.cpp).
+std::uint64_t bits(double v) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+ExperimentSpec hundredNodeSpec() {
+  ExperimentSpec spec;
+  spec.policyName = "replication";
+  spec.policyParams.replicationThreshold = 1;
+  spec.jobsPerHour = 20.0;
+  spec.seed = 20260807;
+  spec.warmupJobs = 30;
+  spec.measuredJobs = 150;
+  spec.sim.numNodes = 100;
+  spec.sim.cacheBytesPerNode = 20'000'000'000ULL;
+  spec.sim.totalDataBytes = 400'000'000'000ULL;
+  return spec;
+}
+
+// Golden pin at 100 nodes with the network model off: the topology-aware
+// code path must leave the paper heuristic bit-for-bit untouched at scale,
+// not only on the 6-node pins of test_network_integration.cpp.
+TEST(SlowScale, HundredNodeGoldenPinWithNetworkOff) {
+  const RunResult r = runExperiment(hundredNodeSpec());
+  EXPECT_EQ(bits(r.avgSpeedup), 0x4056bde7d4efab2eULL);
+  EXPECT_EQ(bits(r.avgWait), 0x400d5d2f7ae9581bULL);
+  EXPECT_EQ(bits(r.simulatedTime), 0x40e1c7e3dfc83becULL);
+  EXPECT_EQ(r.processedEvents, 7528070ULL);
+  EXPECT_EQ(r.tertiaryEvents, 751069ULL);
+  EXPECT_EQ(r.replicatedEvents, 624243ULL);
+  EXPECT_EQ(r.replicationOps, 9952ULL);
+}
+
+// The same 100-node workload with the flow model enabled is deterministic:
+// two identically-seeded runs agree bit-for-bit, placement ranking and the
+// max-min solver included.
+TEST(SlowScale, HundredNodeNetworkRunIsDeterministic) {
+  ExperimentSpec spec = hundredNodeSpec();
+  spec.sim.network = parseNetworkSpec("nic=125,uplink=20,ingress=40,group=5");
+  const RunResult a = runExperiment(spec);
+  const RunResult b = runExperiment(spec);
+  EXPECT_EQ(bits(a.avgSpeedup), bits(b.avgSpeedup));
+  EXPECT_EQ(bits(a.avgWait), bits(b.avgWait));
+  EXPECT_EQ(bits(a.simulatedTime), bits(b.simulatedTime));
+  EXPECT_EQ(a.processedEvents, b.processedEvents);
+  EXPECT_EQ(a.tertiaryEvents, b.tertiaryEvents);
+  EXPECT_EQ(a.replicatedEvents, b.replicatedEvents);
+  EXPECT_EQ(a.replicationOps, b.replicationOps);
+  EXPECT_FALSE(a.overloaded);
+}
+
+// On narrow uplinks at 100 nodes, topology-aware placement must not lose
+// to the cache-content heuristic it replaces (the bench quantifies the
+// win; this pins the direction).
+TEST(SlowScale, TopologyAwareDoesNotLoseToCacheOnlyOnNarrowUplinks) {
+  ExperimentSpec spec = hundredNodeSpec();
+  spec.sim.network = parseNetworkSpec("nic=125,uplink=2,ingress=40,group=5");
+  ExperimentSpec cacheOnly = spec;
+  cacheOnly.policyParams.topologyAware = false;
+  const RunResult topo = runExperiment(spec);
+  const RunResult cache = runExperiment(cacheOnly);
+  ASSERT_FALSE(topo.overloaded);
+  EXPECT_GE(topo.avgSpeedup, cache.avgSpeedup);
+}
+
+// Invariant fuzz at 100 nodes: grouped switches, shared ingress, random
+// machine crashes and repairs, replication on the first remote access. The
+// validator sweeps the flow network after every callback; the crash path
+// exercises remote-reader retargeting at scale.
+TEST(SlowScale, HundredNodeNetworkInvariantsHoldUnderFailures) {
+  SimConfig cfg = SimConfig::paperDefaults();
+  cfg.numNodes = 100;
+  cfg.cacheBytesPerNode = 20'000'000'000ULL;
+  cfg.totalDataBytes = 400'000'000'000ULL;
+  cfg.workload.jobsPerHour = 20.0;
+  cfg.network = parseNetworkSpec("nic=125,uplink=20,ingress=40,group=5");
+  cfg.failures.meanTimeBetweenFailuresSec = 12 * units::hour;
+  cfg.failures.meanTimeToRepairSec = 1 * units::hour;
+  cfg.finalize();
+
+  PolicyParams params;
+  params.replicationThreshold = 1;
+  auto validating =
+      std::make_unique<ValidatingPolicy>(makePolicy("replication", params));
+  auto* ptr = validating.get();
+
+  MetricsCollector metrics(cfg.cost, {0, 0.0});
+  Engine engine(cfg, std::make_unique<WorkloadGenerator>(cfg.workload, 20260807),
+                std::move(validating), metrics);
+  ASSERT_NO_THROW(engine.run({.completedJobs = 120, .maxJobsInSystem = 2000}));
+  EXPECT_GE(metrics.completedJobs(), 120u);
+  EXPECT_GT(ptr->checksPerformed(), 500u);
+  const RunResult result = metrics.finalize(engine.now());
+  EXPECT_GT(result.nodeFailures, 0u);
+}
+
+}  // namespace
+}  // namespace ppsched

@@ -70,6 +70,49 @@ TEST(NetworkSpec, RejectsMalformedInput) {
   EXPECT_THROW(parseNetworkSpec("group=2.5"), std::invalid_argument);
 }
 
+TEST(NetworkSpec, RejectsMoreNegativePaths) {
+  // Partial numeric parses, empty values, and signed/NaN rates all throw.
+  EXPECT_THROW(parseNetworkSpec("nic="), std::invalid_argument);
+  EXPECT_THROW(parseNetworkSpec("nic=125x"), std::invalid_argument);
+  EXPECT_THROW(parseNetworkSpec("nic=1e"), std::invalid_argument);
+  EXPECT_THROW(parseNetworkSpec("nic=nan"), std::invalid_argument);
+  EXPECT_THROW(parseNetworkSpec("nic=inf"), std::invalid_argument);
+  EXPECT_THROW(parseNetworkSpec("uplink=-1"), std::invalid_argument);
+  EXPECT_THROW(parseNetworkSpec("ingress=-0.5"), std::invalid_argument);
+  EXPECT_THROW(parseNetworkSpec("=5"), std::invalid_argument);
+  EXPECT_THROW(parseNetworkSpec("NIC=125"), std::invalid_argument);  // keys are case-sensitive
+  EXPECT_THROW(parseNetworkSpec("nic=125,uplink"), std::invalid_argument);
+  EXPECT_THROW(parseNetworkSpec("group="), std::invalid_argument);
+  EXPECT_THROW(parseNetworkSpec("group=two"), std::invalid_argument);
+  // A bad key later in the spec still throws (no partial acceptance).
+  EXPECT_THROW(parseNetworkSpec("nic=125,ingress=40,bogus=1"), std::invalid_argument);
+  // Zero uplink/ingress are valid ("feature off"), zero nic is not.
+  EXPECT_NO_THROW(parseNetworkSpec("uplink=0,ingress=0"));
+}
+
+// Fuzz-lite: random valid configs survive format -> parse unchanged. Rates
+// are drawn on a 0.25 MB/s grid so the default stream precision used by
+// formatNetworkSpec reproduces them exactly.
+TEST(NetworkSpec, RandomConfigsRoundTrip) {
+  std::mt19937 rng(20260807);
+  std::uniform_int_distribution<int> quarters(1, 4000);   // 0.25 .. 1000 MB/s
+  std::uniform_int_distribution<int> maybe(0, 3);
+  std::uniform_int_distribution<int> group(0, 64);
+  for (int trial = 0; trial < 200; ++trial) {
+    NetworkConfig cfg;
+    cfg.enabled = true;
+    cfg.nicBytesPerSec = quarters(rng) * 0.25e6;
+    if (maybe(rng) != 0) cfg.uplinkBytesPerSec = quarters(rng) * 0.25e6;
+    if (maybe(rng) != 0) cfg.tertiaryIngressBytesPerSec = quarters(rng) * 0.25e6;
+    cfg.nodesPerSwitch = group(rng);
+    const std::string spec = formatNetworkSpec(cfg);
+    NetworkConfig back;
+    ASSERT_NO_THROW(back = parseNetworkSpec(spec)) << spec;
+    EXPECT_EQ(back, cfg) << "trial " << trial << ": " << spec;
+    EXPECT_EQ(formatNetworkSpec(back), spec);
+  }
+}
+
 TEST(FlowNetwork, DisabledNetworkRejectsOpen) {
   FlowNetwork net;
   EXPECT_FALSE(net.enabled());
@@ -165,6 +208,29 @@ TEST(FlowNetwork, UtilizationIntegratesAllocationOverTime) {
   EXPECT_EQ(r.flowsOpened, 1u);
   EXPECT_EQ(r.remoteFlows, 1u);
   EXPECT_EQ(r.maxConcurrentFlows, 1u);
+}
+
+TEST(FlowNetwork, FlowStatesExposeEndpointsAndAllocations) {
+  FlowNetwork net(enabledConfig(10e6, 0.0, 0, 4e6), 3);
+  const FlowId a = net.open(1, 0, 100e6, FlowKind::RemoteRead, 0.0);
+  const FlowId b =
+      net.open(FlowNetwork::kTertiarySource, 2, 100e6, FlowKind::TertiaryRead, 0.0);
+  auto states = net.flowStates();
+  ASSERT_EQ(states.size(), 2u);
+  std::sort(states.begin(), states.end(),
+            [](const auto& x, const auto& y) { return x.id < y.id; });
+  EXPECT_EQ(states[0].id, a);
+  EXPECT_EQ(states[0].kind, FlowKind::RemoteRead);
+  EXPECT_EQ(states[0].srcMachine, 1);
+  EXPECT_EQ(states[0].dstMachine, 0);
+  EXPECT_NEAR(states[0].allocBytesPerSec, 10e6, 1.0);
+  EXPECT_EQ(states[1].id, b);
+  EXPECT_EQ(states[1].srcMachine, FlowNetwork::kTertiarySource);
+  EXPECT_EQ(states[1].dstMachine, 2);
+  EXPECT_NEAR(states[1].allocBytesPerSec, 4e6, 1.0);  // ingress-bound
+  net.close(a, 1.0);
+  net.close(b, 1.0);
+  EXPECT_TRUE(net.flowStates().empty());
 }
 
 TEST(FlowNetwork, NoteBytesAccumulatesByKind) {

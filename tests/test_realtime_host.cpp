@@ -261,6 +261,73 @@ TEST(RealtimeHost, NetworkModelRemoteEstimateRespectsNic) {
   EXPECT_DOUBLE_EQ(host.estimatedSecPerEvent(0, 1, DataSource::RemoteCache), 0.3);
 }
 
+TEST(RealtimeHost, EstimateReflectsConcurrentlyOpenStreams) {
+  // Two tertiary runs in flight: a third joining stream would make three
+  // shares of the 1.5 MB/s ingress, 0.5 MB/s each, below the 1 MB/s device
+  // rate. Remote-read estimates skip the ingress and stay flat.
+  SimConfig cfg = rtConfig(3);
+  cfg.network.enabled = true;
+  cfg.network.tertiaryIngressBytesPerSec = 1.5e6;
+  cfg.finalize();
+  MetricsCollector m(cfg.cost, {0, 0.0});
+  RealtimeOptions opt;
+  opt.timeScale = 10'000.0;
+  RealtimeHost host(cfg, makePolicy("farm"), m, opt);
+  EXPECT_DOUBLE_EQ(host.estimatedSecPerEvent(2, kNoNode, DataSource::Tertiary), 0.8);
+  host.submit({0, 4000});
+  host.submit({50'000, 54'000});
+  for (int i = 0; i < 2000 && host.idleNodes().size() != 1; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_EQ(host.idleNodes().size(), 1u);  // both runs still open
+  EXPECT_DOUBLE_EQ(host.estimatedSecPerEvent(2, kNoNode, DataSource::Tertiary), 1.4);
+  EXPECT_DOUBLE_EQ(host.estimatedSecPerEvent(2, 1, DataSource::RemoteCache), 0.26);
+  ASSERT_TRUE(host.drain(10'000ms));
+  // Both streams released their shares: a new one sees the full ingress.
+  EXPECT_DOUBLE_EQ(host.estimatedSecPerEvent(2, kNoNode, DataSource::Tertiary), 0.8);
+}
+
+TEST(RealtimeHost, RemoteEstimateChargesUplinkOnlyAcrossSwitches) {
+  SimConfig cfg = rtConfig(4);
+  cfg.network.enabled = true;
+  cfg.network.uplinkBytesPerSec = 2e6;
+  cfg.network.nodesPerSwitch = 2;
+  cfg.finalize();
+  MetricsCollector m(cfg.cost, {0, 0.0});
+  RealtimeHost host(cfg, makePolicy("farm"), m);
+  // Same switch: the 10 MB/s remote disk binds. Across switches (or with
+  // an unknown source, priced conservatively): the 2 MB/s uplink binds.
+  EXPECT_DOUBLE_EQ(host.estimatedSecPerEvent(0, 1, DataSource::RemoteCache), 0.26);
+  EXPECT_DOUBLE_EQ(host.estimatedSecPerEvent(0, 2, DataSource::RemoteCache), 0.5);
+  EXPECT_DOUBLE_EQ(host.estimatedSecPerEvent(0, kNoNode, DataSource::RemoteCache), 0.5);
+  EXPECT_TRUE(host.sameSwitch(0, 1));
+  EXPECT_FALSE(host.sameSwitch(1, 2));
+}
+
+TEST(RealtimeHost, RankPlacementsPrefersSameSwitchSource) {
+  // Node 3 (other switch) caches more, but node 1 serves without touching
+  // the thin uplink — the ranking puts node 1 first, mirroring the
+  // simulator's placement API on the wall-clock host.
+  SimConfig cfg = rtConfig(4);
+  cfg.network.enabled = true;
+  cfg.network.uplinkBytesPerSec = 2e6;
+  cfg.network.nodesPerSwitch = 2;
+  cfg.finalize();
+  MetricsCollector m(cfg.cost, {0, 0.0});
+  RealtimeHost host(cfg, makePolicy("farm"), m);
+  host.cluster().node(1).cache().insert({0, 2000}, 0.0);
+  host.cluster().node(3).cache().insert({0, 3000}, 0.0);
+  const auto ranked = host.rankPlacements(0, {0, 3000});
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].source, 1);
+  EXPECT_TRUE(ranked[0].sameSwitch);
+  EXPECT_DOUBLE_EQ(ranked[0].secPerEvent, 0.26);
+  EXPECT_EQ(ranked[0].cachedEvents, 2000u);
+  EXPECT_EQ(ranked[1].source, 3);
+  EXPECT_FALSE(ranked[1].sameSwitch);
+  EXPECT_DOUBLE_EQ(ranked[1].secPerEvent, 0.5);
+}
+
 TEST(RealtimeHost, IdleAndRunningViews) {
   SimConfig cfg = rtConfig(2);
   MetricsCollector m(cfg.cost, {0, 0.0});

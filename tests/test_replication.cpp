@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+
 #include "test_support.h"
 
 namespace ppsched {
@@ -112,6 +115,173 @@ TEST(Replication, UncongestedNetworkKeepsRemoteReads) {
   const RunResult r = h.metrics.finalize(h.engine->now());
   EXPECT_EQ(r.tertiaryEvents, 0u);
   EXPECT_EQ(r.completedJobs, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Topology-aware placement (network model on): the serving node comes from
+// ISchedulerHost::rankPlacements instead of raw cache content, and replica
+// copies are withheld on congested paths.
+// ---------------------------------------------------------------------------
+
+/// Exposes the protected placement decision for direct unit testing.
+struct ProbePolicy : ReplicationScheduler {
+  using ReplicationScheduler::ReplicationScheduler;
+  RunOptions probe(NodeId node, const Subjob& sj) { return optionsFor(node, sj); }
+};
+
+Subjob stolen(EventRange r) {
+  Subjob sj;
+  sj.job = 0;
+  sj.range = r;
+  sj.yieldsToCached = true;
+  return sj;
+}
+
+/// Switches {0,1}/{2,3}, 2 MB/s uplinks: node 1 is same-switch for node 0,
+/// node 3 is across the core.
+SimConfig switchedConfig() {
+  SimConfig cfg = tinyConfig(4, 1'000'000, 100'000);
+  cfg.network.enabled = true;
+  cfg.network.nicBytesPerSec = 125e6;
+  cfg.network.uplinkBytesPerSec = 2e6;
+  cfg.network.nodesPerSwitch = 2;
+  cfg.finalize();
+  return cfg;
+}
+
+TEST(ReplicationTopology, PicksCheapestServerNotLargestCache) {
+  testing::Harness h(switchedConfig(), {});
+  // Node 3 caches more, but serving across the 2 MB/s uplink costs
+  // 0.5 s/event; same-switch node 1 serves at 0.26 s/event.
+  h.engine->cluster().node(1).cache().insert({0, 3000}, 0.0);
+  h.engine->cluster().node(3).cache().insert({0, 4000}, 0.0);
+
+  ProbePolicy topo{ReplicationScheduler::Params{}};
+  topo.bind(*h.engine);
+  const RunOptions opts = topo.probe(0, stolen({0, 4000}));
+  EXPECT_EQ(opts.remoteFrom, 1);
+  EXPECT_EQ(opts.replicationThreshold, 3);
+
+  ReplicationScheduler::Params cacheOnly;
+  cacheOnly.topologyAware = false;
+  ProbePolicy legacy{cacheOnly};
+  legacy.bind(*h.engine);
+  EXPECT_EQ(legacy.probe(0, stolen({0, 4000})).remoteFrom, 3);
+}
+
+TEST(ReplicationTopology, SkipsRemoteWhenEveryPathLosesToTertiary) {
+  SimConfig cfg = tinyConfig(2, 1'000'000, 100'000);
+  cfg.network.enabled = true;
+  cfg.network.nicBytesPerSec = 1e6;  // NIC as slow as the tertiary stream
+  cfg.finalize();
+  testing::Harness h(cfg, {});
+  h.engine->cluster().node(1).cache().insert({0, 4000}, 0.0);
+  ProbePolicy topo{ReplicationScheduler::Params{}};
+  topo.bind(*h.engine);
+  EXPECT_EQ(topo.probe(0, stolen({0, 4000})).remoteFrom, kNoNode);
+}
+
+TEST(ReplicationTopology, CongestedPathWithholdsReplicaCopy) {
+  // The gate measures sharing, not topology: an idle cross-switch path is
+  // priced at its own uncontended cost (uplink included), so only live
+  // contention on the chosen links withholds the copy. Here a remote read
+  // 2 -> 1 saturates both uplinks of the 0<->3 route.
+  SimConfig cfg = tinyConfig(4, 1'000'000, 100'000);
+  cfg.network.enabled = true;
+  cfg.network.nicBytesPerSec = 125e6;
+  cfg.network.uplinkBytesPerSec = 2.5e6;
+  cfg.network.nodesPerSwitch = 2;
+  cfg.finalize();
+  testing::Harness h(cfg, {{0, 0.0, {10'000, 14'000}}});
+  h.engine->cluster().node(3).cache().insert({0, 4000}, 0.0);
+  h.engine->cluster().node(2).cache().insert({10'000, 14'000}, 0.0);
+
+  ProbePolicy topo{ReplicationScheduler::Params{}};
+  topo.bind(*h.engine);
+
+  // Idle uplink: the cross-switch read from node 3 costs 0.44 s/event —
+  // exactly the path's uncontended cost — and the copy is allowed.
+  const RunOptions idle = topo.probe(0, stolen({0, 4000}));
+  EXPECT_EQ(idle.remoteFrom, 3);
+  EXPECT_EQ(idle.replicationThreshold, 3);
+
+  h.policy->arrivalHook = [&](const Job& j) {
+    h.engine->startRun(1, testing::whole(j), {.remoteFrom = 2});
+  };
+  RunOptions contended;
+  RunOptions sameSwitch;
+  h.policy->timerHook = [&](TimerId) {
+    contended = topo.probe(0, stolen({0, 4000}));
+    sameSwitch = topo.probe(2, stolen({0, 4000}));
+  };
+  h.engine->run({.simTimeLimit = 1.0});
+  h.engine->scheduleTimer(10.0);
+  h.engine->run({.simTimeLimit = 20.0});
+
+  // Shared uplinks halve the share: 0.68 s/event still beats tertiary
+  // (0.8) so the read stays remote, but it exceeds 1.5x the uncontended
+  // 0.44, so the replica copy is withheld to spare the loaded links.
+  EXPECT_EQ(contended.remoteFrom, 3);
+  EXPECT_EQ(contended.replicationThreshold, 0);
+
+  // The same source serves node 2 same-switch off the NICs alone: copy
+  // allowed there even while the uplinks are saturated.
+  EXPECT_EQ(sameSwitch.remoteFrom, 3);
+  EXPECT_EQ(sameSwitch.replicationThreshold, 3);
+}
+
+TEST(ReplicationTopology, NonStolenSubjobNeverReadsRemotely) {
+  testing::Harness h(switchedConfig(), {});
+  h.engine->cluster().node(1).cache().insert({0, 4000}, 0.0);
+  ProbePolicy topo{ReplicationScheduler::Params{}};
+  topo.bind(*h.engine);
+  Subjob sj = stolen({0, 4000});
+  sj.yieldsToCached = false;
+  EXPECT_EQ(topo.probe(0, sj).remoteFrom, kNoNode);
+}
+
+TEST(ReplicationTopology, DisabledNetworkFallsBackToCacheHeuristic) {
+  // topologyAware stays on, but with the model off the policy must take the
+  // legacy bit-identical path: largest cache wins, no gates.
+  testing::Harness h(tinyConfig(4, 1'000'000, 100'000), {});
+  h.engine->cluster().node(1).cache().insert({0, 3000}, 0.0);
+  h.engine->cluster().node(3).cache().insert({0, 4000}, 0.0);
+  ProbePolicy topo{ReplicationScheduler::Params{}};
+  topo.bind(*h.engine);
+  const RunOptions opts = topo.probe(0, stolen({0, 4000}));
+  EXPECT_EQ(opts.remoteFrom, 3);
+  EXPECT_EQ(opts.replicationThreshold, 3);
+}
+
+TEST(ReplicationTopology, EndToEndServingStaysOffCongestedUplinks) {
+  // One job whose data is fully cached on node 1 AND on node 3 — one full
+  // copy behind each edge switch. The out-of-order split spreads it across
+  // all four nodes; the stolen pieces read remotely. Cache-only placement
+  // breaks the largest-cache tie by node id and serves everyone from node
+  // 1, dragging node 2's read across the uplink; topology-aware placement
+  // serves every reader from its own switch, leaving the uplinks silent.
+  auto runWith = [&](bool topologyAware) {
+    SimConfig cfg = switchedConfig();
+    ReplicationScheduler::Params params;
+    params.topologyAware = topologyAware;
+    MetricsCollector metrics(cfg.cost, {0, 0.0});
+    Engine engine(cfg, fixedSource({{0, 0.0, {0, 4000}}}),
+                  std::make_unique<ReplicationScheduler>(params), metrics);
+    engine.cluster().node(1).cache().insert({0, 4000}, 0.0);
+    engine.cluster().node(3).cache().insert({0, 4000}, 0.0);
+    engine.run({});
+    EXPECT_EQ(metrics.finalize(engine.now()).completedJobs, 1u);
+    double maxUplink = 0.0;
+    for (const LinkReport& l : engine.networkReport().links) {
+      if (l.name.rfind("uplink", 0) == 0) maxUplink = std::max(maxUplink, l.utilization);
+    }
+    return std::pair<double, SimTime>{maxUplink, engine.now()};
+  };
+  const auto [cacheOnlyUplink, cacheOnlyTime] = runWith(false);
+  const auto [topoUplink, topoTime] = runWith(true);
+  EXPECT_GT(cacheOnlyUplink, 0.0);
+  EXPECT_DOUBLE_EQ(topoUplink, 0.0);
+  EXPECT_LE(topoTime, cacheOnlyTime + 1e-9);
 }
 
 TEST(Replication, SameCompletionsAsOutOfOrderOnSameTrace) {

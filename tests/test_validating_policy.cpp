@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/registry.h"
+#include "net/network.h"
 #include "test_support.h"
 #include "workload/generator.h"
 
@@ -87,6 +88,56 @@ TEST_P(PolicyFuzz, InvariantsHoldUnderRandomNodeFailures) {
   ASSERT_NO_THROW(engine.run({.completedJobs = 80, .maxJobsInSystem = 2000}));
   EXPECT_GE(metrics.completedJobs(), 80u);
   EXPECT_GT(ptr->checksPerformed(), 150u);
+  const RunResult result = metrics.finalize(engine.now());
+  EXPECT_GT(result.nodeFailures, 0u);
+}
+
+TEST_P(PolicyFuzz, NetworkInvariantsHoldOverRandomWorkload) {
+  // Flow model on: grouped switches, thin uplinks, a shared tertiary
+  // ingress. Every sweep now additionally validates the network section
+  // (flow endpoints alive, links within capacity, replica copies disjoint).
+  SimConfig cfg = SimConfig::paperDefaults();
+  cfg.workload.jobsPerHour = 1.3;
+  cfg.network = parseNetworkSpec("nic=125,uplink=20,ingress=40,group=5");
+  cfg.finalize();
+
+  PolicyParams params;
+  params.periodDelay = 8 * units::hour;
+  params.stripeEvents = 1000;
+  auto validating = std::make_unique<ValidatingPolicy>(makePolicy(GetParam(), params));
+  auto* ptr = validating.get();
+
+  MetricsCollector metrics(cfg.cost, {0, 0.0});
+  Engine engine(cfg, std::make_unique<WorkloadGenerator>(cfg.workload, 123),
+                std::move(validating), metrics);
+  ASSERT_NO_THROW(engine.run({.completedJobs = 100, .maxJobsInSystem = 2000}));
+  EXPECT_GE(metrics.completedJobs(), 100u);
+  EXPECT_GT(ptr->checksPerformed(), 200u);
+}
+
+TEST_P(PolicyFuzz, NetworkInvariantsHoldUnderRandomNodeFailures) {
+  // Crashes with the flow model on: a dying machine closes its links while
+  // flows and replica copies reference it. Exercises the engine's
+  // remote-reader retargeting — survivors mid-remote-read from the dead
+  // machine must fold progress and re-plan — and the validator's
+  // no-flow-references-a-down-machine sweep.
+  SimConfig cfg = SimConfig::paperDefaults();
+  cfg.workload.jobsPerHour = 1.3;
+  cfg.network = parseNetworkSpec("nic=125,uplink=20,ingress=40,group=5");
+  cfg.failures.meanTimeBetweenFailuresSec = 2 * units::day;
+  cfg.failures.meanTimeToRepairSec = 3 * units::hour;
+  cfg.finalize();
+
+  PolicyParams params;
+  params.periodDelay = 8 * units::hour;
+  params.stripeEvents = 1000;
+  auto validating = std::make_unique<ValidatingPolicy>(makePolicy(GetParam(), params));
+
+  MetricsCollector metrics(cfg.cost, {0, 0.0});
+  Engine engine(cfg, std::make_unique<WorkloadGenerator>(cfg.workload, 123),
+                std::move(validating), metrics);
+  ASSERT_NO_THROW(engine.run({.completedJobs = 60, .maxJobsInSystem = 2000}));
+  EXPECT_GE(metrics.completedJobs(), 60u);
   const RunResult result = metrics.finalize(engine.now());
   EXPECT_GT(result.nodeFailures, 0u);
 }
