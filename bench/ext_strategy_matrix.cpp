@@ -1,0 +1,267 @@
+// Extension: access-strategy matrix — planner vs pinned mechanisms.
+//
+// The access-plan redesign (core/host.h) turns "how should a stolen subjob
+// reach its data" from a policy-private heuristic into a host decision:
+// ISchedulerHost::planAccess ranks every viable mechanism (stream from
+// tertiary, read the best remote replica, replicate-through) by
+// contention-aware cost. This bench checks that the planner is not just a
+// refactor: it sweeps strategy x uplink tier x node count under the
+// flow-level network model and compares the planner against arms that pin
+// one mechanism unconditionally (PolicyParams::accessMode).
+//
+// Arms:
+//   planned          replication policy, host planner picks per subjob
+//   always_remote    every steal reads the ranked-best replica, never gated
+//   always_replicate every steal replicates through on first access
+//   never_remote     steals always stream from tertiary (no remote reads)
+//   delayed          plain delayed scheduling (period accumulation)
+//   prefetch_delayed delayed + planner-guided cache warming in the window
+//
+// Expected shape: on a wide uplink the fixed arms tie the planner (every
+// mechanism is cheap), but on the narrowest tier each pinned mechanism has
+// a failure mode — always_remote/always_replicate push replica traffic
+// into saturated uplinks, never_remote pushes everything through the
+// shared tertiary ingress — while the planner falls back per subjob to
+// whichever side is cheaper. The planner should therefore match or beat
+// every fixed arm where they remain viable and stay viable where they
+// overload. A cold-start section checks the second headline: prefetching
+// during the accumulation window beats plain delayed scheduling before
+// the caches have filled.
+//
+// Like the other network benches this one opts into the pipelined cost
+// model (transfer overlapped with compute) — the network tiers, not the
+// paper's serial fetch arithmetic, are the object of study here.
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/network.h"
+
+namespace {
+
+struct Cell {
+  std::string arm;   // series label part
+  std::string tier;  // uplink tier label
+  int nodes = 0;
+  ppsched::RunResult result;
+};
+
+}  // namespace
+
+int main() {
+  using namespace ppsched;
+  using namespace ppsched::bench;
+
+  printHeader("Strategy matrix",
+              "Access planner vs pinned mechanisms across uplink tiers (flow-level model)");
+
+  struct Arm {
+    const char* label;
+    const char* policy;
+    const char* accessMode;  // replication arms only
+  };
+  const std::vector<Arm> arms{
+      {"planned", "replication", "planned"},
+      {"always_remote", "replication", "always_remote"},
+      {"always_repl", "replication", "always_replicate"},
+      {"never_remote", "replication", "never_remote"},
+      {"delayed", "delayed", nullptr},
+      {"prefetch_del", "prefetch_delayed", nullptr},
+  };
+  // Uplink capacity per 5-node switch group (MB/s); 0 = no uplink layer.
+  struct Tier {
+    const char* label;
+    double uplinkBytesPerSec;
+  };
+  const std::vector<Tier> tiers{
+      {"uplink_inf", 0.0},
+      {"uplink_12", 12.5e6},
+      {"uplink_5", 5e6},
+      {"uplink_2", 2e6},
+  };
+  const std::vector<int> nodeCounts{10, 20};
+
+  auto baseSpec = [&](int nodes, double uplink) {
+    ExperimentSpec spec;
+    spec.sim.numNodes = nodes;
+    spec.sim.network.enabled = true;
+    spec.sim.network.nicBytesPerSec = 125e6;  // Gigabit NIC
+    spec.sim.network.nodesPerSwitch = 5;
+    spec.sim.network.uplinkBytesPerSec = uplink;
+    // Modern overlapped-transfer cost model; the serial paper arithmetic
+    // is pinned by SimConfig::paperDefaults() for the figure benches.
+    spec.sim.cost.pipelined = true;
+    // 80% of the paper's single-policy capacity at 10 nodes, scaled.
+    spec.jobsPerHour = 0.9 * nodes / 10;
+    spec.warmupJobs = jobs(300);
+    spec.measuredJobs = jobs(1500);
+    spec.maxJobsInSystem = 200;
+    return spec;
+  };
+
+  std::vector<Cell> cells;
+  std::vector<ExperimentSpec> specs;
+  for (const int nodes : nodeCounts) {
+    for (const Tier& tier : tiers) {
+      for (const Arm& a : arms) {
+        ExperimentSpec spec = baseSpec(nodes, tier.uplinkBytesPerSec);
+        spec.policyName = a.policy;
+        if (a.accessMode != nullptr) {
+          // Pinned modes override the threshold themselves (0 or 1); the
+          // planned arm keeps the paper's default replicate-on-third.
+          spec.policyParams.accessMode = a.accessMode;
+        } else {
+          // Short enough that several accumulation windows fit the run.
+          spec.policyParams.periodDelay = 6 * units::hour;
+        }
+        cells.push_back({a.label, tier.label, nodes, {}});
+        specs.push_back(spec);
+      }
+    }
+  }
+
+  // Cold-start section: no warm-up, caches empty, one node count/tier.
+  // Plain delayed pays tertiary rates for every first touch; the prefetch
+  // variant warms caches during the accumulation window it is already
+  // paying for.
+  const int coldNodes = 10;
+  std::vector<Cell> coldCells;
+  for (const char* policy : {"delayed", "prefetch_delayed"}) {
+    ExperimentSpec spec = baseSpec(coldNodes, 12.5e6);
+    spec.policyName = policy;
+    spec.policyParams.periodDelay = 6 * units::hour;
+    spec.warmupJobs = 0;
+    spec.measuredJobs = jobs(400);
+    coldCells.push_back({policy, "cold_uplink_12", coldNodes, {}});
+    specs.push_back(spec);
+  }
+
+  ThreadPool pool;
+  std::vector<std::future<RunResult>> futures;
+  futures.reserve(specs.size());
+  for (const ExperimentSpec& spec : specs) {
+    futures.push_back(pool.submit([spec] { return runExperiment(spec); }));
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) cells[i].result = futures[i].get();
+  for (std::size_t i = 0; i < coldCells.size(); ++i) {
+    coldCells[i].result = futures[cells.size() + i].get();
+  }
+
+  for (const int nodes : nodeCounts) {
+    std::printf("%d nodes (%.1f jobs/hour), 5 nodes/switch, Gigabit NICs, pipelined\n",
+                nodes, 0.9 * nodes / 10);
+    std::printf("%-12s", "uplink");
+    for (const Arm& a : arms) std::printf(" %15s", a.label);
+    std::printf("\n");
+    for (const Tier& tier : tiers) {
+      std::printf("%-12s", tier.label);
+      for (const Arm& a : arms) {
+        for (const Cell& c : cells) {
+          if (c.nodes != nodes || c.tier != tier.label || c.arm != a.label) continue;
+          if (c.result.overloaded) {
+            std::printf(" %15s", "overloaded");
+          } else {
+            std::printf(" %15.2f", c.result.avgSpeedup);
+          }
+        }
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+
+  std::printf("cold start, %d nodes, uplink_12, no warm-up (%zu jobs measured)\n",
+              coldNodes, jobs(400));
+  for (const Cell& c : coldCells) {
+    if (c.result.overloaded) {
+      std::printf("  %-16s overloaded\n", c.arm.c_str());
+    } else {
+      std::printf("  %-16s speedup %6.2f  wait_h %6.2f  cache_hit %.3f\n", c.arm.c_str(),
+                  c.result.avgSpeedup, units::toHours(c.result.avgWait),
+                  c.result.cacheHitFraction);
+    }
+  }
+  std::printf("\n");
+
+  // The qualitative claims, computed from the sweep:
+  //  (1) on the narrowest tier the planner matches or beats every pinned
+  //      replication mechanism (viable where they are, never slower by
+  //      more than a couple of percent);
+  //  (2) from a cold start the prefetching delayed variant beats plain
+  //      delayed scheduling.
+  auto cellFor = [&](int nodes, const char* tier, const char* arm) -> const Cell* {
+    for (const Cell& c : cells) {
+      if (c.nodes == nodes && c.tier == tier && c.arm == arm) return &c;
+    }
+    return nullptr;
+  };
+  for (const int nodes : nodeCounts) {
+    const Cell* planned = cellFor(nodes, "uplink_2", "planned");
+    if (planned == nullptr || planned->result.overloaded) {
+      std::printf("%2d nodes: planner itself overloads on uplink_2 — claim fails\n", nodes);
+      continue;
+    }
+    bool holds = true;
+    for (const char* fixed : {"always_remote", "always_repl", "never_remote"}) {
+      const Cell* c = cellFor(nodes, "uplink_2", fixed);
+      if (c == nullptr || c->result.overloaded) continue;  // planner viable, arm not
+      if (planned->result.avgSpeedup < 0.98 * c->result.avgSpeedup) {
+        std::printf("%2d nodes: planner loses to %s on uplink_2 (%.2f vs %.2f)\n", nodes,
+                    fixed, planned->result.avgSpeedup, c->result.avgSpeedup);
+        holds = false;
+      }
+    }
+    if (holds) {
+      std::printf(
+          "%2d nodes: planner matches or beats every pinned mechanism on uplink_2 "
+          "(speedup %.2f)\n",
+          nodes, planned->result.avgSpeedup);
+    }
+  }
+  {
+    const Cell& plain = coldCells[0];
+    const Cell& pre = coldCells[1];
+    if (!pre.result.overloaded &&
+        (plain.result.overloaded || pre.result.avgSpeedup > plain.result.avgSpeedup)) {
+      char plainSp[32];
+      if (plain.result.overloaded) {
+        std::snprintf(plainSp, sizeof plainSp, "overloaded");
+      } else {
+        std::snprintf(plainSp, sizeof plainSp, "%.2f", plain.result.avgSpeedup);
+      }
+      std::printf(
+          "cold start: prefetch_delayed beats delayed (speedup %.2f vs %s, cache hits "
+          "%.3f vs %.3f)\n",
+          pre.result.avgSpeedup, plainSp, pre.result.cacheHitFraction,
+          plain.result.cacheHitFraction);
+    } else {
+      std::printf("cold start: prefetch_delayed does NOT beat delayed (%.2f vs %.2f)\n",
+                  pre.result.avgSpeedup, plain.result.avgSpeedup);
+    }
+  }
+
+  if (const char* dir = jsonDir(); dir != nullptr) {
+    std::vector<PerfRecord> records;
+    for (const Cell& c : cells) {
+      if (c.result.overloaded) continue;
+      const std::string key = c.arm + "/" + std::to_string(c.nodes) + "n/" + c.tier;
+      records.push_back({key, "speedup", c.result.avgSpeedup, "x"});
+      records.push_back({key, "wait", units::toHours(c.result.avgWait), "hours"});
+    }
+    for (const Cell& c : coldCells) {
+      if (c.result.overloaded) continue;
+      const std::string key = c.arm + "/" + c.tier;
+      records.push_back({key, "speedup", c.result.avgSpeedup, "x"});
+      records.push_back({key, "cache_hit", c.result.cacheHitFraction, ""});
+    }
+    const std::string path = writeBenchJson(dir, "ext_strategy_matrix", records);
+    if (!path.empty()) std::printf("\n(perf json written to %s)\n", path.c_str());
+  }
+
+  std::printf("\nPaper reference: Section 4.2 fixes one replication heuristic; the access\n"
+              "planner generalizes it to a per-subjob choice among the same mechanisms,\n"
+              "and prefetch extends Section 5's delayed scheduling with cache warming.\n");
+  return 0;
+}

@@ -62,6 +62,9 @@ void SimConfig::finalize() {
 
 SimConfig SimConfig::paperDefaults() {
   SimConfig cfg;  // members default to the paper's §2.4 values
+  // The paper's cost arithmetic (0.8 s/event uncached, 0.26 cached) is the
+  // serial fetch-then-process model; pin it against the pipelined default.
+  cfg.cost.pipelined = false;
   cfg.finalize();
   return cfg;
 }

@@ -155,7 +155,7 @@ RunningView Engine::running(NodeId node) const {
 // --------------------------------------------------------------------------
 // Run execution
 
-void Engine::startRun(NodeId node, Subjob sj, RunOptions opts) {
+void Engine::startRun(NodeId node, Subjob sj, AccessPlan plan) {
   if (!isUp(node)) throw std::logic_error("startRun on a down node");
   if (!isIdle(node)) throw std::logic_error("startRun on a busy node");
   if (sj.empty()) throw std::logic_error("startRun with an empty subjob");
@@ -163,19 +163,19 @@ void Engine::startRun(NodeId node, Subjob sj, RunOptions opts) {
   if (!js.remaining.containsRange(sj.range)) {
     throw std::logic_error("subjob range is not (entirely) remaining work of its job");
   }
-  if (opts.remoteFrom != kNoNode &&
-      (opts.remoteFrom < 0 || opts.remoteFrom >= numNodes() || opts.remoteFrom == node)) {
-    throw std::logic_error("bad remoteFrom node");
+  if (plan.servingNode != kNoNode &&
+      (plan.servingNode < 0 || plan.servingNode >= numNodes() || plan.servingNode == node)) {
+    throw std::logic_error("bad servingNode");
   }
-  if (opts.remoteFrom != kNoNode && !isUp(opts.remoteFrom)) {
+  if (plan.servingNode != kNoNode && !isUp(plan.servingNode)) {
     // The designated remote source crashed between the policy's decision and
     // this call: degrade to local/tertiary reads rather than stream from a
     // dead (and possibly wiped) cache.
-    opts.remoteFrom = kNoNode;
+    plan.servingNode = kNoNode;
   }
   ActiveRun run;
   run.subjob = sj;
-  run.opts = opts;
+  run.plan = plan;
   run.cursor = sj.range.begin;
   run.runStart = now_;
   runs_[static_cast<std::size_t>(node)] = std::move(run);
@@ -196,7 +196,7 @@ void Engine::beginNextSpan(NodeId node) {
   LruExtentCache& localCache = cluster_.node(node).cache();
   const bool caching = policy_->usesCaching();
   LruExtentCache* remoteCache =
-      run.opts.remoteFrom != kNoNode ? &cluster_.node(run.opts.remoteFrom).cache() : nullptr;
+      run.plan.servingNode != kNoNode ? &cluster_.node(run.plan.servingNode).cache() : nullptr;
 
   EventRange span;
   DataSource src = DataSource::Tertiary;
@@ -265,7 +265,7 @@ void Engine::beginNextSpan(NodeId node) {
   run.netMark = 0.0;
   if (net_.enabled() && src != DataSource::LocalCache) {
     const int srcMachine = src == DataSource::RemoteCache
-                               ? machineOf(run.opts.remoteFrom)
+                               ? machineOf(run.plan.servingNode)
                                : FlowNetwork::kTertiarySource;
     const FlowKind kind = src == DataSource::RemoteCache ? FlowKind::RemoteRead
                                                          : FlowKind::TertiaryRead;
@@ -362,6 +362,7 @@ void Engine::reconcileNetworkFlows() {
                                       [this, n] { onSpanComplete(n); });
   }
   for (auto& [id, tr] : transfers_) {
+    if (tr.flow == kNoFlow) continue;  // net-off prefetch: static rate, fixed ETA
     const double newRate = net_.rate(tr.flow);
     if (newRate == tr.rateBytesPerSec) continue;
     if (now_ > tr.mark) {
@@ -372,49 +373,68 @@ void Engine::reconcileNetworkFlows() {
     queue_.cancel(tr.event);
     const std::uint64_t tid = id;
     tr.event =
-        queue_.schedule(now_ + tr.bytesLeft / newRate, [this, tid] { finishReplication(tid); });
+        queue_.schedule(now_ + tr.bytesLeft / newRate, [this, tid] { finishTransfer(tid); });
   }
 }
 
-void Engine::startReplication(NodeId dstNode, NodeId srcNode, JobId job, EventRange r) {
+void Engine::startTransfer(NodeId dstNode, NodeId srcNode, JobId job, EventRange r,
+                           FlowKind kind) {
   // Skip parts already being copied to this machine (double-paying the
-  // uplink for the same extent would overstate replication pressure).
+  // uplink for the same extent would overstate transfer pressure).
   IntervalSet todo{r};
   for (const auto& [id, tr] : transfers_) {
     if (machineOf(tr.dstNode) == machineOf(dstNode)) todo.erase(tr.range);
   }
+  const double cap =
+      srcNode == kNoNode ? cfg_.cost.tertiaryBytesPerSec : cfg_.cost.remoteBytesPerSec;
   for (const EventRange& piece : todo.intervals()) {
     Transfer tr;
     tr.range = piece;
     tr.dstNode = dstNode;
     tr.srcNode = srcNode;
     tr.job = job;
-    tr.flow = net_.open(machineOf(srcNode), machineOf(dstNode), cfg_.cost.remoteBytesPerSec,
-                        FlowKind::Replication, now_);
+    tr.kind = kind;
     tr.bytesLeft = static_cast<double>(piece.size()) * cfg_.cost.bytesPerEvent;
     tr.mark = now_;
-    tr.rateBytesPerSec = net_.rate(tr.flow);
     const std::uint64_t id = nextTransferId_++;
-    tr.event = queue_.schedule(now_ + tr.bytesLeft / tr.rateBytesPerSec,
-                               [this, id] { finishReplication(id); });
-    emit(SimEventKind::FlowOpen, job, dstNode, piece);
-    transfers_.emplace(id, std::move(tr));
-    reconcileNetworkFlows();
+    if (net_.enabled()) {
+      const int srcMachine =
+          srcNode == kNoNode ? FlowNetwork::kTertiarySource : machineOf(srcNode);
+      tr.flow = net_.open(srcMachine, machineOf(dstNode), cap, kind, now_);
+      tr.rateBytesPerSec = net_.rate(tr.flow);
+      tr.event = queue_.schedule(now_ + tr.bytesLeft / tr.rateBytesPerSec,
+                                 [this, id] { finishTransfer(id); });
+      emit(SimEventKind::FlowOpen, job, dstNode, piece);
+      transfers_.emplace(id, std::move(tr));
+      reconcileNetworkFlows();
+    } else {
+      // Network model off (prefetch only; replication is instantaneous
+      // there): the copy streams at the static device rate, no flow.
+      tr.rateBytesPerSec = cap;
+      tr.event = queue_.schedule(now_ + tr.bytesLeft / tr.rateBytesPerSec,
+                                 [this, id] { finishTransfer(id); });
+      transfers_.emplace(id, std::move(tr));
+    }
   }
 }
 
-void Engine::finishReplication(std::uint64_t transferId) {
+void Engine::finishTransfer(std::uint64_t transferId) {
   auto it = transfers_.find(transferId);
   if (it == transfers_.end()) return;
   Transfer tr = std::move(it->second);
   transfers_.erase(it);
-  net_.noteBytes(FlowKind::Replication,
-                 static_cast<double>(tr.range.size()) * cfg_.cost.bytesPerEvent);
-  net_.close(tr.flow, now_);
-  emit(SimEventKind::FlowClose, tr.job, tr.dstNode, tr.range);
+  if (tr.flow != kNoFlow) {
+    net_.noteBytes(tr.kind, static_cast<double>(tr.range.size()) * cfg_.cost.bytesPerEvent);
+    net_.close(tr.flow, now_);
+    emit(SimEventKind::FlowClose, tr.job, tr.dstNode, tr.range);
+  }
   if (cluster_.node(tr.dstNode).isUp() && policy_->usesCaching()) {
     cluster_.node(tr.dstNode).cache().insert(tr.range, now_);
-    metrics_.onReplication(tr.range.size());
+    if (tr.kind == FlowKind::Prefetch) {
+      metrics_.onPrefetch(tr.range.size());
+    } else {
+      metrics_.onReplication(tr.range.size());
+    }
   }
   reconcileNetworkFlows();
 }
@@ -423,12 +443,17 @@ void Engine::abortTransfers(int machine) {
   bool changed = false;
   for (auto it = transfers_.begin(); it != transfers_.end();) {
     const Transfer& tr = it->second;
-    if (machineOf(tr.srcNode) == machine || machineOf(tr.dstNode) == machine) {
+    // machineOf(kNoNode) is undefined: tertiary-sourced prefetches only die
+    // with their destination machine.
+    if ((tr.srcNode != kNoNode && machineOf(tr.srcNode) == machine) ||
+        machineOf(tr.dstNode) == machine) {
       queue_.cancel(tr.event);
-      net_.close(tr.flow, now_);
-      emit(SimEventKind::FlowClose, tr.job, tr.dstNode, EventRange{});
+      if (tr.flow != kNoFlow) {
+        net_.close(tr.flow, now_);
+        emit(SimEventKind::FlowClose, tr.job, tr.dstNode, EventRange{});
+        changed = true;
+      }
       it = transfers_.erase(it);
-      changed = true;
     } else {
       ++it;
     }
@@ -445,7 +470,7 @@ std::vector<Engine::TransferView> Engine::activeTransfers() const {
   std::vector<TransferView> out;
   out.reserve(transfers_.size());
   for (const auto& [id, tr] : transfers_) {
-    out.push_back({tr.range, tr.srcNode, tr.dstNode, tr.job});
+    out.push_back({tr.range, tr.srcNode, tr.dstNode, tr.job, tr.kind});
   }
   return out;
 }
@@ -460,6 +485,34 @@ double Engine::estimatedSecPerEvent(NodeId node, NodeId remoteFrom, DataSource s
   return networkSpanRate(node, bps);
 }
 
+double Engine::estimatedTransferBytesPerSec(NodeId dst, NodeId src) const {
+  if (!net_.enabled()) return ISchedulerHost::estimatedTransferBytesPerSec(dst, src);
+  const int srcMachine = src == kNoNode ? FlowNetwork::kTertiarySource : machineOf(src);
+  const double cap =
+      src == kNoNode ? cfg_.cost.tertiaryBytesPerSec : cfg_.cost.remoteBytesPerSec;
+  return net_.estimateRate(srcMachine, machineOf(dst), cap);
+}
+
+void Engine::prefetch(NodeId dst, EventRange range, AccessPlan plan) {
+  if (range.empty() || !policy_->usesCaching() || !isUp(dst)) return;
+  NodeId src = plan.servingNode;
+  if (src != kNoNode &&
+      (src < 0 || src >= numNodes() || !isUp(src) ||
+       cluster_.node(src).sharesCacheWith(cluster_.node(dst)))) {
+    src = kNoNode;  // degrade to tertiary streaming (the plan went stale)
+  }
+  // Copy only what the destination does not already hold; a remote source
+  // can serve only what it caches.
+  IntervalSet todo{range};
+  todo.erase(cluster_.node(dst).cache().cachedIn(range));
+  if (src != kNoNode) {
+    todo = todo.intersectWith(cluster_.node(src).cache().cachedIn(range));
+  }
+  for (const EventRange& piece : todo.intervals()) {
+    startTransfer(dst, src, kNoJob, piece, FlowKind::Prefetch);
+  }
+}
+
 void Engine::applySpanEffects(NodeId node, ActiveRun& run, EventRange done) {
   LruExtentCache& localCache = cluster_.node(node).cache();
   if (run.countsTertiaryStream) {
@@ -467,7 +520,7 @@ void Engine::applySpanEffects(NodeId node, ActiveRun& run, EventRange done) {
     run.countsTertiaryStream = false;
   }
   LruExtentCache* remoteCache =
-      run.opts.remoteFrom != kNoNode ? &cluster_.node(run.opts.remoteFrom).cache() : nullptr;
+      run.plan.servingNode != kNoNode ? &cluster_.node(run.plan.servingNode).cache() : nullptr;
 
   // Release span pins first so touch/insert below see a consistent state.
   if (run.pinnedLocal) {
@@ -513,15 +566,17 @@ void Engine::applySpanEffects(NodeId node, ActiveRun& run, EventRange done) {
         break;
       case DataSource::RemoteCache: {
         remoteCache->touch(done, now_);
-        if (run.opts.replicationThreshold > 0) {
-          IntervalCounter& counter = remoteAccess_[static_cast<std::size_t>(run.opts.remoteFrom)];
+        if (run.plan.replicationThreshold > 0) {
+          IntervalCounter& counter =
+              remoteAccess_[static_cast<std::size_t>(run.plan.servingNode)];
           counter.add(done, +1);
-          const IntervalSet hot = counter.rangesAtLeast(done, run.opts.replicationThreshold);
+          const IntervalSet hot = counter.rangesAtLeast(done, run.plan.replicationThreshold);
           for (const EventRange& r : hot.intervals()) {
             if (net_.enabled()) {
               // The copy takes time and bandwidth: open a replication flow
               // and insert into the cache only when it completes.
-              startReplication(node, run.opts.remoteFrom, run.subjob.job, r);
+              startTransfer(node, run.plan.servingNode, run.subjob.job, r,
+                            FlowKind::Replication);
             } else {
               localCache.insert(r, now_);
               metrics_.onReplication(r.size());
@@ -646,17 +701,19 @@ void Engine::retargetRemoteReaders(int machine) {
     auto& slot = runs_[static_cast<std::size_t>(n)];
     if (!slot) continue;
     ActiveRun& run = *slot;
-    if (run.opts.remoteFrom == kNoNode || machineOf(run.opts.remoteFrom) != machine) continue;
+    if (run.plan.servingNode == kNoNode || machineOf(run.plan.servingNode) != machine) {
+      continue;
+    }
     if (run.spanSource != DataSource::RemoteCache) {
       // The current span doesn't touch the dead machine; only forget the
       // source so later spans re-plan without it.
-      run.opts.remoteFrom = kNoNode;
+      run.plan.servingNode = kNoNode;
       continue;
     }
     queue_.cancel(run.spanEventId);
     const auto done = spanEventsDoneAt(run, now_);
     applySpanEffects(n, run, EventRange{run.span.begin, run.span.begin + done});
-    run.opts.remoteFrom = kNoNode;
+    run.plan.servingNode = kNoNode;
     run.cursor = run.span.begin + done;
     beginNextSpan(n);
   }

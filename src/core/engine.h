@@ -83,7 +83,15 @@ class Engine final : public ISchedulerHost {
   // --- policy actions (ISchedulerHost) -----------------------------------
   /// Start `sj` on an idle node. The subjob's range must be a subset of the
   /// job's remaining work (catches double assignments).
-  void startRun(NodeId node, Subjob sj, RunOptions opts = {}) override;
+  void startRun(NodeId node, Subjob sj, AccessPlan plan = {}) override;
+  using ISchedulerHost::startRun;  // keep the deprecated RunOptions shim visible
+
+  /// Issue a cache-warming transfer of the uncached part of `range` into
+  /// `dst`'s cache (see ISchedulerHost::prefetch). With the network model
+  /// on, the copy is a FlowKind::Prefetch flow sharing links like any other
+  /// traffic; with it off, it streams at the static device rate. No sim
+  /// latency is charged (bulk streaming, not per-event access).
+  void prefetch(NodeId dst, EventRange range, AccessPlan plan = {}) override;
 
   /// Stop the run on `node` immediately. Partial progress is applied
   /// (bookkeeping, metrics, caching); the node becomes idle. Returns the
@@ -122,6 +130,10 @@ class Engine final : public ISchedulerHost {
   [[nodiscard]] double estimatedSecPerEvent(NodeId node, NodeId remoteFrom,
                                             DataSource src) const override;
 
+  /// Bulk-copy rate folding in current network contention (probes the flow
+  /// network); falls back to the static link capacities when disabled.
+  [[nodiscard]] double estimatedTransferBytesPerSec(NodeId dst, NodeId src) const override;
+
   /// Per-link utilization and flow counters up to now() (enabled == false
   /// when the network model is off).
   [[nodiscard]] NetworkReport networkReport() const { return net_.report(now_); }
@@ -134,14 +146,16 @@ class Engine final : public ISchedulerHost {
   /// validation and diagnostics — mutate it only through the engine.
   [[nodiscard]] const FlowNetwork& flowNetwork() const { return net_; }
 
-  /// Snapshot of one in-flight §4.2 replication copy (network model only).
+  /// Snapshot of one in-flight cache-filling copy: a §4.2 replication copy
+  /// or a prefetch warming transfer (srcNode == kNoNode: from tertiary).
   struct TransferView {
     EventRange range;
     NodeId srcNode = kNoNode;
     NodeId dstNode = kNoNode;
     JobId job = kNoJob;
+    FlowKind kind = FlowKind::Replication;
   };
-  /// All in-flight replication copies (validation, diagnostics).
+  /// All in-flight cache-filling copies (validation, diagnostics).
   [[nodiscard]] std::vector<TransferView> activeTransfers() const;
 
   [[nodiscard]] MetricsCollector& metrics() { return metrics_; }
@@ -159,7 +173,7 @@ class Engine final : public ISchedulerHost {
 
   struct ActiveRun {
     Subjob subjob;
-    RunOptions opts;
+    AccessPlan plan;
     EventIndex cursor = 0;  ///< next unprocessed event
     SimTime runStart = 0.0;
     // Current span:
@@ -179,13 +193,16 @@ class Engine final : public ISchedulerHost {
     SimTime netMark = 0.0;       ///< when the current spanRate took effect
   };
 
-  /// An in-flight §4.2 replication copy (network model only; with the model
-  /// disabled replication stays instantaneous, preserving bit-identity).
+  /// An in-flight cache-filling copy: a §4.2 replication copy (network
+  /// model only; with the model disabled replication stays instantaneous,
+  /// preserving bit-identity) or a prefetch warming transfer (which also
+  /// runs with the model off, at the static device rate, flow == kNoFlow).
   struct Transfer {
     EventRange range;
     NodeId dstNode = kNoNode;
-    NodeId srcNode = kNoNode;
+    NodeId srcNode = kNoNode;  ///< kNoNode: streaming from tertiary storage
     JobId job = kNoJob;
+    FlowKind kind = FlowKind::Replication;
     FlowId flow = kNoFlow;
     double bytesLeft = 0.0;
     SimTime mark = 0.0;  ///< when rateBytesPerSec took effect
@@ -250,12 +267,13 @@ class Engine final : public ISchedulerHost {
   /// After any flow open/close: fold each affected span's/transfer's
   /// progress at its old rate and reschedule its completion at the new one.
   void reconcileNetworkFlows();
-  /// Start replication copies of `r` from `srcNode`'s cache towards
-  /// `dstNode`, deduplicating against copies already in flight there.
-  void startReplication(NodeId dstNode, NodeId srcNode, JobId job, EventRange r);
-  /// A replication copy delivered: insert into the destination cache.
-  void finishReplication(std::uint64_t transferId);
-  /// Abort all in-flight replication copies touching a failed machine.
+  /// Start cache-filling copies of `r` towards `dstNode` — from `srcNode`'s
+  /// cache, or from tertiary when srcNode == kNoNode — deduplicating
+  /// against copies already in flight to that machine.
+  void startTransfer(NodeId dstNode, NodeId srcNode, JobId job, EventRange r, FlowKind kind);
+  /// A copy delivered: insert into the destination cache.
+  void finishTransfer(std::uint64_t transferId);
+  /// Abort all in-flight copies touching a failed machine.
   void abortTransfers(int machine);
   /// A machine crashed: runs on OTHER machines that were reading remotely
   /// from its cache fold their progress and re-plan their current span

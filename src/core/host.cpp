@@ -1,8 +1,29 @@
-// Default placement implementations shared by both hosts (simulator and
-// wall-clock runtime). See DESIGN.md "Topology-aware placement".
+// Default placement and access-planning implementations shared by both
+// hosts (simulator and wall-clock runtime). See DESIGN.md "Topology-aware
+// placement" and "Access planning".
 #include "core/host.h"
 
 namespace ppsched {
+namespace {
+
+/// Per-event cost of an uncontended remote read into `node` over the chosen
+/// path. A cross-switch read rides the uplink even on an idle network:
+/// charging it keeps the replica-congestion gate a measure of sharing, not
+/// of topology — the topology preference already happened in the ranking.
+double uncontendedRemoteSecPerEvent(const SimConfig& cfg, NodeId node, bool crossSwitch) {
+  double cpu = cfg.cost.cpuSecPerEvent;
+  if (!cfg.nodeSpeedFactors.empty()) {
+    cpu /= cfg.nodeSpeedFactors[static_cast<std::size_t>(node)];
+  }
+  double bps = std::min(cfg.cost.remoteBytesPerSec, cfg.network.nicBytesPerSec);
+  if (crossSwitch && cfg.network.uplinkBytesPerSec > 0.0) {
+    bps = std::min(bps, cfg.network.uplinkBytesPerSec);
+  }
+  const double transfer = cfg.cost.bytesPerEvent / bps;
+  return cfg.cost.pipelined ? std::max(transfer, cpu) : transfer + cpu;
+}
+
+}  // namespace
 
 bool ISchedulerHost::sameSwitch(NodeId a, NodeId b) const {
   const NetworkConfig& net = config().network;
@@ -47,6 +68,107 @@ std::vector<PlacementCandidate> ISchedulerHost::rankPlacements(NodeId dst, Event
                      });
   }
   return out;
+}
+
+double ISchedulerHost::estimatedTransferBytesPerSec(NodeId dst, NodeId src) const {
+  const SimConfig& cfg = config();
+  double bps = (src == kNoNode) ? cfg.cost.tertiaryBytesPerSec : cfg.cost.remoteBytesPerSec;
+  if (cfg.network.enabled) {
+    if (cfg.network.nicBytesPerSec > 0.0) bps = std::min(bps, cfg.network.nicBytesPerSec);
+    if (src == kNoNode) {
+      if (cfg.network.tertiaryIngressBytesPerSec > 0.0) {
+        bps = std::min(bps, cfg.network.tertiaryIngressBytesPerSec);
+      }
+      if (cfg.tertiaryAggregateBytesPerSec > 0.0) {
+        bps = std::min(bps, cfg.tertiaryAggregateBytesPerSec);
+      }
+    } else if (!sameSwitch(dst, src) && cfg.network.uplinkBytesPerSec > 0.0) {
+      bps = std::min(bps, cfg.network.uplinkBytesPerSec);
+    }
+  }
+  return bps;
+}
+
+std::vector<AccessPlan> ISchedulerHost::planAccess(NodeId dst, EventRange range,
+                                                   AccessGoal goal) {
+  std::vector<AccessPlan> plans;
+  const SimConfig& cfg = config();
+  const bool netEnabled = cfg.network.enabled;
+
+  if (goal.intent == AccessGoal::Intent::Prefetch) {
+    // Cache-warming: rank every viable source by pure transfer cost — no
+    // CPU folded, the bytes land on disk without being processed.
+    for (const PlacementCandidate& c : rankPlacements(dst, range)) {
+      AccessPlan p;
+      p.source = DataSource::RemoteCache;
+      p.servingNode = c.source;
+      p.cachedEvents = c.cachedEvents;
+      p.secPerEvent = cfg.cost.bytesPerEvent / estimatedTransferBytesPerSec(dst, c.source);
+      p.prefetchDeadline = goal.deadline;
+      plans.push_back(p);
+    }
+    AccessPlan tertiary;
+    tertiary.source = DataSource::Tertiary;
+    tertiary.secPerEvent = cfg.cost.bytesPerEvent / estimatedTransferBytesPerSec(dst, kNoNode);
+    tertiary.prefetchDeadline = goal.deadline;
+    plans.push_back(tertiary);
+    std::stable_sort(plans.begin(), plans.end(), [](const AccessPlan& a, const AccessPlan& b) {
+      return a.secPerEvent < b.secPerEvent;
+    });
+    return plans;
+  }
+
+  // Dispatch intent: remote-read plans gated against tertiary streaming,
+  // then the no-remote fallback. front() reproduces the legacy replication
+  // heuristic exactly (see host.h).
+  const double tertiarySec = estimatedSecPerEvent(dst, kNoNode, DataSource::Tertiary);
+  if (netEnabled && goal.topologyAware) {
+    for (const PlacementCandidate& c : rankPlacements(dst, range)) {
+      // Even the best source can lose to tertiary streaming when every path
+      // in is congested; reading remotely then only adds traffic.
+      if (c.secPerEvent >= tertiarySec) continue;
+      AccessPlan p;
+      p.source = DataSource::RemoteCache;
+      p.servingNode = c.source;
+      p.replicationThreshold = goal.replicationThreshold;
+      p.secPerEvent = c.secPerEvent;
+      p.cachedEvents = c.cachedEvents;
+      // Congested path: keep the (still cheapest) remote read but withhold
+      // the replica copy — the copy would ride the same loaded links and
+      // amplify the congestion that made the path expensive.
+      if (goal.replicaCongestionFactor > 0.0 &&
+          c.secPerEvent > goal.replicaCongestionFactor *
+                              uncontendedRemoteSecPerEvent(cfg, dst, !c.sameSwitch)) {
+        p.replicationThreshold = 0;
+      }
+      plans.push_back(p);
+    }
+  } else {
+    // Network model off (or topology-awareness disabled): the paper's
+    // cache-content heuristic, bit-identical to the pre-plan policy. Note
+    // bestCacheNode considers dst itself — when dst holds the most content
+    // there is no remote candidate (its data is already local).
+    const NodeId best = cluster().bestCacheNode(range);
+    if (best != kNoNode && best != dst) {
+      const double remoteSec = estimatedSecPerEvent(dst, best, DataSource::RemoteCache);
+      // The tertiary gate is inert when the model is disabled — the static
+      // cost model always prices remote reads below tertiary streaming.
+      if (!netEnabled || remoteSec < tertiarySec) {
+        AccessPlan p;
+        p.source = DataSource::RemoteCache;
+        p.servingNode = best;
+        p.replicationThreshold = goal.replicationThreshold;
+        p.secPerEvent = remoteSec;
+        p.cachedEvents = cluster().cachedOn(best, range).size();
+        plans.push_back(p);
+      }
+    }
+  }
+  AccessPlan fallback;  // stream uncached data from tertiary, no remote read
+  fallback.source = DataSource::Tertiary;
+  fallback.secPerEvent = tertiarySec;
+  plans.push_back(fallback);
+  return plans;
 }
 
 }  // namespace ppsched

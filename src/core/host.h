@@ -32,7 +32,53 @@ using TimerId = std::uint64_t;
 /// Identifies a scripted action scheduled via ISchedulerHost::at.
 using ActionId = std::uint64_t;
 
-/// Per-run options set by the policy when starting a run.
+/// An explicit data-access decision for one run (or one cache-warming
+/// transfer): which mechanism moves the bytes, from where, and whether the
+/// read should replicate through into the local cache. Produced by
+/// ISchedulerHost::planAccess and consumed by startRun / prefetch; policies
+/// may also construct plans directly. The default-constructed plan means
+/// "local cache where present, tertiary otherwise, never replicate" — the
+/// same behaviour as a default-constructed legacy RunOptions.
+struct AccessPlan {
+  /// Mechanism the non-local part of the range is fetched through.
+  /// RemoteCache requires `servingNode`; LocalCache/Tertiary ignore it.
+  DataSource source = DataSource::Tertiary;
+  /// Node whose cache serves remote reads; kNoNode disables remote reads.
+  NodeId servingNode = kNoNode;
+  /// Replicate a remotely read extent into the local cache once its remote
+  /// access count reaches this value (paper: 3). 0 = never replicate.
+  int replicationThreshold = 0;
+  /// For Prefetch-intent plans: the sim time by which the warmed data should
+  /// be local (informational; transfers are best-effort). 0 = no deadline.
+  SimTime prefetchDeadline = 0.0;
+  /// Planner estimate of the per-event cost of this plan at planning time
+  /// (contention-aware when a network model is live). Informational.
+  double secPerEvent = 0.0;
+  /// Events of the requested range cached on `servingNode` at planning time.
+  std::uint64_t cachedEvents = 0;
+};
+
+/// What the policy wants out of planAccess.
+struct AccessGoal {
+  enum class Intent {
+    Dispatch,  ///< plans for running a subjob now (CPU + transfer folded)
+    Prefetch,  ///< plans for warming a cache ahead of dispatch (transfer only)
+  };
+  Intent intent = Intent::Dispatch;
+  /// Replicate-through threshold to stamp on remote plans (see AccessPlan).
+  int replicationThreshold = 0;
+  /// Withhold replicate-through when the serving path is congested beyond
+  /// this factor of its uncontended cost (§4.2 extension). 0 disables.
+  double replicaCongestionFactor = 0.0;
+  /// Rank remote candidates by contention-aware cost (rankPlacements) when a
+  /// network model is live; false forces the cache-content heuristic.
+  bool topologyAware = true;
+  /// For Prefetch intent: when the data is wanted (stamped on plans).
+  SimTime deadline = 0.0;
+};
+
+/// Deprecated per-run options, kept as a shim for policies and tests that
+/// predate AccessPlan. Prefer planAccess/AccessPlan; this converts 1:1.
 struct RunOptions {
   /// Node whose cache may serve this run's data remotely (replication
   /// policy); kNoNode disables remote reads.
@@ -40,6 +86,17 @@ struct RunOptions {
   /// Replicate a remotely read extent into the local cache once its remote
   /// access count reaches this value (paper: 3). 0 = never replicate.
   int replicationThreshold = 0;
+
+  /// The equivalent AccessPlan (bit-identical behaviour by construction).
+  [[nodiscard]] AccessPlan toPlan() const {
+    AccessPlan plan;
+    if (remoteFrom != kNoNode) {
+      plan.source = DataSource::RemoteCache;
+      plan.servingNode = remoteFrom;
+    }
+    plan.replicationThreshold = replicationThreshold;
+    return plan;
+  }
 };
 
 /// One candidate serving node for a remote read, as ranked by
@@ -93,7 +150,23 @@ class ISchedulerHost {
   [[nodiscard]] virtual std::size_t jobsInSystem() const = 0;
 
   // --- actions ----------------------------------------------------------
-  virtual void startRun(NodeId node, Subjob sj, RunOptions opts = {}) = 0;
+  virtual void startRun(NodeId node, Subjob sj, AccessPlan plan = {}) = 0;
+  /// Deprecated shim: accepts the legacy RunOptions and forwards the
+  /// equivalent AccessPlan. Bit-identical to the pre-plan API.
+  void startRun(NodeId node, Subjob sj, RunOptions opts) {
+    startRun(node, std::move(sj), opts.toPlan());
+  }
+  /// Issue a cache-warming transfer: copy the uncached part of `range` into
+  /// `dst`'s cache, from `plan.servingNode`'s cache when it is a live remote
+  /// source (degraded to tertiary otherwise). A best-effort background flow
+  /// (FlowKind::Prefetch on hosts with a network model); no-op when the
+  /// policy does not use caching. Default: hosts without transfer machinery
+  /// ignore prefetch requests.
+  virtual void prefetch(NodeId dst, EventRange range, AccessPlan plan = {}) {
+    (void)dst;
+    (void)range;
+    (void)plan;
+  }
   /// Stop the run on `node`; progress is applied; returns the unprocessed
   /// remainder (empty if the run was exactly complete).
   virtual Subjob preempt(NodeId node) = 0;
@@ -164,6 +237,31 @@ class ISchedulerHost {
   /// Both hosts share this default; overrides only adjust locking/topology.
   [[nodiscard]] virtual std::vector<PlacementCandidate> rankPlacements(NodeId dst,
                                                                        EventRange range);
+
+  /// Estimated sustained transfer rate (bytes/s) of a bulk copy into `dst`
+  /// from `src` (kNoNode = the tertiary store). The default derives it from
+  /// the static cost model plus the configured link capacities; hosts with a
+  /// live network model override it with contention-aware rates.
+  [[nodiscard]] virtual double estimatedTransferBytesPerSec(NodeId dst, NodeId src) const;
+
+  // --- access planning --------------------------------------------------
+  /// Evaluate every viable access strategy for reading `range` into `dst`
+  /// and return the plans ranked cheapest-first by contention-aware cost.
+  ///
+  /// Dispatch intent: remote-read plans (one per viable serving node, gated
+  /// against the tertiary alternative and, optionally, replica-congestion)
+  /// followed by a final no-remote fallback plan (stream uncached data from
+  /// tertiary). The list is never empty and `front()` reproduces the legacy
+  /// per-policy heuristics exactly: with the network model off (or
+  /// `goal.topologyAware == false`) remote candidates come from the
+  /// cache-content heuristic (Cluster::bestCacheNode); with it on, from the
+  /// contention-aware rankPlacements order.
+  ///
+  /// Prefetch intent: plans for warming `dst`'s cache, ranked by pure
+  /// transfer cost (no CPU folded): each viable remote source plus a
+  /// tertiary-streaming plan, each stamped with `goal.deadline`.
+  [[nodiscard]] virtual std::vector<AccessPlan> planAccess(NodeId dst, EventRange range,
+                                                           AccessGoal goal = {});
 };
 
 }  // namespace ppsched

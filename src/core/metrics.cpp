@@ -84,6 +84,11 @@ void MetricsCollector::onReplication(std::uint64_t events) {
   ++replicationOps_;
 }
 
+void MetricsCollector::onPrefetch(std::uint64_t events) {
+  prefetchedEvents_ += events;
+  ++prefetchOps_;
+}
+
 void MetricsCollector::onRunLost(JobId job, std::uint64_t discardedEvents) {
   ++mutableRecord(job).lostRuns;
   ++lostRuns_;
@@ -130,6 +135,8 @@ RunResult MetricsCollector::finalize(SimTime endTime, bool withHistogram) const 
   out.processedEvents = totalEvents;
   out.replicatedEvents = replicatedEvents_;
   out.replicationOps = replicationOps_;
+  out.prefetchedEvents = prefetchedEvents_;
+  out.prefetchOps = prefetchOps_;
   out.nodeFailures = nodeFailures_;
   out.lostRuns = lostRuns_;
   out.lostEvents = lostEvents_;

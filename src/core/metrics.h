@@ -66,6 +66,10 @@ struct RunResult {
   double remoteReadFraction = 0.0;
   std::uint64_t replicatedEvents = 0;
   std::uint64_t replicationOps = 0;
+  /// Events copied into caches by prefetch warming transfers (and the
+  /// number of completed warming copies).
+  std::uint64_t prefetchedEvents = 0;
+  std::uint64_t prefetchOps = 0;
   /// Events fetched from tertiary storage (for the "load once per period"
   /// analysis of §5).
   std::uint64_t tertiaryEvents = 0;
@@ -112,6 +116,8 @@ class MetricsCollector {
   void onSchedulingDelay(JobId job, Duration delay);
   void onEventsProcessed(DataSource source, std::uint64_t events, SimTime now);
   void onReplication(std::uint64_t events);
+  /// A prefetch warming copy delivered `events` events into a cache.
+  void onPrefetch(std::uint64_t events);
   /// A machine crashed (counted once per crash, not per CPU slot).
   void onNodeFailure() { ++nodeFailures_; }
   /// A run was killed by a crash; `discardedEvents` is the in-flight span
@@ -146,6 +152,8 @@ class MetricsCollector {
   std::uint64_t tertiaryEvents_ = 0;
   std::uint64_t replicatedEvents_ = 0;
   std::uint64_t replicationOps_ = 0;
+  std::uint64_t prefetchedEvents_ = 0;
+  std::uint64_t prefetchOps_ = 0;
   std::uint64_t nodeFailures_ = 0;
   std::uint64_t lostRuns_ = 0;
   std::uint64_t lostEvents_ = 0;

@@ -28,6 +28,19 @@ std::unique_ptr<ISchedulerPolicy> makePolicy(const std::string& name,
     p.replicationThreshold = params.replicationThreshold;
     p.topologyAware = params.topologyAware;
     p.replicaCongestionFactor = params.replicaCongestionFactor;
+    if (params.accessMode.empty() || params.accessMode == "planned") {
+      p.mode = ReplicationScheduler::Mode::Planned;
+    } else if (params.accessMode == "always_remote") {
+      p.mode = ReplicationScheduler::Mode::AlwaysRemote;
+    } else if (params.accessMode == "always_replicate") {
+      p.mode = ReplicationScheduler::Mode::AlwaysReplicate;
+    } else if (params.accessMode == "never_remote") {
+      p.mode = ReplicationScheduler::Mode::NeverRemote;
+    } else {
+      throw std::invalid_argument("unknown accessMode: " + params.accessMode +
+                                  " (known: planned, always_remote, always_replicate, "
+                                  "never_remote)");
+    }
     return std::make_unique<ReplicationScheduler>(p);
   }
   if (name == "delayed") {
@@ -45,6 +58,15 @@ std::unique_ptr<ISchedulerPolicy> makePolicy(const std::string& name,
           p, std::make_unique<FeedbackAdaptiveDelay>(), "adaptive");
     }
     return makeAdaptiveScheduler(p, params.adaptiveTable);
+  }
+  if (name == "prefetch_delayed") {
+    DelayedParams p;
+    p.stripeEvents = params.stripeEvents;
+    p.loadWindow = params.loadWindow;
+    p.prefetch = true;
+    p.prefetchMaxCostFactor = params.prefetchMaxCostFactor;
+    return std::make_unique<DelayedScheduler>(
+        p, std::make_unique<FixedDelay>(params.periodDelay), "prefetch_delayed");
   }
   if (name == "mixed") {
     MixedScheduler::Params p;
@@ -64,8 +86,8 @@ std::unique_ptr<ISchedulerPolicy> makePolicy(const std::string& name,
 std::vector<std::string> policyNames() {
   // The paper's policies in order of presentation, then this repository's
   // implementation of the paper's §7 future work.
-  return {"farm",        "splitting", "cache_oriented", "out_of_order",
-          "replication", "delayed",   "adaptive",       "mixed"};
+  return {"farm",     "splitting", "cache_oriented", "out_of_order", "replication",
+          "delayed",  "adaptive",  "mixed",          "prefetch_delayed"};
 }
 
 }  // namespace ppsched

@@ -1,7 +1,7 @@
 // Policy registry: create any of the paper's scheduling policies by name.
 //
 // Names: "farm", "splitting", "cache_oriented", "out_of_order",
-// "replication", "delayed", "adaptive", "mixed".
+// "replication", "delayed", "adaptive", "mixed", "prefetch_delayed".
 #pragma once
 
 #include <memory>
@@ -25,6 +25,14 @@ struct PolicyParams {
   /// replication: withhold replica copies when the chosen source's cost
   /// exceeds this multiple of the uncontended remote-read cost.
   double replicaCongestionFactor = 1.5;
+  /// replication: how stolen subjobs access remote data. "" or "planned"
+  /// delegates to the host's access planner; "always_remote",
+  /// "always_replicate" and "never_remote" pin one fixed mechanism
+  /// (the strategy-matrix arms of bench/ext_strategy_matrix).
+  std::string accessMode;
+  /// prefetch_delayed: skip warming transfers costlier than this multiple
+  /// of the uncontended tertiary transfer.
+  double prefetchMaxCostFactor = 1.5;
   /// delayed: the fixed period delay (paper: 11 h / 2 days / 1 week).
   Duration periodDelay = 2 * units::day;
   /// delayed / adaptive: stripe size in events (paper: 200 to 25000).

@@ -252,6 +252,9 @@ FlowId FlowNetwork::open(int srcMachine, int dstMachine, double capBytesPerSec, 
     case FlowKind::Replication:
       ++replicationFlows_;
       break;
+    case FlowKind::Prefetch:
+      ++prefetchFlows_;
+      break;
   }
   maxConcurrentFlows_ = std::max<std::uint64_t>(maxConcurrentFlows_, flows_.size());
   return flows_.back().id;
@@ -298,6 +301,9 @@ void FlowNetwork::noteBytes(FlowKind kind, double bytes) {
     case FlowKind::Replication:
       replicationBytes_ += bytes;
       break;
+    case FlowKind::Prefetch:
+      prefetchBytes_ += bytes;
+      break;
   }
 }
 
@@ -339,10 +345,12 @@ NetworkReport FlowNetwork::report(double now) const {
   r.remoteFlows = remoteFlows_;
   r.tertiaryFlows = tertiaryFlows_;
   r.replicationFlows = replicationFlows_;
+  r.prefetchFlows = prefetchFlows_;
   r.maxConcurrentFlows = maxConcurrentFlows_;
   r.remoteBytes = remoteBytes_;
   r.tertiaryBytes = tertiaryBytes_;
   r.replicationBytes = replicationBytes_;
+  r.prefetchBytes = prefetchBytes_;
   return r;
 }
 

@@ -81,6 +81,7 @@ enum class FlowKind {
   RemoteRead,    ///< a span reading another node's disk cache
   TertiaryRead,  ///< a span streaming from tertiary storage
   Replication,   ///< a §4.2 replication copy between node caches
+  Prefetch,      ///< a cache-warming copy issued ahead of dispatch
 };
 
 /// Per-link accounting of one run.
@@ -100,11 +101,13 @@ struct NetworkReport {
   std::uint64_t remoteFlows = 0;
   std::uint64_t tertiaryFlows = 0;
   std::uint64_t replicationFlows = 0;
+  std::uint64_t prefetchFlows = 0;
   std::uint64_t maxConcurrentFlows = 0;
   /// Bytes actually delivered (events processed / copies completed), by kind.
   double remoteBytes = 0.0;
   double tertiaryBytes = 0.0;
   double replicationBytes = 0.0;
+  double prefetchBytes = 0.0;
 };
 
 /// The flow-level network simulation. Owns no clock: callers pass the
@@ -219,10 +222,12 @@ class FlowNetwork {
   std::uint64_t remoteFlows_ = 0;
   std::uint64_t tertiaryFlows_ = 0;
   std::uint64_t replicationFlows_ = 0;
+  std::uint64_t prefetchFlows_ = 0;
   std::uint64_t maxConcurrentFlows_ = 0;
   double remoteBytes_ = 0.0;
   double tertiaryBytes_ = 0.0;
   double replicationBytes_ = 0.0;
+  double prefetchBytes_ = 0.0;
 };
 
 }  // namespace ppsched

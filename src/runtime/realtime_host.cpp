@@ -221,12 +221,24 @@ std::vector<NodeId> RealtimeHost::idleNodes() const {
 }
 
 std::uint64_t RealtimeHost::eventsDoneByNow(const Assignment& assignment) const {
-  double elapsed = now() - assignment.startedAt;
-  std::uint64_t done = 0;
-  for (const PlanPiece& piece : assignment.plan) {
-    const double pieceTime = static_cast<double>(piece.range.size()) * piece.rate;
+  // Events before the fold point were completed at earlier rates; walk the
+  // pieces past them, then charge the current rates for the time since.
+  // With no re-pricing (foldedEvents == 0, foldTime == startedAt) this is
+  // the original single-pass formula.
+  double elapsed = now() - assignment.foldTime;
+  std::uint64_t done = assignment.foldedEvents;
+  std::uint64_t skip = assignment.foldedEvents;
+  for (const PlanPiece& piece : assignment.pieces) {
+    std::uint64_t pieceEvents = piece.range.size();
+    if (skip >= pieceEvents) {
+      skip -= pieceEvents;
+      continue;
+    }
+    pieceEvents -= skip;
+    skip = 0;
+    const double pieceTime = static_cast<double>(pieceEvents) * piece.rate;
     if (elapsed >= pieceTime) {
-      done += piece.range.size();
+      done += pieceEvents;
       elapsed -= pieceTime;
     } else {
       if (piece.rate > 0.0 && elapsed > 0.0) {
@@ -255,11 +267,11 @@ RunningView RealtimeHost::running(NodeId node) const {
 // ISchedulerHost actions
 
 std::vector<RealtimeHost::PlanPiece> RealtimeHost::planRun(NodeId node, const Subjob& sj,
-                                                           const RunOptions& opts) const {
+                                                           const AccessPlan& access) const {
   std::vector<PlanPiece> plan;
   const LruExtentCache& localCache = cluster_.node(node).cache();
   const LruExtentCache* remoteCache =
-      opts.remoteFrom != kNoNode ? &cluster_.node(opts.remoteFrom).cache() : nullptr;
+      access.servingNode != kNoNode ? &cluster_.node(access.servingNode).cache() : nullptr;
   const bool caching = policy_->usesCaching();
   EventIndex cursor = sj.range.begin;
   while (cursor < sj.range.end) {
@@ -294,13 +306,10 @@ std::vector<RealtimeHost::PlanPiece> RealtimeHost::planRun(NodeId node, const Su
       cost.cpuSecPerEvent /= cfg_.nodeSpeedFactors[static_cast<std::size_t>(node)];
     }
     if (cfg_.network.enabled && piece.source != DataSource::LocalCache) {
-      // Static share: price the transfer at the bandwidth one more stream
-      // would get right now (the simulator re-solves on every open/close;
-      // see the model-differences note in the header).
-      const double transfer =
-          cost.bytesPerEvent / staticNetBytesPerSec(piece.source, node, opts.remoteFrom);
-      piece.rate = cost.pipelined ? std::max(transfer, cost.cpuSecPerEvent)
-                                  : transfer + cost.cpuSecPerEvent;
+      // Equal share: price the transfer at the bandwidth one more stream
+      // would get right now. Open runs are re-priced whenever the stream
+      // count changes (see the model-differences note in the header).
+      piece.rate = networkPieceRate(piece.source, node, access.servingNode, activeNetRuns_ + 1);
     } else {
       piece.rate = cost.secPerEvent(piece.source);
     }
@@ -310,24 +319,76 @@ std::vector<RealtimeHost::PlanPiece> RealtimeHost::planRun(NodeId node, const Su
   return plan;
 }
 
-double RealtimeHost::staticNetBytesPerSec(DataSource src, NodeId node, NodeId remoteFrom) const {
+double RealtimeHost::staticNetBytesPerSec(DataSource src, NodeId node, NodeId remoteFrom,
+                                          int streams) const {
   const NetworkConfig& net = cfg_.network;
-  const double streams = static_cast<double>(activeNetRuns_ + 1);
+  const double share = static_cast<double>(std::max(1, streams));
   double bps = src == DataSource::RemoteCache ? cfg_.cost.remoteBytesPerSec
                                               : cfg_.cost.tertiaryBytesPerSec;
   bps = std::min(bps, net.nicBytesPerSec);
   if (src == DataSource::Tertiary) {
     if (cfg_.tertiaryAggregateBytesPerSec > 0.0) {
-      bps = std::min(bps, cfg_.tertiaryAggregateBytesPerSec / streams);
+      bps = std::min(bps, cfg_.tertiaryAggregateBytesPerSec / share);
     }
     if (net.tertiaryIngressBytesPerSec > 0.0) {
-      bps = std::min(bps, net.tertiaryIngressBytesPerSec / streams);
+      bps = std::min(bps, net.tertiaryIngressBytesPerSec / share);
     }
   } else if (net.uplinkBytesPerSec > 0.0 &&
              (remoteFrom == kNoNode || !sameSwitch(node, remoteFrom))) {
-    bps = std::min(bps, net.uplinkBytesPerSec / streams);
+    bps = std::min(bps, net.uplinkBytesPerSec / share);
   }
   return bps;
+}
+
+double RealtimeHost::networkPieceRate(DataSource src, NodeId node, NodeId remoteFrom,
+                                      int streams) const {
+  double cpu = cfg_.cost.cpuSecPerEvent;
+  if (!cfg_.nodeSpeedFactors.empty()) {
+    cpu /= cfg_.nodeSpeedFactors[static_cast<std::size_t>(node)];
+  }
+  const double transfer =
+      cfg_.cost.bytesPerEvent / staticNetBytesPerSec(src, node, remoteFrom, streams);
+  return cfg_.cost.pipelined ? std::max(transfer, cpu) : transfer + cpu;
+}
+
+void RealtimeHost::repriceOpenRuns() {
+  if (!cfg_.network.enabled) return;
+  const int streams = std::max(1, activeNetRuns_);
+  for (NodeId n = 0; n < numNodes(); ++n) {
+    auto& slot = assignments_[static_cast<std::size_t>(n)];
+    if (!slot || !slot->usesNetwork) continue;
+    Assignment& a = *slot;
+    // Fold progress at the rates in effect so far, then re-rate what is
+    // left of each network piece at the current stream count.
+    a.foldedEvents = eventsDoneByNow(a);
+    a.foldTime = now();
+    double remainingSim = 0.0;
+    std::uint64_t skip = a.foldedEvents;
+    for (PlanPiece& piece : a.pieces) {
+      std::uint64_t left = piece.range.size();
+      if (skip >= left) {
+        skip -= left;
+        continue;
+      }
+      left -= skip;
+      skip = 0;
+      if (piece.source != DataSource::LocalCache) {
+        piece.rate = networkPieceRate(piece.source, n, a.access.servingNode, streams);
+      }
+      remainingSim += static_cast<double>(left) * piece.rate;
+    }
+    // Re-arm the executor with the new deadline; the generation bump makes
+    // any completion computed against the old rates stale.
+    a.generation = nextGeneration_++;
+    ExecutorSlot& ex = *slots_[static_cast<std::size_t>(n)];
+    {
+      std::lock_guard slotGuard(ex.m);
+      ex.generation = a.generation;
+      ex.hasWork = true;
+      ex.wallSeconds = remainingSim / options_.timeScale;
+    }
+    ex.cv.notify_all();
+  }
 }
 
 void RealtimeHost::releaseNetRun(const Assignment& assignment) {
@@ -340,12 +401,9 @@ double RealtimeHost::estimatedSecPerEvent(NodeId node, NodeId remoteFrom,
   if (!cfg_.network.enabled || src == DataSource::LocalCache) {
     return ISchedulerHost::estimatedSecPerEvent(node, remoteFrom, src);
   }
-  double cpu = cfg_.cost.cpuSecPerEvent;
-  if (!cfg_.nodeSpeedFactors.empty()) {
-    cpu /= cfg_.nodeSpeedFactors[static_cast<std::size_t>(node)];
-  }
-  const double transfer = cfg_.cost.bytesPerEvent / staticNetBytesPerSec(src, node, remoteFrom);
-  return cfg_.cost.pipelined ? std::max(transfer, cpu) : transfer + cpu;
+  // Price what one more stream would get right now; planRun uses the same
+  // formula, so estimates match what a started run is actually charged.
+  return networkPieceRate(src, node, remoteFrom, activeNetRuns_ + 1);
 }
 
 std::vector<PlacementCandidate> RealtimeHost::rankPlacements(NodeId dst, EventRange range) {
@@ -353,7 +411,21 @@ std::vector<PlacementCandidate> RealtimeHost::rankPlacements(NodeId dst, EventRa
   return ISchedulerHost::rankPlacements(dst, range);
 }
 
-void RealtimeHost::startRun(NodeId node, Subjob sj, RunOptions opts) {
+std::vector<AccessPlan> RealtimeHost::planAccess(NodeId dst, EventRange range, AccessGoal goal) {
+  std::lock_guard guard(lock_);
+  return ISchedulerHost::planAccess(dst, range, goal);
+}
+
+double RealtimeHost::estimatedTransferBytesPerSec(NodeId dst, NodeId src) const {
+  std::lock_guard guard(lock_);
+  if (!cfg_.network.enabled) {
+    return ISchedulerHost::estimatedTransferBytesPerSec(dst, src);
+  }
+  const DataSource kind = src == kNoNode ? DataSource::Tertiary : DataSource::RemoteCache;
+  return staticNetBytesPerSec(kind, dst, src, activeNetRuns_ + 1);
+}
+
+void RealtimeHost::startRun(NodeId node, Subjob sj, AccessPlan plan) {
   std::lock_guard guard(lock_);
   auto& assignment = assignments_.at(static_cast<std::size_t>(node));
   if (!cluster_.node(node).isUp()) throw std::logic_error("startRun on a down node");
@@ -362,22 +434,24 @@ void RealtimeHost::startRun(NodeId node, Subjob sj, RunOptions opts) {
   if (!state(sj.job).remaining.containsRange(sj.range)) {
     throw std::logic_error("subjob range is not remaining work of its job");
   }
-  if (opts.remoteFrom != kNoNode && !cluster_.node(opts.remoteFrom).isUp()) {
+  if (plan.servingNode != kNoNode && !cluster_.node(plan.servingNode).isUp()) {
     // Engine parity: a remote source that crashed since the policy's
     // decision degrades to local/tertiary reads.
-    opts.remoteFrom = kNoNode;
+    plan.servingNode = kNoNode;
+    plan.source = DataSource::Tertiary;
   }
   Assignment a;
   a.subjob = sj;
-  a.opts = opts;
-  a.plan = planRun(node, sj, opts);
-  for (const PlanPiece& piece : a.plan) {
+  a.access = plan;
+  a.pieces = planRun(node, sj, plan);
+  for (const PlanPiece& piece : a.pieces) {
     a.durationSimSec += static_cast<double>(piece.range.size()) * piece.rate;
     if (piece.source != DataSource::LocalCache) a.usesNetwork = true;
   }
   a.usesNetwork = a.usesNetwork && cfg_.network.enabled;
   if (a.usesNetwork) ++activeNetRuns_;
   a.startedAt = now();
+  a.foldTime = a.startedAt;
   a.generation = nextGeneration_++;
   metrics_.onFirstStart(sj.job, a.startedAt);
 
@@ -389,7 +463,55 @@ void RealtimeHost::startRun(NodeId node, Subjob sj, RunOptions opts) {
     slot.wallSeconds = a.durationSimSec / options_.timeScale;
   }
   slot.cv.notify_all();
+  const bool opened = a.usesNetwork;
   assignment = std::move(a);
+  // This run's pieces were priced at activeNetRuns_ streams already (the +1
+  // included itself); everyone else now shares with one more stream.
+  if (opened) repriceOpenRuns();
+}
+
+void RealtimeHost::prefetch(NodeId dst, EventRange range, AccessPlan plan) {
+  std::lock_guard guard(lock_);
+  if (range.empty() || !policy_->usesCaching() || !cluster_.node(dst).isUp()) return;
+  NodeId src = plan.servingNode;
+  if (src != kNoNode &&
+      (src < 0 || src >= numNodes() || !cluster_.node(src).isUp() ||
+       cluster_.node(src).sharesCacheWith(cluster_.node(dst)))) {
+    src = kNoNode;  // degrade to tertiary streaming (the plan went stale)
+  }
+  // Copy only what the destination does not already hold; a remote source
+  // can serve only what it caches (Engine::prefetch parity).
+  IntervalSet todo{range};
+  todo.erase(cluster_.node(dst).cache().cachedIn(range));
+  if (src != kNoNode) {
+    todo = todo.intersectWith(cluster_.node(src).cache().cachedIn(range));
+  }
+  if (todo.empty()) return;
+  const DataSource kind = src == kNoNode ? DataSource::Tertiary : DataSource::RemoteCache;
+  double bps = src == kNoNode ? cfg_.cost.tertiaryBytesPerSec : cfg_.cost.remoteBytesPerSec;
+  bool counted = false;
+  if (cfg_.network.enabled) {
+    // The warming copy is one more stream: price it at its share and
+    // re-price everyone sharing with it.
+    bps = staticNetBytesPerSec(kind, dst, src, activeNetRuns_ + 1);
+    ++activeNetRuns_;
+    counted = true;
+    repriceOpenRuns();
+  }
+  const double durationSim = static_cast<double>(todo.size()) * cfg_.cost.bytesPerEvent / bps;
+  // Completion rides the scheduler thread's action wheel (fires with lock_
+  // held, like every scripted action).
+  at(now() + durationSim, [this, dst, todo, counted] {
+    if (counted && activeNetRuns_ > 0) --activeNetRuns_;
+    if (cluster_.node(dst).isUp() && policy_->usesCaching()) {
+      const SimTime t = now();
+      for (const EventRange& r : todo.intervals()) {
+        cluster_.node(dst).cache().insert(r, t);
+      }
+      metrics_.onPrefetch(todo.size());
+    }
+    if (counted) repriceOpenRuns();
+  });
 }
 
 void RealtimeHost::applyProgress(NodeId node, Assignment& assignment,
@@ -403,7 +525,7 @@ void RealtimeHost::applyProgress(NodeId node, Assignment& assignment,
   // Cache effects piece by piece, as in the simulator.
   if (policy_->usesCaching()) {
     LruExtentCache& localCache = cluster_.node(node).cache();
-    for (const PlanPiece& piece : assignment.plan) {
+    for (const PlanPiece& piece : assignment.pieces) {
       const EventRange processed = piece.range.intersect(done);
       if (processed.empty()) continue;
       metrics_.onEventsProcessed(piece.source, processed.size(), t);
@@ -415,7 +537,7 @@ void RealtimeHost::applyProgress(NodeId node, Assignment& assignment,
           localCache.insert(processed, t);
           break;
         case DataSource::RemoteCache:
-          cluster_.node(assignment.opts.remoteFrom).cache().touch(processed, t);
+          cluster_.node(assignment.access.servingNode).cache().touch(processed, t);
           break;
       }
     }
@@ -435,6 +557,7 @@ void RealtimeHost::handleCompletion(NodeId node, std::uint64_t generation) {
   Assignment finished = std::move(*assignment);
   assignment.reset();
   releaseNetRun(finished);
+  if (finished.usesNetwork) repriceOpenRuns();
   applyProgress(node, finished, finished.subjob.events());
   RunReport report;
   report.subjob = finished.subjob;
@@ -458,6 +581,9 @@ Subjob RealtimeHost::preempt(NodeId node) {
     slot.hasWork = false;
   }
   slot.cv.notify_all();
+  // `stopped` is detached, so its eventsDoneByNow below still reads the
+  // rates it actually experienced; only the surviving runs re-price.
+  if (stopped.usesNetwork) repriceOpenRuns();
 
   const std::uint64_t done = eventsDoneByNow(stopped);
   applyProgress(node, stopped, done);
@@ -540,6 +666,8 @@ void RealtimeHost::failNode(NodeId node) {
     lost.emplace_back(slot, std::move(report));
   }
   if (cfg_.failures.loseCacheOnFailure) cluster_.node(first).cache().drop();
+  // The dead machine's network streams are gone; survivors re-price once.
+  repriceOpenRuns();
   // Policy callbacks belong on the scheduler thread, like every other
   // callback of this host.
   post([this, lost] {

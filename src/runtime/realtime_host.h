@@ -20,10 +20,13 @@
 // completion times are subject to OS scheduling jitter, and a run killed by
 // failNode() loses its whole subjob (the simulator rolls back to the last
 // span boundary; here no span checkpoints exist). With the network model
-// enabled this host uses a static share approximation: a run's network
-// pieces are priced once at start against the then-active count of
-// network-using runs (the simulator's FlowNetwork re-solves max-min shares
-// on every flow open/close).
+// enabled this host uses an equal-share approximation: a run's network
+// pieces are priced against the active count of network-using streams, and
+// open runs are RE-PRICED whenever that count changes (a stream opens or
+// closes) — progress at the old rates is folded, the remainder re-rated —
+// so estimatedSecPerEvent/planAccess answers stay consistent with what runs
+// actually experience, mirroring the simulator's FlowNetwork re-solve on
+// every flow open/close (shares here are equal-split, not max-min).
 #pragma once
 
 #include <chrono>
@@ -95,7 +98,12 @@ class RealtimeHost final : public ISchedulerHost {
   [[nodiscard]] const IntervalSet& remainingOf(JobId id) const override;
   [[nodiscard]] bool jobDone(JobId id) const override;
   [[nodiscard]] std::size_t jobsInSystem() const override;
-  void startRun(NodeId node, Subjob sj, RunOptions opts = {}) override;
+  void startRun(NodeId node, Subjob sj, AccessPlan plan = {}) override;
+  using ISchedulerHost::startRun;  // keep the deprecated RunOptions shim visible
+  /// Cache-warming transfer (see ISchedulerHost::prefetch). Counts as one
+  /// network stream while in flight (open runs are re-priced around it);
+  /// the warmed extents land in `dst`'s cache when it completes.
+  void prefetch(NodeId dst, EventRange range, AccessPlan plan = {}) override;
   Subjob preempt(NodeId node) override;
   TimerId scheduleTimer(SimTime at) override;
   void cancelTimer(TimerId id) override;
@@ -113,6 +121,12 @@ class RealtimeHost final : public ISchedulerHost {
   /// of cache and contention state. Thread-safe.
   [[nodiscard]] std::vector<PlacementCandidate> rankPlacements(NodeId dst,
                                                                EventRange range) override;
+  /// Shared access planner (see ISchedulerHost::planAccess), under the host
+  /// lock for one consistent snapshot. Thread-safe.
+  [[nodiscard]] std::vector<AccessPlan> planAccess(NodeId dst, EventRange range,
+                                                   AccessGoal goal = {}) override;
+  /// Equal-share bulk-copy rate (see ISchedulerHost). Thread-safe.
+  [[nodiscard]] double estimatedTransferBytesPerSec(NodeId dst, NodeId src) const override;
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -126,14 +140,18 @@ class RealtimeHost final : public ISchedulerHost {
 
   struct Assignment {
     Subjob subjob;
-    RunOptions opts;
-    std::vector<PlanPiece> plan;
+    AccessPlan access;
+    std::vector<PlanPiece> pieces;
     double durationSimSec = 0.0;
     SimTime startedAt = 0.0;
     std::uint64_t generation = 0;
     /// The plan has remote/tertiary pieces priced against the network
     /// (counts towards activeNetRuns_ until the run ends).
     bool usesNetwork = false;
+    /// Re-pricing fold point: events completed before `foldTime` at the
+    /// rates then in effect; the current piece rates apply from foldTime on.
+    std::uint64_t foldedEvents = 0;
+    SimTime foldTime = 0.0;
   };
 
   struct JobState {
@@ -159,13 +177,20 @@ class RealtimeHost final : public ISchedulerHost {
   void handleCompletion(NodeId node, std::uint64_t generation);
   void applyProgress(NodeId node, Assignment& assignment, std::uint64_t eventsDone);
   [[nodiscard]] std::vector<PlanPiece> planRun(NodeId node, const Subjob& sj,
-                                               const RunOptions& opts) const;
-  /// Static-share network rate for one more `src` stream into `node`
-  /// joining the currently active network runs (lock held). Remote reads
-  /// pay the uplink share only when `remoteFrom` sits on another edge
-  /// switch (same-switch flows never cross an uplink).
-  [[nodiscard]] double staticNetBytesPerSec(DataSource src, NodeId node,
-                                            NodeId remoteFrom) const;
+                                               const AccessPlan& access) const;
+  /// Equal-share network rate for a `src` stream into `node` when `streams`
+  /// streams share the constrained links (lock held). Remote reads pay the
+  /// uplink share only when `remoteFrom` sits on another edge switch
+  /// (same-switch flows never cross an uplink).
+  [[nodiscard]] double staticNetBytesPerSec(DataSource src, NodeId node, NodeId remoteFrom,
+                                            int streams) const;
+  /// Sim sec/event of a network-priced piece at `streams` sharers (lock held).
+  [[nodiscard]] double networkPieceRate(DataSource src, NodeId node, NodeId remoteFrom,
+                                        int streams) const;
+  /// A network stream opened or closed: fold every open network run's
+  /// progress at its old rates and re-rate the remainder at the current
+  /// stream count, resetting the executor's deadline (lock held).
+  void repriceOpenRuns();
   /// Drop a finished/killed assignment's network-run count (lock held).
   void releaseNetRun(const Assignment& assignment);
   [[nodiscard]] std::uint64_t eventsDoneByNow(const Assignment& assignment) const;

@@ -19,6 +19,7 @@ DelayedScheduler::DelayedScheduler(DelayedParams params,
 void DelayedScheduler::bind(ISchedulerHost& host) {
   ISchedulerPolicy::bind(host);
   nodeQueues_.assign(static_cast<std::size_t>(host.numNodes()), {});
+  warmed_.assign(static_cast<std::size_t>(host.numNodes()), {});
 }
 
 void DelayedScheduler::noteArrivalForLoad(SimTime t) {
@@ -42,6 +43,7 @@ void DelayedScheduler::onJobArrival(const Job& job) {
   noteArrivalForLoad(job.arrival);
   if (timerActive_) {
     accumulating_.push_back(job);
+    maybePrefetch(job);
     return;
   }
   // Between periods: ask the controller how long the next period should be.
@@ -60,6 +62,58 @@ void DelayedScheduler::onJobArrival(const Job& job) {
     at = std::max(host().now(), k * currentPeriod_);
   }
   host().scheduleTimer(at);
+  // A fresh accumulation window opened: forget the previous window's
+  // warming bookkeeping (delivered extents live in the caches now, so
+  // splitByCaches sees them anyway) and warm the first arrival.
+  periodEnd_ = at;
+  for (IntervalSet& w : warmed_) w.clear();
+  maybePrefetch(job);
+}
+
+void DelayedScheduler::maybePrefetch(const Job& job) {
+  if (!params_.prefetch) return;
+  const SimConfig& cfg = host().config();
+  // The reference for a "cheap window": the uncontended tertiary transfer.
+  const double uncontended = cfg.cost.bytesPerEvent / cfg.cost.tertiaryBytesPerSec;
+  for (const PlacedSubjob& piece :
+       splitByCaches(job, host().cluster(), cfg.minSubjobEvents)) {
+    if (piece.cached()) continue;  // dispatches to its caching node anyway
+    // Skip extents some warming transfer already covers this window,
+    // whichever node it targets.
+    IntervalSet todo{piece.subjob.range};
+    for (const IntervalSet& w : warmed_) todo.erase(w);
+    if (todo.empty()) continue;
+    // Warm in stripe-sized chunks, round-robining the landing node per
+    // chunk: dispatch will stripe this cold range across the cluster the
+    // same way, and warming a whole job onto one node would serialize a
+    // range that plain delayed scheduling processes in parallel.
+    for (const EventRange& r : todo.intervals()) {
+      for (EventIndex lo = r.begin; lo < r.end; lo += params_.stripeEvents) {
+        const EventRange chunk{lo, std::min(r.end, lo + params_.stripeEvents)};
+        NodeId dst = kNoNode;
+        const int n = host().numNodes();
+        for (int i = 0; i < n; ++i) {
+          const NodeId cand = static_cast<NodeId>((prefetchRover_ + i) % n);
+          if (host().isUp(cand)) {
+            dst = cand;
+            prefetchRover_ = cand + 1;
+            break;
+          }
+        }
+        if (dst == kNoNode) return;  // whole cluster down
+        AccessGoal goal;
+        goal.intent = AccessGoal::Intent::Prefetch;
+        goal.deadline = periodEnd_;
+        const AccessPlan best = host().planAccess(dst, chunk, goal).front();
+        // Only warm through cheap ingress windows: when even the planner's
+        // cheapest transfer is congested past the gate, warming now would
+        // fight the traffic it is meant to avoid.
+        if (best.secPerEvent > params_.prefetchMaxCostFactor * uncontended) continue;
+        host().prefetch(dst, chunk, best);
+        warmed_[static_cast<std::size_t>(dst)].insert(chunk);
+      }
+    }
+  }
 }
 
 void DelayedScheduler::onTimer(TimerId) {
@@ -107,8 +161,28 @@ void DelayedScheduler::feedNode(NodeId node) {
     return;
   }
   if (!metaQueue_.empty()) {
-    MetaSubjob meta = std::move(metaQueue_.front());
-    metaQueue_.pop_front();
+    auto pick = metaQueue_.begin();
+    if (params_.prefetch) {
+      // Prefer a meta-subjob whose stripe was warmed towards this node:
+      // matching warmed data to its landing node preserves the "fetch
+      // once" property for transfers still in flight at dispatch.
+      for (auto it = metaQueue_.begin(); it != metaQueue_.end(); ++it) {
+        const auto& mine = warmed_[static_cast<std::size_t>(node)];
+        bool warmedHere = false;
+        for (const Subjob& sj : it->subjobs) {
+          if (!mine.intersectWith(sj.range).empty()) {
+            warmedHere = true;
+            break;
+          }
+        }
+        if (warmedHere) {
+          pick = it;
+          break;
+        }
+      }
+    }
+    MetaSubjob meta = std::move(*pick);
+    metaQueue_.erase(pick);
     // All subjobs of the meta run on this node: the first fetches the
     // stripe from tertiary storage, the rest hit the local cache.
     for (const Subjob& sj : meta.subjobs) own.push_back(sj);

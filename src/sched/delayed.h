@@ -60,6 +60,15 @@ struct DelayedParams {
   /// — same steady-state behaviour, fewer idle timer events, and the mode
   /// the adaptive controller needs (periods of varying length).
   bool alignPeriodsToGrid = false;
+  /// Prefetching variant: during the accumulation window, ask the host's
+  /// access planner for cheap ingress windows and issue cache-warming
+  /// transfers for accumulated uncached data, so stripes are already local
+  /// when the period ends and the batch dispatches.
+  bool prefetch = false;
+  /// Warm only through cheap windows: skip a transfer whose planned cost
+  /// exceeds this multiple of the uncontended tertiary transfer (the
+  /// ingress is busy; warming now would fight the traffic it should avoid).
+  double prefetchMaxCostFactor = 1.5;
 };
 
 class DelayedScheduler final : public ISchedulerPolicy {
@@ -88,6 +97,9 @@ class DelayedScheduler final : public ISchedulerPolicy {
   void scheduleBatch(const std::vector<Job>& jobs);
   void feedNode(NodeId node);
   void noteArrivalForLoad(SimTime t);
+  /// Prefetch variant: warm an accumulated job's uncached data into caches
+  /// through planner-approved cheap windows (no-op unless params_.prefetch).
+  void maybePrefetch(const Job& job);
 
   DelayedParams params_;
   std::unique_ptr<DelayController> controller_;
@@ -99,6 +111,11 @@ class DelayedScheduler final : public ISchedulerPolicy {
   bool timerActive_ = false;
   Duration currentPeriod_ = 0.0;
   std::deque<SimTime> recentArrivals_;
+  /// Per-node extents handed to prefetch() this window (dedup + dispatch
+  /// preference); cleared when a new accumulation window starts.
+  std::vector<IntervalSet> warmed_;
+  int prefetchRover_ = 0;  ///< round-robin cursor over landing nodes
+  SimTime periodEnd_ = 0.0;  ///< deadline passed to the planner
 };
 
 }  // namespace ppsched

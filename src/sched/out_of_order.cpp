@@ -29,10 +29,10 @@ std::size_t OutOfOrderScheduler::nodeQueueSize(NodeId node) const {
       .size();
 }
 
-RunOptions OutOfOrderScheduler::optionsFor(NodeId, const Subjob&) { return {}; }
+AccessPlan OutOfOrderScheduler::planFor(NodeId, const Subjob&) { return {}; }
 
 void OutOfOrderScheduler::start(NodeId node, const Subjob& sj) {
-  host().startRun(node, sj, optionsFor(node, sj));
+  host().startRun(node, sj, planFor(node, sj));
 }
 
 std::uint64_t OutOfOrderScheduler::cachedOnNode(NodeId node, EventRange r) const {

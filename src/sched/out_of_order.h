@@ -43,8 +43,9 @@ class OutOfOrderScheduler : public ISchedulerPolicy {
   [[nodiscard]] std::uint64_t promotions() const { return promotions_; }
 
  protected:
-  /// Hook for the replication variant (§4.2): per-run options.
-  virtual RunOptions optionsFor(NodeId node, const Subjob& sj);
+  /// Hook for the replication variant (§4.2): how a run should access its
+  /// data. The base policy always reads locally/from tertiary (empty plan).
+  virtual AccessPlan planFor(NodeId node, const Subjob& sj);
 
  private:
   void start(NodeId node, const Subjob& sj);

@@ -1,81 +1,47 @@
 #include "sched/replication.h"
 
-#include <algorithm>
-
 namespace ppsched {
 
-double ReplicationScheduler::uncontendedRemoteSecPerEvent(NodeId node,
-                                                          bool crossSwitch) const {
-  const SimConfig& cfg = host().config();
-  double cpu = cfg.cost.cpuSecPerEvent;
-  if (!cfg.nodeSpeedFactors.empty()) {
-    cpu /= cfg.nodeSpeedFactors[static_cast<std::size_t>(node)];
-  }
-  double bps = std::min(cfg.cost.remoteBytesPerSec, cfg.network.nicBytesPerSec);
-  // The uncontended cost of the *chosen path*: a cross-switch read rides
-  // the uplink even on an idle network. Charging it here keeps the
-  // congestion gate a measure of sharing, not of topology — the topology
-  // preference already happened in the ranking.
-  if (crossSwitch && cfg.network.uplinkBytesPerSec > 0.0) {
-    bps = std::min(bps, cfg.network.uplinkBytesPerSec);
-  }
-  const double transfer = cfg.cost.bytesPerEvent / bps;
-  return cfg.cost.pipelined ? std::max(transfer, cpu) : transfer + cpu;
-}
-
-RunOptions ReplicationScheduler::optionsFor(NodeId node, const Subjob& sj) {
+AccessPlan ReplicationScheduler::planFor(NodeId node, const Subjob& sj) {
   // §4.2: remote reads happen when "a node is overloaded and other nodes
   // take work from it without having the corresponding data" — i.e. only
   // for stolen subjobs (yieldsToCached), not for any subjob that happens to
   // overlap another node's cache. This matches the paper's mechanism and
-  // keeps replication rare.
-  RunOptions opts;
-  if (!sj.yieldsToCached) return opts;
+  // keeps replication rare. The gate applies in every mode: the fixed
+  // strategy arms vary the access mechanism, not the scheduling rule.
+  if (!sj.yieldsToCached) return {};
 
-  if (host().config().network.enabled && params_.topologyAware) {
-    // Topology-aware placement: rank candidate serving nodes by the host's
-    // contention-aware cost feedback (same-switch sources win ties — their
-    // flows never cross an uplink) and take the cheapest one. By
-    // construction this is never worse than the raw cache-content pick.
-    const auto candidates = host().rankPlacements(node, sj.range);
-    if (candidates.empty()) return opts;
-    const PlacementCandidate& best = candidates.front();
-    const double tertiary = host().estimatedSecPerEvent(node, kNoNode, DataSource::Tertiary);
-    // Even the best source can lose to tertiary streaming when every path
-    // in is congested; reading remotely then only adds traffic.
-    if (best.secPerEvent >= tertiary) return opts;
-    opts.remoteFrom = best.source;
-    opts.replicationThreshold = params_.replicationThreshold;
-    // Congested path: keep the (still cheapest) remote read but withhold
-    // the replica copy — the copy would ride the same loaded links and
-    // amplify the congestion that made the path expensive.
-    if (params_.replicaCongestionFactor > 0.0 &&
-        best.secPerEvent > params_.replicaCongestionFactor *
-                               uncontendedRemoteSecPerEvent(node, !best.sameSwitch)) {
-      opts.replicationThreshold = 0;
+  switch (params_.mode) {
+    case Mode::NeverRemote:
+      return {};
+    case Mode::AlwaysRemote:
+    case Mode::AlwaysReplicate: {
+      // Fixed mechanism: take the cheapest ranked source unconditionally —
+      // no tertiary gate, no congestion gate. These arms exist to measure
+      // what the planner's gates are worth (bench/ext_strategy_matrix).
+      const auto candidates = host().rankPlacements(node, sj.range);
+      if (candidates.empty()) return {};
+      AccessPlan p;
+      p.source = DataSource::RemoteCache;
+      p.servingNode = candidates.front().source;
+      p.secPerEvent = candidates.front().secPerEvent;
+      p.cachedEvents = candidates.front().cachedEvents;
+      p.replicationThreshold = params_.mode == Mode::AlwaysReplicate ? 1 : 0;
+      return p;
     }
-    return opts;
+    case Mode::Planned:
+      break;
   }
 
-  // Network model off (or topology-awareness disabled): the paper's
-  // cache-content heuristic, bit-identical to the pre-topology policy.
-  const NodeId best = host().cluster().bestCacheNode(sj.range);
-  if (best != kNoNode && best != node) {
-    // With the network model on, check the host's contention-aware cost
-    // feedback: a remote read over congested links can be slower than
-    // streaming from tertiary storage, in which case reading remotely (and
-    // replicating on top of it) only adds traffic. The guard is inert when
-    // the model is disabled — the estimates then reduce to the static cost
-    // model, where remote reads always win.
-    if (host().config().network.enabled) {
-      const double remote = host().estimatedSecPerEvent(node, best, DataSource::RemoteCache);
-      const double tertiary = host().estimatedSecPerEvent(node, kNoNode, DataSource::Tertiary);
-      if (remote >= tertiary) return opts;
-    }
-    opts.remoteFrom = best;
-    opts.replicationThreshold = params_.replicationThreshold;
-  }
-  return opts;
+  // Planned: the host's access planner evaluates every viable strategy
+  // (ranked remote sources gated against tertiary streaming, congestion-
+  // gated replica copies, tertiary fallback) and returns them ranked;
+  // front() is the legacy §4.2 heuristic bit-for-bit (golden-pinned).
+  AccessGoal goal;
+  goal.replicationThreshold = params_.replicationThreshold;
+  goal.replicaCongestionFactor = params_.replicaCongestionFactor;
+  goal.topologyAware = params_.topologyAware;
+  return host().planAccess(node, sj.range, goal).front();
 }
 
 }  // namespace ppsched

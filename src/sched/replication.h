@@ -25,8 +25,19 @@ namespace ppsched {
 
 class ReplicationScheduler : public OutOfOrderScheduler {
  public:
+  /// How stolen subjobs access remote data. Planned delegates to the host's
+  /// access planner (the default); the fixed modes pin one mechanism for
+  /// strategy-matrix comparisons (bench/ext_strategy_matrix).
+  enum class Mode {
+    Planned,          ///< take planAccess().front() — contention-aware
+    AlwaysRemote,     ///< cheapest ranked source, never replicate
+    AlwaysReplicate,  ///< cheapest ranked source, replicate on first access
+    NeverRemote,      ///< local/tertiary only (no remote reads at all)
+  };
+
   struct Params {
     OutOfOrderScheduler::Params base;
+    Mode mode = Mode::Planned;
     /// Replicate on the Nth remote access (paper: 3). 0 disables
     /// replication but keeps remote reads.
     int replicationThreshold = 3;
@@ -50,14 +61,9 @@ class ReplicationScheduler : public OutOfOrderScheduler {
   [[nodiscard]] std::string name() const override { return "replication"; }
 
  protected:
-  RunOptions optionsFor(NodeId node, const Subjob& sj) override;
+  AccessPlan planFor(NodeId node, const Subjob& sj) override;
 
  private:
-  /// Remote-read cost on an idle network: the transfer at the serving
-  /// disk's full rate (capped by the NIC, and by the uplink for a
-  /// cross-switch path), folded with `node`'s CPU burst.
-  [[nodiscard]] double uncontendedRemoteSecPerEvent(NodeId node, bool crossSwitch) const;
-
   Params params_;
 };
 

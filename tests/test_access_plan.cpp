@@ -1,0 +1,310 @@
+// The access-plan API (core/host.h): planAccess ranking properties, the
+// RunOptions shim's bit-identity with explicit plans, and prefetch
+// end-to-end (warmed caches are local at dispatch).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/engine.h"
+#include "core/experiment.h"
+#include "core/registry.h"
+#include "runtime/realtime_host.h"
+#include "test_support.h"
+
+namespace ppsched {
+namespace {
+
+using testing::Harness;
+using testing::tinyConfig;
+using testing::whole;
+
+// --- shim vs plan bit-identity ---------------------------------------------
+
+struct ShimRun {
+  SimTime endedAt = 0.0;
+  double processing = 0.0;
+  std::uint64_t replicatedEvents = 0;
+  double avgSpeedup = 0.0;
+};
+
+template <typename Dispatch>
+ShimRun runOnce(bool network, Dispatch dispatch) {
+  SimConfig cfg = tinyConfig(3, 100'000, 10'000);
+  if (network) {
+    cfg.network.enabled = true;
+    cfg.network.nicBytesPerSec = 6e6;
+    cfg.network.nodesPerSwitch = 2;
+    cfg.network.uplinkBytesPerSec = 2e6;
+    cfg.finalize();
+  }
+  Harness h(cfg, {{0, 0.0, {0, 2000}}});
+  h.engine->cluster().node(2).cache().insert({0, 2000}, 0.0);
+  h.policy->arrivalHook = [&](const Job& j) { dispatch(*h.engine, j); };
+  h.engine->run({});
+  const RunResult r = h.metrics.finalize(h.engine->now());
+  return {h.engine->now(), h.metrics.record(0).processingTime(), r.replicatedEvents,
+          r.avgSpeedup};
+}
+
+void expectShimMatchesPlan(bool network) {
+  const ShimRun shim = runOnce(network, [](Engine& e, const Job& j) {
+    e.startRun(1, whole(j), RunOptions{.remoteFrom = 2, .replicationThreshold = 1});
+  });
+  const ShimRun plan = runOnce(network, [](Engine& e, const Job& j) {
+    AccessPlan p;
+    p.source = DataSource::RemoteCache;
+    p.servingNode = 2;
+    p.replicationThreshold = 1;
+    e.startRun(1, whole(j), p);
+  });
+  // Bit-identical, not approximately equal: the shim is a pure rewrite.
+  EXPECT_EQ(shim.endedAt, plan.endedAt);
+  EXPECT_EQ(shim.processing, plan.processing);
+  EXPECT_EQ(shim.replicatedEvents, plan.replicatedEvents);
+  EXPECT_EQ(shim.avgSpeedup, plan.avgSpeedup);
+  EXPECT_GT(shim.replicatedEvents, 0u);  // the scenario exercised replication
+}
+
+TEST(AccessPlanShim, BitIdenticalToExplicitPlan) { expectShimMatchesPlan(false); }
+
+TEST(AccessPlanShim, BitIdenticalToExplicitPlanWithNetworkModel) {
+  expectShimMatchesPlan(true);
+}
+
+TEST(AccessPlanShim, DefaultPlanEqualsDefaultOptions) {
+  const ShimRun opts = runOnce(false, [](Engine& e, const Job& j) {
+    e.startRun(1, whole(j), RunOptions{});
+  });
+  const ShimRun plan = runOnce(false, [](Engine& e, const Job& j) {
+    e.startRun(1, whole(j));  // default AccessPlan
+  });
+  EXPECT_EQ(opts.endedAt, plan.endedAt);
+  EXPECT_EQ(opts.replicatedEvents, 0u);
+}
+
+// --- planAccess properties --------------------------------------------------
+
+TEST(PlanAccess, RandomizedRankingProperties) {
+  std::mt19937 rng(20260809);
+  for (int iter = 0; iter < 60; ++iter) {
+    const int machines = 2 + static_cast<int>(rng() % 5);
+    SimConfig cfg = tinyConfig(machines, 100'000, 20'000);
+    cfg.cpusPerNode = 1 + static_cast<int>(rng() % 2);
+    cfg.network.enabled = true;
+    cfg.network.nicBytesPerSec = 6e6;
+    cfg.network.nodesPerSwitch = 2;
+    const double uplinks[] = {0.0, 2e6, 5e6};
+    cfg.network.uplinkBytesPerSec = uplinks[rng() % 3];
+    cfg.finalize();
+    Harness h(cfg, {});
+    Cluster& cl = h.engine->cluster();
+    const int slots = cfg.totalCpus();
+    // Random cache contents.
+    for (int n = 0; n < slots; ++n) {
+      const int extents = static_cast<int>(rng() % 3);
+      for (int e = 0; e < extents; ++e) {
+        const std::uint64_t lo = rng() % 90'000;
+        cl.node(n).cache().insert({lo, lo + 1 + rng() % 9'000}, 0.0);
+      }
+    }
+    // Maybe take one machine down.
+    if (rng() % 2 == 0) h.engine->failNode(static_cast<NodeId>(rng() % slots));
+    NodeId dst = static_cast<NodeId>(rng() % slots);
+    if (!cl.node(dst).isUp()) continue;  // planning for a dead CPU is moot
+    const std::uint64_t lo = rng() % 80'000;
+    const EventRange range{lo, lo + 1 + rng() % 15'000};
+
+    AccessGoal goal;
+    goal.replicationThreshold = 3;
+    goal.replicaCongestionFactor = 1.5;
+    const std::vector<AccessPlan> plans = h.engine->planAccess(dst, range, goal);
+
+    // Never empty; the last plan is always the tertiary fallback.
+    ASSERT_FALSE(plans.empty());
+    EXPECT_EQ(plans.back().source, DataSource::Tertiary);
+    EXPECT_EQ(plans.back().servingNode, kNoNode);
+
+    // Deterministic for fixed state: a second call returns the same list.
+    const std::vector<AccessPlan> again = h.engine->planAccess(dst, range, goal);
+    ASSERT_EQ(plans.size(), again.size());
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      EXPECT_EQ(plans[i].source, again[i].source);
+      EXPECT_EQ(plans[i].servingNode, again[i].servingNode);
+      EXPECT_EQ(plans[i].replicationThreshold, again[i].replicationThreshold);
+      EXPECT_EQ(plans[i].secPerEvent, again[i].secPerEvent);
+      EXPECT_EQ(plans[i].cachedEvents, again[i].cachedEvents);
+    }
+
+    // Ranked cheapest-first, and the front never loses to any single
+    // mechanism: tertiary streaming or any viable remote source.
+    for (std::size_t i = 0; i + 1 < plans.size(); ++i) {
+      EXPECT_LE(plans[i].secPerEvent, plans[i + 1].secPerEvent);
+    }
+    const double tertiarySec =
+        h.engine->estimatedSecPerEvent(dst, kNoNode, DataSource::Tertiary);
+    EXPECT_LE(plans.front().secPerEvent, tertiarySec);
+    for (NodeId n = 0; n < slots; ++n) {
+      if (n == dst || !cl.node(n).isUp()) continue;
+      if (cl.node(n).sharesCacheWith(cl.node(dst))) continue;
+      if (cl.cachedOn(n, range).empty()) continue;
+      EXPECT_LE(plans.front().secPerEvent,
+                h.engine->estimatedSecPerEvent(dst, n, DataSource::RemoteCache));
+    }
+
+    // Remote plans only name viable serving nodes: up, not dst, not a
+    // machine sibling (their cache is local content), actually caching
+    // part of the range.
+    for (const AccessPlan& p : plans) {
+      if (p.source != DataSource::RemoteCache) continue;
+      ASSERT_NE(p.servingNode, kNoNode);
+      EXPECT_NE(p.servingNode, dst);
+      EXPECT_TRUE(cl.node(p.servingNode).isUp());
+      EXPECT_FALSE(cl.node(p.servingNode).sharesCacheWith(cl.node(dst)));
+      EXPECT_GT(p.cachedEvents, 0u);
+      EXPECT_EQ(p.cachedEvents, cl.cachedOn(p.servingNode, range).size());
+    }
+  }
+}
+
+TEST(PlanAccess, NetOffFrontMatchesLegacyCacheHeuristic) {
+  SimConfig cfg = tinyConfig(4, 100'000, 20'000);
+  Harness h(cfg, {});
+  Cluster& cl = h.engine->cluster();
+  cl.node(2).cache().insert({0, 5000}, 0.0);
+  cl.node(3).cache().insert({0, 2000}, 0.0);
+  AccessGoal goal;
+  goal.replicationThreshold = 3;
+  const auto plans = h.engine->planAccess(0, {0, 5000}, goal);
+  ASSERT_GE(plans.size(), 2u);
+  EXPECT_EQ(plans.front().source, DataSource::RemoteCache);
+  EXPECT_EQ(plans.front().servingNode, cl.bestCacheNode({0, 5000}));
+  EXPECT_EQ(plans.front().replicationThreshold, 3);
+  // When dst itself holds the most content there is no remote plan.
+  cl.node(0).cache().insert({0, 6000}, 0.0);
+  const auto local = h.engine->planAccess(0, {0, 5000}, goal);
+  ASSERT_EQ(local.size(), 1u);
+  EXPECT_EQ(local.front().source, DataSource::Tertiary);
+}
+
+TEST(PlanAccess, PrefetchIntentRanksByPureTransferCost) {
+  SimConfig cfg = tinyConfig(4, 100'000, 20'000);
+  cfg.network.enabled = true;
+  cfg.network.nicBytesPerSec = 6e6;
+  cfg.network.nodesPerSwitch = 2;
+  cfg.network.uplinkBytesPerSec = 2e6;
+  cfg.finalize();
+  Harness h(cfg, {});
+  h.engine->cluster().node(1).cache().insert({0, 4000}, 0.0);  // same switch as 0
+  h.engine->cluster().node(3).cache().insert({0, 4000}, 0.0);  // across the uplink
+  AccessGoal goal;
+  goal.intent = AccessGoal::Intent::Prefetch;
+  goal.deadline = 1234.5;
+  const auto plans = h.engine->planAccess(0, {0, 4000}, goal);
+  ASSERT_EQ(plans.size(), 3u);
+  // Same-switch source at the 6 MB/s NIC beats the 2 MB/s uplink path and
+  // the 1 MB/s tertiary stream; no CPU cost folded anywhere.
+  EXPECT_EQ(plans[0].servingNode, 1);
+  EXPECT_DOUBLE_EQ(plans[0].secPerEvent, 0.1);
+  EXPECT_EQ(plans[1].servingNode, 3);
+  EXPECT_DOUBLE_EQ(plans[1].secPerEvent, 0.3);
+  EXPECT_EQ(plans[2].source, DataSource::Tertiary);
+  EXPECT_DOUBLE_EQ(plans[2].secPerEvent, 0.6);
+  for (const AccessPlan& p : plans) EXPECT_DOUBLE_EQ(p.prefetchDeadline, 1234.5);
+}
+
+// --- prefetch end-to-end ----------------------------------------------------
+
+TEST(Prefetch, WarmedCacheIsLocalAtDispatch) {
+  SimConfig cfg = tinyConfig(2, 100'000, 10'000);
+  Harness h(cfg, {{0, 2000.0, {0, 1000}}});
+  h.engine->at(0.0, [&] { h.engine->prefetch(0, {0, 1000}); });
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(0, whole(j)); };
+  h.engine->run({});
+  // The warming transfer (1000 x 0.6 s tertiary) finished by t = 600, long
+  // before the job arrives: the run reads its whole range locally (0.26
+  // s/event) instead of streaming from tertiary (0.8 s/event).
+  EXPECT_TRUE(h.engine->cluster().node(0).cache().containsRange({0, 1000}));
+  EXPECT_DOUBLE_EQ(h.metrics.record(0).processingTime(), 260.0);
+  const RunResult r = h.metrics.finalize(h.engine->now());
+  EXPECT_EQ(r.prefetchedEvents, 1000u);
+  EXPECT_GE(r.prefetchOps, 1u);
+}
+
+TEST(Prefetch, RemotePlanCopiesFromServingNode) {
+  SimConfig cfg = tinyConfig(2, 100'000, 10'000);
+  cfg.network.enabled = true;
+  cfg.network.nicBytesPerSec = 6e6;
+  cfg.finalize();
+  Harness h(cfg, {});
+  h.engine->cluster().node(0).cache().insert({0, 2000}, 0.0);
+  AccessPlan plan;
+  plan.source = DataSource::RemoteCache;
+  plan.servingNode = 0;
+  h.engine->at(0.0, [&] { h.engine->prefetch(1, {0, 2000}, plan); });
+  h.engine->run({});
+  EXPECT_TRUE(h.engine->cluster().node(1).cache().containsRange({0, 2000}));
+  const RunResult r = h.metrics.finalize(h.engine->now());
+  EXPECT_EQ(r.prefetchedEvents, 2000u);
+}
+
+TEST(Prefetch, DelayedVariantBeatsPlainDelayedOnColdCaches) {
+  // The strategy-matrix headline in miniature: from empty caches, warming
+  // stripes during the accumulation window raises the hit rate and the
+  // speedup over plain delayed scheduling.
+  auto run = [](const char* policy) {
+    ExperimentSpec spec;
+    spec.policyName = policy;
+    spec.policyParams.periodDelay = 6 * units::hour;
+    spec.sim.numNodes = 10;
+    spec.sim.network.enabled = true;
+    spec.sim.network.nicBytesPerSec = 125e6;
+    spec.sim.network.nodesPerSwitch = 5;
+    spec.sim.network.uplinkBytesPerSec = 12.5e6;
+    spec.sim.finalize();
+    spec.jobsPerHour = 0.9;
+    spec.warmupJobs = 0;  // cold: measure from the first job
+    spec.measuredJobs = 100;
+    spec.maxJobsInSystem = 200;
+    return runExperiment(spec);
+  };
+  const RunResult plain = run("delayed");
+  const RunResult warmed = run("prefetch_delayed");
+  ASSERT_FALSE(plain.overloaded);
+  ASSERT_FALSE(warmed.overloaded);
+  EXPECT_GT(warmed.cacheHitFraction, plain.cacheHitFraction + 0.1);
+  EXPECT_GT(warmed.avgSpeedup, plain.avgSpeedup);
+  EXPECT_GT(warmed.prefetchedEvents, 0u);
+  EXPECT_EQ(plain.prefetchedEvents, 0u);
+}
+
+// --- wall-clock host re-pricing ---------------------------------------------
+
+TEST(RealtimeReprice, OpenStreamsSlowWhenASecondOpens) {
+  // Two 1000-event tertiary jobs sharing a 1 MB/s ingress. The first run is
+  // priced alone (0.8 s/event) but must be re-priced to the half share
+  // (1.2 s transfer + 0.2 s CPU) once the second opens; with the old
+  // static pricing it would finish at ~800 simulated seconds.
+  SimConfig cfg = tinyConfig(2, 1'000'000, 50'000);
+  cfg.network.enabled = true;
+  cfg.network.tertiaryIngressBytesPerSec = 1e6;
+  cfg.finalize();
+  MetricsCollector m(cfg.cost, {0, 0.0});
+  RealtimeOptions opt;
+  opt.timeScale = 100'000.0;  // 1400 sim s ~= 14 wall ms
+  RealtimeHost host(cfg, makePolicy("farm"), m, opt);
+  const JobId a = host.submit({0, 1000});
+  const JobId b = host.submit({500'000, 501'000});
+  ASSERT_TRUE(host.drain(std::chrono::milliseconds(10'000)));
+  EXPECT_TRUE(host.jobDone(a));
+  EXPECT_TRUE(host.jobDone(b));
+  // Both runs overlapped for essentially their whole duration, so both
+  // reflect the shared rate. Lower bounds discriminate against the old
+  // price-once behaviour; upper bounds are loose (OS jitter).
+  for (const JobId id : {a, b}) {
+    EXPECT_GT(m.record(id).processingTime(), 1400.0 * 0.85) << "job " << id;
+    EXPECT_LT(m.record(id).processingTime(), 1400.0 * 2.0) << "job " << id;
+  }
+}
+
+}  // namespace
+}  // namespace ppsched

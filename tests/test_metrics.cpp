@@ -28,7 +28,9 @@ TEST(Metrics, JobLifecycle) {
 }
 
 TEST(Metrics, SpeedupUsesPerJobReference) {
-  MetricsCollector m(CostModel{}, {0, 0.0});
+  CostModel serial;
+  serial.pipelined = false;  // paper reference: 0.8 s/event uncached
+  MetricsCollector m(serial, {0, 0.0});
   m.onArrival(mkJob(0, 0.0, 1000), 0.0);  // reference: 1000 * 0.8 = 800 s
   m.onFirstStart(0, 0.0);
   m.onCompletion(0, 400.0);  // processing 400 s -> speedup 2

@@ -18,6 +18,7 @@ SimConfig smpConfig(int machines, int cpus, std::uint64_t cacheEvents) {
   cfg.cacheBytesPerNode = cacheEvents * 600'000ULL;
   cfg.workload.hotRegions.clear();
   cfg.workload.hotProbability = 0.0;
+  cfg.cost.pipelined = false;  // the paper's serial model (timing expectations)
   cfg.finalize();
   return cfg;
 }

@@ -126,7 +126,7 @@ TEST(Replication, UncongestedNetworkKeepsRemoteReads) {
 /// Exposes the protected placement decision for direct unit testing.
 struct ProbePolicy : ReplicationScheduler {
   using ReplicationScheduler::ReplicationScheduler;
-  RunOptions probe(NodeId node, const Subjob& sj) { return optionsFor(node, sj); }
+  AccessPlan probe(NodeId node, const Subjob& sj) { return planFor(node, sj); }
 };
 
 Subjob stolen(EventRange r) {
@@ -158,15 +158,15 @@ TEST(ReplicationTopology, PicksCheapestServerNotLargestCache) {
 
   ProbePolicy topo{ReplicationScheduler::Params{}};
   topo.bind(*h.engine);
-  const RunOptions opts = topo.probe(0, stolen({0, 4000}));
-  EXPECT_EQ(opts.remoteFrom, 1);
-  EXPECT_EQ(opts.replicationThreshold, 3);
+  const AccessPlan plan = topo.probe(0, stolen({0, 4000}));
+  EXPECT_EQ(plan.servingNode, 1);
+  EXPECT_EQ(plan.replicationThreshold, 3);
 
   ReplicationScheduler::Params cacheOnly;
   cacheOnly.topologyAware = false;
   ProbePolicy legacy{cacheOnly};
   legacy.bind(*h.engine);
-  EXPECT_EQ(legacy.probe(0, stolen({0, 4000})).remoteFrom, 3);
+  EXPECT_EQ(legacy.probe(0, stolen({0, 4000})).servingNode, 3);
 }
 
 TEST(ReplicationTopology, SkipsRemoteWhenEveryPathLosesToTertiary) {
@@ -178,7 +178,7 @@ TEST(ReplicationTopology, SkipsRemoteWhenEveryPathLosesToTertiary) {
   h.engine->cluster().node(1).cache().insert({0, 4000}, 0.0);
   ProbePolicy topo{ReplicationScheduler::Params{}};
   topo.bind(*h.engine);
-  EXPECT_EQ(topo.probe(0, stolen({0, 4000})).remoteFrom, kNoNode);
+  EXPECT_EQ(topo.probe(0, stolen({0, 4000})).servingNode, kNoNode);
 }
 
 TEST(ReplicationTopology, CongestedPathWithholdsReplicaCopy) {
@@ -201,15 +201,15 @@ TEST(ReplicationTopology, CongestedPathWithholdsReplicaCopy) {
 
   // Idle uplink: the cross-switch read from node 3 costs 0.44 s/event —
   // exactly the path's uncontended cost — and the copy is allowed.
-  const RunOptions idle = topo.probe(0, stolen({0, 4000}));
-  EXPECT_EQ(idle.remoteFrom, 3);
+  const AccessPlan idle = topo.probe(0, stolen({0, 4000}));
+  EXPECT_EQ(idle.servingNode, 3);
   EXPECT_EQ(idle.replicationThreshold, 3);
 
   h.policy->arrivalHook = [&](const Job& j) {
     h.engine->startRun(1, testing::whole(j), {.remoteFrom = 2});
   };
-  RunOptions contended;
-  RunOptions sameSwitch;
+  AccessPlan contended;
+  AccessPlan sameSwitch;
   h.policy->timerHook = [&](TimerId) {
     contended = topo.probe(0, stolen({0, 4000}));
     sameSwitch = topo.probe(2, stolen({0, 4000}));
@@ -221,12 +221,12 @@ TEST(ReplicationTopology, CongestedPathWithholdsReplicaCopy) {
   // Shared uplinks halve the share: 0.68 s/event still beats tertiary
   // (0.8) so the read stays remote, but it exceeds 1.5x the uncontended
   // 0.44, so the replica copy is withheld to spare the loaded links.
-  EXPECT_EQ(contended.remoteFrom, 3);
+  EXPECT_EQ(contended.servingNode, 3);
   EXPECT_EQ(contended.replicationThreshold, 0);
 
   // The same source serves node 2 same-switch off the NICs alone: copy
   // allowed there even while the uplinks are saturated.
-  EXPECT_EQ(sameSwitch.remoteFrom, 3);
+  EXPECT_EQ(sameSwitch.servingNode, 3);
   EXPECT_EQ(sameSwitch.replicationThreshold, 3);
 }
 
@@ -237,7 +237,7 @@ TEST(ReplicationTopology, NonStolenSubjobNeverReadsRemotely) {
   topo.bind(*h.engine);
   Subjob sj = stolen({0, 4000});
   sj.yieldsToCached = false;
-  EXPECT_EQ(topo.probe(0, sj).remoteFrom, kNoNode);
+  EXPECT_EQ(topo.probe(0, sj).servingNode, kNoNode);
 }
 
 TEST(ReplicationTopology, DisabledNetworkFallsBackToCacheHeuristic) {
@@ -248,9 +248,9 @@ TEST(ReplicationTopology, DisabledNetworkFallsBackToCacheHeuristic) {
   h.engine->cluster().node(3).cache().insert({0, 4000}, 0.0);
   ProbePolicy topo{ReplicationScheduler::Params{}};
   topo.bind(*h.engine);
-  const RunOptions opts = topo.probe(0, stolen({0, 4000}));
-  EXPECT_EQ(opts.remoteFrom, 3);
-  EXPECT_EQ(opts.replicationThreshold, 3);
+  const AccessPlan plan = topo.probe(0, stolen({0, 4000}));
+  EXPECT_EQ(plan.servingNode, 3);
+  EXPECT_EQ(plan.replicationThreshold, 3);
 }
 
 TEST(ReplicationTopology, EndToEndServingStaysOffCongestedUplinks) {

@@ -74,6 +74,7 @@ inline SimConfig tinyConfig(int numNodes, std::uint64_t totalEvents,
   cfg.maxSpanEvents = maxSpan;
   cfg.workload.hotRegions.clear();
   cfg.workload.hotProbability = 0.0;
+  cfg.cost.pipelined = false;  // the paper's serial model (golden pins)
   cfg.finalize();
   return cfg;
 }
