@@ -1,20 +1,58 @@
 #include "core/experiment.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
+#include <fstream>
 #include <stdexcept>
 
 #include "core/engine.h"
 #include "sim/random.h"
+#include "workload/in2p3.h"
+#include "workload/trace.h"
 
 namespace ppsched {
+
+std::unique_ptr<JobSource> openTraceSource(const std::string& path, const SimConfig& cfg) {
+  // Peek at the first content line: IN2P3 logs lead with a header naming
+  // their columns (letters), ppsched traces with a numeric CSV row.
+  bool in2p3 = false;
+  {
+    std::ifstream probe(path);
+    if (!probe) throw std::runtime_error("trace: cannot open " + path);
+    std::string line;
+    while (std::getline(probe, line)) {
+      std::size_t i = 0;
+      while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+      if (i >= line.size() || line[i] == '#' || line[i] == '\r') continue;
+      in2p3 = std::isalpha(static_cast<unsigned char>(line[i])) != 0;
+      break;
+    }
+  }
+  if (in2p3) {
+    In2p3MapConfig map;
+    map.totalEvents = cfg.totalEvents();
+    map.secPerEventRef = cfg.cost.uncachedSecPerEvent();
+    map.minJobEvents = cfg.minSubjobEvents;
+    return std::make_unique<In2p3TraceReader>(path, map);
+  }
+  return std::make_unique<StreamingTraceSource>(path, /*renumber=*/true);
+}
 
 RunResult runExperiment(const ExperimentSpec& spec) {
   SimConfig cfg = spec.sim;
   cfg.workload.jobsPerHour = spec.jobsPerHour;
   cfg.finalize();
 
-  auto source = std::make_unique<WorkloadGenerator>(cfg.workload, spec.seed);
+  std::unique_ptr<JobSource> source;
+  if (spec.sourceFactory) {
+    source = spec.sourceFactory();
+    if (!source) throw std::invalid_argument("sourceFactory returned null");
+  } else if (!spec.tracePath.empty()) {
+    source = openTraceSource(spec.tracePath, cfg);
+  } else {
+    source = std::make_unique<WorkloadGenerator>(cfg.workload, spec.seed);
+  }
   auto policy = makePolicy(spec.policyName, spec.policyParams);
 
   WarmupConfig warmup;

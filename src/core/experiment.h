@@ -5,6 +5,8 @@
 // how the paper produces each point of Figs 2-7.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -13,6 +15,7 @@
 #include "core/metrics.h"
 #include "core/registry.h"
 #include "sim/thread_pool.h"
+#include "workload/generator.h"
 
 namespace ppsched {
 
@@ -23,6 +26,16 @@ struct ExperimentSpec {
   PolicyParams policyParams;
   double jobsPerHour = 1.0;
   std::uint64_t seed = 42;
+  /// Replay a trace file instead of the synthetic generator. The file is
+  /// streamed job by job (O(1) memory in the trace length); the format —
+  /// ppsched CSV (workload/trace.h) or IN2P3 batch records
+  /// (workload/in2p3.h) — is auto-detected from the first content line.
+  /// `jobsPerHour` is ignored: the trace dictates the arrivals.
+  std::string tracePath;
+  /// Fully custom job source (overrides tracePath and the generator): one
+  /// factory call per run, so sweeps/replications get independent sources.
+  /// The factory must be safe to call from worker threads.
+  std::function<std::unique_ptr<JobSource>()> sourceFactory;
   /// Steady state: ignore the first `warmupJobs` completions-by-id, measure
   /// the next `measuredJobs`.
   std::size_t warmupJobs = 300;
@@ -39,6 +52,14 @@ struct ExperimentSpec {
 
 /// Run one simulation to completion and aggregate its metrics.
 RunResult runExperiment(const ExperimentSpec& spec);
+
+/// Open a trace file as a streaming JobSource, auto-detecting the format:
+/// a header line naming columns (submit_time,user,...) selects the IN2P3
+/// batch-record reader, numeric CSV the ppsched trace format. Mapping
+/// parameters (data-space size, reference event cost, minimal job size)
+/// come from `cfg`, which must be finalized. Ids are renumbered densely so
+/// any well-formed trace can drive the engine.
+std::unique_ptr<JobSource> openTraceSource(const std::string& path, const SimConfig& cfg);
 
 struct LoadPoint {
   double jobsPerHour = 0.0;

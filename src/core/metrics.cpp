@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <stdexcept>
 
 namespace ppsched {
@@ -29,6 +30,7 @@ void MetricsCollector::onArrival(const Job& job, SimTime now) {
   }
   JobRecord rec;
   rec.id = job.id;
+  rec.user = job.user;
   rec.arrival = job.arrival;
   rec.events = job.events();
   records_.push_back(rec);
@@ -124,6 +126,47 @@ RunResult MetricsCollector::finalize(SimTime endTime, bool withHistogram) const 
     out.medianWait = waits.quantile(0.5);
     out.p95Wait = waits.quantile(0.95);
     out.maxWait = waits.max();
+  }
+
+  // Per-user fairness over the same measured window. Tagless jobs all fall
+  // into the kNoUser bucket, so untagged runs report one pseudo-user with
+  // fairness exactly 1.0 and every aggregate above is untouched.
+  {
+    struct Acc {
+      SampleSet waits;
+      std::uint64_t events = 0;
+    };
+    std::map<UserId, Acc> byUser;
+    for (const JobRecord& rec : records_) {
+      if (!rec.completed() || !measured(rec)) continue;
+      Acc& acc = byUser[rec.user];
+      acc.waits.add(rec.waitingTime());
+      acc.events += rec.events;
+    }
+    double sumX = 0.0, sumX2 = 0.0;
+    for (const auto& [user, acc] : byUser) {
+      const auto x = static_cast<double>(acc.events);
+      sumX += x;
+      sumX2 += x * x;
+    }
+    for (const auto& [user, acc] : byUser) {
+      UserStats us;
+      us.user = user;
+      us.jobs = acc.waits.count();
+      us.meanWait = acc.waits.mean();
+      us.p95Wait = acc.waits.quantile(0.95);
+      us.servedEvents = acc.events;
+      us.eventShare = sumX > 0.0 ? static_cast<double>(acc.events) / sumX : 0.0;
+      out.userStats.push_back(us);
+    }
+    std::sort(out.userStats.begin(), out.userStats.end(),
+              [](const UserStats& a, const UserStats& b) {
+                return a.servedEvents != b.servedEvents ? a.servedEvents > b.servedEvents
+                                                        : a.user < b.user;
+              });
+    out.userFairness = byUser.size() > 1 && sumX2 > 0.0
+                           ? (sumX * sumX) / (static_cast<double>(byUser.size()) * sumX2)
+                           : 1.0;
   }
 
   const std::uint64_t totalEvents = cachedEvents_ + remoteEvents_ + tertiaryEvents_;

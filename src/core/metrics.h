@@ -19,6 +19,7 @@ namespace ppsched {
 /// Lifecycle record of one job.
 struct JobRecord {
   JobId id = kNoJob;
+  UserId user = kNoUser;
   SimTime arrival = 0.0;
   SimTime firstStart = -1.0;  ///< start of processing of its first piece
   SimTime completion = -1.0;
@@ -39,6 +40,19 @@ struct JobRecord {
 struct WarmupConfig {
   std::size_t jobs = 200;   ///< ignore the first N arrived jobs
   Duration time = 0.0;      ///< additionally ignore jobs arriving before this
+};
+
+/// Per-user aggregates over the measured window (real traces tag jobs with
+/// the submitting user; Medernach's grid-workload analysis shows a few
+/// heavy users dominate arrivals, so fairness across users is a first-class
+/// result, not a footnote).
+struct UserStats {
+  UserId user = kNoUser;
+  std::size_t jobs = 0;          ///< measured completed jobs of this user
+  double meanWait = 0.0;         ///< seconds
+  double p95Wait = 0.0;          ///< seconds
+  std::uint64_t servedEvents = 0;
+  double eventShare = 0.0;       ///< servedEvents / all users' servedEvents
 };
 
 /// Aggregated results of one simulation run.
@@ -93,6 +107,16 @@ struct RunResult {
 
   /// Verdict combining the signals; set by finalize().
   bool overloaded = false;
+
+  /// Per-user breakdown, sorted by descending served-event share. Jobs
+  /// without a user tag aggregate under kNoUser; on fully tagless runs the
+  /// vector holds that single entry (and userFairness is exactly 1).
+  std::vector<UserStats> userStats;
+  /// Jain fairness index over per-user served events:
+  /// (sum x)^2 / (n * sum x^2), in (0, 1]; 1 = perfectly even shares, 1/n =
+  /// one user got everything. Exactly 1.0 for <= 1 user (incl. tagless
+  /// runs) so untagged experiments read as trivially fair.
+  double userFairness = 1.0;
 
   /// Waiting-time histogram (Fig 4), filled only when requested.
   std::vector<std::pair<double, std::uint64_t>> waitHistogram;  // (bucket lo sec, count)

@@ -1,0 +1,315 @@
+#include "workload/in2p3.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string_view>
+
+#include "sim/time.h"
+
+namespace ppsched {
+
+namespace {
+
+[[noreturn]] void failLine(const std::string& name, std::size_t line, const std::string& what) {
+  throw std::runtime_error("in2p3 trace " + name + ": line " + std::to_string(line) + ": " +
+                           what);
+}
+
+std::string_view trimmed(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r' || s.back() == '\n')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string> splitCsv(std::string_view line) {
+  std::vector<std::string> fields;
+  while (true) {
+    const std::size_t comma = line.find(',');
+    fields.emplace_back(trimmed(comma == std::string_view::npos ? line : line.substr(0, comma)));
+    if (comma == std::string_view::npos) break;
+    line = line.substr(comma + 1);
+  }
+  return fields;
+}
+
+double parseNumber(const std::string& name, std::size_t line, const std::string& field,
+                   const char* what) {
+  if (field.empty()) failLine(name, line, std::string("empty ") + what + " field");
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(field.c_str(), &end);
+  if (end == field.c_str() || *end != '\0') {
+    failLine(name, line, std::string("malformed ") + what + " field '" + field + "'");
+  }
+  if (!std::isfinite(v)) {
+    failLine(name, line, std::string(what) + " must be finite, got '" + field + "'");
+  }
+  return v;
+}
+
+std::uint64_t splitMix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t stableLabelHash(std::string_view label) {
+  // FNV-1a 64 then a SplitMix64 finalizer: cheap, platform-independent and
+  // well-mixed in the low bits (FNV alone is weak there).
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return splitMix64(h);
+}
+
+// --------------------------------------------------------------------------
+// In2p3TraceReader
+
+In2p3TraceReader::In2p3TraceReader(const std::string& path, In2p3MapConfig cfg)
+    : name_(path), cfg_(cfg) {
+  auto file = std::make_unique<std::ifstream>(path);
+  if (!*file) throw std::runtime_error("in2p3 trace: cannot open " + path);
+  in_ = std::move(file);
+  readHeader();
+}
+
+In2p3TraceReader::In2p3TraceReader(std::unique_ptr<std::istream> in, In2p3MapConfig cfg,
+                                   std::string name)
+    : in_(std::move(in)), name_(std::move(name)), cfg_(cfg) {
+  if (!in_) throw std::invalid_argument("In2p3TraceReader needs a stream");
+  readHeader();
+}
+
+void In2p3TraceReader::readHeader() {
+  if (cfg_.totalEvents == 0) throw std::invalid_argument("in2p3: totalEvents must be > 0");
+  if (cfg_.secPerEventRef <= 0.0) {
+    throw std::invalid_argument("in2p3: secPerEventRef must be > 0");
+  }
+  if (cfg_.minJobEvents == 0 || cfg_.minJobEvents > cfg_.totalEvents) {
+    throw std::invalid_argument("in2p3: minJobEvents out of range");
+  }
+  if (cfg_.groupSpanFraction <= 0.0 || cfg_.groupSpanFraction > 1.0) {
+    throw std::invalid_argument("in2p3: groupSpanFraction out of (0,1]");
+  }
+  std::string line;
+  while (std::getline(*in_, line)) {
+    ++lineNo_;
+    const std::string_view t = trimmed(line);
+    if (t.empty() || t.front() == '#') continue;
+    const std::vector<std::string> cols = splitCsv(t);
+    nCols_ = cols.size();
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      std::string c = cols[i];
+      std::transform(c.begin(), c.end(), c.begin(),
+                     [](unsigned char ch) { return static_cast<char>(std::tolower(ch)); });
+      const int idx = static_cast<int>(i);
+      if (c == "submit_time" || c == "submit") colSubmit_ = idx;
+      if (c == "user") colUser_ = idx;
+      if (c == "group") colGroup_ = idx;
+      if (c == "walltime_req" || c == "walltime") colWalltime_ = idx;
+    }
+    if (colSubmit_ < 0 || colUser_ < 0 || colWalltime_ < 0) {
+      failLine(name_, lineNo_,
+               "header must name submit_time, user and walltime_req columns (got '" +
+                   std::string(t) + "')");
+    }
+    return;
+  }
+  failLine(name_, lineNo_ + 1, "missing header line");
+}
+
+UserId In2p3TraceReader::internUser(const std::string& label) {
+  const auto [it, inserted] = users_.emplace(label, static_cast<UserId>(users_.size()));
+  return it->second;
+}
+
+Job In2p3TraceReader::map(const In2p3Record& rec, JobId index) const {
+  Job job;
+  job.id = index;
+  job.arrival = firstSubmit_ >= 0.0 ? rec.submitTime - firstSubmit_ : 0.0;
+
+  // Requested walltime -> events via the reference rate. Group regions cap
+  // the size: a job never reads more than its experiment's dataset.
+  const auto span = std::max<std::uint64_t>(
+      cfg_.minJobEvents,
+      static_cast<std::uint64_t>(cfg_.groupSpanFraction *
+                                 static_cast<double>(cfg_.totalEvents)));
+  const double rawEvents = rec.walltimeReq / cfg_.secPerEventRef;
+  const auto events = std::clamp<std::uint64_t>(
+      static_cast<std::uint64_t>(std::llround(std::min(
+          rawEvents, static_cast<double>(cfg_.totalEvents)))),
+      cfg_.minJobEvents, std::min<std::uint64_t>(span, cfg_.totalEvents));
+
+  // The group's dataset is a contiguous region whose start is a stable hash
+  // of its label; the job starts at a per-job deterministic offset inside
+  // it. Same group => overlapping reads (cache locality), different groups
+  // => disjoint regions (unless the hash collides, which is harmless).
+  const std::uint64_t maxBase = cfg_.totalEvents - std::min(span, cfg_.totalEvents);
+  const std::uint64_t base =
+      maxBase == 0 ? 0 : stableLabelHash(rec.group.empty() ? "default" : rec.group) % (maxBase + 1);
+  const std::uint64_t maxOffset = span - events;
+  const std::uint64_t offset =
+      maxOffset == 0
+          ? 0
+          : splitMix64(stableLabelHash(rec.user) ^ (0x9E3779B97F4A7C15ULL * (index + 1))) %
+                (maxOffset + 1);
+  job.range = {base + offset, base + offset + events};
+  return job;
+}
+
+std::optional<Job> In2p3TraceReader::next() {
+  std::string line;
+  while (std::getline(*in_, line)) {
+    ++lineNo_;
+    const std::string_view t = trimmed(line);
+    if (t.empty() || t.front() == '#') continue;
+    const std::vector<std::string> fields = splitCsv(t);
+    if (fields.size() != nCols_) {
+      failLine(name_, lineNo_,
+               "expected " + std::to_string(nCols_) + " fields per the header, got " +
+                   std::to_string(fields.size()));
+    }
+    In2p3Record rec;
+    rec.submitTime = parseNumber(name_, lineNo_, fields[static_cast<std::size_t>(colSubmit_)],
+                                 "submit_time");
+    if (rec.submitTime < 0.0) failLine(name_, lineNo_, "submit_time must be >= 0");
+    rec.user = fields[static_cast<std::size_t>(colUser_)];
+    if (rec.user.empty()) failLine(name_, lineNo_, "empty user field");
+    if (colGroup_ >= 0) rec.group = fields[static_cast<std::size_t>(colGroup_)];
+    rec.walltimeReq = parseNumber(name_, lineNo_, fields[static_cast<std::size_t>(colWalltime_)],
+                                  "walltime_req");
+    if (rec.walltimeReq <= 0.0) failLine(name_, lineNo_, "walltime_req must be > 0");
+    if (lastSubmit_ >= 0.0 && rec.submitTime < lastSubmit_) {
+      failLine(name_, lineNo_,
+               "submit times go backwards (" + std::to_string(rec.submitTime) + " after " +
+                   std::to_string(lastSubmit_) + "); sort the log by submission time");
+    }
+    if (firstSubmit_ < 0.0) firstSubmit_ = rec.submitTime;
+    lastSubmit_ = rec.submitTime;
+
+    Job job = map(rec, nextId_);
+    job.user = internUser(rec.user);
+    ++nextId_;
+    return job;
+  }
+  if (in_->bad()) throw std::runtime_error("in2p3 trace: I/O error reading " + name_);
+  return std::nullopt;
+}
+
+// --------------------------------------------------------------------------
+// SkewedWorkloadGenerator
+
+SkewedWorkloadGenerator::SkewedWorkloadGenerator(const SkewedWorkloadParams& params,
+                                                 std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  if (params_.totalEvents == 0) throw std::invalid_argument("totalEvents must be > 0");
+  if (params_.jobsPerHour <= 0.0) throw std::invalid_argument("jobsPerHour must be > 0");
+  if (params_.users < 1) throw std::invalid_argument("users must be >= 1");
+  if (params_.zipfS < 0.0) throw std::invalid_argument("zipfS must be >= 0");
+  if (params_.minJobEvents == 0 || params_.minJobEvents > params_.totalEvents) {
+    throw std::invalid_argument("minJobEvents out of range");
+  }
+  if (params_.paretoAlpha <= 1.0) {
+    throw std::invalid_argument("paretoAlpha must be > 1 (finite mean)");
+  }
+  if (params_.groups < 1) throw std::invalid_argument("groups must be >= 1");
+  if (params_.groupSpanFraction <= 0.0 || params_.groupSpanFraction > 1.0) {
+    throw std::invalid_argument("groupSpanFraction out of (0,1]");
+  }
+  if (params_.diurnalAmplitude < 0.0 || params_.diurnalAmplitude > 1.0) {
+    throw std::invalid_argument("diurnalAmplitude out of [0,1]");
+  }
+  userWeights_.reserve(static_cast<std::size_t>(params_.users));
+  for (int k = 0; k < params_.users; ++k) {
+    userWeights_.push_back(std::pow(static_cast<double>(k + 1), -params_.zipfS));
+  }
+}
+
+int SkewedWorkloadGenerator::groupOf(UserId user) const {
+  char label[16];
+  std::snprintf(label, sizeof label, "u%u", user);
+  return static_cast<int>(stableLabelHash(label) % static_cast<std::uint64_t>(params_.groups));
+}
+
+std::optional<Job> SkewedWorkloadGenerator::next() {
+  if (params_.diurnalAmplitude <= 0.0) {
+    clock_ += rng_.exponential(units::interarrivalFromJobsPerHour(params_.jobsPerHour));
+  } else {
+    // Non-homogeneous Poisson by thinning (same scheme as WorkloadGenerator).
+    const double peakRate = params_.jobsPerHour * (1.0 + params_.diurnalAmplitude);
+    for (;;) {
+      clock_ += rng_.exponential(units::interarrivalFromJobsPerHour(peakRate));
+      const double phase = 2.0 * 3.14159265358979323846 * clock_ / (24 * units::hour);
+      const double rate =
+          params_.jobsPerHour * (1.0 + params_.diurnalAmplitude * std::sin(phase));
+      if (rng_.uniform01() * peakRate < rate) break;
+    }
+  }
+
+  const auto user = static_cast<UserId>(rng_.weightedIndex(userWeights_));
+
+  // Pareto(alpha, xm = minJobEvents) truncated at the group span.
+  const auto span = std::max<std::uint64_t>(
+      params_.minJobEvents,
+      static_cast<std::uint64_t>(params_.groupSpanFraction *
+                                 static_cast<double>(params_.totalEvents)));
+  const double u = std::max(1e-12, 1.0 - rng_.uniform01());
+  const double raw = static_cast<double>(params_.minJobEvents) *
+                     std::pow(u, -1.0 / params_.paretoAlpha);
+  const auto events = std::clamp<std::uint64_t>(
+      static_cast<std::uint64_t>(std::llround(std::min(raw, 1e18))), params_.minJobEvents,
+      std::min<std::uint64_t>(span, params_.totalEvents));
+
+  // Same placement scheme as the reader: group region by stable hash, a
+  // uniform start inside it.
+  char glabel[16];
+  std::snprintf(glabel, sizeof glabel, "g%d", groupOf(user));
+  const std::uint64_t maxBase = params_.totalEvents - std::min(span, params_.totalEvents);
+  const std::uint64_t base = maxBase == 0 ? 0 : stableLabelHash(glabel) % (maxBase + 1);
+  const std::uint64_t maxOffset = span - events;
+  const std::uint64_t offset = maxOffset == 0 ? 0 : rng_.uniformInt(0, maxOffset);
+
+  Job job;
+  job.id = nextId_++;
+  job.arrival = clock_;
+  job.range = {base + offset, base + offset + events};
+  job.user = user;
+  return job;
+}
+
+std::size_t writeIn2p3Csv(std::ostream& out, JobSource& source, std::size_t count,
+                          double secPerEventRef, const SkewedWorkloadGenerator* gen) {
+  if (secPerEventRef <= 0.0) throw std::invalid_argument("secPerEventRef must be > 0");
+  out << "submit_time,user,group,walltime_req\n";
+  std::size_t written = 0;
+  char submit[32], walltime[32];
+  for (; written < count; ++written) {
+    const auto job = source.next();
+    if (!job) break;
+    const UserId user = job->user == kNoUser ? 0 : job->user;
+    const int group = gen != nullptr ? gen->groupOf(user) : 0;
+    std::snprintf(submit, sizeof submit, "%.17g", job->arrival);
+    std::snprintf(walltime, sizeof walltime, "%.17g",
+                  static_cast<double>(job->events()) * secPerEventRef);
+    out << submit << ",u" << user << ",g" << group << ',' << walltime << '\n';
+  }
+  return written;
+}
+
+}  // namespace ppsched

@@ -1,0 +1,171 @@
+// Real-trace ingestion: IN2P3 Computing Center batch records.
+//
+// The IN2P3 Computing Center 2024 workload dataset (arXiv 2606.05914)
+// publishes a year of batch-system accounting: per job a submission time,
+// the submitting user and group, and the requested/consumed resources.
+// Medernach's grid-workload analysis (physics/0506176) of an IN2P3 cluster
+// shows the shape such logs share: arrivals dominated by a few heavy users,
+// heavy-tailed job sizes, diurnal load. This module maps that record shape
+// onto the simulator's Job model so every policy can be driven by real
+// arrival skew instead of Erlang synthetics.
+//
+// Input format: CSV with a mandatory header line naming the columns
+// (flexible order, extra columns ignored), e.g.
+//
+//   submit_time,user,group,walltime_req
+//   1704067260,u042,lhcb,14400
+//   ...
+//
+//   - submit_time   seconds (absolute epoch or relative); non-decreasing
+//   - user          opaque user label (mapped to dense UserIds first-seen)
+//   - group         accounting group / experiment; determines which region
+//                   of the event space the job reads (optional: one shared
+//                   region when absent)
+//   - walltime_req  requested walltime in seconds (> 0); converted to an
+//                   event count via the reference per-event cost
+//
+// Mapping (In2p3MapConfig):
+//   arrival = submit_time - first submit_time
+//   events  = clamp(walltime_req / secPerEventRef, minJobEvents, groupSpan)
+//   range   = a segment inside the group's region of the data space: each
+//             group hashes to a contiguous region of `groupSpanFraction` of
+//             the event space, and jobs start at a deterministic
+//             per-job offset inside it — jobs of one experiment re-read
+//             overlapping data, which is what gives caches a chance.
+//   ids     = renumbered densely 0,1,2,... in arrival order
+//
+// The reader is a streaming JobSource: one record is parsed per next()
+// call, so a million-job year replays in O(1) memory per job (only the
+// user-label table grows, O(distinct users)).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/random.h"
+#include "workload/generator.h"
+#include "workload/job.h"
+
+namespace ppsched {
+
+/// How batch records map onto the simulator's data space / cost model.
+struct In2p3MapConfig {
+  /// Total events of the simulated data space (SimConfig::totalEvents()).
+  std::uint64_t totalEvents = 3'333'333;
+  /// Reference seconds/event for walltime -> events conversion (the
+  /// paper's uncached single-node rate; SimConfig cost.uncachedSecPerEvent).
+  double secPerEventRef = 0.8;
+  /// Job sizes are clamped below by this (the paper's minimal job size).
+  std::uint64_t minJobEvents = 10;
+  /// Fraction of the event space one group's jobs read (its "dataset").
+  double groupSpanFraction = 0.125;
+};
+
+/// One raw batch record (exposed for tests and converters).
+struct In2p3Record {
+  double submitTime = 0.0;
+  std::string user;
+  std::string group;
+  double walltimeReq = 0.0;
+};
+
+/// Streaming reader: IN2P3-format CSV -> Jobs in arrival order with dense
+/// ids and dense UserIds (assigned in order of first appearance). Throws
+/// std::runtime_error with line numbers on malformed input, including
+/// records whose submit times go backwards (batch accounting logs are
+/// written in submission order; pre-sort anything that is not).
+class In2p3TraceReader final : public JobSource {
+ public:
+  In2p3TraceReader(const std::string& path, In2p3MapConfig cfg);
+  In2p3TraceReader(std::unique_ptr<std::istream> in, In2p3MapConfig cfg,
+                   std::string name = "<stream>");
+
+  std::optional<Job> next() override;
+
+  /// Map a single record (the core of the importer; exposed for tests).
+  /// `index` is the dense job id the record receives.
+  [[nodiscard]] Job map(const In2p3Record& rec, JobId index) const;
+
+  /// Users seen so far (dense UserId == index of first appearance).
+  [[nodiscard]] std::size_t usersSeen() const { return users_.size(); }
+  [[nodiscard]] std::size_t jobsReturned() const { return nextId_; }
+
+ private:
+  void readHeader();
+  [[nodiscard]] UserId internUser(const std::string& label);
+
+  std::unique_ptr<std::istream> in_;
+  std::string name_;
+  In2p3MapConfig cfg_;
+  std::size_t lineNo_ = 0;
+  // Column indices from the header (-1 = absent).
+  int colSubmit_ = -1, colUser_ = -1, colGroup_ = -1, colWalltime_ = -1;
+  std::size_t nCols_ = 0;
+  double firstSubmit_ = -1.0;
+  double lastSubmit_ = -1.0;
+  JobId nextId_ = 0;
+  std::unordered_map<std::string, UserId> users_;
+};
+
+/// Stable 64-bit hash of a label (group/user placement); SplitMix64 over
+/// FNV-1a so the mapping is identical across platforms and runs.
+std::uint64_t stableLabelHash(std::string_view label);
+
+// --------------------------------------------------------------------------
+// Synthetic IN2P3-shaped workload: heavy-tailed sizes, Zipf users.
+//
+// For scale experiments (and the bounded-memory replay claim) a generator
+// producing the *shape* of the real logs at any length: Zipf-distributed
+// user activity (a few heavy users dominate arrivals), Pareto-tailed job
+// sizes truncated to the data space, per-user group affinity, and optional
+// diurnal arrival modulation. Deterministic for a fixed seed.
+
+struct SkewedWorkloadParams {
+  std::uint64_t totalEvents = 3'333'333;
+  double jobsPerHour = 1.0;
+  /// Distinct users; activity of user k proportional to 1/(k+1)^zipfS.
+  int users = 50;
+  double zipfS = 1.2;
+  /// Pareto(alpha) job sizes with this scale (minimum), truncated at the
+  /// data-space size. alpha in (1, 2] gives the heavy tail real logs show.
+  std::uint64_t minJobEvents = 1'000;
+  double paretoAlpha = 1.5;
+  /// Groups (experiments); each user belongs to one, hashed deterministically.
+  int groups = 8;
+  double groupSpanFraction = 0.125;
+  /// Diurnal modulation of the arrival rate (0 = homogeneous Poisson).
+  double diurnalAmplitude = 0.0;
+};
+
+/// Endless deterministic stream of IN2P3-shaped jobs (ids dense from 0).
+class SkewedWorkloadGenerator final : public JobSource {
+ public:
+  SkewedWorkloadGenerator(const SkewedWorkloadParams& params, std::uint64_t seed);
+
+  std::optional<Job> next() override;
+
+  [[nodiscard]] const SkewedWorkloadParams& params() const { return params_; }
+  /// The group a user's jobs read from.
+  [[nodiscard]] int groupOf(UserId user) const;
+
+ private:
+  SkewedWorkloadParams params_;
+  Rng rng_;
+  SimTime clock_ = 0.0;
+  JobId nextId_ = 0;
+  std::vector<double> userWeights_;
+};
+
+/// Dump `count` jobs from any source as IN2P3-format CSV (submit_time,
+/// user,group,walltime_req) — the inverse of In2p3TraceReader, used to
+/// produce checked-in sample slices and reader round-trip tests. Group
+/// labels are g<groupOf(user)> when `gen` is given, g0 otherwise.
+std::size_t writeIn2p3Csv(std::ostream& out, JobSource& source, std::size_t count,
+                          double secPerEventRef,
+                          const SkewedWorkloadGenerator* gen = nullptr);
+
+}  // namespace ppsched

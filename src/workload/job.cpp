@@ -5,7 +5,9 @@
 namespace ppsched {
 
 std::ostream& operator<<(std::ostream& os, const Job& j) {
-  return os << "Job{" << j.id << ", t=" << j.arrival << ", " << j.range << '}';
+  os << "Job{" << j.id << ", t=" << j.arrival << ", " << j.range;
+  if (j.user != kNoUser) os << ", u=" << j.user;
+  return os << '}';
 }
 
 std::ostream& operator<<(std::ostream& os, const Subjob& s) {

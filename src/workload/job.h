@@ -17,11 +17,20 @@ namespace ppsched {
 using JobId = std::uint32_t;
 inline constexpr JobId kNoJob = std::numeric_limits<JobId>::max();
 
+/// Identity of the submitting user (or accounting class). Real batch logs
+/// attribute every job to a user; per-user fairness metrics (core/metrics)
+/// aggregate by this tag. kNoUser marks jobs from sources that carry no
+/// user information (the synthetic generator, v1 traces) — untagged runs
+/// behave and report exactly as before the tag existed.
+using UserId = std::uint32_t;
+inline constexpr UserId kNoUser = std::numeric_limits<UserId>::max();
+
 /// A user analysis job: a contiguous event segment plus its arrival time.
 struct Job {
   JobId id = kNoJob;
   SimTime arrival = 0.0;
   EventRange range;
+  UserId user = kNoUser;
 
   [[nodiscard]] std::uint64_t events() const { return range.size(); }
 

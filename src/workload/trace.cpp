@@ -1,26 +1,168 @@
 #include "workload/trace.h"
 
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
-#include <sstream>
+#include <limits>
 #include <stdexcept>
+#include <string_view>
 
 namespace ppsched {
 
-JobTrace::JobTrace(std::vector<Job> jobs) : jobs_(std::move(jobs)) { validate(); }
+const char kTraceHeader[] =
+    "# ppsched job trace: id,arrival_seconds,begin_event,end_event[,user]\n";
 
-void JobTrace::validate() const {
-  for (std::size_t i = 0; i < jobs_.size(); ++i) {
-    const Job& j = jobs_[i];
-    if (j.range.empty()) throw std::runtime_error("trace: job with empty range");
-    if (i > 0) {
-      if (j.arrival < jobs_[i - 1].arrival) {
-        throw std::runtime_error("trace: arrivals not sorted");
-      }
-      if (j.id <= jobs_[i - 1].id) {
-        throw std::runtime_error("trace: ids not strictly increasing");
-      }
+namespace {
+
+[[noreturn]] void failLine(std::size_t line, const std::string& what) {
+  if (line == 0) throw std::runtime_error("trace: " + what);
+  throw std::runtime_error("trace: line " + std::to_string(line) + ": " + what);
+}
+
+/// Strip ASCII whitespace (incl. the '\r' of CRLF files) from both ends.
+std::string_view trimmed(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r' || s.back() == '\n')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Parse a full unsigned decimal field; rejects signs, empty fields,
+/// overflow past uint64, and trailing garbage.
+std::uint64_t parseUnsigned(std::string_view field, std::size_t line, const char* what) {
+  if (field.empty()) failLine(line, std::string("empty ") + what + " field");
+  if (field.front() == '-' || field.front() == '+') {
+    failLine(line, std::string(what) + " must be an unsigned integer, got '" +
+                       std::string(field) + "'");
+  }
+  const std::string buf(field);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (end == buf.c_str() || *end != '\0') {
+    failLine(line, std::string("malformed ") + what + " field '" + buf + "'");
+  }
+  if (errno == ERANGE) failLine(line, std::string(what) + " overflows: '" + buf + "'");
+  return static_cast<std::uint64_t>(v);
+}
+
+/// Parse a full floating-point field; rejects NaN/inf, negatives, empty
+/// fields and trailing garbage.
+double parseSeconds(std::string_view field, std::size_t line, const char* what) {
+  if (field.empty()) failLine(line, std::string("empty ") + what + " field");
+  const std::string buf(field);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end == buf.c_str() || *end != '\0') {
+    failLine(line, std::string("malformed ") + what + " field '" + buf + "'");
+  }
+  if (!std::isfinite(v)) failLine(line, std::string(what) + " must be finite, got '" + buf + "'");
+  if (v < 0.0) failLine(line, std::string(what) + " must be >= 0, got '" + buf + "'");
+  return v;
+}
+
+}  // namespace
+
+void TraceValidator::check(const Job& job, std::size_t line) {
+  if (job.id == kNoJob) failLine(line, "job id " + std::to_string(job.id) + " is reserved");
+  if (job.range.empty()) {
+    failLine(line, "job " + std::to_string(job.id) + " has an empty event range [" +
+                       std::to_string(job.range.begin) + ", " + std::to_string(job.range.end) +
+                       ")");
+  }
+  if (!std::isfinite(job.arrival) || job.arrival < 0.0) {
+    failLine(line, "job " + std::to_string(job.id) + " has invalid arrival time");
+  }
+  if (count_ > 0) {
+    if (job.arrival < lastArrival_) {
+      failLine(line, "arrivals not sorted: job " + std::to_string(job.id) + " arrives at " +
+                         std::to_string(job.arrival) + " after " +
+                         std::to_string(lastArrival_));
+    }
+    if (job.id <= lastId_) {
+      failLine(line, "ids not strictly increasing: job " + std::to_string(job.id) +
+                         " follows job " + std::to_string(lastId_));
     }
   }
+  lastArrival_ = job.arrival;
+  lastId_ = job.id;
+  ++count_;
+}
+
+bool parseTraceLine(const std::string& text, std::size_t line, Job& out) {
+  const std::string_view whole = trimmed(text);
+  if (whole.empty() || whole.front() == '#') return false;
+
+  std::string_view fields[5];
+  std::size_t nFields = 0;
+  std::string_view rest = whole;
+  while (true) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view field = comma == std::string_view::npos ? rest : rest.substr(0, comma);
+    if (nFields == 5) failLine(line, "too many fields (expected 4 or 5)");
+    fields[nFields++] = trimmed(field);
+    if (comma == std::string_view::npos) break;
+    rest = rest.substr(comma + 1);
+  }
+  if (nFields < 4) {
+    failLine(line, "expected id,arrival,begin,end[,user], got " + std::to_string(nFields) +
+                       " field(s)");
+  }
+
+  Job job;
+  const std::uint64_t id = parseUnsigned(fields[0], line, "id");
+  if (id >= kNoJob) failLine(line, "id " + std::to_string(id) + " out of range");
+  job.id = static_cast<JobId>(id);
+  job.arrival = parseSeconds(fields[1], line, "arrival");
+  job.range.begin = parseUnsigned(fields[2], line, "begin_event");
+  job.range.end = parseUnsigned(fields[3], line, "end_event");
+  if (job.range.begin >= job.range.end) {
+    failLine(line, "begin_event " + std::to_string(job.range.begin) + " >= end_event " +
+                       std::to_string(job.range.end));
+  }
+  if (nFields == 5) {
+    const std::uint64_t user = parseUnsigned(fields[4], line, "user");
+    if (user >= kNoUser) failLine(line, "user " + std::to_string(user) + " out of range");
+    job.user = static_cast<UserId>(user);
+  }
+  out = job;
+  return true;
+}
+
+void writeTraceLine(std::ostream& out, const Job& j) {
+  // %.17g keeps arrivals lossless through save -> parse -> save: a
+  // year-long log has arrivals ~3e7 s, where the default 6-digit ostream
+  // formatting would truncate to tens of seconds.
+  char arrival[32];
+  std::snprintf(arrival, sizeof arrival, "%.17g", j.arrival);
+  out << j.id << ',' << arrival << ',' << j.range.begin << ',' << j.range.end;
+  if (j.user != kNoUser) out << ',' << j.user;
+  out << '\n';
+}
+
+// --------------------------------------------------------------------------
+// JobTrace
+
+std::shared_ptr<const std::vector<Job>> JobTrace::emptyJobs() {
+  static const std::shared_ptr<const std::vector<Job>> empty =
+      std::make_shared<const std::vector<Job>>();
+  return empty;
+}
+
+JobTrace::JobTrace(std::vector<Job> jobs)
+    : jobs_(std::make_shared<const std::vector<Job>>(std::move(jobs))) {
+  validate();
+}
+
+void JobTrace::validate() const {
+  TraceValidator v;
+  for (const Job& j : *jobs_) v.check(j);
 }
 
 JobTrace JobTrace::record(JobSource& source, std::size_t count) {
@@ -36,20 +178,18 @@ JobTrace JobTrace::record(JobSource& source, std::size_t count) {
 
 JobTrace JobTrace::parse(std::istream& in) {
   std::vector<Job> jobs;
+  TraceValidator validator;
   std::string line;
   std::size_t lineNo = 0;
   while (std::getline(in, line)) {
     ++lineNo;
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
     Job job;
-    char c1 = 0, c2 = 0, c3 = 0;
-    if (!(ls >> job.id >> c1 >> job.arrival >> c2 >> job.range.begin >> c3 >> job.range.end) ||
-        c1 != ',' || c2 != ',' || c3 != ',') {
-      throw std::runtime_error("trace: malformed line " + std::to_string(lineNo));
-    }
+    if (!parseTraceLine(line, lineNo, job)) continue;
+    validator.check(job, lineNo);
     jobs.push_back(job);
   }
+  // The vector was validated incrementally (with line numbers); the
+  // constructor re-checks, which is cheap and keeps one invariant path.
   return JobTrace(std::move(jobs));
 }
 
@@ -60,10 +200,8 @@ JobTrace JobTrace::load(const std::string& path) {
 }
 
 void JobTrace::write(std::ostream& out) const {
-  out << "# ppsched job trace: id,arrival_seconds,begin_event,end_event\n";
-  for (const Job& j : jobs_) {
-    out << j.id << ',' << j.arrival << ',' << j.range.begin << ',' << j.range.end << '\n';
-  }
+  out << kTraceHeader;
+  for (const Job& j : *jobs_) writeTraceLine(out, j);
 }
 
 void JobTrace::save(const std::string& path) const {
@@ -74,19 +212,79 @@ void JobTrace::save(const std::string& path) const {
 
 JobTrace::Summary JobTrace::summarize() const {
   Summary s;
-  s.jobs = jobs_.size();
-  if (jobs_.empty()) return s;
+  const std::vector<Job>& jobs = *jobs_;
+  s.jobs = jobs.size();
+  if (jobs.empty()) return s;
   double events = 0.0;
-  for (const Job& j : jobs_) events += static_cast<double>(j.events());
-  s.meanEvents = events / static_cast<double>(jobs_.size());
-  s.span = jobs_.back().arrival - jobs_.front().arrival;
-  if (jobs_.size() > 1) s.meanInterarrival = s.span / static_cast<double>(jobs_.size() - 1);
+  std::vector<UserId> users;
+  for (const Job& j : jobs) {
+    events += static_cast<double>(j.events());
+    if (j.user != kNoUser) users.push_back(j.user);
+  }
+  std::sort(users.begin(), users.end());
+  s.users = static_cast<std::size_t>(std::unique(users.begin(), users.end()) - users.begin());
+  s.meanEvents = events / static_cast<double>(jobs.size());
+  // Arrivals are validated non-decreasing, so span >= 0 always; with a
+  // single job (or all-identical arrivals) span and meanInterarrival are an
+  // exact 0, never a division artifact.
+  s.span = jobs.back().arrival - jobs.front().arrival;
+  if (jobs.size() > 1) s.meanInterarrival = s.span / static_cast<double>(jobs.size() - 1);
   return s;
 }
 
+std::size_t writeTrace(std::ostream& out, JobSource& source, std::size_t count) {
+  out << kTraceHeader;
+  TraceValidator validator;
+  for (std::size_t i = 0; i < count; ++i) {
+    auto job = source.next();
+    if (!job) break;
+    validator.check(*job);
+    writeTraceLine(out, *job);
+  }
+  return validator.jobsSeen();
+}
+
+std::size_t saveTrace(const std::string& path, JobSource& source, std::size_t count) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("trace: cannot write " + path);
+  return writeTrace(out, source, count);
+}
+
+// --------------------------------------------------------------------------
+// Sources
+
 std::optional<Job> TraceSource::next() {
-  if (pos_ >= trace_.size()) return std::nullopt;
-  return trace_.jobs()[pos_++];
+  if (pos_ >= jobs_->size()) return std::nullopt;
+  return (*jobs_)[pos_++];
+}
+
+StreamingTraceSource::StreamingTraceSource(const std::string& path, bool renumber)
+    : name_(path), renumber_(renumber) {
+  auto file = std::make_unique<std::ifstream>(path);
+  if (!*file) throw std::runtime_error("trace: cannot open " + path);
+  in_ = std::move(file);
+}
+
+StreamingTraceSource::StreamingTraceSource(std::unique_ptr<std::istream> in, std::string name,
+                                           bool renumber)
+    : in_(std::move(in)), name_(std::move(name)), renumber_(renumber) {
+  if (!in_) throw std::invalid_argument("StreamingTraceSource needs a stream");
+}
+
+std::optional<Job> StreamingTraceSource::next() {
+  std::string line;
+  while (std::getline(*in_, line)) {
+    ++lineNo_;
+    Job job;
+    if (!parseTraceLine(line, lineNo_, job)) continue;
+    // Original ids must be well-formed (strictly increasing) either way;
+    // with renumbering the engine then sees dense ids in stream order.
+    validator_.check(job, lineNo_);
+    if (renumber_) job.id = static_cast<JobId>(validator_.jobsSeen() - 1);
+    return job;
+  }
+  if (in_->bad()) throw std::runtime_error("trace: I/O error reading " + name_);
+  return std::nullopt;
 }
 
 }  // namespace ppsched

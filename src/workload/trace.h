@@ -5,12 +5,27 @@
 // byte-for-byte repeatable across policies (every policy sees the identical
 // job stream) and lets users feed their own traces to the simulator.
 //
-// CSV format, one job per line:  id,arrival_seconds,begin_event,end_event
-// Lines starting with '#' are comments.
+// CSV format, one job per line:
+//   v1:  id,arrival_seconds,begin_event,end_event
+//   v2:  id,arrival_seconds,begin_event,end_event,user
+// The user column is optional per line (v1 lines inside a v2 file are jobs
+// without a user tag). Lines starting with '#' are comments. Parsing is
+// strict: non-monotonic arrivals, non-increasing ids, empty ranges,
+// NaN/negative/overflowing fields and trailing garbage all throw
+// std::runtime_error naming the offending line.
+//
+// Two replay paths exist:
+//   - TraceSource replays an in-memory JobTrace. The underlying job vector
+//     is immutable and shared (shared_ptr), so replaying one trace across
+//     many policies/sweeps never duplicates it.
+//   - StreamingTraceSource reads a trace file (or any istream) one line per
+//     next() call: O(1) memory per job regardless of trace length, for
+//     replaying million-job, year-long logs without materializing them.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,7 +34,39 @@
 
 namespace ppsched {
 
-/// An in-memory job trace in arrival order.
+/// Incremental validator shared by every trace-consuming path: feeds one
+/// job at a time and enforces the stream invariants (non-empty range,
+/// non-decreasing arrivals, strictly increasing ids, finite non-negative
+/// arrival). Errors name the 1-based source line when one is provided.
+class TraceValidator {
+ public:
+  /// Throws std::runtime_error when `job` violates the trace invariants.
+  /// `line` is the source line for error messages (0 = no line info).
+  void check(const Job& job, std::size_t line = 0);
+
+  [[nodiscard]] std::size_t jobsSeen() const { return count_; }
+
+ private:
+  std::size_t count_ = 0;
+  SimTime lastArrival_ = 0.0;
+  JobId lastId_ = 0;
+};
+
+/// Parse one CSV trace line (v1 or v2) into a Job. Strict: rejects
+/// malformed fields, negative/NaN/infinite numbers, out-of-range ids and
+/// trailing garbage, naming `line` in the error. Returns false for blank
+/// and comment lines.
+bool parseTraceLine(const std::string& text, std::size_t line, Job& out);
+
+/// Write one job as a CSV trace line (v2 when it carries a user tag).
+void writeTraceLine(std::ostream& out, const Job& job);
+
+/// The standard trace header comment (documents the column layout).
+extern const char kTraceHeader[];
+
+/// An in-memory job trace in arrival order. Immutable after construction;
+/// copies share the underlying job vector (O(1) copy), so fanning one trace
+/// out across policies or sweep points never duplicates the jobs.
 class JobTrace {
  public:
   JobTrace() = default;
@@ -28,20 +75,24 @@ class JobTrace {
   /// Record `count` jobs from a source.
   static JobTrace record(JobSource& source, std::size_t count);
 
-  /// Parse from CSV (throws std::runtime_error on malformed input).
+  /// Parse from CSV (throws std::runtime_error with line numbers on
+  /// malformed input).
   static JobTrace parse(std::istream& in);
   static JobTrace load(const std::string& path);
 
   void write(std::ostream& out) const;
   void save(const std::string& path) const;
 
-  [[nodiscard]] const std::vector<Job>& jobs() const { return jobs_; }
-  [[nodiscard]] std::size_t size() const { return jobs_.size(); }
-  [[nodiscard]] bool empty() const { return jobs_.empty(); }
+  [[nodiscard]] const std::vector<Job>& jobs() const { return *jobs_; }
+  [[nodiscard]] std::size_t size() const { return jobs_->size(); }
+  [[nodiscard]] bool empty() const { return jobs_->empty(); }
+  /// The shared underlying storage (for sources that outlive this handle).
+  [[nodiscard]] std::shared_ptr<const std::vector<Job>> shared() const { return jobs_; }
 
   /// Basic aggregate statistics (for summaries / tests).
   struct Summary {
     std::size_t jobs = 0;
+    std::size_t users = 0;          // distinct tagged users (0 if untagged)
     double meanEvents = 0.0;
     double meanInterarrival = 0.0;  // seconds; 0 when fewer than 2 jobs
     SimTime span = 0.0;             // last arrival - first arrival
@@ -49,22 +100,60 @@ class JobTrace {
   [[nodiscard]] Summary summarize() const;
 
  private:
+  static std::shared_ptr<const std::vector<Job>> emptyJobs();
   /// Jobs must be sorted by arrival and have monotonically increasing ids.
   void validate() const;
 
-  std::vector<Job> jobs_;
+  std::shared_ptr<const std::vector<Job>> jobs_ = emptyJobs();
 };
 
-/// Replays a trace as a JobSource.
+/// Stream `count` jobs (or until exhaustion) from a source straight to CSV
+/// without materializing them: the bounded-memory writer counterpart of
+/// StreamingTraceSource. Returns the number of jobs written.
+std::size_t writeTrace(std::ostream& out, JobSource& source, std::size_t count);
+std::size_t saveTrace(const std::string& path, JobSource& source, std::size_t count);
+
+/// Replays an in-memory trace as a JobSource. Shares the trace's job
+/// vector — constructing one (or many, for multi-policy comparisons) never
+/// copies the jobs.
 class TraceSource final : public JobSource {
  public:
-  explicit TraceSource(JobTrace trace) : trace_(std::move(trace)) {}
+  explicit TraceSource(JobTrace trace) : jobs_(trace.shared()) {}
+  explicit TraceSource(std::shared_ptr<const std::vector<Job>> jobs)
+      : jobs_(std::move(jobs)) {}
 
   std::optional<Job> next() override;
 
  private:
-  JobTrace trace_;
+  std::shared_ptr<const std::vector<Job>> jobs_;
   std::size_t pos_ = 0;
+};
+
+/// Streams a trace file line by line: one Job is parsed per next() call and
+/// nothing is retained, so memory stays O(1) in the trace length. The
+/// stream is validated incrementally with the same strictness as
+/// JobTrace::parse (errors carry line numbers).
+class StreamingTraceSource final : public JobSource {
+ public:
+  /// Open `path` (throws std::runtime_error when it cannot be read).
+  explicit StreamingTraceSource(const std::string& path, bool renumber = false);
+  /// Stream from an owned istream; `name` labels errors.
+  StreamingTraceSource(std::unique_ptr<std::istream> in, std::string name = "<stream>",
+                       bool renumber = false);
+
+  std::optional<Job> next() override;
+
+  /// Jobs returned so far.
+  [[nodiscard]] std::size_t jobsReturned() const { return validator_.jobsSeen(); }
+
+ private:
+  std::unique_ptr<std::istream> in_;
+  std::string name_;
+  std::size_t lineNo_ = 0;
+  /// Re-assign dense ids 0,1,2,... in stream order (for traces whose ids
+  /// are not engine-dense); ids must still be strictly increasing.
+  bool renumber_ = false;
+  TraceValidator validator_;
 };
 
 }  // namespace ppsched

@@ -138,6 +138,131 @@ TEST(Metrics, UnboundedBacklogIsOverloaded) {
   EXPECT_GT(r.inSystemSlopePerHour, 0.0);
 }
 
+// --------------------------------------------------------------------------
+// Per-user stats and the Jain fairness index.
+
+Job mkUserJob(JobId id, SimTime arrival, std::uint64_t events, UserId user) {
+  return Job{id, arrival, {0, events}, user};
+}
+
+TEST(Metrics, PerUserStatsAndFairness) {
+  MetricsCollector m(CostModel{}, {0, 0.0});
+  // User 0: three jobs of 300 events (waits 10, 20, 30); user 1: one job of
+  // 100 events (wait 40).
+  const std::uint64_t sizes[] = {300, 300, 300, 100};
+  const UserId users[] = {0, 0, 0, 1};
+  const double waits[] = {10, 20, 30, 40};
+  for (JobId i = 0; i < 4; ++i) {
+    const SimTime t = i * 1000.0;
+    m.onArrival(mkUserJob(i, t, sizes[i], users[i]), t);
+    m.onFirstStart(i, t + waits[i]);
+    m.onCompletion(i, t + waits[i] + 100.0);
+  }
+  const RunResult r = m.finalize(4000.0);
+
+  ASSERT_EQ(r.userStats.size(), 2u);
+  // Sorted by descending served-event share: user 0 (900 of 1000) first.
+  EXPECT_EQ(r.userStats[0].user, 0u);
+  EXPECT_EQ(r.userStats[0].jobs, 3u);
+  EXPECT_EQ(r.userStats[0].servedEvents, 900u);
+  EXPECT_DOUBLE_EQ(r.userStats[0].eventShare, 0.9);
+  EXPECT_DOUBLE_EQ(r.userStats[0].meanWait, 20.0);
+  EXPECT_EQ(r.userStats[1].user, 1u);
+  EXPECT_DOUBLE_EQ(r.userStats[1].eventShare, 0.1);
+  EXPECT_DOUBLE_EQ(r.userStats[1].meanWait, 40.0);
+
+  // Jain over {900, 100}: (1000)^2 / (2 * (810000 + 10000)) = 0.60975...
+  EXPECT_NEAR(r.userFairness, 1000.0 * 1000.0 / (2 * 820000.0), 1e-12);
+  EXPECT_GT(r.userFairness, 0.5);  // >= 1/n always
+  EXPECT_LT(r.userFairness, 1.0);
+}
+
+TEST(Metrics, FairnessIsOneForSingleUser) {
+  MetricsCollector m(CostModel{}, {0, 0.0});
+  for (JobId i = 0; i < 5; ++i) {
+    m.onArrival(mkUserJob(i, i * 10.0, 100 + 50 * i, 7), i * 10.0);
+    m.onFirstStart(i, i * 10.0 + 1.0);
+    m.onCompletion(i, i * 10.0 + 5.0);
+  }
+  const RunResult r = m.finalize(100.0);
+  ASSERT_EQ(r.userStats.size(), 1u);
+  EXPECT_EQ(r.userStats[0].user, 7u);
+  EXPECT_DOUBLE_EQ(r.userStats[0].eventShare, 1.0);
+  EXPECT_DOUBLE_EQ(r.userFairness, 1.0);  // exactly, not approximately
+}
+
+TEST(Metrics, TaglessRunsReadAsTriviallyFair) {
+  MetricsCollector m(CostModel{}, {0, 0.0});
+  m.onArrival(mkJob(0, 0.0, 100), 0.0);
+  m.onFirstStart(0, 1.0);
+  m.onCompletion(0, 2.0);
+  const RunResult r = m.finalize(2.0);
+  ASSERT_EQ(r.userStats.size(), 1u);
+  EXPECT_EQ(r.userStats[0].user, kNoUser);
+  EXPECT_DOUBLE_EQ(r.userFairness, 1.0);
+}
+
+TEST(Metrics, EqualSharesGivePerfectFairness) {
+  MetricsCollector m(CostModel{}, {0, 0.0});
+  for (JobId i = 0; i < 6; ++i) {
+    m.onArrival(mkUserJob(i, i * 10.0, 500, i % 3), i * 10.0);
+    m.onFirstStart(i, i * 10.0);
+    m.onCompletion(i, i * 10.0 + 1.0);
+  }
+  const RunResult r = m.finalize(100.0);
+  EXPECT_EQ(r.userStats.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.userFairness, 1.0);
+}
+
+TEST(Metrics, UserTagsLeaveAggregatesBitIdentical) {
+  // Golden pin for the user-tag extension: feeding the identical lifecycle
+  // stream with and without tags must leave every pre-existing aggregate
+  // bit-for-bit unchanged (tags are observational, never behavioral).
+  MetricsCollector tagless(CostModel{}, {2, 0.0});
+  MetricsCollector tagged(CostModel{}, {2, 0.0});
+  SimTime t = 0.0;
+  for (JobId i = 0; i < 40; ++i) {
+    const std::uint64_t events = 100 + 37 * (i % 7);
+    t += 100.0 + static_cast<double>(i % 5);
+    tagless.onArrival(mkJob(i, t, events), t);
+    tagged.onArrival(mkUserJob(i, t, events, i % 4), t);
+    for (auto* m : {&tagless, &tagged}) {
+      m->onSchedulingDelay(i, 3.0);
+      m->onFirstStart(i, t + 7.5);
+      m->onEventsProcessed(i % 3 == 0 ? DataSource::Tertiary : DataSource::LocalCache, events,
+                           t + 8.0);
+      m->onCompletion(i, t + 7.5 + 0.26 * static_cast<double>(events));
+    }
+  }
+  const RunResult a = tagless.finalize(t + 1000.0, true);
+  const RunResult b = tagged.finalize(t + 1000.0, true);
+
+  EXPECT_EQ(a.arrivedJobs, b.arrivedJobs);
+  EXPECT_EQ(a.completedJobs, b.completedJobs);
+  EXPECT_EQ(a.measuredJobs, b.measuredJobs);
+  EXPECT_EQ(a.avgSpeedup, b.avgSpeedup);  // exact ==, not NEAR: bit identity
+  EXPECT_EQ(a.avgProcessing, b.avgProcessing);
+  EXPECT_EQ(a.avgWait, b.avgWait);
+  EXPECT_EQ(a.avgWaitExDelay, b.avgWaitExDelay);
+  EXPECT_EQ(a.medianWait, b.medianWait);
+  EXPECT_EQ(a.p95Wait, b.p95Wait);
+  EXPECT_EQ(a.maxWait, b.maxWait);
+  EXPECT_EQ(a.cacheHitFraction, b.cacheHitFraction);
+  EXPECT_EQ(a.remoteReadFraction, b.remoteReadFraction);
+  EXPECT_EQ(a.tertiaryEvents, b.tertiaryEvents);
+  EXPECT_EQ(a.processedEvents, b.processedEvents);
+  EXPECT_EQ(a.avgJobsInSystem, b.avgJobsInSystem);
+  EXPECT_EQ(a.inSystemSlopePerHour, b.inSystemSlopePerHour);
+  EXPECT_EQ(a.throughputJobsPerHour, b.throughputJobsPerHour);
+  EXPECT_EQ(a.overloaded, b.overloaded);
+  EXPECT_EQ(a.waitHistogram, b.waitHistogram);
+
+  // Only the new user-facing fields differ.
+  EXPECT_EQ(a.userStats.size(), 1u);
+  EXPECT_EQ(b.userStats.size(), 4u);
+  EXPECT_DOUBLE_EQ(a.userFairness, 1.0);
+}
+
 TEST(Metrics, HistogramOnRequest) {
   MetricsCollector m(CostModel{}, {0, 0.0});
   for (JobId i = 0; i < 10; ++i) m.onArrival(mkJob(i, 0.0, 100), 0.0);

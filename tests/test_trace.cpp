@@ -3,7 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <memory>
 #include <sstream>
+
+#include "workload/in2p3.h"
 
 namespace ppsched {
 namespace {
@@ -108,6 +112,284 @@ TEST(Trace, SaveAndLoadFile) {
 
 TEST(Trace, LoadMissingFileThrows) {
   EXPECT_THROW(JobTrace::load("/nonexistent/path/trace.csv"), std::runtime_error);
+}
+
+// --------------------------------------------------------------------------
+// Strict parsing: every malformed input throws with the offending line.
+
+/// Parse `csv` expecting failure; returns the error message ("" = no throw).
+std::string parseError(const std::string& csv) {
+  std::stringstream ss(csv);
+  try {
+    JobTrace::parse(ss);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(TraceParse, NonMonotonicArrivalsNameTheLine) {
+  const std::string msg = parseError("# header\n0,100,10,50\n1,50,10,50\n");
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("arrivals not sorted"), std::string::npos) << msg;
+}
+
+TEST(TraceParse, DuplicateIdThrows) {
+  const std::string msg = parseError("0,100,10,50\n0,200,10,50\n");
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("ids not strictly increasing"), std::string::npos) << msg;
+}
+
+TEST(TraceParse, DecreasingIdThrows) {
+  const std::string msg = parseError("5,100,10,50\n3,200,10,50\n");
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+}
+
+TEST(TraceParse, BeginAtOrPastEndThrows) {
+  EXPECT_NE(parseError("0,100,50,10\n").find("begin_event"), std::string::npos);
+  EXPECT_NE(parseError("0,100,50,50\n").find("begin_event"), std::string::npos);
+}
+
+TEST(TraceParse, NonFiniteArrivalThrows) {
+  EXPECT_NE(parseError("0,nan,10,50\n").find("finite"), std::string::npos);
+  EXPECT_NE(parseError("0,inf,10,50\n").find("finite"), std::string::npos);
+}
+
+TEST(TraceParse, NegativeFieldsThrow) {
+  EXPECT_NE(parseError("0,-5,10,50\n").find(">= 0"), std::string::npos);
+  EXPECT_NE(parseError("-1,5,10,50\n").find("unsigned"), std::string::npos);
+  EXPECT_NE(parseError("0,5,-10,50\n").find("unsigned"), std::string::npos);
+}
+
+TEST(TraceParse, OverflowingFieldsThrow) {
+  // One past uint64 max.
+  EXPECT_NE(parseError("0,5,10,18446744073709551616\n").find("overflow"), std::string::npos);
+  // Past the 32-bit JobId space (and the reserved kNoJob sentinel itself).
+  EXPECT_NE(parseError("4294967295,5,10,50\n").find("out of range"), std::string::npos);
+  EXPECT_NE(parseError("0,5,10,50,4294967295\n").find("out of range"), std::string::npos);
+}
+
+TEST(TraceParse, TrailingGarbageThrows) {
+  EXPECT_NE(parseError("0,5,10,50x\n").find("malformed"), std::string::npos);
+  EXPECT_NE(parseError("0,5,10,50,7x\n").find("malformed"), std::string::npos);
+  EXPECT_NE(parseError("0,5e,10,50\n").find("malformed"), std::string::npos);
+  EXPECT_NE(parseError("0,5,10,50,7,8\n").find("too many fields"), std::string::npos);
+}
+
+TEST(TraceParse, EmptyFieldThrows) {
+  EXPECT_NE(parseError("0,,10,50\n").find("empty"), std::string::npos);
+  EXPECT_NE(parseError("0,5,10,\n").find("empty"), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// v2 format: optional per-line user column.
+
+TEST(TraceParse, UserColumnParsedAndOptionalPerLine) {
+  std::stringstream ss("0,100,10,50,7\n1,200,10,50\n2,300,10,50,7\n3,400,10,50,9\n");
+  const JobTrace t = JobTrace::parse(ss);
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.jobs()[0].user, 7u);
+  EXPECT_EQ(t.jobs()[1].user, kNoUser);
+  const auto s = t.summarize();
+  EXPECT_EQ(s.users, 2u);  // 7 and 9; the untagged job does not count
+}
+
+TEST(TraceParse, UserColumnRoundTrips) {
+  JobTrace t({{0, 100.0, {10, 50}, 3}, {1, 250.5, {0, 30}}, {2, 300.0, {100, 400}, 3}});
+  std::stringstream ss;
+  t.write(ss);
+  const JobTrace back = JobTrace::parse(ss);
+  ASSERT_EQ(back.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(back.jobs()[i], t.jobs()[i]);
+}
+
+TEST(TraceParse, LargeArrivalsRoundTripLosslessly) {
+  // A year-long log: arrivals ~3e7 s with sub-second structure would be
+  // destroyed by default 6-digit formatting.
+  JobTrace t({{0, 31536000.125, {10, 50}}, {1, 31536001.25, {0, 30}}});
+  std::stringstream ss;
+  t.write(ss);
+  const JobTrace back = JobTrace::parse(ss);
+  EXPECT_DOUBLE_EQ(back.jobs()[0].arrival, 31536000.125);
+  EXPECT_DOUBLE_EQ(back.jobs()[1].arrival, 31536001.25);
+}
+
+TEST(TraceParse, FuzzRoundTripV1) {
+  // Fixed-seed fuzz: save -> parse -> save must be a byte-identical fixed
+  // point, and the parsed jobs must equal the originals.
+  WorkloadParams p;
+  p.jobsPerHour = 3.0;
+  WorkloadGenerator g(p, 20240607);
+  const JobTrace t = JobTrace::record(g, 500);
+  std::stringstream once;
+  t.write(once);
+  const JobTrace back = JobTrace::parse(once);
+  ASSERT_EQ(back.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) ASSERT_EQ(back.jobs()[i], t.jobs()[i]);
+  std::stringstream again;
+  back.write(again);
+  EXPECT_EQ(once.str(), again.str());
+}
+
+TEST(TraceParse, FuzzRoundTripV2) {
+  SkewedWorkloadParams p;
+  p.jobsPerHour = 3.0;
+  p.diurnalAmplitude = 0.5;
+  SkewedWorkloadGenerator g(p, 20240608);
+  const JobTrace t = JobTrace::record(g, 500);
+  ASSERT_GT(t.summarize().users, 1u);  // the tags actually exercise v2
+  std::stringstream once;
+  t.write(once);
+  const JobTrace back = JobTrace::parse(once);
+  ASSERT_EQ(back.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) ASSERT_EQ(back.jobs()[i], t.jobs()[i]);
+  std::stringstream again;
+  back.write(again);
+  EXPECT_EQ(once.str(), again.str());
+}
+
+// --------------------------------------------------------------------------
+// Sharing: copies and sources must not duplicate the job vector.
+
+TEST(TraceShare, CopiesShareStorage) {
+  JobTrace t(sampleJobs());
+  const JobTrace copy = t;                        // O(1), shares jobs
+  EXPECT_EQ(&copy.jobs(), &t.jobs());             // same vector instance
+  EXPECT_EQ(copy.shared().get(), t.shared().get());
+}
+
+TEST(TraceShare, SourcesShareStorageAndReplayIdentically) {
+  JobTrace t(sampleJobs());
+  const long before = t.shared().use_count();
+  TraceSource a{t};
+  TraceSource b{t};
+  EXPECT_EQ(t.shared().use_count(), before + 2);  // shared, not copied
+
+  // Identical job streams from both sources (and intact originals after).
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const auto ja = a.next();
+    const auto jb = b.next();
+    ASSERT_TRUE(ja && jb);
+    EXPECT_EQ(*ja, *jb);
+    EXPECT_EQ(*ja, t.jobs()[i]);
+  }
+  EXPECT_FALSE(a.next());
+  EXPECT_FALSE(b.next());
+  EXPECT_EQ(t.size(), 3u);  // trace untouched by replay
+}
+
+TEST(TraceShare, SourceOutlivesTraceHandle) {
+  auto src = [] {
+    JobTrace t(sampleJobs());
+    return TraceSource{t};
+  }();  // the JobTrace handle is gone; the shared vector must survive
+  std::size_t n = 0;
+  while (src.next()) ++n;
+  EXPECT_EQ(n, 3u);
+}
+
+// --------------------------------------------------------------------------
+// Streaming source: identical stream, O(1) memory path.
+
+std::unique_ptr<std::istream> streamOf(const std::string& text) {
+  return std::make_unique<std::istringstream>(text);
+}
+
+TEST(TraceStream, MatchesInMemoryReplay) {
+  JobTrace t(sampleJobs());
+  std::stringstream ss;
+  t.write(ss);
+  StreamingTraceSource stream(streamOf(ss.str()));
+  TraceSource memory{t};
+  while (true) {
+    const auto js = stream.next();
+    const auto jm = memory.next();
+    ASSERT_EQ(js.has_value(), jm.has_value());
+    if (!js) break;
+    EXPECT_EQ(*js, *jm);
+  }
+  EXPECT_EQ(stream.jobsReturned(), t.size());
+  EXPECT_FALSE(stream.next());  // stays exhausted
+}
+
+TEST(TraceStream, RenumbersSparseIdsDensely) {
+  const std::string csv = "5,100,10,50\n10,200,10,50\n20,300,10,50\n";
+  StreamingTraceSource keep(streamOf(csv));
+  EXPECT_EQ(keep.next()->id, 5u);  // ids preserved by default
+
+  StreamingTraceSource dense(streamOf(csv), "<stream>", /*renumber=*/true);
+  for (JobId want = 0; want < 3; ++want) {
+    const auto j = dense.next();
+    ASSERT_TRUE(j);
+    EXPECT_EQ(j->id, want);
+  }
+  EXPECT_FALSE(dense.next());
+}
+
+TEST(TraceStream, RenumberStillRejectsDuplicateIds) {
+  StreamingTraceSource s(streamOf("7,100,10,50\n7,200,10,50\n"), "<stream>", true);
+  EXPECT_TRUE(s.next());
+  EXPECT_THROW(s.next(), std::runtime_error);
+}
+
+TEST(TraceStream, ErrorsCarryLineNumbers) {
+  StreamingTraceSource s(streamOf("# header\n0,100,10,50\n\n1,50,10,50\n"));
+  EXPECT_TRUE(s.next());
+  try {
+    s.next();
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos) << e.what();
+  }
+}
+
+TEST(TraceStream, StreamingWriterMatchesInMemoryWriter) {
+  WorkloadParams p;
+  WorkloadGenerator g1(p, 99);
+  WorkloadGenerator g2(p, 99);
+  std::stringstream streamed;
+  const std::size_t n = writeTrace(streamed, g1, 50);
+  EXPECT_EQ(n, 50u);
+  std::stringstream recorded;
+  JobTrace::record(g2, 50).write(recorded);
+  EXPECT_EQ(streamed.str(), recorded.str());
+}
+
+TEST(TraceStream, SaveTraceRoundTripsThroughFile) {
+  const std::string path = ::testing::TempDir() + "/ppsched_stream_trace.csv";
+  WorkloadParams p;
+  WorkloadGenerator g(p, 7);
+  EXPECT_EQ(saveTrace(path, g, 20), 20u);
+  StreamingTraceSource s(path);
+  std::size_t n = 0;
+  while (s.next()) ++n;
+  EXPECT_EQ(n, 20u);
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------------------------------------
+// Summary edge cases.
+
+TEST(TraceSummary, SingleJob) {
+  JobTrace t({{0, 123.0, {10, 50}}});
+  const auto s = t.summarize();
+  EXPECT_EQ(s.jobs, 1u);
+  EXPECT_DOUBLE_EQ(s.span, 0.0);
+  EXPECT_DOUBLE_EQ(s.meanInterarrival, 0.0);
+  EXPECT_DOUBLE_EQ(s.meanEvents, 40.0);
+  EXPECT_EQ(s.users, 0u);
+}
+
+TEST(TraceSummary, IdenticalArrivals) {
+  JobTrace t({{0, 50.0, {0, 10}}, {1, 50.0, {0, 10}}, {2, 50.0, {0, 10}}});
+  const auto s = t.summarize();
+  EXPECT_DOUBLE_EQ(s.span, 0.0);
+  EXPECT_DOUBLE_EQ(s.meanInterarrival, 0.0);
+}
+
+TEST(TraceSummary, CountsDistinctTaggedUsers) {
+  JobTrace t({{0, 1.0, {0, 10}, 4}, {1, 2.0, {0, 10}, 4}, {2, 3.0, {0, 10}, 2}, {3, 4.0, {0, 10}}});
+  EXPECT_EQ(t.summarize().users, 2u);
 }
 
 }  // namespace

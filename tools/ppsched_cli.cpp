@@ -22,12 +22,18 @@
 //   --stripe N             delayed/adaptive/mixed stripe size (events)
 //   --warmup N / --jobs N  warm-up and measured job counts
 //   --seed S               base RNG seed
+//   --trace FILE           replay a trace file instead of the synthetic
+//                          generator (streamed job by job; ppsched CSV or
+//                          IN2P3 batch records, auto-detected). Real traces
+//                          carry user tags: run/timeline also report the
+//                          per-user fairness index.
 //   --pipelined            overlap transfer and processing (§7)
 //   --tertiary-cap MBPS    aggregate tertiary bandwidth cap
 //   --network SPEC         flow-level network model, e.g.
 //                          "nic=125,uplink=20,ingress=40,group=8" (MB/s;
 //                          group = nodes per edge switch) or "off"
 //   --csv                  machine-readable output
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -108,6 +114,8 @@ CliOptions parse(int argc, char** argv) {
       opt.spec.measuredJobs = std::strtoull(needValue(i).c_str(), nullptr, 10);
     } else if (flag == "--seed") {
       opt.spec.seed = std::strtoull(needValue(i).c_str(), nullptr, 10);
+    } else if (flag == "--trace") {
+      opt.spec.tracePath = needValue(i);
     } else if (flag == "--pipelined") {
       opt.spec.sim.cost.pipelined = true;
     } else if (flag == "--tertiary-cap") {
@@ -146,8 +154,13 @@ void printResult(const CliOptions& opt, double load, const RunResult& r) {
                 r.cacheHitFraction, r.measuredJobs, r.overloaded ? 1 : 0);
     return;
   }
-  std::printf("policy %s @ %.2f jobs/hour%s\n", opt.spec.policyName.c_str(), load,
-              r.overloaded ? "  [OVERLOADED]" : "");
+  if (opt.spec.tracePath.empty()) {
+    std::printf("policy %s @ %.2f jobs/hour%s\n", opt.spec.policyName.c_str(), load,
+                r.overloaded ? "  [OVERLOADED]" : "");
+  } else {
+    std::printf("policy %s replaying %s%s\n", opt.spec.policyName.c_str(),
+                opt.spec.tracePath.c_str(), r.overloaded ? "  [OVERLOADED]" : "");
+  }
   std::printf("  speedup        %.2f\n", r.avgSpeedup);
   std::printf("  wait           %.3f h (ex-delay %.3f h, p95 %.3f h, max %.3f h)\n",
               units::toHours(r.avgWait), units::toHours(r.avgWaitExDelay),
@@ -156,6 +169,21 @@ void printResult(const CliOptions& opt, double load, const RunResult& r) {
               100 * r.remoteReadFraction);
   std::printf("  throughput     %.2f jobs/hour over %zu measured jobs\n",
               r.throughputJobsPerHour, r.measuredJobs);
+  if (r.userStats.size() > 1 ||
+      (r.userStats.size() == 1 && r.userStats.front().user != kNoUser)) {
+    std::printf("  fairness       %.3f (Jain, %zu users)\n", r.userFairness,
+                r.userStats.size());
+    const std::size_t top = std::min<std::size_t>(5, r.userStats.size());
+    for (std::size_t i = 0; i < top; ++i) {
+      const UserStats& u = r.userStats[i];
+      std::printf("    user %-6u %5zu jobs  %5.1f%% of events  wait %.3f h (p95 %.3f h)\n",
+                  u.user, u.jobs, 100.0 * u.eventShare, units::toHours(u.meanWait),
+                  units::toHours(u.p95Wait));
+    }
+    if (r.userStats.size() > top) {
+      std::printf("    ... %zu more users\n", r.userStats.size() - top);
+    }
+  }
   if (r.network.enabled) {
     std::printf("  network        %llu flows (%llu remote, %llu tertiary, %llu repl), "
                 "peak %llu concurrent\n",
@@ -213,8 +241,13 @@ int cmdTimeline(const CliOptions& opt) {
   cfg.finalize();
   const std::size_t jobCount = opt.spec.measuredJobs != 1500 ? opt.spec.measuredJobs : 8;
 
-  WorkloadGenerator gen(cfg.workload, opt.spec.seed);
-  const JobTrace trace = JobTrace::record(gen, jobCount);
+  std::unique_ptr<JobSource> src;
+  if (!opt.spec.tracePath.empty()) {
+    src = openTraceSource(opt.spec.tracePath, cfg);
+  } else {
+    src = std::make_unique<WorkloadGenerator>(cfg.workload, opt.spec.seed);
+  }
+  const JobTrace trace = JobTrace::record(*src, jobCount);
   MetricsCollector metrics(cfg.cost, WarmupConfig{0, 0.0});
   Engine engine(cfg, std::make_unique<TraceSource>(trace),
                 makePolicy(opt.spec.policyName, opt.spec.policyParams), metrics);
