@@ -1,0 +1,167 @@
+// Extension: QoS classes and tail latency under diurnal overload.
+//
+// The paper's policies treat every job alike; production analysis farms do
+// not — short interactive analyses share the cluster with bulk production
+// passes, and what users feel is the *tail* of the interactive waiting-time
+// distribution, not the mean speedup. This bench drives an IN2P3-shaped
+// skewed workload (Zipf users, Pareto job sizes, diurnal arrival wave whose
+// peaks overload the farm) with one third of the user groups tagged
+// interactive, and compares the EEVDF virtual-deadline scheduler against
+// the class-blind baselines on three axes:
+//
+//   - per-class waiting-time tails (p95/p99, interactive vs bulk),
+//   - weighted per-user fairness (Jain index over events/weight shares),
+//   - aggregate speedup (the price paid for differentiation).
+//
+// The eevdf rows vary the cache-affinity tie-break window: window=0 is
+// strict EEVDF (earliest eligible virtual deadline, period), the default
+// window may swap near-tied deadlines for a cheaper data plan. A failure
+// column re-runs the whole grid with node crashes (MTBF 40 h, MTTR 2 h)
+// to confirm the refund/requeue path keeps the QoS ordering.
+//
+// What to expect: eevdf holds interactive p95 well below bulk p95 through
+// the daily peaks while the class-blind policies serve both classes the
+// same tail; its aggregate speedup stays within a few percent of
+// out_of_order (same greedy cache-affinity core, different queue order).
+#include <future>
+
+#include "bench_util.h"
+#include "sched/eevdf.h"
+#include "sim/thread_pool.h"
+#include "workload/in2p3.h"
+
+namespace {
+
+using namespace ppsched;
+using namespace ppsched::bench;
+
+struct Case {
+  const char* label;
+  const char* policy;
+  const char* qosSpec;  // nullptr = defaults (class-blind policies)
+};
+
+struct Outcome {
+  RunResult result;
+  double p95Interactive = 0.0;  // hours; 0 when the class saw no jobs
+  double p95Bulk = 0.0;
+  double p99Interactive = 0.0;
+  double p99Bulk = 0.0;
+};
+
+Outcome runCase(const Case& c, bool failures) {
+  ExperimentSpec spec;
+  spec.policyName = c.policy;
+  spec.jobsPerHour = 5.0;  // peaks reach 8 jobs/hour on the diurnal wave
+  spec.sim.finalize();
+  spec.policyParams.stripeEvents = 5000;
+  spec.policyParams.periodDelay = 3 * units::hour;
+  if (c.qosSpec != nullptr) spec.policyParams.qos = parseQosSpec(c.qosSpec);
+  if (failures) {
+    spec.sim.failures.meanTimeBetweenFailuresSec = 40 * units::hour;
+    spec.sim.failures.meanTimeToRepairSec = 2 * units::hour;
+  }
+  spec.warmupJobs = jobs(400);
+  spec.measuredJobs = jobs(2400);
+  spec.maxJobsInSystem = 4000;  // peaks queue deeply; delayed batches whole periods
+  spec.prewarmCaches = true;
+
+  SkewedWorkloadParams wl;
+  wl.totalEvents = spec.sim.totalEvents();
+  wl.jobsPerHour = spec.jobsPerHour;
+  wl.users = 40;
+  wl.zipfS = 1.2;
+  wl.minJobEvents = 2'000;
+  wl.paretoAlpha = 1.3;
+  wl.groups = 6;
+  wl.interactiveGroups = 2;  // ~1/3 of groups submit interactive analyses
+  wl.diurnalAmplitude = 0.6;
+  const std::uint64_t seed = spec.seed;
+  spec.sourceFactory = [wl, seed] {
+    return std::make_unique<SkewedWorkloadGenerator>(wl, seed);
+  };
+
+  Outcome out;
+  out.result = runExperiment(spec);
+  for (const ClassStats& cs : out.result.classStats) {
+    if (cs.cls == QosClass::Interactive) {
+      out.p95Interactive = units::toHours(cs.p95Wait);
+      out.p99Interactive = units::toHours(cs.p99Wait);
+    } else {
+      out.p95Bulk = units::toHours(cs.p95Wait);
+      out.p99Bulk = units::toHours(cs.p99Wait);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  printHeader("Extension",
+              "QoS tail latency: skewed diurnal overload (mean 5 jobs/hour, amplitude 0.6),\n"
+              "2 of 6 groups interactive; waits in hours");
+
+  // The same qos weights for every row: class-blind policies ignore them for
+  // scheduling but the weighted Jain index must use one yardstick.
+  const char* kQos = "iweight=4,bweight=1";
+  const Case cases[] = {
+      {"out_of_order", "out_of_order", kQos},
+      {"delayed-3h", "delayed", kQos},
+      {"prefetch-3h", "prefetch_delayed", kQos},
+      {"eevdf", "eevdf", kQos},  // default affinity window (5000 events)
+      {"eevdf-strict", "eevdf", "iweight=4,bweight=1,window=0"},
+      {"eevdf-deadline", "eevdf", "iweight=4,bweight=1,ideadline=900"},
+  };
+
+  std::vector<PerfRecord> records;
+  for (const bool failures : {false, true}) {
+    std::printf("%s\n", failures ? "With node failures (MTBF 40 h, MTTR 2 h):"
+                                 : "No failures:");
+    std::printf("%-16s %8s %8s %9s %9s %9s %9s %9s %11s\n", "policy", "thruput",
+                "speedup", "i-p95", "b-p95", "i-p99", "b-p99", "jain-w", "overloaded");
+
+    // One future per row: the grid is embarrassingly parallel.
+    ThreadPool pool;
+    std::vector<std::future<Outcome>> rows;
+    rows.reserve(std::size(cases));
+    for (const Case& c : cases) {
+      rows.push_back(pool.submit([&c, failures] { return runCase(c, failures); }));
+    }
+    for (std::size_t i = 0; i < std::size(cases); ++i) {
+      const Outcome o = rows[i].get();
+      const RunResult& r = o.result;
+      std::printf("%-16s %8.2f %8.2f %9.2f %9.2f %9.2f %9.2f %9.3f %11s\n",
+                  cases[i].label, r.throughputJobsPerHour, r.avgSpeedup, o.p95Interactive,
+                  o.p95Bulk, o.p99Interactive, o.p99Bulk, r.weightedUserFairness,
+                  r.overloaded ? "yes" : "no");
+      if (r.overloaded) continue;  // no finite tails to compare
+      const std::string series =
+          std::string(cases[i].label) + (failures ? "+fail" : "");
+      records.push_back({series, "throughput", r.throughputJobsPerHour, "jobs/h"});
+      records.push_back({series, "speedup", r.avgSpeedup, "x"});
+      records.push_back({series, "p95_wait_interactive", o.p95Interactive, "hours"});
+      records.push_back({series, "p95_wait_bulk", o.p95Bulk, "hours"});
+      records.push_back({series, "jain_weighted", r.weightedUserFairness, "index"});
+    }
+    std::printf("\n");
+  }
+
+  if (const char* dir = jsonDir(); dir != nullptr) {
+    const std::string path = writeBenchJson(dir, "ext_qos_tail", records);
+    if (!path.empty()) std::printf("(perf json written to %s)\n\n", path.c_str());
+  }
+
+  std::printf("Findings this bench demonstrates: virtual-deadline scheduling buys the\n"
+              "interactive class a much shorter waiting-time tail through diurnal peaks\n"
+              "at near-zero aggregate cost — eevdf's throughput matches out_of_order\n"
+              "(both are work-conserving) while the class-blind policies give both\n"
+              "classes the same (bulk-sized) tail. Per-job speedup is lower under\n"
+              "contention by construction: a proportional-share queue round-robins the\n"
+              "active accounts where out_of_order dedicates the whole cluster to the\n"
+              "head of the queue. The affinity window (eevdf vs eevdf-strict) trades a\n"
+              "little deadline fidelity for cache hits; a hard relative deadline\n"
+              "(eevdf-deadline) caps interactive stripe sizes and bounds the\n"
+              "interactive tail even when node failures refund and requeue work.\n");
+  return 0;
+}

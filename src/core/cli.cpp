@@ -1,0 +1,132 @@
+#include "core/cli.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "net/network.h"
+#include "sched/eevdf.h"
+
+namespace ppsched {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) { throw std::invalid_argument(message); }
+
+double parseDouble(const std::string& value, const std::string& flag) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (value.empty() || end == value.c_str() || *end != '\0' || !std::isfinite(v)) {
+    fail("malformed number for " + flag + ": '" + value + "'");
+  }
+  return v;
+}
+
+std::uint64_t parseUnsigned(const std::string& value, const std::string& flag) {
+  if (value.empty() || value.front() == '-' || value.front() == '+') {
+    fail(flag + " needs an unsigned integer, got '" + value + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+    fail(flag + " needs an unsigned integer, got '" + value + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+std::vector<double> parseLoads(const std::string& arg) {
+  std::vector<double> loads;
+  std::size_t pos = 0;
+  while (pos <= arg.size()) {
+    std::size_t next = arg.find(',', pos);
+    if (next == std::string::npos) next = arg.size();
+    loads.push_back(parseDouble(arg.substr(pos, next - pos), "--loads"));
+    pos = next + 1;
+  }
+  if (loads.empty()) fail("--loads needs at least one value");
+  return loads;
+}
+
+bool knownCommand(const std::string& command) {
+  return command == "run" || command == "sweep" || command == "maxload" ||
+         command == "replicate" || command == "timeline" || command == "policies" ||
+         command == "config";
+}
+
+}  // namespace
+
+CliOptions parseCliArgs(const std::vector<std::string>& args) {
+  CliOptions opt;
+  opt.spec.policyName = "out_of_order";
+  opt.spec.jobsPerHour = 1.0;
+  if (args.empty()) {
+    fail("missing command (try: policies, config, run, sweep, maxload, replicate, timeline)");
+  }
+  opt.command = args[0];
+  if (!knownCommand(opt.command)) fail("unknown command: " + opt.command);
+
+  std::size_t i = 1;
+  auto needValue = [&](const std::string& flag) -> const std::string& {
+    if (i + 1 >= args.size()) fail("missing value for " + flag);
+    return args[++i];
+  };
+  for (; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    if (flag == "--policy") {
+      opt.spec.policyName = needValue(flag);
+    } else if (flag == "--load") {
+      opt.spec.jobsPerHour = parseDouble(needValue(flag), flag);
+    } else if (flag == "--nodes") {
+      opt.spec.sim.numNodes = static_cast<int>(parseUnsigned(needValue(flag), flag));
+    } else if (flag == "--cpus") {
+      opt.spec.sim.cpusPerNode = static_cast<int>(parseUnsigned(needValue(flag), flag));
+    } else if (flag == "--cache") {
+      opt.spec.sim.cacheBytesPerNode =
+          static_cast<std::uint64_t>(parseDouble(needValue(flag), flag) * 1e9);
+    } else if (flag == "--delay") {
+      opt.spec.policyParams.periodDelay = parseDouble(needValue(flag), flag) * units::hour;
+    } else if (flag == "--stripe") {
+      opt.spec.policyParams.stripeEvents = parseUnsigned(needValue(flag), flag);
+    } else if (flag == "--warmup") {
+      opt.spec.warmupJobs = parseUnsigned(needValue(flag), flag);
+    } else if (flag == "--jobs") {
+      opt.spec.measuredJobs = parseUnsigned(needValue(flag), flag);
+    } else if (flag == "--seed") {
+      opt.spec.seed = parseUnsigned(needValue(flag), flag);
+    } else if (flag == "--trace") {
+      opt.spec.tracePath = needValue(flag);
+    } else if (flag == "--pipelined") {
+      opt.spec.sim.cost.pipelined = true;
+    } else if (flag == "--tertiary-cap") {
+      opt.spec.sim.tertiaryAggregateBytesPerSec = parseDouble(needValue(flag), flag) * 1e6;
+    } else if (flag == "--network") {
+      opt.spec.sim.network = parseNetworkSpec(needValue(flag));
+    } else if (flag == "--qos") {
+      opt.spec.policyParams.qos = parseQosSpec(needValue(flag));
+    } else if (flag == "--loads") {
+      opt.loads = parseLoads(needValue(flag));
+    } else if (flag == "--lo") {
+      opt.lo = parseDouble(needValue(flag), flag);
+    } else if (flag == "--hi") {
+      opt.hi = parseDouble(needValue(flag), flag);
+    } else if (flag == "--replicas") {
+      opt.replicas = parseUnsigned(needValue(flag), flag);
+    } else if (flag == "--csv") {
+      opt.csv = true;
+    } else {
+      fail("unknown option: " + flag);
+    }
+  }
+  opt.spec.sim.finalize();
+  // Periods legitimately hold many jobs for delayed-family policies.
+  if (opt.spec.policyName == "delayed" || opt.spec.policyName == "adaptive" ||
+      opt.spec.policyName == "mixed") {
+    opt.spec.maxJobsInSystem = 4000;
+  }
+  return opt;
+}
+
+}  // namespace ppsched

@@ -1,0 +1,33 @@
+// Command-line argument parsing for the ppsched CLI.
+//
+// Lives in the library (not tools/ppsched_cli.cpp) so flag parsing is unit
+// testable with plain argument vectors: parseCliArgs throws
+// std::invalid_argument instead of exiting, and the tool's main converts
+// that to the usual exit code 2.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace ppsched {
+
+/// Everything the CLI commands need, parsed and validated.
+struct CliOptions {
+  std::string command;
+  ExperimentSpec spec;
+  std::vector<double> loads;  ///< sweep points (--loads)
+  double lo = 0.8;            ///< maxload bracket
+  double hi = 3.2;
+  std::size_t replicas = 5;
+  bool csv = false;
+};
+
+/// Parse the argument vector (argv[1..argc-1]: command first, then flags).
+/// Strict: unknown commands/flags, missing values and malformed numbers all
+/// throw std::invalid_argument with a message naming the offender.
+CliOptions parseCliArgs(const std::vector<std::string>& args);
+
+}  // namespace ppsched

@@ -13,7 +13,8 @@
 
 namespace ppsched {
 
-std::unique_ptr<JobSource> openTraceSource(const std::string& path, const SimConfig& cfg) {
+std::unique_ptr<JobSource> openTraceSource(const std::string& path, const SimConfig& cfg,
+                                           const std::vector<std::string>& interactiveGroups) {
   // Peek at the first content line: IN2P3 logs lead with a header naming
   // their columns (letters), ppsched traces with a numeric CSV row.
   bool in2p3 = false;
@@ -34,6 +35,7 @@ std::unique_ptr<JobSource> openTraceSource(const std::string& path, const SimCon
     map.totalEvents = cfg.totalEvents();
     map.secPerEventRef = cfg.cost.uncachedSecPerEvent();
     map.minJobEvents = cfg.minSubjobEvents;
+    map.interactiveGroups = interactiveGroups;
     return std::make_unique<In2p3TraceReader>(path, map);
   }
   return std::make_unique<StreamingTraceSource>(path, /*renumber=*/true);
@@ -49,7 +51,7 @@ RunResult runExperiment(const ExperimentSpec& spec) {
     source = spec.sourceFactory();
     if (!source) throw std::invalid_argument("sourceFactory returned null");
   } else if (!spec.tracePath.empty()) {
-    source = openTraceSource(spec.tracePath, cfg);
+    source = openTraceSource(spec.tracePath, cfg, spec.policyParams.qos.interactiveGroups);
   } else {
     source = std::make_unique<WorkloadGenerator>(cfg.workload, spec.seed);
   }
@@ -58,6 +60,8 @@ RunResult runExperiment(const ExperimentSpec& spec) {
   WarmupConfig warmup;
   warmup.jobs = spec.warmupJobs;
   MetricsCollector metrics(cfg.cost, warmup);
+  metrics.setQosWeights(spec.policyParams.qos.bulkWeight,
+                        spec.policyParams.qos.interactiveWeight);
 
   Engine engine(cfg, std::move(source), std::move(policy), metrics);
 

@@ -58,8 +58,11 @@ RunResult runExperiment(const ExperimentSpec& spec);
 /// batch-record reader, numeric CSV the ppsched trace format. Mapping
 /// parameters (data-space size, reference event cost, minimal job size)
 /// come from `cfg`, which must be finalized. Ids are renumbered densely so
-/// any well-formed trace can drive the engine.
-std::unique_ptr<JobSource> openTraceSource(const std::string& path, const SimConfig& cfg);
+/// any well-formed trace can drive the engine. `interactiveGroups` names
+/// the IN2P3 group labels whose jobs are classed interactive (ignored for
+/// ppsched CSV traces, which carry the class column themselves).
+std::unique_ptr<JobSource> openTraceSource(const std::string& path, const SimConfig& cfg,
+                                           const std::vector<std::string>& interactiveGroups = {});
 
 struct LoadPoint {
   double jobsPerHour = 0.0;

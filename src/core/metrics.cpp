@@ -10,6 +10,14 @@ namespace ppsched {
 MetricsCollector::MetricsCollector(const CostModel& cost, WarmupConfig warmup)
     : cost_(cost), warmup_(warmup) {}
 
+void MetricsCollector::setQosWeights(double bulkWeight, double interactiveWeight) {
+  if (!(bulkWeight > 0.0) || !(interactiveWeight > 0.0)) {
+    throw std::invalid_argument("metrics: QoS weights must be > 0");
+  }
+  qosWeights_[static_cast<std::size_t>(QosClass::Bulk)] = bulkWeight;
+  qosWeights_[static_cast<std::size_t>(QosClass::Interactive)] = interactiveWeight;
+}
+
 bool MetricsCollector::measured(const JobRecord& r) const {
   return r.id >= warmup_.jobs && r.arrival >= warmup_.time;
 }
@@ -31,6 +39,7 @@ void MetricsCollector::onArrival(const Job& job, SimTime now) {
   JobRecord rec;
   rec.id = job.id;
   rec.user = job.user;
+  rec.qos = job.qos;
   rec.arrival = job.arrival;
   rec.events = job.events();
   records_.push_back(rec);
@@ -167,6 +176,58 @@ RunResult MetricsCollector::finalize(SimTime endTime, bool withHistogram) const 
     out.userFairness = byUser.size() > 1 && sumX2 > 0.0
                            ? (sumX * sumX) / (static_cast<double>(byUser.size()) * sumX2)
                            : 1.0;
+  }
+
+  // Weighted per-(user, class) fairness: a share is fair when proportional
+  // to its class weight, so the Jain index runs over x = events / weight.
+  {
+    std::map<std::pair<UserId, QosClass>, std::uint64_t> byAccount;
+    for (const JobRecord& rec : records_) {
+      if (!rec.completed() || !measured(rec)) continue;
+      byAccount[{rec.user, rec.qos}] += rec.events;
+    }
+    double sumX = 0.0, sumX2 = 0.0;
+    for (const auto& [key, events] : byAccount) {
+      const double x =
+          static_cast<double>(events) / qosWeights_[static_cast<std::size_t>(key.second)];
+      sumX += x;
+      sumX2 += x * x;
+    }
+    out.weightedUserFairness =
+        byAccount.size() > 1 && sumX2 > 0.0
+            ? (sumX * sumX) / (static_cast<double>(byAccount.size()) * sumX2)
+            : 1.0;
+  }
+
+  // Per-class wait / tail-latency split (interactive vs bulk).
+  {
+    struct Acc {
+      SampleSet waits;
+      std::uint64_t events = 0;
+    };
+    Acc byClass[kNumQosClasses];
+    std::uint64_t classTotal = 0;
+    for (const JobRecord& rec : records_) {
+      if (!rec.completed() || !measured(rec)) continue;
+      Acc& acc = byClass[static_cast<std::size_t>(rec.qos)];
+      acc.waits.add(rec.waitingTime());
+      acc.events += rec.events;
+      classTotal += rec.events;
+    }
+    for (int c = 0; c < kNumQosClasses; ++c) {
+      const Acc& acc = byClass[c];
+      if (acc.waits.count() == 0) continue;
+      ClassStats cs;
+      cs.cls = static_cast<QosClass>(c);
+      cs.jobs = acc.waits.count();
+      cs.meanWait = acc.waits.mean();
+      cs.p95Wait = acc.waits.quantile(0.95);
+      cs.p99Wait = acc.waits.quantile(0.99);
+      cs.servedEvents = acc.events;
+      cs.eventShare =
+          classTotal > 0 ? static_cast<double>(acc.events) / static_cast<double>(classTotal) : 0.0;
+      out.classStats.push_back(cs);
+    }
   }
 
   const std::uint64_t totalEvents = cachedEvents_ + remoteEvents_ + tertiaryEvents_;

@@ -20,6 +20,7 @@ namespace ppsched {
 struct JobRecord {
   JobId id = kNoJob;
   UserId user = kNoUser;
+  QosClass qos = QosClass::Bulk;
   SimTime arrival = 0.0;
   SimTime firstStart = -1.0;  ///< start of processing of its first piece
   SimTime completion = -1.0;
@@ -53,6 +54,20 @@ struct UserStats {
   double p95Wait = 0.0;          ///< seconds
   std::uint64_t servedEvents = 0;
   double eventShare = 0.0;       ///< servedEvents / all users' servedEvents
+};
+
+/// Per-QoS-class aggregates over the measured window: the tail-latency
+/// split a deadline-aware policy is judged by (interactive p95/p99 vs
+/// bulk). Untagged runs report a single bulk entry identical to the global
+/// waiting-time aggregates.
+struct ClassStats {
+  QosClass cls = QosClass::Bulk;
+  std::size_t jobs = 0;        ///< measured completed jobs of this class
+  double meanWait = 0.0;       ///< seconds
+  double p95Wait = 0.0;        ///< seconds
+  double p99Wait = 0.0;        ///< seconds
+  std::uint64_t servedEvents = 0;
+  double eventShare = 0.0;     ///< servedEvents / all classes' servedEvents
 };
 
 /// Aggregated results of one simulation run.
@@ -118,6 +133,16 @@ struct RunResult {
   /// runs) so untagged experiments read as trivially fair.
   double userFairness = 1.0;
 
+  /// Per-class breakdown (bulk first); only classes with measured jobs
+  /// appear. Empty only when no jobs were measured.
+  std::vector<ClassStats> classStats;
+  /// Jain index over *weighted* per-(user, class) shares x = servedEvents /
+  /// classWeight: 1.0 means every account received service proportional to
+  /// its class weight — the tuning target of a weighted-share policy. With
+  /// unit weights (the default, see MetricsCollector::setQosWeights) this
+  /// is the Jain index over per-account raw shares.
+  double weightedUserFairness = 1.0;
+
   /// Waiting-time histogram (Fig 4), filled only when requested.
   std::vector<std::pair<double, std::uint64_t>> waitHistogram;  // (bucket lo sec, count)
 
@@ -132,6 +157,11 @@ struct RunResult {
 class MetricsCollector {
  public:
   MetricsCollector(const CostModel& cost, WarmupConfig warmup);
+
+  /// Class weights used by RunResult::weightedUserFairness (a share is fair
+  /// when proportional to its weight). Defaults to 1/1, making the weighted
+  /// index coincide with the raw per-account index on untagged runs.
+  void setQosWeights(double bulkWeight, double interactiveWeight);
 
   // --- engine callbacks -------------------------------------------------
   void onArrival(const Job& job, SimTime now);
@@ -164,6 +194,7 @@ class MetricsCollector {
 
   CostModel cost_;
   WarmupConfig warmup_;
+  double qosWeights_[kNumQosClasses] = {1.0, 1.0};  ///< indexed by QosClass
   std::vector<JobRecord> records_;  // indexed by JobId
   std::size_t completed_ = 0;
   bool abortedOverloaded_ = false;

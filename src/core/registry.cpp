@@ -4,6 +4,7 @@
 
 #include "sched/cache_oriented.h"
 #include "sched/delayed.h"
+#include "sched/eevdf.h"
 #include "sched/farm.h"
 #include "sched/mixed.h"
 #include "sched/out_of_order.h"
@@ -68,6 +69,12 @@ std::unique_ptr<ISchedulerPolicy> makePolicy(const std::string& name,
     return std::make_unique<DelayedScheduler>(
         p, std::make_unique<FixedDelay>(params.periodDelay), "prefetch_delayed");
   }
+  if (name == "eevdf") {
+    EevdfScheduler::Params p;
+    p.qos = params.qos;
+    p.stripeEvents = params.stripeEvents;
+    return std::make_unique<EevdfScheduler>(p);
+  }
   if (name == "mixed") {
     MixedScheduler::Params p;
     p.periodDelay = params.periodDelay;
@@ -86,8 +93,8 @@ std::unique_ptr<ISchedulerPolicy> makePolicy(const std::string& name,
 std::vector<std::string> policyNames() {
   // The paper's policies in order of presentation, then this repository's
   // implementation of the paper's §7 future work.
-  return {"farm",     "splitting", "cache_oriented", "out_of_order", "replication",
-          "delayed",  "adaptive",  "mixed",          "prefetch_delayed"};
+  return {"farm",    "splitting", "cache_oriented",   "out_of_order", "replication",
+          "delayed", "adaptive",  "mixed",            "prefetch_delayed", "eevdf"};
 }
 
 }  // namespace ppsched

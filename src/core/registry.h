@@ -1,7 +1,8 @@
 // Policy registry: create any of the paper's scheduling policies by name.
 //
 // Names: "farm", "splitting", "cache_oriented", "out_of_order",
-// "replication", "delayed", "adaptive", "mixed", "prefetch_delayed".
+// "replication", "delayed", "adaptive", "mixed", "prefetch_delayed",
+// "eevdf".
 #pragma once
 
 #include <memory>
@@ -10,6 +11,7 @@
 
 #include "core/policy.h"
 #include "sched/adaptive.h"
+#include "sched/eevdf.h"
 
 namespace ppsched {
 
@@ -43,6 +45,9 @@ struct PolicyParams {
   bool adaptiveFeedback = false;
   /// delayed / adaptive: window for the observed-load estimate.
   Duration loadWindow = 96 * units::hour;
+  /// eevdf: per-class weights/deadlines and the cache-affinity window; also
+  /// carries the trace-side group -> class mapping (interactiveGroups).
+  QosParams qos;
 };
 
 /// Instantiate a policy by name (throws std::invalid_argument for unknown

@@ -1,0 +1,328 @@
+#include "sched/eevdf.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string_view>
+
+#include "sched/split_util.h"
+
+namespace ppsched {
+
+namespace {
+
+/// Eligibility must tolerate the float error the running sums accumulate;
+/// scale the slack with the magnitude of V.
+double eligibilityEps(double v) { return 1e-9 * (1.0 + std::abs(v)); }
+
+[[noreturn]] void failSpec(const std::string& what) {
+  throw std::invalid_argument("qos: " + what);
+}
+
+double parseSpecNumber(std::string_view field, const char* what) {
+  const std::string buf(field);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (buf.empty() || end == buf.c_str() || *end != '\0' || !std::isfinite(v)) {
+    failSpec(std::string("malformed ") + what + " value '" + buf + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// QosParams spec
+
+QosParams parseQosSpec(const std::string& spec) {
+  QosParams qos;
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view item = comma == std::string_view::npos ? rest : rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{} : rest.substr(comma + 1);
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) failSpec("expected key=value, got '" + std::string(item) + "'");
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view value = item.substr(eq + 1);
+    if (key == "iweight") {
+      qos.interactiveWeight = parseSpecNumber(value, "iweight");
+    } else if (key == "bweight") {
+      qos.bulkWeight = parseSpecNumber(value, "bweight");
+    } else if (key == "ideadline") {
+      qos.interactiveDeadline = parseSpecNumber(value, "ideadline");
+    } else if (key == "bdeadline") {
+      qos.bulkDeadline = parseSpecNumber(value, "bdeadline");
+    } else if (key == "window") {
+      const double w = parseSpecNumber(value, "window");
+      if (w < 0.0 || w > 1e18 || w != std::floor(w)) {
+        failSpec("window must be a non-negative integer event count");
+      }
+      qos.affinityWindowEvents = static_cast<std::uint64_t>(w);
+    } else if (key == "igroups") {
+      qos.interactiveGroups.clear();
+      std::string_view labels = value;
+      while (!labels.empty()) {
+        const std::size_t bar = labels.find('|');
+        const std::string_view label =
+            bar == std::string_view::npos ? labels : labels.substr(0, bar);
+        labels = bar == std::string_view::npos ? std::string_view{} : labels.substr(bar + 1);
+        if (!label.empty()) qos.interactiveGroups.emplace_back(label);
+      }
+    } else {
+      failSpec("unknown key '" + std::string(key) + "'");
+    }
+  }
+  if (qos.interactiveWeight <= 0.0 || qos.bulkWeight <= 0.0) {
+    failSpec("weights must be > 0");
+  }
+  if (qos.interactiveDeadline < 0.0 || qos.bulkDeadline < 0.0) {
+    failSpec("deadlines must be >= 0");
+  }
+  return qos;
+}
+
+std::string formatQosSpec(const QosParams& qos) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "iweight=%g,bweight=%g,ideadline=%g,bdeadline=%g,window=%llu",
+                qos.interactiveWeight, qos.bulkWeight, qos.interactiveDeadline, qos.bulkDeadline,
+                static_cast<unsigned long long>(qos.affinityWindowEvents));
+  std::string out = buf;
+  if (!qos.interactiveGroups.empty()) {
+    out += ",igroups=";
+    for (std::size_t i = 0; i < qos.interactiveGroups.size(); ++i) {
+      if (i > 0) out += '|';
+      out += qos.interactiveGroups[i];
+    }
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// EevdfQueue
+
+double EevdfQueue::virtualTime() const { return sumW_ > 0.0 ? sumWV_ / sumW_ : idleV_; }
+
+void EevdfQueue::activate(const AccountKey&, Account& acct, std::uint64_t requestEvents) {
+  const double v = virtualTime();
+  // Join at the later of the account's own clock and V: an account that
+  // over-served before draining keeps its debt; one owed service at drain
+  // time forfeits it (the standard rule — lag does not accrue while idle).
+  // The carried debt is capped at one incoming request so a long-idle
+  // heavy hitter is delayed, not starved.
+  acct.vruntime = std::max(acct.vruntime, v);
+  acct.vruntime = std::min(acct.vruntime, v + static_cast<double>(requestEvents) / acct.weight);
+  acct.activationSeq = activationCounter_++;
+  sumW_ += acct.weight;
+  sumWV_ += acct.weight * acct.vruntime;
+}
+
+void EevdfQueue::deactivate(Account& acct) {
+  sumW_ -= acct.weight;
+  sumWV_ -= acct.weight * acct.vruntime;
+  if (sumW_ <= 1e-12) {
+    // Last account drained: freeze V at its clock (they coincide when one
+    // account remains, since sum-lag is identically zero) and clear the
+    // sums so float residue cannot accumulate across idle periods.
+    sumW_ = 0.0;
+    sumWV_ = 0.0;
+    idleV_ = acct.vruntime;
+  }
+}
+
+void EevdfQueue::enqueue(const Subjob& sj, double weight) {
+  if (sj.empty()) return;
+  if (!(weight > 0.0)) throw std::invalid_argument("eevdf: weight must be > 0");
+  const AccountKey key{sj.user, sj.qos};
+  auto [it, inserted] = accounts_.try_emplace(key);
+  Account& acct = it->second;
+  if (inserted) acct.vruntime = virtualTime();
+  if (acct.active() && acct.weight != weight) {
+    // Weight changes apply account-wide (sums track w and w*v).
+    sumW_ += weight - acct.weight;
+    sumWV_ += (weight - acct.weight) * acct.vruntime;
+  }
+  acct.weight = weight;
+  if (!acct.active()) activate(key, acct, sj.events());
+  acct.queue.push_back(sj);
+  ++queuedSubjobs_;
+  queuedEvents_ += sj.events();
+  maxRequestEvents_ = std::max(maxRequestEvents_, sj.events());
+}
+
+Subjob EevdfQueue::take(const AccountKey&, Account& acct) {
+  Subjob sj = acct.queue.front();
+  acct.queue.pop_front();
+  const auto r = static_cast<double>(sj.events());
+  acct.vruntime += r / acct.weight;
+  sumWV_ += r;  // d(w * v) = w * (r / w)
+  --queuedSubjobs_;
+  queuedEvents_ -= sj.events();
+  if (!acct.active()) deactivate(acct);
+  return sj;
+}
+
+std::optional<Subjob> EevdfQueue::pop() {
+  return popPreferring([](const Subjob&) { return 0.0; }, 0);
+}
+
+std::optional<Subjob> EevdfQueue::popPreferring(const std::function<double(const Subjob&)>& cost,
+                                                std::uint64_t windowEvents) {
+  if (queuedSubjobs_ == 0) return std::nullopt;
+  const double v = virtualTime();
+  const double eps = eligibilityEps(v);
+
+  // Pass 1: the eligible account with the earliest virtual deadline, ties
+  // broken by activation order then key (std::map iteration is key-ordered,
+  // making the whole order deterministic).
+  struct Choice {
+    std::map<AccountKey, Account>::iterator it;
+    double deadline = 0.0;
+    std::uint64_t seq = 0;
+  };
+  std::optional<Choice> best;
+  std::optional<Choice> fallback;  // min vruntime, if float slack excludes all
+  for (auto it = accounts_.begin(); it != accounts_.end(); ++it) {
+    Account& acct = it->second;
+    if (!acct.active()) continue;
+    const double deadline =
+        acct.vruntime + static_cast<double>(acct.queue.front().events()) / acct.weight;
+    const Choice c{it, deadline, acct.activationSeq};
+    if (!fallback || acct.vruntime < fallback->it->second.vruntime) fallback = c;
+    if (acct.vruntime > v + eps) continue;  // not eligible: ahead of its share
+    if (!best || deadline < best->deadline ||
+        (deadline == best->deadline && c.seq < best->seq)) {
+      best = c;
+    }
+  }
+  // The weighted mean V is >= the minimum vruntime, so an eligible account
+  // always exists mathematically; the fallback only covers float slack.
+  if (!best) best = fallback;
+
+  if (windowEvents > 0) {
+    // Pass 2: among eligible heads within the window of the earliest
+    // deadline — (d_i - d*) * w_i is the service (events) the winner would
+    // forfeit — prefer the cheapest-to-access head. Strict order wins ties.
+    const double dStar = best->deadline;
+    double bestCost = std::numeric_limits<double>::infinity();
+    for (auto it = accounts_.begin(); it != accounts_.end(); ++it) {
+      Account& acct = it->second;
+      if (!acct.active() || acct.vruntime > v + eps) continue;
+      const double deadline =
+          acct.vruntime + static_cast<double>(acct.queue.front().events()) / acct.weight;
+      if ((deadline - dStar) * acct.weight > static_cast<double>(windowEvents)) continue;
+      const double c = cost(acct.queue.front());
+      const Choice candidate{it, deadline, acct.activationSeq};
+      const bool better =
+          c < bestCost ||
+          (c == bestCost && (candidate.deadline < best->deadline ||
+                             (candidate.deadline == best->deadline && candidate.seq < best->seq)));
+      if (better) {
+        best = candidate;
+        bestCost = c;
+      }
+    }
+  }
+  return take(best->it->first, best->it->second);
+}
+
+void EevdfQueue::refund(UserId user, QosClass cls, std::uint64_t events) {
+  const auto it = accounts_.find(AccountKey{user, cls});
+  if (it == accounts_.end() || events == 0) return;
+  Account& acct = it->second;
+  acct.vruntime -= static_cast<double>(events) / acct.weight;
+  if (acct.active()) sumWV_ -= static_cast<double>(events);
+}
+
+std::vector<EevdfQueue::AccountView> EevdfQueue::accounts() const {
+  std::vector<AccountView> out;
+  out.reserve(accounts_.size());
+  const double v = virtualTime();
+  for (const auto& [key, acct] : accounts_) {
+    AccountView view;
+    view.key = key;
+    view.weight = acct.weight;
+    view.vruntime = acct.vruntime;
+    view.active = acct.active();
+    view.lag = acct.active() ? acct.weight * (v - acct.vruntime) : 0.0;
+    view.queuedSubjobs = acct.queue.size();
+    for (const Subjob& sj : acct.queue) view.queuedEvents += sj.events();
+    out.push_back(view);
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// EevdfScheduler
+
+void EevdfScheduler::bind(ISchedulerHost& host) {
+  ISchedulerPolicy::bind(host);
+  const SimConfig& cfg = host.config();
+  const double disk = cfg.cost.diskSecPerEvent();
+  cachedSecPerEvent_ =
+      cfg.cost.pipelined ? std::max(disk, cfg.cost.cpuSecPerEvent) : disk + cfg.cost.cpuSecPerEvent;
+}
+
+std::uint64_t EevdfScheduler::requestEvents(QosClass cls) const {
+  std::uint64_t req = std::max<std::uint64_t>(1, params_.stripeEvents);
+  const Duration deadline = params_.qos.deadlineOf(cls);
+  if (deadline > 0.0 && cachedSecPerEvent_ > 0.0) {
+    // A relative deadline maps to a request-size cap: smaller requests get
+    // earlier virtual deadlines, which is how EEVDF trades throughput share
+    // for latency without reservations.
+    const double cap = deadline / cachedSecPerEvent_;
+    req = std::min(req, static_cast<std::uint64_t>(std::max(1.0, cap)));
+  }
+  return std::max(req, host().config().minSubjobEvents);
+}
+
+void EevdfScheduler::onJobArrival(const Job& job) {
+  const std::uint64_t req = requestEvents(job.qos);
+  const std::uint64_t parts = (job.events() + req - 1) / req;
+  const double weight = params_.qos.weightOf(job.qos);
+  for (const Subjob& piece :
+       splitEqual(wholeSubjob(job), parts, host().config().minSubjobEvents)) {
+    queue_.enqueue(piece, weight);
+  }
+  feedIdleNodes();
+}
+
+void EevdfScheduler::onRunFinished(NodeId node, const RunReport&) { feedNode(node); }
+
+void EevdfScheduler::onNodeDown(NodeId, const RunReport* lost) {
+  if (lost == nullptr || lost->remainder.empty()) return;
+  // The full request was charged at dispatch; give back the unprocessed
+  // part before re-queueing it (it is charged again when re-dispatched).
+  const Subjob& rem = lost->remainder;
+  queue_.refund(rem.user, rem.qos, rem.events());
+  queue_.enqueue(rem, params_.qos.weightOf(rem.qos));
+}
+
+void EevdfScheduler::onNodeUp(NodeId node) { feedNode(node); }
+
+void EevdfScheduler::feedIdleNodes() {
+  for (const NodeId node : host().idleNodes()) {
+    if (queue_.empty()) return;
+    feedNode(node);
+  }
+}
+
+void EevdfScheduler::feedNode(NodeId node) {
+  if (queue_.empty() || !host().isIdle(node)) return;
+  const auto planFor = [&](const Subjob& sj) {
+    return host().planAccess(node, sj.range).front();
+  };
+  const auto sj = queue_.popPreferring(
+      [&](const Subjob& head) { return planFor(head).secPerEvent; },
+      params_.qos.affinityWindowEvents);
+  if (!sj) return;
+  host().startRun(node, *sj, planFor(*sj));
+}
+
+}  // namespace ppsched

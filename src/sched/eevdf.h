@@ -1,0 +1,210 @@
+// EEVDF virtual-deadline scheduling (QoS classes beyond the paper).
+//
+// The paper's policies order work by arrival and cache affinity only; no
+// deadline, weight or user information is consumed. This policy implements
+// Earliest Eligible Virtual Deadline First (Stoica & Abdel-Wahab's
+// proportional-share algorithm, the shape Linux adopted for its CFS
+// successor) over per-(user, class) accounts:
+//
+//   - every account holds a weight w_i and a virtual runtime v_i;
+//   - the global virtual time is the weighted average over active accounts,
+//       V = Σ w_i v_i / Σ w_i,
+//     so each account's lag, lag_i = w_i (V - v_i), sums to exactly zero
+//     by construction;
+//   - an account is *eligible* when v_i <= V (it is not ahead of its share);
+//   - its head request of r events carries the virtual deadline
+//       d_i = v_i + r / w_i;
+//   - dispatch picks the eligible account with the earliest virtual
+//     deadline and charges it v_i += r / w_i.
+//
+// Classic EEVDF guarantees |lag_i| stays bounded by one maximal request —
+// the property-test harness (tests/slow_eevdf.cpp) pins that bound, the
+// zero-sum identity, eligibility of every dispatch, and the degeneration
+// to FIFO under equal weights.
+//
+// Deadlines map to request sizes (the Linux latency-nice trick): a class
+// with a relative deadline D gets stripes of at most D / cachedSecPerEvent
+// events, so its virtual deadlines come up sooner and its jobs jump the
+// queue without any reservation machinery.
+//
+// Cache affinity is a bounded tie-break, not an override: among eligible
+// accounts whose head deadline is within `affinityWindowEvents` of the
+// minimum (scaled by weight, so the window is denominated in forfeited
+// service events), the dispatcher may pick the head whose data is cheapest
+// to access from the idle node (per ISchedulerHost::planAccess). Window 0
+// is strict EEVDF; a huge window is pure cache-greedy. The tension between
+// serving the deadline and serving the cache is exactly this knob, swept by
+// bench/ext_qos_tail.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/host.h"
+#include "core/policy.h"
+
+namespace ppsched {
+
+/// QoS knobs: per-class weights and optional relative deadlines, plus the
+/// deadline-vs-cache tie-break window. Carried in PolicyParams; also the
+/// carrier of the trace-side group -> class mapping.
+struct QosParams {
+  /// Proportional-share weights (any positive scale; only ratios matter).
+  double bulkWeight = 1.0;
+  double interactiveWeight = 4.0;
+  /// Optional per-class relative deadline (seconds; 0 = none). Mapped to a
+  /// request-size cap: stripes of at most deadline/cachedSecPerEvent events.
+  Duration bulkDeadline = 0.0;
+  Duration interactiveDeadline = 0.0;
+  /// Cache-affinity tie-break window in forfeited service events (see file
+  /// header). 0 = strict EEVDF order.
+  std::uint64_t affinityWindowEvents = 5'000;
+  /// Trace ingestion: IN2P3 group labels mapped to the interactive class
+  /// (In2p3MapConfig::interactiveGroups). Not consumed by the policy.
+  std::vector<std::string> interactiveGroups;
+
+  [[nodiscard]] double weightOf(QosClass cls) const {
+    return cls == QosClass::Interactive ? interactiveWeight : bulkWeight;
+  }
+  [[nodiscard]] Duration deadlineOf(QosClass cls) const {
+    return cls == QosClass::Interactive ? interactiveDeadline : bulkDeadline;
+  }
+};
+
+/// Parse "key=value,..." into QosParams: iweight=, bweight= (weights),
+/// ideadline=, bdeadline= (seconds), window= (events), igroups=a|b|c
+/// (group labels). Throws std::invalid_argument on unknown keys or
+/// non-positive weights. Empty string = defaults.
+QosParams parseQosSpec(const std::string& spec);
+/// Inverse of parseQosSpec (canonical key order, defaults included).
+std::string formatQosSpec(const QosParams& qos);
+
+/// The EEVDF bookkeeping core: a host-independent weighted queue of subjobs
+/// in per-(user, class) accounts. Exposed separately so the property-test
+/// harness can drive the invariants directly, with serial dispatch, where
+/// the classic lag bounds apply.
+class EevdfQueue {
+ public:
+  struct AccountKey {
+    UserId user = kNoUser;
+    QosClass cls = QosClass::Bulk;
+    friend bool operator<(const AccountKey& a, const AccountKey& b) {
+      if (a.user != b.user) return a.user < b.user;
+      return a.cls < b.cls;
+    }
+    friend bool operator==(const AccountKey&, const AccountKey&) = default;
+  };
+
+  /// Introspection snapshot of one account (for tests / diagnostics).
+  struct AccountView {
+    AccountKey key;
+    double weight = 0.0;
+    double vruntime = 0.0;
+    double lag = 0.0;  ///< w * (V - v); 0 for inactive accounts
+    bool active = false;
+    std::uint64_t queuedSubjobs = 0;
+    std::uint64_t queuedEvents = 0;
+  };
+
+  /// Append `sj` to its (user, class) account, activating the account if it
+  /// was idle: it joins at v = max(v_old, V), with any carried-over debt
+  /// capped at one incoming request (v <= V + events/weight). `weight` must
+  /// be > 0 and stable per account.
+  void enqueue(const Subjob& sj, double weight);
+
+  /// Dispatch the head of the eligible account with the earliest virtual
+  /// deadline (ties: activation order, then account key) and charge it.
+  /// nullopt when empty.
+  std::optional<Subjob> pop();
+
+  /// Like pop(), but among eligible accounts whose head deadline is within
+  /// `windowEvents` of the earliest (weight-scaled: (d_i - d*) * w_i <=
+  /// window), dispatch the head with the lowest `cost`. windowEvents == 0
+  /// degenerates to pop().
+  std::optional<Subjob> popPreferring(const std::function<double(const Subjob&)>& cost,
+                                      std::uint64_t windowEvents);
+
+  /// Return `events` of charged-but-unprocessed service to an account (a
+  /// lost run's remainder): v -= events/weight. The caller re-enqueues the
+  /// remainder, which is then charged again at its next dispatch.
+  void refund(UserId user, QosClass cls, std::uint64_t events);
+
+  [[nodiscard]] bool empty() const { return queuedSubjobs_ == 0; }
+  [[nodiscard]] std::uint64_t queuedSubjobs() const { return queuedSubjobs_; }
+  [[nodiscard]] std::uint64_t queuedEvents() const { return queuedEvents_; }
+  /// Current global virtual time V (weighted average over active accounts;
+  /// frozen at its last value while the queue is idle).
+  [[nodiscard]] double virtualTime() const;
+  /// Largest single request (events) ever enqueued — the classic EEVDF
+  /// per-account lag bound, in service units.
+  [[nodiscard]] std::uint64_t maxRequestEvents() const { return maxRequestEvents_; }
+  /// Snapshot of every known account (active and drained), key order.
+  [[nodiscard]] std::vector<AccountView> accounts() const;
+
+ private:
+  struct Account {
+    double weight = 1.0;
+    double vruntime = 0.0;
+    std::uint64_t activationSeq = 0;  ///< FIFO tie-break within a deadline
+    std::deque<Subjob> queue;
+    [[nodiscard]] bool active() const { return !queue.empty(); }
+  };
+
+  /// Charge `acct` for its head request, pop it, and deactivate on drain.
+  Subjob take(const AccountKey& key, Account& acct);
+  void activate(const AccountKey& key, Account& acct, std::uint64_t requestEvents);
+  void deactivate(Account& acct);
+
+  std::map<AccountKey, Account> accounts_;
+  double sumW_ = 0.0;    ///< Σ weight over active accounts
+  double sumWV_ = 0.0;   ///< Σ weight * vruntime over active accounts
+  double idleV_ = 0.0;   ///< V frozen at the last drain (joins while idle)
+  std::uint64_t activationCounter_ = 0;
+  std::uint64_t queuedSubjobs_ = 0;
+  std::uint64_t queuedEvents_ = 0;
+  std::uint64_t maxRequestEvents_ = 0;
+};
+
+/// The scheduling policy: jobs are cut into per-class stripes (request
+/// sizes derived from the class deadline, see file header) and dispatched
+/// by earliest eligible virtual deadline with the bounded cache-affinity
+/// tie-break. Work lost to node failures is refunded and re-queued.
+class EevdfScheduler final : public ISchedulerPolicy {
+ public:
+  struct Params {
+    QosParams qos;
+    /// Stripe size for classes without a deadline (cf. delayed's stripes).
+    std::uint64_t stripeEvents = 5'000;
+  };
+
+  EevdfScheduler() = default;
+  explicit EevdfScheduler(Params params) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "eevdf"; }
+
+  void bind(ISchedulerHost& host) override;
+  void onJobArrival(const Job& job) override;
+  void onRunFinished(NodeId node, const RunReport& report) override;
+  void onNodeDown(NodeId node, const RunReport* lost) override;
+  void onNodeUp(NodeId node) override;
+
+  /// The live queue (tests / diagnostics).
+  [[nodiscard]] const EevdfQueue& queue() const { return queue_; }
+  /// The request size (events) a job of `cls` is cut into.
+  [[nodiscard]] std::uint64_t requestEvents(QosClass cls) const;
+
+ private:
+  void feedNode(NodeId node);
+  void feedIdleNodes();
+
+  Params params_;
+  EevdfQueue queue_;
+  double cachedSecPerEvent_ = 1.0;  ///< deadline -> request-size conversion
+};
+
+}  // namespace ppsched

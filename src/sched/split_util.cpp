@@ -112,11 +112,7 @@ std::vector<PlacedSubjob> splitByCaches(const Subjob& sj, const Cluster& cluster
 
 std::vector<PlacedSubjob> splitByCaches(const Job& job, const Cluster& cluster,
                                         std::uint64_t minSize) {
-  Subjob sj;
-  sj.job = job.id;
-  sj.range = job.range;
-  sj.jobArrival = job.arrival;
-  return splitByCaches(sj, cluster, minSize);
+  return splitByCaches(wholeSubjob(job), cluster, minSize);
 }
 
 }  // namespace ppsched

@@ -7,13 +7,7 @@
 namespace ppsched {
 
 namespace {
-Subjob wholeJob(const Job& job) {
-  Subjob sj;
-  sj.job = job.id;
-  sj.range = job.range;
-  sj.jobArrival = job.arrival;
-  return sj;
-}
+Subjob wholeJob(const Job& job) { return wholeSubjob(job); }
 }  // namespace
 
 Subjob SplittingScheduler::preemptTracked(NodeId node) {

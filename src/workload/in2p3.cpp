@@ -170,6 +170,12 @@ Job In2p3TraceReader::map(const In2p3Record& rec, JobId index) const {
           : splitMix64(stableLabelHash(rec.user) ^ (0x9E3779B97F4A7C15ULL * (index + 1))) %
                 (maxOffset + 1);
   job.range = {base + offset, base + offset + events};
+  for (const std::string& g : cfg_.interactiveGroups) {
+    if (rec.group == g) {
+      job.qos = QosClass::Interactive;
+      break;
+    }
+  }
   return job;
 }
 
@@ -235,6 +241,9 @@ SkewedWorkloadGenerator::SkewedWorkloadGenerator(const SkewedWorkloadParams& par
   if (params_.diurnalAmplitude < 0.0 || params_.diurnalAmplitude > 1.0) {
     throw std::invalid_argument("diurnalAmplitude out of [0,1]");
   }
+  if (params_.interactiveGroups < 0 || params_.interactiveGroups > params_.groups) {
+    throw std::invalid_argument("interactiveGroups out of [0, groups]");
+  }
   userWeights_.reserve(static_cast<std::size_t>(params_.users));
   for (int k = 0; k < params_.users; ++k) {
     userWeights_.push_back(std::pow(static_cast<double>(k + 1), -params_.zipfS));
@@ -290,6 +299,7 @@ std::optional<Job> SkewedWorkloadGenerator::next() {
   job.arrival = clock_;
   job.range = {base + offset, base + offset + events};
   job.user = user;
+  if (groupOf(user) < params_.interactiveGroups) job.qos = QosClass::Interactive;
   return job;
 }
 

@@ -63,6 +63,11 @@ struct In2p3MapConfig {
   std::uint64_t minJobEvents = 10;
   /// Fraction of the event space one group's jobs read (its "dataset").
   double groupSpanFraction = 0.125;
+  /// Group labels whose jobs are classed interactive (exact match on the
+  /// record's group field); every other group maps to bulk. Production
+  /// sites route interactive analysis through dedicated groups/queues, so
+  /// the group column is the natural class carrier in accounting logs.
+  std::vector<std::string> interactiveGroups;
 };
 
 /// One raw batch record (exposed for tests and converters).
@@ -139,6 +144,9 @@ struct SkewedWorkloadParams {
   double groupSpanFraction = 0.125;
   /// Diurnal modulation of the arrival rate (0 = homogeneous Poisson).
   double diurnalAmplitude = 0.0;
+  /// Groups 0..interactiveGroups-1 (after the stable hash) produce
+  /// interactive-class jobs; the rest bulk. 0 = everything bulk.
+  int interactiveGroups = 0;
 };
 
 /// Endless deterministic stream of IN2P3-shaped jobs (ids dense from 0).

@@ -4,15 +4,39 @@
 
 namespace ppsched {
 
+std::string_view qosClassName(QosClass cls) {
+  switch (cls) {
+    case QosClass::Bulk:
+      return "bulk";
+    case QosClass::Interactive:
+      return "interactive";
+  }
+  return "bulk";
+}
+
+bool parseQosClassName(std::string_view text, QosClass& out) {
+  if (text == "bulk") {
+    out = QosClass::Bulk;
+    return true;
+  }
+  if (text == "interactive") {
+    out = QosClass::Interactive;
+    return true;
+  }
+  return false;
+}
+
 std::ostream& operator<<(std::ostream& os, const Job& j) {
   os << "Job{" << j.id << ", t=" << j.arrival << ", " << j.range;
   if (j.user != kNoUser) os << ", u=" << j.user;
+  if (j.qos != QosClass::Bulk) os << ", " << qosClassName(j.qos);
   return os << '}';
 }
 
 std::ostream& operator<<(std::ostream& os, const Subjob& s) {
   os << "Subjob{job=" << s.job << ", " << s.range;
   if (s.yieldsToCached) os << ", yields";
+  if (s.qos != QosClass::Bulk) os << ", " << qosClassName(s.qos);
   return os << '}';
 }
 

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <limits>
+#include <string_view>
 
 #include "sim/time.h"
 #include "storage/interval_set.h"
@@ -25,12 +26,30 @@ inline constexpr JobId kNoJob = std::numeric_limits<JobId>::max();
 using UserId = std::uint32_t;
 inline constexpr UserId kNoUser = std::numeric_limits<UserId>::max();
 
+/// Quality-of-service class of a job. Production HEP sites distinguish
+/// short interactive analysis from long bulk production; the class selects
+/// the scheduling weight (and optional relative deadline) a QoS-aware
+/// policy applies. Bulk is the default: untagged jobs behave and report
+/// exactly as before the class existed.
+enum class QosClass : std::uint8_t {
+  Bulk = 0,
+  Interactive = 1,
+};
+inline constexpr int kNumQosClasses = 2;
+
+/// Canonical lower-case label ("bulk" / "interactive").
+[[nodiscard]] std::string_view qosClassName(QosClass cls);
+
+/// Strict inverse of qosClassName. Returns false for any other spelling.
+[[nodiscard]] bool parseQosClassName(std::string_view text, QosClass& out);
+
 /// A user analysis job: a contiguous event segment plus its arrival time.
 struct Job {
   JobId id = kNoJob;
   SimTime arrival = 0.0;
   EventRange range;
   UserId user = kNoUser;
+  QosClass qos = QosClass::Bulk;
 
   [[nodiscard]] std::uint64_t events() const { return range.size(); }
 
@@ -46,10 +65,26 @@ struct Subjob {
   /// Out-of-order policy (Table 3): a subjob stolen onto a node that does
   /// not hold its data carries a flag allowing cached subjobs to preempt it.
   bool yieldsToCached = false;
+  /// Submitting user and QoS class of the parent job; QoS-aware policies
+  /// charge the (user, class) virtual-time account for dispatched work.
+  UserId user = kNoUser;
+  QosClass qos = QosClass::Bulk;
 
   [[nodiscard]] std::uint64_t events() const { return range.size(); }
   [[nodiscard]] bool empty() const { return range.empty(); }
 };
+
+/// A subjob spanning the whole job, carrying the job's identity fields
+/// (arrival, user, QoS class). The canonical Job -> Subjob conversion.
+[[nodiscard]] inline Subjob wholeSubjob(const Job& job) {
+  Subjob sj;
+  sj.job = job.id;
+  sj.range = job.range;
+  sj.jobArrival = job.arrival;
+  sj.user = job.user;
+  sj.qos = job.qos;
+  return sj;
+}
 
 std::ostream& operator<<(std::ostream& os, const Job& j);
 std::ostream& operator<<(std::ostream& os, const Subjob& s);

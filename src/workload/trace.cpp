@@ -13,7 +13,7 @@
 namespace ppsched {
 
 const char kTraceHeader[] =
-    "# ppsched job trace: id,arrival_seconds,begin_event,end_event[,user]\n";
+    "# ppsched job trace: id,arrival_seconds,begin_event,end_event[,user[,class]]\n";
 
 namespace {
 
@@ -90,6 +90,20 @@ void TraceValidator::check(const Job& job, std::size_t line) {
                          " follows job " + std::to_string(lastId_));
     }
   }
+  if (job.qos != QosClass::Bulk && job.user == kNoUser) {
+    failLine(line, "job " + std::to_string(job.id) + " has class '" +
+                       std::string(qosClassName(job.qos)) + "' but no user tag");
+  }
+  if (job.user != kNoUser) {
+    // One class per user: the first tagged occurrence fixes it (an absent
+    // class column means bulk), later jobs must agree.
+    const auto [it, inserted] = userClass_.try_emplace(job.user, job.qos);
+    if (!inserted && it->second != job.qos) {
+      failLine(line, "user " + std::to_string(job.user) + " has conflicting classes: '" +
+                         std::string(qosClassName(it->second)) + "' then '" +
+                         std::string(qosClassName(job.qos)) + "'");
+    }
+  }
   lastArrival_ = job.arrival;
   lastId_ = job.id;
   ++count_;
@@ -99,20 +113,20 @@ bool parseTraceLine(const std::string& text, std::size_t line, Job& out) {
   const std::string_view whole = trimmed(text);
   if (whole.empty() || whole.front() == '#') return false;
 
-  std::string_view fields[5];
+  std::string_view fields[6];
   std::size_t nFields = 0;
   std::string_view rest = whole;
   while (true) {
     const std::size_t comma = rest.find(',');
     const std::string_view field = comma == std::string_view::npos ? rest : rest.substr(0, comma);
-    if (nFields == 5) failLine(line, "too many fields (expected 4 or 5)");
+    if (nFields == 6) failLine(line, "too many fields (expected 4 to 6)");
     fields[nFields++] = trimmed(field);
     if (comma == std::string_view::npos) break;
     rest = rest.substr(comma + 1);
   }
   if (nFields < 4) {
-    failLine(line, "expected id,arrival,begin,end[,user], got " + std::to_string(nFields) +
-                       " field(s)");
+    failLine(line, "expected id,arrival,begin,end[,user[,class]], got " +
+                       std::to_string(nFields) + " field(s)");
   }
 
   Job job;
@@ -126,10 +140,24 @@ bool parseTraceLine(const std::string& text, std::size_t line, Job& out) {
     failLine(line, "begin_event " + std::to_string(job.range.begin) + " >= end_event " +
                        std::to_string(job.range.end));
   }
-  if (nFields == 5) {
+  if (nFields >= 5) {
+    // A class label in the user slot is a v3 line missing its user column;
+    // name that directly rather than "malformed user field".
+    QosClass misplaced;
+    if (parseQosClassName(fields[4], misplaced)) {
+      failLine(line, "class label '" + std::string(fields[4]) +
+                         "' requires a user column (expected id,arrival,begin,end,user,class)");
+    }
     const std::uint64_t user = parseUnsigned(fields[4], line, "user");
     if (user >= kNoUser) failLine(line, "user " + std::to_string(user) + " out of range");
     job.user = static_cast<UserId>(user);
+  }
+  if (nFields == 6) {
+    if (fields[5].empty()) failLine(line, "empty class field");
+    if (!parseQosClassName(fields[5], job.qos)) {
+      failLine(line, "unknown class label '" + std::string(fields[5]) +
+                         "' (expected 'bulk' or 'interactive')");
+    }
   }
   out = job;
   return true;
@@ -143,6 +171,15 @@ void writeTraceLine(std::ostream& out, const Job& j) {
   std::snprintf(arrival, sizeof arrival, "%.17g", j.arrival);
   out << j.id << ',' << arrival << ',' << j.range.begin << ',' << j.range.end;
   if (j.user != kNoUser) out << ',' << j.user;
+  // The class column rides on the user column; bulk (the default) is
+  // omitted so untagged and bulk jobs round-trip to v1/v2 lines unchanged.
+  if (j.qos != QosClass::Bulk) {
+    if (j.user == kNoUser) {
+      throw std::runtime_error("trace: job " + std::to_string(j.id) + " has class '" +
+                               std::string(qosClassName(j.qos)) + "' but no user tag");
+    }
+    out << ',' << qosClassName(j.qos);
+  }
   out << '\n';
 }
 

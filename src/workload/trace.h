@@ -8,11 +8,14 @@
 // CSV format, one job per line:
 //   v1:  id,arrival_seconds,begin_event,end_event
 //   v2:  id,arrival_seconds,begin_event,end_event,user
+//   v3:  id,arrival_seconds,begin_event,end_event,user,class
 // The user column is optional per line (v1 lines inside a v2 file are jobs
-// without a user tag). Lines starting with '#' are comments. Parsing is
-// strict: non-monotonic arrivals, non-increasing ids, empty ranges,
-// NaN/negative/overflowing fields and trailing garbage all throw
-// std::runtime_error naming the offending line.
+// without a user tag); the class column ('bulk' | 'interactive') is
+// optional per line but requires a user, defaults to bulk, and must be
+// consistent per user across the file. Lines starting with '#' are
+// comments. Parsing is strict: non-monotonic arrivals, non-increasing ids,
+// empty ranges, NaN/negative/overflowing fields, unknown class labels and
+// trailing garbage all throw std::runtime_error naming the offending line.
 //
 // Two replay paths exist:
 //   - TraceSource replays an in-memory JobTrace. The underlying job vector
@@ -25,6 +28,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -50,15 +54,21 @@ class TraceValidator {
   std::size_t count_ = 0;
   SimTime lastArrival_ = 0.0;
   JobId lastId_ = 0;
+  /// First-seen QoS class per user; later jobs must agree (absent column
+  /// counts as bulk). Bounded by the distinct-user count, not trace length.
+  std::map<UserId, QosClass> userClass_;
 };
 
-/// Parse one CSV trace line (v1 or v2) into a Job. Strict: rejects
-/// malformed fields, negative/NaN/infinite numbers, out-of-range ids and
-/// trailing garbage, naming `line` in the error. Returns false for blank
-/// and comment lines.
+/// Parse one CSV trace line (v1, v2 or v3) into a Job. Strict: rejects
+/// malformed fields, negative/NaN/infinite numbers, out-of-range ids,
+/// unknown class labels, a class without a user column, and trailing
+/// garbage, naming `line` in the error. Returns false for blank and
+/// comment lines.
 bool parseTraceLine(const std::string& text, std::size_t line, Job& out);
 
-/// Write one job as a CSV trace line (v2 when it carries a user tag).
+/// Write one job as a CSV trace line (v2 when it carries a user tag, v3
+/// when additionally non-bulk). Throws for a non-bulk job without a user
+/// tag: the class column cannot be expressed without one.
 void writeTraceLine(std::ostream& out, const Job& job);
 
 /// The standard trace header comment (documents the column layout).

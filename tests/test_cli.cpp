@@ -1,0 +1,113 @@
+// Direct coverage of the CLI flag parsing (core/cli.h) — parseCliArgs is
+// driven with plain argument vectors, so accepted and rejected spellings
+// are pinned without spawning the ppsched_cli binary.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/cli.h"
+
+namespace ppsched {
+namespace {
+
+CliOptions parse(std::vector<std::string> args) { return parseCliArgs(args); }
+
+std::string parseError(std::vector<std::string> args) {
+  try {
+    (void)parseCliArgs(args);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return {};
+}
+
+TEST(Cli, DefaultsWithBareRunCommand) {
+  const CliOptions opt = parse({"run"});
+  EXPECT_EQ(opt.command, "run");
+  EXPECT_EQ(opt.spec.policyName, "out_of_order");
+  EXPECT_DOUBLE_EQ(opt.spec.jobsPerHour, 1.0);
+  EXPECT_FALSE(opt.csv);
+}
+
+TEST(Cli, ParsesCoreFlags) {
+  const CliOptions opt = parse({"run", "--policy", "eevdf", "--load", "2.5", "--nodes", "20",
+                                "--cpus", "2", "--stripe", "2000", "--seed", "7",
+                                "--pipelined", "--csv"});
+  EXPECT_EQ(opt.spec.policyName, "eevdf");
+  EXPECT_DOUBLE_EQ(opt.spec.jobsPerHour, 2.5);
+  EXPECT_EQ(opt.spec.sim.numNodes, 20);
+  EXPECT_EQ(opt.spec.sim.cpusPerNode, 2);
+  EXPECT_EQ(opt.spec.policyParams.stripeEvents, 2000u);
+  EXPECT_EQ(opt.spec.seed, 7u);
+  EXPECT_TRUE(opt.spec.sim.cost.pipelined);
+  EXPECT_TRUE(opt.csv);
+}
+
+TEST(Cli, TraceFlagCarriesThePath) {
+  const CliOptions opt = parse({"run", "--trace", "/tmp/jobs.csv"});
+  EXPECT_EQ(opt.spec.tracePath, "/tmp/jobs.csv");
+  EXPECT_NE(parseError({"run", "--trace"}).find("missing value for --trace"),
+            std::string::npos);
+}
+
+TEST(Cli, NetworkFlagParsesTheSpec) {
+  const CliOptions opt = parse({"run", "--network", "nic=125,uplink=20"});
+  EXPECT_TRUE(opt.spec.sim.network.enabled);
+  EXPECT_DOUBLE_EQ(opt.spec.sim.network.nicBytesPerSec, 125e6);
+  EXPECT_DOUBLE_EQ(opt.spec.sim.network.uplinkBytesPerSec, 20e6);
+  EXPECT_FALSE(parse({"run", "--network", "off"}).spec.sim.network.enabled);
+  EXPECT_THROW(parse({"run", "--network", "warp=9"}), std::invalid_argument);
+}
+
+TEST(Cli, QosFlagParsesTheSpec) {
+  const CliOptions opt =
+      parse({"run", "--policy", "eevdf", "--qos", "iweight=8,ideadline=900,window=0"});
+  EXPECT_DOUBLE_EQ(opt.spec.policyParams.qos.interactiveWeight, 8.0);
+  EXPECT_DOUBLE_EQ(opt.spec.policyParams.qos.interactiveDeadline, 900.0);
+  EXPECT_EQ(opt.spec.policyParams.qos.affinityWindowEvents, 0u);
+  EXPECT_THROW(parse({"run", "--qos", "iweight=0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"run", "--qos", "shiny=1"}), std::invalid_argument);
+  EXPECT_NE(parseError({"run", "--qos"}).find("missing value for --qos"), std::string::npos);
+}
+
+TEST(Cli, QosGroupLabelsReachTheTraceMapping) {
+  const CliOptions opt = parse({"timeline", "--qos", "igroups=lhcb|atlas"});
+  EXPECT_EQ(opt.spec.policyParams.qos.interactiveGroups,
+            (std::vector<std::string>{"lhcb", "atlas"}));
+}
+
+TEST(Cli, LoadsListAndBracketFlags) {
+  const CliOptions opt =
+      parse({"sweep", "--loads", "0.5,1.0,1.5", "--lo", "0.4", "--hi", "2.0",
+             "--replicas", "9"});
+  EXPECT_EQ(opt.loads, (std::vector<double>{0.5, 1.0, 1.5}));
+  EXPECT_DOUBLE_EQ(opt.lo, 0.4);
+  EXPECT_DOUBLE_EQ(opt.hi, 2.0);
+  EXPECT_EQ(opt.replicas, 9u);
+}
+
+TEST(Cli, RejectsUnknownCommandsAndFlags) {
+  EXPECT_NE(parseError({}).find("missing command"), std::string::npos);
+  EXPECT_NE(parseError({"launch"}).find("unknown command: launch"), std::string::npos);
+  EXPECT_NE(parseError({"run", "--warp"}).find("unknown option: --warp"), std::string::npos);
+}
+
+TEST(Cli, RejectsMalformedNumbers) {
+  EXPECT_NE(parseError({"run", "--load", "fast"}).find("malformed number for --load"),
+            std::string::npos);
+  EXPECT_NE(parseError({"run", "--load", "1.5x"}).find("malformed"), std::string::npos);
+  EXPECT_NE(parseError({"run", "--nodes", "-3"}).find("unsigned integer"), std::string::npos);
+  EXPECT_NE(parseError({"run", "--jobs", "12.5"}).find("unsigned integer"), std::string::npos);
+  EXPECT_NE(parseError({"sweep", "--loads", "1.0,,2.0"}).find("malformed"), std::string::npos);
+}
+
+TEST(Cli, DelayedFamilyGetsTheDeepJobCap) {
+  EXPECT_EQ(parse({"run", "--policy", "delayed"}).spec.maxJobsInSystem, 4000u);
+  EXPECT_EQ(parse({"run", "--policy", "mixed"}).spec.maxJobsInSystem, 4000u);
+  const CliOptions ooo = parse({"run", "--policy", "out_of_order"});
+  EXPECT_LT(ooo.spec.maxJobsInSystem, 4000u);
+}
+
+}  // namespace
+}  // namespace ppsched

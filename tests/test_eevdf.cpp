@@ -1,0 +1,307 @@
+// EEVDF queue semantics, the qos spec mini-language, and the policy's
+// end-to-end behavior. The randomized invariant harness (zero-sum lag,
+// lag bounds, eligibility over long random streams) lives in
+// slow_eevdf.cpp; here the properties are pinned on small, hand-checkable
+// scenarios plus differential runs against out_of_order.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/engine.h"
+#include "core/experiment.h"
+#include "sched/eevdf.h"
+#include "test_support.h"
+#include "workload/in2p3.h"
+
+namespace ppsched {
+namespace {
+
+Subjob sub(JobId job, UserId user, QosClass cls, std::uint64_t events) {
+  Subjob sj;
+  sj.job = job;
+  sj.range = {0, events};
+  sj.user = user;
+  sj.qos = cls;
+  return sj;
+}
+
+double totalLag(const EevdfQueue& q) {
+  double sum = 0.0;
+  for (const auto& a : q.accounts()) sum += a.lag;
+  return sum;
+}
+
+// --------------------------------------------------------------------------
+// EevdfQueue: dispatch order.
+
+TEST(EevdfQueue, EmptyPops) {
+  EevdfQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_DOUBLE_EQ(q.virtualTime(), 0.0);
+}
+
+TEST(EevdfQueue, SingleAccountIsFifo) {
+  EevdfQueue q;
+  for (JobId j = 0; j < 5; ++j) q.enqueue(sub(j, 1, QosClass::Bulk, 100), 1.0);
+  for (JobId j = 0; j < 5; ++j) EXPECT_EQ(q.pop()->job, j);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EevdfQueue, EqualWeightsDegenerateToFifoAcrossAccounts) {
+  // One equal-sized request per user, equal weights: every deadline ties,
+  // so the activation-order tie-break must reproduce plain FIFO.
+  EevdfQueue q;
+  for (JobId j = 0; j < 8; ++j) q.enqueue(sub(j, 10 + j, QosClass::Bulk, 500), 1.0);
+  for (JobId j = 0; j < 8; ++j) EXPECT_EQ(q.pop()->job, j);
+}
+
+TEST(EevdfQueue, EqualWeightsAlternateUnderBacklog) {
+  // Two equal-weight accounts with two requests each: after a dispatch the
+  // charged account falls behind virtual time (ineligible), so service must
+  // strictly alternate A B A B, never A A B B.
+  EevdfQueue q;
+  q.enqueue(sub(0, 1, QosClass::Bulk, 100), 1.0);
+  q.enqueue(sub(1, 1, QosClass::Bulk, 100), 1.0);
+  q.enqueue(sub(2, 2, QosClass::Bulk, 100), 1.0);
+  q.enqueue(sub(3, 2, QosClass::Bulk, 100), 1.0);
+  EXPECT_EQ(q.pop()->user, 1u);
+  EXPECT_EQ(q.pop()->user, 2u);
+  EXPECT_EQ(q.pop()->user, 1u);
+  EXPECT_EQ(q.pop()->user, 2u);
+}
+
+TEST(EevdfQueue, WeightsSkewServiceProportionally) {
+  // User 2 has 4x the weight of user 1; over any prefix of the dispatch
+  // sequence it should receive about 4x the service.
+  EevdfQueue q;
+  for (JobId j = 0; j < 50; ++j) q.enqueue(sub(2 * j, 1, QosClass::Bulk, 100), 1.0);
+  for (JobId j = 0; j < 50; ++j) q.enqueue(sub(2 * j + 1, 2, QosClass::Interactive, 100), 4.0);
+  int heavy = 0;
+  for (int i = 0; i < 25; ++i) heavy += q.pop()->user == 2u ? 1 : 0;
+  EXPECT_GE(heavy, 18);  // ~4/5 of 25, with start-up rounding slack
+  EXPECT_LE(heavy, 22);
+  // Both queues drain completely.
+  int rest = 0;
+  while (q.pop()) ++rest;
+  EXPECT_EQ(rest, 75);
+}
+
+TEST(EevdfQueue, ZeroSumLagAndBacklogBookkeeping) {
+  EevdfQueue q;
+  q.enqueue(sub(0, 1, QosClass::Bulk, 300), 1.0);
+  q.enqueue(sub(1, 2, QosClass::Interactive, 200), 4.0);
+  q.enqueue(sub(2, 3, QosClass::Bulk, 100), 2.0);
+  EXPECT_EQ(q.queuedSubjobs(), 3u);
+  EXPECT_EQ(q.queuedEvents(), 600u);
+  EXPECT_EQ(q.maxRequestEvents(), 300u);
+  EXPECT_NEAR(totalLag(q), 0.0, 1e-9);
+  (void)q.pop();
+  EXPECT_NEAR(totalLag(q), 0.0, 1e-9);  // zero-sum holds after a charge
+  (void)q.pop();
+  (void)q.pop();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.queuedEvents(), 0u);
+}
+
+TEST(EevdfQueue, RefundUndoesTheCharge) {
+  EevdfQueue q;
+  q.enqueue(sub(0, 1, QosClass::Bulk, 100), 1.0);
+  q.enqueue(sub(1, 1, QosClass::Bulk, 100), 1.0);
+  (void)q.pop();
+  const double charged = q.accounts().front().vruntime;
+  q.refund(1, QosClass::Bulk, 100);
+  EXPECT_NEAR(q.accounts().front().vruntime, charged - 100.0, 1e-9);
+  // Refunding an account that was never seen is a no-op, not a crash.
+  q.refund(99, QosClass::Interactive, 50);
+}
+
+TEST(EevdfQueue, LateJoinerDebtIsCappedAtOneRequest) {
+  // Drive one account far ahead in virtual time, then let a fresh account
+  // join: it must join at V (no free history), and when the *first* account
+  // re-joins later its carried debt is capped at one incoming request.
+  EevdfQueue q;
+  for (JobId j = 0; j < 10; ++j) q.enqueue(sub(j, 1, QosClass::Bulk, 100), 1.0);
+  for (int i = 0; i < 10; ++i) (void)q.pop();  // drain: v_1 = 1000, V frozen
+  q.enqueue(sub(20, 2, QosClass::Bulk, 100), 1.0);
+  const double v = q.virtualTime();
+  q.enqueue(sub(21, 1, QosClass::Bulk, 100), 1.0);  // rejoins with v_old = 1000
+  for (const auto& a : q.accounts()) {
+    if (a.key.user == 1) {
+      EXPECT_LE(a.vruntime, v + 100.0 / a.weight + 1e-9);  // debt <= one request
+    }
+  }
+  // The fresh account is not starved by user 1's history.
+  EXPECT_EQ(q.pop()->user, 2u);
+}
+
+TEST(EevdfQueue, AffinityWindowTradesOrderForCheapHeads) {
+  // Same-deadline heads: within the window the costly head loses, with
+  // window 0 strict EEVDF order (activation order) wins regardless of cost.
+  const auto costly = [](const Subjob& sj) { return sj.user == 1 ? 10.0 : 1.0; };
+  EevdfQueue strict;
+  strict.enqueue(sub(0, 1, QosClass::Bulk, 100), 1.0);
+  strict.enqueue(sub(1, 2, QosClass::Bulk, 100), 1.0);
+  EXPECT_EQ(strict.popPreferring(costly, 0)->user, 1u);
+  EevdfQueue windowed;
+  windowed.enqueue(sub(0, 1, QosClass::Bulk, 100), 1.0);
+  windowed.enqueue(sub(1, 2, QosClass::Bulk, 100), 1.0);
+  EXPECT_EQ(windowed.popPreferring(costly, 1000)->user, 2u);
+}
+
+TEST(EevdfQueue, DeterministicForIdenticalStreams) {
+  auto drive = [] {
+    EevdfQueue q;
+    std::ostringstream order;
+    // Interleave enqueues and pops with mixed weights and sizes.
+    for (JobId j = 0; j < 30; ++j) {
+      const UserId user = j % 5;
+      const bool inter = user >= 3;
+      q.enqueue(sub(j, user, inter ? QosClass::Interactive : QosClass::Bulk,
+                    100 + 37 * (j % 7)),
+                inter ? 4.0 : 1.0);
+      if (j % 3 == 2) order << q.pop()->job << ' ';
+    }
+    while (auto sj = q.pop()) order << sj->job << ' ';
+    return order.str();
+  };
+  EXPECT_EQ(drive(), drive());
+}
+
+// --------------------------------------------------------------------------
+// The qos spec mini-language.
+
+TEST(QosSpec, RoundTripsThroughFormat) {
+  QosParams q;
+  q.bulkWeight = 2.0;
+  q.interactiveWeight = 9.0;
+  q.interactiveDeadline = 900.0;
+  q.affinityWindowEvents = 123;
+  q.interactiveGroups = {"lhcb", "atlas"};
+  const QosParams back = parseQosSpec(formatQosSpec(q));
+  EXPECT_DOUBLE_EQ(back.bulkWeight, 2.0);
+  EXPECT_DOUBLE_EQ(back.interactiveWeight, 9.0);
+  EXPECT_DOUBLE_EQ(back.interactiveDeadline, 900.0);
+  EXPECT_EQ(back.affinityWindowEvents, 123u);
+  EXPECT_EQ(back.interactiveGroups, (std::vector<std::string>{"lhcb", "atlas"}));
+}
+
+TEST(QosSpec, EmptySpecKeepsDefaults) {
+  const QosParams q = parseQosSpec("");
+  EXPECT_DOUBLE_EQ(q.bulkWeight, 1.0);
+  EXPECT_DOUBLE_EQ(q.interactiveWeight, 4.0);
+  EXPECT_DOUBLE_EQ(q.interactiveDeadline, 0.0);
+}
+
+TEST(QosSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(parseQosSpec("xweight=1"), std::invalid_argument);     // unknown key
+  EXPECT_THROW(parseQosSpec("iweight=0"), std::invalid_argument);     // weight <= 0
+  EXPECT_THROW(parseQosSpec("bweight=-2"), std::invalid_argument);
+  EXPECT_THROW(parseQosSpec("ideadline=-5"), std::invalid_argument);  // negative deadline
+  EXPECT_THROW(parseQosSpec("iweight=abc"), std::invalid_argument);
+  EXPECT_THROW(parseQosSpec("window=1.5"), std::invalid_argument);    // not an integer
+  EXPECT_THROW(parseQosSpec("iweight"), std::invalid_argument);       // missing '='
+}
+
+// --------------------------------------------------------------------------
+// Policy plumbing.
+
+TEST(EevdfPolicy, DeadlineMapsToRequestSizeCap) {
+  SimConfig cfg = testing::tinyConfig(2, 100'000, 50'000);
+  EevdfScheduler::Params p;
+  p.stripeEvents = 50'000;
+  p.qos.interactiveDeadline = 2'600.0;  // / 0.26 s/event cached = 10'000 events
+  auto policy = std::make_unique<EevdfScheduler>(p);
+  EevdfScheduler* raw = policy.get();
+  MetricsCollector metrics(cfg.cost, {0, 0.0});
+  Engine engine(cfg, testing::fixedSource({}), std::move(policy), metrics);
+  EXPECT_NEAR(static_cast<double>(raw->requestEvents(QosClass::Interactive)), 10'000.0, 1.0);
+  EXPECT_EQ(raw->requestEvents(QosClass::Bulk), 50'000u);  // no deadline: the stripe
+}
+
+ExperimentSpec skewedSpec(const char* policy, int interactiveGroups) {
+  ExperimentSpec spec;
+  spec.policyName = policy;
+  spec.jobsPerHour = 2.0;
+  spec.sim.finalize();
+  spec.warmupJobs = 30;
+  spec.measuredJobs = 250;
+  spec.maxJobsInSystem = 2000;
+  SkewedWorkloadParams wl;
+  wl.totalEvents = spec.sim.totalEvents();
+  wl.jobsPerHour = spec.jobsPerHour;
+  wl.users = 12;
+  wl.minJobEvents = 2'000;
+  wl.paretoAlpha = 1.5;
+  wl.groups = 6;
+  wl.interactiveGroups = interactiveGroups;
+  spec.sourceFactory = [wl] { return std::make_unique<SkewedWorkloadGenerator>(wl, 99); };
+  return spec;
+}
+
+TEST(EevdfPolicy, EndToEndReportsPerClassStats) {
+  const RunResult r = runExperiment(skewedSpec("eevdf", 2));
+  EXPECT_EQ(r.measuredJobs, 250u);
+  ASSERT_EQ(r.classStats.size(), 2u);  // both classes saw measured jobs
+  EXPECT_EQ(r.classStats[0].cls, QosClass::Bulk);
+  EXPECT_EQ(r.classStats[1].cls, QosClass::Interactive);
+  EXPECT_GT(r.classStats[0].jobs, 0u);
+  EXPECT_GT(r.classStats[1].jobs, 0u);
+  EXPECT_NEAR(r.classStats[0].eventShare + r.classStats[1].eventShare, 1.0, 1e-9);
+  EXPECT_GT(r.weightedUserFairness, 0.0);
+  EXPECT_LE(r.weightedUserFairness, 1.0);
+}
+
+TEST(EevdfPolicy, SurvivesNodeFailuresWithRefunds) {
+  ExperimentSpec spec = skewedSpec("eevdf", 2);
+  spec.measuredJobs = 120;
+  spec.sim.failures.meanTimeBetweenFailuresSec = 20 * units::hour;
+  spec.sim.failures.meanTimeToRepairSec = 1 * units::hour;
+  const RunResult r = runExperiment(spec);
+  EXPECT_EQ(r.measuredJobs, 120u);  // every measured job still completes
+  EXPECT_GT(r.nodeFailures, 0u);    // ... and failures actually happened
+}
+
+// Differential: with equal weights, no deadlines and no affinity window,
+// EEVDF is just a fair drain of the same work — aggregate throughput must
+// match out_of_order within a small tolerance (both are work-conserving),
+// and the weighted Jain index must not fall below the class-blind baseline.
+TEST(EevdfPolicy, EqualWeightsMatchOutOfOrderThroughput) {
+  ExperimentSpec eevdf = skewedSpec("eevdf", 0);
+  eevdf.policyParams.qos.interactiveWeight = 1.0;  // equal weights
+  eevdf.policyParams.qos.affinityWindowEvents = 0;
+  ExperimentSpec ooo = skewedSpec("out_of_order", 0);
+  const RunResult re = runExperiment(eevdf);
+  const RunResult ro = runExperiment(ooo);
+  ASSERT_FALSE(re.overloaded);
+  ASSERT_FALSE(ro.overloaded);
+  EXPECT_NEAR(re.throughputJobsPerHour, ro.throughputJobsPerHour,
+              0.05 * ro.throughputJobsPerHour);
+  EXPECT_GE(re.weightedUserFairness, ro.weightedUserFairness - 0.05);
+}
+
+TEST(EevdfPolicy, InteractiveClassWaitsLessUnderBacklog) {
+  // Overloaded daytime peaks (diurnal wave beyond the farm's capacity):
+  // the 4x-weighted interactive class must see the shorter mean wait.
+  ExperimentSpec spec = skewedSpec("eevdf", 2);
+  spec.jobsPerHour = 4.0;
+  spec.sourceFactory = nullptr;
+  SkewedWorkloadParams wl;
+  wl.totalEvents = spec.sim.totalEvents();
+  wl.jobsPerHour = spec.jobsPerHour;
+  wl.users = 12;
+  wl.minJobEvents = 2'000;
+  wl.paretoAlpha = 1.5;
+  wl.groups = 6;
+  wl.interactiveGroups = 2;
+  wl.diurnalAmplitude = 0.6;
+  spec.sourceFactory = [wl] { return std::make_unique<SkewedWorkloadGenerator>(wl, 99); };
+  const RunResult r = runExperiment(spec);
+  ASSERT_EQ(r.classStats.size(), 2u);
+  EXPECT_LT(r.classStats[1].meanWait, r.classStats[0].meanWait);  // interactive < bulk
+  EXPECT_LT(r.classStats[1].p95Wait, r.classStats[0].p95Wait);
+}
+
+}  // namespace
+}  // namespace ppsched

@@ -337,6 +337,49 @@ TEST(SkewedWorkload, RejectsInvalidParams) {
   bad([](auto& p) { p.minJobEvents = 0; });
   bad([](auto& p) { p.groupSpanFraction = 0.0; });
   bad([](auto& p) { p.diurnalAmplitude = 1.5; });
+  bad([](auto& p) { p.interactiveGroups = -1; });
+  bad([](auto& p) { p.interactiveGroups = p.groups + 1; });
+}
+
+// --------------------------------------------------------------------------
+// QoS class mapping: group -> class, on both the reader and the generator.
+
+TEST(In2p3, InteractiveGroupLabelsMapToClass) {
+  In2p3MapConfig cfg = testCfg();
+  cfg.interactiveGroups = {"lhcb"};
+  auto r = readerOf(kLog, cfg);
+  const auto j0 = r.next();  // alice/lhcb
+  const auto j1 = r.next();  // bob/atlas
+  ASSERT_TRUE(j0 && j1);
+  EXPECT_EQ(j0->qos, QosClass::Interactive);
+  EXPECT_EQ(j1->qos, QosClass::Bulk);
+  // Exact label match only: no prefix or case folding.
+  In2p3MapConfig loose = testCfg();
+  loose.interactiveGroups = {"lhc", "LHCB"};
+  auto r2 = readerOf(kLog, loose);
+  EXPECT_EQ(r2.next()->qos, QosClass::Bulk);
+}
+
+TEST(SkewedWorkload, InteractiveGroupsTagTheirUsersConsistently) {
+  SkewedWorkloadParams p = skewedParams();
+  p.interactiveGroups = 2;
+  SkewedWorkloadGenerator g(p, 31);
+  std::map<UserId, QosClass> seen;
+  std::size_t interactive = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto j = g.next();
+    ASSERT_TRUE(j);
+    EXPECT_EQ(j->qos, g.groupOf(j->user) < p.interactiveGroups ? QosClass::Interactive
+                                                               : QosClass::Bulk);
+    const auto [it, fresh] = seen.try_emplace(j->user, j->qos);
+    if (!fresh) EXPECT_EQ(it->second, j->qos);  // one class per user
+    interactive += j->qos == QosClass::Interactive ? 1 : 0;
+  }
+  EXPECT_GT(interactive, 0u);       // the mapping is non-vacuous ...
+  EXPECT_LT(interactive, 1000u);    // ... and not all-encompassing
+  // interactiveGroups == 0 (the default) leaves everything bulk.
+  SkewedWorkloadGenerator plain(skewedParams(), 31);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(plain.next()->qos, QosClass::Bulk);
 }
 
 }  // namespace

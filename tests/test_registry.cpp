@@ -36,11 +36,12 @@ TEST(Registry, UnknownNameErrorEnumeratesKnownPolicies) {
 
 TEST(Registry, NamesInPaperOrder) {
   const auto names = policyNames();
-  ASSERT_EQ(names.size(), 9u);
+  ASSERT_EQ(names.size(), 10u);
   EXPECT_EQ(names.front(), "farm");
   // This repo's §7 future-work policies close the list.
   EXPECT_EQ(names[7], "mixed");
-  EXPECT_EQ(names.back(), "prefetch_delayed");
+  EXPECT_EQ(names[8], "prefetch_delayed");
+  EXPECT_EQ(names.back(), "eevdf");
 }
 
 TEST(Registry, CachelessPoliciesDeclareIt) {

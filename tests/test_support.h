@@ -83,13 +83,7 @@ inline std::unique_ptr<JobSource> fixedSource(std::vector<Job> jobs) {
   return std::make_unique<TraceSource>(JobTrace(std::move(jobs)));
 }
 
-inline Subjob whole(const Job& job) {
-  Subjob sj;
-  sj.job = job.id;
-  sj.range = job.range;
-  sj.jobArrival = job.arrival;
-  return sj;
-}
+inline Subjob whole(const Job& job) { return wholeSubjob(job); }
 
 /// Owns the full engine stack for a scripted test.
 struct Harness {

@@ -32,15 +32,22 @@
 //   --network SPEC         flow-level network model, e.g.
 //                          "nic=125,uplink=20,ingress=40,group=8" (MB/s;
 //                          group = nodes per edge switch) or "off"
+//   --qos SPEC             QoS classes for the eevdf policy, e.g.
+//                          "iweight=4,bweight=1,ideadline=600,window=5000,
+//                          igroups=lhcb|atlas" (weights, per-class relative
+//                          deadlines in seconds, cache-affinity window in
+//                          events, IN2P3 groups classed interactive)
 //   --csv                  machine-readable output
+//
+// Flag parsing lives in core/cli.{h,cpp} (unit tested); this file only
+// renders results.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "core/cli.h"
 #include "core/engine.h"
 #include "core/experiment.h"
 #include "core/queueing.h"
@@ -51,99 +58,9 @@ namespace {
 
 using namespace ppsched;
 
-struct CliOptions {
-  std::string command;
-  ExperimentSpec spec;
-  std::vector<double> loads;
-  double lo = 0.8;
-  double hi = 3.2;
-  std::size_t replicas = 5;
-  bool csv = false;
-};
-
 [[noreturn]] void fail(const std::string& message) {
   std::fprintf(stderr, "ppsched_cli: %s\n", message.c_str());
   std::exit(2);
-}
-
-std::vector<double> parseLoads(const std::string& arg) {
-  std::vector<double> loads;
-  std::size_t pos = 0;
-  while (pos < arg.size()) {
-    std::size_t next = arg.find(',', pos);
-    if (next == std::string::npos) next = arg.size();
-    loads.push_back(std::strtod(arg.substr(pos, next - pos).c_str(), nullptr));
-    pos = next + 1;
-  }
-  if (loads.empty()) fail("--loads needs at least one value");
-  return loads;
-}
-
-CliOptions parse(int argc, char** argv) {
-  CliOptions opt;
-  opt.spec.policyName = "out_of_order";
-  opt.spec.jobsPerHour = 1.0;
-  if (argc < 2) fail("missing command (try: policies, config, run, sweep, maxload, replicate)");
-  opt.command = argv[1];
-
-  auto needValue = [&](int& i) -> std::string {
-    if (i + 1 >= argc) fail(std::string("missing value for ") + argv[i]);
-    return argv[++i];
-  };
-  for (int i = 2; i < argc; ++i) {
-    const std::string flag = argv[i];
-    if (flag == "--policy") {
-      opt.spec.policyName = needValue(i);
-    } else if (flag == "--load") {
-      opt.spec.jobsPerHour = std::strtod(needValue(i).c_str(), nullptr);
-    } else if (flag == "--nodes") {
-      opt.spec.sim.numNodes = std::atoi(needValue(i).c_str());
-    } else if (flag == "--cpus") {
-      opt.spec.sim.cpusPerNode = std::atoi(needValue(i).c_str());
-    } else if (flag == "--cache") {
-      opt.spec.sim.cacheBytesPerNode =
-          static_cast<std::uint64_t>(std::strtod(needValue(i).c_str(), nullptr) * 1e9);
-    } else if (flag == "--delay") {
-      opt.spec.policyParams.periodDelay =
-          std::strtod(needValue(i).c_str(), nullptr) * units::hour;
-    } else if (flag == "--stripe") {
-      opt.spec.policyParams.stripeEvents = std::strtoull(needValue(i).c_str(), nullptr, 10);
-    } else if (flag == "--warmup") {
-      opt.spec.warmupJobs = std::strtoull(needValue(i).c_str(), nullptr, 10);
-    } else if (flag == "--jobs") {
-      opt.spec.measuredJobs = std::strtoull(needValue(i).c_str(), nullptr, 10);
-    } else if (flag == "--seed") {
-      opt.spec.seed = std::strtoull(needValue(i).c_str(), nullptr, 10);
-    } else if (flag == "--trace") {
-      opt.spec.tracePath = needValue(i);
-    } else if (flag == "--pipelined") {
-      opt.spec.sim.cost.pipelined = true;
-    } else if (flag == "--tertiary-cap") {
-      opt.spec.sim.tertiaryAggregateBytesPerSec =
-          std::strtod(needValue(i).c_str(), nullptr) * 1e6;
-    } else if (flag == "--network") {
-      opt.spec.sim.network = parseNetworkSpec(needValue(i));
-    } else if (flag == "--loads") {
-      opt.loads = parseLoads(needValue(i));
-    } else if (flag == "--lo") {
-      opt.lo = std::strtod(needValue(i).c_str(), nullptr);
-    } else if (flag == "--hi") {
-      opt.hi = std::strtod(needValue(i).c_str(), nullptr);
-    } else if (flag == "--replicas") {
-      opt.replicas = std::strtoull(needValue(i).c_str(), nullptr, 10);
-    } else if (flag == "--csv") {
-      opt.csv = true;
-    } else {
-      fail("unknown option: " + flag);
-    }
-  }
-  opt.spec.sim.finalize();
-  // Periods legitimately hold many jobs for delayed-family policies.
-  if (opt.spec.policyName == "delayed" || opt.spec.policyName == "adaptive" ||
-      opt.spec.policyName == "mixed") {
-    opt.spec.maxJobsInSystem = 4000;
-  }
-  return opt;
 }
 
 void printResult(const CliOptions& opt, double load, const RunResult& r) {
@@ -169,6 +86,14 @@ void printResult(const CliOptions& opt, double load, const RunResult& r) {
               100 * r.remoteReadFraction);
   std::printf("  throughput     %.2f jobs/hour over %zu measured jobs\n",
               r.throughputJobsPerHour, r.measuredJobs);
+  if (r.classStats.size() > 1) {
+    for (const ClassStats& c : r.classStats) {
+      std::printf("  %-12s %5zu jobs  %5.1f%% of events  wait %.3f h (p95 %.3f h, p99 %.3f h)\n",
+                  std::string(qosClassName(c.cls)).c_str(), c.jobs, 100.0 * c.eventShare,
+                  units::toHours(c.meanWait), units::toHours(c.p95Wait),
+                  units::toHours(c.p99Wait));
+    }
+  }
   if (r.userStats.size() > 1 ||
       (r.userStats.size() == 1 && r.userStats.front().user != kNoUser)) {
     std::printf("  fairness       %.3f (Jain, %zu users)\n", r.userFairness,
@@ -243,7 +168,7 @@ int cmdTimeline(const CliOptions& opt) {
 
   std::unique_ptr<JobSource> src;
   if (!opt.spec.tracePath.empty()) {
-    src = openTraceSource(opt.spec.tracePath, cfg);
+    src = openTraceSource(opt.spec.tracePath, cfg, opt.spec.policyParams.qos.interactiveGroups);
   } else {
     src = std::make_unique<WorkloadGenerator>(cfg.workload, opt.spec.seed);
   }
@@ -300,8 +225,13 @@ int cmdConfig(const CliOptions& opt) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  CliOptions opt;
   try {
-    const CliOptions opt = parse(argc, argv);
+    opt = parseCliArgs(std::vector<std::string>(argv + 1, argv + argc));
+  } catch (const std::invalid_argument& e) {
+    fail(e.what());
+  }
+  try {
     if (opt.command == "run") return cmdRun(opt);
     if (opt.command == "sweep") return cmdSweep(opt);
     if (opt.command == "maxload") return cmdMaxLoad(opt);
