@@ -10,6 +10,10 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "core/engine.h"
+#include "shard/coordinator.h"
+#include "shard/shard_config.h"
+#include "workload/generator.h"
 
 int main() {
   using namespace ppsched;
@@ -47,6 +51,84 @@ int main() {
       std::printf("%-8d %-16s %18.3f %18.1f\n", nodes, policy, perJob,
                   r.simulatedTime / elapsed);  // sim-seconds per wall-ms
     }
+  }
+
+  // ---- planAccess memoization ---------------------------------------------
+  // planAccess enumerates candidate sources per subjob — an O(candidates)
+  // scan that policies re-price repeatedly within one scheduling round, and
+  // that digest-driven work stealing makes strictly worse (a steal pass
+  // scores many queued subjobs against many idle nodes). The engine
+  // memoizes the enumeration keyed on (dst, range, goal), invalidated
+  // whenever cache/flow/node state mutates (the state epoch). Results are
+  // bit-identical either way (tests/test_access_plan.cpp pins that); only
+  // wall time moves. The hit rate is deterministic; the ms/job columns are
+  // wall-clock and thus noisy on a loaded machine.
+  std::printf("\nplanAccess memoization (engine state-epoch memo, %zu jobs):\n",
+              measured);
+  struct MemoArm {
+    int nodes;
+    const char* policy;
+    const char* shards;  // nullptr = single master
+    const char* label;
+  };
+  // eevdf is the score-then-dispatch policy: every dispatched subjob is
+  // priced once while ranking the queue and again when launched, so the
+  // memo converts the second enumeration into a hash lookup. replication
+  // prices each subjob exactly once per epoch — zero hits by construction —
+  // and serves as the "memo inert, no harm" control.
+  const MemoArm arms[] = {
+      {40, "eevdf", nullptr, "eevdf"},
+      {40, "replication", nullptr, "replication"},
+      {40, "eevdf", "4,digest=0,admit=1", "eevdf K=4"},
+      {40, "replication", "4,digest=0,admit=1", "replication K=4"},
+  };
+  std::printf("%-8s %-18s %15s %14s %7s %8s\n", "nodes", "arm", "memo off ms/job",
+              "memo on ms/job", "hit%", "saved");
+  for (const MemoArm& arm : arms) {
+    double msPerJob[2] = {0.0, 0.0};
+    double hitPct = 0.0;
+    for (const bool memo : {false, true}) {
+      SimConfig cfg = SimConfig::paperDefaults();
+      cfg.numNodes = arm.nodes;
+      if (arm.shards != nullptr) cfg.shards = parseShardSpec(arm.shards);
+      cfg.finalize();
+      cfg.workload.jobsPerHour = 0.3 * cfg.maxTheoreticalLoadJobsPerHour();
+      PolicyParams params;
+      params.replicationThreshold = 1;
+      std::unique_ptr<ISchedulerPolicy> policy;
+      if (cfg.shards.enabled()) {
+        policy = std::make_unique<ShardedCoordinator>(
+            cfg.shards,
+            [&] { return makePolicy(arm.policy, params); });
+      } else {
+        policy = makePolicy(arm.policy, params);
+      }
+      MetricsCollector metrics(cfg.cost, {jobs(200), 0.0});
+      Engine engine(cfg, std::make_unique<WorkloadGenerator>(cfg.workload, 20260807),
+                    std::move(policy), metrics);
+      engine.setPlanMemoization(memo);
+      const auto start = std::chrono::steady_clock::now();
+      engine.run({.completedJobs = jobs(200) + measured, .maxJobsInSystem = 4000});
+      const auto elapsed = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+      msPerJob[memo ? 1 : 0] = elapsed / static_cast<double>(metrics.completedJobs());
+      if (memo) {
+        auto stats = engine.planMemoStats();
+        if (const auto* coord = dynamic_cast<const ShardedCoordinator*>(&engine.policy())) {
+          const auto viewStats = coord->viewPlanMemoStats();
+          stats.lookups += viewStats.lookups;
+          stats.hits += viewStats.hits;
+        }
+        hitPct = stats.lookups == 0
+                     ? 0.0
+                     : 100.0 * static_cast<double>(stats.hits) /
+                           static_cast<double>(stats.lookups);
+      }
+    }
+    std::printf("%-8d %-18s %15.3f %14.3f %6.1f%% %7.1f%%\n", arm.nodes, arm.label,
+                msPerJob[0], msPerJob[1], hitPct,
+                100.0 * (1.0 - msPerJob[1] / msPerJob[0]));
   }
 
   std::printf("\nColumns: wall-clock milliseconds of simulation per completed job\n"

@@ -18,6 +18,15 @@ Cluster::Cluster(int numNodes, std::uint64_t cacheCapacityEventsPerNode, int cpu
   }
 }
 
+Cluster::Cluster(std::vector<Node> nodes) : nodes_(std::move(nodes)) {
+  if (nodes_.empty()) throw std::invalid_argument("cluster needs at least one node");
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].id() != static_cast<NodeId>(i)) {
+      throw std::invalid_argument("cluster node ids must be dense 0..n-1");
+    }
+  }
+}
+
 Node& Cluster::node(NodeId id) {
   if (id < 0 || id >= size()) throw std::out_of_range("bad NodeId");
   return nodes_[static_cast<std::size_t>(id)];

@@ -19,6 +19,11 @@ class Cluster {
   /// same machine share one disk cache (paper default: cpusPerNode = 1).
   Cluster(int numNodes, std::uint64_t cacheCapacityEventsPerNode, int cpusPerNode = 1);
 
+  /// A cluster over explicit nodes (shard views: re-numbered aliases of
+  /// another cluster's nodes sharing their caches). Ids must be dense
+  /// 0..n-1 in order.
+  explicit Cluster(std::vector<Node> nodes);
+
   [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
   [[nodiscard]] Node& node(NodeId id);
   [[nodiscard]] const Node& node(NodeId id) const;

@@ -50,6 +50,11 @@ class Node {
   /// True when this logical CPU lives on the same physical machine.
   [[nodiscard]] bool sharesMachineWith(const Node& other) const { return up_ == other.up_; }
 
+  /// A re-numbered alias of this CPU sharing its cache and liveness. Sub-
+  /// clusters (shard views) are built from these: the copy's cache and up
+  /// flag are the physical machine's, only the id differs.
+  [[nodiscard]] Node withId(NodeId id) const { return Node(id, cache_, up_); }
+
  private:
   NodeId id_;
   std::shared_ptr<LruExtentCache> cache_;

@@ -7,6 +7,7 @@
 
 #include "net/network.h"
 #include "sched/eevdf.h"
+#include "shard/shard_config.h"
 
 namespace ppsched {
 
@@ -104,6 +105,8 @@ CliOptions parseCliArgs(const std::vector<std::string>& args) {
       opt.spec.sim.tertiaryAggregateBytesPerSec = parseDouble(needValue(flag), flag) * 1e6;
     } else if (flag == "--network") {
       opt.spec.sim.network = parseNetworkSpec(needValue(flag));
+    } else if (flag == "--shards") {
+      opt.spec.sim.shards = parseShardSpec(needValue(flag));
     } else if (flag == "--qos") {
       opt.spec.policyParams.qos = parseQosSpec(needValue(flag));
     } else if (flag == "--loads") {

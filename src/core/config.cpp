@@ -54,6 +54,20 @@ void SimConfig::finalize() {
       throw std::invalid_argument("network.nodesPerSwitch must be >= 0");
     }
   }
+  if (shards.count < 0) throw std::invalid_argument("shards.count must be >= 0");
+  if (shards.enabled()) {
+    if (shards.count > numNodes) {
+      throw std::invalid_argument("shards.count must be <= numNodes");
+    }
+    if (shards.digestPeriodSec < 0.0) {
+      throw std::invalid_argument("shards.digestPeriodSec must be >= 0");
+    }
+    if (shards.admit < 0) throw std::invalid_argument("shards.admit must be >= 0");
+    if (shards.buckets < 1) throw std::invalid_argument("shards.buckets must be >= 1");
+    if (shards.route != "affinity" && shards.route != "rr") {
+      throw std::invalid_argument("shards.route must be affinity|rr");
+    }
+  }
   std::sort(failures.tertiaryOutages.begin(), failures.tertiaryOutages.end(),
             [](const OutageWindow& a, const OutageWindow& b) { return a.start < b.start; });
   workload.totalEvents = totalEvents();

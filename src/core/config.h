@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "shard/shard_config.h"
 #include "sim/time.h"
 #include "storage/rates.h"
 #include "workload/generator.h"
@@ -103,6 +104,10 @@ struct SimConfig {
   /// Flow-level network contention model (disabled by default — the
   /// paper's §2.3 unconstrained-LAN assumption). See net/network.h.
   NetworkConfig network;
+
+  /// Sharded multi-master scheduling (disabled by default — the paper's
+  /// single global master). See shard/shard_config.h.
+  ShardConfig shards;
 
   /// Derived quantities ------------------------------------------------
 

@@ -185,6 +185,7 @@ void Engine::startRun(NodeId node, Subjob sj, AccessPlan plan) {
 }
 
 void Engine::beginNextSpan(NodeId node) {
+  ++stateEpoch_;
   ActiveRun& run = *runs_[static_cast<std::size_t>(node)];
   if (run.cursor >= run.subjob.range.end) {
     finishRun(node);
@@ -341,6 +342,7 @@ std::uint64_t Engine::spanEventsDoneAt(const ActiveRun& run, SimTime t) const {
 
 void Engine::reconcileNetworkFlows() {
   if (!net_.enabled()) return;
+  ++stateEpoch_;
   for (NodeId n = 0; n < numNodes(); ++n) {
     auto& slot = runs_[static_cast<std::size_t>(n)];
     if (!slot || slot->flow == kNoFlow) continue;
@@ -379,6 +381,7 @@ void Engine::reconcileNetworkFlows() {
 
 void Engine::startTransfer(NodeId dstNode, NodeId srcNode, JobId job, EventRange r,
                            FlowKind kind) {
+  ++stateEpoch_;
   // Skip parts already being copied to this machine (double-paying the
   // uplink for the same extent would overstate transfer pressure).
   IntervalSet todo{r};
@@ -419,6 +422,7 @@ void Engine::startTransfer(NodeId dstNode, NodeId srcNode, JobId job, EventRange
 }
 
 void Engine::finishTransfer(std::uint64_t transferId) {
+  ++stateEpoch_;
   auto it = transfers_.find(transferId);
   if (it == transfers_.end()) return;
   Transfer tr = std::move(it->second);
@@ -440,6 +444,7 @@ void Engine::finishTransfer(std::uint64_t transferId) {
 }
 
 void Engine::abortTransfers(int machine) {
+  ++stateEpoch_;
   bool changed = false;
   for (auto it = transfers_.begin(); it != transfers_.end();) {
     const Transfer& tr = it->second;
@@ -514,6 +519,7 @@ void Engine::prefetch(NodeId dst, EventRange range, AccessPlan plan) {
 }
 
 void Engine::applySpanEffects(NodeId node, ActiveRun& run, EventRange done) {
+  ++stateEpoch_;
   LruExtentCache& localCache = cluster_.node(node).cache();
   if (run.countsTertiaryStream) {
     --activeTertiaryStreams_;
@@ -720,6 +726,7 @@ void Engine::retargetRemoteReaders(int machine) {
 }
 
 void Engine::failMachine(int machine) {
+  ++stateEpoch_;
   const NodeId first = machine * cfg_.cpusPerNode;
   if (!cluster_.node(first).isUp()) return;
   cluster_.node(first).setUp(false);
@@ -749,6 +756,7 @@ void Engine::failMachine(int machine) {
 }
 
 void Engine::repairMachine(int machine) {
+  ++stateEpoch_;
   const NodeId first = machine * cfg_.cpusPerNode;
   if (cluster_.node(first).isUp()) return;
   cluster_.node(first).setUp(true);

@@ -164,6 +164,18 @@ class Engine final : public ISchedulerHost {
   /// must outlive the engine and must not call back into it.
   void setEventSink(IEventSink* sink) { sink_ = sink; }
 
+  /// Planning-state epoch for planAccess memoization (see ISchedulerHost).
+  /// Advanced by every mutation that can change plan results: span
+  /// boundaries, cache effects, flow open/close/reconcile, transfers, and
+  /// machine failure/repair. Returns 0 (memo off) when disabled.
+  [[nodiscard]] std::uint64_t planEpoch() const override {
+    return planMemoEnabled_ ? stateEpoch_ : 0;
+  }
+  /// Enable/disable the planAccess memo (on by default; memoized results
+  /// are bit-identical to re-enumeration — the switch exists for
+  /// differential tests and overhead measurement).
+  void setPlanMemoization(bool on) { planMemoEnabled_ = on; }
+
  private:
   struct JobState {
     Job job;
@@ -318,6 +330,10 @@ class Engine final : public ISchedulerHost {
   std::map<std::uint64_t, Transfer> transfers_;
   std::uint64_t nextTransferId_ = 1;
   IEventSink* sink_ = nullptr;
+  /// Monotone planning-state counter backing planEpoch(). Starts at 1 so an
+  /// enabled memo is distinguishable from the "no tracking" epoch 0.
+  std::uint64_t stateEpoch_ = 1;
+  bool planMemoEnabled_ = true;
 };
 
 }  // namespace ppsched

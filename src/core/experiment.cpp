@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "core/engine.h"
+#include "shard/coordinator.h"
 #include "sim/random.h"
 #include "workload/in2p3.h"
 #include "workload/trace.h"
@@ -55,7 +56,15 @@ RunResult runExperiment(const ExperimentSpec& spec) {
   } else {
     source = std::make_unique<WorkloadGenerator>(cfg.workload, spec.seed);
   }
-  auto policy = makePolicy(spec.policyName, spec.policyParams);
+  std::unique_ptr<ISchedulerPolicy> policy;
+  if (cfg.shards.enabled()) {
+    policy = std::make_unique<ShardedCoordinator>(
+        cfg.shards, [name = spec.policyName, params = spec.policyParams] {
+          return makePolicy(name, params);
+        });
+  } else {
+    policy = makePolicy(spec.policyName, spec.policyParams);
+  }
 
   WarmupConfig warmup;
   warmup.jobs = spec.warmupJobs;
@@ -95,6 +104,9 @@ RunResult runExperiment(const ExperimentSpec& spec) {
 
   RunResult result = metrics.finalize(engine.now(), spec.withHistogram);
   result.network = engine.networkReport();
+  if (auto* coord = dynamic_cast<ShardedCoordinator*>(&engine.policy())) {
+    result.shards = coord->report();
+  }
   return result;
 }
 

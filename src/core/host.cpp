@@ -89,8 +89,50 @@ double ISchedulerHost::estimatedTransferBytesPerSec(NodeId dst, NodeId src) cons
   return bps;
 }
 
+std::size_t ISchedulerHost::PlanMemoHash::operator()(const PlanMemoKey& k) const {
+  // FNV-style combine over the key fields; collisions only cost a compare.
+  std::size_t h = std::hash<std::int64_t>{}(k.dst);
+  const auto mix = [&h](std::size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(std::hash<std::uint64_t>{}(k.begin));
+  mix(std::hash<std::uint64_t>{}(k.end));
+  mix(std::hash<int>{}(k.intent * 4 + k.replicationThreshold * 2 +
+                       (k.topologyAware ? 1 : 0)));
+  mix(std::hash<double>{}(k.replicaCongestionFactor));
+  mix(std::hash<double>{}(k.deadline));
+  return h;
+}
+
 std::vector<AccessPlan> ISchedulerHost::planAccess(NodeId dst, EventRange range,
                                                    AccessGoal goal) {
+  const std::uint64_t epoch = planEpoch();
+  if (epoch == 0) return enumerateAccessPlans(dst, range, goal);
+  if (epoch != planMemoEpoch_) {
+    planMemo_.clear();
+    planMemoEpoch_ = epoch;
+  }
+  const PlanMemoKey key{dst,
+                        range.begin,
+                        range.end,
+                        static_cast<int>(goal.intent),
+                        goal.replicationThreshold,
+                        goal.replicaCongestionFactor,
+                        goal.topologyAware,
+                        goal.deadline};
+  ++planMemoStats_.lookups;
+  const auto it = planMemo_.find(key);
+  if (it != planMemo_.end()) {
+    ++planMemoStats_.hits;
+    return it->second;
+  }
+  std::vector<AccessPlan> plans = enumerateAccessPlans(dst, range, goal);
+  planMemo_.emplace(key, plans);
+  return plans;
+}
+
+std::vector<AccessPlan> ISchedulerHost::enumerateAccessPlans(NodeId dst, EventRange range,
+                                                             const AccessGoal& goal) {
   std::vector<AccessPlan> plans;
   const SimConfig& cfg = config();
   const bool netEnabled = cfg.network.enabled;

@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -260,8 +261,56 @@ class ISchedulerHost {
   /// Prefetch intent: plans for warming `dst`'s cache, ranked by pure
   /// transfer cost (no CPU folded): each viable remote source plus a
   /// tertiary-streaming plan, each stamped with `goal.deadline`.
+  ///
+  /// Within one scheduling round the candidate enumeration is memoized,
+  /// keyed on (dst, range, goal) and valid while planEpoch() is unchanged —
+  /// a policy re-pricing the same stripe against several destinations (or a
+  /// work-stealing pass scoring many queued jobs) pays the O(candidates)
+  /// scan once. planEpoch() == 0 disables the memo entirely.
   [[nodiscard]] virtual std::vector<AccessPlan> planAccess(NodeId dst, EventRange range,
                                                            AccessGoal goal = {});
+
+  /// Monotone counter identifying the host's current planning state. Any
+  /// mutation that can change planAccess results (cache content, network
+  /// flows, node liveness, run state, simulated time) must advance it.
+  /// 0 (the default) means "no epoch tracking": planAccess memoization is
+  /// off and every call re-enumerates. The simulator overrides this.
+  [[nodiscard]] virtual std::uint64_t planEpoch() const { return 0; }
+
+  /// planAccess memo effectiveness counters (bench/ext_scheduler_overhead).
+  /// Lookups count every planAccess call made while the memo is active;
+  /// hits count the subset served from the memo without re-enumeration.
+  struct PlanMemoStats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+  };
+  [[nodiscard]] PlanMemoStats planMemoStats() const { return planMemoStats_; }
+
+ private:
+  /// Memo key for planAccess: destination, range, and every goal field that
+  /// influences the plan list.
+  struct PlanMemoKey {
+    NodeId dst;
+    EventIndex begin;
+    EventIndex end;
+    int intent;
+    int replicationThreshold;
+    double replicaCongestionFactor;
+    bool topologyAware;
+    SimTime deadline;
+    friend bool operator==(const PlanMemoKey&, const PlanMemoKey&) = default;
+  };
+  struct PlanMemoHash {
+    std::size_t operator()(const PlanMemoKey& k) const;
+  };
+
+  /// Uncached enumeration (the original planAccess body).
+  [[nodiscard]] std::vector<AccessPlan> enumerateAccessPlans(NodeId dst, EventRange range,
+                                                             const AccessGoal& goal);
+
+  std::uint64_t planMemoEpoch_ = 0;
+  std::unordered_map<PlanMemoKey, std::vector<AccessPlan>, PlanMemoHash> planMemo_;
+  PlanMemoStats planMemoStats_;
 };
 
 }  // namespace ppsched

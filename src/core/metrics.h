@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "shard/shard_config.h"
 #include "sim/stats.h"
 #include "sim/time.h"
 #include "storage/rates.h"
@@ -149,6 +150,10 @@ struct RunResult {
   /// Flow-level network accounting (enabled == false when the network model
   /// is off). Filled by the experiment layer from Engine::networkReport().
   NetworkReport network;
+
+  /// Sharded-scheduling accounting (enabled == false on unsharded runs).
+  /// Filled by the experiment layer from ShardedCoordinator::report().
+  ShardReport shards;
 };
 
 /// Collects per-job records and event-level counters during a run and

@@ -1,0 +1,420 @@
+#include "shard/coordinator.h"
+
+#include <algorithm>
+#include <iterator>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace ppsched {
+namespace {
+
+/// Restores a flag on scope exit even when a callback throws.
+struct ScopeFlag {
+  explicit ScopeFlag(bool& flag) : flag_(flag) { flag_ = true; }
+  ~ScopeFlag() { flag_ = false; }
+  bool& flag_;
+};
+
+}  // namespace
+
+ShardedCoordinator::ShardedCoordinator(ShardConfig cfg, PolicyFactory factory)
+    : cfg_(std::move(cfg)), factory_(std::move(factory)) {
+  probe_ = factory_();
+  innerName_ = probe_->name();
+  usesCaching_ = probe_->usesCaching();
+  digestAgeHistogram_.assign(std::size(kDigestAgeEdgesSec) + 1, 0);
+}
+
+void ShardedCoordinator::bind(ISchedulerHost& host) {
+  ISchedulerPolicy::bind(host);
+  real_ = &host;
+  const int machines = host.config().numNodes;
+  const int cpus = host.config().cpusPerNode;
+  const int k = std::max(1, std::min(cfg_.count, machines));
+  shards_.resize(static_cast<std::size_t>(k));
+  machineShard_.assign(static_cast<std::size_t>(machines), 0);
+  for (int s = 0; s < k; ++s) {
+    Shard& shard = shards_[static_cast<std::size_t>(s)];
+    shard.machineBegin = s * machines / k;
+    shard.machineEnd = (s + 1) * machines / k;
+    shard.view = std::make_unique<ShardHostView>(*this, host, s, shard.machineBegin,
+                                                 shard.machineEnd);
+    shard.policy = (s == 0) ? std::move(probe_) : factory_();
+    shard.policy->bind(*shard.view);
+    shard.stats.shard = s;
+    shard.stats.nodeBegin = shard.machineBegin * cpus;
+    shard.stats.nodeEnd = shard.machineEnd * cpus;
+    for (int m = shard.machineBegin; m < shard.machineEnd; ++m) {
+      machineShard_[static_cast<std::size_t>(m)] = s;
+    }
+  }
+  board_ = std::make_unique<DigestBoard>(cfg_.digestPeriodSec, host.config().totalEvents(),
+                                         cfg_.buckets, machines);
+}
+
+int ShardedCoordinator::machineShard(NodeId globalNode) const {
+  const int machine = globalNode / real_->config().cpusPerNode;
+  return machineShard_[static_cast<std::size_t>(machine)];
+}
+
+bool ShardedCoordinator::sliceAlive(const Shard& s) const {
+  const int cpus = real_->config().cpusPerNode;
+  for (int m = s.machineBegin; m < s.machineEnd; ++m) {
+    if (real_->isUp(m * cpus)) return true;
+  }
+  return false;
+}
+
+std::size_t ShardedCoordinator::admitLimit(const Shard& s) const {
+  if (cfg_.admit > 0) return static_cast<std::size_t>(cfg_.admit);
+  if (shards_.size() <= 1) return std::numeric_limits<std::size_t>::max();
+  const std::size_t slots = static_cast<std::size_t>(s.machineEnd - s.machineBegin) *
+                            static_cast<std::size_t>(real_->config().cpusPerNode);
+  return std::max<std::size_t>(4, 2 * slots);
+}
+
+std::uint64_t ShardedCoordinator::sliceDigestEstimate(const Shard& s, EventRange r) const {
+  std::uint64_t total = 0;
+  for (int m = s.machineBegin; m < s.machineEnd; ++m) total += board_->estimate(m, r);
+  return total;
+}
+
+std::uint64_t ShardedCoordinator::sliceActualCached(const Shard& s, EventRange r) const {
+  const int cpus = real_->config().cpusPerNode;
+  std::uint64_t total = 0;
+  for (int m = s.machineBegin; m < s.machineEnd; ++m) {
+    total += real_->cluster().node(m * cpus).cache().overlapSize(r);
+  }
+  return total;
+}
+
+void ShardedCoordinator::consultDigests() {
+  board_->refresh(real_->now(), real_->cluster(), real_->config().cpusPerNode);
+  const double age = board_->age(real_->now());
+  digestAgeSum_ += age;
+  ++digestAgeSamples_;
+  std::size_t bucket = std::size(kDigestAgeEdgesSec);  // overflow by default
+  for (std::size_t i = 0; i < std::size(kDigestAgeEdgesSec); ++i) {
+    if (age <= kDigestAgeEdgesSec[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++digestAgeHistogram_[bucket];
+}
+
+int ShardedCoordinator::routeShard(const Job& job) {
+  const int k = static_cast<int>(shards_.size());
+  if (k == 1) return 0;
+  if (cfg_.route == "rr") {
+    // Round-robin over live slices; all dead degenerates to plain rotation.
+    for (int tries = 0; tries < k; ++tries) {
+      const int s = static_cast<int>(rrNext_++ % static_cast<std::size_t>(k));
+      if (sliceAlive(shards_[static_cast<std::size_t>(s)])) return s;
+    }
+    return static_cast<int>(rrNext_++ % static_cast<std::size_t>(k));
+  }
+  // Affinity: the slice whose digests claim the most of the job's data; ties
+  // go to the least-loaded slice, then the lowest id. A slice that caches
+  // nothing competes purely on load.
+  consultDigests();
+  int best = -1;
+  std::uint64_t bestScore = 0;
+  std::size_t bestLoad = 0;
+  bool anyAlive = false;
+  for (int s = 0; s < k; ++s) {
+    const Shard& shard = shards_[static_cast<std::size_t>(s)];
+    if (!sliceAlive(shard)) continue;
+    const std::uint64_t score = sliceDigestEstimate(shard, job.range);
+    const std::size_t load = shard.pending.size() + shard.open;
+    if (!anyAlive || score > bestScore || (score == bestScore && load < bestLoad)) {
+      anyAlive = true;
+      best = s;
+      bestScore = score;
+      bestLoad = load;
+    }
+  }
+  if (best >= 0) return best;
+  // Whole cluster down: park with the least-loaded shard; admission waits
+  // for a repair anyway.
+  std::size_t minLoad = std::numeric_limits<std::size_t>::max();
+  best = 0;
+  for (int s = 0; s < k; ++s) {
+    const Shard& shard = shards_[static_cast<std::size_t>(s)];
+    const std::size_t load = shard.pending.size() + shard.open;
+    if (load < minLoad) {
+      minLoad = load;
+      best = s;
+    }
+  }
+  return best;
+}
+
+void ShardedCoordinator::onJobArrival(const Job& job) {
+  const int s = routeShard(job);
+  Shard& shard = shards_[static_cast<std::size_t>(s)];
+  jobShard_[job.id] = s;
+  shard.pending.push_back(job.id);
+  ++shard.stats.jobsRouted;
+  const std::size_t depth = shard.pending.size();
+  shard.stats.peakQueueDepth = std::max(shard.stats.peakQueueDepth, depth);
+  shard.depthSum += static_cast<double>(depth);
+  ++shard.depthSamples;
+  afterCallback();
+}
+
+void ShardedCoordinator::onRunFinished(NodeId node, const RunReport& report) {
+  if (report.jobCompleted) {
+    const auto it = jobShard_.find(report.subjob.job);
+    if (it != jobShard_.end()) {
+      Shard& owner = shards_[static_cast<std::size_t>(it->second)];
+      if (owner.open > 0) --owner.open;
+      jobShard_.erase(it);
+    }
+  }
+  const int s = machineShard(node);
+  Shard& shard = shards_[static_cast<std::size_t>(s)];
+  shard.policy->onRunFinished(shard.view->toLocal(node), report);
+  afterCallback();
+}
+
+void ShardedCoordinator::onTimer(TimerId timer) {
+  int s = 0;
+  const auto it = timerShard_.find(timer);
+  if (it != timerShard_.end()) {
+    s = it->second;
+    timerShard_.erase(it);
+  }
+  shards_[static_cast<std::size_t>(s)].policy->onTimer(timer);
+  afterCallback();
+}
+
+void ShardedCoordinator::onNodeDown(NodeId node, const RunReport* lost) {
+  const int s = machineShard(node);
+  Shard& shard = shards_[static_cast<std::size_t>(s)];
+  shard.policy->onNodeDown(shard.view->toLocal(node), lost);
+  if (!sliceAlive(shard)) rehomeOrphans(shard);
+  afterCallback();
+}
+
+void ShardedCoordinator::onNodeUp(NodeId node) {
+  const int s = machineShard(node);
+  Shard& shard = shards_[static_cast<std::size_t>(s)];
+  shard.policy->onNodeUp(shard.view->toLocal(node));
+  afterCallback();
+}
+
+void ShardedCoordinator::noteDispatch(int shard, JobId job) {
+  const auto it = jobShard_.find(job);
+  if (it == jobShard_.end()) return;  // completed / untracked: the host validates
+  if (it->second != shard) {
+    throw std::logic_error("shard " + std::to_string(shard) + " dispatched job " +
+                           std::to_string(job) + " owned by shard " +
+                           std::to_string(it->second));
+  }
+}
+
+void ShardedCoordinator::registerTimer(TimerId id, int shard) { timerShard_[id] = shard; }
+
+void ShardedCoordinator::unregisterTimer(TimerId id) { timerShard_.erase(id); }
+
+void ShardedCoordinator::deferLost(int shard, Subjob sj) {
+  if (shards_.size() <= 1) {
+    // Single shard: the global first-fit drain IS the slice drain —
+    // forwarding keeps the K=1 path bit-identical to the unsharded host.
+    real_->deferLost(std::move(sj));
+    return;
+  }
+  shards_[static_cast<std::size_t>(shard)].parked.push_back(std::move(sj));
+}
+
+void ShardedCoordinator::afterCallback() {
+  if (inSweep_) return;
+  ScopeFlag guard(inSweep_);
+  for (Shard& s : shards_) {
+    admitPending(s);
+    drainParked(s);
+  }
+  if (cfg_.steal && shards_.size() > 1) stealWork();
+}
+
+void ShardedCoordinator::admitPending(Shard& s) {
+  while (!s.pending.empty() && s.open < admitLimit(s) && sliceAlive(s)) {
+    const JobId id = s.pending.front();
+    s.pending.pop_front();
+    if (real_->jobDone(id)) {
+      jobShard_.erase(id);
+      continue;
+    }
+    ++s.open;
+    s.policy->onJobArrival(real_->job(id));
+  }
+}
+
+void ShardedCoordinator::drainParked(Shard& s) {
+  // Engine::drainDeferred, restricted to the owning slice: first idle node
+  // of the slice takes the first still-needed interval; the rest re-parks.
+  const int cpus = real_->config().cpusPerNode;
+  const NodeId sliceBegin = s.machineBegin * cpus;
+  const NodeId sliceEnd = s.machineEnd * cpus;
+  while (!s.parked.empty()) {
+    NodeId target = kNoNode;
+    for (NodeId n = sliceBegin; n < sliceEnd; ++n) {
+      if (real_->isIdle(n)) {
+        target = n;
+        break;
+      }
+    }
+    if (target == kNoNode) return;
+    Subjob sj = std::move(s.parked.front());
+    s.parked.pop_front();
+    if (real_->jobDone(sj.job)) continue;
+    // Trim anything completed or re-dispatched since the loss: only work
+    // that is still remaining and not running anywhere may start.
+    IntervalSet todo = real_->remainingOf(sj.job).intersectWith(sj.range);
+    for (NodeId n = 0; n < real_->numNodes(); ++n) {
+      const RunningView rv = real_->running(n);
+      if (rv.active && rv.subjob.job == sj.job) todo.erase(rv.subjob.range);
+    }
+    bool started = false;
+    for (const EventRange& r : todo.intervals()) {
+      Subjob piece = sj;
+      piece.range = r;
+      if (!started) {
+        real_->startRun(target, piece);
+        started = true;
+      } else {
+        s.parked.push_back(piece);
+      }
+    }
+  }
+}
+
+void ShardedCoordinator::stealWork() {
+  // Keep sweeping until no shard can steal: each steal admits one job, so
+  // the total pending count strictly decreases and the loop terminates.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t t = 0; t < shards_.size(); ++t) {
+      Shard& thief = shards_[t];
+      if (!thief.pending.empty()) continue;  // it has local work to admit
+      if (!sliceAlive(thief)) continue;
+      if (thief.open >= admitLimit(thief)) continue;
+      bool hasIdle = false;
+      const int cpus = real_->config().cpusPerNode;
+      for (NodeId n = thief.machineBegin * cpus; n < thief.machineEnd * cpus; ++n) {
+        if (real_->isIdle(n)) {
+          hasIdle = true;
+          break;
+        }
+      }
+      if (!hasIdle) continue;
+      // Victim: the most-backlogged peer (ties: lowest shard id).
+      int v = -1;
+      std::size_t backlog = 0;
+      for (std::size_t o = 0; o < shards_.size(); ++o) {
+        if (o == t) continue;
+        if (shards_[o].pending.size() > backlog) {
+          backlog = shards_[o].pending.size();
+          v = static_cast<int>(o);
+        }
+      }
+      if (v < 0) continue;
+      ++stealAttempts_;
+      consultDigests();
+      Shard& victim = shards_[static_cast<std::size_t>(v)];
+      // Prefer the queued job whose data the thief's slice caches most,
+      // per the (possibly stale) digest; scan a bounded prefix so a huge
+      // backlog cannot turn one steal into a full-queue scoring pass.
+      const std::size_t scan = std::min<std::size_t>(victim.pending.size(), 32);
+      std::size_t bestIdx = 0;
+      std::uint64_t bestScore = 0;
+      for (std::size_t i = 0; i < scan; ++i) {
+        const std::uint64_t score =
+            sliceDigestEstimate(thief, real_->job(victim.pending[i]).range);
+        if (score > bestScore) {
+          bestScore = score;
+          bestIdx = i;
+        }
+      }
+      const JobId id = victim.pending[bestIdx];
+      victim.pending.erase(victim.pending.begin() +
+                           static_cast<std::ptrdiff_t>(bestIdx));
+      // Stale-decision regret: the digest promised cache affinity the
+      // slice's caches no longer deliver (less than half the promise).
+      if (bestScore > 0 &&
+          sliceActualCached(thief, real_->job(id).range) * 2 < bestScore) {
+        ++staleSteals_;
+      }
+      jobShard_[id] = static_cast<int>(t);
+      ++steals_;
+      ++victim.stats.jobsStolenOut;
+      ++thief.stats.jobsStolenIn;
+      ++thief.open;
+      thief.policy->onJobArrival(real_->job(id));
+      progress = true;
+    }
+  }
+}
+
+void ShardedCoordinator::rehomeOrphans(Shard& from) {
+  if (from.pending.empty()) return;
+  int target = -1;
+  std::size_t minLoad = std::numeric_limits<std::size_t>::max();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Shard& peer = shards_[s];
+    if (&peer == &from || !sliceAlive(peer)) continue;
+    const std::size_t load = peer.pending.size() + peer.open;
+    if (load < minLoad) {
+      minLoad = load;
+      target = static_cast<int>(s);
+    }
+  }
+  if (target < 0) return;  // no live peer; jobs wait for a repair
+  Shard& peer = shards_[static_cast<std::size_t>(target)];
+  for (const JobId id : from.pending) {
+    jobShard_[id] = target;
+    peer.pending.push_back(id);
+    ++from.stats.jobsRehomed;
+  }
+  from.pending.clear();
+}
+
+ISchedulerHost::PlanMemoStats ShardedCoordinator::viewPlanMemoStats() const {
+  ISchedulerHost::PlanMemoStats total;
+  for (const Shard& s : shards_) {
+    if (!s.view) continue;
+    const auto stats = s.view->planMemoStats();
+    total.lookups += stats.lookups;
+    total.hits += stats.hits;
+  }
+  return total;
+}
+
+ShardReport ShardedCoordinator::report() const {
+  ShardReport rep;
+  rep.enabled = true;
+  rep.count = static_cast<int>(shards_.size());
+  rep.digestPeriodSec = cfg_.digestPeriodSec;
+  rep.steal = cfg_.steal;
+  rep.steals = steals_;
+  rep.stealAttempts = stealAttempts_;
+  rep.staleSteals = staleSteals_;
+  rep.digestRefreshes = board_ ? board_->refreshes() : 0;
+  rep.meanDigestAgeSec =
+      digestAgeSamples_ > 0 ? digestAgeSum_ / static_cast<double>(digestAgeSamples_) : 0.0;
+  rep.digestAgeSamples = digestAgeSamples_;
+  rep.digestAgeHistogram = digestAgeHistogram_;
+  rep.shards.reserve(shards_.size());
+  for (const Shard& s : shards_) {
+    ShardStats st = s.stats;
+    st.meanQueueDepth =
+        s.depthSamples > 0 ? s.depthSum / static_cast<double>(s.depthSamples) : 0.0;
+    rep.shards.push_back(st);
+  }
+  return rep;
+}
+
+}  // namespace ppsched

@@ -1,0 +1,148 @@
+// Sharded multi-master scheduling.
+//
+// The ShardedCoordinator is a meta-policy: it partitions the cluster into K
+// contiguous machine slices, instantiates one unmodified inner policy per
+// slice behind a ShardHostView, and routes every host callback to the shard
+// that owns it. What the single master did globally is decomposed into
+//
+//   - routing: each arriving job goes to one shard's pending queue —
+//     "affinity" scores slices by their cache digests (shard/digest.h),
+//     "rr" round-robins;
+//   - admission: a shard feeds its inner policy at most `admit` jobs at a
+//     time; the un-admitted tail is the coordinator's (stealable) queue;
+//   - stealing: a shard with an empty queue and spare capacity takes the
+//     head of the most-backlogged peer's queue, preferring jobs whose data
+//     its slice caches according to the (possibly stale) digest — the
+//     inner policy then re-prices the job against ground truth through
+//     planAccess on dispatch;
+//   - failure rehoming: when a slice's machines are all down, its pending
+//     (un-admitted) jobs move to a live peer. Jobs already admitted stay
+//     with their policy (only it knows their internal state) and resume on
+//     repair; their lost run remainders are parked per shard and drained
+//     strictly within the owning slice.
+//
+// Ownership invariant: every job belongs to exactly one shard at a time
+// (transfers happen only before admission — steal and rehome — so no inner
+// policy ever shares a job). ShardHostView::startRun checks each dispatch
+// against the ownership map and throws on a violation.
+//
+// K == 1 is bit-identical to the unsharded path: one view spanning every
+// machine (identity id translation), unlimited admission (arrivals reach
+// the inner policy synchronously, in order), deferLost forwarded verbatim
+// to the real host, and no digests, routing or stealing on the decision
+// path. The golden pins in tests/test_shard.cpp hold all ten policies to
+// this.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/policy.h"
+#include "shard/digest.h"
+#include "shard/shard_config.h"
+#include "shard/shard_host.h"
+
+namespace ppsched {
+
+class ShardedCoordinator final : public ISchedulerPolicy {
+ public:
+  using PolicyFactory = std::function<std::unique_ptr<ISchedulerPolicy>()>;
+
+  /// `factory` builds one inner policy per shard (all identical).
+  ShardedCoordinator(ShardConfig cfg, PolicyFactory factory);
+
+  [[nodiscard]] std::string name() const override { return "sharded(" + innerName_ + ")"; }
+  [[nodiscard]] bool usesCaching() const override { return usesCaching_; }
+
+  void bind(ISchedulerHost& host) override;
+  void onJobArrival(const Job& job) override;
+  void onRunFinished(NodeId node, const RunReport& report) override;
+  void onTimer(TimerId timer) override;
+  void onNodeDown(NodeId node, const RunReport* lost) override;
+  void onNodeUp(NodeId node) override;
+
+  /// Accounting over the run so far (attached to RunResult by experiment).
+  [[nodiscard]] ShardReport report() const;
+
+  /// planAccess memo counters summed over the per-shard host views (each
+  /// view keeps its own memo over the slice's sub-cluster). The engine's own
+  /// counters are separate; bench/ext_scheduler_overhead adds the two.
+  [[nodiscard]] ISchedulerHost::PlanMemoStats viewPlanMemoStats() const;
+
+  // --- callbacks from ShardHostView --------------------------------------
+  /// A shard's inner policy dispatches `job`; throws std::logic_error when
+  /// the job is owned by a different shard (the two-masters bug this
+  /// subsystem must never have).
+  void noteDispatch(int shard, JobId job);
+  void registerTimer(TimerId id, int shard);
+  void unregisterTimer(TimerId id);
+  /// Lost-work parking: forwarded to the real host at K <= 1 (bit-identity
+  /// with the global first-fit drain); parked per shard otherwise.
+  void deferLost(int shard, Subjob sj);
+
+ private:
+  struct Shard {
+    std::unique_ptr<ShardHostView> view;
+    std::unique_ptr<ISchedulerPolicy> policy;
+    int machineBegin = 0;
+    int machineEnd = 0;
+    std::deque<JobId> pending;  ///< routed, not yet admitted (stealable)
+    std::deque<Subjob> parked;  ///< lost-run remainders awaiting re-dispatch
+    std::size_t open = 0;       ///< jobs admitted and not yet completed
+    ShardStats stats;
+    double depthSum = 0.0;        ///< accumulators behind stats.meanQueueDepth
+    std::size_t depthSamples = 0;
+  };
+
+  [[nodiscard]] int machineShard(NodeId globalNode) const;
+  [[nodiscard]] bool sliceAlive(const Shard& s) const;
+  [[nodiscard]] std::size_t admitLimit(const Shard& s) const;
+  [[nodiscard]] int routeShard(const Job& job);
+  /// Digest-estimated events of `r` cached across `s`'s slice.
+  [[nodiscard]] std::uint64_t sliceDigestEstimate(const Shard& s, EventRange r) const;
+  /// Ground-truth events of `r` cached across `s`'s slice (regret check).
+  [[nodiscard]] std::uint64_t sliceActualCached(const Shard& s, EventRange r) const;
+  /// Refresh the digest board and record the age of the digests consulted.
+  void consultDigests();
+
+  /// Post-callback sweep: admit pending jobs up to each shard's window,
+  /// drain parked lost work within each slice, then steal across shards.
+  void afterCallback();
+  void admitPending(Shard& s);
+  void drainParked(Shard& s);
+  void stealWork();
+  /// Move every pending (un-admitted) job of the dead shard `from` to the
+  /// least-loaded live peer. Admitted jobs and their parked remainders stay
+  /// with `from`'s policy — only it knows their internal state — and resume
+  /// when the slice repairs.
+  void rehomeOrphans(Shard& from);
+
+  ShardConfig cfg_;
+  PolicyFactory factory_;
+  std::unique_ptr<ISchedulerPolicy> probe_;  ///< becomes shard 0's policy at bind
+  std::string innerName_;
+  bool usesCaching_ = true;
+
+  ISchedulerHost* real_ = nullptr;
+  std::vector<Shard> shards_;
+  std::vector<int> machineShard_;  ///< machine index -> shard
+  std::unique_ptr<DigestBoard> board_;
+  std::unordered_map<JobId, int> jobShard_;
+  std::unordered_map<TimerId, int> timerShard_;
+  bool inSweep_ = false;   ///< afterCallback re-entry guard
+  std::size_t rrNext_ = 0; ///< next shard for route=rr
+
+  // Run-wide counters (see ShardReport).
+  std::size_t steals_ = 0;
+  std::size_t stealAttempts_ = 0;
+  std::size_t staleSteals_ = 0;
+  double digestAgeSum_ = 0.0;
+  std::size_t digestAgeSamples_ = 0;
+  std::vector<std::uint64_t> digestAgeHistogram_;
+};
+
+}  // namespace ppsched

@@ -1,0 +1,81 @@
+#include "shard/digest.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "storage/lru_cache.h"
+
+namespace ppsched {
+
+CacheDigest::CacheDigest(std::uint64_t totalEvents, int buckets)
+    : totalEvents_(totalEvents) {
+  if (buckets < 1) throw std::invalid_argument("digest needs at least one bucket");
+  perBucket_ = (totalEvents + static_cast<std::uint64_t>(buckets) - 1) /
+               static_cast<std::uint64_t>(buckets);
+  if (perBucket_ == 0) perBucket_ = 1;
+  // The last bucket may be short (or empty) when buckets does not divide
+  // totalEvents; bucketRange clamps to the data space.
+  bits_.assign(static_cast<std::size_t>(buckets), false);
+}
+
+EventRange CacheDigest::bucketRange(int bucket) const {
+  const EventIndex begin = static_cast<EventIndex>(bucket) * perBucket_;
+  EventIndex end = begin + perBucket_;
+  if (begin > totalEvents_) return {totalEvents_, totalEvents_};
+  if (end > totalEvents_) end = totalEvents_;
+  return {begin, end};
+}
+
+void CacheDigest::rebuild(const LruExtentCache& cache) {
+  for (int b = 0; b < buckets(); ++b) {
+    const EventRange r = bucketRange(b);
+    if (r.empty()) {
+      bits_[static_cast<std::size_t>(b)] = false;
+      continue;
+    }
+    const std::uint64_t covered = cache.overlapSize(r);
+    bits_[static_cast<std::size_t>(b)] = covered * 2 >= r.size();
+  }
+}
+
+std::uint64_t CacheDigest::estimate(EventRange r) const {
+  if (r.empty() || perBucket_ == 0 || bits_.empty()) return 0;
+  std::uint64_t total = 0;
+  int first = static_cast<int>(r.begin / perBucket_);
+  int last = static_cast<int>((r.end - 1) / perBucket_);
+  if (first >= buckets()) return 0;
+  if (last >= buckets()) last = buckets() - 1;
+  for (int b = first; b <= last; ++b) {
+    if (!bits_[static_cast<std::size_t>(b)]) continue;
+    const EventRange overlap = bucketRange(b).intersect(r);
+    total += overlap.size();
+  }
+  return total;
+}
+
+DigestBoard::DigestBoard(double periodSec, std::uint64_t totalEvents, int buckets,
+                         int machines)
+    : periodSec_(periodSec), totalEvents_(totalEvents), buckets_(buckets) {
+  digests_.assign(static_cast<std::size_t>(machines),
+                  CacheDigest(totalEvents, buckets));
+}
+
+void DigestBoard::refresh(SimTime now, const Cluster& cluster, int cpusPerNode) {
+  if (periodSec_ > 0.0) {
+    const long long window = static_cast<long long>(std::floor(now / periodSec_));
+    if (window == epoch_ && builtAt_ >= 0) return;
+    epoch_ = window;
+  }
+  for (std::size_t m = 0; m < digests_.size(); ++m) {
+    const NodeId slot = static_cast<NodeId>(m) * cpusPerNode;
+    digests_[m].rebuild(cluster.node(slot).cache());
+  }
+  builtAt_ = now;
+  ++refreshes_;
+}
+
+std::uint64_t DigestBoard::estimate(int machine, EventRange r) const {
+  return digests_[static_cast<std::size_t>(machine)].estimate(r);
+}
+
+}  // namespace ppsched

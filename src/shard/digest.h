@@ -1,0 +1,83 @@
+// Staleness-bounded cache digests.
+//
+// Shards do not see each other's caches directly; they exchange compact
+// summaries on a period. A CacheDigest is a coarse bitmap over the event
+// space: the space is cut into fixed-size buckets and a bucket's bit is set
+// when the summarized cache holds at least half of it. That makes a digest
+// a few dozen bytes per machine regardless of cache fragmentation — cheap
+// enough to broadcast — at the price of resolution and, between refreshes,
+// staleness. The DigestBoard owns one digest per physical machine and
+// refreshes them lazily: the first digest-guided decision inside each
+// period window rebuilds the board from ground truth (no timers, so an
+// idle simulation still terminates).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "sim/time.h"
+#include "storage/interval_set.h"
+
+namespace ppsched {
+
+class LruExtentCache;
+
+/// Coarse interval bitmap over the event space [0, totalEvents).
+class CacheDigest {
+ public:
+  CacheDigest() = default;
+  CacheDigest(std::uint64_t totalEvents, int buckets);
+
+  /// Re-summarize `cache`: bucket bit set iff the cache holds at least half
+  /// of that bucket's events.
+  void rebuild(const LruExtentCache& cache);
+
+  /// Events of `r` falling in set buckets — the digest's estimate of how
+  /// much of `r` the summarized cache holds. An over- or under-estimate of
+  /// up to half a bucket per boundary even when fresh; arbitrarily wrong
+  /// when stale.
+  [[nodiscard]] std::uint64_t estimate(EventRange r) const;
+
+  [[nodiscard]] int buckets() const { return static_cast<int>(bits_.size()); }
+  [[nodiscard]] bool bit(int bucket) const { return bits_[static_cast<std::size_t>(bucket)]; }
+
+ private:
+  [[nodiscard]] EventRange bucketRange(int bucket) const;
+
+  std::uint64_t totalEvents_ = 0;
+  std::uint64_t perBucket_ = 0;
+  std::vector<bool> bits_;
+};
+
+/// One digest per physical machine plus the refresh clock. Staleness is
+/// measured from the instant the board was actually rebuilt.
+class DigestBoard {
+ public:
+  DigestBoard(double periodSec, std::uint64_t totalEvents, int buckets, int machines);
+
+  /// Lazily refresh: with period <= 0 every call rebuilds; otherwise the
+  /// board rebuilds once per period window (floor(now / period) changing).
+  /// Reads each machine's cache through its first CPU slot.
+  void refresh(SimTime now, const Cluster& cluster, int cpusPerNode);
+
+  /// Digest-estimated events of `r` cached on `machine`.
+  [[nodiscard]] std::uint64_t estimate(int machine, EventRange r) const;
+
+  /// Age of the current digests; 0 before the first rebuild.
+  [[nodiscard]] double age(SimTime now) const {
+    return builtAt_ < 0 ? 0.0 : static_cast<double>(now) - builtAt_;
+  }
+  [[nodiscard]] std::size_t refreshes() const { return refreshes_; }
+
+ private:
+  double periodSec_;
+  std::uint64_t totalEvents_;
+  int buckets_;
+  long long epoch_ = -1;   // floor(now / period) of the last rebuild
+  double builtAt_ = -1.0;  // instant of the last rebuild; < 0 = never
+  std::size_t refreshes_ = 0;
+  std::vector<CacheDigest> digests_;  // one per physical machine
+};
+
+}  // namespace ppsched

@@ -1,0 +1,135 @@
+#include "shard/shard_config.h"
+
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ppsched {
+namespace {
+
+double parseNonNegativeDouble(const std::string& key, const std::string& value) {
+  std::size_t pos = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("shard spec: bad value for '" + key + "': '" +
+                                value + "'");
+  }
+  if (pos != value.size() || !(parsed >= 0.0)) {
+    throw std::invalid_argument("shard spec: bad value for '" + key + "': '" +
+                                value + "'");
+  }
+  return parsed;
+}
+
+int parseInt(const std::string& key, const std::string& value) {
+  std::size_t pos = 0;
+  int parsed = 0;
+  try {
+    parsed = std::stoi(value, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("shard spec: bad value for '" + key + "': '" +
+                                value + "'");
+  }
+  if (pos != value.size()) {
+    throw std::invalid_argument("shard spec: bad value for '" + key + "': '" +
+                                value + "'");
+  }
+  return parsed;
+}
+
+bool parseOnOff(const std::string& key, const std::string& value) {
+  if (value == "on") return true;
+  if (value == "off") return false;
+  throw std::invalid_argument("shard spec: '" + key + "' must be on|off, got '" +
+                              value + "'");
+}
+
+}  // namespace
+
+ShardConfig parseShardSpec(const std::string& spec) {
+  ShardConfig cfg;
+  if (spec.empty() || spec == "off") return cfg;
+
+  std::istringstream in(spec);
+  std::string item;
+  bool first = true;
+  std::set<std::string> seen;
+  while (std::getline(in, item, ',')) {
+    if (first) {
+      first = false;
+      if (item.find('=') != std::string::npos) {
+        throw std::invalid_argument(
+            "shard spec: expected the shard count first, got '" + item + "'");
+      }
+      cfg.count = parseInt("count", item);
+      if (cfg.count < 1) {
+        throw std::invalid_argument("shard spec: count must be >= 1, got '" +
+                                    item + "'");
+      }
+      continue;
+    }
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("shard spec: expected key=value, got '" +
+                                  item + "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (!seen.insert(key).second) {
+      throw std::invalid_argument("shard spec: duplicate key '" + key + "'");
+    }
+    if (key == "digest") {
+      cfg.digestPeriodSec = parseNonNegativeDouble(key, value);
+    } else if (key == "steal") {
+      cfg.steal = parseOnOff(key, value);
+    } else if (key == "route") {
+      if (value != "affinity" && value != "rr") {
+        throw std::invalid_argument(
+            "shard spec: route must be affinity|rr, got '" + value + "'");
+      }
+      cfg.route = value;
+    } else if (key == "admit") {
+      cfg.admit = parseInt(key, value);
+      if (cfg.admit < 0) {
+        throw std::invalid_argument("shard spec: admit must be >= 0, got '" +
+                                    value + "'");
+      }
+    } else if (key == "buckets") {
+      cfg.buckets = parseInt(key, value);
+      if (cfg.buckets < 1) {
+        throw std::invalid_argument("shard spec: buckets must be >= 1, got '" +
+                                    value + "'");
+      }
+    } else {
+      throw std::invalid_argument("shard spec: unknown key '" + key + "'");
+    }
+  }
+  // getline drops nothing silently, but a trailing comma produces an empty
+  // final item only when characters follow it; catch "4," explicitly.
+  if (!spec.empty() && spec.back() == ',') {
+    throw std::invalid_argument("shard spec: trailing ',' in '" + spec + "'");
+  }
+  return cfg;
+}
+
+std::string formatShardSpec(const ShardConfig& cfg) {
+  if (!cfg.enabled()) return "off";
+  std::ostringstream out;
+  out << cfg.count;
+  if (cfg.digestPeriodSec != 0.0) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", cfg.digestPeriodSec);
+    out << ",digest=" << buf;
+  }
+  if (!cfg.steal) out << ",steal=off";
+  if (cfg.route != "affinity") out << ",route=" << cfg.route;
+  if (cfg.admit != 0) out << ",admit=" << cfg.admit;
+  if (cfg.buckets != 256) out << ",buckets=" << cfg.buckets;
+  return out.str();
+}
+
+}  // namespace ppsched

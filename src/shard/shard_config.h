@@ -1,0 +1,103 @@
+// Sharded multi-master scheduling: configuration and run report.
+//
+// The paper's master has a perfectly fresh global view of every node's
+// cache. A production-scale cluster partitions that master: K shards each
+// own a contiguous slice of the machines, run their own instance of any
+// scheduling policy against that slice only, and learn about remote caches
+// through periodically exchanged digests (see shard/digest.h). This header
+// is the dependency-free leaf: the knob struct parsed from the CLI
+// (`--shards K,digest=P,steal=on|off`) plus the per-run accounting the
+// coordinator reports back (see shard/coordinator.h for the machinery).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppsched {
+
+/// Knobs of the sharded coordinator. Disabled (count == 0) runs the classic
+/// single-master path untouched; count == 1 wraps the policy in a single
+/// shard whose view spans the whole cluster — bit-identical to disabled by
+/// construction (the golden pins hold it to that).
+struct ShardConfig {
+  /// Number of shards; 0 disables sharding entirely.
+  int count = 0;
+  /// Period of the cache-digest exchange (seconds). Shards see remote cache
+  /// state through digests at most this stale; 0 = always fresh (every
+  /// decision reads a just-rebuilt digest).
+  double digestPeriodSec = 0.0;
+  /// Steal work from the most-backlogged peer when a shard's queue drains.
+  bool steal = true;
+  /// Arrival routing: "affinity" sends each job to the shard whose slice's
+  /// digest claims the most of its data; "rr" round-robins over live shards.
+  std::string route = "affinity";
+  /// Admission window: jobs a shard's inner policy holds open at once;
+  /// further jobs wait in the shard's pending queue (the stealable tail).
+  /// 0 = auto: unlimited for a single shard, 2 CPU slots' worth (min 4)
+  /// per shard otherwise.
+  int admit = 0;
+  /// Digest resolution: buckets over the whole data space. One bit per
+  /// (machine, bucket); a set bit means the machine caches at least half
+  /// the bucket.
+  int buckets = 256;
+
+  [[nodiscard]] bool enabled() const { return count > 0; }
+
+  friend bool operator==(const ShardConfig&, const ShardConfig&) = default;
+};
+
+/// Parse a shard spec: "" or "off" disables; otherwise the shard count
+/// first, then optional key=value items, e.g. "4,digest=600,steal=off".
+/// Keys: digest (seconds, >= 0), steal (on|off), route (affinity|rr),
+/// admit (>= 0), buckets (>= 1). Strict: a zero count, duplicate keys,
+/// unknown keys and trailing garbage all throw std::invalid_argument with
+/// a message naming the offender.
+ShardConfig parseShardSpec(const std::string& spec);
+
+/// Inverse of parseShardSpec: "off" when disabled, otherwise the count plus
+/// every non-default key. parseShardSpec(formatShardSpec(c)) == c.
+std::string formatShardSpec(const ShardConfig& cfg);
+
+/// Upper edges (seconds) of the digest-age histogram buckets; the histogram
+/// has one extra bucket for ages beyond the last edge.
+inline constexpr double kDigestAgeEdgesSec[] = {1.0,    10.0,   60.0,  300.0,
+                                                1800.0, 7200.0, 43200.0};
+
+/// Per-shard accounting over one run.
+struct ShardStats {
+  int shard = 0;
+  /// Global CPU-slot range [nodeBegin, nodeEnd) this shard owns.
+  int nodeBegin = 0;
+  int nodeEnd = 0;
+  std::size_t jobsRouted = 0;     ///< arrivals routed to this shard
+  std::size_t jobsStolenIn = 0;   ///< jobs this shard stole from peers
+  std::size_t jobsStolenOut = 0;  ///< jobs peers stole from this shard
+  std::size_t jobsRehomed = 0;    ///< pending jobs re-homed after the slice died
+  std::size_t peakQueueDepth = 0; ///< peak pending (un-admitted) queue depth
+  double meanQueueDepth = 0.0;    ///< mean pending depth, sampled per arrival
+};
+
+/// What the sharded coordinator measured over one run. Attached to
+/// RunResult; enabled == false on unsharded runs.
+struct ShardReport {
+  bool enabled = false;
+  int count = 0;
+  double digestPeriodSec = 0.0;
+  bool steal = true;
+  std::size_t steals = 0;         ///< jobs moved between shards by stealing
+  std::size_t stealAttempts = 0;  ///< steal passes that found a victim
+  /// Stale-decision regret: steals whose digest-predicted cache coverage on
+  /// the thief's slice was over twice what the caches actually held.
+  std::size_t staleSteals = 0;
+  std::size_t digestRefreshes = 0;
+  /// Digest age at each digest-guided decision (routing and stealing).
+  double meanDigestAgeSec = 0.0;
+  std::size_t digestAgeSamples = 0;
+  /// Histogram over kDigestAgeEdgesSec (one trailing overflow bucket).
+  std::vector<std::uint64_t> digestAgeHistogram;
+  std::vector<ShardStats> shards;
+};
+
+}  // namespace ppsched

@@ -1,0 +1,76 @@
+#include "shard/shard_host.h"
+
+#include "shard/coordinator.h"
+
+namespace ppsched {
+namespace {
+
+SimConfig narrowConfig(const SimConfig& real, int machineBegin, int machineEnd) {
+  SimConfig cfg = real;
+  cfg.numNodes = machineEnd - machineBegin;
+  cfg.shards = {};  // the inner policy must not see the sharding layer
+  if (!real.nodeSpeedFactors.empty()) {
+    const auto begin =
+        real.nodeSpeedFactors.begin() + machineBegin * real.cpusPerNode;
+    cfg.nodeSpeedFactors.assign(begin, begin + cfg.numNodes * real.cpusPerNode);
+  }
+  // Deliberately not re-finalized: derived workload fields were already
+  // filled from the (unchanged) data space, and re-validation could reject
+  // a slice of an otherwise valid config.
+  return cfg;
+}
+
+Cluster subCluster(ISchedulerHost& real, NodeId base, int count) {
+  std::vector<Node> nodes;
+  nodes.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    nodes.push_back(real.cluster().node(base + i).withId(i));
+  }
+  return Cluster(std::move(nodes));
+}
+
+}  // namespace
+
+ShardHostView::ShardHostView(ShardedCoordinator& coord, ISchedulerHost& real, int shard,
+                             int machineBegin, int machineEnd)
+    : coord_(coord),
+      real_(real),
+      shard_(shard),
+      base_(machineBegin * real.config().cpusPerNode),
+      count_((machineEnd - machineBegin) * real.config().cpusPerNode),
+      cfg_(narrowConfig(real.config(), machineBegin, machineEnd)),
+      sub_(subCluster(real, base_, count_)) {}
+
+std::vector<NodeId> ShardHostView::idleNodes() const {
+  std::vector<NodeId> out;
+  for (NodeId local = 0; local < count_; ++local) {
+    if (real_.isIdle(toGlobal(local))) out.push_back(local);
+  }
+  return out;
+}
+
+void ShardHostView::startRun(NodeId node, Subjob sj, AccessPlan plan) {
+  coord_.noteDispatch(shard_, sj.job);
+  if (plan.servingNode != kNoNode) plan.servingNode = toGlobal(plan.servingNode);
+  real_.startRun(toGlobal(node), std::move(sj), plan);
+}
+
+void ShardHostView::prefetch(NodeId dst, EventRange range, AccessPlan plan) {
+  if (plan.servingNode != kNoNode) plan.servingNode = toGlobal(plan.servingNode);
+  real_.prefetch(toGlobal(dst), range, plan);
+}
+
+TimerId ShardHostView::scheduleTimer(SimTime at) {
+  const TimerId id = real_.scheduleTimer(at);
+  coord_.registerTimer(id, shard_);
+  return id;
+}
+
+void ShardHostView::cancelTimer(TimerId id) {
+  real_.cancelTimer(id);
+  coord_.unregisterTimer(id);
+}
+
+void ShardHostView::deferLost(Subjob sj) { coord_.deferLost(shard_, std::move(sj)); }
+
+}  // namespace ppsched

@@ -1,0 +1,103 @@
+// Shard-scoped view of a scheduler host.
+//
+// Each shard's inner policy is an unmodified ISchedulerPolicy; it must not
+// know it owns only a slice of the cluster. ShardHostView narrows the real
+// host to the shard's contiguous machine slice: node ids are re-numbered to
+// 0..sliceCpus-1 (policies iterate 0..numNodes()-1 and index from zero),
+// cluster() is a sub-Cluster of re-numbered Node aliases sharing the real
+// nodes' caches and liveness flags, and config() reports the slice's node
+// count and speed factors. Actions translate back to global ids; dispatches
+// are checked against the coordinator's job-ownership map, and deferred
+// lost work is parked with the coordinator (which re-dispatches strictly
+// within the owning slice — the global host's first-fit drain would leak
+// runs across shard boundaries).
+#pragma once
+
+#include "core/host.h"
+
+namespace ppsched {
+
+class ShardedCoordinator;
+
+class ShardHostView final : public ISchedulerHost {
+ public:
+  /// View of `real` restricted to machines [machineBegin, machineEnd).
+  ShardHostView(ShardedCoordinator& coord, ISchedulerHost& real, int shard,
+                int machineBegin, int machineEnd);
+
+  // --- id translation ---------------------------------------------------
+  [[nodiscard]] NodeId toGlobal(NodeId local) const { return local + base_; }
+  [[nodiscard]] NodeId toLocal(NodeId global) const { return global - base_; }
+  [[nodiscard]] bool ownsGlobal(NodeId global) const {
+    return global >= base_ && global < base_ + count_;
+  }
+
+  // --- time & topology --------------------------------------------------
+  [[nodiscard]] SimTime now() const override { return real_.now(); }
+  [[nodiscard]] const SimConfig& config() const override { return cfg_; }
+  [[nodiscard]] int numNodes() const override { return count_; }
+  [[nodiscard]] Cluster& cluster() override { return sub_; }
+
+  // --- node state -------------------------------------------------------
+  [[nodiscard]] bool isUp(NodeId node) const override { return real_.isUp(toGlobal(node)); }
+  [[nodiscard]] bool isIdle(NodeId node) const override {
+    return real_.isIdle(toGlobal(node));
+  }
+  [[nodiscard]] std::vector<NodeId> idleNodes() const override;
+  [[nodiscard]] RunningView running(NodeId node) const override {
+    return real_.running(toGlobal(node));
+  }
+
+  // --- job bookkeeping (global: job ids are cluster-wide) ----------------
+  [[nodiscard]] const Job& job(JobId id) const override { return real_.job(id); }
+  [[nodiscard]] const IntervalSet& remainingOf(JobId id) const override {
+    return real_.remainingOf(id);
+  }
+  [[nodiscard]] bool jobDone(JobId id) const override { return real_.jobDone(id); }
+  [[nodiscard]] std::size_t jobsInSystem() const override { return real_.jobsInSystem(); }
+
+  // --- actions ----------------------------------------------------------
+  void startRun(NodeId node, Subjob sj, AccessPlan plan = {}) override;
+  using ISchedulerHost::startRun;
+  void prefetch(NodeId dst, EventRange range, AccessPlan plan = {}) override;
+  Subjob preempt(NodeId node) override { return real_.preempt(toGlobal(node)); }
+  TimerId scheduleTimer(SimTime at) override;
+  void cancelTimer(TimerId id) override;
+  ActionId at(SimTime when, std::function<void()> action) override {
+    return real_.at(when, std::move(action));
+  }
+  void deferLost(Subjob sj) override;
+  void noteSchedulingDelay(JobId id, Duration delay) override {
+    real_.noteSchedulingDelay(id, delay);
+  }
+
+  // --- cost feedback / placement (delegate with translated ids, so the
+  // real host's contention-aware estimates flow through) ------------------
+  [[nodiscard]] double estimatedSecPerEvent(NodeId node, NodeId remoteFrom,
+                                            DataSource src) const override {
+    return real_.estimatedSecPerEvent(
+        toGlobal(node), remoteFrom == kNoNode ? kNoNode : toGlobal(remoteFrom), src);
+  }
+  [[nodiscard]] bool sameSwitch(NodeId a, NodeId b) const override {
+    return real_.sameSwitch(toGlobal(a), toGlobal(b));
+  }
+  [[nodiscard]] double estimatedTransferBytesPerSec(NodeId dst, NodeId src) const override {
+    return real_.estimatedTransferBytesPerSec(
+        toGlobal(dst), src == kNoNode ? kNoNode : toGlobal(src));
+  }
+  /// Shares the real host's planning epoch: the view's planAccess memo (its
+  /// candidate scan walks only the slice's sub-cluster) invalidates exactly
+  /// when the simulator's state changes.
+  [[nodiscard]] std::uint64_t planEpoch() const override { return real_.planEpoch(); }
+
+ private:
+  ShardedCoordinator& coord_;
+  ISchedulerHost& real_;
+  int shard_;
+  NodeId base_;   ///< first global CPU slot of the slice
+  int count_;     ///< CPU slots in the slice
+  SimConfig cfg_; ///< the real config narrowed to the slice
+  Cluster sub_;   ///< re-numbered aliases of the slice's nodes
+};
+
+}  // namespace ppsched

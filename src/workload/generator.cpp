@@ -24,6 +24,9 @@ WorkloadGenerator::WorkloadGenerator(const WorkloadParams& params, std::uint64_t
   if (params_.diurnalAmplitude > 0.0 && params_.diurnalPeriod <= 0.0) {
     throw std::invalid_argument("diurnalPeriod must be > 0");
   }
+  if (params_.hotDriftPeriod < 0.0) {
+    throw std::invalid_argument("hotDriftPeriod must be >= 0");
+  }
 
   // Materialize hot regions as absolute, disjoint event ranges.
   IntervalSet hot;
@@ -62,6 +65,13 @@ EventIndex WorkloadGenerator::drawStartPoint(std::uint64_t jobEvents) {
   const auto& weights = hot ? hotWeights_ : coldWeights_;
   const std::size_t i = rng_.weightedIndex(weights);
   EventIndex start = rng_.uniformInt(ranges[i].begin, ranges[i].end - 1);
+  if (hot && params_.hotDriftPeriod > 0.0) {
+    const double frac = clock_ / params_.hotDriftPeriod;
+    const auto offset =
+        static_cast<EventIndex>((frac - std::floor(frac)) *
+                                static_cast<double>(params_.totalEvents));
+    start = (start + offset) % params_.totalEvents;
+  }
   // Segments are contiguous and must fit inside the data space; the paper is
   // silent on boundary behaviour, so we clamp the start point (DESIGN.md §7).
   const EventIndex maxStart = params_.totalEvents - jobEvents;

@@ -57,6 +57,13 @@ struct WorkloadParams {
   /// sampled by Poisson thinning. Amplitude must be in [0, 1].
   double diurnalAmplitude = 0.0;
   Duration diurnalPeriod = 24 * 3600.0;
+  /// Hot-region drift (extension; 0 = the paper's static hot regions):
+  /// hot start points are shifted by fract(t / hotDriftPeriod) of the data
+  /// space, modulo the space, so the hot working set slides through the
+  /// dataset once per period. Models analysis campaigns migrating between
+  /// datasets; the cold complement stays uniform (a uniform distribution
+  /// is shift-invariant).
+  Duration hotDriftPeriod = 0.0;
 };
 
 /// Generates an endless stream of jobs. Deterministic given the Rng seed.

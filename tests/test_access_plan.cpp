@@ -179,7 +179,12 @@ TEST(PlanAccess, NetOffFrontMatchesLegacyCacheHeuristic) {
   EXPECT_EQ(plans.front().source, DataSource::RemoteCache);
   EXPECT_EQ(plans.front().servingNode, cl.bestCacheNode({0, 5000}));
   EXPECT_EQ(plans.front().replicationThreshold, 3);
-  // When dst itself holds the most content there is no remote plan.
+  // When dst itself holds the most content there is no remote plan. The
+  // direct cache mutation below bypasses the engine, so its state epoch
+  // does not advance and the planAccess memo would serve the pre-mutation
+  // plans — a harness-only situation (every production cache mutation goes
+  // through a host and bumps the epoch); turn the memo off for it.
+  h.engine->setPlanMemoization(false);
   cl.node(0).cache().insert({0, 6000}, 0.0);
   const auto local = h.engine->planAccess(0, {0, 5000}, goal);
   ASSERT_EQ(local.size(), 1u);
@@ -210,6 +215,132 @@ TEST(PlanAccess, PrefetchIntentRanksByPureTransferCost) {
   EXPECT_EQ(plans[2].source, DataSource::Tertiary);
   EXPECT_DOUBLE_EQ(plans[2].secPerEvent, 0.6);
   for (const AccessPlan& p : plans) EXPECT_DOUBLE_EQ(p.prefetchDeadline, 1234.5);
+}
+
+// --- planAccess memoization -------------------------------------------------
+
+TEST(PlanMemo, MemoizedCallsBitIdenticalToEnumeration) {
+  // The memo is an optimization, never a semantic: for any state, the
+  // memoized result equals fresh enumeration, including across engine
+  // mutations (cache churn, failures) that must invalidate it.
+  std::mt19937 rng(20260809);
+  for (int iter = 0; iter < 20; ++iter) {
+    SimConfig cfg = tinyConfig(2 + static_cast<int>(rng() % 4), 100'000, 20'000);
+    Harness h(cfg, {});
+    Cluster& cl = h.engine->cluster();
+    for (int n = 0; n < cl.size(); ++n) {
+      const std::uint64_t lo = rng() % 80'000;
+      cl.node(n).cache().insert({lo, lo + 1 + rng() % 15'000}, 0.0);
+    }
+    EXPECT_GT(h.engine->planEpoch(), 0u);
+    AccessGoal goal;
+    goal.replicationThreshold = 3;
+    const NodeId dst = static_cast<NodeId>(rng() % cl.size());
+    const std::uint64_t lo = rng() % 70'000;
+    const EventRange range{lo, lo + 1 + rng() % 20'000};
+
+    auto compare = [&] {
+      const auto memoized = h.engine->planAccess(dst, range, goal);  // warms the memo
+      const auto cached = h.engine->planAccess(dst, range, goal);    // memo hit
+      h.engine->setPlanMemoization(false);
+      EXPECT_EQ(h.engine->planEpoch(), 0u);
+      const auto fresh = h.engine->planAccess(dst, range, goal);
+      h.engine->setPlanMemoization(true);
+      ASSERT_EQ(memoized.size(), fresh.size());
+      ASSERT_EQ(cached.size(), fresh.size());
+      for (std::size_t i = 0; i < fresh.size(); ++i) {
+        EXPECT_EQ(memoized[i].source, fresh[i].source);
+        EXPECT_EQ(memoized[i].servingNode, fresh[i].servingNode);
+        EXPECT_EQ(memoized[i].secPerEvent, fresh[i].secPerEvent);
+        EXPECT_EQ(memoized[i].cachedEvents, fresh[i].cachedEvents);
+        EXPECT_EQ(cached[i].servingNode, fresh[i].servingNode);
+        EXPECT_EQ(cached[i].secPerEvent, fresh[i].secPerEvent);
+      }
+    };
+    compare();
+    // Mutate through the engine (failure wipes a cache and bumps the
+    // epoch); the memo must not serve the pre-failure plans.
+    h.engine->failNode(static_cast<NodeId>(rng() % cl.size()));
+    if (cl.node(dst).isUp()) compare();
+  }
+}
+
+TEST(PlanMemo, InvalidatedByCacheEffectsOfRuns) {
+  SimConfig cfg = tinyConfig(3, 100'000, 10'000);
+  Harness h(cfg, {{0, 0.0, {0, 2000}}});
+  AccessGoal goal;
+  goal.replicationThreshold = 3;
+  // Nothing cached yet: tertiary is the only plan. Ask twice so the second
+  // answer comes from the memo.
+  const auto before = h.engine->planAccess(1, {0, 2000}, goal);
+  ASSERT_EQ(before.size(), 1u);
+  EXPECT_EQ(before.front().source, DataSource::Tertiary);
+  const auto again = h.engine->planAccess(1, {0, 2000}, goal);
+  ASSERT_EQ(again.size(), 1u);
+  // Run the job on node 2: the tertiary stream fills node 2's cache, which
+  // must invalidate the memoized answer for (1, {0,2000}).
+  h.policy->arrivalHook = [&](const Job& j) { h.engine->startRun(2, whole(j)); };
+  h.engine->run({});
+  const auto after = h.engine->planAccess(1, {0, 2000}, goal);
+  ASSERT_GE(after.size(), 2u);
+  EXPECT_EQ(after.front().source, DataSource::RemoteCache);
+  EXPECT_EQ(after.front().servingNode, 2);
+}
+
+TEST(PlanMemo, DistinctGoalsDoNotCollide) {
+  // The memo key covers every goal field that shapes the plans; goals
+  // differing only in threshold or intent must hit distinct entries.
+  SimConfig cfg = tinyConfig(3, 100'000, 20'000);
+  Harness h(cfg, {});
+  h.engine->cluster().node(2).cache().insert({0, 5000}, 0.0);
+  AccessGoal g3;
+  g3.replicationThreshold = 3;
+  AccessGoal g5;
+  g5.replicationThreshold = 5;
+  const auto p3 = h.engine->planAccess(0, {0, 5000}, g3);
+  const auto p5 = h.engine->planAccess(0, {0, 5000}, g5);
+  const auto p3again = h.engine->planAccess(0, {0, 5000}, g3);
+  ASSERT_GE(p3.size(), 2u);
+  EXPECT_EQ(p3.front().replicationThreshold, 3);
+  EXPECT_EQ(p5.front().replicationThreshold, 5);
+  EXPECT_EQ(p3again.front().replicationThreshold, 3);
+  AccessGoal pf = g3;
+  pf.intent = AccessGoal::Intent::Prefetch;
+  pf.deadline = 99.0;
+  const auto pp = h.engine->planAccess(0, {0, 5000}, pf);
+  ASSERT_FALSE(pp.empty());
+  EXPECT_DOUBLE_EQ(pp.front().prefetchDeadline, 99.0);
+  const auto p3third = h.engine->planAccess(0, {0, 5000}, g3);
+  EXPECT_DOUBLE_EQ(p3third.front().prefetchDeadline, 0.0);
+}
+
+TEST(PlanMemo, WholeRunsBitIdenticalWithMemoOnAndOff) {
+  // End-to-end differential: a full simulation of a planAccess-heavy policy
+  // lands on identical metrics with the memo on and off.
+  auto run = [](const char* policy, bool memo) {
+    SimConfig cfg = tinyConfig(4, 100'000, 20'000);
+    std::mt19937 rng(7);
+    std::vector<Job> jobs;
+    for (JobId j = 0; j < 40; ++j) {
+      const std::uint64_t lo = rng() % 60'000;
+      jobs.push_back({j, j * 400.0, {lo, lo + 5000 + rng() % 20'000}});
+    }
+    MetricsCollector m(cfg.cost, {0, 0.0});
+    Engine e(cfg, testing::fixedSource(jobs), makePolicy(policy), m);
+    e.setPlanMemoization(memo);
+    e.run({});
+    return m.finalize(e.now());
+  };
+  for (const char* policy : {"out_of_order", "replication"}) {
+    const RunResult on = run(policy, true);
+    const RunResult off = run(policy, false);
+    EXPECT_EQ(on.simulatedTime, off.simulatedTime) << policy;
+    EXPECT_EQ(on.avgSpeedup, off.avgSpeedup) << policy;
+    EXPECT_EQ(on.avgWait, off.avgWait) << policy;
+    EXPECT_EQ(on.cacheHitFraction, off.cacheHitFraction) << policy;
+    EXPECT_EQ(on.completedJobs, off.completedJobs) << policy;
+    EXPECT_EQ(on.replicatedEvents, off.replicatedEvents) << policy;
+  }
 }
 
 // --- prefetch end-to-end ----------------------------------------------------

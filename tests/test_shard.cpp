@@ -1,0 +1,514 @@
+// Sharded multi-master scheduling: spec parser, cache digests, the
+// shard-scoped host view, K=1 bit-identity golden pins, cross-shard work
+// stealing, the ownership invariant, and failure rehoming.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/registry.h"
+#include "shard/coordinator.h"
+#include "shard/digest.h"
+#include "shard/shard_config.h"
+#include "storage/lru_cache.h"
+#include "test_support.h"
+
+namespace ppsched {
+namespace {
+
+using testing::Harness;
+using testing::ManualPolicy;
+using testing::fixedSource;
+using testing::tinyConfig;
+using testing::whole;
+
+// --- spec parser ----------------------------------------------------------
+
+TEST(ShardSpec, ParsesFullSpec) {
+  const ShardConfig cfg = parseShardSpec("4,digest=600,steal=off,route=rr,admit=8,buckets=64");
+  EXPECT_EQ(cfg.count, 4);
+  EXPECT_DOUBLE_EQ(cfg.digestPeriodSec, 600.0);
+  EXPECT_FALSE(cfg.steal);
+  EXPECT_EQ(cfg.route, "rr");
+  EXPECT_EQ(cfg.admit, 8);
+  EXPECT_EQ(cfg.buckets, 64);
+  EXPECT_TRUE(cfg.enabled());
+}
+
+TEST(ShardSpec, BareCountUsesDefaults) {
+  const ShardConfig cfg = parseShardSpec("4");
+  EXPECT_EQ(cfg.count, 4);
+  EXPECT_DOUBLE_EQ(cfg.digestPeriodSec, 0.0);
+  EXPECT_TRUE(cfg.steal);
+  EXPECT_EQ(cfg.route, "affinity");
+  EXPECT_EQ(cfg.admit, 0);
+  EXPECT_EQ(cfg.buckets, 256);
+}
+
+TEST(ShardSpec, EmptyAndOffDisable) {
+  EXPECT_FALSE(parseShardSpec("").enabled());
+  EXPECT_FALSE(parseShardSpec("off").enabled());
+  EXPECT_EQ(formatShardSpec(ShardConfig{}), "off");
+}
+
+TEST(ShardSpec, RejectsBadSpecs) {
+  EXPECT_THROW(parseShardSpec("0"), std::invalid_argument);   // K = 0
+  EXPECT_THROW(parseShardSpec("-2"), std::invalid_argument);
+  EXPECT_THROW(parseShardSpec("4x"), std::invalid_argument);
+  EXPECT_THROW(parseShardSpec("digest=5"), std::invalid_argument);  // count must come first
+  EXPECT_THROW(parseShardSpec("4,digest=600,digest=700"), std::invalid_argument);  // dup key
+  EXPECT_THROW(parseShardSpec("4,steal=off,steal=off"), std::invalid_argument);
+  EXPECT_THROW(parseShardSpec("4,"), std::invalid_argument);  // trailing garbage
+  EXPECT_THROW(parseShardSpec("4,,steal=off"), std::invalid_argument);
+  EXPECT_THROW(parseShardSpec("4,bogus=1"), std::invalid_argument);  // unknown key
+  EXPECT_THROW(parseShardSpec("4,steal"), std::invalid_argument);    // missing '='
+  EXPECT_THROW(parseShardSpec("4,steal=maybe"), std::invalid_argument);
+  EXPECT_THROW(parseShardSpec("4,route=random"), std::invalid_argument);
+  EXPECT_THROW(parseShardSpec("4,digest=-3"), std::invalid_argument);
+  EXPECT_THROW(parseShardSpec("4,digest=3s"), std::invalid_argument);
+  EXPECT_THROW(parseShardSpec("4,admit=-1"), std::invalid_argument);
+  EXPECT_THROW(parseShardSpec("4,admit=x"), std::invalid_argument);
+  EXPECT_THROW(parseShardSpec("4,buckets=0"), std::invalid_argument);
+}
+
+TEST(ShardSpec, ErrorsNameTheOffender) {
+  try {
+    parseShardSpec("4,frobnicate=1");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("frobnicate"), std::string::npos);
+  }
+}
+
+TEST(ShardSpec, FuzzRoundTrip) {
+  // Fixed-seed fuzz: format o parse must be the identity on valid configs
+  // (the same guarantee the network and QoS spec parsers are held to).
+  std::mt19937 rng(20260809);
+  for (int i = 0; i < 500; ++i) {
+    ShardConfig cfg;
+    cfg.count = 1 + static_cast<int>(rng() % 64);
+    switch (rng() % 4) {
+      case 0: cfg.digestPeriodSec = 0.0; break;
+      case 1: cfg.digestPeriodSec = static_cast<double>(rng() % 100000); break;
+      case 2: cfg.digestPeriodSec = 0.25 * static_cast<double>(rng() % 1000); break;
+      default: cfg.digestPeriodSec = 1e-3 * static_cast<double>(rng() % 7919); break;
+    }
+    cfg.steal = (rng() % 2) == 0;
+    cfg.route = (rng() % 2) == 0 ? "affinity" : "rr";
+    cfg.admit = static_cast<int>(rng() % 33);
+    cfg.buckets = 1 + static_cast<int>(rng() % 1024);
+    const std::string spec = formatShardSpec(cfg);
+    EXPECT_EQ(parseShardSpec(spec), cfg) << spec;
+  }
+}
+
+// --- cache digests --------------------------------------------------------
+
+TEST(CacheDigest, BucketBitRequiresHalfCoverage) {
+  // 1000 events over 10 buckets of 100. A bucket's bit is set iff at least
+  // half of it is cached.
+  LruExtentCache cache(1000);
+  cache.insert({0, 100}, 0.0);    // bucket 0: fully covered
+  cache.insert({100, 149}, 0.0);  // bucket 1: 49 < 50 -> clear
+  cache.insert({200, 250}, 0.0);  // bucket 2: exactly half -> set
+  CacheDigest digest(1000, 10);
+  digest.rebuild(cache);
+  EXPECT_TRUE(digest.bit(0));
+  EXPECT_FALSE(digest.bit(1));
+  EXPECT_TRUE(digest.bit(2));
+  for (int b = 3; b < 10; ++b) EXPECT_FALSE(digest.bit(b)) << b;
+}
+
+TEST(CacheDigest, EstimateSumsSetBucketOverlap) {
+  LruExtentCache cache(1000);
+  cache.insert({0, 100}, 0.0);
+  cache.insert({200, 300}, 0.0);
+  CacheDigest digest(1000, 10);
+  digest.rebuild(cache);
+  // [50, 250): 50 events in set bucket 0, none in clear bucket 1, 50 in set
+  // bucket 2.
+  EXPECT_EQ(digest.estimate({50, 250}), 100u);
+  EXPECT_EQ(digest.estimate({300, 1000}), 0u);
+  EXPECT_EQ(digest.estimate({0, 0}), 0u);
+  // The digest is coarse: a set bucket claims its whole span even where the
+  // cache has holes. That over-estimate is the price of compactness.
+  cache.evict({0, 25});
+  digest.rebuild(cache);  // 75/100 still set
+  EXPECT_EQ(digest.estimate({0, 100}), 100u);
+}
+
+TEST(DigestBoard, PeriodZeroIsAlwaysFresh) {
+  Cluster cl(2, 100);
+  cl.node(0).cache().insert({0, 50}, 0.0);
+  DigestBoard board(0.0, 100, 10, 2);
+  board.refresh(5.0, cl, 1);
+  EXPECT_DOUBLE_EQ(board.age(5.0), 0.0);
+  EXPECT_EQ(board.estimate(0, {0, 100}), 50u);
+  cl.node(0).cache().insert({50, 100}, 1.0);
+  board.refresh(6.0, cl, 1);  // period 0: every refresh rebuilds
+  EXPECT_EQ(board.estimate(0, {0, 100}), 100u);
+  EXPECT_EQ(board.refreshes(), 2u);
+}
+
+TEST(DigestBoard, PeriodBoundsStaleness) {
+  Cluster cl(2, 100);
+  DigestBoard board(100.0, 100, 10, 2);
+  board.refresh(10.0, cl, 1);  // window 0; digests empty
+  cl.node(1).cache().insert({0, 100}, 11.0);
+  board.refresh(50.0, cl, 1);  // same window: no rebuild, view goes stale
+  EXPECT_EQ(board.estimate(1, {0, 100}), 0u);
+  EXPECT_DOUBLE_EQ(board.age(50.0), 40.0);
+  board.refresh(150.0, cl, 1);  // window 1: rebuild picks up the insert
+  EXPECT_EQ(board.estimate(1, {0, 100}), 100u);
+  EXPECT_DOUBLE_EQ(board.age(150.0), 0.0);
+  EXPECT_EQ(board.refreshes(), 2u);
+}
+
+// --- shard host view ------------------------------------------------------
+
+/// Coordinator over ManualPolicy inners, collecting the created instances.
+struct ManualShards {
+  std::vector<ManualPolicy*> inners;  // creation order: shard 0 first (probe)
+
+  std::unique_ptr<ShardedCoordinator> make(const ShardConfig& cfg) {
+    return std::make_unique<ShardedCoordinator>(cfg, [this] {
+      auto p = std::make_unique<ManualPolicy>();
+      inners.push_back(p.get());
+      return p;
+    });
+  }
+};
+
+TEST(ShardHostView, NarrowsNodesAndTranslatesDispatch) {
+  SimConfig cfg = tinyConfig(4, 1000, 100);
+  cfg.shards = parseShardSpec("2,route=rr,steal=off");
+  std::vector<Job> jobs;
+  jobs.push_back({0, 0.0, {0, 100}});
+  jobs.push_back({1, 1.0, {100, 200}});
+  ManualShards shards;
+  MetricsCollector metrics(cfg.cost, {0, 0.0});
+  Engine engine(cfg, fixedSource(jobs), shards.make(cfg.shards), metrics);
+  ASSERT_EQ(shards.inners.size(), 2u);
+
+  // Each inner sees a 2-node slice, re-numbered from zero.
+  for (ManualPolicy* p : shards.inners) {
+    p->arrivalHook = [p](const Job& job) {
+      EXPECT_EQ(p->eng().numNodes(), 2);
+      EXPECT_EQ(p->eng().config().numNodes, 2);
+      EXPECT_EQ(p->eng().cluster().size(), 2);
+      ASSERT_FALSE(p->eng().idleNodes().empty());
+      p->eng().startRun(p->eng().idleNodes().front(), wholeSubjob(job));
+    };
+  }
+  StopCondition stop;
+  stop.completedJobs = 2;
+  engine.run(stop);
+
+  // Round-robin routed one job to each shard; shard 1's local node 0 is
+  // global node 2.
+  ASSERT_EQ(shards.inners[0]->arrivals.size(), 1u);
+  ASSERT_EQ(shards.inners[1]->arrivals.size(), 1u);
+  EXPECT_EQ(shards.inners[0]->arrivals[0].id, 0u);
+  EXPECT_EQ(shards.inners[1]->arrivals[0].id, 1u);
+  ASSERT_EQ(shards.inners[1]->finished.size(), 1u);
+  EXPECT_EQ(shards.inners[1]->finished[0].first, 0);  // local id, not global 2
+  EXPECT_EQ(metrics.jobsInSystem(), 0u);
+}
+
+TEST(ShardHostView, SliceCachesAliasTheRealCluster) {
+  SimConfig cfg = tinyConfig(4, 1000, 100);
+  cfg.shards = parseShardSpec("2,route=rr,steal=off");
+  ManualShards shards;
+  MetricsCollector metrics(cfg.cost, {0, 0.0});
+  Engine engine(cfg, fixedSource({}), shards.make(cfg.shards), metrics);
+  ASSERT_EQ(shards.inners.size(), 2u);
+  // Writing through the real cluster is visible through shard 1's view
+  // (global node 2 == local node 0), and vice versa.
+  engine.cluster().node(2).cache().insert({0, 42}, 0.0);
+  ISchedulerHost& view = shards.inners[1]->eng();
+  EXPECT_EQ(view.cluster().node(0).cache().overlapSize({0, 100}), 42u);
+  view.cluster().node(1).cache().insert({100, 150}, 0.0);
+  EXPECT_EQ(engine.cluster().node(3).cache().overlapSize({100, 200}), 50u);
+}
+
+// --- K=1 bit-identity golden pins ----------------------------------------
+
+ExperimentSpec shardQuickSpec(const std::string& policy, double load) {
+  ExperimentSpec spec;
+  spec.policyName = policy;
+  spec.jobsPerHour = load;
+  spec.warmupJobs = 30;
+  spec.measuredJobs = 90;
+  spec.maxJobsInSystem = 4000;  // delayed-family policies hold whole periods
+  spec.prewarmCaches = true;
+  return spec;
+}
+
+TEST(ShardGoldenPins, SingleShardBitIdenticalForEveryPolicy) {
+  // The acceptance bar of the sharding subsystem: --shards 1 must change
+  // NOTHING. One shard spans every machine, admission is unlimited, lost
+  // work forwards to the host's own drain, and no digests or steals touch
+  // the decision path — so every reported metric is bit-identical, for all
+  // ten policies.
+  for (const std::string& policy : policyNames()) {
+    ExperimentSpec spec = shardQuickSpec(policy, 1.0);
+    const RunResult base = runExperiment(spec);
+    spec.sim.shards = parseShardSpec("1");
+    const RunResult sharded = runExperiment(spec);
+    EXPECT_EQ(base.avgSpeedup, sharded.avgSpeedup) << policy;
+    EXPECT_EQ(base.avgWait, sharded.avgWait) << policy;
+    EXPECT_EQ(base.avgWaitExDelay, sharded.avgWaitExDelay) << policy;
+    EXPECT_EQ(base.cacheHitFraction, sharded.cacheHitFraction) << policy;
+    EXPECT_EQ(base.simulatedTime, sharded.simulatedTime) << policy;
+    EXPECT_EQ(base.completedJobs, sharded.completedJobs) << policy;
+    EXPECT_EQ(base.overloaded, sharded.overloaded) << policy;
+    EXPECT_FALSE(base.shards.enabled);
+    EXPECT_TRUE(sharded.shards.enabled);
+    ASSERT_EQ(sharded.shards.shards.size(), 1u);
+    EXPECT_EQ(sharded.shards.steals, 0u);
+  }
+}
+
+// --- K>1 behaviour --------------------------------------------------------
+
+TEST(ShardedCoordinator, SpreadsWorkAndConservesJobs) {
+  // Every arrival is routed to exactly one shard, and steals move jobs
+  // between shards one donor / one taker at a time. The engine throws on
+  // any double dispatch, so completion alone proves no job ran twice.
+  ExperimentSpec spec = shardQuickSpec("out_of_order", 2.5);
+  spec.sim.shards = parseShardSpec("4,admit=2,route=rr");
+  const RunResult r = runExperiment(spec);
+  EXPECT_GE(r.completedJobs, 120u);
+  ASSERT_TRUE(r.shards.enabled);
+  ASSERT_EQ(r.shards.shards.size(), 4u);
+  std::size_t routed = 0;
+  std::size_t stolenIn = 0;
+  std::size_t stolenOut = 0;
+  for (const ShardStats& s : r.shards.shards) {
+    routed += s.jobsRouted;
+    stolenIn += s.jobsStolenIn;
+    stolenOut += s.jobsStolenOut;
+    EXPECT_GT(s.jobsRouted, 0u) << "shard " << s.shard << " never routed a job";
+    EXPECT_GE(s.peakQueueDepth, 1u);
+    EXPECT_GT(s.meanQueueDepth, 0.0);
+  }
+  EXPECT_GE(routed, r.completedJobs);
+  // Steal conservation: every steal has exactly one donor and one taker.
+  EXPECT_EQ(stolenIn, r.shards.steals);
+  EXPECT_EQ(stolenOut, r.shards.steals);
+  EXPECT_GE(r.shards.stealAttempts, r.shards.steals);
+}
+
+TEST(ShardedCoordinator, StealOffKeepsQueuesSeparate) {
+  ExperimentSpec spec = shardQuickSpec("out_of_order", 2.5);
+  spec.sim.shards = parseShardSpec("4,admit=2,route=rr,steal=off");
+  const RunResult r = runExperiment(spec);
+  ASSERT_TRUE(r.shards.enabled);
+  EXPECT_EQ(r.shards.steals, 0u);
+  EXPECT_EQ(r.shards.stealAttempts, 0u);
+  for (const ShardStats& s : r.shards.shards) {
+    EXPECT_EQ(s.jobsStolenIn, 0u);
+    EXPECT_EQ(s.jobsStolenOut, 0u);
+  }
+}
+
+TEST(ShardedCoordinator, DigestStalenessIsMeasured) {
+  ExperimentSpec spec = shardQuickSpec("out_of_order", 2.0);
+  spec.sim.shards = parseShardSpec("4,digest=7200,admit=2");
+  const RunResult r = runExperiment(spec);
+  ASSERT_TRUE(r.shards.enabled);
+  EXPECT_GT(r.shards.digestAgeSamples, 0u);
+  EXPECT_GT(r.shards.digestRefreshes, 0u);
+  EXPECT_GT(r.shards.meanDigestAgeSec, 0.0);
+  std::uint64_t histTotal = 0;
+  for (const std::uint64_t c : r.shards.digestAgeHistogram) histTotal += c;
+  EXPECT_EQ(histTotal, r.shards.digestAgeSamples);
+  // Fresh digests (period 0) never age.
+  spec.sim.shards = parseShardSpec("4,admit=2");
+  const RunResult fresh = runExperiment(spec);
+  EXPECT_DOUBLE_EQ(fresh.shards.meanDigestAgeSec, 0.0);
+}
+
+TEST(ShardedCoordinator, DispatchingAForeignJobThrows) {
+  // The ownership invariant: a shard's policy may only dispatch jobs the
+  // coordinator routed (or stole) to it. A rogue inner policy dispatching a
+  // peer's job must be caught at the view boundary, not silently run.
+  SimConfig cfg = tinyConfig(4, 1000, 100);
+  cfg.shards = parseShardSpec("2,route=rr,steal=off");
+  std::vector<Job> jobs;
+  jobs.push_back({0, 0.0, {0, 100}});
+  jobs.push_back({1, 1.0, {100, 200}});
+  ManualShards shards;
+  MetricsCollector metrics(cfg.cost, {0, 0.0});
+  Engine engine(cfg, fixedSource(jobs), shards.make(cfg.shards), metrics);
+  ASSERT_EQ(shards.inners.size(), 2u);
+  // Shard 0 holds its job; shard 1 tries to dispatch it.
+  ManualPolicy* rogue = shards.inners[1];
+  ManualPolicy* owner = shards.inners[0];
+  rogue->arrivalHook = [rogue, owner](const Job&) {
+    ASSERT_FALSE(owner->arrivals.empty());
+    rogue->eng().startRun(0, wholeSubjob(owner->arrivals.front()));
+  };
+  StopCondition stop;
+  stop.completedJobs = 2;
+  EXPECT_THROW(engine.run(stop), std::logic_error);
+}
+
+/// Inner policy for failure tests: FIFO, one whole job per idle node.
+class FifoWholeJobPolicy final : public ISchedulerPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "fifo_whole"; }
+  void onJobArrival(const Job& job) override {
+    queue_.push_back(job.id);
+    dispatch();
+  }
+  void onRunFinished(NodeId, const RunReport&) override { dispatch(); }
+  void onNodeUp(NodeId) override { dispatch(); }
+
+ private:
+  void dispatch() {
+    while (!queue_.empty()) {
+      const auto idle = host().idleNodes();
+      if (idle.empty()) return;
+      const JobId id = queue_.front();
+      queue_.pop_front();
+      if (host().jobDone(id)) continue;
+      const IntervalSet& rem = host().remainingOf(id);
+      if (rem.empty()) continue;
+      Subjob sj = wholeSubjob(host().job(id));
+      sj.range = rem.first();
+      host().startRun(idle.front(), sj);
+    }
+  }
+  std::deque<JobId> queue_;
+};
+
+TEST(ShardedCoordinator, DrainedShardStealsFromBackloggedPeer) {
+  // Deterministic steal: round-robin gives shard 0 three long jobs and
+  // shard 1 three short ones. admit=1 holds two of each pending; shard 1
+  // drains first and must steal exactly one job from shard 0's backlog
+  // (shard 0 admits its own last pending job before a second steal).
+  SimConfig cfg = tinyConfig(4, 10000, 1000);
+  cfg.shards = parseShardSpec("2,route=rr,admit=1");
+  std::vector<Job> jobs;
+  for (JobId j = 0; j < 6; ++j) {
+    const EventIndex base = static_cast<EventIndex>(j) * 1000;
+    const std::uint64_t size = (j % 2 == 0) ? 600 : 50;  // s0 long, s1 short
+    jobs.push_back({j, 0.0, {base, base + size}});
+  }
+  MetricsCollector metrics(cfg.cost, {0, 0.0});
+  auto coord = std::make_unique<ShardedCoordinator>(
+      cfg.shards, [] { return std::make_unique<FifoWholeJobPolicy>(); });
+  ShardedCoordinator* coordPtr = coord.get();
+  Engine engine(cfg, fixedSource(jobs), std::move(coord), metrics);
+  StopCondition stop;
+  stop.completedJobs = 6;
+  engine.run(stop);
+
+  EXPECT_EQ(metrics.jobsInSystem(), 0u);
+  const ShardReport rep = coordPtr->report();
+  EXPECT_EQ(rep.steals, 1u);
+  EXPECT_EQ(rep.stealAttempts, 1u);
+  ASSERT_EQ(rep.shards.size(), 2u);
+  EXPECT_EQ(rep.shards[0].jobsStolenOut, 1u);
+  EXPECT_EQ(rep.shards[0].jobsStolenIn, 0u);
+  EXPECT_EQ(rep.shards[1].jobsStolenIn, 1u);
+  EXPECT_EQ(rep.shards[1].jobsStolenOut, 0u);
+  EXPECT_EQ(rep.shards[0].jobsRouted, 3u);
+  EXPECT_EQ(rep.shards[1].jobsRouted, 3u);
+}
+
+TEST(ShardedCoordinator, DeadSliceRehomesPendingJobsToLivePeer) {
+  // Kill shard 0's whole slice while it still has un-admitted (pending)
+  // jobs: those orphans must move to the live peer and complete there —
+  // re-dispatching the killed RUNS alone is not enough.
+  SimConfig cfg = tinyConfig(4, 10000, 1000);
+  cfg.shards = parseShardSpec("2,route=rr,admit=1,steal=off");
+  std::vector<Job> jobs;
+  // rr: jobs 0 and 2 -> shard 0, jobs 1 and 3 -> shard 1. admit=1 keeps
+  // jobs 2 and 3 pending behind the running ones.
+  jobs.push_back({0, 0.0, {0, 600}});
+  jobs.push_back({1, 0.0, {600, 1200}});
+  jobs.push_back({2, 0.0, {1200, 1800}});
+  jobs.push_back({3, 0.0, {1800, 2400}});
+  MetricsCollector metrics(cfg.cost, {0, 0.0});
+  auto coord = std::make_unique<ShardedCoordinator>(
+      cfg.shards, [] { return std::make_unique<FifoWholeJobPolicy>(); });
+  ShardedCoordinator* coordPtr = coord.get();
+  Engine engine(cfg, fixedSource(jobs), std::move(coord), metrics);
+  Engine* eng = &engine;
+  engine.at(10.0, [eng] {
+    eng->failNode(0);  // machine 0 and 1 = shard 0's whole slice
+    eng->failNode(1);
+  });
+  engine.at(100000.0, [eng] {
+    eng->repairNode(0);
+    eng->repairNode(1);
+  });
+  StopCondition stop;
+  stop.completedJobs = 4;
+  engine.run(stop);
+
+  const ShardReport rep = coordPtr->report();
+  EXPECT_EQ(metrics.jobsInSystem(), 0u);
+  ASSERT_EQ(rep.shards.size(), 2u);
+  // Job 2 was pending on the dead shard and moved to shard 1.
+  EXPECT_EQ(rep.shards[0].jobsRehomed, 1u);
+  EXPECT_EQ(rep.shards[1].jobsRouted + rep.shards[1].jobsStolenIn, 2u);
+}
+
+TEST(ShardedCoordinator, FailureDuringStealingLosesNothing) {
+  // Regression: stealing and slice failure interleaved. Shard 1 idles and
+  // steals from backlogged shard 0; mid-run shard 0's slice dies, rehoming
+  // what remains. No job may be lost or double-dispatched (the engine
+  // throws on duplicates; completion count catches losses).
+  SimConfig cfg = tinyConfig(4, 10000, 1000);
+  cfg.shards = parseShardSpec("2,route=rr,admit=1");  // steal on
+  std::vector<Job> jobs;
+  for (JobId j = 0; j < 8; ++j) {
+    const EventIndex base = static_cast<EventIndex>(j) * 600;
+    jobs.push_back({j, static_cast<SimTime>(j), {base, base + 500}});
+  }
+  MetricsCollector metrics(cfg.cost, {0, 0.0});
+  auto coord = std::make_unique<ShardedCoordinator>(
+      cfg.shards, [] { return std::make_unique<FifoWholeJobPolicy>(); });
+  ShardedCoordinator* coordPtr = coord.get();
+  Engine engine(cfg, fixedSource(jobs), std::move(coord), metrics);
+  Engine* eng = &engine;
+  engine.at(30.0, [eng] {
+    eng->failNode(0);
+    eng->failNode(1);
+  });
+  engine.at(200000.0, [eng] {
+    eng->repairNode(0);
+    eng->repairNode(1);
+  });
+  StopCondition stop;
+  stop.completedJobs = 8;
+  engine.run(stop);
+
+  EXPECT_EQ(metrics.jobsInSystem(), 0u);
+  const ShardReport rep = coordPtr->report();
+  std::size_t stolenIn = 0;
+  std::size_t stolenOut = 0;
+  for (const ShardStats& s : rep.shards) {
+    stolenIn += s.jobsStolenIn;
+    stolenOut += s.jobsStolenOut;
+  }
+  EXPECT_EQ(stolenIn, rep.steals);
+  EXPECT_EQ(stolenOut, rep.steals);
+}
+
+TEST(ShardedCoordinator, ConfigValidatesShardCount) {
+  SimConfig cfg = tinyConfig(4, 1000, 100);
+  cfg.shards = parseShardSpec("8");  // more shards than machines
+  EXPECT_THROW(cfg.finalize(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppsched

@@ -173,6 +173,61 @@ TEST(Workload, DiurnalModulatesByPhase) {
   EXPECT_NEAR(share, 0.5 + 0.9 / 3.14159265, 0.02);
 }
 
+TEST(Workload, HotDriftValidation) {
+  WorkloadParams p = paperParams();
+  p.hotDriftPeriod = -1.0;
+  EXPECT_THROW(WorkloadGenerator(p, 1), std::invalid_argument);
+}
+
+TEST(Workload, HotDriftDeterministicForFixedSeed) {
+  WorkloadParams p = paperParams();
+  p.hotDriftPeriod = 6 * units::hour;
+  WorkloadGenerator a(p, 99), b(p, 99);
+  for (int i = 0; i < 200; ++i) {
+    const auto ja = a.next(), jb = b.next();
+    ASSERT_TRUE(ja && jb);
+    EXPECT_EQ(*ja, *jb);
+  }
+}
+
+TEST(Workload, HotDriftSlidesHotRegionsThroughTheSpace) {
+  WorkloadParams p = paperParams();
+  p.hotProbability = 1.0;  // every start is hot: the shift applies to all
+  p.jobsPerHour = 100.0;
+  p.hotDriftPeriod = 24 * units::hour;
+  WorkloadGenerator g(p, 23);
+  const double total = static_cast<double>(p.totalEvents);
+  std::size_t inUnshifted = 0;
+  const std::size_t n = 5000;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto j = g.next();
+    ASSERT_TRUE(j);
+    // Undo the drift offset the generator applied at this arrival time
+    // (same arithmetic as the generator, so the round-trip is exact) and
+    // check the un-shifted start lands in an original hot region. The only
+    // exceptions are starts clamped so the job fits in the space.
+    const double frac = j->arrival / p.hotDriftPeriod;
+    const auto offset = static_cast<EventIndex>((frac - std::floor(frac)) * total);
+    const EventIndex unshifted =
+        (j->range.begin + p.totalEvents - offset % p.totalEvents) % p.totalEvents;
+    const double f = static_cast<double>(unshifted) / total;
+    const bool inHot = (f >= 0.20 && f < 0.25) || (f >= 0.60 && f < 0.65);
+    inUnshifted += inHot ? 1 : 0;
+  }
+  EXPECT_GE(static_cast<double>(inUnshifted) / static_cast<double>(n), 0.95);
+  // And the drifted starts must NOT still sit in the original regions: over
+  // a whole period the hot mass sweeps the entire space, so the original
+  // 10% of the space gets roughly 10% of the (shifted) starts.
+  WorkloadGenerator h(p, 24);
+  std::size_t inOriginal = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto j = h.next();
+    const double f = static_cast<double>(j->range.begin) / total;
+    inOriginal += ((f >= 0.20 && f < 0.25) || (f >= 0.60 && f < 0.65)) ? 1 : 0;
+  }
+  EXPECT_LT(static_cast<double>(inOriginal) / static_cast<double>(n), 0.25);
+}
+
 TEST(Workload, SizesClampedToDataSpace) {
   WorkloadParams p = paperParams();
   p.meanJobEvents = 1e9;  // absurd: must clamp to the data space

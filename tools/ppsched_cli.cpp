@@ -32,6 +32,11 @@
 //   --network SPEC         flow-level network model, e.g.
 //                          "nic=125,uplink=20,ingress=40,group=8" (MB/s;
 //                          group = nodes per edge switch) or "off"
+//   --shards SPEC          sharded multi-master scheduling, e.g.
+//                          "4,digest=600,steal=on" (K shards, digest
+//                          exchange period in seconds, cross-shard work
+//                          stealing) or "off"; also route=affinity|rr,
+//                          admit=N, buckets=N
 //   --qos SPEC             QoS classes for the eevdf policy, e.g.
 //                          "iweight=4,bweight=1,ideadline=600,window=5000,
 //                          igroups=lhcb|atlas" (weights, per-class relative
@@ -107,6 +112,18 @@ void printResult(const CliOptions& opt, double load, const RunResult& r) {
     }
     if (r.userStats.size() > top) {
       std::printf("    ... %zu more users\n", r.userStats.size() - top);
+    }
+  }
+  if (r.shards.enabled) {
+    std::printf("  shards         %d (digest %.0f s, steal %s): %zu steals (%zu stale), "
+                "digest age %.0f s mean\n",
+                r.shards.count, r.shards.digestPeriodSec, r.shards.steal ? "on" : "off",
+                r.shards.steals, r.shards.staleSteals, r.shards.meanDigestAgeSec);
+    for (const ShardStats& s : r.shards.shards) {
+      std::printf("    shard %-2d nodes [%d,%d)  %4zu routed  %3zu in / %3zu out stolen  "
+                  "%3zu rehomed  queue peak %zu mean %.1f\n",
+                  s.shard, s.nodeBegin, s.nodeEnd, s.jobsRouted, s.jobsStolenIn,
+                  s.jobsStolenOut, s.jobsRehomed, s.peakQueueDepth, s.meanQueueDepth);
     }
   }
   if (r.network.enabled) {
@@ -213,6 +230,7 @@ int cmdConfig(const CliOptions& opt) {
   std::printf("max farm load          %.3f jobs/hour\n", cfg.maxFarmLoadJobsPerHour());
   std::printf("max theoretical load   %.3f jobs/hour\n", cfg.maxTheoreticalLoadJobsPerHour());
   std::printf("network model          %s\n", formatNetworkSpec(cfg.network).c_str());
+  std::printf("shards                 %s\n", formatShardSpec(cfg.shards).c_str());
   const QueueModel q =
       farmQueueModel(cfg.numNodes, opt.spec.jobsPerHour, cfg.meanSingleNodeTime(), 4);
   if (q.stable()) {
